@@ -1,0 +1,173 @@
+//! Accelerator simulator configuration.
+//!
+//! Bundles the architectural shape (from `pdac-power`), the operating
+//! bit precision, and the MZM drive path choice into one validated value.
+
+use pdac_core::edac::ElectricalDac;
+use pdac_core::pdac::PDac;
+use pdac_core::MzmDriver;
+use pdac_power::ArchConfig;
+use std::fmt;
+
+/// Which converter drives the MZM operand banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriverChoice {
+    /// Controller + electrical DAC (baseline).
+    ElectricalDac,
+    /// The P-DAC with the optimal three-segment arccos approximation.
+    PhotonicDac,
+    /// The P-DAC with only the first-order approximation (ablation).
+    PhotonicDacFirstOrder,
+}
+
+impl fmt::Display for DriverChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverChoice::ElectricalDac => f.write_str("electrical DAC"),
+            DriverChoice::PhotonicDac => f.write_str("P-DAC (optimal)"),
+            DriverChoice::PhotonicDacFirstOrder => f.write_str("P-DAC (first order)"),
+        }
+    }
+}
+
+/// Errors from configuration construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The architecture failed validation.
+    BadArch(String),
+    /// Bit width outside `2..=16`.
+    UnsupportedBits(u8),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BadArch(msg) => write!(f, "invalid architecture: {msg}"),
+            ConfigError::UnsupportedBits(b) => write!(f, "bit width {b} outside 2..=16"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A validated simulator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccelConfig {
+    arch: ArchConfig,
+    bits: u8,
+    driver: DriverChoice,
+}
+
+impl AccelConfig {
+    /// Creates a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for invalid architectures or bit widths.
+    pub fn new(arch: ArchConfig, bits: u8, driver: DriverChoice) -> Result<Self, ConfigError> {
+        arch.validate().map_err(ConfigError::BadArch)?;
+        if !(2..=16).contains(&bits) {
+            return Err(ConfigError::UnsupportedBits(bits));
+        }
+        Ok(Self { arch, bits, driver })
+    }
+
+    /// LT-B with the P-DAC drive path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::UnsupportedBits`] outside `2..=16`.
+    pub fn lt_b_pdac(bits: u8) -> Result<Self, ConfigError> {
+        Self::new(ArchConfig::lt_b(), bits, DriverChoice::PhotonicDac)
+    }
+
+    /// LT-B with the electrical-DAC baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::UnsupportedBits`] outside `2..=16`.
+    pub fn lt_b_baseline(bits: u8) -> Result<Self, ConfigError> {
+        Self::new(ArchConfig::lt_b(), bits, DriverChoice::ElectricalDac)
+    }
+
+    /// The architectural shape.
+    pub fn arch(&self) -> &ArchConfig {
+        &self.arch
+    }
+
+    /// Operating precision.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Drive path.
+    pub fn driver_choice(&self) -> DriverChoice {
+        self.driver
+    }
+
+    /// Instantiates the configured driver.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for configurations constructed through [`Self::new`]
+    /// (the bit width was validated).
+    pub fn build_driver(&self) -> Box<dyn MzmDriver> {
+        match self.driver {
+            DriverChoice::ElectricalDac => Box::new(
+                ElectricalDac::new(self.bits).expect("validated bit width"),
+            ),
+            DriverChoice::PhotonicDac => Box::new(
+                PDac::with_optimal_approx(self.bits).expect("validated bit width"),
+            ),
+            DriverChoice::PhotonicDacFirstOrder => Box::new(
+                PDac::with_first_order_approx(self.bits).expect("validated bit width"),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lt_b_presets() {
+        let p = AccelConfig::lt_b_pdac(8).unwrap();
+        assert_eq!(p.bits(), 8);
+        assert_eq!(p.driver_choice(), DriverChoice::PhotonicDac);
+        let b = AccelConfig::lt_b_baseline(4).unwrap();
+        assert_eq!(b.driver_choice(), DriverChoice::ElectricalDac);
+    }
+
+    #[test]
+    fn validation() {
+        assert_eq!(
+            AccelConfig::lt_b_pdac(1),
+            Err(ConfigError::UnsupportedBits(1))
+        );
+        let mut bad = ArchConfig::lt_b();
+        bad.cores = 0;
+        assert!(matches!(
+            AccelConfig::new(bad, 8, DriverChoice::PhotonicDac),
+            Err(ConfigError::BadArch(_))
+        ));
+    }
+
+    #[test]
+    fn build_driver_bit_widths() {
+        for choice in [
+            DriverChoice::ElectricalDac,
+            DriverChoice::PhotonicDac,
+            DriverChoice::PhotonicDacFirstOrder,
+        ] {
+            let c = AccelConfig::new(ArchConfig::lt_b(), 6, choice).unwrap();
+            assert_eq!(c.build_driver().bits(), 6, "{choice}");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert!(DriverChoice::PhotonicDac.to_string().contains("P-DAC"));
+        assert!(ConfigError::UnsupportedBits(1).to_string().contains("1"));
+    }
+}

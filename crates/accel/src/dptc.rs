@@ -1,0 +1,308 @@
+//! A physical DPTC core: the tile-level photonic engine of
+//! Lightening-Transformer (paper Fig. 3).
+//!
+//! One core multiplies an `rows × λ` operand tile `X` against a
+//! `λ × cols` tile `Y` per cycle. Physically:
+//!
+//! * a **row bank** of `rows × λ` MZMs encodes `X` — row `i`'s vector is
+//!   broadcast along the core's `i`-th horizontal bus,
+//! * a **column bank** of `cols × λ` MZMs encodes `Y` — column `j`'s
+//!   vector travels the `j`-th vertical bus,
+//! * the DDot unit at `(i, j)` interferes the two buses and its balanced
+//!   detectors emit `X[i,:]·Y[:,j]`.
+//!
+//! The hardware point this module captures beyond `FunctionalGemm`:
+//! **operand reuse**. Each row vector is modulated once and consumed by
+//! `cols` DDot units (and vice versa), which is exactly why the
+//! conversion count per cycle is `(rows + cols)·λ` and not
+//! `2·rows·cols·λ` — the economics behind the paper's Fig. 4 DAC-count
+//! observation. Splitting each modulated bus across its consumers also
+//! divides optical power, which the loss accounting below tracks.
+
+use pdac_core::MzmDriver;
+use pdac_math::stats::Summary;
+use pdac_math::Mat;
+use pdac_photonics::DDotUnit;
+use std::fmt;
+
+/// Errors from tile execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TileError {
+    /// An operand tile does not match the core's geometry.
+    ShapeMismatch {
+        /// Expected shape.
+        expected: (usize, usize),
+        /// Supplied shape.
+        got: (usize, usize),
+    },
+}
+
+impl fmt::Display for TileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TileError::ShapeMismatch { expected, got } => write!(
+                f,
+                "tile shape {}x{} does not match core geometry {}x{}",
+                got.0, got.1, expected.0, expected.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TileError {}
+
+/// Result of one tile cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileRun {
+    /// The `rows × cols` partial-product tile.
+    pub output: Mat,
+    /// Operand modulations this cycle (`(rows + cols) · λ`).
+    pub conversions: u64,
+    /// Mean optical power per DDot input after bus splitting, relative
+    /// to a unit-amplitude modulated signal.
+    pub mean_input_power: f64,
+}
+
+/// A physical DPTC core bound to a converter.
+pub struct DptcCore {
+    rows: usize,
+    cols: usize,
+    wavelengths: usize,
+    driver: Box<dyn MzmDriver>,
+    ddot: DDotUnit,
+}
+
+impl fmt::Debug for DptcCore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DptcCore")
+            .field("rows", &self.rows)
+            .field("cols", &self.cols)
+            .field("wavelengths", &self.wavelengths)
+            .field("driver_bits", &self.driver.bits())
+            .finish()
+    }
+}
+
+impl DptcCore {
+    /// Builds a core with the given geometry and MZM drive path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        wavelengths: usize,
+        driver: Box<dyn MzmDriver>,
+    ) -> Self {
+        assert!(rows > 0 && cols > 0 && wavelengths > 0, "geometry must be nonzero");
+        Self {
+            rows,
+            cols,
+            wavelengths,
+            ddot: DDotUnit::ideal(wavelengths),
+            driver,
+        }
+    }
+
+    /// Core geometry `(rows, cols, wavelengths)`.
+    pub fn geometry(&self) -> (usize, usize, usize) {
+        (self.rows, self.cols, self.wavelengths)
+    }
+
+    /// MZMs in the core: `(rows + cols) · λ`.
+    pub fn mzm_count(&self) -> usize {
+        (self.rows + self.cols) * self.wavelengths
+    }
+
+    /// DDot units in the core.
+    pub fn ddot_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Executes one tile cycle: `X (rows×λ) · Y (λ×cols)`, with operands
+    /// quantized and driven through the converter **once per bank
+    /// element** (hardware operand reuse), then consumed by every DDot
+    /// on the corresponding bus.
+    ///
+    /// `x`/`y` values must already be scaled into `[−1, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TileError::ShapeMismatch`] for wrong tile shapes.
+    pub fn run_tile(&self, x: &Mat, y: &Mat) -> Result<TileRun, TileError> {
+        if x.shape() != (self.rows, self.wavelengths) {
+            return Err(TileError::ShapeMismatch {
+                expected: (self.rows, self.wavelengths),
+                got: x.shape(),
+            });
+        }
+        if y.shape() != (self.wavelengths, self.cols) {
+            return Err(TileError::ShapeMismatch {
+                expected: (self.wavelengths, self.cols),
+                got: y.shape(),
+            });
+        }
+        // Modulate each bank element exactly once.
+        let xm = x.map(|v| self.driver.convert_value(v));
+        let ym = y.map(|v| self.driver.convert_value(v));
+
+        // Bus splitting: a row signal feeds `cols` DDots, a column signal
+        // feeds `rows`; passive splitters divide the field by √n.
+        let row_split = 1.0 / (self.cols as f64).sqrt();
+        let col_split = 1.0 / (self.rows as f64).sqrt();
+
+        let mut out = Mat::zeros(self.rows, self.cols);
+        let mut power = Summary::new();
+        let mut xv = vec![0.0; self.wavelengths];
+        let mut yv = vec![0.0; self.wavelengths];
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                for t in 0..self.wavelengths {
+                    xv[t] = xm[(i, t)] * row_split;
+                    yv[t] = ym[(t, j)] * col_split;
+                }
+                power.extend(xv.iter().map(|v| 0.5 * v * v));
+                let detected = self
+                    .ddot
+                    .dot(&xv, &yv)
+                    .expect("operand length matches unit channels");
+                // The split factors are known constants; the receiver's
+                // gain removes them (√cols·√rows rescale).
+                out[(i, j)] = detected * (self.cols as f64 * self.rows as f64).sqrt();
+            }
+        }
+        Ok(TileRun {
+            output: out,
+            conversions: self.mzm_count() as u64,
+            mean_input_power: power.mean().unwrap_or(0.0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdac_core::edac::ElectricalDac;
+    use pdac_core::pdac::PDac;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_mat(rows: usize, cols: usize, seed: u64) -> Mat {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Mat::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    fn core(bits: u8) -> DptcCore {
+        DptcCore::new(4, 4, 8, Box::new(ElectricalDac::new(bits).unwrap()))
+    }
+
+    #[test]
+    fn geometry_and_counts() {
+        let c = core(8);
+        assert_eq!(c.geometry(), (4, 4, 8));
+        assert_eq!(c.mzm_count(), 64);
+        assert_eq!(c.ddot_count(), 16);
+    }
+
+    #[test]
+    fn tile_product_tracks_exact() {
+        let c = core(8);
+        let x = random_mat(4, 8, 1);
+        let y = random_mat(8, 4, 2);
+        let run = c.run_tile(&x, &y).unwrap();
+        let exact = x.matmul(&y).unwrap();
+        let rel = run.output.distance(&exact) / exact.max_abs().max(1e-9);
+        assert!(rel < 0.1, "relative distance {rel}");
+    }
+
+    #[test]
+    fn conversions_reflect_operand_reuse() {
+        // 4×8 + 8×4 = 64 modulations for 16 dot products of length 8:
+        // without reuse it would be 2·16·8 = 256.
+        let c = core(8);
+        let run = c
+            .run_tile(&random_mat(4, 8, 3), &random_mat(8, 4, 4))
+            .unwrap();
+        assert_eq!(run.conversions, 64);
+    }
+
+    #[test]
+    fn split_rescaling_is_exact_for_ideal_converter() {
+        // With a near-ideal converter the √(rows·cols) rescale must make
+        // the split transparent: compare 2×2 vs 8×8 fan-out cores.
+        let small = DptcCore::new(2, 2, 4, Box::new(ElectricalDac::new(12).unwrap()));
+        let x = random_mat(2, 4, 5);
+        let y = random_mat(4, 2, 6);
+        let run = small.run_tile(&x, &y).unwrap();
+        let exact = x.matmul(&y).unwrap();
+        assert!(run.output.distance(&exact) < 0.01);
+    }
+
+    #[test]
+    fn larger_fanout_means_less_power_per_ddot() {
+        let narrow = DptcCore::new(2, 2, 4, Box::new(ElectricalDac::new(8).unwrap()));
+        let wide = DptcCore::new(2, 8, 4, Box::new(ElectricalDac::new(8).unwrap()));
+        let x2 = random_mat(2, 4, 7);
+        let p_narrow = narrow
+            .run_tile(&x2, &random_mat(4, 2, 8))
+            .unwrap()
+            .mean_input_power;
+        let p_wide = wide
+            .run_tile(&x2, &random_mat(4, 8, 9))
+            .unwrap()
+            .mean_input_power;
+        assert!(
+            p_wide < p_narrow,
+            "wider fan-out must dilute optical power: {p_wide} vs {p_narrow}"
+        );
+    }
+
+    #[test]
+    fn pdac_core_is_less_accurate_than_edac_core() {
+        let x = random_mat(4, 8, 10);
+        let y = random_mat(8, 4, 11);
+        let exact = x.matmul(&y).unwrap();
+        let e = core(8).run_tile(&x, &y).unwrap().output.distance(&exact);
+        let p = DptcCore::new(4, 4, 8, Box::new(PDac::with_optimal_approx(8).unwrap()))
+            .run_tile(&x, &y)
+            .unwrap()
+            .output
+            .distance(&exact);
+        assert!(p > e);
+    }
+
+    #[test]
+    fn shape_mismatch_reported() {
+        let c = core(8);
+        let err = c
+            .run_tile(&random_mat(3, 8, 12), &random_mat(8, 4, 13))
+            .unwrap_err();
+        assert!(matches!(err, TileError::ShapeMismatch { .. }));
+        assert!(err.to_string().contains("does not match"));
+    }
+
+    #[test]
+    fn matches_functional_gemm_numerics() {
+        // The tile engine and the scalar-chunk engine implement the same
+        // math; on an exact-fit GEMM they must agree closely.
+        use crate::config::{AccelConfig, DriverChoice};
+        use crate::functional::FunctionalGemm;
+        use pdac_power::ArchConfig;
+
+        let arch = ArchConfig { cores: 1, rows: 4, cols: 4, wavelengths: 8, clock_hz: 5e9 };
+        let engine = FunctionalGemm::new(
+            AccelConfig::new(arch, 8, DriverChoice::PhotonicDac).unwrap(),
+        )
+        .unwrap();
+        let tile_core =
+            DptcCore::new(4, 4, 8, Box::new(PDac::with_optimal_approx(8).unwrap()));
+        let x = random_mat(4, 8, 14);
+        let y = random_mat(8, 4, 15);
+        let a = engine.execute(&x, &y).unwrap().output;
+        let b = tile_core.run_tile(&x, &y).unwrap().output;
+        // Same converters, same DDot identity; differences only from the
+        // functional engine's ADC requantization of partials.
+        assert!(a.distance(&b) < 0.2, "distance {}", a.distance(&b));
+    }
+}

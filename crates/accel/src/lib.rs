@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! Lightening-Transformer accelerator simulator.
+//!
+//! The substrate the P-DAC integrates with (paper Figs. 3 and 6): DPTC
+//! cores whose dual MZM operand banks feed `rows × cols` DDot arrays over
+//! `wavelengths` WDM channels. This crate simulates it at two levels:
+//!
+//! * **Analytical** — [`scheduler`] tiles a GEMM onto the cores and counts
+//!   cycles, conversions, ADC samples and memory traffic;
+//! * **Functional** — [`functional`] additionally pushes real numbers
+//!   through the converter models ([`pdac_core::MzmDriver`]) and the
+//!   photonic [`pdac_photonics::DDotUnit`], with per-cycle ADC
+//!   requantization of partial products, producing actual output matrices
+//!   whose error reflects the chosen drive path.
+//!
+//! [`memory`] models the M1/M2 SRAM hierarchy and DRAM streaming with
+//! byte-level counters, and [`stats`] integrates counts into energy via
+//! the `pdac-power` models.
+//!
+//! # Examples
+//!
+//! ```
+//! use pdac_accel::config::AccelConfig;
+//! use pdac_accel::functional::FunctionalGemm;
+//! use pdac_math::Mat;
+//!
+//! let config = AccelConfig::lt_b_pdac(8)?;
+//! let engine = FunctionalGemm::new(config)?;
+//! let a = Mat::from_fn(4, 16, |r, c| ((r + c) as f64 / 20.0) - 0.4);
+//! let b = Mat::from_fn(16, 4, |r, c| ((r * c % 7) as f64 / 7.0) - 0.5);
+//! let result = engine.execute(&a, &b)?;
+//! let exact = a.matmul(&b)?;
+//! assert!(result.output.distance(&exact) < 1.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod backend;
+pub mod config;
+pub mod dptc;
+pub mod functional;
+pub mod memory;
+pub mod pipeline;
+pub mod roofline;
+pub mod scheduler;
+pub mod stats;
+pub mod workload_exec;
+
+pub use backend::AccelBackend;
+pub use config::{AccelConfig, DriverChoice};
+pub use functional::FunctionalGemm;
+pub use scheduler::{GemmShape, TilingPlan};
+pub use stats::RunStats;

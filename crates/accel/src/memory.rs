@@ -1,0 +1,207 @@
+//! Memory hierarchy model.
+//!
+//! The paper's Fig. 6 shows operands propagating from a shared M2 SRAM
+//! over optical links to the cores' local M1 buffers. This module models
+//! that hierarchy with byte-level counters:
+//!
+//! * **DRAM** — off-chip weight streaming (the FFN's dominant traffic),
+//! * **M2** — shared on-chip SRAM, filled from DRAM, broadcast to cores,
+//! * **M1** — per-core operand buffers feeding the modulator banks.
+//!
+//! Counters feed the energy integration in [`crate::stats`].
+
+use std::fmt;
+
+/// Byte-level traffic counters for one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficCounters {
+    /// Bytes read from DRAM.
+    pub dram_read: u64,
+    /// Bytes written back to DRAM.
+    pub dram_write: u64,
+    /// Bytes read from the shared M2 SRAM.
+    pub m2_read: u64,
+    /// Bytes written to the shared M2 SRAM.
+    pub m2_write: u64,
+    /// Bytes read from per-core M1 buffers.
+    pub m1_read: u64,
+    /// Bytes written to per-core M1 buffers.
+    pub m1_write: u64,
+}
+
+impl TrafficCounters {
+    /// Total bytes that crossed any level.
+    pub fn total(&self) -> u64 {
+        self.dram_read
+            + self.dram_write
+            + self.m2_read
+            + self.m2_write
+            + self.m1_read
+            + self.m1_write
+    }
+
+    /// Off-chip bytes only.
+    pub fn dram_total(&self) -> u64 {
+        self.dram_read + self.dram_write
+    }
+}
+
+impl fmt::Display for TrafficCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DRAM {}/{} B, M2 {}/{} B, M1 {}/{} B (r/w)",
+            self.dram_read, self.dram_write, self.m2_read, self.m2_write, self.m1_read,
+            self.m1_write
+        )
+    }
+}
+
+/// Capacity configuration of the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryConfig {
+    /// Shared M2 SRAM capacity in bytes.
+    pub m2_bytes: u64,
+    /// Per-core M1 buffer capacity in bytes.
+    pub m1_bytes: u64,
+}
+
+impl MemoryConfig {
+    /// The LT-B-scale hierarchy: 4 MiB shared M2, 64 KiB per-core M1.
+    pub fn lt_b() -> Self {
+        Self { m2_bytes: 4 << 20, m1_bytes: 64 << 10 }
+    }
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        Self::lt_b()
+    }
+}
+
+/// The memory hierarchy simulator: routes tensor loads through the levels
+/// they fit in and counts traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryHierarchy {
+    config: MemoryConfig,
+    counters: TrafficCounters,
+}
+
+impl MemoryHierarchy {
+    /// Creates a hierarchy with the given capacities.
+    pub fn new(config: MemoryConfig) -> Self {
+        Self { config, counters: TrafficCounters::default() }
+    }
+
+    /// Current counters.
+    pub fn counters(&self) -> TrafficCounters {
+        self.counters
+    }
+
+    /// Capacity configuration.
+    pub fn config(&self) -> MemoryConfig {
+        self.config
+    }
+
+    /// Resets all counters.
+    pub fn reset(&mut self) {
+        self.counters = TrafficCounters::default();
+    }
+
+    /// Loads a weight tensor of `bytes` for one use. Weights resident in
+    /// M2 hit on-chip; larger tensors stream from DRAM (the FFN case).
+    /// Returns `true` when the load stayed on-chip.
+    pub fn load_weights(&mut self, bytes: u64) -> bool {
+        if bytes <= self.config.m2_bytes {
+            self.counters.m2_read += bytes;
+            self.counters.m1_write += bytes;
+            self.counters.m1_read += bytes;
+            true
+        } else {
+            self.counters.dram_read += bytes;
+            self.counters.m2_write += bytes;
+            self.counters.m2_read += bytes;
+            self.counters.m1_write += bytes;
+            self.counters.m1_read += bytes;
+            false
+        }
+    }
+
+    /// Loads an activation tensor (always on-chip: activations are
+    /// produced and consumed between layers).
+    pub fn load_activations(&mut self, bytes: u64) {
+        self.counters.m2_read += bytes;
+        self.counters.m1_write += bytes;
+        self.counters.m1_read += bytes;
+    }
+
+    /// Stores a result tensor back to M2.
+    pub fn store_results(&mut self, bytes: u64) {
+        self.counters.m1_write += bytes;
+        self.counters.m2_write += bytes;
+    }
+}
+
+impl Default for MemoryHierarchy {
+    fn default() -> Self {
+        Self::new(MemoryConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_weights_stay_on_chip() {
+        let mut mem = MemoryHierarchy::default();
+        assert!(mem.load_weights(1 << 20));
+        assert_eq!(mem.counters().dram_read, 0);
+        assert_eq!(mem.counters().m2_read, 1 << 20);
+    }
+
+    #[test]
+    fn large_weights_stream_from_dram() {
+        let mut mem = MemoryHierarchy::default();
+        let big = 8 << 20; // 8 MiB > 4 MiB M2
+        assert!(!mem.load_weights(big));
+        assert_eq!(mem.counters().dram_read, big);
+    }
+
+    #[test]
+    fn activation_round_trip() {
+        let mut mem = MemoryHierarchy::default();
+        mem.load_activations(1000);
+        mem.store_results(500);
+        let c = mem.counters();
+        assert_eq!(c.m1_read, 1000);
+        assert_eq!(c.m1_write, 1500);
+        assert_eq!(c.m2_write, 500);
+        assert_eq!(c.dram_total(), 0);
+    }
+
+    #[test]
+    fn totals_sum_all_levels() {
+        let mut mem = MemoryHierarchy::default();
+        mem.load_activations(10);
+        let c = mem.counters();
+        assert_eq!(c.total(), 30);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut mem = MemoryHierarchy::default();
+        mem.load_weights(100);
+        mem.reset();
+        assert_eq!(mem.counters(), TrafficCounters::default());
+    }
+
+    #[test]
+    fn display_format() {
+        let mut mem = MemoryHierarchy::default();
+        mem.load_activations(5);
+        let s = mem.counters().to_string();
+        assert!(s.contains("DRAM"));
+        assert!(s.contains("M1"));
+    }
+}

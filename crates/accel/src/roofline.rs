@@ -1,0 +1,186 @@
+//! Roofline analysis: when is the accelerator compute-bound?
+//!
+//! The paper's Fig. 11 is explicitly "a fully compute-bound scenario
+//! where hardware performance is not limited by memory bandwidth", and
+//! its outlook anticipates "scenarios with sufficient memory bandwidth
+//! in the future". This module supplies the other half: a roofline model
+//! that takes a workload's arithmetic intensity and the memory system's
+//! bandwidths and decides which regime the accelerator runs in, how long
+//! a workload actually takes, and what utilization the optics achieve —
+//! feeding [`crate::stats`]-style energy integration at realistic duty
+//! cycles via `PowerModel::breakdown_at_utilization`.
+
+use pdac_power::ArchConfig;
+
+/// Memory-system bandwidths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthModel {
+    /// Off-chip DRAM bandwidth, bytes/second.
+    pub dram_bytes_per_s: f64,
+    /// On-chip SRAM bandwidth, bytes/second.
+    pub sram_bytes_per_s: f64,
+}
+
+impl BandwidthModel {
+    /// An HBM2e-class stack next to a wide on-chip SRAM: 400 GB/s DRAM,
+    /// 4 TB/s SRAM.
+    pub fn hbm_class() -> Self {
+        Self { dram_bytes_per_s: 400e9, sram_bytes_per_s: 4e12 }
+    }
+
+    /// A DDR4-class interface: 50 GB/s DRAM, 2 TB/s SRAM — roughly the
+    /// regime in which the paper's workload numbers live.
+    pub fn ddr_class() -> Self {
+        Self { dram_bytes_per_s: 50e9, sram_bytes_per_s: 2e12 }
+    }
+}
+
+/// Which resource limits a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Regime {
+    /// The photonic cores are the bottleneck.
+    ComputeBound,
+    /// DRAM streaming is the bottleneck.
+    DramBound,
+    /// On-chip SRAM is the bottleneck.
+    SramBound,
+}
+
+impl std::fmt::Display for Regime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Regime::ComputeBound => f.write_str("compute-bound"),
+            Regime::DramBound => f.write_str("DRAM-bound"),
+            Regime::SramBound => f.write_str("SRAM-bound"),
+        }
+    }
+}
+
+/// Roofline verdict for one workload phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RooflinePoint {
+    /// Limiting resource.
+    pub regime: Regime,
+    /// Phase latency in seconds (max over resource times).
+    pub latency_s: f64,
+    /// Achieved fraction of peak compute throughput.
+    pub compute_utilization: f64,
+}
+
+/// Evaluates a phase of `macs` multiply-accumulates moving `dram_bytes`
+/// off-chip and `sram_bytes` on-chip, on `arch` with `bandwidth`.
+///
+/// # Panics
+///
+/// Panics if every activity count is zero.
+pub fn analyze(
+    arch: &ArchConfig,
+    bandwidth: &BandwidthModel,
+    macs: u64,
+    dram_bytes: u64,
+    sram_bytes: u64,
+) -> RooflinePoint {
+    assert!(
+        macs > 0 || dram_bytes > 0 || sram_bytes > 0,
+        "phase must do something"
+    );
+    let t_compute = macs as f64 / arch.peak_macs_per_second();
+    let t_dram = dram_bytes as f64 / bandwidth.dram_bytes_per_s;
+    let t_sram = sram_bytes as f64 / bandwidth.sram_bytes_per_s;
+    let latency_s = t_compute.max(t_dram).max(t_sram);
+    let regime = if latency_s == t_compute {
+        Regime::ComputeBound
+    } else if latency_s == t_dram {
+        Regime::DramBound
+    } else {
+        Regime::SramBound
+    };
+    RooflinePoint {
+        regime,
+        latency_s,
+        compute_utilization: if latency_s > 0.0 { t_compute / latency_s } else { 0.0 },
+    }
+}
+
+/// The arithmetic intensity (MAC/byte of DRAM traffic) at which the
+/// machine transitions from DRAM-bound to compute-bound.
+pub fn ridge_intensity(arch: &ArchConfig, bandwidth: &BandwidthModel) -> f64 {
+    arch.peak_macs_per_second() / bandwidth.dram_bytes_per_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arch() -> ArchConfig {
+        ArchConfig::lt_b()
+    }
+
+    #[test]
+    fn pure_compute_phase_is_compute_bound() {
+        let p = analyze(&arch(), &BandwidthModel::hbm_class(), 1_000_000_000, 0, 0);
+        assert_eq!(p.regime, Regime::ComputeBound);
+        assert!((p.compute_utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_streaming_phase_is_dram_bound() {
+        // Decode-like: few MACs, heavy DRAM traffic.
+        let p = analyze(&arch(), &BandwidthModel::ddr_class(), 7_000_000, 7_000_000, 0);
+        assert_eq!(p.regime, Regime::DramBound);
+        assert!(p.compute_utilization < 0.01, "{}", p.compute_utilization);
+    }
+
+    #[test]
+    fn ridge_point_for_lt_b() {
+        // 20.48 TMAC/s over 400 GB/s = 51.2 MAC/B.
+        let ridge = ridge_intensity(&arch(), &BandwidthModel::hbm_class());
+        assert!((ridge - 51.2).abs() < 0.1, "{ridge}");
+    }
+
+    #[test]
+    fn bert_prefill_is_compute_bound_on_hbm() {
+        use pdac_nn::config::TransformerConfig;
+        use pdac_nn::generative::arithmetic_intensity;
+        use pdac_nn::workload::op_trace;
+        let trace = op_trace(&TransformerConfig::bert_base());
+        // Prefill intensity (~105 MAC/B) clears the HBM ridge (~51).
+        assert!(arithmetic_intensity(&trace) > ridge_intensity(&arch(), &BandwidthModel::hbm_class()));
+        let macs = trace.total_macs();
+        let bytes: u64 = trace.entries.iter().map(|e| e.bytes_at_8bit).sum();
+        let p = analyze(&arch(), &BandwidthModel::hbm_class(), macs, bytes, 0);
+        assert_eq!(p.regime, Regime::ComputeBound);
+    }
+
+    #[test]
+    fn decode_is_dram_bound_even_on_hbm() {
+        use pdac_nn::config::TransformerConfig;
+        use pdac_nn::generative::decode_trace;
+        let trace = decode_trace(&TransformerConfig::bert_base(), 512, 8);
+        let macs = trace.total_macs();
+        let bytes: u64 = trace.entries.iter().map(|e| e.bytes_at_8bit).sum();
+        let p = analyze(&arch(), &BandwidthModel::hbm_class(), macs, bytes, 0);
+        assert_eq!(p.regime, Regime::DramBound);
+    }
+
+    #[test]
+    fn latency_is_max_of_resource_times() {
+        let bw = BandwidthModel { dram_bytes_per_s: 1e9, sram_bytes_per_s: 1e10 };
+        let p = analyze(&arch(), &bw, 0, 1_000_000_000, 0);
+        assert!((p.latency_s - 1.0).abs() < 1e-12);
+        let p2 = analyze(&arch(), &bw, 0, 0, 10_000_000_000);
+        assert_eq!(p2.regime, Regime::SramBound);
+        assert!((p2.latency_s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regime_display() {
+        assert_eq!(Regime::DramBound.to_string(), "DRAM-bound");
+    }
+
+    #[test]
+    #[should_panic(expected = "must do something")]
+    fn empty_phase_rejected() {
+        analyze(&arch(), &BandwidthModel::hbm_class(), 0, 0, 0);
+    }
+}

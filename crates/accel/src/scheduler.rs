@@ -1,0 +1,193 @@
+//! GEMM tiling and cycle accounting.
+//!
+//! A DPTC core consumes an `rows × λ` operand tile and a `λ × cols` tile
+//! per cycle. A full `M × K × N` GEMM therefore decomposes into
+//! `⌈M/rows⌉ · ⌈N/cols⌉ · ⌈K/λ⌉` core-cycles, distributed round-robin
+//! over the cores. The plan also counts converter activations (every
+//! operand element of every consumed tile is re-modulated each cycle —
+//! the "dynamic operation" that makes DAC power so prominent) and ADC
+//! samples (one per DDot output per cycle).
+
+use pdac_power::ArchConfig;
+use std::fmt;
+
+/// The shape of a GEMM: `(m × k) · (k × n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmShape {
+    /// Output rows.
+    pub m: usize,
+    /// Inner (contraction) dimension.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+}
+
+impl GemmShape {
+    /// Creates a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(m: usize, k: usize, n: usize) -> Self {
+        assert!(m > 0 && k > 0 && n > 0, "GEMM dimensions must be nonzero");
+        Self { m, k, n }
+    }
+
+    /// Total multiply-accumulates.
+    pub fn macs(&self) -> u64 {
+        self.m as u64 * self.k as u64 * self.n as u64
+    }
+}
+
+impl fmt::Display for GemmShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.m, self.k, self.n)
+    }
+}
+
+/// A tiling of one GEMM onto the accelerator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TilingPlan {
+    /// The GEMM shape.
+    pub shape: GemmShape,
+    /// Tiles along M.
+    pub m_tiles: usize,
+    /// Tiles along N.
+    pub n_tiles: usize,
+    /// Chunks along K (wavelength dimension).
+    pub k_chunks: usize,
+    /// Core-cycles of work (before distribution over cores).
+    pub core_cycles: u64,
+    /// Wall-clock cycles with round-robin core distribution.
+    pub cycles: u64,
+    /// Converter activations (operand elements modulated).
+    pub conversions: u64,
+    /// ADC samples taken.
+    pub adc_samples: u64,
+}
+
+impl TilingPlan {
+    /// Plans `shape` onto `arch`.
+    pub fn plan(shape: GemmShape, arch: &ArchConfig) -> Self {
+        let m_tiles = shape.m.div_ceil(arch.rows);
+        let n_tiles = shape.n.div_ceil(arch.cols);
+        let k_chunks = shape.k.div_ceil(arch.wavelengths);
+        let core_cycles = (m_tiles * n_tiles * k_chunks) as u64;
+        let cycles = core_cycles.div_ceil(arch.cores as u64);
+        // Per core-cycle: the row bank modulates rows·λ elements, the
+        // column bank cols·λ.
+        let conversions =
+            core_cycles * ((arch.rows + arch.cols) * arch.wavelengths) as u64;
+        let adc_samples = core_cycles * (arch.rows * arch.cols) as u64;
+        Self {
+            shape,
+            m_tiles,
+            n_tiles,
+            k_chunks,
+            core_cycles,
+            cycles,
+            conversions,
+            adc_samples,
+        }
+    }
+
+    /// Fraction of peak MAC throughput this plan achieves (padding waste
+    /// from partial tiles lowers it below 1).
+    pub fn utilization(&self, arch: &ArchConfig) -> f64 {
+        let issued = self.core_cycles as f64 * arch.macs_per_cycle() as f64
+            / arch.cores as f64;
+        self.shape.macs() as f64 / issued
+    }
+
+    /// Execution time in seconds at the architecture's clock.
+    pub fn runtime_s(&self, arch: &ArchConfig) -> f64 {
+        self.cycles as f64 / arch.clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arch() -> ArchConfig {
+        ArchConfig::lt_b()
+    }
+
+    #[test]
+    fn exact_fit_tiling() {
+        // 64×64×64 on 8×8 arrays with 8 λ: 8·8·8 = 512 core-cycles.
+        let p = TilingPlan::plan(GemmShape::new(64, 64, 64), &arch());
+        assert_eq!(p.m_tiles, 8);
+        assert_eq!(p.n_tiles, 8);
+        assert_eq!(p.k_chunks, 8);
+        assert_eq!(p.core_cycles, 512);
+        assert_eq!(p.cycles, 64); // 512 / 8 cores
+        assert!((p.utilization(&arch()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_tiles_round_up() {
+        let p = TilingPlan::plan(GemmShape::new(9, 9, 9), &arch());
+        assert_eq!(p.m_tiles, 2);
+        assert_eq!(p.n_tiles, 2);
+        assert_eq!(p.k_chunks, 2);
+        assert!(p.utilization(&arch()) < 0.2); // heavy padding waste
+    }
+
+    #[test]
+    fn single_element_gemm() {
+        let p = TilingPlan::plan(GemmShape::new(1, 1, 1), &arch());
+        assert_eq!(p.core_cycles, 1);
+        assert_eq!(p.cycles, 1);
+        assert_eq!(p.shape.macs(), 1);
+    }
+
+    #[test]
+    fn conversion_and_adc_counts() {
+        let a = arch();
+        let p = TilingPlan::plan(GemmShape::new(8, 8, 8), &a);
+        assert_eq!(p.core_cycles, 1);
+        // One cycle: (8+8)·8 = 128 modulations, 64 ADC samples.
+        assert_eq!(p.conversions, 128);
+        assert_eq!(p.adc_samples, 64);
+    }
+
+    #[test]
+    fn cycles_scale_inverse_with_cores() {
+        let mut half = arch();
+        half.cores = 4;
+        let shape = GemmShape::new(128, 128, 128);
+        let p8 = TilingPlan::plan(shape, &arch());
+        let p4 = TilingPlan::plan(shape, &half);
+        assert_eq!(p4.cycles, 2 * p8.cycles);
+        assert_eq!(p4.core_cycles, p8.core_cycles);
+    }
+
+    #[test]
+    fn bert_projection_layer_plan() {
+        // A 128×768×768 projection: ceil(128/8)=16, ceil(768/8)=96 tiles,
+        // ceil(768/8)=96 chunks.
+        let p = TilingPlan::plan(GemmShape::new(128, 768, 768), &arch());
+        assert_eq!(p.core_cycles, 16 * 96 * 96);
+        assert!((p.utilization(&arch()) - 1.0).abs() < 1e-12);
+        let t = p.runtime_s(&arch());
+        assert!((t - p.cycles as f64 / 5e9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn macs_overflow_safety() {
+        let s = GemmShape::new(100_000, 100_000, 100_000);
+        assert_eq!(s.macs(), 1_000_000_000_000_000);
+    }
+
+    #[test]
+    fn display_shape() {
+        assert_eq!(GemmShape::new(2, 3, 4).to_string(), "2x3x4");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dim_rejected() {
+        GemmShape::new(0, 1, 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the accelerator simulator.
+
+use pdac_accel::config::{AccelConfig, DriverChoice};
+use pdac_accel::functional::FunctionalGemm;
+use pdac_accel::memory::{MemoryConfig, MemoryHierarchy};
+use pdac_accel::scheduler::{GemmShape, TilingPlan};
+use pdac_math::Mat;
+use pdac_power::ArchConfig;
+use proptest::prelude::*;
+
+fn arch_strategy() -> impl Strategy<Value = ArchConfig> {
+    (1usize..8, 1usize..8, 1usize..8, 1usize..8).prop_map(|(cores, rows, cols, wl)| ArchConfig {
+        cores,
+        rows,
+        cols,
+        wavelengths: wl,
+        clock_hz: 5e9,
+    })
+}
+
+proptest! {
+    #[test]
+    fn plan_covers_all_macs(
+        arch in arch_strategy(),
+        m in 1usize..64, k in 1usize..64, n in 1usize..64,
+    ) {
+        let shape = GemmShape::new(m, k, n);
+        let plan = TilingPlan::plan(shape, &arch);
+        // Issued MAC capacity always covers the useful MACs.
+        let issued = plan.core_cycles
+            * (arch.rows * arch.cols * arch.wavelengths) as u64;
+        prop_assert!(issued >= shape.macs());
+        // Utilization in (0, 1].
+        let u = plan.utilization(&arch);
+        prop_assert!(u > 0.0 && u <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn wall_clock_cycles_bounded(
+        arch in arch_strategy(),
+        m in 1usize..64, k in 1usize..64, n in 1usize..64,
+    ) {
+        let plan = TilingPlan::plan(GemmShape::new(m, k, n), &arch);
+        prop_assert!(plan.cycles <= plan.core_cycles);
+        prop_assert!(plan.cycles * arch.cores as u64 >= plan.core_cycles);
+    }
+
+    #[test]
+    fn exact_fit_has_full_utilization(
+        arch in arch_strategy(),
+        mt in 1usize..4, kt in 1usize..4, nt in 1usize..4,
+    ) {
+        let shape = GemmShape::new(mt * arch.rows, kt * arch.wavelengths, nt * arch.cols);
+        let plan = TilingPlan::plan(shape, &arch);
+        prop_assert!((plan.utilization(&arch) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn functional_output_tracks_exact(
+        vals in prop::collection::vec(-1.0f64..1.0, 24),
+    ) {
+        let a = Mat::from_rows(4, 6, vals.clone()).unwrap();
+        let b = Mat::from_rows(6, 4, vals.iter().rev().cloned().collect()).unwrap();
+        let arch = ArchConfig { cores: 2, rows: 2, cols: 2, wavelengths: 4, clock_hz: 5e9 };
+        let engine = FunctionalGemm::new(
+            AccelConfig::new(arch, 8, DriverChoice::ElectricalDac).unwrap(),
+        )
+        .unwrap();
+        let run = engine.execute(&a, &b).unwrap();
+        let exact = a.matmul(&b).unwrap();
+        let scale = exact.distance(&Mat::zeros(4, 4)).max(0.25);
+        prop_assert!(run.output.distance(&exact) / scale < 0.2);
+    }
+
+    #[test]
+    fn memory_counters_are_additive(bytes in prop::collection::vec(1u64..1_000_000, 1..8)) {
+        let mut one = MemoryHierarchy::new(MemoryConfig::lt_b());
+        let mut total = 0u64;
+        for &b in &bytes {
+            one.load_activations(b);
+            total += 3 * b; // m2 read + m1 write + m1 read
+        }
+        prop_assert_eq!(one.counters().total(), total);
+    }
+
+    #[test]
+    fn weight_routing_depends_only_on_size(sz in 1u64..(32 << 20)) {
+        let mut mem = MemoryHierarchy::new(MemoryConfig::lt_b());
+        let on_chip = mem.load_weights(sz);
+        prop_assert_eq!(on_chip, sz <= MemoryConfig::lt_b().m2_bytes);
+        prop_assert_eq!(mem.counters().dram_read > 0, !on_chip);
+    }
+}

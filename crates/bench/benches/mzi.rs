@@ -1,0 +1,41 @@
+//! Criterion benches of the MZI-mesh baseline: SVD, mesh programming and
+//! application — the offline-mapping cost the paper contrasts with
+//! dynamic operation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdac_math::svd::svd;
+use pdac_math::Mat;
+use pdac_photonics::mzi_mesh::{MziMesh, MziMeshPtc};
+
+fn seeded_matrix(n: usize, seed: u64) -> Mat {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    Mat::from_fn(n, n, |_, _| {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    })
+}
+
+fn bench_mzi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mzi");
+    for n in [8usize, 12, 24] {
+        let w = seeded_matrix(n, n as u64);
+        group.bench_with_input(BenchmarkId::new("svd", n), &n, |b, _| {
+            b.iter(|| svd(black_box(&w)))
+        });
+        group.bench_with_input(BenchmarkId::new("program_ptc", n), &n, |b, _| {
+            b.iter(|| MziMeshPtc::program(black_box(&w)).unwrap())
+        });
+        let q = svd(&w).u;
+        let mesh = MziMesh::from_orthogonal(&q).unwrap();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64) / n as f64 - 0.5).collect();
+        group.bench_with_input(BenchmarkId::new("mesh_apply", n), &n, |b, _| {
+            b.iter(|| mesh.apply(black_box(&x)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mzi);
+criterion_main!(benches);

@@ -1,0 +1,201 @@
+//! Ablation studies extending the paper's evaluation.
+//!
+//! * [`k_sweep`] — the Eq. 17 objective and worst-case error as a
+//!   function of the breakpoint `k`, exposing why 0.7236 is optimal;
+//! * [`bit_sweep`] — power savings across bit widths 2..=12,
+//!   generalizing the paper's 4/8-bit points and locating where the DAC
+//!   overtakes every other component;
+//! * [`approx_ladder`] — reconstruction error versus number of Taylor
+//!   terms (what a hypothetical higher-order photonic decomposition
+//!   would buy).
+
+use crate::lt_b_models;
+use pdac_core::approx::{integrated_error_objective, ArccosApprox};
+use pdac_math::series::series_reconstruction_error;
+use pdac_power::model::power_saving;
+use pdac_power::Component;
+
+/// One row of the k-sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KSweepPoint {
+    /// Candidate breakpoint.
+    pub k: f64,
+    /// Eq. 17 integrated relative error.
+    pub objective: f64,
+    /// Worst-case reconstruction error of the resulting Eq. 18 form.
+    pub max_error: f64,
+}
+
+/// Sweeps the breakpoint over `(0, 1)` with `n` interior points.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn k_sweep(n: usize) -> Vec<KSweepPoint> {
+    assert!(n >= 2, "need at least two sweep points");
+    (1..=n)
+        .map(|i| {
+            let k = i as f64 / (n + 1) as f64;
+            let approx = ArccosApprox::three_segment(k);
+            KSweepPoint {
+                k,
+                objective: integrated_error_objective(k),
+                max_error: approx.max_reconstruction_error(4001).0,
+            }
+        })
+        .collect()
+}
+
+/// Renders the k-sweep as a text report with the optimum marked.
+pub fn k_sweep_report(n: usize) -> String {
+    let points = k_sweep(n);
+    let best = points
+        .iter()
+        .min_by(|a, b| a.objective.partial_cmp(&b.objective).expect("finite"))
+        .expect("nonempty sweep");
+    let mut out = String::from(
+        "Ablation — breakpoint sweep for Eq. 17\n======================================\n\
+         \n    k       objective   max.err%\n",
+    );
+    for p in &points {
+        let marker = if (p.k - best.k).abs() < 1e-12 { "  <-- minimum" } else { "" };
+        out.push_str(&format!(
+            "  {:.3}   {:9.5}   {:7.2}{marker}\n",
+            p.k,
+            p.objective,
+            100.0 * p.max_error
+        ));
+    }
+    out.push_str(&format!(
+        "\nsweep minimum near k = {:.3}; exact solver: k = {:.4} (paper: 0.7236)\n",
+        best.k,
+        pdac_core::approx::solve_optimal_breakpoint(1e-7)
+    ));
+    out
+}
+
+/// One row of the bit sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BitSweepPoint {
+    /// Bit precision.
+    pub bits: u8,
+    /// Baseline total watts.
+    pub baseline_watts: f64,
+    /// P-DAC design total watts.
+    pub pdac_watts: f64,
+    /// Fractional saving.
+    pub saving: f64,
+    /// DAC share of the baseline.
+    pub dac_share: f64,
+}
+
+/// Sweeps bit widths `2..=12` on LT-B.
+pub fn bit_sweep() -> Vec<BitSweepPoint> {
+    let (baseline, pdac) = lt_b_models();
+    (2u8..=12)
+        .map(|bits| {
+            let b = baseline.breakdown(bits);
+            BitSweepPoint {
+                bits,
+                baseline_watts: b.total_watts(),
+                pdac_watts: pdac.breakdown(bits).total_watts(),
+                saving: power_saving(&baseline, &pdac, bits),
+                dac_share: b.share(Component::Dac),
+            }
+        })
+        .collect()
+}
+
+/// Renders the bit sweep as a text report.
+pub fn bit_sweep_report() -> String {
+    let mut out = String::from(
+        "Ablation — precision sweep on LT-B\n==================================\n\
+         \n  bits   baseline W   P-DAC W   saving%   DAC share%\n",
+    );
+    for p in bit_sweep() {
+        out.push_str(&format!(
+            "  {:>4}   {:>10.2}   {:>7.2}   {:>7.1}   {:>10.1}\n",
+            p.bits,
+            p.baseline_watts,
+            p.pdac_watts,
+            100.0 * p.saving,
+            100.0 * p.dac_share
+        ));
+    }
+    out
+}
+
+/// Reconstruction error versus Taylor-series order (1 term = Eq. 15).
+pub fn approx_ladder(max_terms: usize) -> Vec<(usize, f64)> {
+    (1..=max_terms)
+        .map(|t| (t, series_reconstruction_error(t, 4000)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_sweep_minimum_near_paper_value() {
+        let points = k_sweep(39); // k = 0.025 .. 0.975
+        let best = points
+            .iter()
+            .min_by(|a, b| a.objective.partial_cmp(&b.objective).unwrap())
+            .unwrap();
+        assert!((best.k - 0.7236).abs() < 0.05, "best k = {}", best.k);
+    }
+
+    #[test]
+    fn k_sweep_objective_is_unimodal_enough() {
+        let points = k_sweep(19);
+        // Ends are worse than the interior minimum.
+        let min = points.iter().map(|p| p.objective).fold(f64::INFINITY, f64::min);
+        assert!(points[0].objective > min);
+        assert!(points.last().unwrap().objective > min);
+    }
+
+    #[test]
+    fn bit_sweep_saving_grows_beyond_4_bits() {
+        // Below 4 bits the fixed controller/driver savings dominate and
+        // the curve is flat; from 4 bits on, the DAC's exponential term
+        // drives strictly growing savings.
+        let sweep = bit_sweep();
+        for pair in sweep.windows(2) {
+            assert!(pair[1].dac_share > pair[0].dac_share);
+            if pair[0].bits >= 4 {
+                assert!(
+                    pair[1].saving > pair[0].saving,
+                    "saving at {} bits not above {} bits",
+                    pair[1].bits,
+                    pair[0].bits
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dac_becomes_majority_beyond_8_bits() {
+        let sweep = bit_sweep();
+        let p8 = sweep.iter().find(|p| p.bits == 8).unwrap();
+        assert!(p8.dac_share > 0.5);
+        let p4 = sweep.iter().find(|p| p.bits == 4).unwrap();
+        assert!(p4.dac_share < 0.25);
+    }
+
+    #[test]
+    fn approx_ladder_decreases() {
+        let ladder = approx_ladder(6);
+        for pair in ladder.windows(2) {
+            assert!(pair[1].1 <= pair[0].1 + 1e-12);
+        }
+        // First rung is the paper's 15.9%.
+        assert!((ladder[0].1 - 0.159).abs() < 3e-3);
+    }
+
+    #[test]
+    fn reports_render() {
+        assert!(k_sweep_report(9).contains("minimum"));
+        assert!(bit_sweep_report().contains("DAC share"));
+    }
+}

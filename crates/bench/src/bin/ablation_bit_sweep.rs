@@ -1,0 +1,4 @@
+//! Ablation: power savings across bit precisions (extends Figs. 5/11).
+fn main() {
+    print!("{}", pdac_bench::ablations::bit_sweep_report());
+}

@@ -1,0 +1,4 @@
+//! Ablation: Eq. 17 objective across breakpoints k (extends Fig. 8).
+fn main() {
+    print!("{}", pdac_bench::ablations::k_sweep_report(39));
+}

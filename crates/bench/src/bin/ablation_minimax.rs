@@ -1,0 +1,34 @@
+//! Extension: minimax-trimmed three-segment design vs the paper's Eq. 18.
+//!
+//! Same hardware (one comparator, two TIA banks, sign mirror), segment
+//! coefficients optimized directly for reconstruction error.
+use pdac_core::minimax::{minimax_three_segment, ThreeSegmentParams};
+
+fn main() {
+    let paper = ThreeSegmentParams::paper();
+    let trimmed = minimax_three_segment(3);
+    println!("Minimax trimming of the three-segment P-DAC drive");
+    println!("=================================================\n");
+    println!("            k        a_mid     a_end     worst err%");
+    println!(
+        "  paper   {:.4}   {:+.4}   {:+.4}   {:>8.2}",
+        paper.k,
+        paper.a_mid,
+        paper.a_end,
+        100.0 * paper.objective(40_001)
+    );
+    println!(
+        "  minimax {:.4}   {:+.4}   {:+.4}   {:>8.2}",
+        trimmed.k,
+        trimmed.a_mid,
+        trimmed.a_end,
+        100.0 * trimmed.objective(40_001)
+    );
+    println!(
+        "\nOptimizing the segments for the *reconstructed value* rather than\n\
+         for arccos in drive space roughly halves the worst-case error at\n\
+         identical hardware cost (the middle segment equioscillates: slope\n\
+         slightly steeper than 1 so the error balances ± instead of\n\
+         accumulating one-sided)."
+    );
+}

@@ -1,0 +1,15 @@
+//! Extension: teacher-task accuracy vs bit precision per converter —
+//! the quantified form of the paper's "LLMs tolerate minor inaccuracies".
+use pdac_nn::accuracy::accuracy_curve;
+use pdac_nn::config::TransformerConfig;
+
+fn main() {
+    println!("Teacher-task accuracy vs precision (agreement with exact model)");
+    println!("================================================================\n");
+    println!("(tiny encoder, 16 classes, 20 seeded inputs per cell)\n");
+    let points = accuracy_curve(TransformerConfig::tiny(), &[3, 4, 6, 8], 20, 11);
+    println!("  converter            bits   accuracy%");
+    for p in &points {
+        println!("  {:<19} {:>4}   {:>8.0}", p.converter, p.bits, 100.0 * p.accuracy);
+    }
+}

@@ -1,0 +1,4 @@
+//! Extension: architecture-scaling study (LT-S / LT-B / LT-L).
+fn main() {
+    print!("{}", pdac_bench::scaling::report());
+}

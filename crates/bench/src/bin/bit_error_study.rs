@@ -1,0 +1,4 @@
+//! Extension: optical-link bit errors compounding with the analog budget.
+fn main() {
+    print!("{}", pdac_bench::bit_error::report());
+}

@@ -1,0 +1,4 @@
+//! Extension: WDM interconnect crosstalk vs DDot accuracy.
+fn main() {
+    print!("{}", pdac_bench::crosstalk::report());
+}

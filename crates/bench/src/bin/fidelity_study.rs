@@ -1,0 +1,6 @@
+//! Fidelity study: transformer output quality under P-DAC analog error.
+fn main() {
+    print!("{}", pdac_bench::fidelity::report(&[4, 8], 8));
+    println!();
+    print!("{}", pdac_bench::fidelity::variants_report(6));
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 11: compute-bound power, baseline vs P-DAC.
+fn main() {
+    print!("{}", pdac_bench::fig11::report());
+}

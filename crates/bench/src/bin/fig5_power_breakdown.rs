@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 5: power breakdown of baseline LT-B.
+fn main() {
+    print!("{}", pdac_bench::fig5::report());
+}

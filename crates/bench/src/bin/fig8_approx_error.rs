@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 8: f(r) vs arccos(r) with the error profile.
+fn main() {
+    print!("{}", pdac_bench::fig8::report(41));
+}

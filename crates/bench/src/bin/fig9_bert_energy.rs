@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 9: BERT-base energy breakdown, DAC vs P-DAC.
+fn main() {
+    print!("{}", pdac_bench::fig9_10::report_bert());
+}

@@ -1,0 +1,4 @@
+//! Extension: P-DAC savings during KV-cache generative decoding.
+fn main() {
+    print!("{}", pdac_bench::generative::report());
+}

@@ -1,0 +1,4 @@
+//! Extension: the hybrid (P-DAC rows / e-DAC columns) design point.
+fn main() {
+    print!("{}", pdac_bench::hybrid::report(8));
+}

@@ -1,0 +1,16 @@
+//! Writes every figure report and CSV table to a directory
+//! (default `figures/`).
+use std::path::PathBuf;
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("figures"), PathBuf::from);
+    match pdac_bench::artifacts::write_all(&dir) {
+        Ok(n) => println!("wrote {n} artifacts to {}", dir.display()),
+        Err(e) => {
+            eprintln!("failed to write artifacts: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! MZI-mesh PTC vs dynamic DDot operation (paper Sec. II-A3 contrast).
+fn main() {
+    print!("{}", pdac_bench::mzi_baseline::report());
+}

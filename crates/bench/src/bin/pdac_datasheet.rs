@@ -1,0 +1,10 @@
+//! Prints the hardware datasheet of the 8-bit and 4-bit P-DAC designs.
+use pdac_core::pdac::PDac;
+use pdac_core::spec::PDacSpec;
+
+fn main() {
+    for bits in [4u8, 8] {
+        let pdac = PDac::with_optimal_approx(bits).expect("valid bits");
+        println!("{}", PDacSpec::from_pdac(&pdac, 1e-3));
+    }
+}

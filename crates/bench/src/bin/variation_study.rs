@@ -1,0 +1,50 @@
+//! Extension: Monte-Carlo device-variation robustness of the P-DAC.
+use pdac_core::variation::{monte_carlo, VariationParams};
+
+fn main() {
+    println!("Monte-Carlo device variation — P-DAC worst-case error");
+    println!("=====================================================\n");
+    println!("(nominal worst case: 8.5%; 200 sampled device instances)\n");
+    println!("  sigma scale   mean worst%   min%    max%");
+    for scale in [0.0, 0.5, 1.0, 2.0, 4.0] {
+        let params = VariationParams::typical().scaled(scale);
+        let rep = monte_carlo(8, &params, 200, 99);
+        println!(
+            "  {:>11.1}   {:>10.2}   {:>5.2}   {:>5.2}",
+            scale,
+            100.0 * rep.mean_worst,
+            100.0 * rep.min_worst,
+            100.0 * rep.max_worst
+        );
+    }
+    println!(
+        "\n(scale 1.0 = typical foundry corner: 1% MZM splitting imbalance,\n\
+         0.5% TIA weight mismatch, 0.2% drive noise)"
+    );
+
+    // Post-fabrication trim: probe each bit, correct its TIA weight.
+    use pdac_core::variation::VariedPDac;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    println!("\npost-fab trim (40 instances at 4x the typical corner, no noise):");
+    let params = VariationParams {
+        mzm_imbalance_sigma: 0.0,
+        tia_weight_sigma: 0.02,
+        drive_noise_sigma: 0.0,
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut before = 0.0f64;
+    let mut after = 0.0f64;
+    let n = 40;
+    for _ in 0..n {
+        let mut device = VariedPDac::sample(8, &params, &mut rng);
+        before += device.worst_relative_error(0.05);
+        device.trim();
+        after += device.worst_relative_error(0.05);
+    }
+    println!(
+        "  mean worst error: {:.2}% before trim -> {:.2}% after (nominal 8.50%)",
+        100.0 * before / n as f64,
+        100.0 * after / n as f64
+    );
+}

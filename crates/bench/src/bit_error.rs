@@ -1,0 +1,123 @@
+//! Digital link-error extension: how optical bit errors compound with
+//! the P-DAC's analog approximation.
+//!
+//! The paper budgets only the analog arccos error (8.5%). But the
+//! optical *digital* word feeding the P-DAC crosses a real link first;
+//! at low SNR, slot flips corrupt codes before conversion — and a
+//! flipped MSB is catastrophic where the analog error is merely
+//! bounded. This study sweeps link SNR and reports the end-to-end
+//! conversion error, locating the SNR floor at which the digital link
+//! stops mattering relative to the 8.5% analog budget.
+
+use pdac_core::pdac::PDac;
+use pdac_core::MzmDriver;
+use pdac_math::stats::Summary;
+use pdac_photonics::ber::SlotReceiver;
+use pdac_photonics::eo_interface::OpticalWord;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One row of the SNR sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BitErrorRow {
+    /// Link SNR in dB.
+    pub snr_db: f64,
+    /// Analytic slot error rate.
+    pub slot_error_rate: f64,
+    /// Mean end-to-end |relative error| of converted values.
+    pub mean_error: f64,
+    /// Worst observed |relative error|.
+    pub worst_error: f64,
+}
+
+/// Sweeps link SNR, converting random codes through receive → P-DAC.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn sweep(snrs_db: &[f64], trials: usize) -> Vec<BitErrorRow> {
+    assert!(trials > 0, "need at least one trial");
+    let pdac = PDac::with_optimal_approx(8).expect("valid bits");
+    snrs_db
+        .iter()
+        .map(|&snr| {
+            let sigma = 1e-3 / 10f64.powf(snr / 20.0);
+            let rx = SlotReceiver::new(1e-3, sigma).expect("valid receiver");
+            let mut rng = StdRng::seed_from_u64(31_337);
+            let mut errors = Summary::new();
+            for _ in 0..trials {
+                let code = rng.gen_range(32..=127) * if rng.gen_bool(0.5) { 1 } else { -1 };
+                let ideal = code as f64 / 127.0;
+                let word = OpticalWord::encode(code, 8).expect("in range");
+                let received = rx.receive(&word, &mut rng);
+                let out = pdac.convert(received.decode());
+                errors.push(((out - ideal) / ideal).abs());
+            }
+            BitErrorRow {
+                snr_db: snr,
+                slot_error_rate: rx.slot_error_rate(),
+                mean_error: errors.mean().expect("nonempty"),
+                worst_error: errors.max().expect("nonempty"),
+            }
+        })
+        .collect()
+}
+
+/// Renders the study.
+pub fn report() -> String {
+    let rows = sweep(&[8.0, 12.0, 16.0, 20.0, 26.0], 4000);
+    let mut out = String::from(
+        "Digital link errors × P-DAC analog error (8-bit, |code| >= 32)\n\
+         ===============================================================\n\n\
+         SNR dB   slot BER     mean err%   worst err%\n",
+    );
+    for r in &rows {
+        out.push_str(&format!(
+            "  {:>5.0}   {:>9.2e}   {:>8.2}   {:>9.1}\n",
+            r.snr_db,
+            r.slot_error_rate,
+            100.0 * r.mean_error,
+            100.0 * r.worst_error
+        ));
+    }
+    out.push_str(
+        "\n(the analog budget alone gives mean ~4% / worst 8.5%; the link\n\
+         must reach roughly 20 dB before digital flips vanish beneath the\n\
+         analog floor — below that, MSB flips dominate with errors >100%)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_snr_converges_to_analog_floor() {
+        let rows = sweep(&[26.0], 2000);
+        // At Q(10) the link is error-free: only the 8.5%-bounded analog
+        // error remains.
+        assert!(rows[0].worst_error < 0.09, "{:?}", rows[0]);
+        assert!(rows[0].mean_error < 0.06);
+    }
+
+    #[test]
+    fn low_snr_blows_past_analog_budget() {
+        let rows = sweep(&[8.0], 2000);
+        assert!(rows[0].worst_error > 0.5, "{:?}", rows[0]);
+    }
+
+    #[test]
+    fn error_monotone_in_snr() {
+        let rows = sweep(&[10.0, 16.0, 24.0], 2000);
+        assert!(rows[0].mean_error > rows[1].mean_error);
+        assert!(rows[1].mean_error >= rows[2].mean_error);
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = report();
+        assert!(r.contains("slot BER"));
+        assert!(r.contains("analog"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Fig. 11: full compute-bound power comparison.
+//!
+//! Paper datapoints: P-DAC totals 11.81 W (4-bit) and 26.64 W (8-bit);
+//! reductions 19.9% and 47.7%; 8-bit P-DAC shares ADC 16.0% and
+//! P-DAC 20.1%; 4-bit laser share ≈ 46.5%.
+
+use crate::{lt_b_models, pct_row};
+use pdac_power::model::power_saving;
+use pdac_power::Component;
+
+/// Paper-reported P-DAC design totals: (bits, watts).
+pub const PAPER_TOTALS: [(u8, f64); 2] = [(4, 11.81), (8, 26.64)];
+/// Paper-reported savings: (bits, fraction).
+pub const PAPER_SAVINGS: [(u8, f64); 2] = [(4, 0.199), (8, 0.477)];
+
+/// Regenerates Fig. 11 as a text report.
+pub fn report() -> String {
+    let (baseline, pdac) = lt_b_models();
+    let mut out = String::from(
+        "Fig. 11 — Power breakdown, fully compute-bound (baseline vs P-DAC)\n\
+         ===================================================================\n",
+    );
+    for (panel, (bits, paper_total)) in ["(a)+(c)", "(b)+(d)"].iter().zip(PAPER_TOTALS) {
+        let b = baseline.breakdown(bits);
+        let p = pdac.breakdown(bits);
+        out.push_str(&format!("\n{panel} {bits}-bit\n"));
+        out.push_str(&format!("  baseline total {:.2} W\n", b.total_watts()));
+        for (c, w) in b.entries() {
+            out.push_str(&format!(
+                "    {c:<14} {w:>7.3} W ({:>5.1}%)\n",
+                100.0 * w / b.total_watts()
+            ));
+        }
+        out.push_str(&format!(
+            "  P-DAC total {:.2} W (paper {paper_total} W)\n",
+            p.total_watts()
+        ));
+        for (c, w) in p.entries() {
+            out.push_str(&format!(
+                "    {c:<14} {w:>7.3} W ({:>5.1}%)\n",
+                100.0 * w / p.total_watts()
+            ));
+        }
+        let paper_saving = PAPER_SAVINGS.iter().find(|(bb, _)| *bb == bits).expect("table covers both").1;
+        out.push_str(&pct_row(
+            &format!("power reduction @ {bits}-bit"),
+            power_saving(&baseline, &pdac, bits),
+            paper_saving,
+        ));
+        out.push('\n');
+    }
+    // The paper's closing observation: at 8-bit the laser dominates the
+    // P-DAC design's remaining power.
+    let p8 = pdac.breakdown(8);
+    out.push_str(&format!(
+        "\nlaser share of 8-bit P-DAC design: {:.1}% (paper: \"majority ... constrained by the laser\")\n",
+        100.0 * p8.share(Component::Laser)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_paper() {
+        let (_, pdac) = lt_b_models();
+        for (bits, paper) in PAPER_TOTALS {
+            let got = pdac.breakdown(bits).total_watts();
+            assert!(
+                (got - paper).abs() / paper < 0.01,
+                "{bits}-bit: {got} vs paper {paper}"
+            );
+        }
+    }
+
+    #[test]
+    fn savings_match_paper() {
+        let (baseline, pdac) = lt_b_models();
+        for (bits, paper) in PAPER_SAVINGS {
+            let got = power_saving(&baseline, &pdac, bits);
+            assert!((got - paper).abs() < 0.005, "{bits}-bit: {got} vs {paper}");
+        }
+    }
+
+    #[test]
+    fn eight_bit_shares_match_fig11d() {
+        let (_, pdac) = lt_b_models();
+        let p8 = pdac.breakdown(8);
+        assert!((p8.share(Component::Adc) - 0.160).abs() < 0.01);
+        assert!((p8.share(Component::PDac) - 0.201).abs() < 0.01);
+        assert!(p8.share(Component::Laser) > 0.5); // the laser dominates
+    }
+
+    #[test]
+    fn four_bit_laser_share_matches_fig11c() {
+        let (_, pdac) = lt_b_models();
+        assert!((pdac.breakdown(4).share(Component::Laser) - 0.465).abs() < 0.01);
+    }
+
+    #[test]
+    fn report_renders_panels() {
+        let r = report();
+        assert!(r.contains("(a)+(c) 4-bit"));
+        assert!(r.contains("(b)+(d) 8-bit"));
+        assert!(r.contains("laser share"));
+    }
+}

@@ -1,0 +1,64 @@
+//! Fig. 5: power breakdown of baseline LT-B at 4-bit and 8-bit.
+//!
+//! Paper datapoints: 4-bit DACs account for 21.8% of LT-B power,
+//! 8-bit DACs for 50.5%.
+
+use crate::{lt_b_models, pct_row};
+use pdac_power::Component;
+
+/// Paper-reported DAC shares: (bits, share).
+pub const PAPER_DAC_SHARES: [(u8, f64); 2] = [(4, 0.218), (8, 0.505)];
+
+/// Regenerates Fig. 5 as a text report.
+pub fn report() -> String {
+    let (baseline, _) = lt_b_models();
+    let mut out = String::from(
+        "Fig. 5 — Power breakdown of LT-B (electrical-DAC baseline)\n\
+         ==========================================================\n",
+    );
+    for (bits, paper_share) in PAPER_DAC_SHARES {
+        let b = baseline.breakdown(bits);
+        out.push_str(&format!("\n({}) {}-bit precision — total {:.2} W\n",
+            if bits == 4 { 'a' } else { 'b' }, bits, b.total_watts()));
+        for (component, watts) in b.entries() {
+            out.push_str(&format!(
+                "  {component:<14} {watts:>7.3} W  ({:>5.1}%)\n",
+                100.0 * watts / b.total_watts()
+            ));
+        }
+        out.push_str(&pct_row(
+            &format!("DAC share @ {bits}-bit"),
+            b.share(Component::Dac),
+            paper_share,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lt_b_models;
+
+    #[test]
+    fn dac_shares_match_paper() {
+        let (baseline, _) = lt_b_models();
+        for (bits, paper) in PAPER_DAC_SHARES {
+            let share = baseline.breakdown(bits).share(Component::Dac);
+            assert!(
+                (share - paper).abs() < 0.005,
+                "{bits}-bit: measured {share}, paper {paper}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_contains_both_panels() {
+        let r = report();
+        assert!(r.contains("(a) 4-bit"));
+        assert!(r.contains("(b) 8-bit"));
+        assert!(r.contains("DAC"));
+        assert!(r.contains("Laser"));
+    }
+}

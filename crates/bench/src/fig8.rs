@@ -1,0 +1,81 @@
+//! Fig. 8: the plot of `f(r)` vs `arccos(r)` and its error profile.
+//!
+//! Paper datapoints: optimal breakpoint `k ≈ 0.7236`; maximum relative
+//! reconstruction error 8.5% at `r = ±0.7236`; first-order error 15.9%
+//! at `r = ±1`.
+
+use pdac_core::approx::{solve_optimal_breakpoint, ArccosApprox};
+use pdac_core::error_analysis::sample_curve;
+
+/// Paper-reported optimal breakpoint.
+pub const PAPER_K: f64 = 0.7236;
+/// Paper-reported maximum relative error of Eq. 18.
+pub const PAPER_MAX_ERR: f64 = 0.085;
+/// Paper-reported first-order (Eq. 15) maximum error.
+pub const PAPER_FIRST_ORDER_ERR: f64 = 0.159;
+
+/// Regenerates Fig. 8 as a text report with a sampled curve table.
+pub fn report(samples: usize) -> String {
+    let k = solve_optimal_breakpoint(1e-7);
+    let optimal = ArccosApprox::three_segment(k);
+    let first = ArccosApprox::first_order();
+    let (max_err, at) = optimal.max_reconstruction_error(40_001);
+    let (fo_err, fo_at) = first.max_reconstruction_error(40_001);
+
+    let mut out = String::from(
+        "Fig. 8 — f(r) vs arccos(r)\n==========================\n",
+    );
+    out.push_str(&format!(
+        "optimal breakpoint k:      measured {k:.4}   paper {PAPER_K}\n"
+    ));
+    out.push_str(&format!(
+        "max reconstruction error:  measured {:.2}% at r = {at:+.4}   paper {:.1}% at ±{PAPER_K}\n",
+        100.0 * max_err,
+        100.0 * PAPER_MAX_ERR
+    ));
+    out.push_str(&format!(
+        "first-order (Eq. 15) error: measured {:.2}% at r = {fo_at:+.2}   paper {:.1}% at ±1\n\n",
+        100.0 * fo_err,
+        100.0 * PAPER_FIRST_ORDER_ERR
+    ));
+    out.push_str("    r        f(r)     arccos(r)  cos(f(r))  rel.err%\n");
+    for p in sample_curve(&optimal, samples) {
+        out.push_str(&format!(
+            "  {:+.3}   {:7.4}   {:7.4}   {:+7.4}   {:6.2}\n",
+            p.r,
+            p.drive,
+            p.exact_drive,
+            p.reconstructed,
+            100.0 * p.relative_error
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solver_matches_paper_k() {
+        let k = solve_optimal_breakpoint(1e-7);
+        assert!((k - PAPER_K).abs() < 5e-3, "k={k}");
+    }
+
+    #[test]
+    fn errors_match_paper() {
+        let optimal = ArccosApprox::optimal();
+        let (err, _) = optimal.max_reconstruction_error(40_001);
+        assert!((err - PAPER_MAX_ERR).abs() < 2e-3);
+        let first = ArccosApprox::first_order();
+        let (fo, _) = first.max_reconstruction_error(40_001);
+        assert!((fo - PAPER_FIRST_ORDER_ERR).abs() < 2e-3);
+    }
+
+    #[test]
+    fn report_has_header_and_rows() {
+        let r = report(21);
+        assert!(r.contains("optimal breakpoint"));
+        assert!(r.lines().count() > 21);
+    }
+}

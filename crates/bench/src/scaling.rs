@@ -1,0 +1,135 @@
+//! Architecture-scaling extension: does the P-DAC's advantage survive
+//! scaling the accelerator up or down?
+//!
+//! The paper evaluates one design point (LT-B). Because both the savings
+//! source (DAC count) and the overheads (laser, support logic) scale with
+//! core count in this model, the *fractional* saving is scale-invariant —
+//! a useful sanity property — while absolute watts, throughput and
+//! energy-per-inference move as expected.
+
+use pdac_nn::config::TransformerConfig;
+use pdac_nn::workload::op_trace;
+use pdac_power::energy::savings;
+use pdac_power::model::{power_saving, DriverKind, PowerModel};
+use pdac_power::{ArchConfig, EnergyModel, TechParams};
+
+/// One architecture point of the scaling study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalePoint {
+    /// Human-readable name.
+    pub name: String,
+    /// Core count.
+    pub cores: usize,
+    /// Peak throughput, TMAC/s.
+    pub peak_tmacs: f64,
+    /// Baseline power at 8-bit, watts.
+    pub baseline_watts: f64,
+    /// P-DAC power at 8-bit, watts.
+    pub pdac_watts: f64,
+    /// Fractional power saving at 8-bit.
+    pub saving: f64,
+    /// BERT-base inference energy with the P-DAC, millijoules.
+    pub bert_mj: f64,
+}
+
+/// Evaluates the named architecture variants at 8-bit.
+pub fn scale_points() -> Vec<ScalePoint> {
+    let tech = TechParams::calibrated();
+    let trace = op_trace(&TransformerConfig::bert_base());
+    [
+        ("LT-S", ArchConfig::lt_s()),
+        ("LT-B", ArchConfig::lt_b()),
+        ("LT-L", ArchConfig::lt_l()),
+    ]
+    .into_iter()
+    .map(|(name, arch)| {
+        let baseline =
+            PowerModel::new(arch.clone(), tech.clone(), DriverKind::ElectricalDac);
+        let pdac = PowerModel::new(arch.clone(), tech.clone(), DriverKind::PhotonicDac);
+        let bert = EnergyModel::new(pdac.clone()).energy(&trace, 8);
+        ScalePoint {
+            name: name.to_string(),
+            cores: arch.cores,
+            peak_tmacs: arch.peak_macs_per_second() / 1e12,
+            baseline_watts: baseline.breakdown(8).total_watts(),
+            pdac_watts: pdac.breakdown(8).total_watts(),
+            saving: power_saving(&baseline, &pdac, 8),
+            bert_mj: bert.total_j() * 1e3,
+        }
+    })
+    .collect()
+}
+
+/// Renders the scaling study.
+pub fn report() -> String {
+    let mut out = String::from(
+        "Architecture scaling — LT-S / LT-B / LT-L at 8-bit\n\
+         ===================================================\n\n\
+         name   cores   TMAC/s   baseline W   P-DAC W   saving%   BERT mJ (P-DAC)\n",
+    );
+    for p in scale_points() {
+        out.push_str(&format!(
+            "  {:<5} {:>4}   {:>6.1}   {:>10.2}   {:>7.2}   {:>7.1}   {:>10.2}\n",
+            p.name,
+            p.cores,
+            p.peak_tmacs,
+            p.baseline_watts,
+            p.pdac_watts,
+            100.0 * p.saving,
+            p.bert_mj
+        ));
+    }
+    // BERT savings per scale (shape check: data movement is scale-free).
+    let tech = TechParams::calibrated();
+    let trace = op_trace(&TransformerConfig::bert_base());
+    out.push_str("\nBERT total saving per scale:\n");
+    for (name, arch) in [("LT-S", ArchConfig::lt_s()), ("LT-B", ArchConfig::lt_b()), ("LT-L", ArchConfig::lt_l())] {
+        let be = EnergyModel::new(PowerModel::new(
+            arch.clone(),
+            tech.clone(),
+            DriverKind::ElectricalDac,
+        ));
+        let pe = EnergyModel::new(PowerModel::new(arch, tech.clone(), DriverKind::PhotonicDac));
+        let rep = savings(&be.energy(&trace, 8), &pe.energy(&trace, 8));
+        out.push_str(&format!("  {name}: {:.1}%\n", 100.0 * rep.total));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractional_saving_is_scale_invariant() {
+        let points = scale_points();
+        for pair in points.windows(2) {
+            assert!((pair[0].saving - pair[1].saving).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn absolute_power_scales_with_cores() {
+        let points = scale_points();
+        let small = &points[0];
+        let large = &points[2];
+        assert!((large.pdac_watts / small.pdac_watts - 4.0).abs() < 0.01);
+        assert!((large.peak_tmacs / small.peak_tmacs - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn bert_compute_energy_is_scale_free() {
+        // Power and throughput both scale linearly, so per-inference
+        // energy stays constant.
+        let points = scale_points();
+        assert!((points[0].bert_mj - points[2].bert_mj).abs() < 0.01);
+    }
+
+    #[test]
+    fn report_renders_all_variants() {
+        let r = report();
+        assert!(r.contains("LT-S"));
+        assert!(r.contains("LT-B"));
+        assert!(r.contains("LT-L"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Output analog-to-digital converter.
+//!
+//! After the DDot units produce analog dot products, ADCs digitize the
+//! balanced-detector outputs back into the electrical domain (visible as
+//! the ADC slice of the paper's power breakdowns, Figs. 5 and 11). The
+//! functional model quantizes a bounded analog value onto a signed code
+//! grid with configurable full-scale range and clipping.
+
+/// A signed ADC with `bits` resolution over `[−full_scale, full_scale]`.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_core::Adc;
+///
+/// let adc = Adc::new(8, 2.0)?;
+/// let code = adc.sample(1.0);
+/// assert_eq!(code, 64); // 1.0 / 2.0 · 127 ≈ 63.5 → 64
+/// assert!((adc.value_of(code) - 1.0).abs() < adc.lsb());
+/// # Ok::<(), pdac_core::adc::AdcError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Adc {
+    bits: u8,
+    full_scale: f64,
+}
+
+/// Errors from [`Adc`] construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdcError {
+    /// Bit width outside `2..=16`.
+    UnsupportedBits(u8),
+    /// Full-scale range non-positive or non-finite.
+    BadFullScale,
+}
+
+impl std::fmt::Display for AdcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdcError::UnsupportedBits(b) => write!(f, "bit width {b} outside 2..=16"),
+            AdcError::BadFullScale => write!(f, "full scale must be positive and finite"),
+        }
+    }
+}
+
+impl std::error::Error for AdcError {}
+
+impl Adc {
+    /// Creates an ADC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdcError`] for invalid parameters.
+    pub fn new(bits: u8, full_scale: f64) -> Result<Self, AdcError> {
+        if !(2..=16).contains(&bits) {
+            return Err(AdcError::UnsupportedBits(bits));
+        }
+        if !(full_scale.is_finite() && full_scale > 0.0) {
+            return Err(AdcError::BadFullScale);
+        }
+        Ok(Self { bits, full_scale })
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Full-scale input magnitude.
+    pub fn full_scale(&self) -> f64 {
+        self.full_scale
+    }
+
+    /// Largest output code magnitude.
+    pub fn max_code(&self) -> i32 {
+        (1i32 << (self.bits - 1)) - 1
+    }
+
+    /// One least-significant-bit step in input units.
+    pub fn lsb(&self) -> f64 {
+        self.full_scale / self.max_code() as f64
+    }
+
+    /// Samples an analog value to a code (round-to-nearest, clipping at
+    /// full scale).
+    pub fn sample(&self, x: f64) -> i32 {
+        let m = self.max_code() as f64;
+        (x / self.full_scale * m).round().clamp(-m, m) as i32
+    }
+
+    /// The analog value a code represents.
+    pub fn value_of(&self, code: i32) -> f64 {
+        let m = self.max_code();
+        code.clamp(-m, m) as f64 / m as f64 * self.full_scale
+    }
+
+    /// Round-trips an analog value through the converter.
+    pub fn requantize(&self, x: f64) -> f64 {
+        self.value_of(self.sample(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_error_bounded_by_half_lsb() {
+        let adc = Adc::new(8, 4.0).unwrap();
+        let mut x = -4.0;
+        while x <= 4.0 {
+            let err = (adc.requantize(x) - x).abs();
+            assert!(err <= adc.lsb() / 2.0 + 1e-12, "x={x}");
+            x += 0.0173;
+        }
+    }
+
+    #[test]
+    fn clipping_at_full_scale() {
+        let adc = Adc::new(8, 1.0).unwrap();
+        assert_eq!(adc.sample(5.0), 127);
+        assert_eq!(adc.sample(-5.0), -127);
+        assert_eq!(adc.requantize(5.0), 1.0);
+    }
+
+    #[test]
+    fn zero_is_exact() {
+        let adc = Adc::new(6, 1.0).unwrap();
+        assert_eq!(adc.sample(0.0), 0);
+        assert_eq!(adc.value_of(0), 0.0);
+    }
+
+    #[test]
+    fn lsb_scales_with_resolution() {
+        let a = Adc::new(4, 1.0).unwrap();
+        let b = Adc::new(8, 1.0).unwrap();
+        assert!(b.lsb() < a.lsb() / 15.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert_eq!(Adc::new(1, 1.0), Err(AdcError::UnsupportedBits(1)));
+        assert_eq!(Adc::new(8, 0.0), Err(AdcError::BadFullScale));
+        assert_eq!(Adc::new(8, f64::INFINITY), Err(AdcError::BadFullScale));
+    }
+}

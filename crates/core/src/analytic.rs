@@ -1,0 +1,160 @@
+//! Closed-form error analysis of the three-segment design.
+//!
+//! The paper validates its design numerically ("after running the
+//! program..."); this module derives the same quantities analytically,
+//! so the numeric scans elsewhere in the crate have an independent
+//! cross-check:
+//!
+//! * **Middle segment** `f(r) = π/2 − r` reconstructs `cos(π/2 − r) =
+//!   sin r`, so the relative error is `(r − sin r)/r` — nonnegative,
+//!   strictly increasing on `(0, 1]` (since `sin r/r` decreases), hence
+//!   maximal at the breakpoint `r = k`. At `k = 0.7236` this is exactly
+//!   the paper's 8.5%.
+//! * **End segment** `f(r) = a(k)·(r − 1)` with
+//!   `a(k) = (k − π/2)/(1 − k)` reconstructs `cos(a(k)(r−1))`; its
+//!   relative error changes sign inside `(k, 1)` and has an interior
+//!   extremum located by the stationarity condition
+//!   `d/dr[(cos(a(r−1)) − r)/r] = 0`.
+//! * **First-order form** errs most at `r = ±1` with error `1 − sin 1 ≈
+//!   15.9%`, the paper's quote.
+
+use pdac_math::optimize::bisect;
+use std::f64::consts::FRAC_PI_2;
+
+/// Relative reconstruction error of the middle segment at its worst
+/// point (the breakpoint `k`): `(k − sin k)/k`.
+///
+/// # Panics
+///
+/// Panics if `k` is outside `(0, 1]`.
+pub fn mid_segment_worst_error(k: f64) -> f64 {
+    assert!(k > 0.0 && k <= 1.0, "breakpoint must lie in (0, 1]");
+    (k - k.sin()) / k
+}
+
+/// The first-order form's worst error, `1 − sin 1 ≈ 0.1585` at `r = ±1`.
+pub fn first_order_worst_error() -> f64 {
+    1.0 - 1f64.sin()
+}
+
+/// End-segment chord slope of Eq. 16/18, `a(k) = (k − π/2)/(1 − k)`.
+///
+/// # Panics
+///
+/// Panics if `k` is outside `(0, 1)`.
+pub fn end_segment_slope(k: f64) -> f64 {
+    assert!(k > 0.0 && k < 1.0, "breakpoint must lie in (0, 1)");
+    (k - FRAC_PI_2) / (1.0 - k)
+}
+
+/// Signed relative error of the end segment at `r`.
+fn end_error(k: f64, r: f64) -> f64 {
+    let a = end_segment_slope(k);
+    ((a * (r - 1.0)).cos() - r) / r
+}
+
+/// Sign-equivalent derivative of the end-segment relative error.
+///
+/// With `e(r) = g(r)/r − 1` and `g(r) = cos(a(r−1))`,
+/// `e′(r) = (g′(r)·r − g(r)) / r²`; the stationarity condition is
+/// `g′(r)·r = g(r)`, so this returns `g′(r)·r − g(r)`.
+fn end_error_derivative(k: f64, r: f64) -> f64 {
+    let a = end_segment_slope(k);
+    let g = (a * (r - 1.0)).cos();
+    let gp = -a * (a * (r - 1.0)).sin();
+    gp * r - g
+}
+
+/// Location and magnitude of the end segment's interior error extremum
+/// on `(k, 1)`, found from the stationarity condition.
+///
+/// Returns `None` when the derivative does not change sign in the
+/// interior (error is monotone there).
+///
+/// # Panics
+///
+/// Panics if `k` is outside `(0, 1)`.
+pub fn end_segment_extremum(k: f64) -> Option<(f64, f64)> {
+    assert!(k > 0.0 && k < 1.0, "breakpoint must lie in (0, 1)");
+    let lo = k + 1e-6;
+    let hi = 1.0 - 1e-6;
+    let dlo = end_error_derivative(k, lo);
+    let dhi = end_error_derivative(k, hi);
+    if dlo.signum() == dhi.signum() {
+        return None;
+    }
+    let r = bisect(|r| end_error_derivative(k, r), lo, hi, 1e-12).ok()?;
+    Some((r, end_error(k, r).abs()))
+}
+
+/// The analytic worst-case error of the full three-segment design at
+/// breakpoint `k`: the larger of the middle-segment boundary error and
+/// the end segment's extrema (interior stationary point and the `r = k⁺`
+/// boundary).
+///
+/// # Panics
+///
+/// Panics if `k` is outside `(0, 1)`.
+pub fn three_segment_worst_error(k: f64) -> f64 {
+    let mid = mid_segment_worst_error(k);
+    let boundary = end_error(k, k).abs();
+    let interior = end_segment_extremum(k).map_or(0.0, |(_, e)| e);
+    mid.max(boundary).max(interior)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::{ArccosApprox, PAPER_OPTIMAL_K};
+
+    #[test]
+    fn paper_8_5_percent_is_the_mid_segment_boundary_error() {
+        let e = mid_segment_worst_error(PAPER_OPTIMAL_K);
+        assert!((e - 0.085).abs() < 1e-3, "analytic {e}");
+    }
+
+    #[test]
+    fn first_order_matches_paper_quote() {
+        assert!((first_order_worst_error() - 0.159).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mid_segment_error_is_increasing() {
+        let mut prev = 0.0;
+        for i in 1..=20 {
+            let k = i as f64 / 20.0;
+            let e = mid_segment_worst_error(k);
+            assert!(e >= prev);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn end_slope_matches_paper_value() {
+        assert!((end_segment_slope(PAPER_OPTIMAL_K) + 3.0651).abs() < 2e-3);
+    }
+
+    #[test]
+    fn analytic_worst_matches_numeric_scan() {
+        for &k in &[0.5, 0.6, PAPER_OPTIMAL_K, 0.85] {
+            let analytic = three_segment_worst_error(k);
+            let numeric = ArccosApprox::three_segment(k)
+                .max_reconstruction_error(40_001)
+                .0;
+            assert!(
+                (analytic - numeric).abs() < 2e-3,
+                "k={k}: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_continuity_of_error() {
+        // At r = k the middle and end segments agree (continuity), so
+        // their boundary errors coincide.
+        let k = PAPER_OPTIMAL_K;
+        let mid = mid_segment_worst_error(k);
+        let end_at_k = end_error(k, k).abs();
+        assert!((mid - end_at_k).abs() < 1e-9);
+    }
+}

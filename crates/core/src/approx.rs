@@ -1,0 +1,337 @@
+//! Approximating `arccos` with piecewise-linear functions.
+//!
+//! The MZM's cosine transfer forces the drive voltage to be
+//! `V₁′ = arccos(r)` for a target analog value `r` (paper Eq. 13). A TIA
+//! bank can only realize *linear* maps of the bits, so the P-DAC
+//! approximates `arccos` piecewise-linearly:
+//!
+//! 1. **First order** (Eq. 15): `f(r) = π/2 − r`. Worst reconstruction
+//!    error ≈ 15.9% at `r = ±1`.
+//! 2. **Two-expression positive form** (Eq. 16): keep `π/2 − r` on
+//!    `[0, k]`, switch to the chord through `(1, 0)` on `[k, 1]`.
+//! 3. **Optimal breakpoint** (Eq. 17): choose `k` minimizing the
+//!    integrated relative reconstruction error; the paper (and this
+//!    solver) find `k ≈ 0.7236`.
+//! 4. **Full-range three-segment form** (Eq. 18) by odd symmetry
+//!    `arccos(−r) = π − arccos(r)`; worst error ≈ 8.5% at `r = ±k`.
+//!
+//! The *reconstruction* error metric is what matters physically: the
+//! error of `cos(f(r))` (what the MZM emits) against `r`, not the error
+//! of `f(r)` against `arccos(r)`.
+
+use pdac_math::integrate::adaptive_simpson;
+use pdac_math::optimize::golden_section;
+use pdac_math::piecewise::{PiecewiseLinear, Segment};
+use std::f64::consts::FRAC_PI_2;
+
+/// The paper's optimal breakpoint (Sec. III-C): `k ≈ 0.7236`.
+pub const PAPER_OPTIMAL_K: f64 = 0.7236;
+
+/// The paper's reported worst-case reconstruction error of Eq. 18: 8.5%.
+pub const PAPER_MAX_ERROR: f64 = 0.085;
+
+/// The paper's reported worst-case error of the first-order cut: 15.9%.
+pub const PAPER_FIRST_ORDER_ERROR: f64 = 0.159;
+
+/// A piecewise-linear approximation of `arccos` over `[−1, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_core::ArccosApprox;
+///
+/// let approx = ArccosApprox::optimal();
+/// assert!((approx.breakpoint() - 0.7236).abs() < 1e-3);
+/// assert!((approx.max_reconstruction_error(20_001).0 - 0.085).abs() < 2e-3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArccosApprox {
+    function: PiecewiseLinear,
+    breakpoint: f64,
+}
+
+impl ArccosApprox {
+    /// The first-order Taylor approximation `f(r) = π/2 − r` on `[−1, 1]`
+    /// (paper Eq. 15). Single segment — no region-select logic needed.
+    pub fn first_order() -> Self {
+        let f = PiecewiseLinear::new(vec![Segment::new(-1.0, 1.0, -1.0, FRAC_PI_2)])
+            .expect("single valid segment");
+        Self { function: f, breakpoint: 1.0 }
+    }
+
+    /// The three-segment approximation of paper Eq. 18 with an explicit
+    /// breakpoint `k ∈ (0, 1)`:
+    ///
+    /// * `[−1, −k]`: odd-symmetric image of the end chord,
+    /// * `[−k, k]`: `π/2 − r`,
+    /// * `[k, 1]`: the chord through `(k, π/2−k)` and `(1, 0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is outside `(0, 1)`.
+    pub fn three_segment(k: f64) -> Self {
+        assert!(k > 0.0 && k < 1.0, "breakpoint must lie in (0, 1)");
+        // End chord on [k, 1]: passes (k, π/2 − k) and (1, 0).
+        let slope_end = (0.0 - (FRAC_PI_2 - k)) / (1.0 - k); // = (k − π/2)/(1 − k)
+        let pos_end = Segment::new(k, 1.0, slope_end, -slope_end); // a(r−1)
+        // Negative side by arccos(−r) = π − arccos(r):
+        // f(r) = π − (slope_end·(−r − 1)·…) = slope_end·r + (π + slope_end).
+        let neg_end = Segment::new(-1.0, -k, slope_end, std::f64::consts::PI + slope_end);
+        let middle = Segment::new(-k, k, -1.0, FRAC_PI_2);
+        let f = PiecewiseLinear::new(vec![neg_end, middle, pos_end])
+            .expect("segments are contiguous by construction");
+        Self { function: f, breakpoint: k }
+    }
+
+    /// The paper's final approximation: three segments with the optimal
+    /// breakpoint found by minimizing [`integrated_error_objective`]
+    /// (Eq. 17/18).
+    pub fn optimal() -> Self {
+        let k = solve_optimal_breakpoint(1e-6);
+        Self::three_segment(k)
+    }
+
+    /// Builds an approximation from an explicit drive function over
+    /// `[−1, 1]` and a nominal positive-domain breakpoint. Used by the
+    /// multi-segment generalizations in [`crate::multi_segment`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function's domain is not `[−1, 1]` or the breakpoint
+    /// is outside `(0, 1]`.
+    pub fn from_parts(function: PiecewiseLinear, breakpoint: f64) -> Self {
+        let (lo, hi) = function.domain();
+        assert!(
+            (lo + 1.0).abs() < 1e-9 && (hi - 1.0).abs() < 1e-9,
+            "drive function must cover [-1, 1]"
+        );
+        assert!(
+            breakpoint > 0.0 && breakpoint <= 1.0,
+            "breakpoint must lie in (0, 1]"
+        );
+        Self { function, breakpoint }
+    }
+
+    /// The positive-domain breakpoint `k` (1.0 for the first-order form).
+    pub fn breakpoint(&self) -> f64 {
+        self.breakpoint
+    }
+
+    /// The underlying piecewise-linear function.
+    pub fn function(&self) -> &PiecewiseLinear {
+        &self.function
+    }
+
+    /// Evaluates the drive function `f(r)` for `r ∈ [−1, 1]`.
+    pub fn drive(&self, r: f64) -> f64 {
+        self.function.eval(r)
+    }
+
+    /// The value the MZM reconstructs: `cos(f(r))`.
+    pub fn reconstruct(&self, r: f64) -> f64 {
+        self.drive(r).cos()
+    }
+
+    /// Relative reconstruction error `|cos(f(r)) − r| / |r|` at one point
+    /// (0 at `r = 0` where the error is removable).
+    pub fn reconstruction_error(&self, r: f64) -> f64 {
+        if r == 0.0 {
+            (self.reconstruct(0.0)).abs()
+        } else {
+            ((self.reconstruct(r) - r) / r).abs()
+        }
+    }
+
+    /// Worst relative reconstruction error over `[−1, 1]`, sampled at `n`
+    /// uniform points; returns `(error, location)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn max_reconstruction_error(&self, n: usize) -> (f64, f64) {
+        assert!(n >= 2, "need at least two sample points");
+        let mut worst = 0.0;
+        let mut at = 0.0;
+        for i in 0..n {
+            let r = -1.0 + 2.0 * i as f64 / (n - 1) as f64;
+            let e = self.reconstruction_error(r);
+            if e > worst {
+                worst = e;
+                at = r;
+            }
+        }
+        (worst, at)
+    }
+}
+
+/// The integrated relative-error objective of paper Eq. 17 for a candidate
+/// breakpoint `k`:
+///
+/// ```text
+/// ∫₀ᵏ |cos(π/2 − r) − r| / r dr + ∫ₖ¹ |cos(a(k)·(1−r)) − r| / r dr
+/// ```
+///
+/// with `a(k) = (π/2 − k)/(1 − k)` the end-chord slope magnitude.
+///
+/// # Panics
+///
+/// Panics if `k` is outside `(0, 1)`.
+pub fn integrated_error_objective(k: f64) -> f64 {
+    assert!(k > 0.0 && k < 1.0, "breakpoint must lie in (0, 1)");
+    let first = adaptive_simpson(
+        |r| {
+            if r == 0.0 {
+                0.0
+            } else {
+                ((FRAC_PI_2 - r).cos() - r).abs() / r
+            }
+        },
+        0.0,
+        k,
+        1e-10,
+    );
+    let a = (FRAC_PI_2 - k) / (1.0 - k);
+    let second = adaptive_simpson(
+        |r| ((a * (1.0 - r)).cos() - r).abs() / r,
+        k,
+        1.0,
+        1e-10,
+    );
+    first + second
+}
+
+/// Finds the breakpoint minimizing [`integrated_error_objective`] — the
+/// paper's "running the program to find the optimal k value".
+///
+/// # Panics
+///
+/// Panics if `tol <= 0`.
+pub fn solve_optimal_breakpoint(tol: f64) -> f64 {
+    assert!(tol > 0.0, "tolerance must be positive");
+    golden_section(integrated_error_objective, 0.05, 0.95, tol).x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_order_matches_eq15() {
+        let f = ArccosApprox::first_order();
+        assert_eq!(f.drive(0.0), FRAC_PI_2);
+        assert!((f.drive(1.0) - (FRAC_PI_2 - 1.0)).abs() < 1e-12);
+        assert!((f.drive(-0.5) - (FRAC_PI_2 + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_order_worst_error_is_15_9_percent_at_ends() {
+        let f = ArccosApprox::first_order();
+        let (err, at) = f.max_reconstruction_error(40_001);
+        assert!((err - PAPER_FIRST_ORDER_ERROR).abs() < 2e-3, "err={err}");
+        assert!((at.abs() - 1.0).abs() < 1e-6, "at={at}");
+    }
+
+    #[test]
+    fn three_segment_is_continuous() {
+        let f = ArccosApprox::three_segment(0.7236);
+        for &bp in &[-0.7236, 0.7236] {
+            let left = f.drive(bp - 1e-9);
+            let right = f.drive(bp + 1e-9);
+            assert!((left - right).abs() < 1e-6, "discontinuity at {bp}");
+        }
+    }
+
+    #[test]
+    fn three_segment_matches_paper_eq18_coefficients() {
+        let f = ArccosApprox::three_segment(0.7236);
+        let segs = f.function().segments();
+        // Middle segment: π/2 − r.
+        assert!((segs[1].slope + 1.0).abs() < 1e-12);
+        assert!((segs[1].intercept - FRAC_PI_2).abs() < 1e-12);
+        // End segments: slope ≈ −3.0651 (paper's printed coefficient).
+        assert!((segs[2].slope + 3.0651).abs() < 2e-3, "slope={}", segs[2].slope);
+        assert!((segs[0].slope + 3.0651).abs() < 2e-3);
+        // Positive end segment passes through (1, 0).
+        assert!(segs[2].eval(1.0).abs() < 1e-12);
+        // Negative end segment intercept ≈ 0.0765 (paper prints 0.07648).
+        assert!((segs[0].intercept - 0.0765).abs() < 2e-3, "b={}", segs[0].intercept);
+    }
+
+    #[test]
+    fn three_segment_exact_at_plus_minus_one() {
+        // The chord is anchored at (1, 0): cos(0) = 1 exactly.
+        let f = ArccosApprox::three_segment(0.7236);
+        assert!((f.reconstruct(1.0) - 1.0).abs() < 1e-12);
+        assert!((f.reconstruct(-1.0) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn odd_symmetry_of_reconstruction() {
+        let f = ArccosApprox::three_segment(0.6);
+        for &r in &[0.1, 0.3, 0.59, 0.7, 0.95] {
+            let pos = f.reconstruct(r);
+            let neg = f.reconstruct(-r);
+            assert!((pos + neg).abs() < 1e-9, "r={r}: {pos} vs {neg}");
+        }
+    }
+
+    #[test]
+    fn optimal_breakpoint_is_paper_value() {
+        let k = solve_optimal_breakpoint(1e-7);
+        assert!(
+            (k - PAPER_OPTIMAL_K).abs() < 5e-3,
+            "solver found k={k}, paper reports 0.7236"
+        );
+    }
+
+    #[test]
+    fn optimal_max_error_is_8_5_percent_at_breakpoint() {
+        let f = ArccosApprox::optimal();
+        let (err, at) = f.max_reconstruction_error(40_001);
+        assert!((err - PAPER_MAX_ERROR).abs() < 2e-3, "err={err}");
+        assert!(
+            (at.abs() - f.breakpoint()).abs() < 5e-3,
+            "worst at {at}, breakpoint {}",
+            f.breakpoint()
+        );
+    }
+
+    #[test]
+    fn optimal_beats_first_order_everywhere_that_matters() {
+        let opt = ArccosApprox::optimal();
+        let first = ArccosApprox::first_order();
+        assert!(
+            opt.max_reconstruction_error(10_001).0
+                < first.max_reconstruction_error(10_001).0
+        );
+        // And the integrated objective is smaller than at k→1 (first-order-ish).
+        assert!(
+            integrated_error_objective(opt.breakpoint())
+                < integrated_error_objective(0.99)
+        );
+    }
+
+    #[test]
+    fn objective_is_smooth_around_minimum() {
+        let k = solve_optimal_breakpoint(1e-7);
+        let at = integrated_error_objective(k);
+        assert!(integrated_error_objective(k - 0.05) > at);
+        assert!(integrated_error_objective(k + 0.05) > at);
+    }
+
+    #[test]
+    fn paper_error_quotes_at_exact_points() {
+        // |(-0.7236 − cos(f(−0.7236))) / −0.7236| ≈ 8.5% (paper Sec. III-C).
+        let f = ArccosApprox::three_segment(PAPER_OPTIMAL_K);
+        let e = f.reconstruction_error(PAPER_OPTIMAL_K);
+        assert!((e - 0.085).abs() < 1e-3, "e={e}");
+        let e_neg = f.reconstruction_error(-PAPER_OPTIMAL_K);
+        assert!((e_neg - 0.085).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1)")]
+    fn rejects_bad_breakpoint() {
+        ArccosApprox::three_segment(1.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Baseline electrical DAC drive path.
+//!
+//! In Lightening-Transformer, a digital controller computes the exact
+//! drive voltage `V₁′ = arccos(r)` for each operand and an electrical DAC
+//! synthesizes it (paper Fig. 4). The value is exact up to the DAC's own
+//! output quantization — we model a `dac_bits`-level voltage grid over
+//! `[0, π]` so the baseline has the realistic LSB-scale error rather than
+//! being a disembodied ideal.
+
+use crate::converter::MzmDriver;
+use pdac_math::Complex64;
+use pdac_photonics::Mzm;
+use std::f64::consts::PI;
+
+/// The controller + electrical-DAC + MZM baseline.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_core::edac::ElectricalDac;
+/// use pdac_core::converter::MzmDriver;
+///
+/// let dac = ElectricalDac::new(8)?;
+/// let out = dac.convert(64);
+/// let ideal = 64.0 / 127.0;
+/// // Error limited to DAC voltage quantization (≪ the P-DAC's 8.5%).
+/// assert!((out - ideal).abs() < 0.02);
+/// # Ok::<(), pdac_core::edac::EdacError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElectricalDac {
+    bits: u8,
+    dac_bits: u8,
+    mzm: Mzm,
+}
+
+/// Errors from [`ElectricalDac`] construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdacError {
+    /// Data or DAC bit width outside `2..=16`.
+    UnsupportedBits(u8),
+}
+
+impl std::fmt::Display for EdacError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdacError::UnsupportedBits(b) => write!(f, "bit width {b} outside 2..=16"),
+        }
+    }
+}
+
+impl std::error::Error for EdacError {}
+
+impl ElectricalDac {
+    /// Creates a baseline path where the DAC resolution matches the data
+    /// bit width (the configuration the paper profiles).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdacError::UnsupportedBits`] outside `2..=16`.
+    pub fn new(bits: u8) -> Result<Self, EdacError> {
+        Self::with_dac_resolution(bits, bits)
+    }
+
+    /// Creates a baseline with independent data and DAC bit widths, for
+    /// studying how much DAC resolution the exact-arccos path needs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdacError::UnsupportedBits`] for either width outside
+    /// `2..=16`.
+    pub fn with_dac_resolution(bits: u8, dac_bits: u8) -> Result<Self, EdacError> {
+        for b in [bits, dac_bits] {
+            if !(2..=16).contains(&b) {
+                return Err(EdacError::UnsupportedBits(b));
+            }
+        }
+        Ok(Self { bits, dac_bits, mzm: Mzm::ideal() })
+    }
+
+    /// DAC output resolution in bits.
+    pub fn dac_bits(&self) -> u8 {
+        self.dac_bits
+    }
+
+    /// The quantized drive voltage: the controller's exact `arccos(r)`
+    /// snapped to the DAC's `2^dac_bits`-level grid over `[0, π]`.
+    pub fn drive_voltage(&self, code: i32) -> f64 {
+        let r = self.ideal_value(code);
+        let exact = r.acos();
+        let levels = ((1u32 << self.dac_bits) - 1) as f64;
+        (exact / PI * levels).round() / levels * PI
+    }
+}
+
+impl MzmDriver for ElectricalDac {
+    fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    fn convert(&self, code: i32) -> f64 {
+        let v = self.drive_voltage(code);
+        self.mzm.modulate_push_pull(Complex64::ONE, v).re
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_is_near_exact() {
+        let dac = ElectricalDac::new(8).unwrap();
+        for code in -127..=127i32 {
+            let ideal = dac.ideal_value(code);
+            let got = dac.convert(code);
+            // LSB of the voltage grid is π/255 ≈ 0.0123 rad; the cosine
+            // slope is ≤ 1, so output error ≤ ~0.0062.
+            assert!((got - ideal).abs() < 0.0075, "code={code}");
+        }
+    }
+
+    #[test]
+    fn higher_dac_resolution_reduces_error() {
+        let coarse = ElectricalDac::with_dac_resolution(8, 4).unwrap();
+        let fine = ElectricalDac::with_dac_resolution(8, 12).unwrap();
+        let worst = |d: &ElectricalDac| {
+            (-127..=127i32)
+                .map(|c| (d.convert(c) - d.ideal_value(c)).abs())
+                .fold(0.0f64, f64::max)
+        };
+        assert!(worst(&fine) < worst(&coarse) / 10.0);
+    }
+
+    #[test]
+    fn odd_symmetry() {
+        let dac = ElectricalDac::new(8).unwrap();
+        for code in 1..=127 {
+            assert!(
+                (dac.convert(code) + dac.convert(-code)).abs() < 1e-9,
+                "code={code}"
+            );
+        }
+    }
+
+    #[test]
+    fn endpoints_exact() {
+        let dac = ElectricalDac::new(8).unwrap();
+        assert!((dac.convert(127) - 1.0).abs() < 1e-9);
+        assert!((dac.convert(-127) + 1.0).abs() < 1e-9);
+        assert!(dac.convert(0).abs() < 0.01);
+    }
+
+    #[test]
+    fn validation() {
+        assert_eq!(ElectricalDac::new(1), Err(EdacError::UnsupportedBits(1)));
+        assert_eq!(
+            ElectricalDac::with_dac_resolution(8, 20),
+            Err(EdacError::UnsupportedBits(20))
+        );
+        assert!(EdacError::UnsupportedBits(1).to_string().contains("1"));
+    }
+}

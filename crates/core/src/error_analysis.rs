@@ -1,0 +1,176 @@
+//! Conversion-error analysis across the full code space.
+//!
+//! Regenerates the paper's feasibility numbers (Fig. 8 and the error
+//! quotes of Sec. III-C) and provides the raw material for the Fig. 8
+//! bench binary: per-code error tables, summary statistics, and
+//! driver-vs-driver comparisons.
+
+use crate::converter::MzmDriver;
+use pdac_math::stats::Summary;
+
+/// Error statistics of one driver over its entire code space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorReport {
+    /// Bit width analyzed.
+    pub bits: u8,
+    /// Worst relative error and the code where it occurs (codes with
+    /// `|r| < min_magnitude` excluded).
+    pub max_relative: (f64, i32),
+    /// Mean relative error over included codes.
+    pub mean_relative: f64,
+    /// RMS absolute error over *all* codes.
+    pub rms_absolute: f64,
+    /// Worst absolute error over all codes.
+    pub max_absolute: f64,
+}
+
+/// Sweeps every representable code of `driver`, excluding codes whose
+/// ideal magnitude is below `min_magnitude` from the *relative* metrics
+/// (relative error diverges at `r → 0`; the paper quotes relative errors
+/// at specific nonzero points).
+///
+/// # Panics
+///
+/// Panics if `min_magnitude` is negative.
+pub fn analyze(driver: &dyn MzmDriver, min_magnitude: f64) -> ErrorReport {
+    assert!(min_magnitude >= 0.0, "minimum magnitude must be nonnegative");
+    let m = driver.max_code();
+    let mut max_rel = (0.0f64, 0i32);
+    let mut rel_sum = Summary::new();
+    let mut abs_sum = Summary::new();
+    for code in -m..=m {
+        let ideal = driver.ideal_value(code);
+        let got = driver.convert(code);
+        let abs_err = (got - ideal).abs();
+        abs_sum.push(abs_err);
+        if ideal.abs() >= min_magnitude && ideal != 0.0 {
+            let rel = abs_err / ideal.abs();
+            rel_sum.push(rel);
+            if rel > max_rel.0 {
+                max_rel = (rel, code);
+            }
+        }
+    }
+    ErrorReport {
+        bits: driver.bits(),
+        max_relative: max_rel,
+        mean_relative: rel_sum.mean().unwrap_or(0.0),
+        rms_absolute: abs_sum.rms().unwrap_or(0.0),
+        max_absolute: abs_sum.max().unwrap_or(0.0),
+    }
+}
+
+/// One row of the Fig. 8 curve: target value, approximated drive, exact
+/// drive, reconstructed value, relative error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Target analog value `r`.
+    pub r: f64,
+    /// Approximated drive `f(r)`.
+    pub drive: f64,
+    /// Exact drive `arccos(r)`.
+    pub exact_drive: f64,
+    /// Reconstructed value `cos(f(r))`.
+    pub reconstructed: f64,
+    /// Relative reconstruction error (0 at `r = 0`).
+    pub relative_error: f64,
+}
+
+/// Samples the Fig. 8 curve at `n` uniform points over `[−1, 1]` for a
+/// given approximation.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn sample_curve(approx: &crate::approx::ArccosApprox, n: usize) -> Vec<CurvePoint> {
+    assert!(n >= 2, "need at least two samples");
+    (0..n)
+        .map(|i| {
+            let r = -1.0 + 2.0 * i as f64 / (n - 1) as f64;
+            let drive = approx.drive(r);
+            CurvePoint {
+                r,
+                drive,
+                exact_drive: r.acos(),
+                reconstructed: drive.cos(),
+                relative_error: approx.reconstruction_error(r),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::ArccosApprox;
+    use crate::edac::ElectricalDac;
+    use crate::pdac::PDac;
+
+    #[test]
+    fn pdac_report_matches_paper_bound() {
+        let pdac = PDac::with_optimal_approx(8).unwrap();
+        let report = analyze(&pdac, 0.05);
+        assert!(report.max_relative.0 < 0.09, "{report:?}");
+        assert!(report.max_relative.0 > 0.07);
+        // Worst code sits near the ±0.7236 breakpoint: |code| ≈ 92.
+        assert!(
+            (report.max_relative.1.abs() - 92).abs() <= 3,
+            "worst at {}",
+            report.max_relative.1
+        );
+    }
+
+    #[test]
+    fn edac_report_is_an_order_of_magnitude_tighter() {
+        let pdac = PDac::with_optimal_approx(8).unwrap();
+        let edac = ElectricalDac::new(8).unwrap();
+        // Compare away from r ≈ 0, where even the baseline's LSB-scale
+        // absolute error produces a large *relative* error.
+        let p = analyze(&pdac, 0.3);
+        let e = analyze(&edac, 0.3);
+        assert!(e.max_relative.0 < p.max_relative.0 / 3.0, "e={e:?} p={p:?}");
+        assert!(e.rms_absolute < p.rms_absolute);
+    }
+
+    #[test]
+    fn first_order_worst_is_at_full_scale() {
+        let first = PDac::with_first_order_approx(8).unwrap();
+        let r = analyze(&first, 0.05);
+        assert!((r.max_relative.0 - 0.159).abs() < 3e-3, "{r:?}");
+        assert_eq!(r.max_relative.1.abs(), 127);
+    }
+
+    #[test]
+    fn curve_sampling_brackets_domain() {
+        let approx = ArccosApprox::optimal();
+        let pts = sample_curve(&approx, 101);
+        assert_eq!(pts.len(), 101);
+        assert_eq!(pts[0].r, -1.0);
+        assert_eq!(pts[100].r, 1.0);
+        // At r = ±1 the optimal form is exact.
+        assert!(pts[0].relative_error < 1e-9);
+        assert!(pts[100].relative_error < 1e-9);
+        // Worst sampled error near the breakpoint.
+        let worst = pts
+            .iter()
+            .map(|p| p.relative_error)
+            .fold(0.0f64, f64::max);
+        assert!((worst - 0.085).abs() < 3e-3);
+    }
+
+    #[test]
+    fn curve_drive_tracks_arccos_loosely() {
+        let approx = ArccosApprox::optimal();
+        for p in sample_curve(&approx, 201) {
+            assert!((p.drive - p.exact_drive).abs() < 0.3, "r={}", p.r);
+        }
+    }
+
+    #[test]
+    fn mean_is_below_max() {
+        let pdac = PDac::with_optimal_approx(8).unwrap();
+        let report = analyze(&pdac, 0.05);
+        assert!(report.mean_relative < report.max_relative.0);
+        assert!(report.mean_relative > 0.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Minimax trimming: optimizing the segments for *reconstruction* error.
+//!
+//! The paper designs its drive function by approximating `arccos` in
+//! drive space (Eq. 16–18) and then reports the resulting reconstruction
+//! error of `cos(f(r))` — 8.5% worst case. But the hardware doesn't care
+//! about drive-space fidelity: only the reconstructed value matters. With
+//! the *same* three-segment hardware (two positive regions + sign
+//! mirroring, one comparator), the segment coefficients can instead be
+//! chosen to directly minimize the worst relative reconstruction error.
+//! This module does that with coordinate descent over
+//! `(k, a_mid, a_end)` and shows the paper's design leaves margin
+//! on the table — a free accuracy upgrade for identical hardware cost.
+
+use crate::approx::ArccosApprox;
+use pdac_math::optimize::nelder_mead;
+use pdac_math::piecewise::{PiecewiseLinear, Segment};
+use std::f64::consts::{FRAC_PI_2, PI};
+
+/// Parameters of a three-segment drive with sign mirroring:
+/// `f(r) = π/2 + a_mid·r` on `[0, k]`, continued by
+/// `f(r) = f(k) + a_end·(r − k)` on `[k, 1]`.
+///
+/// The intercept is pinned at `π/2`: the sign-slot mirror
+/// `f(−r) = π − f(r)` is only continuous at `r = 0` when `f(0) = π/2`
+/// (equivalently, code 0 must emit exactly 0).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThreeSegmentParams {
+    /// Positive-domain breakpoint.
+    pub k: f64,
+    /// Middle-segment slope.
+    pub a_mid: f64,
+    /// End-segment slope.
+    pub a_end: f64,
+}
+
+impl ThreeSegmentParams {
+    /// Middle-segment intercept, fixed by the sign-mirror constraint.
+    pub const B_MID: f64 = FRAC_PI_2;
+
+    /// The paper's Eq. 18 coefficients.
+    pub fn paper() -> Self {
+        let k = crate::approx::PAPER_OPTIMAL_K;
+        Self {
+            k,
+            a_mid: -1.0,
+            a_end: (k - FRAC_PI_2) / (1.0 - k),
+        }
+    }
+
+    /// Builds the full-range drive function (mirroring negatives with
+    /// `f(−r) = π − f(r)` as the sign-slot hardware does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is outside `(0, 1)`.
+    pub fn to_approx(self) -> ArccosApprox {
+        assert!(self.k > 0.0 && self.k < 1.0, "breakpoint must lie in (0, 1)");
+        let f_at_k = Self::B_MID + self.a_mid * self.k;
+        let mid_pos = Segment::new(0.0, self.k, self.a_mid, Self::B_MID);
+        let end_pos = Segment::new(self.k, 1.0, self.a_end, f_at_k - self.a_end * self.k);
+        // Mirrors.
+        let mid_neg = Segment::new(-self.k, 0.0, self.a_mid, PI - Self::B_MID);
+        let end_neg = Segment::new(
+            -1.0,
+            -self.k,
+            self.a_end,
+            PI - (f_at_k - self.a_end * self.k),
+        );
+        let f = PiecewiseLinear::new(vec![end_neg, mid_neg, mid_pos, end_pos])
+            .expect("segments are contiguous by construction");
+        ArccosApprox::from_parts(f, self.k)
+    }
+
+    /// Worst-case relative reconstruction error over `n` samples.
+    pub fn objective(self, n: usize) -> f64 {
+        self.to_approx().max_reconstruction_error(n).0
+    }
+}
+
+/// Minimizes the worst-case reconstruction error over
+/// `(k, a_mid, a_end)` with Nelder-Mead from the paper's design.
+/// `rounds` scales the iteration budget (`rounds × 200` simplex steps;
+/// 2-3 rounds suffice).
+///
+/// # Panics
+///
+/// Panics if `rounds == 0`.
+pub fn minimax_three_segment(rounds: usize) -> ThreeSegmentParams {
+    assert!(rounds > 0, "need at least one optimization round");
+    let n = 8_001;
+    let start = ThreeSegmentParams::paper();
+    let objective = |x: &[f64]| {
+        let p = ThreeSegmentParams { k: x[0], a_mid: x[1], a_end: x[2] };
+        if !(0.05..=0.98).contains(&p.k) {
+            return 1e3;
+        }
+        p.objective(n)
+    };
+    let m = nelder_mead(
+        objective,
+        &[start.k, start.a_mid, start.a_end],
+        0.05,
+        rounds * 200,
+    );
+    ThreeSegmentParams { k: m.x[0], a_mid: m.x[1], a_end: m.x[2] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_params_reproduce_paper_error() {
+        let err = ThreeSegmentParams::paper().objective(20_001);
+        assert!((err - 0.085).abs() < 2e-3, "err={err}");
+    }
+
+    #[test]
+    fn paper_params_match_eq18_structure() {
+        let approx = ThreeSegmentParams::paper().to_approx();
+        let segs = approx.function().segments();
+        assert_eq!(segs.len(), 4);
+        // Middle positive: π/2 − r.
+        assert!((segs[2].slope + 1.0).abs() < 1e-12);
+        assert!((segs[2].intercept - FRAC_PI_2).abs() < 1e-12);
+        // End slope ≈ −3.0651.
+        assert!((segs[3].slope + 3.0651).abs() < 2e-3);
+    }
+
+    #[test]
+    fn minimax_beats_paper_design() {
+        let paper = ThreeSegmentParams::paper().objective(20_001);
+        let trimmed = minimax_three_segment(3).objective(20_001);
+        assert!(
+            trimmed < paper - 0.01,
+            "trimmed {trimmed} should clearly beat paper {paper}"
+        );
+    }
+
+    #[test]
+    fn minimax_stays_continuous_and_odd() {
+        let p = minimax_three_segment(2);
+        let f = p.to_approx();
+        for bp in [-p.k, 0.0, p.k] {
+            let gap = (f.drive(bp - 1e-9) - f.drive(bp + 1e-9)).abs();
+            assert!(gap < 1e-6, "gap {gap} at {bp}");
+        }
+        for &r in &[0.2, 0.6, 0.95] {
+            assert!((f.reconstruct(r) + f.reconstruct(-r)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn minimax_uses_same_hardware_budget() {
+        // Still two positive-domain regions -> one comparator, two TIA
+        // weight banks: identical cost to Eq. 18.
+        let f = minimax_three_segment(1).to_approx();
+        let positive_regions = f
+            .function()
+            .segments()
+            .iter()
+            .filter(|s| s.hi > 1e-12)
+            .count();
+        assert_eq!(positive_regions, 2);
+    }
+
+    #[test]
+    fn optimizer_is_deterministic() {
+        let a = minimax_three_segment(2);
+        let b = minimax_three_segment(2);
+        assert_eq!(a, b);
+    }
+}

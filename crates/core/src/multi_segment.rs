@@ -1,0 +1,206 @@
+//! Generalizing Eq. 18: arccos approximations with N linear segments.
+//!
+//! The paper stops at three segments ("the function in the P-DAC hardware
+//! can be easily decomposed into three parts by adding logic gates").
+//! Each extra segment costs one more magnitude comparator and TIA weight
+//! set, so the natural follow-up question is the error-vs-hardware curve:
+//! how fast does the worst-case reconstruction error fall as segments are
+//! added, and how should breakpoints be placed? This module synthesizes
+//! chord interpolants of `arccos` with arbitrary positive-domain nodes
+//! (mirrored by the same `π − f(−r)` sign path the 3-segment design
+//! uses) and provides uniform and slope-adapted node placements.
+
+use crate::approx::ArccosApprox;
+use pdac_math::piecewise::{PiecewiseLinear, Segment};
+use std::f64::consts::FRAC_PI_2;
+
+/// Builds the full-range chord interpolant of `arccos` through the given
+/// positive-domain nodes.
+///
+/// `positive_nodes` must be strictly increasing, start at `0.0` and end
+/// at `1.0`; each consecutive pair contributes one chord segment, and the
+/// negative domain mirrors via `f(−r) = π − f(r)`.
+///
+/// Chords are *interpolants*: they are exact at every node (in
+/// particular at `r = ±1`, like Eq. 18) and over-estimate `arccos`
+/// in between.
+///
+/// # Panics
+///
+/// Panics if fewer than two nodes are given or the node list is not an
+/// increasing `0.0 ..= 1.0` chain.
+pub fn chord_interpolant(positive_nodes: &[f64]) -> ArccosApprox {
+    assert!(positive_nodes.len() >= 2, "need at least two nodes");
+    assert!(
+        positive_nodes.first() == Some(&0.0) && positive_nodes.last() == Some(&1.0),
+        "nodes must span [0, 1]"
+    );
+    assert!(
+        positive_nodes.windows(2).all(|w| w[0] < w[1]),
+        "nodes must be strictly increasing"
+    );
+    let mut positive = Vec::new();
+    for pair in positive_nodes.windows(2) {
+        let (x0, x1) = (pair[0], pair[1]);
+        positive.push(Segment::through(x0, x0.acos(), x1, x1.acos()));
+    }
+    // Mirror: on [−x1, −x0], f(r) = π − f(−r) = a·r + (π − b).
+    let mut segments: Vec<Segment> = positive
+        .iter()
+        .rev()
+        .map(|s| Segment::new(-s.hi, -s.lo, s.slope, std::f64::consts::PI - s.intercept))
+        .collect();
+    segments.extend(positive.iter().copied());
+    let function = PiecewiseLinear::new(segments).expect("mirrored chain is contiguous");
+    let breakpoint = positive_nodes[positive_nodes.len() - 2].max(f64::MIN_POSITIVE);
+    ArccosApprox::from_parts(function, breakpoint)
+}
+
+/// Uniformly spaced nodes: `segments` chords of equal width.
+///
+/// # Panics
+///
+/// Panics if `segments == 0`.
+pub fn uniform_chords(segments: usize) -> ArccosApprox {
+    assert!(segments > 0, "need at least one segment");
+    let nodes: Vec<f64> = (0..=segments)
+        .map(|i| i as f64 / segments as f64)
+        .collect();
+    chord_interpolant(&nodes)
+}
+
+/// Slope-adapted nodes `r_i = sin(i·π/2/segments)`: uniform in the
+/// *drive angle*, so segments shrink toward `r = 1` where the arccos
+/// slope diverges. This is the natural placement for an MZM whose
+/// transfer is the cosine of the drive.
+///
+/// # Panics
+///
+/// Panics if `segments == 0`.
+pub fn sine_spaced_chords(segments: usize) -> ArccosApprox {
+    assert!(segments > 0, "need at least one segment");
+    let nodes: Vec<f64> = (0..=segments)
+        .map(|i| (i as f64 * FRAC_PI_2 / segments as f64).sin())
+        .collect();
+    chord_interpolant(&nodes)
+}
+
+/// One row of the error-vs-hardware ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentLadderRow {
+    /// Positive-domain segment count.
+    pub segments: usize,
+    /// Worst-case relative reconstruction error, uniform nodes.
+    pub uniform_error: f64,
+    /// Worst-case relative reconstruction error, sine-spaced nodes.
+    pub sine_error: f64,
+    /// Region comparators needed (positive-domain regions − 1).
+    pub comparators: usize,
+}
+
+/// Sweeps segment counts `1..=max_segments`.
+///
+/// # Panics
+///
+/// Panics if `max_segments == 0`.
+pub fn segment_ladder(max_segments: usize) -> Vec<SegmentLadderRow> {
+    assert!(max_segments > 0, "need at least one segment");
+    (1..=max_segments)
+        .map(|s| SegmentLadderRow {
+            segments: s,
+            uniform_error: uniform_chords(s).max_reconstruction_error(20_001).0,
+            sine_error: sine_spaced_chords(s).max_reconstruction_error(20_001).0,
+            comparators: s.saturating_sub(1),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_chord_is_the_full_secant() {
+        let f = uniform_chords(1);
+        // Chord of arccos from (0, π/2) to (1, 0): f(r) = π/2·(1−r).
+        assert!((f.drive(0.0) - FRAC_PI_2).abs() < 1e-12);
+        assert!(f.drive(1.0).abs() < 1e-12);
+        assert!((f.drive(0.5) - FRAC_PI_2 / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolant_exact_at_nodes() {
+        let nodes = [0.0, 0.3, 0.7236, 0.9, 1.0];
+        let f = chord_interpolant(&nodes);
+        for &r in &nodes {
+            assert!((f.drive(r) - r.acos()).abs() < 1e-9, "node {r}");
+            assert!((f.drive(-r) - (-r).acos()).abs() < 1e-9, "node {}", -r);
+        }
+    }
+
+    #[test]
+    fn interpolant_is_continuous_and_odd() {
+        let f = sine_spaced_chords(5);
+        for bp in f.function().breakpoints() {
+            let gap = (f.drive(bp - 1e-9) - f.drive(bp + 1e-9)).abs();
+            assert!(gap < 1e-6, "gap {gap} at {bp}");
+        }
+        for &r in &[0.1, 0.45, 0.8, 0.99] {
+            assert!((f.reconstruct(r) + f.reconstruct(-r)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn error_decreases_with_segments() {
+        let ladder = segment_ladder(8);
+        for pair in ladder.windows(2) {
+            assert!(pair[1].sine_error <= pair[0].sine_error + 1e-9);
+        }
+        // Eight sine-spaced segments get under 1%.
+        assert!(ladder[7].sine_error < 0.01, "{}", ladder[7].sine_error);
+    }
+
+    #[test]
+    fn sine_spacing_beats_uniform_for_few_segments() {
+        // The arccos slope diverges at r = 1; uniform chords waste their
+        // budget on the flat interior.
+        for row in segment_ladder(6).iter().skip(1) {
+            assert!(
+                row.sine_error < row.uniform_error,
+                "segments {}: sine {} vs uniform {}",
+                row.segments,
+                row.sine_error,
+                row.uniform_error
+            );
+        }
+    }
+
+    #[test]
+    fn three_sine_segments_comparable_to_paper_design() {
+        // The paper's 3-piece design (2 positive segments) hits 8.5%;
+        // a 2-segment sine-spaced chord interpolant is in the same band.
+        let two = sine_spaced_chords(2).max_reconstruction_error(20_001).0;
+        assert!(two < 0.16, "two-segment error {two}");
+        let three = sine_spaced_chords(3).max_reconstruction_error(20_001).0;
+        assert!(three < 0.085, "three-segment error {three}");
+    }
+
+    #[test]
+    fn comparator_count_tracks_segments() {
+        let ladder = segment_ladder(4);
+        assert_eq!(ladder[0].comparators, 0);
+        assert_eq!(ladder[3].comparators, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "span [0, 1]")]
+    fn bad_node_range_rejected() {
+        chord_interpolant(&[0.1, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_nodes_rejected() {
+        chord_interpolant(&[0.0, 0.8, 0.5, 1.0]);
+    }
+}

@@ -1,0 +1,306 @@
+//! The P-DAC conversion pipeline.
+//!
+//! End-to-end (paper Figs. 6–7): a signed digital code is encoded by the
+//! multi-bit EO interface into an *optical digital word* (one bit per time
+//! slot); at the modulator, each slot is photodetected and amplified by a
+//! TIA whose feedback weight encodes that bit's contribution to the
+//! piecewise-linear `arccos` approximation; the superimposed voltages
+//! drive the MZM push-pull, and the MZM emits the analog optical value.
+//!
+//! No electrical controller computes `arccos`, and no electrical DAC
+//! synthesizes the voltage — that is the entire power saving.
+
+use crate::approx::ArccosApprox;
+use crate::converter::MzmDriver;
+use crate::tia_weights::{TiaWeightPlan, WeightError};
+use pdac_math::Complex64;
+use pdac_photonics::devices::tia::TiaBank;
+use pdac_photonics::eo_interface::OpticalWord;
+use pdac_photonics::Mzm;
+use std::f64::consts::PI;
+
+/// Photocurrent (A) produced by a lit optical slot at the P-DAC's
+/// receive photodetectors. TIA feedback resistances are normalized
+/// against this reference.
+const SLOT_ON_CURRENT: f64 = 1e-3;
+
+/// Errors from [`PDac`] construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PDacError {
+    /// Weight synthesis failed (bit width / domain).
+    Weights(WeightError),
+}
+
+impl std::fmt::Display for PDacError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PDacError::Weights(e) => write!(f, "weight synthesis failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PDacError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PDacError::Weights(e) => Some(e),
+        }
+    }
+}
+
+impl From<WeightError> for PDacError {
+    fn from(e: WeightError) -> Self {
+        PDacError::Weights(e)
+    }
+}
+
+/// The photonic digital-to-analog converter.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_core::pdac::PDac;
+/// use pdac_core::converter::MzmDriver;
+///
+/// let pdac = PDac::with_optimal_approx(8)?;
+/// // Every code converts within the paper's 8.5% relative-error bound.
+/// for code in [-127, -92, -10, 10, 92, 127] {
+///     let ideal = pdac.ideal_value(code);
+///     let got = pdac.convert(code);
+///     assert!(((got - ideal) / ideal).abs() < 0.086);
+/// }
+/// # Ok::<(), pdac_core::pdac::PDacError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PDac {
+    approx: ArccosApprox,
+    plan: TiaWeightPlan,
+    banks: Vec<TiaBank>,
+    mzm: Mzm,
+}
+
+impl PDac {
+    /// Builds a P-DAC with the paper's optimal three-segment approximation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PDacError`] for unsupported bit widths.
+    pub fn with_optimal_approx(bits: u8) -> Result<Self, PDacError> {
+        Self::new(ArccosApprox::optimal(), bits)
+    }
+
+    /// Builds a P-DAC with the first-order approximation (Eq. 15 only) —
+    /// the ablation baseline with 15.9% worst-case error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PDacError`] for unsupported bit widths.
+    pub fn with_first_order_approx(bits: u8) -> Result<Self, PDacError> {
+        Self::new(ArccosApprox::first_order(), bits)
+    }
+
+    /// Builds a P-DAC with the minimax-trimmed three-segment drive
+    /// (see [`crate::minimax`]): identical hardware to the paper's
+    /// design, ~4.1% worst-case error instead of 8.5%.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PDacError`] for unsupported bit widths.
+    pub fn with_minimax_approx(bits: u8) -> Result<Self, PDacError> {
+        Self::new(crate::minimax::minimax_three_segment(3).to_approx(), bits)
+    }
+
+    /// Builds a P-DAC from an explicit approximation and bit width,
+    /// synthesizing TIA weights and wiring the physical TIA banks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PDacError`] for unsupported bit widths or domains.
+    pub fn new(approx: ArccosApprox, bits: u8) -> Result<Self, PDacError> {
+        let plan = TiaWeightPlan::synthesize(approx.function(), bits)?;
+        // One physical TIA bank per region: feedback resistance turns the
+        // slot photocurrent into the synthesized per-bit voltage weight.
+        let banks = plan
+            .regions()
+            .iter()
+            .map(|region| {
+                TiaBank::new(
+                    region
+                        .bit_weights
+                        .iter()
+                        .map(|w| w / SLOT_ON_CURRENT)
+                        .collect(),
+                )
+            })
+            .collect();
+        Ok(Self { approx, plan, banks, mzm: Mzm::ideal() })
+    }
+
+    /// The arccos approximation in use.
+    pub fn approx(&self) -> &ArccosApprox {
+        &self.approx
+    }
+
+    /// The synthesized weight plan.
+    pub fn plan(&self) -> &TiaWeightPlan {
+        &self.plan
+    }
+
+    /// The MZM drive voltage (normalized `V₁′`) the analog front end
+    /// produces for a code — the output of the TIA summing network.
+    pub fn drive_voltage(&self, code: i32) -> f64 {
+        let m = self.plan.max_code();
+        let code = code.clamp(-m, m);
+        let word = OpticalWord::encode(code, self.plan.bits())
+            .expect("clamped code is representable");
+        let currents = word.slot_currents(SLOT_ON_CURRENT);
+        let magnitude_currents = &currents[1..];
+        let region = self.plan.region_index(code.abs());
+        let v = self.plan.regions()[region].bias
+            + self.banks[region].sum_voltage(magnitude_currents);
+        // Sign slot selects the inverting stage with fixed π bias.
+        if word.is_negative() {
+            PI - v
+        } else {
+            v
+        }
+    }
+}
+
+impl MzmDriver for PDac {
+    fn bits(&self) -> u8 {
+        self.plan.bits()
+    }
+
+    /// Full photonic conversion: optical word → TIA bank → MZM push-pull.
+    fn convert(&self, code: i32) -> f64 {
+        let v = self.drive_voltage(code);
+        self.mzm.modulate_push_pull(Complex64::ONE, v).re
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_matches_weight_plan_reconstruction() {
+        // The physical pipeline (optical word, photocurrents, TIA bank,
+        // MZM) must agree exactly with the mathematical plan.
+        let pdac = PDac::with_optimal_approx(8).unwrap();
+        for code in -127..=127 {
+            let physical = pdac.convert(code);
+            let mathematical = pdac.plan().reconstruct(code);
+            assert!(
+                (physical - mathematical).abs() < 1e-12,
+                "code={code}: {physical} vs {mathematical}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_0x40_example() {
+        let pdac = PDac::with_optimal_approx(8).unwrap();
+        let out = pdac.convert(0x40);
+        let ideal = 64.0 / 127.0;
+        let rel = ((out - ideal) / ideal).abs();
+        assert!(rel < 0.085 + 1e-6, "relative error {rel}");
+    }
+
+    #[test]
+    fn error_bound_holds_for_all_codes_all_widths() {
+        for bits in [4u8, 6, 8, 10] {
+            let pdac = PDac::with_optimal_approx(bits).unwrap();
+            let m = pdac.max_code();
+            for code in -m..=m {
+                if code == 0 {
+                    continue;
+                }
+                let ideal = pdac.ideal_value(code);
+                let rel = ((pdac.convert(code) - ideal) / ideal).abs();
+                assert!(rel < 0.09, "bits={bits} code={code} rel={rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn first_order_variant_is_worse_at_full_scale() {
+        let opt = PDac::with_optimal_approx(8).unwrap();
+        let first = PDac::with_first_order_approx(8).unwrap();
+        let ideal = 1.0;
+        let e_opt = ((opt.convert(127) - ideal) / ideal).abs();
+        let e_first = ((first.convert(127) - ideal) / ideal).abs();
+        assert!(e_opt < 1e-6, "optimal is anchored at full scale: {e_opt}");
+        assert!((e_first - 0.159).abs() < 2e-3, "first order: {e_first}");
+    }
+
+    #[test]
+    fn conversion_is_odd() {
+        let pdac = PDac::with_optimal_approx(8).unwrap();
+        for code in 1..=127 {
+            let pos = pdac.convert(code);
+            let neg = pdac.convert(-code);
+            assert!((pos + neg).abs() < 1e-12, "code={code}");
+        }
+    }
+
+    #[test]
+    fn conversion_is_monotone() {
+        let pdac = PDac::with_optimal_approx(8).unwrap();
+        let mut prev = pdac.convert(-127);
+        for code in -126..=127 {
+            let cur = pdac.convert(code);
+            assert!(cur >= prev - 1e-12, "non-monotone at code {code}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn zero_maps_to_zero() {
+        let pdac = PDac::with_optimal_approx(8).unwrap();
+        assert!(pdac.convert(0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn codes_saturate() {
+        let pdac = PDac::with_optimal_approx(4).unwrap();
+        assert_eq!(pdac.convert(1000), pdac.convert(7));
+        assert_eq!(pdac.convert(-1000), pdac.convert(-7));
+    }
+
+    #[test]
+    fn convert_value_round_trips_within_bound() {
+        let pdac = PDac::with_optimal_approx(8).unwrap();
+        let mut x = -1.0;
+        while x <= 1.0 {
+            let out = pdac.convert_value(x);
+            if x.abs() > 0.05 {
+                assert!(
+                    ((out - x) / x).abs() < 0.1,
+                    "x={x} out={out}"
+                );
+            }
+            x += 0.013;
+        }
+    }
+
+    #[test]
+    fn drive_voltage_range_is_zero_to_pi() {
+        // arccos maps [−1, 1] to [0, π]; the approximation should too
+        // (small overshoot allowed at segment corners).
+        let pdac = PDac::with_optimal_approx(8).unwrap();
+        for code in -127..=127 {
+            let v = pdac.drive_voltage(code);
+            assert!(
+                (-0.01..=PI + 0.01).contains(&v),
+                "code={code} voltage={v}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_conversion_chain() {
+        let err = PDac::with_optimal_approx(1).unwrap_err();
+        assert!(err.to_string().contains("weight synthesis"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

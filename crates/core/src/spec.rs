@@ -1,0 +1,204 @@
+//! Hardware specification ("datasheet") generation for a P-DAC design.
+//!
+//! Turns a synthesized design into the concrete implementation numbers a
+//! circuit team would need (paper Fig. 7's block diagram made
+//! quantitative): per-region TIA feedback resistances at a reference
+//! photocurrent, region-select comparator thresholds, component
+//! inventory, and the drive-voltage range handed to the MZM.
+
+use crate::pdac::PDac;
+use std::fmt;
+
+/// One region's electrical implementation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionSpec {
+    /// Region index (0 = around zero).
+    pub index: usize,
+    /// Inclusive magnitude-code range `[lo, hi]` selecting this region.
+    pub code_range: (i32, i32),
+    /// Bias voltage contribution, volts (normalized drive units).
+    pub bias_volts: f64,
+    /// Per-bit TIA feedback resistances (Ω) at the reference
+    /// photocurrent, MSB first. Negative = inverting stage.
+    pub tia_feedback_ohms: Vec<f64>,
+}
+
+/// The full datasheet of one P-DAC instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PDacSpec {
+    /// Bit width.
+    pub bits: u8,
+    /// Reference photocurrent of a lit slot, amperes.
+    pub slot_current_a: f64,
+    /// Magnitude-comparator thresholds (`leq` logic), one per region
+    /// boundary.
+    pub comparator_thresholds: Vec<i32>,
+    /// Per-region implementations.
+    pub regions: Vec<RegionSpec>,
+    /// Total drive range `[min, max]` produced across all codes, in
+    /// normalized volts (`V₁′`).
+    pub drive_range: (f64, f64),
+    /// Component inventory: (photodetectors, TIA stages, comparators,
+    /// analog summing nodes).
+    pub component_counts: (usize, usize, usize, usize),
+}
+
+impl PDacSpec {
+    /// Extracts the datasheet from a built converter at the given
+    /// reference slot photocurrent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot_current_a <= 0`.
+    pub fn from_pdac(pdac: &PDac, slot_current_a: f64) -> Self {
+        assert!(slot_current_a > 0.0, "slot current must be positive");
+        let plan = pdac.plan();
+        let bits = plan.bits();
+        let mag_bits = bits as usize - 1;
+        let mut regions = Vec::new();
+        let mut lo = 0;
+        for (index, region) in plan.regions().iter().enumerate() {
+            regions.push(RegionSpec {
+                index,
+                code_range: (lo, region.max_magnitude),
+                bias_volts: region.bias,
+                tia_feedback_ohms: region
+                    .bit_weights
+                    .iter()
+                    .map(|w| w / slot_current_a)
+                    .collect(),
+            });
+            lo = region.max_magnitude + 1;
+        }
+        let comparator_thresholds = plan
+            .regions()
+            .iter()
+            .take(plan.regions().len().saturating_sub(1))
+            .map(|r| r.max_magnitude)
+            .collect();
+        let m = plan.max_code();
+        let mut vmin = f64::INFINITY;
+        let mut vmax = f64::NEG_INFINITY;
+        for code in -m..=m {
+            let v = pdac.drive_voltage(code);
+            vmin = vmin.min(v);
+            vmax = vmax.max(v);
+        }
+        // One PD + TIA per slot (sign + magnitudes), per region bank for
+        // the magnitude bits; one comparator per region boundary; one
+        // summing node per region plus the sign-mirror stage.
+        let region_count = plan.regions().len();
+        let pds = bits as usize;
+        let tias = mag_bits * region_count + 1; // +1 sign stage
+        let comparators = region_count - 1;
+        let summing = region_count + 1;
+        Self {
+            bits,
+            slot_current_a,
+            comparator_thresholds,
+            regions,
+            drive_range: (vmin, vmax),
+            component_counts: (pds, tias, comparators, summing),
+        }
+    }
+}
+
+impl fmt::Display for PDacSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "P-DAC datasheet — {}-bit, slot current {:.2e} A", self.bits, self.slot_current_a)?;
+        writeln!(
+            f,
+            "  drive range: {:.4} .. {:.4} rad (MZM V1', push-pull)",
+            self.drive_range.0, self.drive_range.1
+        )?;
+        writeln!(f, "  comparator thresholds (leq): {:?}", self.comparator_thresholds)?;
+        let (pds, tias, cmps, sums) = self.component_counts;
+        writeln!(
+            f,
+            "  components: {pds} photodetectors, {tias} TIA stages, {cmps} comparators, {sums} summing nodes"
+        )?;
+        for r in &self.regions {
+            writeln!(
+                f,
+                "  region {} (codes {}..={}): bias {:+.4} V",
+                r.index, r.code_range.0, r.code_range.1, r.bias_volts
+            )?;
+            for (i, ohms) in r.tia_feedback_ohms.iter().enumerate() {
+                writeln!(f, "    bit {i} (MSB-{i}): R_f = {ohms:+.2} Ω")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdac_photonics::devices::tia::TiaBank;
+
+    fn spec() -> PDacSpec {
+        PDacSpec::from_pdac(&PDac::with_optimal_approx(8).unwrap(), 1e-3)
+    }
+
+    #[test]
+    fn eight_bit_structure() {
+        let s = spec();
+        assert_eq!(s.bits, 8);
+        assert_eq!(s.regions.len(), 2);
+        assert_eq!(s.comparator_thresholds, vec![91]);
+        assert_eq!(s.regions[0].code_range, (0, 91));
+        assert_eq!(s.regions[1].code_range, (92, 127));
+        // 8 PDs (sign + 7 magnitude), 7 TIAs × 2 regions + sign stage.
+        assert_eq!(s.component_counts, (8, 15, 1, 3));
+    }
+
+    #[test]
+    fn drive_range_spans_zero_to_pi() {
+        let s = spec();
+        assert!(s.drive_range.0 >= -0.01);
+        assert!(s.drive_range.1 <= std::f64::consts::PI + 0.01);
+        assert!(s.drive_range.1 - s.drive_range.0 > 3.0);
+    }
+
+    #[test]
+    fn feedback_resistances_rebuild_the_weights() {
+        // Round trip: a TiaBank built from the datasheet resistances must
+        // reproduce the plan's voltages at the reference current.
+        let pdac = PDac::with_optimal_approx(8).unwrap();
+        let s = PDacSpec::from_pdac(&pdac, 1e-3);
+        let region = &s.regions[0];
+        let bank = TiaBank::new(region.tia_feedback_ohms.clone());
+        // Code 0b101 = 5: bits 4 and 0 of 7 lit.
+        let currents: Vec<f64> = (0..7)
+            .map(|i| if (5 >> (6 - i)) & 1 != 0 { 1e-3 } else { 0.0 })
+            .collect();
+        let v = region.bias_volts + bank.sum_voltage(&currents);
+        assert!((v - pdac.drive_voltage(5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resistances_scale_inverse_with_current() {
+        let pdac = PDac::with_optimal_approx(8).unwrap();
+        let a = PDacSpec::from_pdac(&pdac, 1e-3);
+        let b = PDacSpec::from_pdac(&pdac, 2e-3);
+        let ra = a.regions[0].tia_feedback_ohms[0];
+        let rb = b.regions[0].tia_feedback_ohms[0];
+        assert!((ra / rb - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_a_readable_datasheet() {
+        let text = spec().to_string();
+        assert!(text.contains("datasheet"));
+        assert!(text.contains("comparator"));
+        assert!(text.contains("R_f"));
+        assert!(text.contains("region 1"));
+    }
+
+    #[test]
+    fn first_order_variant_has_no_comparators() {
+        let s = PDacSpec::from_pdac(&PDac::with_first_order_approx(8).unwrap(), 1e-3);
+        assert!(s.comparator_thresholds.is_empty());
+        assert_eq!(s.regions.len(), 1);
+    }
+}

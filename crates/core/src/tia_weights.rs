@@ -1,0 +1,326 @@
+//! TIA weight synthesis for the P-DAC.
+//!
+//! Given a piecewise-linear drive function `f(r)` and a bit width `b`,
+//! this module computes the per-bit TIA feedback weights and region-select
+//! thresholds that make a TIA bank output exactly `f(r)` for every
+//! representable code (paper Fig. 7 and the closing note of Sec. III-C:
+//! "the function in the P-DAC hardware can be easily decomposed into three
+//! parts by adding logic gates (e.g., leq)").
+//!
+//! For a region with line `f(r) = a·r + c` and a positive code of
+//! magnitude `m` (so `r = m / M` with `M = 2^(b−1) − 1`), the drive is
+//!
+//! ```text
+//! V = c + Σᵢ bitᵢ · (a · 2^(b−2−i) / M)
+//! ```
+//!
+//! i.e. bit `i`'s TIA weight is the line's slope scaled by the bit's
+//! binary significance. Negative codes use the odd symmetry
+//! `f(−r) = π − f(|r|)`: the sign slot selects an inverting output stage
+//! with a fixed π bias, so only the positive-domain regions need weight
+//! tables.
+
+use pdac_math::piecewise::PiecewiseLinear;
+use std::f64::consts::PI;
+
+/// Weights for one positive-domain region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionWeights {
+    /// Largest magnitude code (inclusive) selecting this region.
+    pub max_magnitude: i32,
+    /// Constant bias voltage (the line's intercept).
+    pub bias: f64,
+    /// Per-magnitude-bit TIA weights, MSB first.
+    pub bit_weights: Vec<f64>,
+}
+
+impl RegionWeights {
+    /// Evaluates the region's superimposed voltage for a magnitude code.
+    fn voltage(&self, magnitude: i32) -> f64 {
+        let bits = self.bit_weights.len();
+        let mut v = self.bias;
+        for (i, w) in self.bit_weights.iter().enumerate() {
+            let bit = (magnitude >> (bits - 1 - i)) & 1;
+            if bit != 0 {
+                v += w;
+            }
+        }
+        v
+    }
+}
+
+/// Errors from weight-plan synthesis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightError {
+    /// Bit width outside `2..=16`.
+    UnsupportedBits(u8),
+    /// The drive function's domain is not `[−1, 1]`.
+    BadDomain,
+}
+
+impl std::fmt::Display for WeightError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightError::UnsupportedBits(b) => write!(f, "bit width {b} outside 2..=16"),
+            WeightError::BadDomain => write!(f, "drive function must cover [-1, 1]"),
+        }
+    }
+}
+
+impl std::error::Error for WeightError {}
+
+/// The synthesized hardware plan: region thresholds + per-region weights.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_core::approx::ArccosApprox;
+/// use pdac_core::tia_weights::TiaWeightPlan;
+///
+/// let plan = TiaWeightPlan::synthesize(ArccosApprox::optimal().function(), 8)?;
+/// // Drive for the paper's 0x40 example: ≈ arccos-approx of 64/127.
+/// let v = plan.drive_voltage(0x40);
+/// assert!((v.cos() - 64.0 / 127.0).abs() < 0.06);
+/// # Ok::<(), pdac_core::tia_weights::WeightError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TiaWeightPlan {
+    bits: u8,
+    regions: Vec<RegionWeights>,
+}
+
+impl TiaWeightPlan {
+    /// Synthesizes a plan from a drive function over `[−1, 1]`.
+    ///
+    /// Region boundaries are quantized to the code grid — exactly what
+    /// digital `leq` comparators in the region-select logic do.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WeightError::UnsupportedBits`] outside `2..=16`, or
+    /// [`WeightError::BadDomain`] when the function's domain is not
+    /// `[−1, 1]`.
+    pub fn synthesize(function: &PiecewiseLinear, bits: u8) -> Result<Self, WeightError> {
+        if !(2..=16).contains(&bits) {
+            return Err(WeightError::UnsupportedBits(bits));
+        }
+        let (lo, hi) = function.domain();
+        if (lo + 1.0).abs() > 1e-9 || (hi - 1.0).abs() > 1e-9 {
+            return Err(WeightError::BadDomain);
+        }
+        let max_code = (1i32 << (bits - 1)) - 1;
+        let mag_bits = (bits - 1) as usize;
+        // Positive-domain segments ordered by upper bound.
+        let mut regions = Vec::new();
+        for seg in function.segments().iter().filter(|s| s.hi > 1e-12) {
+            let lo_clamped = seg.lo.max(0.0);
+            let _ = lo_clamped; // regions are delimited by max_magnitude below
+            let max_magnitude = if (seg.hi - 1.0).abs() < 1e-9 {
+                max_code
+            } else {
+                (seg.hi * max_code as f64).floor() as i32
+            };
+            let bit_weights = (0..mag_bits)
+                .map(|i| seg.slope * (1i64 << (mag_bits - 1 - i)) as f64 / max_code as f64)
+                .collect();
+            regions.push(RegionWeights {
+                max_magnitude,
+                bias: seg.intercept,
+                bit_weights,
+            });
+        }
+        Ok(Self { bits, regions })
+    }
+
+    /// Bit width the plan was synthesized for.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Largest magnitude code.
+    pub fn max_code(&self) -> i32 {
+        (1i32 << (self.bits - 1)) - 1
+    }
+
+    /// The positive-domain regions, ordered by magnitude threshold.
+    pub fn regions(&self) -> &[RegionWeights] {
+        &self.regions
+    }
+
+    /// Index of the region handling a magnitude code (`leq` comparators).
+    pub fn region_index(&self, magnitude: i32) -> usize {
+        for (i, region) in self.regions.iter().enumerate() {
+            if magnitude <= region.max_magnitude {
+                return i;
+            }
+        }
+        self.regions.len() - 1
+    }
+
+    /// The MZM drive voltage for a signed code: positive codes evaluate
+    /// their region's superimposed TIA voltages; negative codes apply the
+    /// sign-slot path `V = π − V(|code|)`.
+    ///
+    /// Codes saturate at `±max_code`.
+    pub fn drive_voltage(&self, code: i32) -> f64 {
+        let m = self.max_code();
+        let code = code.clamp(-m, m);
+        let magnitude = code.abs();
+        let region = &self.regions[self.region_index(magnitude)];
+        let v = region.voltage(magnitude);
+        if code < 0 {
+            PI - v
+        } else {
+            v
+        }
+    }
+
+    /// The analog value the MZM reconstructs for a code: `cos(V)`.
+    pub fn reconstruct(&self, code: i32) -> f64 {
+        self.drive_voltage(code).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::ArccosApprox;
+
+    fn plan(bits: u8) -> TiaWeightPlan {
+        TiaWeightPlan::synthesize(ArccosApprox::optimal().function(), bits).unwrap()
+    }
+
+    #[test]
+    fn synthesis_validates_inputs() {
+        let f = ArccosApprox::optimal();
+        assert_eq!(
+            TiaWeightPlan::synthesize(f.function(), 1),
+            Err(WeightError::UnsupportedBits(1))
+        );
+        // A function over [0, 1] only is rejected.
+        let half = pdac_math::piecewise::PiecewiseLinear::new(vec![
+            pdac_math::piecewise::Segment::new(0.0, 1.0, -1.0, 1.0),
+        ])
+        .unwrap();
+        assert_eq!(
+            TiaWeightPlan::synthesize(&half, 8),
+            Err(WeightError::BadDomain)
+        );
+    }
+
+    #[test]
+    fn two_positive_regions_for_three_segment_function() {
+        let p = plan(8);
+        assert_eq!(p.regions().len(), 2);
+        // First region threshold ≈ 0.7236 · 127 = 91.9 → 91.
+        assert_eq!(p.regions()[0].max_magnitude, 91);
+        assert_eq!(p.regions()[1].max_magnitude, 127);
+    }
+
+    #[test]
+    fn one_region_for_first_order() {
+        let p = TiaWeightPlan::synthesize(ArccosApprox::first_order().function(), 8).unwrap();
+        assert_eq!(p.regions().len(), 1);
+    }
+
+    #[test]
+    fn voltage_matches_continuous_function_on_grid() {
+        let approx = ArccosApprox::optimal();
+        let p = TiaWeightPlan::synthesize(approx.function(), 8).unwrap();
+        let m = p.max_code() as f64;
+        for code in -p.max_code()..=p.max_code() {
+            let r = code as f64 / m;
+            let expected = approx.drive(r);
+            let got = p.drive_voltage(code);
+            // Region boundary quantization can differ by one code step's
+            // worth of the two lines' gap; elsewhere exact.
+            assert!(
+                (got - expected).abs() < 0.06,
+                "code={code}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_weight_structure() {
+        let p = plan(8);
+        let w = &p.regions()[0].bit_weights;
+        assert_eq!(w.len(), 7);
+        // Each weight is exactly double the next (binary significance).
+        for pair in w.windows(2) {
+            assert!((pair[0] / pair[1] - 2.0).abs() < 1e-12);
+        }
+        // Middle-region slope is −1 → MSB weight = −64/127.
+        assert!((w[0] + 64.0 / 127.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sign_path_is_pi_minus_positive() {
+        let p = plan(8);
+        for code in [1, 17, 64, 91, 92, 127] {
+            let pos = p.drive_voltage(code);
+            let neg = p.drive_voltage(-code);
+            assert!((neg - (std::f64::consts::PI - pos)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reconstruction_error_bounded_by_paper_value() {
+        // Worst-case over every representable 8-bit code: the hardware
+        // plan inherits the 8.5% bound (plus a hair of quantization).
+        let p = plan(8);
+        let m = p.max_code();
+        let mut worst: f64 = 0.0;
+        for code in -m..=m {
+            if code == 0 {
+                continue;
+            }
+            let r = code as f64 / m as f64;
+            let err = ((p.reconstruct(code) - r) / r).abs();
+            worst = worst.max(err);
+        }
+        assert!(worst < 0.09, "worst={worst}");
+        assert!(worst > 0.07, "worst={worst} suspiciously low");
+    }
+
+    #[test]
+    fn zero_code_maps_near_zero() {
+        let p = plan(8);
+        assert!(p.reconstruct(0).abs() < 1e-12); // cos(π/2) = 0 exactly
+    }
+
+    #[test]
+    fn full_scale_is_exact() {
+        let p = plan(8);
+        assert!((p.reconstruct(127) - 1.0).abs() < 1e-9);
+        assert!((p.reconstruct(-127) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturation_beyond_range() {
+        let p = plan(4);
+        assert_eq!(p.drive_voltage(100), p.drive_voltage(7));
+        assert_eq!(p.drive_voltage(-100), p.drive_voltage(-7));
+    }
+
+    #[test]
+    fn region_index_comparators() {
+        let p = plan(8);
+        assert_eq!(p.region_index(0), 0);
+        assert_eq!(p.region_index(91), 0);
+        assert_eq!(p.region_index(92), 1);
+        assert_eq!(p.region_index(127), 1);
+    }
+
+    #[test]
+    fn works_across_bit_widths() {
+        for bits in [2u8, 3, 4, 6, 8, 10, 12, 16] {
+            let p = plan(bits);
+            let m = p.max_code();
+            for code in [-m, -1, 0, 1, m] {
+                let v = p.drive_voltage(code);
+                assert!(v.is_finite(), "bits={bits} code={code}");
+            }
+        }
+    }
+}

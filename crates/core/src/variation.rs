@@ -1,0 +1,454 @@
+//! Monte-Carlo device-variation analysis of the P-DAC.
+//!
+//! The paper's error budget assumes ideal components: balanced MZM
+//! splitting (`k = 0` in Eq. 3), exact TIA weights and a noiseless
+//! receive path. Fabricated silicon photonics has none of those luxuries,
+//! so this module perturbs every analog element of the P-DAC pipeline —
+//! MZM imbalance, per-bit TIA weight mismatch, receive-current noise —
+//! and measures how far the worst-case conversion error drifts from the
+//! nominal 8.5%. This quantifies the robustness margin a deployment
+//! would need.
+
+use crate::approx::ArccosApprox;
+use crate::tia_weights::TiaWeightPlan;
+use pdac_math::stats::Summary;
+use pdac_math::{Complex64, Mat};
+use pdac_photonics::Mzm;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::PI;
+
+/// Per-device variation magnitudes (1σ, Gaussian).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationParams {
+    /// MZM splitting imbalance σ (the `k` of Eq. 3).
+    pub mzm_imbalance_sigma: f64,
+    /// Relative TIA weight mismatch σ.
+    pub tia_weight_sigma: f64,
+    /// Additive drive-voltage noise σ (radians of normalized drive).
+    pub drive_noise_sigma: f64,
+}
+
+impl VariationParams {
+    /// A typical foundry corner: 1% splitting imbalance, 0.5% resistor
+    /// mismatch, small drive noise.
+    pub fn typical() -> Self {
+        Self {
+            mzm_imbalance_sigma: 0.01,
+            tia_weight_sigma: 0.005,
+            drive_noise_sigma: 0.002,
+        }
+    }
+
+    /// No variation — must reproduce the nominal P-DAC exactly.
+    pub fn none() -> Self {
+        Self {
+            mzm_imbalance_sigma: 0.0,
+            tia_weight_sigma: 0.0,
+            drive_noise_sigma: 0.0,
+        }
+    }
+
+    /// Scales every σ by `factor` (corner sweeps).
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            mzm_imbalance_sigma: self.mzm_imbalance_sigma * factor,
+            tia_weight_sigma: self.tia_weight_sigma * factor,
+            drive_noise_sigma: self.drive_noise_sigma * factor,
+        }
+    }
+}
+
+/// A single sampled P-DAC instance with perturbed components.
+#[derive(Debug, Clone)]
+pub struct VariedPDac {
+    plan: TiaWeightPlan,
+    weight_scale: Vec<Vec<f64>>,
+    bias_offset: Vec<f64>,
+    mzm: Mzm,
+    drive_noise_sigma: f64,
+    rng_seed: u64,
+}
+
+impl VariedPDac {
+    /// Samples one device instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `2..=16`.
+    pub fn sample(bits: u8, params: &VariationParams, rng: &mut StdRng) -> Self {
+        let plan = TiaWeightPlan::synthesize(ArccosApprox::optimal().function(), bits)
+            .expect("validated bit width");
+        let weight_scale = plan
+            .regions()
+            .iter()
+            .map(|region| {
+                region
+                    .bit_weights
+                    .iter()
+                    .map(|_| 1.0 + params.tia_weight_sigma * standard_normal(rng))
+                    .collect()
+            })
+            .collect();
+        let bias_offset = plan
+            .regions()
+            .iter()
+            .map(|_| params.tia_weight_sigma * standard_normal(rng) * 0.1)
+            .collect();
+        let imbalance =
+            (params.mzm_imbalance_sigma * standard_normal(rng)).clamp(-0.5, 0.5);
+        Self {
+            plan,
+            weight_scale,
+            bias_offset,
+            mzm: Mzm::new(1.0, imbalance, 0.0),
+            drive_noise_sigma: params.drive_noise_sigma,
+            rng_seed: rng.gen(),
+        }
+    }
+
+    /// Converts a code through the perturbed pipeline. Drive noise is
+    /// deterministic per (instance, code) so conversion is repeatable.
+    pub fn convert(&self, code: i32) -> f64 {
+        let m = self.plan.max_code();
+        let code = code.clamp(-m, m);
+        let magnitude = code.abs();
+        let region_idx = self.plan.region_index(magnitude);
+        let region = &self.plan.regions()[region_idx];
+        let bits = region.bit_weights.len();
+        let mut v = region.bias + self.bias_offset[region_idx];
+        for (i, (w, s)) in region
+            .bit_weights
+            .iter()
+            .zip(&self.weight_scale[region_idx])
+            .enumerate()
+        {
+            if (magnitude >> (bits - 1 - i)) & 1 != 0 {
+                v += w * s;
+            }
+        }
+        if code < 0 {
+            v = PI - v;
+        }
+        if self.drive_noise_sigma > 0.0 {
+            let mut rng =
+                StdRng::seed_from_u64(self.rng_seed ^ (code as u64).wrapping_mul(0x9E37));
+            v += self.drive_noise_sigma * standard_normal(&mut rng);
+        }
+        self.mzm.modulate_push_pull(Complex64::ONE, v).re
+    }
+
+    /// Post-fabrication trim: a calibration rig sweeps every magnitude
+    /// code of each region, infers the realized drive from the measured
+    /// output (`V = arccos(E_out)`, invertible on `[0, π]`), and solves
+    /// the per-region least-squares system for the effective per-bit
+    /// weights and bias. Resistor corrections then restore the nominal
+    /// plan. Residual error after trimming comes from (a) drive noise
+    /// (averaged by the rig but present in operation), (b) the MZM
+    /// imbalance's quadrature leakage, and (c) a sign ambiguity near
+    /// full scale: the output `cos(V)` is even in `V`, so codes whose
+    /// perturbed drive crosses 0 (within a few LSB of ±max code) are
+    /// measured as `|V|` and cannot be fit exactly by the linear model —
+    /// an O(mismatch²) floor no intensity-based rig can remove.
+    pub fn trim(&mut self) {
+        let plan = self.plan.clone();
+        let mag_bits = plan.bits() as usize - 1;
+        for (region_idx, region) in plan.regions().iter().enumerate() {
+            let lo = if region_idx == 0 {
+                0
+            } else {
+                plan.regions()[region_idx - 1].max_magnitude + 1
+            };
+            let codes: Vec<i32> = (lo..=region.max_magnitude).collect();
+            // Bits that toggle within this region are identifiable; bits
+            // stuck high (e.g. the MSB of the end region, set in every
+            // code >= the breakpoint) are physically indistinguishable
+            // from the bias here, so their contribution folds into the
+            // constant term.
+            let toggling: Vec<usize> = (0..mag_bits)
+                .filter(|&i| {
+                    let first = (codes[0] >> (mag_bits - 1 - i)) & 1;
+                    codes.iter().any(|&c| (c >> (mag_bits - 1 - i)) & 1 != first)
+                })
+                .collect();
+            if codes.len() < toggling.len() + 1 {
+                continue; // tiny widths: not enough observations
+            }
+            let cols = toggling.len() + 1;
+            let a = Mat::from_fn(codes.len(), cols, |r, c| {
+                // Last column is the constant term; the rest indicate
+                // whether the toggling bit is lit in this code.
+                let lit = c == cols - 1
+                    || (codes[r] >> (mag_bits - 1 - toggling[c])) & 1 != 0;
+                if lit { 1.0 } else { 0.0 }
+            });
+            let y: Vec<f64> = codes
+                .iter()
+                .map(|&code| self.convert_noiseless(code).clamp(-1.0, 1.0).acos())
+                .collect();
+            let Ok(solved) = a.solve_least_squares(&y) else {
+                continue;
+            };
+            for (slot, &bit) in toggling.iter().enumerate() {
+                let effective = solved[slot];
+                let nominal = region.bit_weights[bit];
+                if effective.abs() > 1e-12 {
+                    self.weight_scale[region_idx][bit] *= nominal / effective;
+                }
+            }
+            // Constant term C = bias_eff + Σ_stuck-high w·s. Re-centre the
+            // bias so the region's constant equals the nominal constant.
+            let stuck_high_nominal: f64 = (0..mag_bits)
+                .filter(|i| !toggling.contains(i))
+                .filter(|&i| (codes[0] >> (mag_bits - 1 - i)) & 1 != 0)
+                .map(|i| region.bit_weights[i])
+                .sum();
+            self.bias_offset[region_idx] +=
+                region.bias + stuck_high_nominal - solved[cols - 1];
+        }
+    }
+
+    /// Conversion bypassing the drive-noise term (a quiet test rig
+    /// averages noise away).
+    fn convert_noiseless(&self, code: i32) -> f64 {
+        let m = self.plan.max_code();
+        let code = code.clamp(-m, m);
+        let magnitude = code.abs();
+        let region_idx = self.plan.region_index(magnitude);
+        let region = &self.plan.regions()[region_idx];
+        let bits = region.bit_weights.len();
+        let mut v = region.bias + self.bias_offset[region_idx];
+        for (i, (w, s)) in region
+            .bit_weights
+            .iter()
+            .zip(&self.weight_scale[region_idx])
+            .enumerate()
+        {
+            if (magnitude >> (bits - 1 - i)) & 1 != 0 {
+                v += w * s;
+            }
+        }
+        if code < 0 {
+            v = PI - v;
+        }
+        self.mzm.modulate_push_pull(Complex64::ONE, v).re
+    }
+
+    /// Quadrature leakage of a conversion: with splitting imbalance `k`,
+    /// the push-pull MZM emits `cos V + j·k·sin V` — the in-phase value
+    /// (what [`Self::convert`] returns) is untouched, but the imaginary
+    /// component leaks into downstream interference in the DDot unit.
+    /// Returns `|Im(E_out)|`.
+    pub fn quadrature_leakage(&self, code: i32) -> f64 {
+        let m = self.plan.max_code();
+        let code = code.clamp(-m, m);
+        let magnitude = code.abs();
+        let region_idx = self.plan.region_index(magnitude);
+        let region = &self.plan.regions()[region_idx];
+        let bits = region.bit_weights.len();
+        let mut v = region.bias + self.bias_offset[region_idx];
+        for (i, (w, s)) in region
+            .bit_weights
+            .iter()
+            .zip(&self.weight_scale[region_idx])
+            .enumerate()
+        {
+            if (magnitude >> (bits - 1 - i)) & 1 != 0 {
+                v += w * s;
+            }
+        }
+        if code < 0 {
+            v = PI - v;
+        }
+        self.mzm.modulate_push_pull(Complex64::ONE, v).im.abs()
+    }
+
+    /// Worst relative conversion error over codes with `|r| >= floor`.
+    pub fn worst_relative_error(&self, floor: f64) -> f64 {
+        let m = self.plan.max_code();
+        let mut worst = 0.0f64;
+        for code in -m..=m {
+            let ideal = code as f64 / m as f64;
+            if ideal.abs() < floor {
+                continue;
+            }
+            let err = ((self.convert(code) - ideal) / ideal).abs();
+            worst = worst.max(err);
+        }
+        worst
+    }
+}
+
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos()
+}
+
+/// Monte-Carlo result over many device instances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariationReport {
+    /// Bit width analyzed.
+    pub bits: u8,
+    /// Number of sampled instances.
+    pub samples: usize,
+    /// Mean of per-instance worst-case relative error.
+    pub mean_worst: f64,
+    /// Maximum across instances.
+    pub max_worst: f64,
+    /// Minimum across instances.
+    pub min_worst: f64,
+}
+
+/// Runs the Monte-Carlo: `samples` device instances at `bits` precision.
+///
+/// # Panics
+///
+/// Panics if `samples == 0` or `bits` outside `2..=16`.
+pub fn monte_carlo(
+    bits: u8,
+    params: &VariationParams,
+    samples: usize,
+    seed: u64,
+) -> VariationReport {
+    assert!(samples > 0, "need at least one sample");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut summary = Summary::new();
+    for _ in 0..samples {
+        let device = VariedPDac::sample(bits, params, &mut rng);
+        summary.push(device.worst_relative_error(0.05));
+    }
+    VariationReport {
+        bits,
+        samples,
+        mean_worst: summary.mean().expect("nonempty"),
+        max_worst: summary.max().expect("nonempty"),
+        min_worst: summary.min().expect("nonempty"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::converter::MzmDriver;
+    use crate::pdac::PDac;
+
+    #[test]
+    fn zero_variation_reproduces_nominal() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let varied = VariedPDac::sample(8, &VariationParams::none(), &mut rng);
+        let nominal = PDac::with_optimal_approx(8).unwrap();
+        for code in [-127, -92, -40, 0, 40, 92, 127] {
+            assert!(
+                (varied.convert(code) - nominal.convert(code)).abs() < 1e-12,
+                "code {code}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_variation_worst_error_is_paper_bound() {
+        let rep = monte_carlo(8, &VariationParams::none(), 3, 7);
+        assert!((rep.mean_worst - 0.085).abs() < 0.005, "{rep:?}");
+        assert!((rep.max_worst - rep.min_worst).abs() < 1e-12);
+    }
+
+    #[test]
+    fn typical_variation_inflates_error_mildly() {
+        let rep = monte_carlo(8, &VariationParams::typical(), 40, 11);
+        assert!(rep.mean_worst >= 0.084, "{rep:?}");
+        // Typical corners keep the worst case under ~12%.
+        assert!(rep.max_worst < 0.13, "{rep:?}");
+    }
+
+    #[test]
+    fn error_grows_with_variation_scale() {
+        let small = monte_carlo(8, &VariationParams::typical(), 30, 3);
+        let large = monte_carlo(8, &VariationParams::typical().scaled(5.0), 30, 3);
+        assert!(large.mean_worst > small.mean_worst);
+        assert!(large.max_worst > small.max_worst);
+    }
+
+    #[test]
+    fn conversion_is_repeatable_per_instance() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let device = VariedPDac::sample(8, &VariationParams::typical(), &mut rng);
+        assert_eq!(device.convert(55), device.convert(55));
+    }
+
+    #[test]
+    fn different_instances_differ() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = VariedPDac::sample(8, &VariationParams::typical(), &mut rng);
+        let b = VariedPDac::sample(8, &VariationParams::typical(), &mut rng);
+        let same = (1..=127).all(|c| (a.convert(c) - b.convert(c)).abs() < 1e-15);
+        assert!(!same);
+    }
+
+    #[test]
+    fn trim_recovers_nominal_error_without_noise() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let params = VariationParams {
+            mzm_imbalance_sigma: 0.0,
+            tia_weight_sigma: 0.02, // 4× the typical corner
+            drive_noise_sigma: 0.0,
+        };
+        let mut device = VariedPDac::sample(8, &params, &mut rng);
+        let before = device.worst_relative_error(0.05);
+        device.trim();
+        let after = device.worst_relative_error(0.05);
+        assert!(after < before, "trim must improve: {before} -> {after}");
+        // Noise-free least-squares over the full code sweep recovers the
+        // nominal design up to the near-full-scale sign ambiguity
+        // (see trim docs): within a fraction of a point of nominal.
+        let nominal = PDac::with_optimal_approx(8).unwrap();
+        let nominal_worst = crate::error_analysis::analyze(&nominal, 0.05).max_relative.0;
+        assert!(
+            (after - nominal_worst).abs() < 5e-3,
+            "after trim: {after} vs {nominal_worst}"
+        );
+    }
+
+    #[test]
+    fn trim_cannot_remove_drive_noise() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let params = VariationParams {
+            mzm_imbalance_sigma: 0.0,
+            tia_weight_sigma: 0.0,
+            drive_noise_sigma: 0.01,
+        };
+        let mut device = VariedPDac::sample(8, &params, &mut rng);
+        let before = device.worst_relative_error(0.05);
+        device.trim();
+        let after = device.worst_relative_error(0.05);
+        // Noise is unchanged by resistor trimming.
+        assert!((after - before).abs() < 0.01);
+    }
+
+    #[test]
+    fn quadrature_leakage_tracks_imbalance() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let quiet = VariedPDac::sample(8, &VariationParams::none(), &mut rng);
+        let skewed = VariedPDac::sample(
+            8,
+            &VariationParams {
+                mzm_imbalance_sigma: 0.05,
+                tia_weight_sigma: 0.0,
+                drive_noise_sigma: 0.0,
+            },
+            &mut rng,
+        );
+        // In-phase conversion is untouched by imbalance…
+        assert!((quiet.convert(64) - skewed.convert(64)).abs() < 1e-12);
+        // …but the imbalanced device leaks into quadrature.
+        assert_eq!(quiet.quadrature_leakage(64), 0.0);
+        assert!(skewed.quadrature_leakage(64) > 1e-4);
+    }
+
+    #[test]
+    fn monte_carlo_is_seeded() {
+        let a = monte_carlo(8, &VariationParams::typical(), 10, 42);
+        let b = monte_carlo(8, &VariationParams::typical(), 10, 42);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,204 @@
+//! One-dimensional numerical quadrature.
+//!
+//! The paper's optimal-breakpoint condition (Eq. 17) minimizes a sum of two
+//! integrals of relative approximation error over `r ∈ [0, 1]`. Those
+//! integrands are continuous but not smooth at the breakpoint and one has a
+//! removable singularity at `r = 0`, so the workhorse here is an adaptive
+//! Simpson rule with interval bisection, plus a fixed-step composite
+//! Simpson and trapezoid rule for well-behaved integrands.
+
+/// Composite trapezoid rule with `n` uniform intervals.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or if `a > b`.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_math::integrate::trapezoid;
+/// let area = trapezoid(|x| x, 0.0, 1.0, 1000);
+/// assert!((area - 0.5).abs() < 1e-12);
+/// ```
+pub fn trapezoid(f: impl Fn(f64) -> f64, a: f64, b: f64, n: usize) -> f64 {
+    assert!(n > 0, "trapezoid requires at least one interval");
+    assert!(a <= b, "integration bounds must be ordered");
+    let h = (b - a) / n as f64;
+    let mut acc = 0.5 * (f(a) + f(b));
+    for i in 1..n {
+        acc += f(a + i as f64 * h);
+    }
+    acc * h
+}
+
+/// Composite Simpson rule with `n` uniform intervals (`n` rounded up to even).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or if `a > b`.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_math::integrate::simpson;
+/// let area = simpson(|x| x * x, 0.0, 3.0, 100);
+/// assert!((area - 9.0).abs() < 1e-10);
+/// ```
+pub fn simpson(f: impl Fn(f64) -> f64, a: f64, b: f64, n: usize) -> f64 {
+    assert!(n > 0, "simpson requires at least one interval");
+    assert!(a <= b, "integration bounds must be ordered");
+    let n = if n.is_multiple_of(2) { n } else { n + 1 };
+    let h = (b - a) / n as f64;
+    let mut acc = f(a) + f(b);
+    for i in 1..n {
+        let w = if i % 2 == 1 { 4.0 } else { 2.0 };
+        acc += w * f(a + i as f64 * h);
+    }
+    acc * h / 3.0
+}
+
+/// Adaptive Simpson quadrature with absolute tolerance `tol`.
+///
+/// Recursively bisects intervals until the local Richardson error estimate
+/// falls below the interval's share of `tol`, with a hard depth limit so
+/// non-integrable inputs terminate.
+///
+/// # Panics
+///
+/// Panics if `a > b` or `tol <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_math::integrate::adaptive_simpson;
+/// // ∫₀^π sin x dx = 2
+/// let area = adaptive_simpson(f64::sin, 0.0, std::f64::consts::PI, 1e-10);
+/// assert!((area - 2.0).abs() < 1e-8);
+/// ```
+pub fn adaptive_simpson(f: impl Fn(f64) -> f64, a: f64, b: f64, tol: f64) -> f64 {
+    assert!(a <= b, "integration bounds must be ordered");
+    assert!(tol > 0.0, "tolerance must be positive");
+    if a == b {
+        return 0.0;
+    }
+    let fa = f(a);
+    let fb = f(b);
+    let m = 0.5 * (a + b);
+    let fm = f(m);
+    let whole = simpson_segment(a, b, fa, fm, fb);
+    adapt(&f, a, b, fa, fm, fb, whole, tol, 48)
+}
+
+fn simpson_segment(a: f64, b: f64, fa: f64, fm: f64, fb: f64) -> f64 {
+    (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn adapt(
+    f: &impl Fn(f64) -> f64,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fm: f64,
+    fb: f64,
+    whole: f64,
+    tol: f64,
+    depth: u32,
+) -> f64 {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    let left = simpson_segment(a, m, fa, flm, fm);
+    let right = simpson_segment(m, b, fm, frm, fb);
+    let delta = left + right - whole;
+    if depth == 0 || delta.abs() <= 15.0 * tol {
+        // Richardson extrapolation removes the leading error term.
+        left + right + delta / 15.0
+    } else {
+        adapt(f, a, m, fa, flm, fm, left, tol / 2.0, depth - 1)
+            + adapt(f, m, b, fm, frm, fb, right, tol / 2.0, depth - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{E, PI};
+
+    #[test]
+    fn trapezoid_linear_exact() {
+        // Trapezoid is exact for affine integrands regardless of n.
+        let got = trapezoid(|x| 3.0 * x + 1.0, 0.0, 2.0, 1);
+        assert!((got - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simpson_cubic_exact() {
+        // Simpson is exact for cubics.
+        let got = simpson(|x| x * x * x, 0.0, 2.0, 2);
+        assert!((got - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simpson_rounds_odd_n_up() {
+        let odd = simpson(|x| x * x, 0.0, 1.0, 3);
+        assert!((odd - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_matches_analytic_exponential() {
+        let got = adaptive_simpson(f64::exp, 0.0, 1.0, 1e-12);
+        assert!((got - (E - 1.0)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn adaptive_handles_oscillatory() {
+        // ∫₀^{2π} sin(5x)² dx = π
+        let got = adaptive_simpson(|x| (5.0 * x).sin().powi(2), 0.0, 2.0 * PI, 1e-10);
+        assert!((got - PI).abs() < 1e-7);
+    }
+
+    #[test]
+    fn adaptive_zero_width_interval() {
+        assert_eq!(adaptive_simpson(|x| x * x, 1.0, 1.0, 1e-9), 0.0);
+    }
+
+    #[test]
+    fn adaptive_handles_kinked_integrand() {
+        // |x - 1/3| has a kink; exact integral over [0,1] is 5/18... compute:
+        // ∫|x-c| = c²/2 + (1-c)²/2 with c=1/3 -> 1/18 + 2/9 = 5/18.
+        let got = adaptive_simpson(|x| (x - 1.0 / 3.0).abs(), 0.0, 1.0, 1e-10);
+        assert!((got - 5.0 / 18.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn adaptive_relative_error_integrand() {
+        // The paper's Eq. 17 style integrand: |cos(pi/2 - r) - r| / r
+        // = |sin r - r| / r, removable singularity at 0 (value -> 0).
+        let f = |r: f64| {
+            if r == 0.0 {
+                0.0
+            } else {
+                ((r.sin() - r) / r).abs()
+            }
+        };
+        let got = adaptive_simpson(f, 0.0, 1.0, 1e-10);
+        // Reference value by high-resolution fixed Simpson.
+        let reference = simpson(f, 1e-9, 1.0, 2_000_000);
+        assert!((got - reference).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds must be ordered")]
+    fn adaptive_rejects_reversed_bounds() {
+        adaptive_simpson(|x| x, 1.0, 0.0, 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance must be positive")]
+    fn adaptive_rejects_bad_tol() {
+        adaptive_simpson(|x| x, 0.0, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,382 @@
+//! One-dimensional minimization.
+//!
+//! Used to solve the paper's Eq. 17: find the breakpoint `k ∈ [0, 1]` that
+//! minimizes the integrated relative error of the piecewise-linear arccos
+//! approximation. The objective is unimodal but expensive (each evaluation
+//! runs two adaptive quadratures), so we provide golden-section search for
+//! unimodal objectives and a coarse-grid + refine strategy for objectives
+//! that are not guaranteed unimodal.
+
+/// Result of a 1-D minimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Minimum {
+    /// Argument of the minimum.
+    pub x: f64,
+    /// Objective value at [`Minimum::x`].
+    pub value: f64,
+}
+
+/// Golden-section search for the minimum of a unimodal `f` on `[a, b]`.
+///
+/// Runs until the bracketing interval is narrower than `tol`.
+///
+/// # Panics
+///
+/// Panics if `a >= b` or `tol <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_math::optimize::golden_section;
+/// let m = golden_section(|x| (x - 2.0).powi(2), 0.0, 5.0, 1e-10);
+/// assert!((m.x - 2.0).abs() < 1e-8);
+/// ```
+pub fn golden_section(f: impl Fn(f64) -> f64, a: f64, b: f64, tol: f64) -> Minimum {
+    assert!(a < b, "bracket must satisfy a < b");
+    assert!(tol > 0.0, "tolerance must be positive");
+    const INV_PHI: f64 = 0.618_033_988_749_894_8;
+    let (mut a, mut b) = (a, b);
+    let mut c = b - INV_PHI * (b - a);
+    let mut d = a + INV_PHI * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    while (b - a).abs() > tol {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - INV_PHI * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + INV_PHI * (b - a);
+            fd = f(d);
+        }
+    }
+    let x = 0.5 * (a + b);
+    Minimum { x, value: f(x) }
+}
+
+/// Coarse grid scan over `[a, b]` with `n` points followed by
+/// golden-section refinement around the best grid cell.
+///
+/// Robust to objectives that are only locally unimodal; this mirrors the
+/// paper's "running the program to find the optimal k value".
+///
+/// # Panics
+///
+/// Panics if `n < 3`, `a >= b`, or `tol <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_math::optimize::grid_then_golden;
+/// // W-shaped objective: grid scan escapes the wrong basin.
+/// let f = |x: f64| (x * x - 1.0).powi(2) + 0.1 * x;
+/// let m = grid_then_golden(f, -2.0, 2.0, 101, 1e-10);
+/// assert!((m.x + 1.0).abs() < 0.1);
+/// ```
+pub fn grid_then_golden(
+    f: impl Fn(f64) -> f64,
+    a: f64,
+    b: f64,
+    n: usize,
+    tol: f64,
+) -> Minimum {
+    assert!(n >= 3, "grid scan needs at least 3 points");
+    assert!(a < b, "bracket must satisfy a < b");
+    assert!(tol > 0.0, "tolerance must be positive");
+    let h = (b - a) / (n - 1) as f64;
+    let mut best_i = 0;
+    let mut best_v = f64::INFINITY;
+    for i in 0..n {
+        let x = a + i as f64 * h;
+        let v = f(x);
+        if v < best_v {
+            best_v = v;
+            best_i = i;
+        }
+    }
+    let lo = a + h * best_i.saturating_sub(1) as f64;
+    let hi = (a + h * (best_i + 1) as f64).min(b);
+    if lo >= hi {
+        return Minimum { x: lo, value: f(lo) };
+    }
+    golden_section(f, lo, hi, tol)
+}
+
+/// Derivative-free Nelder–Mead simplex minimization in `n` dimensions.
+///
+/// Suited to the non-smooth minimax objectives of the P-DAC trimming
+/// study, where coordinate methods stall on the error surface's ridges.
+/// Runs `iterations` reflect/expand/contract/shrink steps from a simplex
+/// built around `start` with per-coordinate `step` offsets.
+///
+/// # Panics
+///
+/// Panics if `start` is empty, `step <= 0`, or `iterations == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_math::optimize::nelder_mead;
+/// // Rosenbrock-ish bowl.
+/// let m = nelder_mead(
+///     |x| (x[0] - 1.0).powi(2) + 4.0 * (x[1] + 2.0).powi(2),
+///     &[0.0, 0.0],
+///     0.5,
+///     400,
+/// );
+/// assert!((m.x[0] - 1.0).abs() < 1e-4);
+/// assert!((m.x[1] + 2.0).abs() < 1e-4);
+/// ```
+pub fn nelder_mead(
+    f: impl Fn(&[f64]) -> f64,
+    start: &[f64],
+    step: f64,
+    iterations: usize,
+) -> MultiMinimum {
+    assert!(!start.is_empty(), "need at least one dimension");
+    assert!(step > 0.0, "initial step must be positive");
+    assert!(iterations > 0, "need at least one iteration");
+    let n = start.len();
+    // Initial simplex: start plus one vertex per coordinate offset.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    simplex.push((start.to_vec(), f(start)));
+    for i in 0..n {
+        let mut v = start.to_vec();
+        v[i] += step;
+        let fv = f(&v);
+        simplex.push((v, fv));
+    }
+    let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+    for _ in 0..iterations {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite objective"));
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; n];
+        for (v, _) in &simplex[..n] {
+            for (c, x) in centroid.iter_mut().zip(v) {
+                *c += x / n as f64;
+            }
+        }
+        let worst = simplex[n].clone();
+        let reflect: Vec<f64> = centroid
+            .iter()
+            .zip(&worst.0)
+            .map(|(c, w)| c + alpha * (c - w))
+            .collect();
+        let fr = f(&reflect);
+        if fr < simplex[0].1 {
+            let expand: Vec<f64> = centroid
+                .iter()
+                .zip(&reflect)
+                .map(|(c, r)| c + gamma * (r - c))
+                .collect();
+            let fe = f(&expand);
+            simplex[n] = if fe < fr { (expand, fe) } else { (reflect, fr) };
+        } else if fr < simplex[n - 1].1 {
+            simplex[n] = (reflect, fr);
+        } else {
+            let contract: Vec<f64> = centroid
+                .iter()
+                .zip(&worst.0)
+                .map(|(c, w)| c + rho * (w - c))
+                .collect();
+            let fc = f(&contract);
+            if fc < worst.1 {
+                simplex[n] = (contract, fc);
+            } else {
+                // Shrink toward the best vertex.
+                let best = simplex[0].0.clone();
+                for entry in simplex.iter_mut().skip(1) {
+                    let shrunk: Vec<f64> = best
+                        .iter()
+                        .zip(&entry.0)
+                        .map(|(b, v)| b + sigma * (v - b))
+                        .collect();
+                    let fs = f(&shrunk);
+                    *entry = (shrunk, fs);
+                }
+            }
+        }
+    }
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite objective"));
+    MultiMinimum { x: simplex[0].0.clone(), value: simplex[0].1 }
+}
+
+/// Result of a multi-dimensional minimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiMinimum {
+    /// Argument of the minimum.
+    pub x: Vec<f64>,
+    /// Objective value at [`MultiMinimum::x`].
+    pub value: f64,
+}
+
+/// Bisection root finding for a continuous `f` with `f(a)` and `f(b)` of
+/// opposite sign.
+///
+/// Used to locate segment intersections (e.g. where the Taylor segment
+/// `π/2 − r` meets the end-anchored segment of Eq. 16).
+///
+/// # Errors
+///
+/// Returns `Err` with a message when the bracket does not straddle a sign
+/// change.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_math::optimize::bisect;
+/// let root = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12)?;
+/// assert!((root - 2f64.sqrt()).abs() < 1e-10);
+/// # Ok::<(), pdac_math::optimize::BracketError>(())
+/// ```
+pub fn bisect(
+    f: impl Fn(f64) -> f64,
+    a: f64,
+    b: f64,
+    tol: f64,
+) -> Result<f64, BracketError> {
+    let (mut a, mut b) = (a, b);
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(BracketError);
+    }
+    while (b - a).abs() > tol {
+        let m = 0.5 * (a + b);
+        let fm = f(m);
+        if fm == 0.0 {
+            return Ok(m);
+        }
+        if fm.signum() == fa.signum() {
+            a = m;
+            fa = fm;
+        } else {
+            b = m;
+        }
+    }
+    Ok(0.5 * (a + b))
+}
+
+/// Error returned by [`bisect`] when the initial bracket does not contain a
+/// sign change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BracketError;
+
+impl std::fmt::Display for BracketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bracket endpoints do not straddle a sign change")
+    }
+}
+
+impl std::error::Error for BracketError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_finds_parabola_vertex() {
+        let m = golden_section(|x| 2.0 * (x - 0.3).powi(2) + 1.0, -1.0, 1.0, 1e-12);
+        // Near the vertex the objective is flat below f64 resolution, so the
+        // argument is only locatable to ~sqrt(eps).
+        assert!((m.x - 0.3).abs() < 1e-7);
+        assert!((m.value - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn golden_finds_boundary_minimum() {
+        let m = golden_section(|x| x, 0.0, 1.0, 1e-10);
+        assert!(m.x < 1e-8);
+    }
+
+    #[test]
+    fn golden_on_nonsmooth_objective() {
+        let m = golden_section(|x| (x - 0.7236).abs(), 0.0, 1.0, 1e-12);
+        assert!((m.x - 0.7236).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "a < b")]
+    fn golden_rejects_bad_bracket() {
+        golden_section(|x| x, 1.0, 0.0, 1e-9);
+    }
+
+    #[test]
+    fn grid_escapes_local_minimum() {
+        // Global minimum near x = -1 is slightly deeper than near x = +1.
+        let f = |x: f64| (x * x - 1.0).powi(2) + 0.05 * x;
+        let m = grid_then_golden(f, -2.0, 2.0, 201, 1e-10);
+        assert!(m.x < 0.0);
+    }
+
+    #[test]
+    fn grid_handles_minimum_at_edge() {
+        let m = grid_then_golden(|x| -x, 0.0, 1.0, 11, 1e-10);
+        assert!((m.x - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nelder_mead_quadratic_bowl() {
+        let m = nelder_mead(
+            |x| (x[0] - 3.0).powi(2) + (x[1] - 0.5).powi(2) + 2.0,
+            &[0.0, 0.0],
+            1.0,
+            500,
+        );
+        assert!((m.x[0] - 3.0).abs() < 1e-4);
+        assert!((m.x[1] - 0.5).abs() < 1e-4);
+        assert!((m.value - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn nelder_mead_handles_nonsmooth_max() {
+        // Minimax-style objective: max of two absolute values.
+        let m = nelder_mead(
+            |x| (x[0] - 1.0).abs().max((x[1] + 1.0).abs()),
+            &[5.0, 5.0],
+            1.0,
+            800,
+        );
+        assert!(m.value < 1e-3, "value {}", m.value);
+    }
+
+    #[test]
+    fn nelder_mead_one_dimension() {
+        let m = nelder_mead(|x| (x[0] + 2.0).powi(2), &[10.0], 0.5, 300);
+        assert!((m.x[0] + 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn nelder_mead_rejects_empty_start() {
+        nelder_mead(|_| 0.0, &[], 1.0, 10);
+    }
+
+    #[test]
+    fn bisect_sqrt_two() {
+        let r = bisect(|x| x * x - 2.0, 1.0, 2.0, 1e-13).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-11);
+    }
+
+    #[test]
+    fn bisect_exact_endpoint_root() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn bisect_rejects_no_sign_change() {
+        assert_eq!(bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-9), Err(BracketError));
+        assert!(BracketError.to_string().contains("sign change"));
+    }
+}

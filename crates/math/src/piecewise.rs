@@ -1,0 +1,307 @@
+//! Piecewise-linear functions over a real interval.
+//!
+//! The P-DAC realizes `arccos(r)` as a small number of linear segments whose
+//! slopes/intercepts are implemented by per-bit TIA weights with region
+//! select logic (paper Eq. 16/18: "the function in the P-DAC hardware can be
+//! easily decomposed into three parts by adding logic gates"). This module
+//! is the exact mathematical object that hardware implements: an ordered
+//! list of `[lo, hi] → a·r + b` segments with validation, evaluation,
+//! composition helpers and error measurement against a reference function.
+
+use std::fmt;
+
+/// One linear segment `r ↦ slope·r + intercept` valid on `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Inclusive lower bound of the segment's domain.
+    pub lo: f64,
+    /// Inclusive upper bound of the segment's domain.
+    pub hi: f64,
+    /// Slope `a` in `a·r + b`.
+    pub slope: f64,
+    /// Intercept `b` in `a·r + b`.
+    pub intercept: f64,
+}
+
+impl Segment {
+    /// Creates a segment from bounds and coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or any parameter is non-finite.
+    pub fn new(lo: f64, hi: f64, slope: f64, intercept: f64) -> Self {
+        assert!(lo < hi, "segment bounds must satisfy lo < hi");
+        assert!(
+            lo.is_finite() && hi.is_finite() && slope.is_finite() && intercept.is_finite(),
+            "segment parameters must be finite"
+        );
+        Self { lo, hi, slope, intercept }
+    }
+
+    /// Creates the segment through two points `(x0, y0)` and `(x1, y1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0 >= x1`.
+    pub fn through(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        assert!(x0 < x1, "points must be ordered by x");
+        let slope = (y1 - y0) / (x1 - x0);
+        Self::new(x0, x1, slope, y0 - slope * x0)
+    }
+
+    /// Evaluates the segment's line at `r` (even outside `[lo, hi]`).
+    #[inline]
+    pub fn eval(&self, r: f64) -> f64 {
+        self.slope * r + self.intercept
+    }
+
+    /// Whether `r` falls within this segment's domain.
+    #[inline]
+    pub fn contains(&self, r: f64) -> bool {
+        r >= self.lo && r <= self.hi
+    }
+}
+
+/// Errors from [`PiecewiseLinear`] construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PiecewiseError {
+    /// No segments were supplied.
+    Empty,
+    /// Segments do not tile the domain contiguously (gap or overlap between
+    /// the listed adjacent segment boundaries).
+    Discontiguous {
+        /// Index of the first segment of the offending pair.
+        index: usize,
+        /// `hi` of the left segment.
+        left_hi: f64,
+        /// `lo` of the right segment.
+        right_lo: f64,
+    },
+}
+
+impl fmt::Display for PiecewiseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PiecewiseError::Empty => write!(f, "piecewise function needs at least one segment"),
+            PiecewiseError::Discontiguous { index, left_hi, right_lo } => write!(
+                f,
+                "segments {index} and {} are discontiguous: {left_hi} vs {right_lo}",
+                index + 1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PiecewiseError {}
+
+/// A contiguous piecewise-linear function.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_math::{PiecewiseLinear, Segment};
+///
+/// let f = PiecewiseLinear::new(vec![
+///     Segment::new(0.0, 0.5, 1.0, 0.0),
+///     Segment::new(0.5, 1.0, -1.0, 1.0),
+/// ])?;
+/// assert_eq!(f.eval(0.25), 0.25);
+/// assert_eq!(f.eval(0.75), 0.25);
+/// # Ok::<(), pdac_math::piecewise::PiecewiseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseLinear {
+    segments: Vec<Segment>,
+}
+
+impl PiecewiseLinear {
+    /// Builds a piecewise-linear function from ordered, contiguous segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PiecewiseError::Empty`] for no segments, or
+    /// [`PiecewiseError::Discontiguous`] when adjacent segment boundaries do
+    /// not coincide within `1e-9`.
+    pub fn new(segments: Vec<Segment>) -> Result<Self, PiecewiseError> {
+        if segments.is_empty() {
+            return Err(PiecewiseError::Empty);
+        }
+        for (i, pair) in segments.windows(2).enumerate() {
+            if (pair[0].hi - pair[1].lo).abs() > 1e-9 {
+                return Err(PiecewiseError::Discontiguous {
+                    index: i,
+                    left_hi: pair[0].hi,
+                    right_lo: pair[1].lo,
+                });
+            }
+        }
+        Ok(Self { segments })
+    }
+
+    /// The segments, ordered by domain.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Domain `[lo, hi]` covered by the function.
+    pub fn domain(&self) -> (f64, f64) {
+        (
+            self.segments.first().expect("nonempty by construction").lo,
+            self.segments.last().expect("nonempty by construction").hi,
+        )
+    }
+
+    /// Index of the segment whose domain contains `r`.
+    ///
+    /// Inputs outside the domain clamp to the first/last segment — this
+    /// mirrors hardware behaviour where the region-select comparators
+    /// saturate.
+    pub fn segment_index(&self, r: f64) -> usize {
+        if r <= self.segments[0].hi {
+            return 0;
+        }
+        for (i, s) in self.segments.iter().enumerate() {
+            if r <= s.hi {
+                return i;
+            }
+        }
+        self.segments.len() - 1
+    }
+
+    /// Evaluates the function at `r` (clamping to the domain edges).
+    pub fn eval(&self, r: f64) -> f64 {
+        self.segments[self.segment_index(r)].eval(r)
+    }
+
+    /// Maximum of `|metric(self.eval(r), reference(r))|` over a uniform
+    /// sample of `n` points, returned with its location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn max_deviation(
+        &self,
+        reference: impl Fn(f64) -> f64,
+        metric: impl Fn(f64, f64) -> f64,
+        n: usize,
+    ) -> (f64, f64) {
+        assert!(n >= 2, "need at least two sample points");
+        let (lo, hi) = self.domain();
+        let mut worst = 0.0;
+        let mut at = lo;
+        for i in 0..n {
+            let r = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+            let d = metric(self.eval(r), reference(r)).abs();
+            if d > worst {
+                worst = d;
+                at = r;
+            }
+        }
+        (worst, at)
+    }
+
+    /// Breakpoints interior to the domain (segment boundaries).
+    pub fn breakpoints(&self) -> Vec<f64> {
+        self.segments.iter().skip(1).map(|s| s.lo).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tent() -> PiecewiseLinear {
+        PiecewiseLinear::new(vec![
+            Segment::new(-1.0, 0.0, 1.0, 1.0),
+            Segment::new(0.0, 1.0, -1.0, 1.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn segment_eval_and_contains() {
+        let s = Segment::new(0.0, 1.0, 2.0, -1.0);
+        assert_eq!(s.eval(0.5), 0.0);
+        assert!(s.contains(0.0) && s.contains(1.0) && !s.contains(1.1));
+    }
+
+    #[test]
+    fn segment_through_two_points() {
+        let s = Segment::through(1.0, 2.0, 3.0, 6.0);
+        assert_eq!(s.slope, 2.0);
+        assert_eq!(s.eval(1.0), 2.0);
+        assert_eq!(s.eval(3.0), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn segment_rejects_reversed_bounds() {
+        Segment::new(1.0, 0.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(PiecewiseLinear::new(vec![]), Err(PiecewiseError::Empty));
+    }
+
+    #[test]
+    fn gap_rejected() {
+        let err = PiecewiseLinear::new(vec![
+            Segment::new(0.0, 0.4, 1.0, 0.0),
+            Segment::new(0.5, 1.0, 1.0, 0.0),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, PiecewiseError::Discontiguous { index: 0, .. }));
+        assert!(err.to_string().contains("discontiguous"));
+    }
+
+    #[test]
+    fn eval_selects_correct_segment() {
+        let f = tent();
+        assert_eq!(f.eval(-0.5), 0.5);
+        assert_eq!(f.eval(0.5), 0.5);
+        assert_eq!(f.eval(0.0), 1.0);
+    }
+
+    #[test]
+    fn eval_clamps_outside_domain() {
+        let f = tent();
+        // Left segment line extended: 1 + r.
+        assert_eq!(f.eval(-2.0), -1.0);
+        // Right segment line extended: 1 - r.
+        assert_eq!(f.eval(2.0), -1.0);
+    }
+
+    #[test]
+    fn domain_and_breakpoints() {
+        let f = tent();
+        assert_eq!(f.domain(), (-1.0, 1.0));
+        assert_eq!(f.breakpoints(), vec![0.0]);
+    }
+
+    #[test]
+    fn segment_index_boundaries() {
+        let f = tent();
+        assert_eq!(f.segment_index(-1.0), 0);
+        assert_eq!(f.segment_index(0.0), 0); // boundary belongs to left segment
+        assert_eq!(f.segment_index(0.25), 1);
+        assert_eq!(f.segment_index(1.0), 1);
+    }
+
+    #[test]
+    fn max_deviation_against_self_is_zero() {
+        let f = tent();
+        let g = tent();
+        let (worst, _) = f.max_deviation(|r| g.eval(r), |a, b| a - b, 1001);
+        assert_eq!(worst, 0.0);
+    }
+
+    #[test]
+    fn max_deviation_finds_peak() {
+        let f = tent();
+        // Compare against constant 0: worst |f| is at r = 0 where f = 1.
+        let (worst, at) = f.max_deviation(|_| 0.0, |a, b| a - b, 2001);
+        assert_eq!(worst, 1.0);
+        assert!(at.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,199 @@
+//! Symmetric signed fixed-point quantization.
+//!
+//! The P-DAC maps a `b`-bit digital code `d` to the normalized analog value
+//! `r = d / (2^(b−1) − 1) ∈ [−1, 1]` (paper Sec. III-C: "if digital value is
+//! 0x40 in 8-bit system, the analog value can be calculated as
+//! 0x40 / (2⁷ − 1) = 0.5"). The same quantizer is used by the NN crate to
+//! quantize activations and weights before they are modulated.
+
+/// A symmetric signed `b`-bit quantizer over `[−scale, scale]`.
+///
+/// Codes range over `[−(2^(b−1) − 1), 2^(b−1) − 1]`; the most negative
+/// two's-complement code is unused so the grid is symmetric (standard for
+/// NN quantization and required for the MZM's sign-symmetric transfer).
+///
+/// # Examples
+///
+/// ```
+/// use pdac_math::Quantizer;
+///
+/// let q = Quantizer::new(8, 1.0)?;
+/// assert_eq!(q.quantize(0.5), 64); // the paper's 0x40 example
+/// assert!((q.dequantize(64) - 64.0 / 127.0).abs() < 1e-12);
+/// # Ok::<(), pdac_math::quant::QuantError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantizer {
+    bits: u8,
+    scale: f64,
+}
+
+/// Errors from [`Quantizer`] construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantError {
+    /// Bit width outside the supported `2..=16` range.
+    UnsupportedBits(u8),
+    /// Scale was zero, negative, or non-finite.
+    BadScale,
+}
+
+impl std::fmt::Display for QuantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantError::UnsupportedBits(b) => {
+                write!(f, "bit width {b} outside supported range 2..=16")
+            }
+            QuantError::BadScale => write!(f, "scale must be positive and finite"),
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
+impl Quantizer {
+    /// Creates a quantizer with the given bit width and full-scale range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::UnsupportedBits`] for `bits` outside `2..=16`
+    /// and [`QuantError::BadScale`] for a non-positive or non-finite scale.
+    pub fn new(bits: u8, scale: f64) -> Result<Self, QuantError> {
+        if !(2..=16).contains(&bits) {
+            return Err(QuantError::UnsupportedBits(bits));
+        }
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(QuantError::BadScale);
+        }
+        Ok(Self { bits, scale })
+    }
+
+    /// Bit width.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Full-scale value mapped to the maximum code.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Largest representable code magnitude, `2^(b−1) − 1`.
+    pub fn max_code(&self) -> i32 {
+        (1 << (self.bits - 1)) - 1
+    }
+
+    /// Quantization step in value units.
+    pub fn step(&self) -> f64 {
+        self.scale / self.max_code() as f64
+    }
+
+    /// Quantizes `x` (round-to-nearest, saturating at the code range).
+    pub fn quantize(&self, x: f64) -> i32 {
+        let m = self.max_code() as f64;
+        let code = (x / self.scale * m).round();
+        code.clamp(-m, m) as i32
+    }
+
+    /// Reconstructs the value represented by `code` (codes saturate).
+    pub fn dequantize(&self, code: i32) -> f64 {
+        let m = self.max_code();
+        let code = code.clamp(-m, m);
+        code as f64 / m as f64 * self.scale
+    }
+
+    /// Round-trips `x` through the quantizer (quantize then dequantize).
+    pub fn round_trip(&self, x: f64) -> f64 {
+        self.dequantize(self.quantize(x))
+    }
+
+    /// Normalized value `r = code / max_code ∈ [−1, 1]` — the quantity the
+    /// P-DAC physically encodes.
+    pub fn normalized(&self, code: i32) -> f64 {
+        let m = self.max_code();
+        code.clamp(-m, m) as f64 / m as f64
+    }
+
+    /// Iterator over every representable code, ascending.
+    pub fn codes(&self) -> impl Iterator<Item = i32> {
+        let m = self.max_code();
+        -m..=m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Quantizer::new(1, 1.0).is_err());
+        assert!(Quantizer::new(17, 1.0).is_err());
+        assert!(Quantizer::new(8, 0.0).is_err());
+        assert!(Quantizer::new(8, f64::NAN).is_err());
+        assert!(Quantizer::new(8, -1.0).is_err());
+        assert!(Quantizer::new(2, 1.0).is_ok());
+        assert!(Quantizer::new(16, 1.0).is_ok());
+    }
+
+    #[test]
+    fn paper_0x40_example() {
+        let q = Quantizer::new(8, 1.0).unwrap();
+        assert_eq!(q.max_code(), 127);
+        assert_eq!(q.quantize(0.5), 64);
+        let r = q.normalized(0x40);
+        assert!((r - 0.503_937).abs() < 1e-5); // 64/127
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        let q = Quantizer::new(4, 1.0).unwrap();
+        assert_eq!(q.quantize(10.0), 7);
+        assert_eq!(q.quantize(-10.0), -7);
+        assert_eq!(q.dequantize(100), 1.0);
+        assert_eq!(q.dequantize(-100), -1.0);
+    }
+
+    #[test]
+    fn round_trip_error_bounded_by_half_step() {
+        let q = Quantizer::new(6, 2.0).unwrap();
+        let half = q.step() / 2.0;
+        let mut x = -2.0;
+        while x <= 2.0 {
+            let err = (q.round_trip(x) - x).abs();
+            assert!(err <= half + 1e-12, "x={x} err={err} half={half}");
+            x += 0.0137;
+        }
+    }
+
+    #[test]
+    fn symmetric_grid() {
+        let q = Quantizer::new(8, 1.0).unwrap();
+        for code in q.codes() {
+            let r = q.normalized(code);
+            let r_neg = q.normalized(-code);
+            assert_eq!(r, -r_neg);
+        }
+    }
+
+    #[test]
+    fn codes_cover_full_range() {
+        let q = Quantizer::new(4, 1.0).unwrap();
+        let codes: Vec<i32> = q.codes().collect();
+        assert_eq!(codes.len(), 15); // -7..=7
+        assert_eq!(codes[0], -7);
+        assert_eq!(*codes.last().unwrap(), 7);
+    }
+
+    #[test]
+    fn step_scales_with_range() {
+        let q1 = Quantizer::new(8, 1.0).unwrap();
+        let q2 = Quantizer::new(8, 2.0).unwrap();
+        assert!((q2.step() - 2.0 * q1.step()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(QuantError::UnsupportedBits(1).to_string().contains("1"));
+        assert!(QuantError::BadScale.to_string().contains("positive"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Maclaurin series machinery for `arccos`.
+//!
+//! Paper Eq. 14 expands `arccos(r) = π/2 − (r + r³/6 + 3r⁵/40 + …)`; the
+//! P-DAC's simplest variant keeps only the first-order term (Eq. 15). This
+//! module provides the exact series coefficients to arbitrary order so the
+//! reproduction can (a) regenerate the paper's first-order analysis, and
+//! (b) quantify how many terms a hypothetical higher-order photonic
+//! implementation would need (ablation EXT1).
+
+use std::f64::consts::FRAC_PI_2;
+
+/// Coefficient of `r^(2n+1)` in the Maclaurin series of `arcsin(r)`:
+/// `(2n)! / (4^n (n!)² (2n+1))`.
+///
+/// `arccos(r) = π/2 − arcsin(r)`, so these are exactly the coefficients
+/// subtracted in paper Eq. 14 (`n = 0 → 1`, `n = 1 → 1/6`, `n = 2 → 3/40`).
+///
+/// Computed with a multiplicative recurrence to stay exact in `f64` for the
+/// orders of interest.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_math::series::arcsin_coefficient;
+/// assert_eq!(arcsin_coefficient(0), 1.0);
+/// assert!((arcsin_coefficient(1) - 1.0 / 6.0).abs() < 1e-15);
+/// assert!((arcsin_coefficient(2) - 3.0 / 40.0).abs() < 1e-15);
+/// ```
+pub fn arcsin_coefficient(n: usize) -> f64 {
+    // c_n = binom(2n, n) / (4^n (2n+1));
+    // ratio c_{n}/c_{n-1} = (2n-1)(2n) / (4 n²) * (2n-1)/(2n+1)
+    //                     = ((2n-1)²) / (2n (2n+1)) ... derive stepwise below.
+    let mut central = 1.0; // binom(2k, k) / 4^k
+    for k in 1..=n {
+        let k = k as f64;
+        central *= (2.0 * k - 1.0) / (2.0 * k);
+    }
+    central / (2.0 * n as f64 + 1.0)
+}
+
+/// Evaluates the truncated `arccos` series of paper Eq. 14 with `terms`
+/// odd-power terms.
+///
+/// `terms = 1` reproduces the paper's first-order approximation
+/// `π/2 − r` (Eq. 15).
+///
+/// # Panics
+///
+/// Panics if `terms == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_math::series::arccos_series;
+/// // First order: f(1) = pi/2 - 1.
+/// let f1 = arccos_series(1.0, 1);
+/// assert!((f1 - (std::f64::consts::FRAC_PI_2 - 1.0)).abs() < 1e-15);
+/// // Many terms converge to arccos for |r| < 1.
+/// let f = arccos_series(0.5, 40);
+/// assert!((f - 0.5f64.acos()).abs() < 1e-12);
+/// ```
+pub fn arccos_series(r: f64, terms: usize) -> f64 {
+    assert!(terms > 0, "series needs at least one term");
+    let mut sum = 0.0;
+    let r2 = r * r;
+    let mut power = r;
+    let mut central = 1.0;
+    for n in 0..terms {
+        if n > 0 {
+            let k = n as f64;
+            central *= (2.0 * k - 1.0) / (2.0 * k);
+            power *= r2;
+        }
+        sum += central / (2.0 * n as f64 + 1.0) * power;
+    }
+    FRAC_PI_2 - sum
+}
+
+/// Worst-case relative reconstruction error of the truncated series over
+/// `r ∈ (0, 1]`, sampled at `n` points.
+///
+/// "Reconstruction error" is the paper's metric: the error of
+/// `cos(f(r))` against `r` (what the MZM actually outputs), not the error
+/// of `f(r)` against `arccos(r)`.
+///
+/// # Panics
+///
+/// Panics if `terms == 0` or `n < 2`.
+pub fn series_reconstruction_error(terms: usize, n: usize) -> f64 {
+    assert!(n >= 2, "need at least two samples");
+    let mut worst: f64 = 0.0;
+    for i in 1..=n {
+        let r = i as f64 / n as f64;
+        let err = ((arccos_series(r, terms).cos() - r) / r).abs();
+        worst = worst.max(err);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_coefficients() {
+        assert_eq!(arcsin_coefficient(0), 1.0);
+        assert!((arcsin_coefficient(1) - 1.0 / 6.0).abs() < 1e-15);
+        assert!((arcsin_coefficient(2) - 3.0 / 40.0).abs() < 1e-15);
+        assert!((arcsin_coefficient(3) - 15.0 / 336.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn coefficients_decrease() {
+        for n in 1..20 {
+            assert!(arcsin_coefficient(n) < arcsin_coefficient(n - 1));
+        }
+    }
+
+    #[test]
+    fn first_order_matches_eq15() {
+        for r in [-1.0, -0.3, 0.0, 0.5, 1.0] {
+            let got = arccos_series(r, 1);
+            assert!((got - (std::f64::consts::FRAC_PI_2 - r)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn series_converges_interior() {
+        for &r in &[0.0, 0.1, 0.5, 0.9] {
+            let got = arccos_series(r, 200);
+            assert!(
+                (got - r.acos()).abs() < 1e-6,
+                "r={r}: {got} vs {}",
+                r.acos()
+            );
+        }
+    }
+
+    #[test]
+    fn series_is_odd_symmetric_about_pi_over_2() {
+        // arccos(-r) = pi - arccos(r) => series(-r) + series(r) = pi.
+        for &r in &[0.2, 0.6, 0.9] {
+            let s = arccos_series(r, 50) + arccos_series(-r, 50);
+            assert!((s - std::f64::consts::PI).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn first_order_reconstruction_error_is_paper_15_9_percent() {
+        // Paper: max error of the first-order cut is ~15.9% at r = ±1.
+        let err = series_reconstruction_error(1, 10_000);
+        assert!((err - 0.159).abs() < 2e-3, "got {err}");
+    }
+
+    #[test]
+    fn more_terms_reduce_error() {
+        let e1 = series_reconstruction_error(1, 1000);
+        let e2 = series_reconstruction_error(2, 1000);
+        let e4 = series_reconstruction_error(4, 1000);
+        assert!(e2 < e1);
+        assert!(e4 < e2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one term")]
+    fn zero_terms_rejected() {
+        arccos_series(0.5, 0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Summary statistics and signal-fidelity metrics.
+//!
+//! The reproduction reports P-DAC numerical fidelity as RMSE, SQNR and
+//! cosine similarity between analog results and exact references (standing
+//! in for the paper's "acceptable range for human perception" claim about
+//! LLM outputs).
+
+/// Arithmetic mean. Returns `None` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_math::stats::mean;
+/// assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+/// assert_eq!(mean(&[]), None);
+/// ```
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Population standard deviation. Returns `None` for an empty slice.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    Some(var.sqrt())
+}
+
+/// Root-mean-square error between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the slices are empty.
+pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rmse requires equal lengths");
+    assert!(!a.is_empty(), "rmse requires nonempty input");
+    let ss: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (ss / a.len() as f64).sqrt()
+}
+
+/// Signal-to-quantization-noise ratio in dB: `10·log10(‖ref‖² / ‖ref−sig‖²)`.
+///
+/// Returns `f64::INFINITY` when the signals are identical.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the reference has zero energy.
+pub fn sqnr_db(reference: &[f64], signal: &[f64]) -> f64 {
+    assert_eq!(reference.len(), signal.len(), "sqnr requires equal lengths");
+    let sig: f64 = reference.iter().map(|x| x * x).sum();
+    assert!(sig > 0.0, "reference signal must have nonzero energy");
+    let noise: f64 = reference
+        .iter()
+        .zip(signal)
+        .map(|(r, s)| (r - s) * (r - s))
+        .sum();
+    if noise == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (sig / noise).log10()
+    }
+}
+
+/// Cosine similarity between two vectors. Returns `None` when either vector
+/// has zero norm.
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> Option<f64> {
+    assert_eq!(a.len(), b.len(), "cosine similarity requires equal lengths");
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        None
+    } else {
+        Some(dot / (na * nb))
+    }
+}
+
+/// Maximum absolute element of a slice (0 for empty input).
+pub fn max_abs(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0, |m, &x| m.max(x.abs()))
+}
+
+/// Maximum relative error `|a−b| / max(|b|, floor)` across two slices.
+///
+/// `floor` guards the division for near-zero reference entries; the paper
+/// reports relative errors only for `r` bounded away from 0.
+///
+/// # Panics
+///
+/// Panics if lengths differ or `floor <= 0`.
+pub fn max_relative_error(a: &[f64], b: &[f64], floor: f64) -> f64 {
+    assert_eq!(a.len(), b.len(), "relative error requires equal lengths");
+    assert!(floor > 0.0, "floor must be positive");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs() / y.abs().max(floor))
+        .fold(0.0, f64::max)
+}
+
+/// A running summary (count/mean/min/max/RMS) built incrementally.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_math::stats::Summary;
+/// let mut s = Summary::new();
+/// for x in [1.0, -2.0, 3.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 3);
+/// assert_eq!(s.min(), Some(-2.0));
+/// assert_eq!(s.max(), Some(3.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.sum_sq += x * x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Root mean square, or `None` when empty.
+    pub fn rms(&self) -> Option<f64> {
+        (self.count > 0).then(|| (self.sum_sq / self.count as f64).sqrt())
+    }
+
+    /// Minimum observation, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum observation, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Self::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(std_dev(&[1.0, 1.0, 1.0]), Some(0.0));
+        let sd = std_dev(&[1.0, 3.0]).unwrap();
+        assert!((sd - 1.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[]), None);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        let got = rmse(&[1.0, 2.0], &[1.0, 4.0]);
+        assert!((got - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn rmse_rejects_mismatch() {
+        rmse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn sqnr_identical_is_infinite() {
+        assert!(sqnr_db(&[1.0, 2.0], &[1.0, 2.0]).is_infinite());
+    }
+
+    #[test]
+    fn sqnr_known_value() {
+        // noise energy = 0.01, signal energy = 1 -> 20 dB.
+        let got = sqnr_db(&[1.0], &[0.9]);
+        assert!((got - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_similarity_cases() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[2.0, 0.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 3.0]).unwrap().abs() < 1e-12);
+        assert!((cosine_similarity(&[1.0], &[-2.0]).unwrap() + 1.0).abs() < 1e-12);
+        assert_eq!(cosine_similarity(&[0.0], &[1.0]), None);
+    }
+
+    #[test]
+    fn max_relative_error_uses_floor() {
+        // Reference 0 would blow up without the floor.
+        let e = max_relative_error(&[0.1], &[0.0], 1.0);
+        assert!((e - 0.1).abs() < 1e-12);
+        let e2 = max_relative_error(&[1.1, 2.0], &[1.0, 2.0], 1e-9);
+        assert!((e2 - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_accumulates() {
+        let s: Summary = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.mean(), Some(2.5));
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(4.0));
+        let rms = s.rms().unwrap();
+        assert!((rms - (30.0f64 / 4.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.rms(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn max_abs_empty_is_zero() {
+        assert_eq!(max_abs(&[]), 0.0);
+        assert_eq!(max_abs(&[-3.0, 2.0]), 3.0);
+    }
+}

@@ -1,0 +1,307 @@
+//! Singular value decomposition via one-sided Jacobi rotations.
+//!
+//! MZI-array photonic tensor cores (Shen et al., paper Sec. II-A3) map a
+//! weight matrix by factoring it as `W = U·Σ·Vᵀ` and programming `U` and
+//! `V` into triangular meshes of interferometers. The paper's background
+//! argues this *offline decomposition* is the approach's weakness —
+//! "mapping a 12×12 matrix takes approximately 1.5 ms" — which motivates
+//! Lightening-Transformer's dynamically-operated design. Reproducing that
+//! comparison requires an SVD, implemented here from scratch.
+//!
+//! One-sided Jacobi: orthogonalize the columns of `A·V` by plane
+//! rotations until all column pairs are orthogonal; singular values are
+//! the resulting column norms. Numerically robust for the small/medium
+//! matrices PTCs care about.
+
+use crate::matrix::Mat;
+
+/// The factorization `A = U · diag(s) · Vᵀ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Svd {
+    /// Left singular vectors, `m × n` with orthonormal columns.
+    pub u: Mat,
+    /// Singular values, descending, length `n`.
+    pub s: Vec<f64>,
+    /// Right singular vectors, `n × n` orthogonal.
+    pub v: Mat,
+}
+
+impl Svd {
+    /// Reconstructs `U · diag(s) · Vᵀ`.
+    pub fn reconstruct(&self) -> Mat {
+        let n = self.s.len();
+        let mut us = self.u.clone();
+        for c in 0..n {
+            for r in 0..us.rows() {
+                us[(r, c)] *= self.s[c];
+            }
+        }
+        us.matmul(&self.v.transpose()).expect("shapes agree by construction")
+    }
+
+    /// Largest singular value (0 for the all-zero matrix).
+    pub fn spectral_norm(&self) -> f64 {
+        self.s.first().copied().unwrap_or(0.0)
+    }
+
+    /// Condition number `s_max / s_min`, `INFINITY` if singular.
+    pub fn condition_number(&self) -> f64 {
+        match (self.s.first(), self.s.last()) {
+            (Some(&max), Some(&min)) if min > 0.0 => max / min,
+            _ => f64::INFINITY,
+        }
+    }
+}
+
+/// Computes the thin SVD of `a` (requires `rows >= cols`).
+///
+/// # Panics
+///
+/// Panics if `a.rows() < a.cols()` — transpose first for wide matrices.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_math::{svd::svd, Mat};
+///
+/// let a = Mat::from_rows(2, 2, vec![3.0, 0.0, 0.0, -2.0])?;
+/// let f = svd(&a);
+/// assert!((f.s[0] - 3.0).abs() < 1e-12);
+/// assert!((f.s[1] - 2.0).abs() < 1e-12);
+/// assert!(f.reconstruct().distance(&a) < 1e-10);
+/// # Ok::<(), pdac_math::matrix::MatError>(())
+/// ```
+pub fn svd(a: &Mat) -> Svd {
+    let m = a.rows();
+    let n = a.cols();
+    assert!(m >= n, "one-sided Jacobi SVD requires rows >= cols; transpose first");
+    let mut w = a.clone(); // becomes U·Σ
+    let mut v = Mat::identity(n);
+
+    let eps = 1e-14;
+    let max_sweeps = 60;
+    for _ in 0..max_sweeps {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                // Column inner products.
+                let mut alpha = 0.0;
+                let mut beta = 0.0;
+                let mut gamma = 0.0;
+                for r in 0..m {
+                    alpha += w[(r, p)] * w[(r, p)];
+                    beta += w[(r, q)] * w[(r, q)];
+                    gamma += w[(r, p)] * w[(r, q)];
+                }
+                off = off.max(gamma.abs() / (alpha * beta).sqrt().max(f64::MIN_POSITIVE));
+                if gamma.abs() <= eps * (alpha * beta).sqrt() {
+                    continue;
+                }
+                // Jacobi rotation zeroing the (p, q) column product.
+                let zeta = (beta - alpha) / (2.0 * gamma);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for r in 0..m {
+                    let wp = w[(r, p)];
+                    let wq = w[(r, q)];
+                    w[(r, p)] = c * wp - s * wq;
+                    w[(r, q)] = s * wp + c * wq;
+                }
+                for r in 0..n {
+                    let vp = v[(r, p)];
+                    let vq = v[(r, q)];
+                    v[(r, p)] = c * vp - s * vq;
+                    v[(r, q)] = s * vp + c * vq;
+                }
+            }
+        }
+        if off < 1e-13 {
+            break;
+        }
+    }
+
+    // Column norms are the singular values; normalize into U.
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut sigma = vec![0.0; n];
+    for c in 0..n {
+        sigma[c] = (0..m).map(|r| w[(r, c)] * w[(r, c)]).sum::<f64>().sqrt();
+    }
+    order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).expect("finite norms"));
+
+    let mut u = Mat::zeros(m, n);
+    let mut v_sorted = Mat::zeros(n, n);
+    let mut s_sorted = vec![0.0; n];
+    let rank_tol = sigma.iter().cloned().fold(0.0f64, f64::max) * 1e-12;
+    for (new_c, &old_c) in order.iter().enumerate() {
+        s_sorted[new_c] = sigma[old_c];
+        if sigma[old_c] > rank_tol {
+            for r in 0..m {
+                u[(r, new_c)] = w[(r, old_c)] / sigma[old_c];
+            }
+        }
+        for r in 0..n {
+            v_sorted[(r, new_c)] = v[(r, old_c)];
+        }
+    }
+    // Rank-deficient input leaves null columns in U; complete them to an
+    // orthonormal basis (Gram-Schmidt against the filled columns) so U
+    // always has orthonormal columns.
+    complete_orthonormal_columns(&mut u, &s_sorted, rank_tol);
+    Svd { u, s: s_sorted, v: v_sorted }
+}
+
+/// Replaces the columns of `u` whose singular value is below `tol` with
+/// vectors orthonormal to every other column.
+fn complete_orthonormal_columns(u: &mut Mat, s: &[f64], tol: f64) {
+    let (m, n) = u.shape();
+    for c in 0..n {
+        if s[c] > tol {
+            continue;
+        }
+        // Try standard basis seeds until one survives orthogonalization.
+        let mut placed = false;
+        for seed in 0..m {
+            let mut cand = vec![0.0; m];
+            cand[seed] = 1.0;
+            for prev in 0..n {
+                if prev == c || (s[prev] <= tol && prev > c) {
+                    continue;
+                }
+                let dot: f64 = (0..m).map(|r| cand[r] * u[(r, prev)]).sum();
+                for (r, item) in cand.iter_mut().enumerate() {
+                    *item -= dot * u[(r, prev)];
+                }
+            }
+            let norm: f64 = cand.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm > 1e-6 {
+                for (r, item) in cand.iter().enumerate() {
+                    u[(r, c)] = item / norm;
+                }
+                placed = true;
+                break;
+            }
+        }
+        debug_assert!(placed, "orthonormal completion must succeed for m >= n");
+    }
+}
+
+/// Whether the columns of `m` are orthonormal within `tol`.
+pub fn has_orthonormal_columns(m: &Mat, tol: f64) -> bool {
+    let n = m.cols();
+    for p in 0..n {
+        for q in p..n {
+            let dot: f64 = (0..m.rows()).map(|r| m[(r, p)] * m[(r, q)]).sum();
+            let expected = if p == q { 1.0 } else { 0.0 };
+            if (dot - expected).abs() > tol {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Mat {
+        // Small deterministic LCG so the math crate stays dependency-free.
+        let mut state = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        Mat::from_fn(rows, cols, |_, _| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    #[test]
+    fn diagonal_matrix_svd() {
+        let a = Mat::from_rows(3, 3, vec![2.0, 0.0, 0.0, 0.0, 5.0, 0.0, 0.0, 0.0, 1.0])
+            .unwrap();
+        let f = svd(&a);
+        assert!((f.s[0] - 5.0).abs() < 1e-12);
+        assert!((f.s[1] - 2.0).abs() < 1e-12);
+        assert!((f.s[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_random_square() {
+        for seed in [1u64, 7, 42] {
+            let a = pseudo_random(8, 8, seed);
+            let f = svd(&a);
+            assert!(
+                f.reconstruct().distance(&a) < 1e-9,
+                "seed {seed}: distance {}",
+                f.reconstruct().distance(&a)
+            );
+        }
+    }
+
+    #[test]
+    fn reconstruction_random_tall() {
+        let a = pseudo_random(12, 5, 3);
+        let f = svd(&a);
+        assert!(f.reconstruct().distance(&a) < 1e-9);
+        assert_eq!(f.u.shape(), (12, 5));
+        assert_eq!(f.v.shape(), (5, 5));
+    }
+
+    #[test]
+    fn factors_are_orthonormal() {
+        let a = pseudo_random(9, 9, 11);
+        let f = svd(&a);
+        assert!(has_orthonormal_columns(&f.u, 1e-9));
+        assert!(has_orthonormal_columns(&f.v, 1e-9));
+    }
+
+    #[test]
+    fn singular_values_descending_and_nonnegative() {
+        let a = pseudo_random(10, 6, 5);
+        let f = svd(&a);
+        for pair in f.s.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
+        assert!(f.s.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn rank_deficient_matrix() {
+        // Two identical columns -> one zero singular value.
+        let a = Mat::from_rows(3, 2, vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0]).unwrap();
+        let f = svd(&a);
+        assert!(f.s[1] < 1e-10);
+        assert!(f.condition_number().is_infinite());
+        assert!(f.reconstruct().distance(&a) < 1e-10);
+    }
+
+    #[test]
+    fn spectral_norm_matches_known() {
+        // Rotation matrices have all singular values 1.
+        let theta: f64 = 0.61;
+        let a = Mat::from_rows(
+            2,
+            2,
+            vec![theta.cos(), -theta.sin(), theta.sin(), theta.cos()],
+        )
+        .unwrap();
+        let f = svd(&a);
+        assert!((f.spectral_norm() - 1.0).abs() < 1e-12);
+        assert!((f.condition_number() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = Mat::zeros(4, 3);
+        let f = svd(&a);
+        assert!(f.s.iter().all(|&s| s == 0.0));
+        assert!(f.reconstruct().distance(&a) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows >= cols")]
+    fn wide_matrix_rejected() {
+        svd(&Mat::zeros(2, 5));
+    }
+}

@@ -1,0 +1,177 @@
+//! Transformer model shape descriptions.
+//!
+//! Energy results depend only on layer shapes (MAC counts and traffic),
+//! which these configs capture exactly for the paper's two workloads:
+//! BERT-base with sequence length 128 (Fig. 9) and DeiT with 197 tokens
+//! from ImageNet1K 224×224 (Fig. 10). DeiT-base shares BERT-base's
+//! dimensions (12 layers, d = 768, 12 heads, 4× FFN) — which is why the
+//! paper reports identical total savings for both.
+
+use serde::{Deserialize, Serialize};
+
+/// The shape of a transformer encoder stack.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransformerConfig {
+    /// Workload name used in reports.
+    pub name: String,
+    /// Number of encoder layers.
+    pub layers: usize,
+    /// Hidden dimension `d`.
+    pub hidden: usize,
+    /// Attention heads (must divide `hidden`).
+    pub heads: usize,
+    /// FFN expansion factor (4 for BERT/DeiT).
+    pub ff_mult: usize,
+    /// Sequence length in tokens.
+    pub seq_len: usize,
+}
+
+impl TransformerConfig {
+    /// BERT-base, sequence length 128 (paper Fig. 9).
+    pub fn bert_base() -> Self {
+        Self {
+            name: "BERT-base (seq 128)".into(),
+            layers: 12,
+            hidden: 768,
+            heads: 12,
+            ff_mult: 4,
+            seq_len: 128,
+        }
+    }
+
+    /// DeiT-base, ImageNet1K 224×224 → 196 patches + 1 class token
+    /// (paper Fig. 10).
+    pub fn deit_base() -> Self {
+        Self {
+            name: "DeiT (ImageNet1K-224, 197 tokens)".into(),
+            layers: 12,
+            hidden: 768,
+            heads: 12,
+            ff_mult: 4,
+            seq_len: 197,
+        }
+    }
+
+    /// A small configuration for fast functional tests.
+    pub fn tiny() -> Self {
+        Self {
+            name: "tiny".into(),
+            layers: 2,
+            hidden: 32,
+            heads: 4,
+            ff_mult: 4,
+            seq_len: 8,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.layers == 0 || self.hidden == 0 || self.heads == 0 || self.seq_len == 0 {
+            return Err("all dimensions must be nonzero".into());
+        }
+        if !self.hidden.is_multiple_of(self.heads) {
+            return Err(format!(
+                "hidden {} must be divisible by heads {}",
+                self.hidden, self.heads
+            ));
+        }
+        if self.ff_mult == 0 {
+            return Err("ff_mult must be nonzero".into());
+        }
+        Ok(())
+    }
+
+    /// Head dimension `d / heads`.
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+
+    /// FFN intermediate dimension.
+    pub fn ff_dim(&self) -> usize {
+        self.hidden * self.ff_mult
+    }
+
+    /// MACs in one layer's attention block: four `d×d` projections plus
+    /// the score and context matmuls.
+    pub fn attention_macs_per_layer(&self) -> u64 {
+        let s = self.seq_len as u64;
+        let d = self.hidden as u64;
+        4 * s * d * d + 2 * s * s * d
+    }
+
+    /// MACs in one layer's FFN block.
+    pub fn ffn_macs_per_layer(&self) -> u64 {
+        let s = self.seq_len as u64;
+        let d = self.hidden as u64;
+        2 * s * d * (self.ff_mult as u64 * d)
+    }
+
+    /// Total model MACs per inference.
+    pub fn total_macs(&self) -> u64 {
+        self.layers as u64 * (self.attention_macs_per_layer() + self.ffn_macs_per_layer())
+    }
+
+    /// Weight parameters per layer (attention + FFN).
+    pub fn params_per_layer(&self) -> u64 {
+        let d = self.hidden as u64;
+        4 * d * d + 2 * d * (self.ff_mult as u64 * d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_base_shape() {
+        let c = TransformerConfig::bert_base();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.head_dim(), 64);
+        assert_eq!(c.ff_dim(), 3072);
+        // 4·128·768² + 2·128²·768 = 327,155,712.
+        assert_eq!(c.attention_macs_per_layer(), 327_155_712);
+        // 8·128·768² = 603,979,776.
+        assert_eq!(c.ffn_macs_per_layer(), 603_979_776);
+        // ~11.17 G MACs for 12 layers.
+        assert_eq!(c.total_macs(), 12 * (327_155_712 + 603_979_776));
+    }
+
+    #[test]
+    fn deit_shape() {
+        let c = TransformerConfig::deit_base();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.seq_len, 197);
+        assert_eq!(c.attention_macs_per_layer(), 524_391_936);
+        assert_eq!(c.ffn_macs_per_layer(), 929_562_624);
+    }
+
+    #[test]
+    fn params_per_layer_bert() {
+        let c = TransformerConfig::bert_base();
+        // 4·768² + 2·768·3072 = 7,077,888.
+        assert_eq!(c.params_per_layer(), 7_077_888);
+    }
+
+    #[test]
+    fn validation_catches_bad_heads() {
+        let mut c = TransformerConfig::bert_base();
+        c.heads = 7;
+        assert!(c.validate().unwrap_err().contains("divisible"));
+    }
+
+    #[test]
+    fn validation_catches_zero_dims() {
+        let mut c = TransformerConfig::tiny();
+        c.seq_len = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn tiny_is_valid() {
+        assert!(TransformerConfig::tiny().validate().is_ok());
+    }
+}

@@ -1,0 +1,228 @@
+//! Pluggable GEMM backends.
+//!
+//! The accelerator's matrix multiplies can run in three fidelity regimes:
+//!
+//! * [`ExactGemm`] — full-precision `f64` reference,
+//! * [`AnalogGemm`] — operands quantized and pushed through an
+//!   [`MzmDriver`] (P-DAC or electrical DAC) before the dot product.
+//!   The photonic DDot itself computes the dot product exactly (see
+//!   `pdac-photonics`), so the analog error is entirely in the operand
+//!   modulation — exactly the paper's error model.
+//!
+//! The [`GemmBackend`] trait lets the same transformer forward pass run in
+//! any regime; the fidelity study diffs their outputs.
+
+use crate::quant::QuantizedMat;
+use pdac_core::converter::MzmDriver;
+use pdac_math::Mat;
+
+/// A matrix-multiply backend.
+pub trait GemmBackend {
+    /// Computes `a · b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    fn matmul(&self, a: &Mat, b: &Mat) -> Mat;
+
+    /// Human-readable backend name for reports.
+    fn name(&self) -> &str;
+}
+
+/// The exact `f64` reference backend.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_nn::gemm::{ExactGemm, GemmBackend};
+/// use pdac_math::Mat;
+///
+/// let a = Mat::identity(2);
+/// let b = Mat::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0])?;
+/// assert_eq!(ExactGemm.matmul(&a, &b), b);
+/// # Ok::<(), pdac_math::matrix::MatError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExactGemm;
+
+impl GemmBackend for ExactGemm {
+    fn matmul(&self, a: &Mat, b: &Mat) -> Mat {
+        a.matmul(b).expect("inner dimensions must agree")
+    }
+
+    fn name(&self) -> &str {
+        "exact"
+    }
+}
+
+/// Analog GEMM through a converter drive path: quantize both operands
+/// per-tensor, dequantize through the driver (injecting its conversion
+/// error), then multiply exactly (the DDot identity).
+#[derive(Debug, Clone)]
+pub struct AnalogGemm<D> {
+    driver: D,
+    name: String,
+}
+
+impl<D: MzmDriver> AnalogGemm<D> {
+    /// Wraps a driver.
+    pub fn new(driver: D, name: impl Into<String>) -> Self {
+        Self { driver, name: name.into() }
+    }
+
+    /// The wrapped driver.
+    pub fn driver(&self) -> &D {
+        &self.driver
+    }
+}
+
+impl<D: MzmDriver> GemmBackend for AnalogGemm<D> {
+    fn matmul(&self, a: &Mat, b: &Mat) -> Mat {
+        let bits = self.driver.bits();
+        let aq = QuantizedMat::quantize(a, bits).dequantize_with(&self.driver);
+        let bq = QuantizedMat::quantize(b, bits).dequantize_with(&self.driver);
+        aq.matmul(&bq).expect("inner dimensions must agree")
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Asymmetric analog GEMM: different drive paths for the two operands —
+/// the hybrid design where dynamic activations (`a`) ride the P-DAC and
+/// weight-like operands (`b`) keep the exact electrical path.
+#[derive(Debug, Clone)]
+pub struct AsymmetricGemm<Da, Db> {
+    driver_a: Da,
+    driver_b: Db,
+    name: String,
+}
+
+impl<Da: MzmDriver, Db: MzmDriver> AsymmetricGemm<Da, Db> {
+    /// Wraps the two drivers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the drivers' bit widths differ.
+    pub fn new(driver_a: Da, driver_b: Db, name: impl Into<String>) -> Self {
+        assert_eq!(
+            driver_a.bits(),
+            driver_b.bits(),
+            "both operand paths must share a bit width"
+        );
+        Self { driver_a, driver_b, name: name.into() }
+    }
+}
+
+impl<Da: MzmDriver, Db: MzmDriver> GemmBackend for AsymmetricGemm<Da, Db> {
+    fn matmul(&self, a: &Mat, b: &Mat) -> Mat {
+        let bits = self.driver_a.bits();
+        let aq = QuantizedMat::quantize(a, bits).dequantize_with(&self.driver_a);
+        let bq = QuantizedMat::quantize(b, bits).dequantize_with(&self.driver_b);
+        aq.matmul(&bq).expect("inner dimensions must agree")
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdac_core::edac::ElectricalDac;
+    use pdac_core::pdac::PDac;
+    use pdac_math::stats::cosine_similarity;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_mat(rows: usize, cols: usize, seed: u64) -> Mat {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Mat::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn exact_matches_reference() {
+        let a = random_mat(5, 7, 1);
+        let b = random_mat(7, 3, 2);
+        assert_eq!(ExactGemm.matmul(&a, &b), a.matmul(&b).unwrap());
+        assert_eq!(ExactGemm.name(), "exact");
+    }
+
+    #[test]
+    fn analog_pdac_is_close_but_not_exact() {
+        let a = random_mat(8, 16, 3);
+        let b = random_mat(16, 8, 4);
+        let exact = ExactGemm.matmul(&a, &b);
+        let analog = AnalogGemm::new(PDac::with_optimal_approx(8).unwrap(), "pdac8");
+        let got = analog.matmul(&a, &b);
+        assert_ne!(got, exact);
+        let cs = cosine_similarity(got.as_slice(), exact.as_slice()).unwrap();
+        assert!(cs > 0.99, "cosine similarity {cs}");
+    }
+
+    #[test]
+    fn analog_edac_is_closer_than_pdac() {
+        let a = random_mat(8, 16, 5);
+        let b = random_mat(16, 8, 6);
+        let exact = ExactGemm.matmul(&a, &b);
+        let pdac = AnalogGemm::new(PDac::with_optimal_approx(8).unwrap(), "pdac8");
+        let edac = AnalogGemm::new(ElectricalDac::new(8).unwrap(), "edac8");
+        let dp = pdac.matmul(&a, &b).distance(&exact);
+        let de = edac.matmul(&a, &b).distance(&exact);
+        assert!(de < dp, "edac {de} vs pdac {dp}");
+    }
+
+    #[test]
+    fn higher_precision_improves_analog_gemm() {
+        let a = random_mat(8, 16, 7);
+        let b = random_mat(16, 8, 8);
+        let exact = ExactGemm.matmul(&a, &b);
+        let d4 = AnalogGemm::new(PDac::with_optimal_approx(4).unwrap(), "p4")
+            .matmul(&a, &b)
+            .distance(&exact);
+        let d8 = AnalogGemm::new(PDac::with_optimal_approx(8).unwrap(), "p8")
+            .matmul(&a, &b)
+            .distance(&exact);
+        assert!(d8 < d4, "8-bit {d8} vs 4-bit {d4}");
+    }
+
+    #[test]
+    fn asymmetric_accuracy_between_pure_paths() {
+        let a = random_mat(8, 16, 21);
+        let b = random_mat(16, 8, 22);
+        let exact = ExactGemm.matmul(&a, &b);
+        let full_pdac = AnalogGemm::new(PDac::with_optimal_approx(8).unwrap(), "pp");
+        let full_edac = AnalogGemm::new(ElectricalDac::new(8).unwrap(), "ee");
+        let hybrid = AsymmetricGemm::new(
+            PDac::with_optimal_approx(8).unwrap(),
+            ElectricalDac::new(8).unwrap(),
+            "hybrid",
+        );
+        let dp = full_pdac.matmul(&a, &b).distance(&exact);
+        let de = full_edac.matmul(&a, &b).distance(&exact);
+        let dh = hybrid.matmul(&a, &b).distance(&exact);
+        assert!(de < dh && dh < dp, "{de} < {dh} < {dp} violated");
+        assert_eq!(hybrid.name(), "hybrid");
+    }
+
+    #[test]
+    #[should_panic(expected = "share a bit width")]
+    fn asymmetric_rejects_mismatched_bits() {
+        AsymmetricGemm::new(
+            PDac::with_optimal_approx(8).unwrap(),
+            ElectricalDac::new(4).unwrap(),
+            "bad",
+        );
+    }
+
+    #[test]
+    fn analog_gemm_zero_operand() {
+        let a = Mat::zeros(3, 3);
+        let b = random_mat(3, 3, 9);
+        let analog = AnalogGemm::new(PDac::with_optimal_approx(8).unwrap(), "p8");
+        let got = analog.matmul(&a, &b);
+        assert!(got.max_abs() < 1e-12);
+    }
+}

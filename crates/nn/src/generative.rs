@@ -1,0 +1,235 @@
+//! Generative (auto-regressive) inference workloads with a KV cache.
+//!
+//! The paper's introduction motivates photonic acceleration with LLM
+//! *serving*: token-by-token decoding where "the KV cache stores
+//! precomputed K and V vectors" and memory bandwidth dominates. This
+//! module extends the encoder-style traces of [`crate::workload`] with
+//! decode-phase traces: per generated token, each layer projects a single
+//! token (S = 1), attends over the cached context of length `L`, and runs
+//! its FFN — so compute shrinks by ~S× while weight traffic stays, making
+//! decode far more memory-bound than prefill. The P-DAC's savings
+//! (compute-side only) are correspondingly smaller: a quantitative
+//! extension of the paper's Fig. 9/10 analysis to the serving regime.
+
+use crate::config::TransformerConfig;
+use pdac_power::{OpClass, OpTrace, TraceEntry};
+
+/// Attention MACs for decoding one token at context length `context`:
+/// four `d×d` projections for the new token plus score/context matmuls
+/// against the cache.
+pub fn decode_attention_macs(config: &TransformerConfig, context: usize) -> u64 {
+    let d = config.hidden as u64;
+    let l = context as u64;
+    4 * d * d + 2 * l * d
+}
+
+/// FFN MACs for one decoded token.
+pub fn decode_ffn_macs(config: &TransformerConfig) -> u64 {
+    let d = config.hidden as u64;
+    2 * d * (config.ff_mult as u64 * d)
+}
+
+/// Attention bytes (at 8-bit) for one decoded token: projection weights,
+/// the KV-cache read of the full context, the new K/V write, and the
+/// small per-token activations.
+pub fn decode_attention_bytes(config: &TransformerConfig, context: usize) -> u64 {
+    let d = config.hidden as u64;
+    let l = context as u64;
+    let weights = 4 * d * d;
+    let kv_read = 2 * l * d;
+    let kv_write = 2 * d;
+    let activations = 6 * d + config.heads as u64 * l;
+    weights + kv_read + kv_write + activations
+}
+
+/// FFN bytes (at 8-bit) for one decoded token.
+pub fn decode_ffn_bytes(config: &TransformerConfig) -> u64 {
+    let d = config.hidden as u64;
+    let ff = config.ff_dim() as u64;
+    2 * d * ff + 2 * d + 2 * ff
+}
+
+/// Element-wise ops for one decoded token.
+pub fn decode_elementwise_ops(config: &TransformerConfig, context: usize) -> u64 {
+    let d = config.hidden as u64;
+    let softmax = config.heads as u64 * context as u64;
+    softmax + 2 * d + config.ff_dim() as u64 + 2 * d
+}
+
+/// Builds the op trace for decoding `tokens` new tokens starting from a
+/// context of `prompt_len` (the context grows as tokens are emitted).
+///
+/// # Panics
+///
+/// Panics if the config fails validation or `tokens == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_nn::config::TransformerConfig;
+/// use pdac_nn::generative::decode_trace;
+///
+/// let trace = decode_trace(&TransformerConfig::bert_base(), 128, 32);
+/// assert!(trace.total_macs() > 0);
+/// ```
+pub fn decode_trace(config: &TransformerConfig, prompt_len: usize, tokens: usize) -> OpTrace {
+    config.validate().expect("config must be valid");
+    assert!(tokens > 0, "must decode at least one token");
+    let layers = config.layers as u64;
+    let mut attn_macs = 0u64;
+    let mut attn_bytes = 0u64;
+    let mut ffn_macs = 0u64;
+    let mut ffn_bytes = 0u64;
+    let mut elem = 0u64;
+    for t in 0..tokens {
+        let context = prompt_len + t + 1;
+        attn_macs += decode_attention_macs(config, context);
+        attn_bytes += decode_attention_bytes(config, context);
+        ffn_macs += decode_ffn_macs(config);
+        ffn_bytes += decode_ffn_bytes(config);
+        elem += decode_elementwise_ops(config, context);
+    }
+    OpTrace {
+        name: format!(
+            "{} decode {tokens} tokens @ ctx {prompt_len}",
+            config.name
+        ),
+        entries: vec![
+            TraceEntry {
+                class: OpClass::Attention,
+                macs: layers * attn_macs,
+                bytes_at_8bit: layers * attn_bytes,
+                elementwise_ops: 0,
+            },
+            TraceEntry {
+                class: OpClass::Ffn,
+                macs: layers * ffn_macs,
+                bytes_at_8bit: layers * ffn_bytes,
+                elementwise_ops: 0,
+            },
+            TraceEntry {
+                class: OpClass::Other,
+                macs: 0,
+                bytes_at_8bit: 0,
+                elementwise_ops: layers * elem,
+            },
+        ],
+    }
+}
+
+/// KV-cache footprint in bytes for one sequence at `context` length:
+/// `2 (K and V) × layers × context × hidden × bytes-per-word`.
+///
+/// The capacity side of the serving story: once the cache outgrows the
+/// shared on-chip SRAM, every decode step streams it from DRAM.
+///
+/// # Panics
+///
+/// Panics if `bits` is outside `2..=16`.
+pub fn kv_cache_bytes(config: &TransformerConfig, context: usize, bits: u8) -> u64 {
+    assert!((2..=16).contains(&bits), "bits outside 2..=16");
+    let word = u64::from(bits).div_ceil(8).max(1);
+    2 * config.layers as u64 * context as u64 * config.hidden as u64 * word
+}
+
+/// Largest context whose KV cache fits in `capacity_bytes`.
+pub fn max_cached_context(config: &TransformerConfig, capacity_bytes: u64, bits: u8) -> usize {
+    let per_token = kv_cache_bytes(config, 1, bits);
+    (capacity_bytes / per_token.max(1)) as usize
+}
+
+/// Arithmetic intensity (MACs per byte at 8-bit) of a trace — the
+/// quantity that separates the compute-bound prefill from the
+/// memory-bound decode.
+pub fn arithmetic_intensity(trace: &OpTrace) -> f64 {
+    let macs: u64 = trace.entries.iter().map(|e| e.macs).sum();
+    let bytes: u64 = trace.entries.iter().map(|e| e.bytes_at_8bit).sum();
+    macs as f64 / bytes.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::op_trace;
+
+    fn bert() -> TransformerConfig {
+        TransformerConfig::bert_base()
+    }
+
+    #[test]
+    fn single_token_mac_counts() {
+        let c = bert();
+        // 4·768² + 2·128·768 = 2,359,296 + 196,608.
+        assert_eq!(decode_attention_macs(&c, 128), 2_359_296 + 196_608);
+        assert_eq!(decode_ffn_macs(&c), 4_718_592);
+    }
+
+    #[test]
+    fn decode_is_memory_bound_vs_prefill() {
+        let c = bert();
+        let prefill = op_trace(&c);
+        let decode = decode_trace(&c, 128, 1);
+        let ai_prefill = arithmetic_intensity(&prefill);
+        let ai_decode = arithmetic_intensity(&decode);
+        assert!(
+            ai_prefill > 20.0 * ai_decode,
+            "prefill {ai_prefill} vs decode {ai_decode}"
+        );
+        // Decode is near 1 MAC/byte: weights read once per token.
+        assert!(ai_decode < 2.0);
+    }
+
+    #[test]
+    fn context_growth_increases_attention_cost() {
+        let c = bert();
+        let short = decode_trace(&c, 64, 8);
+        let long = decode_trace(&c, 2048, 8);
+        let attn = |t: &OpTrace| t.entry(OpClass::Attention).unwrap().macs;
+        assert!(attn(&long) > attn(&short));
+        // FFN cost is context-independent.
+        let ffn = |t: &OpTrace| t.entry(OpClass::Ffn).unwrap().macs;
+        assert_eq!(ffn(&long), ffn(&short));
+    }
+
+    #[test]
+    fn kv_cache_bytes_grow_linearly_with_context() {
+        let c = bert();
+        let b1 = decode_attention_bytes(&c, 1000);
+        let b2 = decode_attention_bytes(&c, 2000);
+        // Incremental bytes = 1000 · 2d (+ heads·1000 score bytes).
+        let expected = 1000 * 2 * 768 + 12 * 1000;
+        assert_eq!(b2 - b1, expected);
+    }
+
+    #[test]
+    fn trace_accumulates_over_tokens() {
+        let c = bert();
+        let one = decode_trace(&c, 128, 1);
+        let ten = decode_trace(&c, 128, 10);
+        assert!(ten.total_macs() > 9 * one.total_macs());
+        assert!(ten.total_macs() < 11 * one.total_macs());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one token")]
+    fn zero_tokens_rejected() {
+        decode_trace(&bert(), 10, 0);
+    }
+
+    #[test]
+    fn kv_cache_footprint_bert() {
+        // 2 × 12 layers × 1024 tokens × 768 dims × 1 B = 18.9 MB at 8-bit.
+        let bytes = kv_cache_bytes(&bert(), 1024, 8);
+        assert_eq!(bytes, 2 * 12 * 1024 * 768);
+        // 4-bit halves it (packed nibbles round up per word here: 1 B min).
+        assert_eq!(kv_cache_bytes(&bert(), 1024, 16), 2 * bytes);
+    }
+
+    #[test]
+    fn on_chip_cache_capacity_is_small() {
+        // A 4 MiB M2 SRAM holds only ~227 tokens of BERT-base KV at
+        // 8-bit: long-context decode necessarily streams from DRAM.
+        let max = max_cached_context(&bert(), 4 << 20, 8);
+        assert!(max > 200 && max < 250, "max context {max}");
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! Transformer workload substrate for the P-DAC evaluation.
+//!
+//! The paper evaluates on BERT-base (sequence length 128) and DeiT
+//! (ImageNet1K 224×224, 197 tokens). This crate provides everything the
+//! evaluation needs from the model side:
+//!
+//! * [`ops`] — softmax, layer norm, GELU and residual ops on
+//!   [`pdac_math::Mat`] activations;
+//! * [`quant`] — per-tensor symmetric quantization of activations and
+//!   weights onto the converter code grid;
+//! * [`gemm`] — pluggable GEMM backends: exact `f64`, and an analog
+//!   backend that pushes every operand through an
+//!   [`pdac_core::MzmDriver`] (P-DAC or electrical DAC) before the —
+//!   physically exact — photonic dot product;
+//! * [`config`] — model shape descriptions ([`config::TransformerConfig::bert_base`],
+//!   [`config::TransformerConfig::deit_base`]);
+//! * [`workload`] — op-trace generation: exact MAC counts, bytes moved
+//!   and element-wise op counts per class, consumed by `pdac-power`'s
+//!   energy model to regenerate Figs. 9/10;
+//! * [`inference`] — a functional encoder forward pass with seeded random
+//!   weights, used to validate the paper's claim that LLM inference
+//!   tolerates the P-DAC's bounded analog error.
+//!
+//! # Examples
+//!
+//! ```
+//! use pdac_nn::config::TransformerConfig;
+//!
+//! let bert = TransformerConfig::bert_base();
+//! let trace = pdac_nn::workload::op_trace(&bert);
+//! assert!(trace.total_macs() > 10_000_000_000); // ~11.2 G MACs
+//! ```
+
+pub mod accuracy;
+pub mod config;
+pub mod gemm;
+pub mod generative;
+pub mod inference;
+pub mod ops;
+pub mod quant;
+pub mod workload;
+
+pub use config::TransformerConfig;
+pub use gemm::{AnalogGemm, AsymmetricGemm, ExactGemm, GemmBackend};
+pub use inference::{KvCache, TransformerModel};

@@ -1,0 +1,174 @@
+//! Element-wise and row-wise neural network operations.
+//!
+//! These run on the accelerator's digital side (they appear in the
+//! "Other" slice of the paper's energy breakdowns); numerically they are
+//! plain `f64` operations on [`Mat`] activations.
+
+use pdac_math::Mat;
+
+/// Row-wise softmax.
+///
+/// Each row is shifted by its maximum for numerical stability before
+/// exponentiation.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_math::Mat;
+/// use pdac_nn::ops::softmax_rows;
+///
+/// let logits = Mat::from_rows(1, 3, vec![1.0, 2.0, 3.0])?;
+/// let p = softmax_rows(&logits);
+/// let sum: f64 = p.row(0).iter().sum();
+/// assert!((sum - 1.0).abs() < 1e-12);
+/// # Ok::<(), pdac_math::matrix::MatError>(())
+/// ```
+pub fn softmax_rows(x: &Mat) -> Mat {
+    let mut out = x.clone();
+    let cols = x.cols();
+    for r in 0..x.rows() {
+        let row_max = (0..cols).map(|c| x[(r, c)]).fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for c in 0..cols {
+            let e = (x[(r, c)] - row_max).exp();
+            out[(r, c)] = e;
+            sum += e;
+        }
+        for c in 0..cols {
+            out[(r, c)] /= sum;
+        }
+    }
+    out
+}
+
+/// Row-wise layer normalization with per-feature affine parameters.
+///
+/// # Panics
+///
+/// Panics if `gamma`/`beta` lengths differ from `x.cols()`.
+pub fn layer_norm_rows(x: &Mat, gamma: &[f64], beta: &[f64], eps: f64) -> Mat {
+    assert_eq!(gamma.len(), x.cols(), "gamma length mismatch");
+    assert_eq!(beta.len(), x.cols(), "beta length mismatch");
+    let cols = x.cols() as f64;
+    let mut out = x.clone();
+    for r in 0..x.rows() {
+        let mean: f64 = (0..x.cols()).map(|c| x[(r, c)]).sum::<f64>() / cols;
+        let var: f64 =
+            (0..x.cols()).map(|c| (x[(r, c)] - mean).powi(2)).sum::<f64>() / cols;
+        let denom = (var + eps).sqrt();
+        for c in 0..x.cols() {
+            out[(r, c)] = (x[(r, c)] - mean) / denom * gamma[c] + beta[c];
+        }
+    }
+    out
+}
+
+/// GELU activation (tanh approximation, as used by BERT).
+pub fn gelu(x: f64) -> f64 {
+    const SQRT_2_OVER_PI: f64 = 0.797_884_560_802_865_4;
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// Element-wise GELU over a matrix.
+pub fn gelu_mat(x: &Mat) -> Mat {
+    x.map(gelu)
+}
+
+/// Element-wise sum (residual connection).
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn residual(x: &Mat, y: &Mat) -> Mat {
+    x + y
+}
+
+/// Mean-pools rows into a single row vector (classification head input).
+pub fn mean_pool_rows(x: &Mat) -> Vec<f64> {
+    let rows = x.rows() as f64;
+    (0..x.cols())
+        .map(|c| (0..x.rows()).map(|r| x[(r, c)]).sum::<f64>() / rows)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Mat::from_fn(3, 5, |r, c| (r * c) as f64 - 2.0);
+        let p = softmax_rows(&x);
+        for r in 0..3 {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+            assert!(p.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Mat::from_rows(1, 3, vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Mat::from_rows(1, 3, vec![101.0, 102.0, 103.0]).unwrap();
+        let pa = softmax_rows(&a);
+        let pb = softmax_rows(&b);
+        for c in 0..3 {
+            assert!((pa[(0, c)] - pb[(0, c)]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let x = Mat::from_rows(1, 2, vec![1000.0, 0.0]).unwrap();
+        let p = softmax_rows(&x);
+        assert!((p[(0, 0)] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn layer_norm_standardizes() {
+        let x = Mat::from_rows(1, 4, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let out = layer_norm_rows(&x, &[1.0; 4], &[0.0; 4], 1e-9);
+        let mean: f64 = out.row(0).iter().sum::<f64>() / 4.0;
+        let var: f64 = out.row(0).iter().map(|v| (v - mean).powi(2)).sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-9);
+        assert!((var - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn layer_norm_applies_affine() {
+        let x = Mat::from_rows(1, 2, vec![-1.0, 1.0]).unwrap();
+        let out = layer_norm_rows(&x, &[2.0, 2.0], &[1.0, 1.0], 1e-12);
+        assert!((out[(0, 0)] + 1.0).abs() < 1e-6); // -1·2 + 1
+        assert!((out[(0, 1)] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        assert_eq!(gelu(0.0), 0.0);
+        assert!((gelu(3.0) - 3.0).abs() < 0.01); // ≈ identity for large x
+        assert!(gelu(-3.0).abs() < 0.01); // ≈ 0 for very negative x
+        assert!(gelu(1.0) > 0.8 && gelu(1.0) < 0.9);
+    }
+
+    #[test]
+    fn gelu_mat_matches_scalar() {
+        let x = Mat::from_rows(1, 3, vec![-1.0, 0.5, 2.0]).unwrap();
+        let y = gelu_mat(&x);
+        for c in 0..3 {
+            assert_eq!(y[(0, c)], gelu(x[(0, c)]));
+        }
+    }
+
+    #[test]
+    fn residual_adds() {
+        let a = Mat::from_rows(1, 2, vec![1.0, 2.0]).unwrap();
+        let b = Mat::from_rows(1, 2, vec![0.5, -0.5]).unwrap();
+        assert_eq!(residual(&a, &b).as_slice(), &[1.5, 1.5]);
+    }
+
+    #[test]
+    fn mean_pool_averages_rows() {
+        let x = Mat::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(mean_pool_rows(&x), vec![2.0, 3.0]);
+    }
+}

@@ -1,0 +1,243 @@
+//! Tensor quantization onto the converter code grid.
+//!
+//! Before modulation, activations and weights are quantized per-tensor
+//! with a symmetric scale (the largest magnitude maps to the full-scale
+//! code). Dequantization happens physically: the MZM emits
+//! `scale · driver.convert(code)` — so replacing the ideal driver with a
+//! P-DAC injects exactly the approximation error of paper Sec. III-C into
+//! every operand.
+
+use pdac_core::converter::MzmDriver;
+use pdac_math::{Mat, Quantizer};
+
+/// A tensor quantized to signed codes with one per-tensor scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMat {
+    codes: Vec<i32>,
+    rows: usize,
+    cols: usize,
+    scale: f64,
+    bits: u8,
+}
+
+impl QuantizedMat {
+    /// Quantizes `x` at `bits` precision with the symmetric per-tensor
+    /// scale `max|x|` (scale 1 for an all-zero tensor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `2..=16`.
+    pub fn quantize(x: &Mat, bits: u8) -> Self {
+        let scale = {
+            let m = x.max_abs();
+            if m == 0.0 {
+                1.0
+            } else {
+                m
+            }
+        };
+        Self::quantize_with_scale(x, bits, scale)
+    }
+
+    /// Quantizes with a percentile-clipped scale: the scale is the
+    /// `percentile`-th largest magnitude instead of the absolute max, and
+    /// outliers saturate. For heavy-tailed activations this pushes the
+    /// bulk of values toward full scale — where both the quantizer grid
+    /// is denser relative to the signal and the P-DAC is most accurate
+    /// (it is exact at ±1) — at the cost of clipping rare outliers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `2..=16` or `percentile` outside
+    /// `(0, 1]`.
+    pub fn quantize_clipped(x: &Mat, bits: u8, percentile: f64) -> Self {
+        assert!(
+            percentile > 0.0 && percentile <= 1.0,
+            "percentile must lie in (0, 1]"
+        );
+        let mut mags: Vec<f64> = x.as_slice().iter().map(|v| v.abs()).collect();
+        mags.sort_by(|a, b| a.partial_cmp(b).expect("finite magnitudes"));
+        let idx = ((mags.len() as f64 * percentile).ceil() as usize)
+            .clamp(1, mags.len())
+            - 1;
+        let scale = if mags[idx] == 0.0 { 1.0 } else { mags[idx] };
+        Self::quantize_with_scale(x, bits, scale)
+    }
+
+    fn quantize_with_scale(x: &Mat, bits: u8, scale: f64) -> Self {
+        let q = Quantizer::new(bits, scale).expect("validated bit width and positive scale");
+        Self {
+            codes: x.as_slice().iter().map(|&v| q.quantize(v)).collect(),
+            rows: x.rows(),
+            cols: x.cols(),
+            scale,
+            bits,
+        }
+    }
+
+    /// Per-tensor scale.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Bit precision.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Raw codes, row-major.
+    pub fn codes(&self) -> &[i32] {
+        &self.codes
+    }
+
+    /// Ideal dequantization (no converter error).
+    pub fn dequantize_ideal(&self) -> Mat {
+        let q = Quantizer::new(self.bits, self.scale).expect("stored params are valid");
+        let data = self.codes.iter().map(|&c| q.dequantize(c)).collect();
+        Mat::from_rows(self.rows, self.cols, data).expect("shape preserved")
+    }
+
+    /// Physical dequantization through an MZM drive path: every element
+    /// becomes `scale · driver.convert(code)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the driver's bit width differs from the tensor's.
+    pub fn dequantize_with(&self, driver: &dyn MzmDriver) -> Mat {
+        assert_eq!(driver.bits(), self.bits, "driver/tensor bit width mismatch");
+        let data = self
+            .codes
+            .iter()
+            .map(|&c| self.scale * driver.convert(c))
+            .collect();
+        Mat::from_rows(self.rows, self.cols, data).expect("shape preserved")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdac_core::edac::ElectricalDac;
+    use pdac_core::pdac::PDac;
+
+    fn ramp() -> Mat {
+        Mat::from_fn(4, 4, |r, c| (r as f64 - 1.5) * 0.4 + (c as f64 - 1.5) * 0.1)
+    }
+
+    #[test]
+    fn quantize_preserves_shape_and_scale() {
+        let x = ramp();
+        let q = QuantizedMat::quantize(&x, 8);
+        assert_eq!(q.shape(), (4, 4));
+        assert_eq!(q.bits(), 8);
+        assert!((q.scale() - x.max_abs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ideal_round_trip_error_bounded() {
+        let x = ramp();
+        let q = QuantizedMat::quantize(&x, 8);
+        let back = q.dequantize_ideal();
+        let step = q.scale() / 127.0;
+        for (a, b) in x.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() <= step / 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_tensor_quantizes_to_zero() {
+        let x = Mat::zeros(2, 2);
+        let q = QuantizedMat::quantize(&x, 8);
+        assert!(q.codes().iter().all(|&c| c == 0));
+        assert_eq!(q.dequantize_ideal().as_slice(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn pdac_dequantization_respects_error_bound() {
+        let x = ramp();
+        let q = QuantizedMat::quantize(&x, 8);
+        let pdac = PDac::with_optimal_approx(8).unwrap();
+        let ideal = q.dequantize_ideal();
+        let analog = q.dequantize_with(&pdac);
+        for (i, (a, b)) in ideal.as_slice().iter().zip(analog.as_slice()).enumerate() {
+            if a.abs() > 1e-9 {
+                assert!(((a - b) / a).abs() < 0.086, "elem {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn edac_dequantization_is_tighter_than_pdac() {
+        let x = ramp();
+        let q = QuantizedMat::quantize(&x, 8);
+        let pdac = PDac::with_optimal_approx(8).unwrap();
+        let edac = ElectricalDac::new(8).unwrap();
+        let ideal = q.dequantize_ideal();
+        let ep = q.dequantize_with(&pdac).distance(&ideal);
+        let ee = q.dequantize_with(&edac).distance(&ideal);
+        assert!(ee < ep);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit width mismatch")]
+    fn mismatched_driver_bits_rejected() {
+        let q = QuantizedMat::quantize(&ramp(), 8);
+        let pdac = PDac::with_optimal_approx(4).unwrap();
+        q.dequantize_with(&pdac);
+    }
+
+    fn heavy_tailed() -> Mat {
+        // Mostly small values with one large outlier.
+        let mut data = vec![0.1; 63];
+        data.push(10.0);
+        Mat::from_rows(8, 8, data).unwrap()
+    }
+
+    #[test]
+    fn clipped_scale_ignores_outliers() {
+        let x = heavy_tailed();
+        let full = QuantizedMat::quantize(&x, 8);
+        let clipped = QuantizedMat::quantize_clipped(&x, 8, 0.95);
+        assert_eq!(full.scale(), 10.0);
+        assert!(clipped.scale() < 0.2, "clipped scale {}", clipped.scale());
+    }
+
+    #[test]
+    fn clipping_improves_bulk_reconstruction() {
+        // With a 10.0 outlier, the full-scale grid step is 10/127 ≈ 0.08
+        // — comparable to the 0.1 bulk values themselves. Clipping the
+        // scale to the bulk restores them nearly exactly.
+        let x = heavy_tailed();
+        let bulk_err = |q: &QuantizedMat| {
+            let back = q.dequantize_ideal();
+            x.as_slice()
+                .iter()
+                .zip(back.as_slice())
+                .filter(|(v, _)| v.abs() < 1.0)
+                .map(|(v, b)| (v - b).abs())
+                .fold(0.0f64, f64::max)
+        };
+        let full = QuantizedMat::quantize(&x, 8);
+        let clipped = QuantizedMat::quantize_clipped(&x, 8, 0.95);
+        assert!(bulk_err(&clipped) < bulk_err(&full) / 10.0);
+    }
+
+    #[test]
+    fn full_percentile_matches_plain_quantize() {
+        let x = ramp();
+        let a = QuantizedMat::quantize(&x, 8);
+        let b = QuantizedMat::quantize_clipped(&x, 8, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn zero_percentile_rejected() {
+        QuantizedMat::quantize_clipped(&ramp(), 8, 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Op-trace generation.
+//!
+//! Turns a [`TransformerConfig`] into the per-class activity trace the
+//! energy model consumes: exact MAC counts, bytes moved (weights plus
+//! activations, expressed at 8-bit precision and rescaled by the model),
+//! and element-wise op counts (softmax, layer norm, GELU, residuals).
+//!
+//! The byte accounting follows the calibration story of DESIGN.md §5:
+//! attention operands are SRAM-resident (Q/K/V/scores plus the four
+//! projection weight tiles), while FFN weights stream from DRAM every
+//! layer — which is why the FFN's per-byte energy rate is higher and its
+//! P-DAC saving smaller.
+
+use crate::config::TransformerConfig;
+use pdac_power::{OpClass, OpTrace, TraceEntry};
+
+/// Bytes moved per layer by the attention block at 8-bit precision:
+/// the four projection weights plus Q/K/V/score/context activations.
+pub fn attention_bytes_per_layer(config: &TransformerConfig) -> u64 {
+    let s = config.seq_len as u64;
+    let d = config.hidden as u64;
+    let h = config.heads as u64;
+    let weights = 4 * d * d;
+    // in, q, k, v, context, out = 6·S·d; score matrices h·S².
+    let activations = 6 * s * d + h * s * s;
+    weights + activations
+}
+
+/// Bytes moved per layer by the FFN block at 8-bit precision.
+pub fn ffn_bytes_per_layer(config: &TransformerConfig) -> u64 {
+    let s = config.seq_len as u64;
+    let d = config.hidden as u64;
+    let ff = config.ff_dim() as u64;
+    let weights = 2 * d * ff;
+    // in, intermediate (x2 for read+write of GELU), out.
+    let activations = 2 * s * d + 2 * s * ff;
+    weights + activations
+}
+
+/// Element-wise (non-GEMM) operations per layer: softmax over the score
+/// matrices, two layer norms, the GELU, and two residual adds.
+pub fn elementwise_ops_per_layer(config: &TransformerConfig) -> u64 {
+    let s = config.seq_len as u64;
+    let d = config.hidden as u64;
+    let h = config.heads as u64;
+    let softmax = h * s * s;
+    let layer_norms = 2 * s * d;
+    let gelu = s * config.ff_dim() as u64;
+    let residuals = 2 * s * d;
+    softmax + layer_norms + gelu + residuals
+}
+
+/// Builds the full-inference op trace for a model: per-class MACs, bytes
+/// and element-wise ops across all layers.
+///
+/// # Panics
+///
+/// Panics if the config fails validation.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_nn::config::TransformerConfig;
+/// use pdac_nn::workload::op_trace;
+/// use pdac_power::OpClass;
+///
+/// let trace = op_trace(&TransformerConfig::bert_base());
+/// let attn = trace.entry(OpClass::Attention).unwrap();
+/// assert_eq!(attn.macs, 12 * 327_155_712);
+/// ```
+pub fn op_trace(config: &TransformerConfig) -> OpTrace {
+    config.validate().expect("config must be valid");
+    let layers = config.layers as u64;
+    OpTrace {
+        name: config.name.clone(),
+        entries: vec![
+            TraceEntry {
+                class: OpClass::Attention,
+                macs: layers * config.attention_macs_per_layer(),
+                bytes_at_8bit: layers * attention_bytes_per_layer(config),
+                elementwise_ops: 0,
+            },
+            TraceEntry {
+                class: OpClass::Ffn,
+                macs: layers * config.ffn_macs_per_layer(),
+                bytes_at_8bit: layers * ffn_bytes_per_layer(config),
+                elementwise_ops: 0,
+            },
+            TraceEntry {
+                class: OpClass::Other,
+                macs: 0,
+                // Element-wise traffic is folded into the per-op energy.
+                bytes_at_8bit: 0,
+                elementwise_ops: layers * elementwise_ops_per_layer(config),
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_byte_counts() {
+        let c = TransformerConfig::bert_base();
+        // Weights 2,359,296 + activations 6·128·768 + 12·128² = 786,432.
+        assert_eq!(attention_bytes_per_layer(&c), 2_359_296 + 786_432);
+        // Weights 4,718,592 + activations 2·128·768 + 2·128·3072 = 983,040.
+        assert_eq!(ffn_bytes_per_layer(&c), 4_718_592 + 983_040);
+    }
+
+    #[test]
+    fn bert_elementwise_counts() {
+        let c = TransformerConfig::bert_base();
+        // 196,608 softmax + 196,608 LN + 393,216 GELU + 196,608 residual.
+        assert_eq!(elementwise_ops_per_layer(&c), 983_040);
+    }
+
+    #[test]
+    fn trace_covers_three_classes() {
+        let t = op_trace(&TransformerConfig::bert_base());
+        assert_eq!(t.entries.len(), 3);
+        assert!(t.entry(OpClass::Attention).is_some());
+        assert!(t.entry(OpClass::Ffn).is_some());
+        assert!(t.entry(OpClass::Other).is_some());
+    }
+
+    #[test]
+    fn trace_total_macs_matches_config() {
+        let c = TransformerConfig::deit_base();
+        let t = op_trace(&c);
+        assert_eq!(t.total_macs(), c.total_macs());
+    }
+
+    #[test]
+    fn ffn_moves_more_bytes_than_attention() {
+        for c in [TransformerConfig::bert_base(), TransformerConfig::deit_base()] {
+            assert!(ffn_bytes_per_layer(&c) > attention_bytes_per_layer(&c));
+        }
+    }
+
+    #[test]
+    fn deit_has_more_elementwise_than_bert() {
+        let bert = elementwise_ops_per_layer(&TransformerConfig::bert_base());
+        let deit = elementwise_ops_per_layer(&TransformerConfig::deit_base());
+        assert!(deit > bert); // longer sequence
+    }
+
+    #[test]
+    #[should_panic(expected = "config must be valid")]
+    fn invalid_config_rejected() {
+        let mut c = TransformerConfig::tiny();
+        c.heads = 5;
+        op_trace(&c);
+    }
+}

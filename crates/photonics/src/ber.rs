@@ -1,0 +1,215 @@
+//! Bit-error-rate model for the optical digital link.
+//!
+//! Before the P-DAC's analog stage, data travels as *digital* optical
+//! slots (Fig. 2). A receiver decides lit/dark against a threshold; with
+//! Gaussian current noise of σ on a signal swing `I_on`, the slot error
+//! probability is `Q((I_on/2)/σ)` where `Q` is the Gaussian tail — the
+//! standard OOK link formula. Slot errors flip bits of the code before
+//! conversion, an error channel entirely separate from the arccos
+//! approximation and one the paper does not budget.
+
+use crate::eo_interface::OpticalWord;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Gaussian upper-tail probability `Q(x) = P(N(0,1) > x)`, via the
+/// complementary error function (Abramowitz–Stegun 7.1.26 rational
+/// approximation of `erf`; absolute error < 1.5e-7).
+pub fn q_function(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        return 2.0 - erfc(-x);
+    }
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    poly * (-x * x).exp()
+}
+
+/// An on-off-keyed slot receiver.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_photonics::ber::SlotReceiver;
+///
+/// let rx = SlotReceiver::new(1e-3, 5e-5)?; // 20σ swing: essentially error-free
+/// assert!(rx.slot_error_rate() < 1e-12);
+/// # Ok::<(), pdac_photonics::ber::BerError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotReceiver {
+    on_current: f64,
+    noise_sigma: f64,
+}
+
+/// Errors from receiver construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BerError {
+    /// Signal current must be positive.
+    BadSignal,
+    /// Noise σ must be nonnegative.
+    BadNoise,
+}
+
+impl std::fmt::Display for BerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BerError::BadSignal => write!(f, "on-current must be positive"),
+            BerError::BadNoise => write!(f, "noise sigma must be nonnegative"),
+        }
+    }
+}
+
+impl std::error::Error for BerError {}
+
+impl SlotReceiver {
+    /// Creates a receiver with lit-slot current `on_current` (A) and
+    /// Gaussian current noise `noise_sigma` (A); the decision threshold
+    /// sits at half swing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BerError`] for invalid parameters.
+    pub fn new(on_current: f64, noise_sigma: f64) -> Result<Self, BerError> {
+        if !(on_current.is_finite() && on_current > 0.0) {
+            return Err(BerError::BadSignal);
+        }
+        if !(noise_sigma.is_finite() && noise_sigma >= 0.0) {
+            return Err(BerError::BadNoise);
+        }
+        Ok(Self { on_current, noise_sigma })
+    }
+
+    /// Analytic slot error probability, `Q(I_on / 2σ)` (0 when
+    /// noiseless).
+    pub fn slot_error_rate(&self) -> f64 {
+        if self.noise_sigma == 0.0 {
+            0.0
+        } else {
+            q_function(self.on_current / (2.0 * self.noise_sigma))
+        }
+    }
+
+    /// Link signal-to-noise ratio in dB (`20·log10(I_on/σ)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics for a noiseless receiver (SNR is unbounded).
+    pub fn snr_db(&self) -> f64 {
+        assert!(self.noise_sigma > 0.0, "noiseless receiver has unbounded SNR");
+        20.0 * (self.on_current / self.noise_sigma).log10()
+    }
+
+    /// Receives a word, flipping each slot independently with the slot
+    /// error probability (seeded).
+    pub fn receive(&self, word: &OpticalWord, rng: &mut StdRng) -> OpticalWord {
+        let p = self.slot_error_rate();
+        let bits = word.bits();
+        let mut value = word.decode();
+        if p == 0.0 {
+            return OpticalWord::encode(value, bits).expect("round trip");
+        }
+        // Flip slots on the decoded representation: rebuild via slots.
+        let mut slots: Vec<bool> = word.slots().to_vec();
+        for s in &mut slots {
+            if rng.gen_range(0.0..1.0) < p {
+                *s = !*s;
+            }
+        }
+        // Reassemble: sign slot + magnitude MSB-first.
+        let mut mag = 0i32;
+        for &b in &slots[1..] {
+            mag = (mag << 1) | i32::from(b);
+        }
+        value = if slots[0] { -mag } else { mag };
+        OpticalWord::encode(value, bits).expect("slot pattern is representable")
+    }
+
+    /// Monte-Carlo word error rate over `n` random codes at `bits` width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `bits` outside `2..=16`.
+    pub fn word_error_rate(&self, bits: u8, n: usize, seed: u64) -> f64 {
+        assert!(n > 0, "need at least one trial");
+        let limit = (1i32 << (bits - 1)) - 1;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut errors = 0usize;
+        for _ in 0..n {
+            let code = rng.gen_range(-limit..=limit);
+            let word = OpticalWord::encode(code, bits).expect("in range");
+            let received = self.receive(&word, &mut rng);
+            if received.decode() != code {
+                errors += 1;
+            }
+        }
+        errors as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_function_known_values() {
+        assert!((q_function(0.0) - 0.5).abs() < 1e-7);
+        assert!((q_function(1.0) - 0.158_655).abs() < 1e-5);
+        assert!((q_function(3.0) - 1.349_9e-3).abs() < 1e-5);
+        assert!(q_function(8.0) < 1e-14);
+        // Symmetry: Q(-x) = 1 - Q(x).
+        assert!((q_function(-1.0) - (1.0 - q_function(1.0))).abs() < 1e-7);
+    }
+
+    #[test]
+    fn noiseless_link_is_error_free() {
+        let rx = SlotReceiver::new(1e-3, 0.0).unwrap();
+        assert_eq!(rx.slot_error_rate(), 0.0);
+        assert_eq!(rx.word_error_rate(8, 100, 1), 0.0);
+    }
+
+    #[test]
+    fn slot_error_tracks_snr() {
+        let good = SlotReceiver::new(1e-3, 1e-4).unwrap(); // Q(5)
+        let bad = SlotReceiver::new(1e-3, 5e-4).unwrap(); // Q(1)
+        assert!(good.slot_error_rate() < bad.slot_error_rate());
+        assert!((bad.slot_error_rate() - q_function(1.0)).abs() < 1e-9);
+        assert!((good.snr_db() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn word_error_rate_approximates_analytic() {
+        // P(word ok) = (1-p)^bits; with p = Q(1) ≈ 0.159 and 8 slots,
+        // WER ≈ 1 - 0.841^8 ≈ 0.75.
+        let rx = SlotReceiver::new(1e-3, 5e-4).unwrap();
+        let wer = rx.word_error_rate(8, 20_000, 7);
+        let p = rx.slot_error_rate();
+        let analytic = 1.0 - (1.0 - p).powi(8);
+        assert!((wer - analytic).abs() < 0.02, "wer {wer} vs analytic {analytic}");
+    }
+
+    #[test]
+    fn received_word_stays_representable() {
+        let rx = SlotReceiver::new(1e-3, 1e-3).unwrap(); // very noisy
+        let mut rng = StdRng::seed_from_u64(3);
+        for code in [-127, -1, 0, 64, 127] {
+            let w = OpticalWord::encode(code, 8).unwrap();
+            let r = rx.receive(&w, &mut rng);
+            assert_eq!(r.bits(), 8);
+            assert!(r.decode().abs() <= 127);
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert_eq!(SlotReceiver::new(0.0, 1e-4), Err(BerError::BadSignal));
+        assert_eq!(SlotReceiver::new(1e-3, -1.0), Err(BerError::BadNoise));
+        assert!(BerError::BadSignal.to_string().contains("positive"));
+    }
+}

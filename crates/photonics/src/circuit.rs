@@ -1,0 +1,152 @@
+//! Composition of 2×2 passive photonic elements.
+//!
+//! The DDot front-end — a phase shifter followed by a directional coupler —
+//! is one instance of a general pattern: cascades of 2×2 passive stages
+//! acting on a pair of waveguides. [`TwoPortChain`] multiplies stage
+//! transfer matrices in propagation order and checks energy conservation,
+//! giving a compact way to build and verify such cascades.
+
+use pdac_math::{CMat, Complex64};
+
+/// An ordered cascade of 2×2 transfer matrices applied left-to-right in
+/// propagation order.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_photonics::circuit::TwoPortChain;
+/// use pdac_photonics::{DirectionalCoupler, PhaseShifter};
+///
+/// // The DDot front-end: −90° on the bottom arm, then a 50:50 coupler.
+/// let chain = TwoPortChain::new()
+///     .then(PhaseShifter::minus_90().transfer_bottom())
+///     .then(DirectionalCoupler::fifty_fifty().transfer());
+/// assert!(chain.is_lossless(1e-12));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoPortChain {
+    combined: CMat,
+    stages: usize,
+}
+
+impl TwoPortChain {
+    /// An empty chain (identity transfer).
+    pub fn new() -> Self {
+        Self { combined: CMat::identity(2), stages: 0 }
+    }
+
+    /// Appends a stage at the output end of the chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is not 2×2.
+    pub fn then(self, stage: CMat) -> Self {
+        assert_eq!(stage.shape(), (2, 2), "stages must be 2x2 transfer matrices");
+        Self {
+            // Output = stage · (previous chain) · input.
+            combined: stage.matmul(&self.combined).expect("2x2 shapes"),
+            stages: self.stages + 1,
+        }
+    }
+
+    /// Number of stages appended.
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// The combined 2×2 transfer matrix.
+    pub fn transfer(&self) -> &CMat {
+        &self.combined
+    }
+
+    /// Propagates a `(top, bottom)` amplitude pair.
+    pub fn propagate(&self, top: Complex64, bottom: Complex64) -> (Complex64, Complex64) {
+        let out = self
+            .combined
+            .matvec(&[top, bottom])
+            .expect("2-vector matches 2x2");
+        (out[0], out[1])
+    }
+
+    /// Whether the cascade conserves energy (unitary within `tol`).
+    pub fn is_lossless(&self, tol: f64) -> bool {
+        self.combined.is_unitary(tol)
+    }
+}
+
+impl Default for TwoPortChain {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::coupler::DirectionalCoupler;
+    use crate::devices::phase_shifter::PhaseShifter;
+    use std::f64::consts::FRAC_1_SQRT_2;
+
+    #[test]
+    fn empty_chain_is_identity() {
+        let chain = TwoPortChain::new();
+        let (a, b) = chain.propagate(Complex64::ONE, Complex64::I);
+        assert!(a.approx_eq(Complex64::ONE, 1e-12));
+        assert!(b.approx_eq(Complex64::I, 1e-12));
+        assert_eq!(chain.stages(), 0);
+    }
+
+    #[test]
+    fn ddot_front_end_produces_sum_and_difference() {
+        let chain = TwoPortChain::new()
+            .then(PhaseShifter::minus_90().transfer_bottom())
+            .then(DirectionalCoupler::fifty_fifty().transfer());
+        let x = Complex64::from_re(0.6);
+        let y = Complex64::from_re(0.2);
+        let (top, bottom) = chain.propagate(x, y);
+        // top = (x + y)/√2; bottom = j(x − y)/√2.
+        assert!(top.approx_eq(Complex64::from_re(FRAC_1_SQRT_2 * 0.8), 1e-12));
+        assert!(bottom.approx_eq(Complex64::new(0.0, FRAC_1_SQRT_2 * 0.4), 1e-12));
+    }
+
+    #[test]
+    fn cascade_of_unitaries_is_unitary() {
+        let chain = TwoPortChain::new()
+            .then(PhaseShifter::new(0.3).transfer_bottom())
+            .then(DirectionalCoupler::new(0.8).transfer())
+            .then(PhaseShifter::new(-1.1).transfer_bottom())
+            .then(DirectionalCoupler::new(0.4).transfer());
+        assert_eq!(chain.stages(), 4);
+        assert!(chain.is_lossless(1e-12));
+    }
+
+    #[test]
+    fn two_fifty_fifty_couplers_swap_with_phase() {
+        // A balanced MZI with no phase difference: two 50:50 couplers in
+        // series fully cross the light (up to a global phase of j).
+        let dc = DirectionalCoupler::fifty_fifty().transfer();
+        let chain = TwoPortChain::new().then(dc.clone()).then(dc);
+        let (top, bottom) = chain.propagate(Complex64::ONE, Complex64::ZERO);
+        assert!(top.norm() < 1e-12);
+        assert!((bottom.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_matters() {
+        let a = TwoPortChain::new()
+            .then(PhaseShifter::new(0.5).transfer_bottom())
+            .then(DirectionalCoupler::fifty_fifty().transfer());
+        let b = TwoPortChain::new()
+            .then(DirectionalCoupler::fifty_fifty().transfer())
+            .then(PhaseShifter::new(0.5).transfer_bottom());
+        let ia = a.propagate(Complex64::ONE, Complex64::ZERO);
+        let ib = b.propagate(Complex64::ONE, Complex64::ZERO);
+        assert!(!ia.0.approx_eq(ib.0, 1e-6) || !ia.1.approx_eq(ib.1, 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "2x2")]
+    fn rejects_wrong_shape() {
+        TwoPortChain::new().then(CMat::identity(3));
+    }
+}

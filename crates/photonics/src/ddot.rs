@@ -1,0 +1,314 @@
+//! The Dynamically-operated Dot-product unit (DDot).
+//!
+//! DDot computes `x·y` entirely in the analog optical domain (paper Eq. 6):
+//!
+//! ```text
+//! x·y ∝ Σᵢ(xᵢ+yᵢ)² − Σᵢ(xᵢ−yᵢ)²
+//! ```
+//!
+//! Each vector element pair `(xᵢ, yᵢ)` rides its own WDM wavelength. A
+//! fixed −90° phase shifter on the `y` arm followed by a 50:50 directional
+//! coupler produces `(xᵢ+yᵢ)/√2` on one output waveguide and
+//! `j(xᵢ−yᵢ)/√2` on the other. Two broadband photodetectors sum intensity
+//! across wavelengths, and the balanced current difference is exactly the
+//! dot product: with `I = ½|E|²`, the detector currents are
+//! `Σ(xᵢ+yᵢ)²/4` and `Σ(xᵢ−yᵢ)²/4`, whose difference is `Σxᵢyᵢ`.
+//!
+//! The PS and DC are fully passive ("no extra energy consumption"), which
+//! is why DDot scales so well with WDM channel count.
+
+use crate::devices::coupler::DirectionalCoupler;
+use crate::devices::phase_shifter::PhaseShifter;
+use crate::devices::photodetector::Photodetector;
+use crate::field::OpticalField;
+use crate::noise::NoiseModel;
+use std::fmt;
+
+/// Errors from DDot evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DDotError {
+    /// Operand length differs from the unit's WDM channel count.
+    LengthMismatch {
+        /// Channels provisioned in the unit.
+        channels: usize,
+        /// Elements supplied.
+        supplied: usize,
+    },
+}
+
+impl fmt::Display for DDotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DDotError::LengthMismatch { channels, supplied } => write!(
+                f,
+                "operand length {supplied} does not match the unit's {channels} WDM channels"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DDotError {}
+
+/// A DDot unit provisioned for a fixed number of WDM channels.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_photonics::DDotUnit;
+///
+/// let unit = DDotUnit::ideal(3);
+/// let got = unit.dot(&[1.0, 2.0, 3.0], &[4.0, -5.0, 6.0])?;
+/// assert!((got - 12.0).abs() < 1e-12);
+/// # Ok::<(), pdac_photonics::ddot::DDotError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DDotUnit {
+    channels: usize,
+    shifter: PhaseShifter,
+    coupler: DirectionalCoupler,
+    pd_sum: Photodetector,
+    pd_diff: Photodetector,
+}
+
+impl DDotUnit {
+    /// An ideal unit: exact −90° shifter, perfect 50:50 coupler, unit
+    /// responsivity detectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn ideal(channels: usize) -> Self {
+        assert!(channels > 0, "DDot needs at least one channel");
+        Self {
+            channels,
+            shifter: PhaseShifter::minus_90(),
+            coupler: DirectionalCoupler::fifty_fifty(),
+            pd_sum: Photodetector::ideal(),
+            pd_diff: Photodetector::ideal(),
+        }
+    }
+
+    /// Builds a unit with explicit (possibly imperfect) components, for
+    /// studying fabrication-variation sensitivity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn with_components(
+        channels: usize,
+        shifter: PhaseShifter,
+        coupler: DirectionalCoupler,
+        pd_sum: Photodetector,
+        pd_diff: Photodetector,
+    ) -> Self {
+        assert!(channels > 0, "DDot needs at least one channel");
+        Self { channels, shifter, coupler, pd_sum, pd_diff }
+    }
+
+    /// Number of WDM channels (vector length handled per cycle).
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Propagates the two operand fields through the unit, returning the
+    /// two output-waveguide fields `(sum_arm, diff_arm)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DDotError::LengthMismatch`] when the fields do not match
+    /// the provisioned channel count.
+    pub fn propagate(
+        &self,
+        x: &OpticalField,
+        y: &OpticalField,
+    ) -> Result<(OpticalField, OpticalField), DDotError> {
+        if x.channels() != self.channels || y.channels() != self.channels {
+            return Err(DDotError::LengthMismatch {
+                channels: self.channels,
+                supplied: x.channels().max(y.channels()),
+            });
+        }
+        let mut sum_arm = OpticalField::dark(self.channels);
+        let mut diff_arm = OpticalField::dark(self.channels);
+        for i in 0..self.channels {
+            let ch = crate::wavelength::ChannelId(i);
+            let xe = x.amplitude(ch);
+            let ye = self.shifter.shift(y.amplitude(ch));
+            let (top, bottom) = self.coupler.couple(xe, ye);
+            sum_arm.set(ch, top);
+            diff_arm.set(ch, bottom);
+        }
+        Ok((sum_arm, diff_arm))
+    }
+
+    /// Computes the balanced-detection dot product of two field-encoded
+    /// operand vectors (noiseless).
+    ///
+    /// The inputs are the per-wavelength field amplitudes — i.e. the
+    /// values already encoded by the MZM banks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DDotError::LengthMismatch`] for wrong operand lengths.
+    pub fn dot(&self, x: &[f64], y: &[f64]) -> Result<f64, DDotError> {
+        self.dot_with(x, y, None)
+    }
+
+    /// Computes the dot product with optional detector noise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DDotError::LengthMismatch`] for wrong operand lengths.
+    pub fn dot_noisy(
+        &self,
+        x: &[f64],
+        y: &[f64],
+        noise: &mut NoiseModel,
+    ) -> Result<f64, DDotError> {
+        self.dot_with(x, y, Some(noise))
+    }
+
+    fn dot_with(
+        &self,
+        x: &[f64],
+        y: &[f64],
+        noise: Option<&mut NoiseModel>,
+    ) -> Result<f64, DDotError> {
+        if x.len() != self.channels || y.len() != self.channels {
+            return Err(DDotError::LengthMismatch {
+                channels: self.channels,
+                supplied: x.len().max(y.len()),
+            });
+        }
+        let xf = OpticalField::from_real(x);
+        let yf = OpticalField::from_real(y);
+        let (sum_arm, diff_arm) = self.propagate(&xf, &yf)?;
+        let (i_sum, i_diff) = match noise {
+            Some(n) => (
+                self.pd_sum.detect_noisy(&sum_arm, n),
+                self.pd_diff.detect_noisy(&diff_arm, n),
+            ),
+            None => (self.pd_sum.detect(&sum_arm), self.pd_diff.detect(&diff_arm)),
+        };
+        // Balanced detection: with the coupler's 1/√2 and the intensity
+        // convention I = ½|E|², the currents are Σ(x+y)²/4 and Σ(x−y)²/4,
+        // so their difference is exactly Σ 4xy/4 = x·y.
+        Ok(i_sum - i_diff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_dot(x: &[f64], y: &[f64]) -> f64 {
+        x.iter().zip(y).map(|(a, b)| a * b).sum()
+    }
+
+    #[test]
+    fn single_channel_products() {
+        let unit = DDotUnit::ideal(1);
+        for &(x, y) in &[(0.5, 0.5), (1.0, -1.0), (0.0, 0.7), (-0.3, -0.9)] {
+            let got = unit.dot(&[x], &[y]).unwrap();
+            assert!((got - x * y).abs() < 1e-12, "x={x} y={y} got={got}");
+        }
+    }
+
+    #[test]
+    fn multi_channel_dot_product() {
+        let unit = DDotUnit::ideal(4);
+        let x = [0.25, -0.5, 0.75, 1.0];
+        let y = [1.0, 0.5, -0.25, -0.125];
+        let got = unit.dot(&x, &y).unwrap();
+        assert!((got - exact_dot(&x, &y)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthogonal_vectors_give_zero() {
+        let unit = DDotUnit::ideal(2);
+        let got = unit.dot(&[1.0, 0.0], &[0.0, 1.0]).unwrap();
+        assert!(got.abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_range_sign_support() {
+        // The whole point of the Lightening-Transformer design: negative
+        // operands are encoded in optical phase and survive the dot product.
+        let unit = DDotUnit::ideal(3);
+        let x = [-1.0, -0.5, -0.25];
+        let y = [-1.0, 0.5, -0.25];
+        let got = unit.dot(&x, &y).unwrap();
+        assert!((got - exact_dot(&x, &y)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_mismatch_reported() {
+        let unit = DDotUnit::ideal(3);
+        let err = unit.dot(&[1.0, 2.0], &[1.0, 2.0]).unwrap_err();
+        assert_eq!(err, DDotError::LengthMismatch { channels: 3, supplied: 2 });
+        assert!(err.to_string().contains("WDM channels"));
+    }
+
+    #[test]
+    fn propagate_conserves_energy() {
+        let unit = DDotUnit::ideal(2);
+        let x = OpticalField::from_real(&[0.8, -0.6]);
+        let y = OpticalField::from_real(&[0.1, 0.9]);
+        let (s, d) = unit.propagate(&x, &y).unwrap();
+        let pin = x.total_intensity() + y.total_intensity();
+        let pout = s.total_intensity() + d.total_intensity();
+        assert!((pin - pout).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imperfect_coupler_biases_result() {
+        // A 60:40 coupler breaks the exact identity — the unit still runs
+        // but returns a biased value; the test documents the failure mode.
+        let unit = DDotUnit::with_components(
+            1,
+            PhaseShifter::minus_90(),
+            DirectionalCoupler::new(0.6),
+            Photodetector::ideal(),
+            Photodetector::ideal(),
+        );
+        let got = unit.dot(&[1.0], &[1.0]).unwrap();
+        assert!((got - 1.0).abs() > 0.01);
+    }
+
+    #[test]
+    fn phase_error_biases_result() {
+        let unit = DDotUnit::with_components(
+            1,
+            PhaseShifter::new(-std::f64::consts::FRAC_PI_2 + 0.2),
+            DirectionalCoupler::fifty_fifty(),
+            Photodetector::ideal(),
+            Photodetector::ideal(),
+        );
+        let got = unit.dot(&[1.0], &[1.0]).unwrap();
+        assert!((got - 1.0).abs() > 0.005);
+    }
+
+    #[test]
+    fn noisy_dot_tracks_clean_mean() {
+        let unit = DDotUnit::ideal(8);
+        let x: Vec<f64> = (0..8).map(|i| (i as f64 / 8.0) - 0.4).collect();
+        let y: Vec<f64> = (0..8).map(|i| 0.9 - i as f64 / 7.0).collect();
+        let clean = unit.dot(&x, &y).unwrap();
+        let mut noise = NoiseModel::gaussian_current(1e-3, 11);
+        let n = 2000;
+        let mean: f64 = (0..n)
+            .map(|_| unit.dot_noisy(&x, &y, &mut noise).unwrap())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - clean).abs() < 5e-4, "mean={mean} clean={clean}");
+    }
+
+    #[test]
+    fn large_vector_accuracy() {
+        let unit = DDotUnit::ideal(64);
+        let x: Vec<f64> = (0..64).map(|i| ((i * 7 % 13) as f64 / 13.0) - 0.5).collect();
+        let y: Vec<f64> = (0..64).map(|i| ((i * 5 % 11) as f64 / 11.0) - 0.5).collect();
+        let got = unit.dot(&x, &y).unwrap();
+        assert!((got - exact_dot(&x, &y)).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,150 @@
+//! Variable optical attenuator.
+//!
+//! The Σ stage of an SVD-programmed tensor core scales each channel by a
+//! singular-value ratio in `[0, 1]`; physically this is a variable
+//! attenuator (an MZI biased partway between bar and cross, or an
+//! absorptive element). Signed scaling combines an attenuator with a π
+//! phase shifter.
+
+use pdac_math::Complex64;
+
+/// A variable attenuator with field transmission `t ∈ [0, 1]`, plus an
+/// optional π phase flip to realize signed coefficients.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_photonics::devices::attenuator::Attenuator;
+/// use pdac_math::Complex64;
+///
+/// let att = Attenuator::signed(-0.5)?;
+/// let out = att.apply(Complex64::ONE);
+/// assert!((out.re + 0.5).abs() < 1e-12);
+/// # Ok::<(), pdac_photonics::devices::attenuator::AttenuatorError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Attenuator {
+    transmission: f64,
+    flip_phase: bool,
+}
+
+/// Errors from attenuator construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttenuatorError {
+    /// Requested coefficient magnitude exceeds 1 (attenuators cannot
+    /// amplify).
+    Gain {
+        /// The offending coefficient.
+        coefficient: f64,
+    },
+}
+
+impl std::fmt::Display for AttenuatorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttenuatorError::Gain { coefficient } => {
+                write!(f, "attenuators cannot amplify (|{coefficient}| > 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AttenuatorError {}
+
+impl Attenuator {
+    /// A passive attenuator with field transmission `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttenuatorError::Gain`] when `t` is outside `[0, 1]`.
+    pub fn new(t: f64) -> Result<Self, AttenuatorError> {
+        if !(0.0..=1.0).contains(&t) {
+            return Err(AttenuatorError::Gain { coefficient: t });
+        }
+        Ok(Self { transmission: t, flip_phase: false })
+    }
+
+    /// A signed coefficient in `[−1, 1]`: magnitude as transmission, sign
+    /// as a π phase flip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttenuatorError::Gain`] when `|coefficient| > 1`.
+    pub fn signed(coefficient: f64) -> Result<Self, AttenuatorError> {
+        if coefficient.abs() > 1.0 {
+            return Err(AttenuatorError::Gain { coefficient });
+        }
+        Ok(Self { transmission: coefficient.abs(), flip_phase: coefficient < 0.0 })
+    }
+
+    /// Field transmission magnitude.
+    pub fn transmission(&self) -> f64 {
+        self.transmission
+    }
+
+    /// The effective signed coefficient.
+    pub fn coefficient(&self) -> f64 {
+        if self.flip_phase {
+            -self.transmission
+        } else {
+            self.transmission
+        }
+    }
+
+    /// Power transmission `t²`.
+    pub fn power_transmission(&self) -> f64 {
+        self.transmission * self.transmission
+    }
+
+    /// Applies the attenuator to a field amplitude.
+    pub fn apply(&self, e: Complex64) -> Complex64 {
+        let scaled = e.scale(self.transmission);
+        if self.flip_phase {
+            -scaled
+        } else {
+            scaled
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unity_passes_through() {
+        let a = Attenuator::new(1.0).unwrap();
+        let e = Complex64::new(0.3, -0.7);
+        assert!(a.apply(e).approx_eq(e, 1e-15));
+    }
+
+    #[test]
+    fn power_is_square_of_field() {
+        let a = Attenuator::new(0.5).unwrap();
+        assert!((a.power_transmission() - 0.25).abs() < 1e-15);
+        let out = a.apply(Complex64::from_re(2.0));
+        assert!((out.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signed_negative_flips_phase() {
+        let a = Attenuator::signed(-0.25).unwrap();
+        assert_eq!(a.coefficient(), -0.25);
+        let out = a.apply(Complex64::ONE);
+        assert!(out.approx_eq(Complex64::from_re(-0.25), 1e-15));
+    }
+
+    #[test]
+    fn gain_rejected() {
+        assert!(Attenuator::new(1.5).is_err());
+        assert!(Attenuator::new(-0.1).is_err());
+        let err = Attenuator::signed(-1.2).unwrap_err();
+        assert!(err.to_string().contains("amplify"));
+    }
+
+    #[test]
+    fn zero_blocks_everything() {
+        let a = Attenuator::signed(0.0).unwrap();
+        assert_eq!(a.apply(Complex64::new(5.0, -3.0)), Complex64::ZERO);
+    }
+}

@@ -1,0 +1,154 @@
+//! Directional coupler.
+//!
+//! Couples light of the same wavelength between two adjacent waveguides
+//! (paper Eq. 5). The 2×2 transfer matrix is
+//!
+//! ```text
+//! ( t        j√(1−t²) )
+//! ( j√(1−t²)        t )
+//! ```
+//!
+//! with transmission coefficient `t`. A 50:50 coupler (`t = 1/√2`) is the
+//! combining element of the DDot unit.
+
+use pdac_math::{CMat, Complex64};
+
+/// A 2×2 directional coupler with transmission coefficient `t ∈ [0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_photonics::DirectionalCoupler;
+/// use pdac_math::Complex64;
+///
+/// let dc = DirectionalCoupler::fifty_fifty();
+/// let (top, bottom) = dc.couple(Complex64::ONE, Complex64::ZERO);
+/// // Power splits evenly between outputs.
+/// assert!((top.norm_sqr() - 0.5).abs() < 1e-12);
+/// assert!((bottom.norm_sqr() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DirectionalCoupler {
+    t: f64,
+}
+
+impl DirectionalCoupler {
+    /// Creates a coupler with transmission coefficient `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is outside `[0, 1]`.
+    pub fn new(t: f64) -> Self {
+        assert!((0.0..=1.0).contains(&t), "transmission coefficient must lie in [0, 1]");
+        Self { t }
+    }
+
+    /// The 50:50 coupler (`t = 1/√2`) used in DDot.
+    pub fn fifty_fifty() -> Self {
+        Self::new(std::f64::consts::FRAC_1_SQRT_2)
+    }
+
+    /// Transmission coefficient.
+    pub fn t(&self) -> f64 {
+        self.t
+    }
+
+    /// Cross-coupling coefficient `√(1−t²)`.
+    pub fn kappa(&self) -> f64 {
+        (1.0 - self.t * self.t).sqrt()
+    }
+
+    /// The transfer matrix of paper Eq. 5.
+    pub fn transfer(&self) -> CMat {
+        let jk = Complex64::I.scale(self.kappa());
+        CMat::from_rows(
+            2,
+            2,
+            vec![Complex64::from_re(self.t), jk, jk, Complex64::from_re(self.t)],
+        )
+        .expect("2x2 literal")
+    }
+
+    /// Couples the fields on the two input ports, returning
+    /// `(top_out, bottom_out)`.
+    pub fn couple(&self, top: Complex64, bottom: Complex64) -> (Complex64, Complex64) {
+        let jk = Complex64::I.scale(self.kappa());
+        (
+            top.scale(self.t) + bottom * jk,
+            top * jk + bottom.scale(self.t),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_is_unitary_for_any_t() {
+        for &t in &[0.0, 0.25, std::f64::consts::FRAC_1_SQRT_2, 0.9, 1.0] {
+            let dc = DirectionalCoupler::new(t);
+            assert!(dc.transfer().is_unitary(1e-12), "t={t}");
+        }
+    }
+
+    #[test]
+    fn energy_conserved_in_couple() {
+        let dc = DirectionalCoupler::new(0.6);
+        let a = Complex64::new(0.3, -0.4);
+        let b = Complex64::new(-1.1, 0.2);
+        let (o1, o2) = dc.couple(a, b);
+        let pin = a.norm_sqr() + b.norm_sqr();
+        let pout = o1.norm_sqr() + o2.norm_sqr();
+        assert!((pin - pout).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_transmission_is_identity() {
+        let dc = DirectionalCoupler::new(1.0);
+        let (o1, o2) = dc.couple(Complex64::ONE, Complex64::I);
+        assert!(o1.approx_eq(Complex64::ONE, 1e-12));
+        assert!(o2.approx_eq(Complex64::I, 1e-12));
+    }
+
+    #[test]
+    fn full_coupling_swaps_with_j() {
+        let dc = DirectionalCoupler::new(0.0);
+        let (o1, o2) = dc.couple(Complex64::ONE, Complex64::ZERO);
+        assert!(o1.approx_eq(Complex64::ZERO, 1e-12));
+        assert!(o2.approx_eq(Complex64::I, 1e-12));
+    }
+
+    #[test]
+    fn ddot_sum_difference_structure() {
+        // Paper's DDot derivation: DC(1/√2) after a −90° shift on y gives
+        // outputs ∝ (x+y, j(x−y)).
+        let dc = DirectionalCoupler::fifty_fifty();
+        let x = Complex64::from_re(0.8);
+        let y = Complex64::from_re(-0.35);
+        let y_shifted = y * Complex64::cis(-std::f64::consts::FRAC_PI_2); // −jy
+        let (o1, o2) = dc.couple(x, y_shifted);
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        // o1 = (x + j(−jy))/√2 = (x + y)/√2
+        assert!(o1.approx_eq(Complex64::from_re(s * (0.8 - 0.35)), 1e-12));
+        // o2 = (jx + (−jy))/√2 = j(x − y)/√2
+        assert!(o2.approx_eq(Complex64::new(0.0, s * (0.8 + 0.35)), 1e-12));
+    }
+
+    #[test]
+    fn couple_matches_transfer_matvec() {
+        let dc = DirectionalCoupler::new(0.42);
+        let a = Complex64::new(0.1, 0.9);
+        let b = Complex64::new(-0.5, 0.5);
+        let (o1, o2) = dc.couple(a, b);
+        let v = dc.transfer().matvec(&[a, b]).unwrap();
+        assert!(o1.approx_eq(v[0], 1e-12));
+        assert!(o2.approx_eq(v[1], 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "[0, 1]")]
+    fn rejects_out_of_range_t() {
+        DirectionalCoupler::new(1.2);
+    }
+}

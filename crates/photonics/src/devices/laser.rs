@@ -1,0 +1,141 @@
+//! Laser source.
+//!
+//! A multi-wavelength comb source feeding the WDM links and modulator
+//! banks. The model tracks *optical* output per channel and *electrical*
+//! wall-plug draw (optical / efficiency); the power crate's laser
+//! component scales this draw with bit precision because higher-precision
+//! detection needs a larger optical SNR budget.
+
+use crate::field::OpticalField;
+use pdac_math::Complex64;
+
+/// A continuous-wave comb laser emitting equal power on `channels`
+/// wavelengths.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_photonics::Laser;
+///
+/// let laser = Laser::new(4, 1e-3, 0.2)?;
+/// let field = laser.emit();
+/// assert_eq!(field.channels(), 4);
+/// // Per-channel intensity equals the configured optical power.
+/// assert!((field.total_intensity() - 4e-3).abs() < 1e-12);
+/// assert!((laser.wall_plug_watts() - 4e-3 / 0.2).abs() < 1e-12);
+/// # Ok::<(), pdac_photonics::devices::laser::LaserError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Laser {
+    channels: usize,
+    power_per_channel_watts: f64,
+    wall_plug_efficiency: f64,
+}
+
+/// Errors from [`Laser`] construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaserError {
+    /// Zero channels requested.
+    NoChannels,
+    /// Optical power was non-positive or non-finite.
+    BadPower,
+    /// Efficiency outside `(0, 1]`.
+    BadEfficiency,
+}
+
+impl std::fmt::Display for LaserError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaserError::NoChannels => write!(f, "laser needs at least one channel"),
+            LaserError::BadPower => write!(f, "per-channel power must be positive and finite"),
+            LaserError::BadEfficiency => write!(f, "wall-plug efficiency must lie in (0, 1]"),
+        }
+    }
+}
+
+impl std::error::Error for LaserError {}
+
+impl Laser {
+    /// Creates a comb laser.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LaserError`] describing the offending parameter.
+    pub fn new(
+        channels: usize,
+        power_per_channel_watts: f64,
+        wall_plug_efficiency: f64,
+    ) -> Result<Self, LaserError> {
+        if channels == 0 {
+            return Err(LaserError::NoChannels);
+        }
+        if !(power_per_channel_watts.is_finite() && power_per_channel_watts > 0.0) {
+            return Err(LaserError::BadPower);
+        }
+        if !(wall_plug_efficiency > 0.0 && wall_plug_efficiency <= 1.0) {
+            return Err(LaserError::BadEfficiency);
+        }
+        Ok(Self { channels, power_per_channel_watts, wall_plug_efficiency })
+    }
+
+    /// Number of comb lines.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Optical power per channel in watts.
+    pub fn power_per_channel_watts(&self) -> f64 {
+        self.power_per_channel_watts
+    }
+
+    /// Total optical output power in watts.
+    pub fn optical_watts(&self) -> f64 {
+        self.power_per_channel_watts * self.channels as f64
+    }
+
+    /// Electrical wall-plug draw in watts.
+    pub fn wall_plug_watts(&self) -> f64 {
+        self.optical_watts() / self.wall_plug_efficiency
+    }
+
+    /// Emits the CW field: amplitude `√(2P)` on each channel so that the
+    /// intensity convention `I = ½|E|²` recovers `P` per channel.
+    pub fn emit(&self) -> OpticalField {
+        let amp = (2.0 * self.power_per_channel_watts).sqrt();
+        OpticalField::from_amplitudes(vec![Complex64::from_re(amp); self.channels])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitted_intensity_matches_power() {
+        let laser = Laser::new(8, 2e-3, 0.25).unwrap();
+        let f = laser.emit();
+        assert!((f.total_intensity() - 16e-3).abs() < 1e-12);
+        assert!((laser.optical_watts() - 16e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn wall_plug_includes_efficiency() {
+        let laser = Laser::new(1, 1e-3, 0.1).unwrap();
+        assert!((laser.wall_plug_watts() - 1e-2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(Laser::new(0, 1e-3, 0.2), Err(LaserError::NoChannels));
+        assert_eq!(Laser::new(1, 0.0, 0.2), Err(LaserError::BadPower));
+        assert_eq!(Laser::new(1, f64::NAN, 0.2), Err(LaserError::BadPower));
+        assert_eq!(Laser::new(1, 1e-3, 0.0), Err(LaserError::BadEfficiency));
+        assert_eq!(Laser::new(1, 1e-3, 1.5), Err(LaserError::BadEfficiency));
+    }
+
+    #[test]
+    fn error_messages() {
+        assert!(LaserError::NoChannels.to_string().contains("channel"));
+        assert!(LaserError::BadEfficiency.to_string().contains("(0, 1]"));
+    }
+}

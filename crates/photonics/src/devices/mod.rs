@@ -1,0 +1,19 @@
+//! Transfer-function models of the photonic components used by
+//! Lightening-Transformer and the P-DAC (paper Figs. 1–4, 7).
+//!
+//! Conventions shared by all device models:
+//!
+//! * Fields are complex amplitudes; intensity is `½|E|²`.
+//! * Passive lossless devices have unitary transfer matrices (energy
+//!   conservation); explicit insertion loss is expressed in dB.
+//! * Voltages are in volts; `V_π` is the voltage producing a π phase shift.
+
+pub mod attenuator;
+pub mod coupler;
+pub mod laser;
+pub mod mrr;
+pub mod mzm;
+pub mod phase_shifter;
+pub mod photodetector;
+pub mod thermal;
+pub mod tia;

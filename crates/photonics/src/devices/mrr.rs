@@ -1,0 +1,142 @@
+//! Micro-ring resonator.
+//!
+//! An MRR "filters and selects specific wavelengths by resonating at
+//! frequencies influenced by its structure, with precise tuning achieved
+//! through temperature adjustments" (paper Fig. 1). We model an
+//! add-drop ring with a Lorentzian drop-port response around the tuned
+//! resonance: close to resonance light is captured (dropped), far away it
+//! passes through. This is the mux/demux element of the WDM links and the
+//! modulating element of the multi-bit EO interface.
+
+use pdac_math::Complex64;
+
+/// An add-drop micro-ring resonator tuned to a resonance wavelength.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_photonics::MicroRing;
+///
+/// let mrr = MicroRing::new(1550.0, 0.1);
+/// // On resonance nearly all power drops.
+/// assert!(mrr.drop_power_fraction(1550.0) > 0.99);
+/// // Far off resonance nearly none does.
+/// assert!(mrr.drop_power_fraction(1558.0) < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MicroRing {
+    resonance_nm: f64,
+    linewidth_nm: f64,
+}
+
+impl MicroRing {
+    /// Creates a ring tuned to `resonance_nm` with full-width
+    /// half-maximum `linewidth_nm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is non-positive.
+    pub fn new(resonance_nm: f64, linewidth_nm: f64) -> Self {
+        assert!(resonance_nm > 0.0, "resonance wavelength must be positive");
+        assert!(linewidth_nm > 0.0, "linewidth must be positive");
+        Self { resonance_nm, linewidth_nm }
+    }
+
+    /// Resonance wavelength in nm.
+    pub fn resonance_nm(&self) -> f64 {
+        self.resonance_nm
+    }
+
+    /// FWHM linewidth in nm.
+    pub fn linewidth_nm(&self) -> f64 {
+        self.linewidth_nm
+    }
+
+    /// Quality factor `Q = λ₀ / FWHM`.
+    pub fn q_factor(&self) -> f64 {
+        self.resonance_nm / self.linewidth_nm
+    }
+
+    /// Retunes the resonance by `delta_nm` (thermal tuning; red-shift for
+    /// positive heater drive).
+    pub fn tuned_by(&self, delta_nm: f64) -> Self {
+        Self::new(self.resonance_nm + delta_nm, self.linewidth_nm)
+    }
+
+    /// Fraction of optical power transferred to the drop port at
+    /// `wavelength_nm` — a Lorentzian centred on the resonance.
+    pub fn drop_power_fraction(&self, wavelength_nm: f64) -> f64 {
+        let half = self.linewidth_nm / 2.0;
+        let d = wavelength_nm - self.resonance_nm;
+        half * half / (d * d + half * half)
+    }
+
+    /// Fraction of power continuing on the through port.
+    pub fn through_power_fraction(&self, wavelength_nm: f64) -> f64 {
+        1.0 - self.drop_power_fraction(wavelength_nm)
+    }
+
+    /// Splits a field amplitude at `wavelength_nm` into
+    /// `(drop_amplitude, through_amplitude)`. Power is conserved.
+    pub fn split(&self, e: Complex64, wavelength_nm: f64) -> (Complex64, Complex64) {
+        let d = self.drop_power_fraction(wavelength_nm);
+        (e.scale(d.sqrt()), e.scale((1.0 - d).sqrt()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn on_resonance_drops_everything() {
+        let r = MicroRing::new(1550.0, 0.2);
+        assert!((r.drop_power_fraction(1550.0) - 1.0).abs() < 1e-12);
+        assert!(r.through_power_fraction(1550.0) < 1e-12);
+    }
+
+    #[test]
+    fn half_maximum_at_half_linewidth() {
+        let r = MicroRing::new(1550.0, 0.2);
+        let at_hwhm = r.drop_power_fraction(1550.1);
+        assert!((at_hwhm - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn q_factor() {
+        let r = MicroRing::new(1550.0, 0.155);
+        assert!((r.q_factor() - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn thermal_tuning_shifts_resonance() {
+        let r = MicroRing::new(1550.0, 0.1).tuned_by(0.8);
+        assert_eq!(r.resonance_nm(), 1550.8);
+        assert!(r.drop_power_fraction(1550.8) > 0.999);
+        assert!(r.drop_power_fraction(1550.0) < 0.05);
+    }
+
+    #[test]
+    fn split_conserves_power() {
+        let r = MicroRing::new(1550.0, 0.1);
+        let e = Complex64::new(0.7, -0.3);
+        for &wl in &[1549.9, 1550.0, 1550.05, 1551.0] {
+            let (drop, through) = r.split(e, wl);
+            let total = drop.norm_sqr() + through.norm_sqr();
+            assert!((total - e.norm_sqr()).abs() < 1e-12, "wl={wl}");
+        }
+    }
+
+    #[test]
+    fn neighbour_channel_isolation() {
+        // 0.8 nm away with 0.1 nm linewidth: < 0.5% crosstalk.
+        let r = MicroRing::new(1550.0, 0.1);
+        assert!(r.drop_power_fraction(1550.8) < 0.005);
+    }
+
+    #[test]
+    #[should_panic(expected = "linewidth")]
+    fn rejects_zero_linewidth() {
+        MicroRing::new(1550.0, 0.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Mach-Zehnder Modulator.
+//!
+//! The MZM splits the input field into two arms, applies voltage-controlled
+//! phase shifts, and recombines (paper Eq. 3):
+//!
+//! ```text
+//! E_out = E_in/2 · ((1+k)·e^{jπV₁/2V_π} + (1−k)·e^{jπV₂/2V_π})
+//! ```
+//!
+//! where `k` is the splitting imbalance. With balanced splitting (`k = 0`)
+//! and push-pull drive (`V₂ = −V₁`) this reduces to the intensity-modulator
+//! form `E_out = E_in·cos(V₁′)` of Eq. 2/9, which is what both the
+//! traditional DAC path and the P-DAC exploit: driving with
+//! `V₁′ = arccos(r)` yields `E_out = r·E_in`, a full-range (signed) analog
+//! encoding.
+
+use pdac_math::Complex64;
+use std::f64::consts::PI;
+
+/// A Mach-Zehnder modulator.
+///
+/// # Examples
+///
+/// Push-pull drive reproduces the cosine transfer of paper Eq. 9:
+///
+/// ```
+/// use pdac_photonics::Mzm;
+/// use pdac_math::Complex64;
+///
+/// let mzm = Mzm::ideal();
+/// let r: f64 = 0.5;
+/// let v1_norm = r.acos(); // V₁′ in normalized units
+/// let out = mzm.modulate_push_pull(Complex64::ONE, v1_norm);
+/// assert!((out.re - 0.5).abs() < 1e-12);
+/// assert!(out.im.abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mzm {
+    v_pi: f64,
+    imbalance: f64,
+    insertion_loss_db: f64,
+}
+
+impl Mzm {
+    /// An ideal MZM: `V_π = 1 V` (so normalized and physical voltages
+    /// coincide up to the π/2 factor), perfectly balanced, lossless.
+    pub fn ideal() -> Self {
+        Self { v_pi: 1.0, imbalance: 0.0, insertion_loss_db: 0.0 }
+    }
+
+    /// Creates an MZM with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_pi <= 0`, `|imbalance| >= 1`, or
+    /// `insertion_loss_db < 0`.
+    pub fn new(v_pi: f64, imbalance: f64, insertion_loss_db: f64) -> Self {
+        assert!(v_pi > 0.0, "V_pi must be positive");
+        assert!(imbalance.abs() < 1.0, "splitting imbalance |k| must be < 1");
+        assert!(insertion_loss_db >= 0.0, "insertion loss must be nonnegative");
+        Self { v_pi, imbalance, insertion_loss_db }
+    }
+
+    /// Half-wave voltage `V_π`.
+    pub fn v_pi(&self) -> f64 {
+        self.v_pi
+    }
+
+    /// Splitting imbalance `k` of paper Eq. 3.
+    pub fn imbalance(&self) -> f64 {
+        self.imbalance
+    }
+
+    /// Insertion loss in dB.
+    pub fn insertion_loss_db(&self) -> f64 {
+        self.insertion_loss_db
+    }
+
+    /// Full two-electrode transfer (paper Eq. 3) with physical voltages.
+    pub fn modulate(&self, e_in: Complex64, v1: f64, v2: f64) -> Complex64 {
+        let phi1 = PI * v1 / (2.0 * self.v_pi);
+        let phi2 = PI * v2 / (2.0 * self.v_pi);
+        let arm1 = Complex64::cis(phi1).scale(1.0 + self.imbalance);
+        let arm2 = Complex64::cis(phi2).scale(1.0 - self.imbalance);
+        let loss = 10f64.powf(-self.insertion_loss_db / 20.0);
+        (e_in * (arm1 + arm2)).scale(0.5 * loss)
+    }
+
+    /// Push-pull transfer with a *normalized* drive `V₁′ = πV₁/2V_π`
+    /// (paper Eq. 7–9): the second electrode is driven at `−V₁`.
+    ///
+    /// For a balanced lossless MZM this is exactly
+    /// `E_out = E_in·cos(V₁′)`.
+    pub fn modulate_push_pull(&self, e_in: Complex64, v1_normalized: f64) -> Complex64 {
+        let v1 = v1_normalized * 2.0 * self.v_pi / PI;
+        self.modulate(e_in, v1, -v1)
+    }
+
+    /// Encodes a signed analog value `r ∈ [−1, 1]` exactly, via the ideal
+    /// drive `V₁′ = arccos(r)` (paper Eq. 13). This is what a traditional
+    /// DAC + controller computes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is outside `[−1, 1]`.
+    pub fn encode_exact(&self, e_in: Complex64, r: f64) -> Complex64 {
+        assert!((-1.0..=1.0).contains(&r), "encodable values lie in [-1, 1]");
+        self.modulate_push_pull(e_in, r.acos())
+    }
+}
+
+impl Default for Mzm {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn zero_drive_passes_input() {
+        let mzm = Mzm::ideal();
+        let out = mzm.modulate(Complex64::ONE, 0.0, 0.0);
+        assert!(out.approx_eq(Complex64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn push_pull_is_cosine() {
+        let mzm = Mzm::ideal();
+        for &v in &[0.0, 0.3, 1.0, FRAC_PI_2, 2.0, 3.0] {
+            let out = mzm.modulate_push_pull(Complex64::ONE, v);
+            assert!((out.re - v.cos()).abs() < 1e-12, "v={v}");
+            assert!(out.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn v_pi_drive_extinguishes() {
+        // V1 = V_pi, V2 = -V_pi: phases ±π/2, arms cancel... actually
+        // cos(π/2) = 0: full extinction in push-pull.
+        let mzm = Mzm::new(2.5, 0.0, 0.0);
+        let out = mzm.modulate(Complex64::ONE, 2.5, -2.5);
+        assert!(out.norm() < 1e-12);
+    }
+
+    #[test]
+    fn encode_exact_reproduces_value() {
+        let mzm = Mzm::ideal();
+        let mut r = -1.0;
+        while r <= 1.0 {
+            let out = mzm.encode_exact(Complex64::ONE, r);
+            assert!((out.re - r).abs() < 1e-12, "r={r}");
+            assert!(out.im.abs() < 1e-12);
+            r += 0.125;
+        }
+    }
+
+    #[test]
+    fn encode_exact_scales_with_input_field() {
+        let mzm = Mzm::ideal();
+        let e_in = Complex64::from_re(2.0);
+        let out = mzm.encode_exact(e_in, -0.75);
+        assert!((out.re + 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "[-1, 1]")]
+    fn encode_exact_rejects_out_of_range() {
+        Mzm::ideal().encode_exact(Complex64::ONE, 1.5);
+    }
+
+    #[test]
+    fn imbalance_leaks_at_extinction() {
+        // With k != 0 the arms no longer cancel exactly.
+        let mzm = Mzm::new(1.0, 0.1, 0.0);
+        let out = mzm.modulate_push_pull(Complex64::ONE, FRAC_PI_2);
+        assert!(out.norm() > 0.05);
+    }
+
+    #[test]
+    fn imbalance_preserves_transmission_at_zero_drive() {
+        let mzm = Mzm::new(1.0, 0.2, 0.0);
+        let out = mzm.modulate(Complex64::ONE, 0.0, 0.0);
+        // (1+k)/2 + (1-k)/2 = 1 regardless of k.
+        assert!(out.approx_eq(Complex64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn insertion_loss_attenuates() {
+        let lossy = Mzm::new(1.0, 0.0, 3.0103);
+        let out = lossy.modulate(Complex64::ONE, 0.0, 0.0);
+        // 3 dB power loss = field factor 1/sqrt(2).
+        assert!((out.norm() - 1.0 / 2f64.sqrt()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn physical_v_pi_scaling() {
+        // Same normalized drive with different V_pi must agree.
+        let a = Mzm::new(1.0, 0.0, 0.0);
+        let b = Mzm::new(3.3, 0.0, 0.0);
+        let va = a.modulate_push_pull(Complex64::ONE, 0.8);
+        let vb = b.modulate_push_pull(Complex64::ONE, 0.8);
+        assert!(va.approx_eq(vb, 1e-12));
+    }
+
+    #[test]
+    fn transfer_is_bounded_by_input() {
+        let mzm = Mzm::ideal();
+        let mut v = -4.0;
+        while v <= 4.0 {
+            let out = mzm.modulate_push_pull(Complex64::ONE, v);
+            assert!(out.norm() <= 1.0 + 1e-12);
+            v += 0.01;
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Phase shifter.
+//!
+//! Applies `x′ = e^{jφ}·x` (paper Eq. 4). In the DDot unit a fixed −90°
+//! phase shifter rotates the `y` operand before the 50:50 coupler so the
+//! coupler outputs become `x+y` and `j(x−y)` (up to the 1/√2 factor).
+//! Static phase shifters are fully passive: "no extra energy consumption
+//! because no need for external control".
+
+use pdac_math::{CMat, Complex64};
+
+/// A static phase shifter with phase `φ` in radians.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_photonics::PhaseShifter;
+/// use pdac_math::Complex64;
+///
+/// let ps = PhaseShifter::minus_90();
+/// let out = ps.shift(Complex64::ONE);
+/// assert!(out.approx_eq(-Complex64::I, 1e-12));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseShifter {
+    phase: f64,
+}
+
+impl PhaseShifter {
+    /// Creates a phase shifter with the given phase in radians.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phase` is not finite.
+    pub fn new(phase: f64) -> Self {
+        assert!(phase.is_finite(), "phase must be finite");
+        Self { phase }
+    }
+
+    /// The −90° shifter used on the `y` arm of the DDot unit.
+    pub fn minus_90() -> Self {
+        Self::new(-std::f64::consts::FRAC_PI_2)
+    }
+
+    /// Phase in radians.
+    pub fn phase(&self) -> f64 {
+        self.phase
+    }
+
+    /// Applies the shifter to a single field amplitude.
+    #[inline]
+    pub fn shift(&self, e: Complex64) -> Complex64 {
+        e * Complex64::cis(self.phase)
+    }
+
+    /// 2×2 transfer matrix acting on `(top, bottom)` with the shifter on
+    /// the **bottom** arm — the configuration in the paper's DDot
+    /// derivation (`diag(1, e^{−jπ/2})` acting on `(x, y)`).
+    pub fn transfer_bottom(&self) -> CMat {
+        CMat::from_rows(
+            2,
+            2,
+            vec![
+                Complex64::ONE,
+                Complex64::ZERO,
+                Complex64::ZERO,
+                Complex64::cis(self.phase),
+            ],
+        )
+        .expect("2x2 literal")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn shift_preserves_magnitude() {
+        let ps = PhaseShifter::new(1.234);
+        let e = Complex64::new(0.6, -0.8);
+        assert!((ps.shift(e).norm() - e.norm()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pi_shift_negates() {
+        let ps = PhaseShifter::new(PI);
+        assert!(ps.shift(Complex64::ONE).approx_eq(-Complex64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn minus_90_rotates_to_minus_j() {
+        let ps = PhaseShifter::minus_90();
+        assert!((ps.phase() + FRAC_PI_2).abs() < 1e-15);
+        assert!(ps.shift(Complex64::ONE).approx_eq(Complex64::new(0.0, -1.0), 1e-12));
+    }
+
+    #[test]
+    fn transfer_matrix_is_unitary() {
+        let ps = PhaseShifter::new(0.37);
+        assert!(ps.transfer_bottom().is_unitary(1e-12));
+    }
+
+    #[test]
+    fn transfer_matrix_leaves_top_arm_alone() {
+        let ps = PhaseShifter::minus_90();
+        let m = ps.transfer_bottom();
+        let out = m.matvec(&[Complex64::ONE, Complex64::ONE]).unwrap();
+        assert!(out[0].approx_eq(Complex64::ONE, 1e-12));
+        assert!(out[1].approx_eq(Complex64::new(0.0, -1.0), 1e-12));
+    }
+
+    #[test]
+    fn composition_adds_phases() {
+        let a = PhaseShifter::new(0.3);
+        let b = PhaseShifter::new(0.9);
+        let direct = PhaseShifter::new(1.2).shift(Complex64::ONE);
+        let composed = b.shift(a.shift(Complex64::ONE));
+        assert!(direct.approx_eq(composed, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_phase() {
+        PhaseShifter::new(f64::NAN);
+    }
+}

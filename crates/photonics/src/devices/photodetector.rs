@@ -1,0 +1,131 @@
+//! Photodetector.
+//!
+//! Converts incident optical intensity to photocurrent: "each receiver
+//! includes a photodetector (PD) to convert incoming optical signals into
+//! electrical signals by generating current when photons interact with its
+//! sensitive material" (paper Sec. II-A2). A PD integrates intensity over
+//! every wavelength present on its waveguide — the property the DDot unit
+//! exploits to sum `(xᵢ±yᵢ)²` over `i` in a single detection.
+
+use crate::field::OpticalField;
+use crate::noise::NoiseModel;
+
+/// A photodetector with responsivity `R` (A/W) and dark current (A).
+///
+/// # Examples
+///
+/// ```
+/// use pdac_photonics::{Photodetector, OpticalField};
+///
+/// let pd = Photodetector::ideal();
+/// let field = OpticalField::from_real(&[2.0]); // intensity ½·4 = 2
+/// assert!((pd.detect(&field) - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Photodetector {
+    responsivity: f64,
+    dark_current: f64,
+}
+
+impl Photodetector {
+    /// An ideal detector: unit responsivity, no dark current.
+    pub fn ideal() -> Self {
+        Self { responsivity: 1.0, dark_current: 0.0 }
+    }
+
+    /// Creates a detector with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `responsivity <= 0` or `dark_current < 0`.
+    pub fn new(responsivity: f64, dark_current: f64) -> Self {
+        assert!(responsivity > 0.0, "responsivity must be positive");
+        assert!(dark_current >= 0.0, "dark current must be nonnegative");
+        Self { responsivity, dark_current }
+    }
+
+    /// Responsivity in A/W.
+    pub fn responsivity(&self) -> f64 {
+        self.responsivity
+    }
+
+    /// Dark current in A.
+    pub fn dark_current(&self) -> f64 {
+        self.dark_current
+    }
+
+    /// Noiseless detection: `I = R · Σ_λ ½|E_λ|² + I_dark`.
+    pub fn detect(&self, field: &OpticalField) -> f64 {
+        self.responsivity * field.total_intensity() + self.dark_current
+    }
+
+    /// Detection with shot/thermal noise drawn from `noise`.
+    pub fn detect_noisy(&self, field: &OpticalField, noise: &mut NoiseModel) -> f64 {
+        let clean = self.detect(field);
+        noise.perturb_current(clean)
+    }
+}
+
+impl Default for Photodetector {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::NoiseModel;
+
+    #[test]
+    fn detection_scales_with_responsivity() {
+        let field = OpticalField::from_real(&[1.0, 1.0]);
+        let pd1 = Photodetector::new(1.0, 0.0);
+        let pd2 = Photodetector::new(0.8, 0.0);
+        assert!((pd2.detect(&field) / pd1.detect(&field) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detection_sums_channels() {
+        let f1 = OpticalField::from_real(&[1.0, 0.0]);
+        let f2 = OpticalField::from_real(&[0.0, 1.0]);
+        let both = OpticalField::from_real(&[1.0, 1.0]);
+        let pd = Photodetector::ideal();
+        assert!((pd.detect(&both) - pd.detect(&f1) - pd.detect(&f2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dark_current_adds_offset() {
+        let pd = Photodetector::new(1.0, 0.01);
+        let dark = OpticalField::dark(1);
+        assert!((pd.detect(&dark) - 0.01).abs() < 1e-15);
+    }
+
+    #[test]
+    fn noiseless_model_is_deterministic() {
+        let pd = Photodetector::ideal();
+        let mut noise = NoiseModel::disabled(7);
+        let field = OpticalField::from_real(&[0.9]);
+        let a = pd.detect_noisy(&field, &mut noise);
+        assert!((a - pd.detect(&field)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn noisy_detection_varies() {
+        let pd = Photodetector::ideal();
+        let mut noise = NoiseModel::gaussian_current(1e-2, 42);
+        let field = OpticalField::from_real(&[1.0]);
+        let samples: Vec<f64> = (0..100).map(|_| pd.detect_noisy(&field, &mut noise)).collect();
+        let distinct = samples.windows(2).any(|w| w[0] != w[1]);
+        assert!(distinct);
+        // Mean should remain near the clean value.
+        let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - pd.detect(&field)).abs() < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "responsivity")]
+    fn rejects_nonpositive_responsivity() {
+        Photodetector::new(0.0, 0.0);
+    }
+}

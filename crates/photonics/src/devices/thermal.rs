@@ -1,0 +1,288 @@
+//! Thermal tuning of micro-ring resonators.
+//!
+//! MRRs select wavelengths "with precise tuning achieved through
+//! temperature adjustments" (paper Fig. 1 discussion). A micro-heater
+//! above the ring red-shifts its resonance; holding a shift costs static
+//! power, and settling takes microseconds — the numbers behind both the
+//! EO interface's energy and the MZI mesh's slow reprogramming.
+
+use crate::devices::mrr::MicroRing;
+
+/// A micro-heater bonded to one ring.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_photonics::devices::thermal::ThermalTuner;
+/// use pdac_photonics::MicroRing;
+///
+/// let tuner = ThermalTuner::silicon_typical();
+/// let ring = MicroRing::new(1550.0, 0.1);
+/// let (tuned, power_mw) = tuner.tune_to(&ring, 1550.8)?;
+/// assert!((tuned.resonance_nm() - 1550.8).abs() < 1e-12);
+/// assert!(power_mw > 0.0);
+/// # Ok::<(), pdac_photonics::devices::thermal::TuneError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalTuner {
+    /// Resonance shift per unit heater power, nm/mW.
+    pub efficiency_nm_per_mw: f64,
+    /// Maximum heater power, mW.
+    pub max_power_mw: f64,
+    /// Thermal settling time constant, seconds.
+    pub settling_s: f64,
+}
+
+/// Errors from tuning requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TuneError {
+    /// The requested shift is a blue-shift (heaters only red-shift).
+    BlueShift {
+        /// Requested shift in nm (negative).
+        shift_nm: f64,
+    },
+    /// The shift needs more heater power than available.
+    OutOfRange {
+        /// Power that would be required, mW.
+        required_mw: f64,
+        /// Heater limit, mW.
+        limit_mw: f64,
+    },
+}
+
+impl std::fmt::Display for TuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuneError::BlueShift { shift_nm } => {
+                write!(f, "thermal tuning cannot blue-shift ({shift_nm} nm requested)")
+            }
+            TuneError::OutOfRange { required_mw, limit_mw } => {
+                write!(f, "shift needs {required_mw} mW, heater limit {limit_mw} mW")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+impl ThermalTuner {
+    /// Typical silicon micro-heater: 0.25 nm/mW, 30 mW limit, ~4 µs
+    /// settling.
+    pub fn silicon_typical() -> Self {
+        Self {
+            efficiency_nm_per_mw: 0.25,
+            max_power_mw: 30.0,
+            settling_s: 4e-6,
+        }
+    }
+
+    /// Heater power needed to hold a `shift_nm` red-shift.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TuneError`] for blue-shifts or shifts past the heater
+    /// range.
+    pub fn power_for_shift(&self, shift_nm: f64) -> Result<f64, TuneError> {
+        if shift_nm < 0.0 {
+            return Err(TuneError::BlueShift { shift_nm });
+        }
+        let required = shift_nm / self.efficiency_nm_per_mw;
+        if required > self.max_power_mw {
+            return Err(TuneError::OutOfRange {
+                required_mw: required,
+                limit_mw: self.max_power_mw,
+            });
+        }
+        Ok(required)
+    }
+
+    /// Tunes `ring` to `target_nm`, returning the tuned ring and the
+    /// holding power in mW.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TuneError`] when the target is unreachable.
+    pub fn tune_to(&self, ring: &MicroRing, target_nm: f64) -> Result<(MicroRing, f64), TuneError> {
+        let shift = target_nm - ring.resonance_nm();
+        let power = self.power_for_shift(shift)?;
+        Ok((ring.tuned_by(shift), power))
+    }
+
+    /// Full tuning range in nm.
+    pub fn range_nm(&self) -> f64 {
+        self.efficiency_nm_per_mw * self.max_power_mw
+    }
+
+    /// Static power (W) to hold a bank of `rings` rings at an average
+    /// shift of `avg_shift_nm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `avg_shift_nm` is negative.
+    pub fn bank_holding_watts(&self, rings: usize, avg_shift_nm: f64) -> f64 {
+        assert!(avg_shift_nm >= 0.0, "average shift must be nonnegative");
+        rings as f64 * avg_shift_nm / self.efficiency_nm_per_mw * 1e-3
+    }
+}
+
+/// Thermal crosstalk between neighbouring heaters on one bus.
+///
+/// The paper notes that DDot's passive PS/DC have "no issues with
+/// thermal crosstalk" — implying the *active* ring banks do. Heat from
+/// heater `j` leaks into ring `i` with a coupling that decays
+/// geometrically with their separation, detuning rings that wanted to
+/// stay put.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalCrosstalk {
+    /// Fraction of a neighbour's shift leaked at distance 1.
+    pub nearest_coupling: f64,
+    /// Additional decay per extra ring of separation.
+    pub decay_per_ring: f64,
+}
+
+impl ThermalCrosstalk {
+    /// Typical dense-bank values: 5% nearest-neighbour leak, 3× decay
+    /// per ring.
+    pub fn typical() -> Self {
+        Self { nearest_coupling: 0.05, decay_per_ring: 3.0 }
+    }
+
+    /// Coupling coefficient between rings `i` and `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` (self-coupling is the heater's own effect).
+    pub fn coupling(&self, i: usize, j: usize) -> f64 {
+        assert_ne!(i, j, "self-coupling is not crosstalk");
+        let d = i.abs_diff(j) as u32;
+        self.nearest_coupling / self.decay_per_ring.powi(d as i32 - 1)
+    }
+
+    /// Actual resonance shifts of a bank given the *commanded* shifts:
+    /// each ring receives its own shift plus leakage from every other
+    /// heater.
+    pub fn realized_shifts(&self, commanded_nm: &[f64]) -> Vec<f64> {
+        let n = commanded_nm.len();
+        (0..n)
+            .map(|i| {
+                let leak: f64 = (0..n)
+                    .filter(|&j| j != i)
+                    .map(|j| self.coupling(i, j) * commanded_nm[j])
+                    .sum();
+                commanded_nm[i] + leak
+            })
+            .collect()
+    }
+
+    /// Worst detuning error across the bank (realized − commanded).
+    pub fn worst_detuning_nm(&self, commanded_nm: &[f64]) -> f64 {
+        self.realized_shifts(commanded_nm)
+            .iter()
+            .zip(commanded_nm)
+            .map(|(r, c)| (r - c).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crosstalk_decays_with_distance() {
+        let x = ThermalCrosstalk::typical();
+        assert!((x.coupling(0, 1) - 0.05).abs() < 1e-12);
+        assert!((x.coupling(0, 2) - 0.05 / 3.0).abs() < 1e-12);
+        assert!(x.coupling(0, 5) < x.coupling(0, 2));
+        assert_eq!(x.coupling(3, 4), x.coupling(4, 3));
+    }
+
+    #[test]
+    fn idle_ring_between_hot_neighbours_detunes() {
+        let x = ThermalCrosstalk::typical();
+        let realized = x.realized_shifts(&[1.0, 0.0, 1.0]);
+        // Middle ring commanded 0 but receives 2 × 5% leakage.
+        assert!((realized[1] - 0.10).abs() < 1e-12);
+        assert!((x.worst_detuning_nm(&[1.0, 0.0, 1.0]) - 0.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_commands_detune_uniformly() {
+        let x = ThermalCrosstalk::typical();
+        let realized = x.realized_shifts(&[0.5; 4]);
+        for (i, r) in realized.iter().enumerate() {
+            assert!(*r > 0.5, "ring {i}: {r}");
+        }
+        // Inner rings collect more leakage than edge rings.
+        assert!(realized[1] > realized[0]);
+    }
+
+    #[test]
+    fn detuning_can_break_channel_isolation() {
+        // A 0.1 nm-FWHM ring detuned by 0.1 nm drops to half power:
+        // the link between thermal crosstalk and WDM integrity.
+        let x = ThermalCrosstalk::typical();
+        let detune = x.worst_detuning_nm(&[1.0, 0.0, 1.0]);
+        let ring = MicroRing::new(1550.0, 0.1).tuned_by(detune);
+        assert!(ring.drop_power_fraction(1550.0) < 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-coupling")]
+    fn self_coupling_rejected() {
+        ThermalCrosstalk::typical().coupling(2, 2);
+    }
+
+    #[test]
+    fn power_scales_with_shift() {
+        let t = ThermalTuner::silicon_typical();
+        let p1 = t.power_for_shift(0.5).unwrap();
+        let p2 = t.power_for_shift(1.0).unwrap();
+        assert!((p2 / p1 - 2.0).abs() < 1e-12);
+        assert!((p1 - 2.0).abs() < 1e-12); // 0.5 nm / 0.25 nm/mW
+    }
+
+    #[test]
+    fn blue_shift_rejected() {
+        let t = ThermalTuner::silicon_typical();
+        assert!(matches!(
+            t.power_for_shift(-0.1),
+            Err(TuneError::BlueShift { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let t = ThermalTuner::silicon_typical();
+        // Range is 7.5 nm.
+        assert!((t.range_nm() - 7.5).abs() < 1e-12);
+        let err = t.power_for_shift(10.0).unwrap_err();
+        assert!(matches!(err, TuneError::OutOfRange { .. }));
+        assert!(err.to_string().contains("mW"));
+    }
+
+    #[test]
+    fn tune_to_shifts_ring() {
+        let t = ThermalTuner::silicon_typical();
+        let ring = MicroRing::new(1550.0, 0.1);
+        let (tuned, power) = t.tune_to(&ring, 1551.6).unwrap();
+        assert!((tuned.resonance_nm() - 1551.6).abs() < 1e-12);
+        assert!((power - 6.4).abs() < 1e-12);
+        assert!(tuned.drop_power_fraction(1551.6) > 0.999);
+    }
+
+    #[test]
+    fn bank_power_accumulates() {
+        let t = ThermalTuner::silicon_typical();
+        // 1024 rings at 0.4 nm average: 1024 · 1.6 mW = 1.64 W.
+        let w = t.bank_holding_watts(1024, 0.4);
+        assert!((w - 1.6384).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_shift_is_free() {
+        let t = ThermalTuner::silicon_typical();
+        assert_eq!(t.power_for_shift(0.0).unwrap(), 0.0);
+        assert_eq!(t.bank_holding_watts(100, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Transimpedance amplifier.
+//!
+//! "A transimpedance amplifier (TIA) then amplifies the weak current from
+//! the PD into a usable voltage signal: `V_out = R_f · I_in`" (paper
+//! Eq. 1). The P-DAC's central trick lives here: each bit line of the
+//! optical digital word gets its own TIA whose feedback resistor `R_f`
+//! encodes that bit's *weight*, and the output voltages superimpose into
+//! the MZM drive voltage (paper Fig. 7).
+
+/// A transimpedance amplifier with feedback resistance `R_f` (Ω) and an
+/// optional output saturation voltage.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_photonics::Tia;
+///
+/// let tia = Tia::new(50.0);
+/// assert_eq!(tia.amplify(0.02), 1.0); // V = R_f · I
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tia {
+    feedback_ohms: f64,
+    saturation_volts: Option<f64>,
+}
+
+impl Tia {
+    /// Creates a linear (non-saturating) TIA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feedback_ohms` is not finite. Negative feedback
+    /// resistance is permitted: an inverting TIA stage realizes negative
+    /// bit weights (needed for the P-DAC's negative-slope segments).
+    pub fn new(feedback_ohms: f64) -> Self {
+        assert!(feedback_ohms.is_finite(), "feedback resistance must be finite");
+        Self { feedback_ohms, saturation_volts: None }
+    }
+
+    /// Creates a TIA whose output clips at `±saturation_volts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `saturation_volts <= 0` or `feedback_ohms` is not finite.
+    pub fn with_saturation(feedback_ohms: f64, saturation_volts: f64) -> Self {
+        assert!(feedback_ohms.is_finite(), "feedback resistance must be finite");
+        assert!(saturation_volts > 0.0, "saturation voltage must be positive");
+        Self { feedback_ohms, saturation_volts: Some(saturation_volts) }
+    }
+
+    /// Feedback resistance `R_f` in ohms.
+    pub fn feedback_ohms(&self) -> f64 {
+        self.feedback_ohms
+    }
+
+    /// Saturation limit, if configured.
+    pub fn saturation_volts(&self) -> Option<f64> {
+        self.saturation_volts
+    }
+
+    /// Converts input current (A) to output voltage (V), applying
+    /// saturation when configured (paper Eq. 1).
+    pub fn amplify(&self, current: f64) -> f64 {
+        let v = self.feedback_ohms * current;
+        match self.saturation_volts {
+            Some(sat) => v.clamp(-sat, sat),
+            None => v,
+        }
+    }
+}
+
+/// A bank of TIAs whose outputs superimpose — the voltage-summing network
+/// of the P-DAC (paper Fig. 7: "apply different weights to each bit through
+/// a TIA and superimpose the voltages of each bit").
+///
+/// # Examples
+///
+/// ```
+/// use pdac_photonics::devices::tia::TiaBank;
+///
+/// // Binary weights for a 3-bit word (MSB first), unit photocurrent per lit bit.
+/// let bank = TiaBank::new(vec![4.0, 2.0, 1.0]);
+/// assert_eq!(bank.len(), 3);
+/// assert_eq!(bank.sum_voltage(&[1.0, 0.0, 1.0]), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TiaBank {
+    stages: Vec<Tia>,
+}
+
+impl TiaBank {
+    /// Creates a bank from per-bit feedback resistances (weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "TIA bank needs at least one stage");
+        Self { stages: weights.into_iter().map(Tia::new).collect() }
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the bank has no stages (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Per-stage TIAs.
+    pub fn stages(&self) -> &[Tia] {
+        &self.stages
+    }
+
+    /// Superimposed output voltage for the given per-stage photocurrents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `currents.len() != self.len()`.
+    pub fn sum_voltage(&self, currents: &[f64]) -> f64 {
+        assert_eq!(currents.len(), self.stages.len(), "current count mismatch");
+        self.stages
+            .iter()
+            .zip(currents)
+            .map(|(t, &i)| t.amplify(i))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_gain() {
+        let tia = Tia::new(1000.0);
+        assert_eq!(tia.amplify(1e-3), 1.0);
+        assert_eq!(tia.amplify(-2e-3), -2.0);
+    }
+
+    #[test]
+    fn negative_feedback_inverts() {
+        let tia = Tia::new(-500.0);
+        assert_eq!(tia.amplify(1e-3), -0.5);
+    }
+
+    #[test]
+    fn saturation_clips_both_rails() {
+        let tia = Tia::with_saturation(1000.0, 1.5);
+        assert_eq!(tia.amplify(1e-2), 1.5);
+        assert_eq!(tia.amplify(-1e-2), -1.5);
+        assert_eq!(tia.amplify(1e-3), 1.0);
+    }
+
+    #[test]
+    fn bank_superimposes_binary_weights() {
+        let bank = TiaBank::new(vec![8.0, 4.0, 2.0, 1.0]);
+        // Word 1011 -> 8 + 2 + 1 = 11.
+        assert_eq!(bank.sum_voltage(&[1.0, 0.0, 1.0, 1.0]), 11.0);
+    }
+
+    #[test]
+    fn bank_scales_with_photocurrent() {
+        let bank = TiaBank::new(vec![2.0, 1.0]);
+        assert_eq!(bank.sum_voltage(&[0.5, 0.5]), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "count mismatch")]
+    fn bank_rejects_wrong_arity() {
+        TiaBank::new(vec![1.0]).sum_voltage(&[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_bank_rejected() {
+        TiaBank::new(vec![]);
+    }
+}

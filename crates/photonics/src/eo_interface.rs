@@ -1,0 +1,299 @@
+//! Multi-bit electro-optic (EO) and opto-electric (OE) interfaces.
+//!
+//! Following CAMON (paper Fig. 2), a multi-bit EO interface encodes `b`
+//! bits per laser wavelength within a single clock cycle by dividing the
+//! cycle into `b` time slots; the transmitter modulates its MRR during
+//! slot `i` to write bit `i`. The P-DAC consumes the resulting *optical
+//! digital word* directly: each slot's photocurrent is weighted by a
+//! per-bit TIA and superimposed into the MZM drive voltage (Fig. 7).
+//!
+//! Words are sign-magnitude — one sign slot plus `b−1` magnitude slots,
+//! MSB first — matching the symmetric quantizer used throughout the
+//! reproduction.
+
+use std::fmt;
+
+/// A digital word carried optically: one bool per time slot, MSB first,
+/// preceded by a sign slot.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_photonics::eo_interface::OpticalWord;
+///
+/// let w = OpticalWord::encode(64, 8)?; // the paper's 0x40 example
+/// assert_eq!(w.bits(), 8);
+/// assert_eq!(w.decode(), 64);
+/// # Ok::<(), pdac_photonics::eo_interface::EoError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpticalWord {
+    /// slot 0 = sign (lit ⇔ negative), slots 1.. = magnitude MSB→LSB.
+    slots: Vec<bool>,
+}
+
+/// Errors from encoding digital values onto the optical interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EoError {
+    /// Bit width outside `2..=16`.
+    UnsupportedBits(u8),
+    /// The value does not fit the symmetric code range of the bit width.
+    OutOfRange {
+        /// Requested value.
+        value: i32,
+        /// Magnitude limit `2^(b−1) − 1`.
+        limit: i32,
+    },
+}
+
+impl fmt::Display for EoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EoError::UnsupportedBits(b) => write!(f, "bit width {b} outside 2..=16"),
+            EoError::OutOfRange { value, limit } => {
+                write!(f, "value {value} outside symmetric range ±{limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EoError {}
+
+impl OpticalWord {
+    /// Encodes a signed code into a `bits`-slot optical word
+    /// (1 sign slot + `bits−1` magnitude slots).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EoError::UnsupportedBits`] or [`EoError::OutOfRange`].
+    pub fn encode(value: i32, bits: u8) -> Result<Self, EoError> {
+        if !(2..=16).contains(&bits) {
+            return Err(EoError::UnsupportedBits(bits));
+        }
+        let limit = (1i32 << (bits - 1)) - 1;
+        if value.abs() > limit {
+            return Err(EoError::OutOfRange { value, limit });
+        }
+        let mag = value.unsigned_abs();
+        let mut slots = Vec::with_capacity(bits as usize);
+        slots.push(value < 0);
+        for i in (0..bits - 1).rev() {
+            slots.push(mag & (1 << i) != 0);
+        }
+        Ok(Self { slots })
+    }
+
+    /// Total number of slots (== bit width).
+    pub fn bits(&self) -> u8 {
+        self.slots.len() as u8
+    }
+
+    /// Whether the sign slot is lit (negative value).
+    pub fn is_negative(&self) -> bool {
+        self.slots[0]
+    }
+
+    /// Magnitude slots, MSB first.
+    pub fn magnitude_slots(&self) -> &[bool] {
+        &self.slots[1..]
+    }
+
+    /// All slots including the sign.
+    pub fn slots(&self) -> &[bool] {
+        &self.slots
+    }
+
+    /// Decodes back to the signed code.
+    pub fn decode(&self) -> i32 {
+        let mut mag = 0i32;
+        for &s in &self.slots[1..] {
+            mag = (mag << 1) | i32::from(s);
+        }
+        if self.slots[0] {
+            -mag
+        } else {
+            mag
+        }
+    }
+
+    /// Photocurrents produced when each slot is sampled by a detector
+    /// receiving `on_current` amperes for a lit slot: lit → `on_current`,
+    /// dark → 0. This is the input to the P-DAC's TIA bank.
+    pub fn slot_currents(&self, on_current: f64) -> Vec<f64> {
+        self.slots
+            .iter()
+            .map(|&s| if s { on_current } else { 0.0 })
+            .collect()
+    }
+}
+
+/// The transmitting EO interface: encodes electrical words onto one
+/// wavelength, tracking modulation events for energy accounting.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_photonics::eo_interface::EoInterface;
+///
+/// let mut eo = EoInterface::new(8)?;
+/// let w = eo.transmit(-100)?;
+/// assert_eq!(w.decode(), -100);
+/// assert!(eo.modulation_events() > 0);
+/// # Ok::<(), pdac_photonics::eo_interface::EoError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EoInterface {
+    bits: u8,
+    words_sent: u64,
+    modulation_events: u64,
+}
+
+impl EoInterface {
+    /// Creates an interface for `bits`-wide words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EoError::UnsupportedBits`] outside `2..=16`.
+    pub fn new(bits: u8) -> Result<Self, EoError> {
+        if !(2..=16).contains(&bits) {
+            return Err(EoError::UnsupportedBits(bits));
+        }
+        Ok(Self { bits, words_sent: 0, modulation_events: 0 })
+    }
+
+    /// Bit width.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// The slot (modulation) rate needed to deliver one full word per
+    /// accelerator clock cycle: `bits × clock_hz` (paper Fig. 2 divides
+    /// the cycle into `bits` intervals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock_hz <= 0`.
+    pub fn slot_rate_hz(&self, clock_hz: f64) -> f64 {
+        assert!(clock_hz > 0.0, "clock must be positive");
+        self.bits as f64 * clock_hz
+    }
+
+    /// Whether a ring modulator with the given bandwidth can sustain the
+    /// slot rate at `clock_hz`.
+    pub fn sustains(&self, clock_hz: f64, modulator_bandwidth_hz: f64) -> bool {
+        self.slot_rate_hz(clock_hz) <= modulator_bandwidth_hz
+    }
+
+    /// Encodes and "transmits" a word, updating activity counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EoError::OutOfRange`] when the value does not fit.
+    pub fn transmit(&mut self, value: i32) -> Result<OpticalWord, EoError> {
+        let w = OpticalWord::encode(value, self.bits)?;
+        self.words_sent += 1;
+        // Only lit slots require driving the ring (write events).
+        self.modulation_events += w.slots().iter().filter(|&&s| s).count() as u64;
+        Ok(w)
+    }
+
+    /// Words transmitted so far.
+    pub fn words_sent(&self) -> u64 {
+        self.words_sent
+    }
+
+    /// Ring-modulation events so far (lit slots) — proportional to the
+    /// interface's dynamic energy.
+    pub fn modulation_events(&self) -> u64 {
+        self.modulation_events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip_all_codes_6bit() {
+        for v in -31..=31 {
+            let w = OpticalWord::encode(v, 6).unwrap();
+            assert_eq!(w.decode(), v, "v={v}");
+            assert_eq!(w.bits(), 6);
+        }
+    }
+
+    #[test]
+    fn paper_0x40_example_bits() {
+        let w = OpticalWord::encode(0x40, 8).unwrap();
+        assert!(!w.is_negative());
+        // 0x40 = 1000000 in 7 magnitude bits.
+        assert_eq!(
+            w.magnitude_slots(),
+            &[true, false, false, false, false, false, false]
+        );
+    }
+
+    #[test]
+    fn negative_sign_slot() {
+        let w = OpticalWord::encode(-5, 4).unwrap();
+        assert!(w.is_negative());
+        assert_eq!(w.magnitude_slots(), &[true, false, true]);
+        assert_eq!(w.decode(), -5);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let err = OpticalWord::encode(128, 8).unwrap_err();
+        assert_eq!(err, EoError::OutOfRange { value: 128, limit: 127 });
+        assert!(OpticalWord::encode(-128, 8).is_err());
+        assert!(OpticalWord::encode(127, 8).is_ok());
+    }
+
+    #[test]
+    fn unsupported_bits_rejected() {
+        assert_eq!(OpticalWord::encode(0, 1), Err(EoError::UnsupportedBits(1)));
+        assert_eq!(OpticalWord::encode(0, 17), Err(EoError::UnsupportedBits(17)));
+    }
+
+    #[test]
+    fn slot_currents_map_lit_slots() {
+        let w = OpticalWord::encode(-3, 4).unwrap(); // sign=1, mag=011
+        assert_eq!(w.slot_currents(2.0), vec![2.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn interface_counts_activity() {
+        let mut eo = EoInterface::new(4).unwrap();
+        eo.transmit(7).unwrap(); // 0 111 -> 3 events
+        eo.transmit(-1).unwrap(); // 1 001 -> 2 events
+        eo.transmit(0).unwrap(); // 0 000 -> 0 events
+        assert_eq!(eo.words_sent(), 3);
+        assert_eq!(eo.modulation_events(), 5);
+    }
+
+    #[test]
+    fn slot_rate_scales_with_bits() {
+        let eo4 = EoInterface::new(4).unwrap();
+        let eo8 = EoInterface::new(8).unwrap();
+        // 4-bit at 5 GHz needs 20 Gslot/s; 8-bit needs 40.
+        assert!((eo4.slot_rate_hz(5e9) - 20e9).abs() < 1.0);
+        assert!((eo8.slot_rate_hz(5e9) - 40e9).abs() < 1.0);
+        // A 25 GHz ring sustains the 4-bit interface but not the 8-bit:
+        // the precision/clock trade the multi-bit interface imposes.
+        assert!(eo4.sustains(5e9, 25e9));
+        assert!(!eo8.sustains(5e9, 25e9));
+    }
+
+    #[test]
+    fn interface_propagates_range_errors() {
+        let mut eo = EoInterface::new(4).unwrap();
+        assert!(eo.transmit(8).is_err());
+        assert_eq!(eo.words_sent(), 0);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = EoError::OutOfRange { value: 300, limit: 127 };
+        assert!(e.to_string().contains("300"));
+    }
+}

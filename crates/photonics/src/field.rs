@@ -1,0 +1,220 @@
+//! Optical field representation.
+//!
+//! An [`OpticalField`] is the state on one waveguide: a complex amplitude
+//! per WDM channel. Following the paper's DDot derivation, optical
+//! intensity is `I = ½|E|²` and a photodetector integrates intensity over
+//! all channels it sees ("the photodetector can detect light intensity
+//! resulting from the superposition of multiple optical frequencies").
+
+use crate::wavelength::ChannelId;
+use pdac_math::Complex64;
+
+/// The complex field amplitudes on one waveguide, indexed by channel.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_photonics::field::OpticalField;
+/// use pdac_math::Complex64;
+///
+/// let mut f = OpticalField::dark(2);
+/// f.set(pdac_photonics::wavelength::ChannelId(0), Complex64::from_re(2.0));
+/// assert_eq!(f.total_intensity(), 2.0); // ½·|2|²
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpticalField {
+    amplitudes: Vec<Complex64>,
+}
+
+impl OpticalField {
+    /// A field with `channels` dark (zero-amplitude) carriers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn dark(channels: usize) -> Self {
+        assert!(channels > 0, "field needs at least one channel");
+        Self { amplitudes: vec![Complex64::ZERO; channels] }
+    }
+
+    /// Builds a field from per-channel real amplitudes (zero phase).
+    pub fn from_real(amplitudes: &[f64]) -> Self {
+        assert!(!amplitudes.is_empty(), "field needs at least one channel");
+        Self {
+            amplitudes: amplitudes.iter().map(|&a| Complex64::from_re(a)).collect(),
+        }
+    }
+
+    /// Builds a field from per-channel complex amplitudes.
+    pub fn from_amplitudes(amplitudes: Vec<Complex64>) -> Self {
+        assert!(!amplitudes.is_empty(), "field needs at least one channel");
+        Self { amplitudes }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.amplitudes.len()
+    }
+
+    /// Amplitude on channel `ch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ch` is out of range.
+    pub fn amplitude(&self, ch: ChannelId) -> Complex64 {
+        self.amplitudes[ch.0]
+    }
+
+    /// Sets the amplitude on channel `ch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ch` is out of range.
+    pub fn set(&mut self, ch: ChannelId, e: Complex64) {
+        self.amplitudes[ch.0] = e;
+    }
+
+    /// Borrows all amplitudes.
+    pub fn amplitudes(&self) -> &[Complex64] {
+        &self.amplitudes
+    }
+
+    /// Intensity on one channel: `½|E|²`.
+    pub fn intensity(&self, ch: ChannelId) -> f64 {
+        0.5 * self.amplitudes[ch.0].norm_sqr()
+    }
+
+    /// Total intensity summed over channels — what a broadband
+    /// photodetector converts to current.
+    pub fn total_intensity(&self) -> f64 {
+        self.amplitudes.iter().map(|e| 0.5 * e.norm_sqr()).sum()
+    }
+
+    /// Applies a per-channel complex transfer factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factors.len() != self.channels()`.
+    pub fn apply_per_channel(&self, factors: &[Complex64]) -> Self {
+        assert_eq!(factors.len(), self.channels(), "factor count mismatch");
+        Self {
+            amplitudes: self
+                .amplitudes
+                .iter()
+                .zip(factors)
+                .map(|(&e, &t)| e * t)
+                .collect(),
+        }
+    }
+
+    /// Applies one complex transfer factor to every channel.
+    pub fn apply_uniform(&self, factor: Complex64) -> Self {
+        Self {
+            amplitudes: self.amplitudes.iter().map(|&e| e * factor).collect(),
+        }
+    }
+
+    /// Coherent superposition of two fields channel-by-channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel counts differ.
+    pub fn superpose(&self, other: &Self) -> Self {
+        assert_eq!(self.channels(), other.channels(), "channel count mismatch");
+        Self {
+            amplitudes: self
+                .amplitudes
+                .iter()
+                .zip(&other.amplitudes)
+                .map(|(&a, &b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// Attenuates power by `loss_db` (field scales by `10^(−loss/20)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss_db < 0` (gain is not a waveguide property).
+    pub fn attenuate_db(&self, loss_db: f64) -> Self {
+        assert!(loss_db >= 0.0, "insertion loss must be nonnegative");
+        let factor = 10f64.powf(-loss_db / 20.0);
+        self.apply_uniform(Complex64::from_re(factor))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wavelength::ChannelId;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn dark_field_has_no_intensity() {
+        let f = OpticalField::dark(4);
+        assert_eq!(f.channels(), 4);
+        assert_eq!(f.total_intensity(), 0.0);
+    }
+
+    #[test]
+    fn intensity_is_half_norm_squared() {
+        let f = OpticalField::from_real(&[2.0, 0.0]);
+        assert_eq!(f.intensity(ChannelId(0)), 2.0);
+        assert_eq!(f.intensity(ChannelId(1)), 0.0);
+        assert_eq!(f.total_intensity(), 2.0);
+    }
+
+    #[test]
+    fn intensity_ignores_phase() {
+        let a = OpticalField::from_amplitudes(vec![Complex64::from_polar(1.5, 0.3)]);
+        let b = OpticalField::from_real(&[1.5]);
+        assert!((a.total_intensity() - b.total_intensity()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn superposition_interferes() {
+        let a = OpticalField::from_real(&[1.0]);
+        let mut b = OpticalField::dark(1);
+        // π phase: destructive interference.
+        b.set(ChannelId(0), Complex64::from_polar(1.0, std::f64::consts::PI));
+        let sum = a.superpose(&b);
+        assert!(sum.total_intensity() < 1e-12);
+    }
+
+    #[test]
+    fn constructive_interference_quadruples_intensity() {
+        let a = OpticalField::from_real(&[1.0]);
+        let sum = a.superpose(&a);
+        // |2E|²/2 = 4·(|E|²/2)
+        assert!((sum.total_intensity() - 4.0 * a.total_intensity()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_channel_transfer() {
+        let f = OpticalField::from_real(&[1.0, 1.0]);
+        let out = f.apply_per_channel(&[Complex64::cis(FRAC_PI_2), Complex64::from_re(0.5)]);
+        assert!(out.amplitude(ChannelId(0)).approx_eq(Complex64::I, 1e-12));
+        assert_eq!(out.amplitude(ChannelId(1)), Complex64::from_re(0.5));
+    }
+
+    #[test]
+    fn attenuation_3db_halves_power() {
+        let f = OpticalField::from_real(&[1.0]);
+        let out = f.attenuate_db(3.0103);
+        assert!((out.total_intensity() - 0.25).abs() < 1e-4); // ½ of 0.5
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_loss_rejected() {
+        OpticalField::from_real(&[1.0]).attenuate_db(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel count mismatch")]
+    fn superpose_rejects_mismatch() {
+        let a = OpticalField::dark(1);
+        let b = OpticalField::dark(2);
+        a.superpose(&b);
+    }
+}

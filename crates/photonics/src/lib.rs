@@ -1,0 +1,65 @@
+#![warn(missing_docs)]
+
+//! Photonic device and circuit simulation for the P-DAC reproduction.
+//!
+//! This crate models the optical substrate that both Lightening-Transformer
+//! and the P-DAC are built from (paper Sec. II):
+//!
+//! * [`field`] — optical fields: complex amplitude per WDM wavelength, with
+//!   intensity defined as `I = ½|E|²` as in the paper's DDot derivation;
+//! * [`wavelength`] — WDM wavelength grids and channel bookkeeping;
+//! * [`devices`] — transfer-function models of every component the paper
+//!   uses: lasers, Mach-Zehnder modulators (full Eq. 3 including splitting
+//!   imbalance `k` and `V_π`), phase shifters (Eq. 4), directional couplers
+//!   (Eq. 5), micro-ring resonators (Fig. 1), photodetectors and
+//!   transimpedance amplifiers (Eq. 1);
+//! * [`ddot`] — the Dynamically-operated full-range Dot-product unit
+//!   (Eq. 6) that computes `x·y` from two detector currents;
+//! * [`eo_interface`] — the multi-bit electro-optic interface of Fig. 2
+//!   (one bit per time slot per wavelength, after CAMON);
+//! * [`wdm`] — wavelength multiplexing with optional inter-channel
+//!   crosstalk;
+//! * [`noise`] — shot/thermal/RIN noise injection with seeded RNGs;
+//! * [`circuit`] — composition of 2×2 passive devices into transfer-matrix
+//!   chains.
+//!
+//! All passive devices are energy-conserving (unitary transfer matrices)
+//! unless an explicit insertion loss is configured; property tests enforce
+//! this.
+//!
+//! # Examples
+//!
+//! ```
+//! use pdac_photonics::ddot::DDotUnit;
+//!
+//! let ddot = DDotUnit::ideal(4);
+//! let x = [0.5, -0.25, 0.75, 0.1];
+//! let y = [0.2, 0.9, -0.4, -0.6];
+//! let got = ddot.dot(&x, &y)?;
+//! let exact: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+//! assert!((got - exact).abs() < 1e-12);
+//! # Ok::<(), pdac_photonics::ddot::DDotError>(())
+//! ```
+
+pub mod ber;
+pub mod circuit;
+pub mod ddot;
+pub mod devices;
+pub mod eo_interface;
+pub mod field;
+pub mod loss;
+pub mod mzi_mesh;
+pub mod noise;
+pub mod wavelength;
+pub mod wdm;
+
+pub use ddot::DDotUnit;
+pub use devices::coupler::DirectionalCoupler;
+pub use devices::laser::Laser;
+pub use devices::mrr::MicroRing;
+pub use devices::mzm::Mzm;
+pub use devices::phase_shifter::PhaseShifter;
+pub use devices::photodetector::Photodetector;
+pub use devices::tia::Tia;
+pub use field::OpticalField;
+pub use wavelength::WavelengthGrid;

@@ -1,0 +1,170 @@
+//! Optical loss budgeting.
+//!
+//! The paper's Fig. 11 discussion ends on the laser: after the P-DAC's
+//! savings, "the majority of the energy consumption remains constrained
+//! by the laser". Laser power is set by a link budget: every device the
+//! light traverses (modulator, couplers, waveguide, mux/demux rings)
+//! subtracts insertion loss, and the photodetector needs enough power
+//! for the target bit precision. This module composes per-stage losses
+//! and computes the required source power, making the power model's
+//! laser scaling law auditable from device parameters.
+
+use std::fmt;
+
+/// An itemized optical loss budget along one light path.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_photonics::loss::LossBudget;
+///
+/// let budget = LossBudget::new()
+///     .with_stage("MZM insertion", 4.0)
+///     .with_stage("waveguide", 1.5)
+///     .with_stage("DDot coupler", 0.3);
+/// assert!((budget.total_db() - 5.8).abs() < 1e-12);
+/// // 5.8 dB ≈ 3.8× power factor.
+/// assert!((budget.power_factor() - 0.263).abs() < 0.001);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LossBudget {
+    stages: Vec<(String, f64)>,
+}
+
+impl LossBudget {
+    /// An empty (lossless) budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The canonical Lightening-Transformer operand path: laser → MZM →
+    /// waveguide routing → WDM mux/demux rings → DDot coupler →
+    /// photodetector.
+    pub fn lt_operand_path() -> Self {
+        Self::new()
+            .with_stage("MZM insertion", 4.0)
+            .with_stage("waveguide routing", 1.5)
+            .with_stage("WDM mux ring", 0.5)
+            .with_stage("WDM demux ring", 0.5)
+            .with_stage("DDot phase shifter", 0.1)
+            .with_stage("DDot 50:50 coupler", 0.3)
+            .with_stage("PD coupling", 0.5)
+    }
+
+    /// Appends a stage with the given insertion loss in dB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss_db < 0`.
+    pub fn with_stage(mut self, name: impl Into<String>, loss_db: f64) -> Self {
+        assert!(loss_db >= 0.0, "insertion loss must be nonnegative");
+        self.stages.push((name.into(), loss_db));
+        self
+    }
+
+    /// The itemized stages.
+    pub fn stages(&self) -> &[(String, f64)] {
+        &self.stages
+    }
+
+    /// Total path loss in dB.
+    pub fn total_db(&self) -> f64 {
+        self.stages.iter().map(|(_, db)| db).sum()
+    }
+
+    /// Fraction of launched power that reaches the detector.
+    pub fn power_factor(&self) -> f64 {
+        10f64.powf(-self.total_db() / 10.0)
+    }
+
+    /// Laser power (W, per wavelength) needed so the detector receives
+    /// `detector_floor_w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `detector_floor_w <= 0`.
+    pub fn required_source_power(&self, detector_floor_w: f64) -> f64 {
+        assert!(detector_floor_w > 0.0, "detector floor must be positive");
+        detector_floor_w / self.power_factor()
+    }
+}
+
+impl fmt::Display for LossBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, db) in &self.stages {
+            writeln!(f, "  {name:<22} {db:>5.2} dB")?;
+        }
+        write!(f, "  {:<22} {:>5.2} dB", "total", self.total_db())
+    }
+}
+
+/// Detector power floor for `bits` of precision: shot-noise-limited
+/// detection needs SNR ≈ `4^bits`, so the floor scales as
+/// `base_floor · 4^(bits − 4)` from a 4-bit reference.
+///
+/// # Panics
+///
+/// Panics if `base_floor_w_at_4bit <= 0` or `bits` outside `2..=16`.
+pub fn detector_floor_w(base_floor_w_at_4bit: f64, bits: u8) -> f64 {
+    assert!(base_floor_w_at_4bit > 0.0, "floor must be positive");
+    assert!((2..=16).contains(&bits), "bits outside 2..=16");
+    base_floor_w_at_4bit * 4f64.powi(bits as i32 - 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_budget_is_lossless() {
+        let b = LossBudget::new();
+        assert_eq!(b.total_db(), 0.0);
+        assert_eq!(b.power_factor(), 1.0);
+        assert_eq!(b.required_source_power(1e-6), 1e-6);
+    }
+
+    #[test]
+    fn stages_accumulate() {
+        let b = LossBudget::new().with_stage("a", 3.0).with_stage("b", 7.0);
+        assert_eq!(b.total_db(), 10.0);
+        assert!((b.power_factor() - 0.1).abs() < 1e-12);
+        assert_eq!(b.stages().len(), 2);
+    }
+
+    #[test]
+    fn lt_path_magnitude() {
+        let b = LossBudget::lt_operand_path();
+        // ~7.4 dB end to end: a plausible silicon-photonic link.
+        assert!((b.total_db() - 7.4).abs() < 1e-9);
+        assert!(b.power_factor() > 0.15 && b.power_factor() < 0.25);
+    }
+
+    #[test]
+    fn required_power_scales_inverse_with_loss() {
+        let light = LossBudget::new().with_stage("x", 3.0);
+        let heavy = LossBudget::new().with_stage("x", 13.0);
+        let ratio = heavy.required_source_power(1e-6) / light.required_source_power(1e-6);
+        assert!((ratio - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detector_floor_scaling() {
+        let f4 = detector_floor_w(1e-6, 4);
+        let f8 = detector_floor_w(1e-6, 8);
+        assert_eq!(f4, 1e-6);
+        assert!((f8 / f4 - 256.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_itemizes() {
+        let s = LossBudget::lt_operand_path().to_string();
+        assert!(s.contains("MZM insertion"));
+        assert!(s.contains("total"));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_loss_rejected() {
+        LossBudget::new().with_stage("bad", -1.0);
+    }
+}

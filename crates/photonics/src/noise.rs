@@ -1,0 +1,151 @@
+//! Analog noise injection.
+//!
+//! The paper's analysis is noiseless (its error budget is dominated by the
+//! arccos approximation), but a credible photonic simulator must let users
+//! ask how shot/thermal noise interacts with the P-DAC's 8.5% worst-case
+//! approximation error. [`NoiseModel`] perturbs detector currents with a
+//! seeded Gaussian model: a signal-proportional term standing in for shot
+//! noise and relative intensity noise, plus a constant-σ thermal term.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded Gaussian noise model for photocurrents.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_photonics::noise::NoiseModel;
+///
+/// let mut quiet = NoiseModel::disabled(1);
+/// assert_eq!(quiet.perturb_current(0.5), 0.5);
+///
+/// let mut noisy = NoiseModel::gaussian_current(1e-3, 1);
+/// let sample = noisy.perturb_current(0.5);
+/// assert!((sample - 0.5).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    thermal_sigma: f64,
+    relative_sigma: f64,
+    rng: StdRng,
+}
+
+impl NoiseModel {
+    /// A model that adds no noise (deterministic pass-through).
+    pub fn disabled(seed: u64) -> Self {
+        Self { thermal_sigma: 0.0, relative_sigma: 0.0, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Constant-σ additive Gaussian noise on the current (thermal/TIA
+    /// input-referred noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma < 0`.
+    pub fn gaussian_current(sigma: f64, seed: u64) -> Self {
+        assert!(sigma >= 0.0, "noise sigma must be nonnegative");
+        Self { thermal_sigma: sigma, relative_sigma: 0.0, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Full model: constant thermal σ plus a signal-proportional term
+    /// (σ_total² = thermal² + (relative·I)²), approximating shot noise and
+    /// laser RIN in the large-photon-number regime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either sigma is negative.
+    pub fn new(thermal_sigma: f64, relative_sigma: f64, seed: u64) -> Self {
+        assert!(thermal_sigma >= 0.0, "thermal sigma must be nonnegative");
+        assert!(relative_sigma >= 0.0, "relative sigma must be nonnegative");
+        Self { thermal_sigma, relative_sigma, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Whether the model actually perturbs values.
+    pub fn is_enabled(&self) -> bool {
+        self.thermal_sigma > 0.0 || self.relative_sigma > 0.0
+    }
+
+    /// Perturbs a detector current sample.
+    pub fn perturb_current(&mut self, current: f64) -> f64 {
+        if !self.is_enabled() {
+            return current;
+        }
+        let sigma = (self.thermal_sigma * self.thermal_sigma
+            + (self.relative_sigma * current).powi(2))
+        .sqrt();
+        current + sigma * self.standard_normal()
+    }
+
+    /// Box-Muller standard normal draw.
+    fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_identity() {
+        let mut m = NoiseModel::disabled(0);
+        assert!(!m.is_enabled());
+        for &x in &[0.0, 1.0, -3.5] {
+            assert_eq!(m.perturb_current(x), x);
+        }
+    }
+
+    #[test]
+    fn seeded_model_is_reproducible() {
+        let mut a = NoiseModel::gaussian_current(0.1, 99);
+        let mut b = NoiseModel::gaussian_current(0.1, 99);
+        for _ in 0..16 {
+            assert_eq!(a.perturb_current(1.0), b.perturb_current(1.0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = NoiseModel::gaussian_current(0.1, 1);
+        let mut b = NoiseModel::gaussian_current(0.1, 2);
+        let sa: Vec<f64> = (0..8).map(|_| a.perturb_current(1.0)).collect();
+        let sb: Vec<f64> = (0..8).map(|_| b.perturb_current(1.0)).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn sample_statistics_match_sigma() {
+        let mut m = NoiseModel::gaussian_current(0.05, 1234);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| m.perturb_current(2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.002, "mean={mean}");
+        assert!((var.sqrt() - 0.05).abs() < 0.003, "sd={}", var.sqrt());
+    }
+
+    #[test]
+    fn relative_noise_scales_with_signal() {
+        let mut m = NoiseModel::new(0.0, 0.01, 5);
+        let n = 20_000;
+        let small: f64 = (0..n)
+            .map(|_| (m.perturb_current(1.0) - 1.0).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        let large: f64 = (0..n)
+            .map(|_| (m.perturb_current(10.0) - 10.0).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        // σ scales ~10x, variance ~100x.
+        assert!(large / small > 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn rejects_negative_sigma() {
+        NoiseModel::gaussian_current(-1.0, 0);
+    }
+}

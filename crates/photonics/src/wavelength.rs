@@ -1,0 +1,153 @@
+//! WDM wavelength grids.
+//!
+//! Wavelength-division multiplexing carries independent data streams on
+//! distinct optical carriers sharing one waveguide (paper Fig. 1). A
+//! [`WavelengthGrid`] enumerates the carriers available to a link or a
+//! DDot unit; channels are identified by [`ChannelId`] so fields and
+//! devices can agree on which carrier they address without floating-point
+//! comparisons.
+
+/// Index of a WDM channel within a [`WavelengthGrid`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelId(pub usize);
+
+impl std::fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "λ{}", self.0)
+    }
+}
+
+/// A uniform WDM grid: `count` channels starting at `start_nm` with
+/// `spacing_nm` separation (dense-WDM style).
+///
+/// # Examples
+///
+/// ```
+/// use pdac_photonics::wavelength::WavelengthGrid;
+///
+/// let grid = WavelengthGrid::dense_cband(8);
+/// assert_eq!(grid.len(), 8);
+/// assert!((grid.wavelength_nm(grid.channel(1).unwrap()) - 1550.8).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WavelengthGrid {
+    start_nm: f64,
+    spacing_nm: f64,
+    count: usize,
+}
+
+impl WavelengthGrid {
+    /// Creates a grid with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`, `start_nm <= 0`, or `spacing_nm <= 0`.
+    pub fn new(start_nm: f64, spacing_nm: f64, count: usize) -> Self {
+        assert!(count > 0, "grid needs at least one channel");
+        assert!(start_nm > 0.0, "start wavelength must be positive");
+        assert!(spacing_nm > 0.0, "channel spacing must be positive");
+        Self { start_nm, spacing_nm, count }
+    }
+
+    /// Standard dense C-band grid: 1550.0 nm start, 0.8 nm (100 GHz)
+    /// spacing — the usual choice for silicon-photonic accelerators.
+    pub fn dense_cband(count: usize) -> Self {
+        Self::new(1550.0, 0.8, count)
+    }
+
+    /// Number of channels.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the grid has zero channels (never true by construction,
+    /// provided for `len`/`is_empty` pairing).
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Channel spacing in nanometres.
+    pub fn spacing_nm(&self) -> f64 {
+        self.spacing_nm
+    }
+
+    /// Returns the `i`-th channel id, or `None` past the end.
+    pub fn channel(&self, i: usize) -> Option<ChannelId> {
+        (i < self.count).then_some(ChannelId(i))
+    }
+
+    /// Center wavelength of `ch` in nanometres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ch` is outside this grid.
+    pub fn wavelength_nm(&self, ch: ChannelId) -> f64 {
+        assert!(ch.0 < self.count, "channel {ch} outside grid of {}", self.count);
+        self.start_nm + ch.0 as f64 * self.spacing_nm
+    }
+
+    /// Iterator over all channel ids.
+    pub fn channels(&self) -> impl Iterator<Item = ChannelId> + '_ {
+        (0..self.count).map(ChannelId)
+    }
+
+    /// Spectral distance between two channels in nanometres.
+    pub fn separation_nm(&self, a: ChannelId, b: ChannelId) -> f64 {
+        (self.wavelength_nm(a) - self.wavelength_nm(b)).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_cband_layout() {
+        let g = WavelengthGrid::dense_cband(4);
+        assert_eq!(g.len(), 4);
+        assert!(!g.is_empty());
+        assert_eq!(g.wavelength_nm(ChannelId(0)), 1550.0);
+        assert!((g.wavelength_nm(ChannelId(3)) - 1552.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channel_lookup_bounds() {
+        let g = WavelengthGrid::dense_cband(2);
+        assert_eq!(g.channel(1), Some(ChannelId(1)));
+        assert_eq!(g.channel(2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside grid")]
+    fn wavelength_of_foreign_channel_panics() {
+        let g = WavelengthGrid::dense_cband(2);
+        g.wavelength_nm(ChannelId(5));
+    }
+
+    #[test]
+    fn channels_iterate_in_order() {
+        let g = WavelengthGrid::dense_cband(3);
+        let ids: Vec<_> = g.channels().collect();
+        assert_eq!(ids, vec![ChannelId(0), ChannelId(1), ChannelId(2)]);
+    }
+
+    #[test]
+    fn separation_symmetric() {
+        let g = WavelengthGrid::new(1300.0, 1.6, 8);
+        let a = ChannelId(1);
+        let b = ChannelId(5);
+        assert_eq!(g.separation_nm(a, b), g.separation_nm(b, a));
+        assert!((g.separation_nm(a, b) - 6.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_channel() {
+        assert_eq!(ChannelId(3).to_string(), "λ3");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_rejected() {
+        WavelengthGrid::new(1550.0, 0.8, 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Accelerator architecture configurations.
+//!
+//! A Lightening-Transformer-style accelerator consists of DPTC cores, each
+//! with an `rows × cols` array of DDot units sharing `wavelengths` WDM
+//! channels. Every cycle a core multiplies an `rows × wavelengths` operand
+//! tile against a `wavelengths × cols` tile: the row operand bank needs
+//! `rows × wavelengths` MZMs, the column bank `cols × wavelengths`, and
+//! each DDot output feeds one ADC.
+
+use serde::{Deserialize, Serialize};
+
+/// An accelerator configuration with derived device counts.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_power::ArchConfig;
+///
+/// let lt_b = ArchConfig::lt_b();
+/// assert_eq!(lt_b.mzm_count(), 1024);
+/// assert_eq!(lt_b.dac_count(), 2048);
+/// assert_eq!(lt_b.adc_count(), 512);
+/// assert_eq!(lt_b.macs_per_cycle(), 4096);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchConfig {
+    /// Number of DPTC cores.
+    pub cores: usize,
+    /// DDot array rows per core.
+    pub rows: usize,
+    /// DDot array columns per core.
+    pub cols: usize,
+    /// WDM wavelengths per DDot (dot-product length per cycle).
+    pub wavelengths: usize,
+    /// Modulation clock in hertz.
+    pub clock_hz: f64,
+}
+
+impl ArchConfig {
+    /// The LT-B configuration used throughout the paper's evaluation:
+    /// 8 cores, 8×8 DDot arrays, 8 wavelengths, 5 GHz modulation.
+    pub fn lt_b() -> Self {
+        Self { cores: 8, rows: 8, cols: 8, wavelengths: 8, clock_hz: 5e9 }
+    }
+
+    /// A small variant (extension): half the cores of LT-B. Used by the
+    /// architecture-scaling ablation.
+    pub fn lt_s() -> Self {
+        Self { cores: 4, ..Self::lt_b() }
+    }
+
+    /// A large variant (extension): double the cores of LT-B.
+    pub fn lt_l() -> Self {
+        Self { cores: 16, ..Self::lt_b() }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores == 0 {
+            return Err("cores must be nonzero".into());
+        }
+        if self.rows == 0 || self.cols == 0 {
+            return Err("DDot array dimensions must be nonzero".into());
+        }
+        if self.wavelengths == 0 {
+            return Err("wavelength count must be nonzero".into());
+        }
+        if !(self.clock_hz.is_finite() && self.clock_hz > 0.0) {
+            return Err("clock must be positive and finite".into());
+        }
+        Ok(())
+    }
+
+    /// MZMs across all operand banks:
+    /// `cores × (rows + cols) × wavelengths`.
+    pub fn mzm_count(&self) -> usize {
+        self.cores * (self.rows + self.cols) * self.wavelengths
+    }
+
+    /// Baseline electrical DACs: two per MZM (push-pull `V₁`, `V₂`).
+    pub fn dac_count(&self) -> usize {
+        2 * self.mzm_count()
+    }
+
+    /// P-DAC units: one per MZM (the unit integrates its modulator).
+    pub fn pdac_count(&self) -> usize {
+        self.mzm_count()
+    }
+
+    /// Output ADCs: one per DDot unit.
+    pub fn adc_count(&self) -> usize {
+        self.cores * self.rows * self.cols
+    }
+
+    /// Multiply-accumulates completed per modulation cycle.
+    pub fn macs_per_cycle(&self) -> usize {
+        self.cores * self.rows * self.cols * self.wavelengths
+    }
+
+    /// Peak throughput in MAC/s.
+    pub fn peak_macs_per_second(&self) -> f64 {
+        self.macs_per_cycle() as f64 * self.clock_hz
+    }
+
+    /// Scale factor of the support logic (SRAM, controller) relative to
+    /// the LT-B reference size.
+    pub fn support_scale(&self) -> f64 {
+        self.cores as f64 / 8.0
+    }
+}
+
+impl Default for ArchConfig {
+    fn default() -> Self {
+        Self::lt_b()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lt_b_counts() {
+        let a = ArchConfig::lt_b();
+        assert!(a.validate().is_ok());
+        assert_eq!(a.mzm_count(), 1024);
+        assert_eq!(a.dac_count(), 2048);
+        assert_eq!(a.pdac_count(), 1024);
+        assert_eq!(a.adc_count(), 512);
+        assert_eq!(a.macs_per_cycle(), 4096);
+        assert!((a.peak_macs_per_second() - 2.048e13).abs() < 1.0);
+        assert_eq!(a.support_scale(), 1.0);
+    }
+
+    #[test]
+    fn counts_scale_with_cores() {
+        let mut a = ArchConfig::lt_b();
+        a.cores = 16;
+        assert_eq!(a.mzm_count(), 2048);
+        assert_eq!(a.support_scale(), 2.0);
+    }
+
+    #[test]
+    fn asymmetric_arrays() {
+        let a = ArchConfig { cores: 1, rows: 4, cols: 16, wavelengths: 8, clock_hz: 1e9 };
+        assert_eq!(a.mzm_count(), 160);
+        assert_eq!(a.adc_count(), 64);
+        assert_eq!(a.macs_per_cycle(), 512);
+    }
+
+    #[test]
+    fn validation_messages() {
+        let mut a = ArchConfig::lt_b();
+        a.cores = 0;
+        assert!(a.validate().unwrap_err().contains("cores"));
+        let mut a = ArchConfig::lt_b();
+        a.clock_hz = f64::NAN;
+        assert!(a.validate().unwrap_err().contains("clock"));
+        let mut a = ArchConfig::lt_b();
+        a.wavelengths = 0;
+        assert!(a.validate().unwrap_err().contains("wavelength"));
+    }
+
+    #[test]
+    fn default_is_lt_b() {
+        assert_eq!(ArchConfig::default(), ArchConfig::lt_b());
+    }
+}

@@ -1,0 +1,155 @@
+//! Hardware components and their bit-precision scaling laws.
+//!
+//! Each component of the LT-B power breakdown (paper Figs. 5 and 11) gets
+//! a parametric unit model. The scaling laws encode the physics the paper
+//! leans on:
+//!
+//! * **Electrical DAC** — `E(b) = α·b + β·2^b` pJ/conversion: a linear
+//!   digital-switching term plus an exponential capacitor-array term (the
+//!   switched-capacitor architecture of the paper's reference DAC, Caragiulo et al.).
+//!   This is why "as bit precision increases ... DAC power consumption
+//!   becomes a critical factor".
+//! * **ADC** — linear in `b` (the paper's ADC slice grows only ~2× from
+//!   4-bit to 8-bit, so its model is SAR-like with bit-serial cycles).
+//! * **Laser** — exponential per-bit growth: each extra bit of detected
+//!   precision demands a larger optical SNR budget.
+//! * **P-DAC unit** — linear in `b`: one photodetector + TIA branch per
+//!   bit slot, plus the integrated MZM bias ("its power usage dependent on
+//!   the reference voltage").
+//! * **MZM driver, controller, SRAM + digital** — the baseline's
+//!   remaining electrical support, linear or constant in `b`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A component of the accelerator power breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Component {
+    /// Comb laser wall-plug power.
+    Laser,
+    /// Electrical DAC array (baseline only).
+    Dac,
+    /// DAC control logic computing drive voltages (baseline only).
+    Controller,
+    /// MZM driver amplifiers (baseline only; the P-DAC integrates its MZM).
+    MzmDriver,
+    /// P-DAC units: per-bit PD + TIA branches, summing network, MZM bias.
+    PDac,
+    /// Output ADC array.
+    Adc,
+    /// On-chip SRAM and remaining digital logic.
+    SramDigital,
+}
+
+impl Component {
+    /// All components in canonical display order.
+    pub const ALL: [Component; 7] = [
+        Component::Laser,
+        Component::Dac,
+        Component::Controller,
+        Component::MzmDriver,
+        Component::PDac,
+        Component::Adc,
+        Component::SramDigital,
+    ];
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Component::Laser => "Laser",
+            Component::Dac => "DAC",
+            Component::Controller => "Controller",
+            Component::MzmDriver => "MZM driver",
+            Component::PDac => "P-DAC",
+            Component::Adc => "ADC",
+            Component::SramDigital => "SRAM+digital",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Per-conversion energy of the baseline electrical DAC:
+/// `E(b) = linear_pj_per_bit·b + exp_pj·2^b` picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DacEnergyLaw {
+    /// Digital switching term coefficient (pJ per bit).
+    pub linear_pj_per_bit: f64,
+    /// Capacitor-array term coefficient (pJ per `2^b`).
+    pub exp_pj: f64,
+}
+
+impl DacEnergyLaw {
+    /// Energy per conversion at `bits` precision, in picojoules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `2..=16`.
+    pub fn energy_pj(&self, bits: u8) -> f64 {
+        assert!((2..=16).contains(&bits), "bits outside 2..=16");
+        self.linear_pj_per_bit * bits as f64 + self.exp_pj * (1u64 << bits) as f64
+    }
+}
+
+/// Laser wall-plug power law: `P(b) = base_watts · growth^(b − 4)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LaserPowerLaw {
+    /// Wall-plug power at the 4-bit reference point, in watts.
+    pub base_watts_at_4bit: f64,
+    /// Multiplicative growth per extra bit of precision.
+    pub growth_per_bit: f64,
+}
+
+impl LaserPowerLaw {
+    /// Wall-plug watts at `bits` precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `2..=16`.
+    pub fn watts(&self, bits: u8) -> f64 {
+        assert!((2..=16).contains(&bits), "bits outside 2..=16");
+        self.base_watts_at_4bit * self.growth_per_bit.powi(bits as i32 - 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dac_law_is_superlinear() {
+        let law = DacEnergyLaw { linear_pj_per_bit: 0.05, exp_pj: 0.01 };
+        let e4 = law.energy_pj(4);
+        let e8 = law.energy_pj(8);
+        assert!(e8 > 2.0 * e4, "doubling bits must more than double energy");
+    }
+
+    #[test]
+    fn dac_law_components() {
+        let law = DacEnergyLaw { linear_pj_per_bit: 1.0, exp_pj: 0.0 };
+        assert_eq!(law.energy_pj(8), 8.0);
+        let law = DacEnergyLaw { linear_pj_per_bit: 0.0, exp_pj: 1.0 };
+        assert_eq!(law.energy_pj(4), 16.0);
+    }
+
+    #[test]
+    fn laser_law_reference_point() {
+        let law = LaserPowerLaw { base_watts_at_4bit: 5.0, growth_per_bit: 1.3 };
+        assert_eq!(law.watts(4), 5.0);
+        assert!((law.watts(6) - 5.0 * 1.69).abs() < 1e-9);
+        assert!(law.watts(3) < 5.0);
+    }
+
+    #[test]
+    fn component_display_and_order() {
+        assert_eq!(Component::Laser.to_string(), "Laser");
+        assert_eq!(Component::PDac.to_string(), "P-DAC");
+        assert_eq!(Component::ALL.len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits outside")]
+    fn dac_law_rejects_bad_bits() {
+        DacEnergyLaw { linear_pj_per_bit: 1.0, exp_pj: 1.0 }.energy_pj(1);
+    }
+}

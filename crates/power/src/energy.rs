@@ -1,0 +1,387 @@
+//! Workload energy integration.
+//!
+//! Converts an operation trace (MACs, bytes moved and element-wise ops per
+//! operation class) into the per-class energy breakdowns of paper
+//! Figs. 9/10. The model is the paper's: the drive path changes *compute*
+//! energy (power × GEMM time) but "does not affect the energy consumption
+//! associated with data movement", which is why attention — with its
+//! smaller data-movement share — saves a larger fraction than the FFN.
+
+use crate::model::PowerModel;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Operation classes of a transformer layer, as in Figs. 9/10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Self-attention: QKV/output projections and score/value matmuls.
+    Attention,
+    /// The position-wise feed-forward network.
+    Ffn,
+    /// Everything else: softmax, layer norm, GELU, residuals, control.
+    Other,
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpClass::Attention => f.write_str("Attention"),
+            OpClass::Ffn => f.write_str("FFN"),
+            OpClass::Other => f.write_str("Other"),
+        }
+    }
+}
+
+/// One class's activity within a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Operation class.
+    pub class: OpClass,
+    /// Multiply-accumulates executed on the photonic tensor cores.
+    pub macs: u64,
+    /// Bytes moved through the memory system *at 8-bit precision*; the
+    /// model rescales by `bits / 8` since traffic is proportional to word
+    /// width.
+    pub bytes_at_8bit: u64,
+    /// Non-GEMM element-wise operations (softmax/LN/GELU/residual).
+    pub elementwise_ops: u64,
+}
+
+/// A named workload trace (e.g. one BERT-base inference).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpTrace {
+    /// Workload name for reports.
+    pub name: String,
+    /// Per-class activity.
+    pub entries: Vec<TraceEntry>,
+}
+
+impl OpTrace {
+    /// Total MACs across classes.
+    pub fn total_macs(&self) -> u64 {
+        self.entries.iter().map(|e| e.macs).sum()
+    }
+
+    /// The entry for a class, if present.
+    pub fn entry(&self, class: OpClass) -> Option<&TraceEntry> {
+        self.entries.iter().find(|e| e.class == class)
+    }
+}
+
+/// Energy attributed to one class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassEnergy {
+    /// Operation class.
+    pub class: OpClass,
+    /// Photonic-core compute energy, joules.
+    pub compute_j: f64,
+    /// Data movement energy, joules.
+    pub movement_j: f64,
+    /// Element-wise digital energy, joules.
+    pub elementwise_j: f64,
+}
+
+impl ClassEnergy {
+    /// Total energy of the class.
+    pub fn total_j(&self) -> f64 {
+        self.compute_j + self.movement_j + self.elementwise_j
+    }
+}
+
+/// A full per-class energy breakdown for one workload at one precision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Workload name.
+    pub workload: String,
+    /// Bit precision.
+    pub bits: u8,
+    /// Per-class energies.
+    pub classes: Vec<ClassEnergy>,
+}
+
+impl EnergyBreakdown {
+    /// Total energy, joules.
+    pub fn total_j(&self) -> f64 {
+        self.classes.iter().map(ClassEnergy::total_j).sum()
+    }
+
+    /// The entry for a class, if present.
+    pub fn class(&self, class: OpClass) -> Option<&ClassEnergy> {
+        self.classes.iter().find(|c| c.class == class)
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} @ {}-bit: {:.3} mJ",
+            self.workload,
+            self.bits,
+            self.total_j() * 1e3
+        )?;
+        for c in &self.classes {
+            writeln!(
+                f,
+                "  {:<10} compute {:>8.3} mJ | movement {:>8.3} mJ | other {:>8.3} mJ",
+                c.class.to_string(),
+                c.compute_j * 1e3,
+                c.movement_j * 1e3,
+                c.elementwise_j * 1e3,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The workload energy model: a [`PowerModel`] plus the movement and
+/// element-wise coefficients from its technology parameters.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_power::{ArchConfig, TechParams, EnergyModel, OpTrace, TraceEntry, OpClass};
+/// use pdac_power::model::{DriverKind, PowerModel};
+///
+/// let pm = PowerModel::new(ArchConfig::lt_b(), TechParams::calibrated(), DriverKind::PhotonicDac);
+/// let em = EnergyModel::new(pm);
+/// let trace = OpTrace {
+///     name: "toy".into(),
+///     entries: vec![TraceEntry { class: OpClass::Attention, macs: 1_000_000, bytes_at_8bit: 10_000, elementwise_ops: 0 }],
+/// };
+/// let e = em.energy(&trace, 8);
+/// assert!(e.total_j() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    power: PowerModel,
+}
+
+impl EnergyModel {
+    /// Wraps a power model.
+    pub fn new(power: PowerModel) -> Self {
+        Self { power }
+    }
+
+    /// The underlying power model.
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power
+    }
+
+    /// Computes the per-class energy breakdown for `trace` at `bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `2..=16`.
+    pub fn energy(&self, trace: &OpTrace, bits: u8) -> EnergyBreakdown {
+        assert!((2..=16).contains(&bits), "bits outside 2..=16");
+        let e_mac = self.power.energy_per_mac_j(bits);
+        let tech = self.power.tech();
+        let byte_scale = bits as f64 / 8.0;
+        let classes = trace
+            .entries
+            .iter()
+            .map(|entry| {
+                let rate_pj = match entry.class {
+                    OpClass::Attention => tech.attention_movement_pj_per_byte,
+                    OpClass::Ffn => tech.ffn_movement_pj_per_byte,
+                    // "Other" traffic is negligible next to its compute:
+                    // treat it at the attention (SRAM) rate.
+                    OpClass::Other => tech.attention_movement_pj_per_byte,
+                };
+                ClassEnergy {
+                    class: entry.class,
+                    compute_j: entry.macs as f64 * e_mac,
+                    movement_j: entry.bytes_at_8bit as f64 * byte_scale * rate_pj * 1e-12,
+                    elementwise_j: entry.elementwise_ops as f64
+                        * tech.elementwise_pj_per_op_per_bit
+                        * bits as f64
+                        * 1e-12,
+                }
+            })
+            .collect();
+        EnergyBreakdown { workload: trace.name.clone(), bits, classes }
+    }
+}
+
+/// Fractional energy saving of `pdac` over `baseline` for the same trace
+/// and precision, overall and per class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SavingsReport {
+    /// Workload name.
+    pub workload: String,
+    /// Bit precision.
+    pub bits: u8,
+    /// Overall fractional saving.
+    pub total: f64,
+    /// Per-class fractional savings.
+    pub per_class: Vec<(OpClass, f64)>,
+}
+
+/// Compares two energy breakdowns of the same trace.
+///
+/// # Panics
+///
+/// Panics if the breakdowns cover different workloads/precisions.
+pub fn savings(baseline: &EnergyBreakdown, pdac: &EnergyBreakdown) -> SavingsReport {
+    assert_eq!(baseline.workload, pdac.workload, "workload mismatch");
+    assert_eq!(baseline.bits, pdac.bits, "precision mismatch");
+    let per_class = baseline
+        .classes
+        .iter()
+        .filter_map(|b| {
+            pdac.class(b.class)
+                .map(|p| (b.class, 1.0 - p.total_j() / b.total_j()))
+        })
+        .collect();
+    SavingsReport {
+        workload: baseline.workload.clone(),
+        bits: baseline.bits,
+        total: 1.0 - pdac.total_j() / baseline.total_j(),
+        per_class,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::ArchConfig;
+    use crate::model::DriverKind;
+    use crate::presets::TechParams;
+
+    fn model(driver: DriverKind) -> EnergyModel {
+        EnergyModel::new(PowerModel::new(
+            ArchConfig::lt_b(),
+            TechParams::calibrated(),
+            driver,
+        ))
+    }
+
+    fn toy_trace() -> OpTrace {
+        OpTrace {
+            name: "toy".into(),
+            entries: vec![
+                TraceEntry {
+                    class: OpClass::Attention,
+                    macs: 327_000_000,
+                    bytes_at_8bit: 3_300_000,
+                    elementwise_ops: 400_000,
+                },
+                TraceEntry {
+                    class: OpClass::Ffn,
+                    macs: 604_000_000,
+                    bytes_at_8bit: 5_200_000,
+                    elementwise_ops: 400_000,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn compute_energy_scales_with_macs() {
+        let em = model(DriverKind::ElectricalDac);
+        let mut t = toy_trace();
+        let e1 = em.energy(&t, 8);
+        t.entries[0].macs *= 2;
+        let e2 = em.energy(&t, 8);
+        let a1 = e1.class(OpClass::Attention).unwrap();
+        let a2 = e2.class(OpClass::Attention).unwrap();
+        assert!((a2.compute_j / a1.compute_j - 2.0).abs() < 1e-12);
+        assert_eq!(a1.movement_j, a2.movement_j);
+    }
+
+    #[test]
+    fn movement_scales_with_bits() {
+        let em = model(DriverKind::PhotonicDac);
+        let t = toy_trace();
+        let e4 = em.energy(&t, 4);
+        let e8 = em.energy(&t, 8);
+        let m4 = e4.class(OpClass::Ffn).unwrap().movement_j;
+        let m8 = e8.class(OpClass::Ffn).unwrap().movement_j;
+        assert!((m8 / m4 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn movement_identical_across_drivers() {
+        // "P-DAC does not affect the energy consumption associated with
+        // data movement."
+        let base = model(DriverKind::ElectricalDac);
+        let pdac = model(DriverKind::PhotonicDac);
+        let t = toy_trace();
+        let eb = base.energy(&t, 8);
+        let ep = pdac.energy(&t, 8);
+        for class in [OpClass::Attention, OpClass::Ffn] {
+            assert_eq!(
+                eb.class(class).unwrap().movement_j,
+                ep.class(class).unwrap().movement_j
+            );
+        }
+    }
+
+    #[test]
+    fn attention_saves_more_than_ffn() {
+        let base = model(DriverKind::ElectricalDac);
+        let pdac = model(DriverKind::PhotonicDac);
+        let t = toy_trace();
+        for bits in [4u8, 8] {
+            let rep = savings(&base.energy(&t, bits), &pdac.energy(&t, bits));
+            let attn = rep
+                .per_class
+                .iter()
+                .find(|(c, _)| *c == OpClass::Attention)
+                .unwrap()
+                .1;
+            let ffn = rep.per_class.iter().find(|(c, _)| *c == OpClass::Ffn).unwrap().1;
+            assert!(attn > ffn, "bits={bits}: attention {attn} vs ffn {ffn}");
+        }
+    }
+
+    #[test]
+    fn eight_bit_saves_more_than_four_bit() {
+        let base = model(DriverKind::ElectricalDac);
+        let pdac = model(DriverKind::PhotonicDac);
+        let t = toy_trace();
+        let s4 = savings(&base.energy(&t, 4), &pdac.energy(&t, 4)).total;
+        let s8 = savings(&base.energy(&t, 8), &pdac.energy(&t, 8)).total;
+        assert!(s8 > s4);
+    }
+
+    #[test]
+    fn class_savings_bounded_by_compute_saving() {
+        // No class can save a larger fraction than the pure compute
+        // saving (movement and elementwise are unchanged).
+        let base = model(DriverKind::ElectricalDac);
+        let pdac = model(DriverKind::PhotonicDac);
+        let compute_saving = crate::model::power_saving(
+            base.power_model(),
+            pdac.power_model(),
+            8,
+        );
+        let t = toy_trace();
+        let rep = savings(&base.energy(&t, 8), &pdac.energy(&t, 8));
+        for (class, s) in &rep.per_class {
+            assert!(*s <= compute_saving + 1e-12, "{class}: {s}");
+        }
+        assert!(rep.total <= compute_saving);
+    }
+
+    #[test]
+    fn display_contains_classes() {
+        let em = model(DriverKind::PhotonicDac);
+        let s = em.energy(&toy_trace(), 8).to_string();
+        assert!(s.contains("Attention"));
+        assert!(s.contains("FFN"));
+        assert!(s.contains("mJ"));
+    }
+
+    #[test]
+    #[should_panic(expected = "workload mismatch")]
+    fn savings_rejects_different_workloads() {
+        let em = model(DriverKind::PhotonicDac);
+        let a = em.energy(&toy_trace(), 8);
+        let mut t2 = toy_trace();
+        t2.name = "different".into();
+        let b = em.energy(&t2, 8);
+        savings(&a, &b);
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! Power and energy models for photonic transformer accelerators.
+//!
+//! This crate regenerates the paper's entire evaluation (Figs. 5, 9, 10
+//! and 11) from a bottom-up component model:
+//!
+//! * [`components`] — per-device unit power/energy models with
+//!   bit-precision scaling laws (electrical DAC, ADC, laser, P-DAC unit,
+//!   MZM driver, DAC controller, SRAM + digital logic);
+//! * [`arch`] — accelerator configurations and derived device counts;
+//!   [`arch::ArchConfig::lt_b`] is the LT-B configuration the paper
+//!   profiles;
+//! * [`model`] — aggregation of counts × unit powers into per-component
+//!   breakdowns for either MZM drive path;
+//! * [`energy`] — workload energy: compute (power × GEMM time), data
+//!   movement (per-class pJ/byte), and non-GEMM element-wise operations;
+//! * [`presets`] — the calibrated technology parameters. The paper does
+//!   not publish its raw component table, so the constants were solved
+//!   from its reported percentages; DESIGN.md §5 documents the closure.
+//!
+//! # Examples
+//!
+//! ```
+//! use pdac_power::arch::ArchConfig;
+//! use pdac_power::model::{DriverKind, PowerModel};
+//! use pdac_power::presets::TechParams;
+//!
+//! let arch = ArchConfig::lt_b();
+//! let tech = TechParams::calibrated();
+//! let baseline = PowerModel::new(arch.clone(), tech.clone(), DriverKind::ElectricalDac);
+//! let pdac = PowerModel::new(arch, tech, DriverKind::PhotonicDac);
+//! let saving = 1.0 - pdac.breakdown(8).total_watts() / baseline.breakdown(8).total_watts();
+//! assert!((saving - 0.477).abs() < 0.01); // the paper's headline 47.7%
+//! ```
+
+pub mod arch;
+pub mod components;
+pub mod energy;
+pub mod model;
+pub mod presets;
+pub mod report;
+
+pub use arch::ArchConfig;
+pub use components::Component;
+pub use energy::{EnergyBreakdown, EnergyModel, OpClass, OpTrace, TraceEntry};
+pub use model::{DriverKind, PowerBreakdown, PowerModel};
+pub use presets::TechParams;

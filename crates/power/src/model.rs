@@ -1,0 +1,442 @@
+//! Architecture-level power aggregation.
+//!
+//! Combines an [`ArchConfig`]'s device counts with [`TechParams`] unit
+//! models into the per-component power breakdowns of paper Figs. 5
+//! and 11. The two drive paths differ exactly as the paper describes:
+//! the baseline spends power on DACs, their controller and MZM drivers;
+//! the P-DAC design replaces all three with the P-DAC units.
+
+use crate::arch::ArchConfig;
+use crate::components::Component;
+use crate::presets::TechParams;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which MZM drive path the accelerator uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DriverKind {
+    /// Controller + electrical DAC + MZM driver (Lightening-Transformer
+    /// baseline).
+    ElectricalDac,
+    /// P-DAC units with integrated MZMs (this paper).
+    PhotonicDac,
+    /// Hybrid (extension): the *row* operand bank (dynamic activations)
+    /// uses P-DACs, the *column* bank (weight-like operands whose exact
+    /// values matter more) keeps the electrical path. Half the DACs, a
+    /// down-scaled controller, half the P-DAC units.
+    Hybrid,
+}
+
+impl fmt::Display for DriverKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverKind::ElectricalDac => f.write_str("DAC baseline"),
+            DriverKind::PhotonicDac => f.write_str("P-DAC"),
+            DriverKind::Hybrid => f.write_str("hybrid (P-DAC rows / e-DAC cols)"),
+        }
+    }
+}
+
+/// A per-component power breakdown at one precision point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// Bit precision of the operating point.
+    pub bits: u8,
+    /// Drive path.
+    pub driver: DriverKind,
+    entries: Vec<(Component, f64)>,
+}
+
+impl PowerBreakdown {
+    /// Components with nonzero power, in canonical order.
+    pub fn entries(&self) -> &[(Component, f64)] {
+        &self.entries
+    }
+
+    /// Total power in watts.
+    pub fn total_watts(&self) -> f64 {
+        self.entries.iter().map(|(_, w)| w).sum()
+    }
+
+    /// Power of one component (0 if absent).
+    pub fn watts(&self, c: Component) -> f64 {
+        self.entries
+            .iter()
+            .find(|(k, _)| *k == c)
+            .map_or(0.0, |(_, w)| *w)
+    }
+
+    /// Fractional share of one component (0 if absent).
+    pub fn share(&self, c: Component) -> f64 {
+        self.watts(c) / self.total_watts()
+    }
+}
+
+impl fmt::Display for PowerBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} @ {}-bit: {:.2} W",
+            self.driver,
+            self.bits,
+            self.total_watts()
+        )?;
+        for (c, w) in &self.entries {
+            writeln!(f, "  {c:<12} {w:>8.3} W  ({:>5.1}%)", 100.0 * w / self.total_watts())?;
+        }
+        Ok(())
+    }
+}
+
+/// The power model: architecture + technology + drive path.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_power::{ArchConfig, TechParams};
+/// use pdac_power::model::{DriverKind, PowerModel};
+/// use pdac_power::Component;
+///
+/// let m = PowerModel::new(ArchConfig::lt_b(), TechParams::calibrated(), DriverKind::ElectricalDac);
+/// let b8 = m.breakdown(8);
+/// // Fig. 5(b): 8-bit DACs are ~50.5% of LT-B power.
+/// assert!((b8.share(Component::Dac) - 0.505).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    arch: ArchConfig,
+    tech: TechParams,
+    driver: DriverKind,
+}
+
+impl PowerModel {
+    /// Creates a power model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the architecture fails validation.
+    pub fn new(arch: ArchConfig, tech: TechParams, driver: DriverKind) -> Self {
+        arch.validate().expect("architecture must be valid");
+        Self { arch, tech, driver }
+    }
+
+    /// The architecture.
+    pub fn arch(&self) -> &ArchConfig {
+        &self.arch
+    }
+
+    /// The technology parameters.
+    pub fn tech(&self) -> &TechParams {
+        &self.tech
+    }
+
+    /// The drive path.
+    pub fn driver(&self) -> DriverKind {
+        self.driver
+    }
+
+    /// Computes the per-component breakdown at `bits` precision under a
+    /// fully compute-bound workload (every converter active every cycle) —
+    /// the paper's Fig. 5/11 operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `2..=16`.
+    pub fn breakdown(&self, bits: u8) -> PowerBreakdown {
+        assert!((2..=16).contains(&bits), "bits outside 2..=16");
+        let b = bits as f64;
+        let f = self.arch.clock_hz;
+        let scale = self.arch.support_scale();
+        let mut entries = Vec::new();
+        entries.push((Component::Laser, self.tech.laser.watts(bits) * scale));
+        match self.driver {
+            DriverKind::ElectricalDac => {
+                let dac_w = self.arch.dac_count() as f64
+                    * self.tech.dac.energy_pj(bits)
+                    * 1e-12
+                    * f;
+                entries.push((Component::Dac, dac_w));
+                entries.push((Component::Controller, self.tech.controller_watts * scale));
+                entries.push((
+                    Component::MzmDriver,
+                    self.arch.mzm_count() as f64 * self.tech.mzm_driver_watts_per_bit * b,
+                ));
+            }
+            DriverKind::PhotonicDac => {
+                entries.push((
+                    Component::PDac,
+                    self.arch.pdac_count() as f64 * self.tech.pdac_unit_watts_per_bit * b,
+                ));
+            }
+            DriverKind::Hybrid => {
+                // Electrical path on half the modulators (column banks),
+                // P-DAC units on the other half.
+                let dac_w = self.arch.dac_count() as f64 / 2.0
+                    * self.tech.dac.energy_pj(bits)
+                    * 1e-12
+                    * f;
+                entries.push((Component::Dac, dac_w));
+                entries.push((
+                    Component::Controller,
+                    self.tech.controller_watts * scale / 2.0,
+                ));
+                entries.push((
+                    Component::MzmDriver,
+                    self.arch.mzm_count() as f64 / 2.0
+                        * self.tech.mzm_driver_watts_per_bit
+                        * b,
+                ));
+                entries.push((
+                    Component::PDac,
+                    self.arch.pdac_count() as f64 / 2.0
+                        * self.tech.pdac_unit_watts_per_bit
+                        * b,
+                ));
+            }
+        }
+        entries.push((
+            Component::Adc,
+            self.arch.adc_count() as f64 * self.tech.adc_pj_per_bit * b * 1e-12 * f,
+        ));
+        entries.push((
+            Component::SramDigital,
+            self.tech.sram_digital_watts_per_bit * b * scale,
+        ));
+        PowerBreakdown { bits, driver: self.driver, entries }
+    }
+
+    /// Energy per MAC at `bits` precision, in joules — total power over
+    /// peak throughput. This is the compute-energy coefficient of the
+    /// workload model.
+    pub fn energy_per_mac_j(&self, bits: u8) -> f64 {
+        self.breakdown(bits).total_watts() / self.arch.peak_macs_per_second()
+    }
+
+    /// Breakdown at a partial duty cycle `utilization ∈ [0, 1]`: the
+    /// per-sample converters (DAC/ADC/P-DAC/MZM drivers) scale with
+    /// activity, while the laser, controller and SRAM/digital clocking
+    /// stay on — the regime of memory-bound phases such as KV-cache
+    /// decoding, where idle optics erode the P-DAC's relative advantage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `2..=16` or `utilization` outside
+    /// `[0, 1]`.
+    pub fn breakdown_at_utilization(&self, bits: u8, utilization: f64) -> PowerBreakdown {
+        assert!(
+            (0.0..=1.0).contains(&utilization),
+            "utilization must lie in [0, 1]"
+        );
+        let full = self.breakdown(bits);
+        let entries = full
+            .entries()
+            .iter()
+            .map(|&(c, w)| {
+                let scaled = match c {
+                    Component::Dac
+                    | Component::Adc
+                    | Component::PDac
+                    | Component::MzmDriver => w * utilization,
+                    Component::Laser | Component::Controller | Component::SramDigital => w,
+                };
+                (c, scaled)
+            })
+            .collect();
+        PowerBreakdown { bits, driver: self.driver, entries }
+    }
+}
+
+/// Fractional power saving of `pdac` relative to `baseline` at `bits`.
+pub fn power_saving(baseline: &PowerModel, pdac: &PowerModel, bits: u8) -> f64 {
+    1.0 - pdac.breakdown(bits).total_watts() / baseline.breakdown(bits).total_watts()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn models() -> (PowerModel, PowerModel) {
+        let arch = ArchConfig::lt_b();
+        let tech = TechParams::calibrated();
+        (
+            PowerModel::new(arch.clone(), tech.clone(), DriverKind::ElectricalDac),
+            PowerModel::new(arch, tech, DriverKind::PhotonicDac),
+        )
+    }
+
+    #[test]
+    fn fig5_dac_shares() {
+        let (base, _) = models();
+        let b4 = base.breakdown(4);
+        let b8 = base.breakdown(8);
+        assert!((b4.share(Component::Dac) - 0.218).abs() < 0.005, "4-bit {}", b4.share(Component::Dac));
+        assert!((b8.share(Component::Dac) - 0.505).abs() < 0.005, "8-bit {}", b8.share(Component::Dac));
+    }
+
+    #[test]
+    fn fig11_totals_and_savings() {
+        let (base, pdac) = models();
+        let p4 = pdac.breakdown(4).total_watts();
+        let p8 = pdac.breakdown(8).total_watts();
+        assert!((p4 - 11.81).abs() < 0.05, "4-bit P-DAC total {p4}");
+        assert!((p8 - 26.64).abs() < 0.15, "8-bit P-DAC total {p8}");
+        assert!((power_saving(&base, &pdac, 4) - 0.199).abs() < 0.005);
+        assert!((power_saving(&base, &pdac, 8) - 0.477).abs() < 0.005);
+    }
+
+    #[test]
+    fn fig11_component_shares() {
+        let (_, pdac) = models();
+        let p4 = pdac.breakdown(4);
+        let p8 = pdac.breakdown(8);
+        // 4-bit P-DAC: laser ≈ 46.5%, ADC ≈ 18%.
+        assert!((p4.share(Component::Laser) - 0.465).abs() < 0.01, "{}", p4.share(Component::Laser));
+        assert!((p4.share(Component::Adc) - 0.18).abs() < 0.01);
+        // 8-bit P-DAC: ADC 16.0%, P-DAC 20.1%, laser majority share.
+        assert!((p8.share(Component::Adc) - 0.16).abs() < 0.01);
+        assert!((p8.share(Component::PDac) - 0.201).abs() < 0.01);
+        assert!(p8.share(Component::Laser) > 0.5);
+    }
+
+    #[test]
+    fn pdac_breakdown_has_no_dac_components() {
+        let (_, pdac) = models();
+        let b = pdac.breakdown(8);
+        assert_eq!(b.watts(Component::Dac), 0.0);
+        assert_eq!(b.watts(Component::Controller), 0.0);
+        assert_eq!(b.watts(Component::MzmDriver), 0.0);
+        assert!(b.watts(Component::PDac) > 0.0);
+    }
+
+    #[test]
+    fn baseline_has_no_pdac_component() {
+        let (base, _) = models();
+        assert_eq!(base.breakdown(8).watts(Component::PDac), 0.0);
+        assert!(base.breakdown(8).watts(Component::Dac) > 0.0);
+    }
+
+    #[test]
+    fn savings_grow_with_precision() {
+        let (base, pdac) = models();
+        let mut prev = 0.0;
+        for bits in [4u8, 6, 8, 10, 12] {
+            let s = power_saving(&base, &pdac, bits);
+            assert!(s > prev, "saving at {bits} bits = {s} not > {prev}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn energy_per_mac_magnitude() {
+        let (base, _) = models();
+        let e8 = base.energy_per_mac_j(8);
+        // 50.98 W / 20.48 TMAC/s ≈ 2.49 pJ/MAC.
+        assert!((e8 - 2.49e-12).abs() < 0.05e-12, "e8={e8}");
+    }
+
+    #[test]
+    fn breakdown_totals_are_component_sums() {
+        let (base, pdac) = models();
+        for m in [&base, &pdac] {
+            let b = m.breakdown(6);
+            let sum: f64 = b.entries().iter().map(|(_, w)| w).sum();
+            assert!((sum - b.total_watts()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn display_formats_table() {
+        let (base, _) = models();
+        let s = base.breakdown(8).to_string();
+        assert!(s.contains("DAC baseline"));
+        assert!(s.contains("Laser"));
+        assert!(s.contains('%'));
+    }
+
+    #[test]
+    fn hybrid_sits_between_baseline_and_pdac() {
+        let arch = ArchConfig::lt_b();
+        let tech = TechParams::calibrated();
+        let base = PowerModel::new(arch.clone(), tech.clone(), DriverKind::ElectricalDac);
+        let hybrid = PowerModel::new(arch.clone(), tech.clone(), DriverKind::Hybrid);
+        let pdac = PowerModel::new(arch, tech, DriverKind::PhotonicDac);
+        for bits in [4u8, 8] {
+            let b = base.breakdown(bits).total_watts();
+            let h = hybrid.breakdown(bits).total_watts();
+            let p = pdac.breakdown(bits).total_watts();
+            assert!(p < h && h < b, "bits {bits}: {p} < {h} < {b} violated");
+        }
+        // The hybrid saving is near the midpoint of the full saving.
+        let s_h = power_saving(&base, &hybrid, 8);
+        let s_p = power_saving(&base, &pdac, 8);
+        assert!((s_h - s_p / 2.0).abs() < 0.03, "hybrid {s_h}, full {s_p}");
+    }
+
+    #[test]
+    fn hybrid_breakdown_has_both_paths() {
+        let m = PowerModel::new(
+            ArchConfig::lt_b(),
+            TechParams::calibrated(),
+            DriverKind::Hybrid,
+        );
+        let b = m.breakdown(8);
+        assert!(b.watts(Component::Dac) > 0.0);
+        assert!(b.watts(Component::PDac) > 0.0);
+        assert!(b.watts(Component::Controller) > 0.0);
+        assert!(b.to_string().contains("hybrid"));
+    }
+
+    #[test]
+    fn utilization_scales_only_converters() {
+        let (base, pdac) = models();
+        for m in [&base, &pdac] {
+            let full = m.breakdown(8);
+            let half = m.breakdown_at_utilization(8, 0.5);
+            let idle = m.breakdown_at_utilization(8, 0.0);
+            assert_eq!(half.watts(Component::Laser), full.watts(Component::Laser));
+            assert!(half.total_watts() < full.total_watts());
+            assert!(idle.total_watts() < half.total_watts());
+            // Idle still burns the laser + support.
+            assert!(idle.total_watts() > full.watts(Component::Laser));
+        }
+        let full = base.breakdown(8);
+        let half = base.breakdown_at_utilization(8, 0.5);
+        assert!(
+            (half.watts(Component::Dac) - full.watts(Component::Dac) / 2.0).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn full_utilization_matches_breakdown() {
+        let (base, _) = models();
+        assert_eq!(
+            base.breakdown_at_utilization(8, 1.0).total_watts(),
+            base.breakdown(8).total_watts()
+        );
+    }
+
+    #[test]
+    fn pdac_advantage_shrinks_when_idle() {
+        // At low duty the laser dominates both designs, so the relative
+        // saving collapses — the quantitative face of the paper's closing
+        // remark about laser-constrained energy.
+        let (base, pdac) = models();
+        let saving_at = |u: f64| {
+            1.0 - pdac.breakdown_at_utilization(8, u).total_watts()
+                / base.breakdown_at_utilization(8, u).total_watts()
+        };
+        assert!(saving_at(1.0) > saving_at(0.25));
+        assert!(saving_at(0.25) > saving_at(0.0));
+    }
+
+    #[test]
+    fn scaling_with_cores_is_linear() {
+        let tech = TechParams::calibrated();
+        let mut big = ArchConfig::lt_b();
+        big.cores = 16;
+        let small = PowerModel::new(ArchConfig::lt_b(), tech.clone(), DriverKind::PhotonicDac);
+        let large = PowerModel::new(big, tech, DriverKind::PhotonicDac);
+        let ratio = large.breakdown(8).total_watts() / small.breakdown(8).total_watts();
+        assert!((ratio - 2.0).abs() < 0.01);
+    }
+}

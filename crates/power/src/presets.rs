@@ -1,0 +1,113 @@
+//! Calibrated technology parameters.
+//!
+//! The paper reports percentages and totals but not its raw component
+//! table, so [`TechParams::calibrated`] pins constants solved from the
+//! paper's own numbers (the closure is documented in DESIGN.md §5):
+//!
+//! * Fig. 5: DAC share of LT-B power = 21.8% (4-bit) / 50.5% (8-bit),
+//! * Fig. 11: P-DAC totals 11.81 W (4-bit) / 26.64 W (8-bit) with savings
+//!   19.9% / 47.7%, ADC share 16.0% and P-DAC share 20.1% at 8-bit,
+//!   laser ≈ 46.5% of the 4-bit P-DAC design,
+//! * Figs. 9/10: per-class energy savings for BERT and DeiT.
+//!
+//! The struct is plain data: swap any constant to explore a different
+//! technology point.
+
+use crate::components::{DacEnergyLaw, LaserPowerLaw};
+use serde::{Deserialize, Serialize};
+
+/// All unit-level technology constants of the power/energy model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TechParams {
+    /// Electrical DAC per-conversion energy law.
+    pub dac: DacEnergyLaw,
+    /// ADC per-conversion energy: `adc_pj_per_bit · b` picojoules.
+    pub adc_pj_per_bit: f64,
+    /// Laser wall-plug power law.
+    pub laser: LaserPowerLaw,
+    /// P-DAC unit power: `pdac_unit_watts_per_bit · b` watts per modulator
+    /// (covers the per-bit PD + TIA branches, summing network and MZM bias).
+    pub pdac_unit_watts_per_bit: f64,
+    /// Baseline MZM driver power per modulator per bit, watts.
+    pub mzm_driver_watts_per_bit: f64,
+    /// Baseline DAC controller power at LT-B scale, watts (constant in `b`).
+    pub controller_watts: f64,
+    /// SRAM + digital support power per bit at LT-B scale, watts.
+    pub sram_digital_watts_per_bit: f64,
+    /// Effective attention-class data movement energy, pJ per byte
+    /// (operands mostly SRAM-resident).
+    pub attention_movement_pj_per_byte: f64,
+    /// Effective FFN-class data movement energy, pJ per byte (weight
+    /// streaming from DRAM dominates).
+    pub ffn_movement_pj_per_byte: f64,
+    /// Non-GEMM element-wise operation energy (softmax, layernorm, GELU,
+    /// residual, control): `elementwise_pj_per_op_per_bit · b` pJ per
+    /// element operation.
+    pub elementwise_pj_per_op_per_bit: f64,
+}
+
+impl TechParams {
+    /// The calibrated LT-B technology point (see module docs).
+    pub fn calibrated() -> Self {
+        Self {
+            dac: DacEnergyLaw { linear_pj_per_bit: 0.044_919, exp_pj: 0.008_411_5 },
+            adc_pj_per_bit: 0.208_01,
+            laser: LaserPowerLaw { base_watts_at_4bit: 5.51, growth_per_bit: 1.262 },
+            pdac_unit_watts_per_bit: 6.52e-4,
+            mzm_driver_watts_per_bit: 3.906_25e-4,
+            controller_watts: 0.79,
+            sram_digital_watts_per_bit: 0.375,
+            attention_movement_pj_per_byte: 32.8,
+            ffn_movement_pj_per_byte: 140.0,
+            elementwise_pj_per_op_per_bit: 33.8,
+        }
+    }
+}
+
+impl Default for TechParams {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_dac_energy_growth_is_8x_from_4_to_8_bits() {
+        // Fig. 5 + Fig. 11 imply an 8× DAC power ratio between 8-bit and
+        // 4-bit LT-B; the fitted law reproduces it.
+        let t = TechParams::calibrated();
+        let ratio = t.dac.energy_pj(8) / t.dac.energy_pj(4);
+        assert!((ratio - 8.0).abs() < 0.05, "ratio={ratio}");
+    }
+
+    #[test]
+    fn calibrated_laser_watts() {
+        let t = TechParams::calibrated();
+        assert!((t.laser.watts(4) - 5.51).abs() < 1e-9);
+        assert!((t.laser.watts(8) - 13.98).abs() < 0.05);
+    }
+
+    #[test]
+    fn dac_energy_magnitudes_are_physical() {
+        // Switched-capacitor DACs at multi-GS/s run at O(0.1..10) pJ/conv.
+        let t = TechParams::calibrated();
+        let e8 = t.dac.energy_pj(8);
+        assert!((0.1..10.0).contains(&e8), "e8={e8}");
+    }
+
+    #[test]
+    fn movement_rates_ordered() {
+        // DRAM-streaming FFN traffic must cost more per byte than the
+        // SRAM-resident attention traffic.
+        let t = TechParams::calibrated();
+        assert!(t.ffn_movement_pj_per_byte > 2.0 * t.attention_movement_pj_per_byte);
+    }
+
+    #[test]
+    fn default_is_calibrated() {
+        assert_eq!(TechParams::default(), TechParams::calibrated());
+    }
+}

@@ -1,0 +1,159 @@
+//! Tabular exporters for power and energy results.
+//!
+//! The bench harness prints human-readable reports; downstream analysis
+//! (plotting the figures, diffing runs) wants machine-readable tables.
+//! This module renders breakdowns as CSV and Markdown without pulling in
+//! a serialization framework.
+
+use crate::energy::EnergyBreakdown;
+use crate::model::PowerBreakdown;
+
+/// Escapes a CSV field (quotes fields containing separators/quotes).
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Renders a power breakdown as CSV with a header row.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_power::{ArchConfig, TechParams};
+/// use pdac_power::model::{DriverKind, PowerModel};
+/// use pdac_power::report::power_csv;
+///
+/// let m = PowerModel::new(ArchConfig::lt_b(), TechParams::calibrated(), DriverKind::PhotonicDac);
+/// let csv = power_csv(&m.breakdown(8));
+/// assert!(csv.starts_with("driver,bits,component,watts,share"));
+/// assert!(csv.contains("Laser"));
+/// ```
+pub fn power_csv(breakdown: &PowerBreakdown) -> String {
+    let mut out = String::from("driver,bits,component,watts,share\n");
+    let total = breakdown.total_watts();
+    for (component, watts) in breakdown.entries() {
+        out.push_str(&format!(
+            "{},{},{},{:.6},{:.6}\n",
+            csv_field(&breakdown.driver.to_string()),
+            breakdown.bits,
+            csv_field(&component.to_string()),
+            watts,
+            watts / total
+        ));
+    }
+    out
+}
+
+/// Renders a power breakdown as a Markdown table.
+pub fn power_markdown(breakdown: &PowerBreakdown) -> String {
+    let total = breakdown.total_watts();
+    let mut out = "| component | watts | share |\n|---|---|---|\n".to_string();
+    for (component, watts) in breakdown.entries() {
+        out.push_str(&format!(
+            "| {component} | {watts:.3} | {:.1}% |\n",
+            100.0 * watts / total
+        ));
+    }
+    out.push_str(&format!("| **total** | **{total:.3}** | 100% |\n"));
+    out
+}
+
+/// Renders an energy breakdown as CSV with a header row.
+pub fn energy_csv(breakdown: &EnergyBreakdown) -> String {
+    let mut out =
+        String::from("workload,bits,class,compute_j,movement_j,elementwise_j,total_j\n");
+    for c in &breakdown.classes {
+        out.push_str(&format!(
+            "{},{},{},{:.9e},{:.9e},{:.9e},{:.9e}\n",
+            csv_field(&breakdown.workload),
+            breakdown.bits,
+            c.class,
+            c.compute_j,
+            c.movement_j,
+            c.elementwise_j,
+            c.total_j()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::ArchConfig;
+    use crate::energy::{EnergyModel, OpClass, OpTrace, TraceEntry};
+    use crate::model::{DriverKind, PowerModel};
+    use crate::presets::TechParams;
+
+    fn breakdown() -> PowerBreakdown {
+        PowerModel::new(
+            ArchConfig::lt_b(),
+            TechParams::calibrated(),
+            DriverKind::ElectricalDac,
+        )
+        .breakdown(8)
+    }
+
+    #[test]
+    fn power_csv_has_row_per_component() {
+        let b = breakdown();
+        let csv = power_csv(&b);
+        // header + one line per component + trailing newline handling.
+        assert_eq!(csv.trim_end().lines().count(), 1 + b.entries().len());
+        assert!(csv.contains("DAC baseline,8,DAC"));
+    }
+
+    #[test]
+    fn csv_shares_sum_to_one() {
+        let csv = power_csv(&breakdown());
+        let sum: f64 = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.rsplit(',').next().unwrap().parse::<f64>().unwrap())
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-5); // shares are printed at 6 decimals
+    }
+
+    #[test]
+    fn markdown_has_total_row() {
+        let md = power_markdown(&breakdown());
+        assert!(md.contains("| component |"));
+        assert!(md.contains("**total**"));
+        assert!(md.lines().filter(|l| l.starts_with('|')).count() >= 7);
+    }
+
+    #[test]
+    fn energy_csv_round_trips_values() {
+        let em = EnergyModel::new(PowerModel::new(
+            ArchConfig::lt_b(),
+            TechParams::calibrated(),
+            DriverKind::PhotonicDac,
+        ));
+        let trace = OpTrace {
+            name: "csv, with comma".into(),
+            entries: vec![TraceEntry {
+                class: OpClass::Attention,
+                macs: 1_000_000,
+                bytes_at_8bit: 1000,
+                elementwise_ops: 10,
+            }],
+        };
+        let e = em.energy(&trace, 8);
+        let csv = energy_csv(&e);
+        // Comma-containing workload name is quoted.
+        assert!(csv.contains("\"csv, with comma\""));
+        let data_line = csv.lines().nth(1).unwrap();
+        let total: f64 = data_line.rsplit(',').next().unwrap().parse().unwrap();
+        assert!((total - e.classes[0].total_j()).abs() < e.classes[0].total_j() * 1e-6);
+    }
+
+    #[test]
+    fn csv_field_escaping() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("q\"q"), "\"q\"\"q\"");
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the power/energy models.
+
+use pdac_power::energy::savings;
+use pdac_power::model::{power_saving, DriverKind, PowerModel};
+use pdac_power::{ArchConfig, EnergyModel, OpClass, OpTrace, TechParams, TraceEntry};
+use proptest::prelude::*;
+
+fn arch_strategy() -> impl Strategy<Value = ArchConfig> {
+    (1usize..16, 1usize..16, 1usize..16, 1usize..16, 1.0e9f64..10.0e9).prop_map(
+        |(cores, rows, cols, wavelengths, clock_hz)| ArchConfig {
+            cores,
+            rows,
+            cols,
+            wavelengths,
+            clock_hz,
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn breakdown_entries_are_positive(arch in arch_strategy(), bits in 2u8..=16) {
+        for driver in [DriverKind::ElectricalDac, DriverKind::PhotonicDac] {
+            let m = PowerModel::new(arch.clone(), TechParams::calibrated(), driver);
+            let b = m.breakdown(bits);
+            prop_assert!(b.total_watts() > 0.0);
+            for (_, w) in b.entries() {
+                prop_assert!(*w >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn pdac_saves_power_at_calibrated_clock(arch in arch_strategy(), bits in 3u8..=16) {
+        // The calibrated constants model the P-DAC unit as *static* power
+        // and the DAC as per-conversion energy, so the comparison is only
+        // meaningful near the 5 GHz operating point they were fitted at;
+        // at much slower clocks the DAC's dynamic energy vanishes while
+        // the P-DAC's bias power does not (a real limitation of the
+        // design, not of the model).
+        let mut arch = arch;
+        arch.clock_hz = 5e9;
+        let base = PowerModel::new(arch.clone(), TechParams::calibrated(), DriverKind::ElectricalDac);
+        let pdac = PowerModel::new(arch, TechParams::calibrated(), DriverKind::PhotonicDac);
+        prop_assert!(power_saving(&base, &pdac, bits) > 0.0);
+    }
+
+    #[test]
+    fn breakdown_monotone_in_bits(arch in arch_strategy(), bits in 2u8..=15) {
+        for driver in [DriverKind::ElectricalDac, DriverKind::PhotonicDac] {
+            let m = PowerModel::new(arch.clone(), TechParams::calibrated(), driver);
+            prop_assert!(m.breakdown(bits + 1).total_watts() > m.breakdown(bits).total_watts());
+        }
+    }
+
+    #[test]
+    fn energy_additive_over_classes(
+        macs_a in 1u64..1_000_000_000,
+        macs_f in 1u64..1_000_000_000,
+        bytes in 0u64..100_000_000,
+        bits in 2u8..=16,
+    ) {
+        let m = PowerModel::new(ArchConfig::lt_b(), TechParams::calibrated(), DriverKind::PhotonicDac);
+        let em = EnergyModel::new(m);
+        let both = OpTrace {
+            name: "t".into(),
+            entries: vec![
+                TraceEntry { class: OpClass::Attention, macs: macs_a, bytes_at_8bit: bytes, elementwise_ops: 0 },
+                TraceEntry { class: OpClass::Ffn, macs: macs_f, bytes_at_8bit: bytes, elementwise_ops: 0 },
+            ],
+        };
+        let only_a = OpTrace { name: "t".into(), entries: vec![both.entries[0]] };
+        let only_f = OpTrace { name: "t".into(), entries: vec![both.entries[1]] };
+        let total = em.energy(&both, bits).total_j();
+        let split = em.energy(&only_a, bits).total_j() + em.energy(&only_f, bits).total_j();
+        prop_assert!((total - split).abs() <= 1e-12 * (1.0 + total));
+    }
+
+    #[test]
+    fn savings_bounded_by_compute_saving(
+        macs in 1u64..10_000_000_000,
+        bytes in 0u64..1_000_000_000,
+        elems in 0u64..1_000_000_000,
+        bits in 2u8..=16,
+    ) {
+        let base = PowerModel::new(ArchConfig::lt_b(), TechParams::calibrated(), DriverKind::ElectricalDac);
+        let pdac = PowerModel::new(ArchConfig::lt_b(), TechParams::calibrated(), DriverKind::PhotonicDac);
+        let compute = power_saving(&base, &pdac, bits);
+        let trace = OpTrace {
+            name: "t".into(),
+            entries: vec![TraceEntry {
+                class: OpClass::Ffn,
+                macs,
+                bytes_at_8bit: bytes,
+                elementwise_ops: elems,
+            }],
+        };
+        let rep = savings(
+            &EnergyModel::new(base).energy(&trace, bits),
+            &EnergyModel::new(pdac).energy(&trace, bits),
+        );
+        prop_assert!(rep.total >= -1e-12);
+        prop_assert!(rep.total <= compute + 1e-12);
+    }
+
+    #[test]
+    fn energy_per_mac_decreases_with_parallelism(bits in 2u8..=16, cores in 1usize..64) {
+        // More cores, same support scaling: fixed laser/support amortize? No —
+        // support scales linearly too, so energy/MAC is nearly constant.
+        let mut arch = ArchConfig::lt_b();
+        arch.cores = cores;
+        let m = PowerModel::new(arch, TechParams::calibrated(), DriverKind::PhotonicDac);
+        let e = m.energy_per_mac_j(bits);
+        let reference = PowerModel::new(ArchConfig::lt_b(), TechParams::calibrated(), DriverKind::PhotonicDac)
+            .energy_per_mac_j(bits);
+        prop_assert!((e - reference).abs() < 1e-12 + reference * 1e-9);
+    }
+}

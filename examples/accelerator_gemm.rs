@@ -1,0 +1,75 @@
+//! Running a GEMM on the simulated Lightening-Transformer: tiling,
+//! cycle counts, functional output accuracy and energy, for both drive
+//! paths.
+//!
+//! Run with: `cargo run --release --example accelerator_gemm`
+
+use pdac::accel::config::{AccelConfig, DriverChoice};
+use pdac::accel::functional::FunctionalGemm;
+use pdac::accel::scheduler::{GemmShape, TilingPlan};
+use pdac::math::stats::cosine_similarity;
+use pdac::math::Mat;
+use pdac::power::model::{DriverKind, PowerModel};
+use pdac::power::{ArchConfig, TechParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Analytical: a full BERT projection layer on LT-B.
+    let arch = ArchConfig::lt_b();
+    let plan = TilingPlan::plan(GemmShape::new(128, 768, 768), &arch);
+    println!("BERT projection (128x768x768) on LT-B:");
+    println!(
+        "  {} core-cycles over {} cores -> {} cycles ({:.2} µs @ 5 GHz)",
+        plan.core_cycles,
+        arch.cores,
+        plan.cycles,
+        plan.runtime_s(&arch) * 1e6
+    );
+    println!(
+        "  {} operand modulations, {} ADC samples, utilization {:.0}%\n",
+        plan.conversions,
+        plan.adc_samples,
+        100.0 * plan.utilization(&arch)
+    );
+
+    // 2. Functional: push real numbers through the photonic path on a
+    //    small instance and compare both converters.
+    let small = ArchConfig { cores: 2, rows: 4, cols: 4, wavelengths: 8, clock_hz: 5e9 };
+    let a = Mat::from_fn(16, 24, |r, c| (((r * 13 + c * 7) % 29) as f64 / 29.0) - 0.5);
+    let b = Mat::from_fn(24, 12, |r, c| (((r * 5 + c * 11) % 23) as f64 / 23.0) - 0.5);
+    let exact = a.matmul(&b)?;
+
+    println!("functional 16x24x12 GEMM (8-bit operands):");
+    for choice in [
+        DriverChoice::ElectricalDac,
+        DriverChoice::PhotonicDac,
+        DriverChoice::PhotonicDacFirstOrder,
+    ] {
+        let engine = FunctionalGemm::new(AccelConfig::new(small.clone(), 8, choice)?)?;
+        let run = engine.execute(&a, &b)?;
+        let cs = cosine_similarity(run.output.as_slice(), exact.as_slice()).unwrap();
+        println!(
+            "  {choice:<22} distance {:.4}, cosine {:.6}, {} cycles",
+            run.output.distance(&exact),
+            cs,
+            run.stats.cycles
+        );
+    }
+
+    // 3. Energy for the analytical plan under both power models.
+    let tech = TechParams::calibrated();
+    for (driver, label) in [
+        (DriverKind::ElectricalDac, "baseline"),
+        (DriverKind::PhotonicDac, "P-DAC"),
+    ] {
+        let pm = PowerModel::new(arch.clone(), tech.clone(), driver);
+        let energy = pm.breakdown(8).total_watts() * plan.runtime_s(&arch);
+        println!(
+            "\n  {label:<9} compute energy for the projection: {:.2} µJ \
+             ({:.2} W over {:.2} µs)",
+            energy * 1e6,
+            pm.breakdown(8).total_watts(),
+            plan.runtime_s(&arch) * 1e6
+        );
+    }
+    Ok(())
+}

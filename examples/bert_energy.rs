@@ -1,0 +1,45 @@
+//! BERT-base inference energy: DAC baseline vs P-DAC (paper Fig. 9).
+//!
+//! Builds the exact op trace of BERT-base with sequence length 128,
+//! integrates it against the calibrated LT-B power model under both
+//! drive paths, and prints per-class savings.
+//!
+//! Run with: `cargo run --example bert_energy`
+
+use pdac::nn::config::TransformerConfig;
+use pdac::nn::workload::op_trace;
+use pdac::power::energy::savings;
+use pdac::power::model::{DriverKind, PowerModel};
+use pdac::power::{ArchConfig, EnergyModel, TechParams};
+
+fn main() {
+    let config = TransformerConfig::bert_base();
+    let trace = op_trace(&config);
+    println!(
+        "{}: {:.2} G MACs per inference\n",
+        config.name,
+        trace.total_macs() as f64 / 1e9
+    );
+
+    let arch = ArchConfig::lt_b();
+    let tech = TechParams::calibrated();
+    let baseline = EnergyModel::new(PowerModel::new(
+        arch.clone(),
+        tech.clone(),
+        DriverKind::ElectricalDac,
+    ));
+    let pdac = EnergyModel::new(PowerModel::new(arch, tech, DriverKind::PhotonicDac));
+
+    for bits in [4u8, 8] {
+        let base = baseline.energy(&trace, bits);
+        let test = pdac.energy(&trace, bits);
+        println!("{base}");
+        println!("{test}");
+        let rep = savings(&base, &test);
+        println!("  -> total saving {:.1}%", 100.0 * rep.total);
+        for (class, s) in &rep.per_class {
+            println!("     {class:<10} saving {:.1}%", 100.0 * s);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,57 @@
+//! DeiT (vision transformer) inference energy: DAC baseline vs P-DAC
+//! (paper Fig. 10), plus a sweep over image-token counts showing how the
+//! saving varies with sequence length.
+//!
+//! Run with: `cargo run --example deit_energy`
+
+use pdac::nn::config::TransformerConfig;
+use pdac::nn::workload::op_trace;
+use pdac::power::energy::savings;
+use pdac::power::model::{DriverKind, PowerModel};
+use pdac::power::{ArchConfig, EnergyModel, TechParams};
+
+fn models() -> (EnergyModel, EnergyModel) {
+    let arch = ArchConfig::lt_b();
+    let tech = TechParams::calibrated();
+    (
+        EnergyModel::new(PowerModel::new(
+            arch.clone(),
+            tech.clone(),
+            DriverKind::ElectricalDac,
+        )),
+        EnergyModel::new(PowerModel::new(arch, tech, DriverKind::PhotonicDac)),
+    )
+}
+
+fn main() {
+    let (baseline, pdac) = models();
+
+    // The paper's configuration: 224×224 image → 196 patches + CLS.
+    let deit = TransformerConfig::deit_base();
+    let trace = op_trace(&deit);
+    println!("{} — {:.2} G MACs", deit.name, trace.total_macs() as f64 / 1e9);
+    for bits in [4u8, 8] {
+        let rep = savings(&baseline.energy(&trace, bits), &pdac.energy(&trace, bits));
+        println!("  {bits}-bit total saving {:.1}%", 100.0 * rep.total);
+    }
+
+    // Extension: the saving as image resolution (token count) grows.
+    println!("\ntoken-count sweep @ 8-bit (patches + CLS):");
+    println!("  tokens   baseline mJ   P-DAC mJ   saving%");
+    for patches in [49usize, 196, 576, 1024] {
+        let mut config = TransformerConfig::deit_base();
+        config.seq_len = patches + 1;
+        config.name = format!("DeiT {}tok", config.seq_len);
+        let trace = op_trace(&config);
+        let base = baseline.energy(&trace, 8);
+        let test = pdac.energy(&trace, 8);
+        let rep = savings(&base, &test);
+        println!(
+            "  {:>6}   {:>11.2}   {:>8.2}   {:>7.1}",
+            config.seq_len,
+            base.total_j() * 1e3,
+            test.total_j() * 1e3,
+            100.0 * rep.total
+        );
+    }
+}

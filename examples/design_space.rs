@@ -1,0 +1,77 @@
+//! Walking the design space the library opens up: converter variant ×
+//! bit precision × drive-path split, on both axes (power and fidelity),
+//! plus the serving corner.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use pdac::accel::roofline::BandwidthModel;
+use pdac::accel::workload_exec::serving_analysis;
+use pdac::core::edac::ElectricalDac;
+use pdac::core::pdac::PDac;
+use pdac::core::MzmDriver;
+use pdac::nn::config::TransformerConfig;
+use pdac::power::model::{power_saving, DriverKind, PowerModel};
+use pdac::power::{ArchConfig, TechParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arch = ArchConfig::lt_b();
+    let tech = TechParams::calibrated();
+    let baseline = PowerModel::new(arch.clone(), tech.clone(), DriverKind::ElectricalDac);
+
+    // 1. Converter accuracy landscape: worst-case conversion error.
+    println!("converter worst-case |relative error| (codes >= 1/4 full scale):");
+    println!("  bits   e-DAC    Eq.18    first-order  minimax");
+    for bits in [4u8, 6, 8] {
+        let worst = |d: &dyn MzmDriver| {
+            let m = d.max_code();
+            (m / 4..=m)
+                .map(|c| {
+                    let ideal = d.ideal_value(c);
+                    ((d.convert(c) - ideal) / ideal).abs()
+                })
+                .fold(0.0f64, f64::max)
+        };
+        println!(
+            "  {bits:>4}   {:>5.2}%   {:>5.2}%   {:>10.2}%   {:>6.2}%",
+            100.0 * worst(&ElectricalDac::new(bits)?),
+            100.0 * worst(&PDac::with_optimal_approx(bits)?),
+            100.0 * worst(&PDac::with_first_order_approx(bits)?),
+            100.0 * worst(&PDac::with_minimax_approx(bits)?),
+        );
+    }
+
+    // 2. Power landscape: savings per drive path and precision.
+    println!("\npower saving vs baseline (LT-B, compute-bound):");
+    println!("  bits   hybrid   full P-DAC");
+    for bits in [4u8, 8, 12] {
+        let hybrid = PowerModel::new(arch.clone(), tech.clone(), DriverKind::Hybrid);
+        let pdac = PowerModel::new(arch.clone(), tech.clone(), DriverKind::PhotonicDac);
+        println!(
+            "  {bits:>4}   {:>5.1}%   {:>9.1}%",
+            100.0 * power_saving(&baseline, &hybrid, bits),
+            100.0 * power_saving(&baseline, &pdac, bits),
+        );
+    }
+
+    // 3. The serving corner: decode throughput/energy where the optics idle.
+    println!("\nBERT-base decode on LT-B + HBM (P-DAC power model):");
+    println!("  context   tokens/s   optics duty   mJ/token");
+    let power = PowerModel::new(arch.clone(), tech, DriverKind::PhotonicDac);
+    for context in [128usize, 1024, 8192] {
+        let rep = serving_analysis(
+            &TransformerConfig::bert_base(),
+            context,
+            &arch,
+            &BandwidthModel::hbm_class(),
+            &power,
+            8,
+        );
+        println!(
+            "  {context:>7}   {:>8.0}   {:>10.1}%   {:>8.3}",
+            rep.tokens_per_s,
+            100.0 * rep.utilization,
+            rep.energy_per_token_j * 1e3
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Conversion-error anatomy of the P-DAC across approximation variants
+//! and bit widths (paper Fig. 8 and the Sec. III-C error quotes).
+//!
+//! Run with: `cargo run --example pdac_error_sweep`
+
+use pdac::core::approx::{integrated_error_objective, solve_optimal_breakpoint};
+use pdac::core::error_analysis::analyze;
+use pdac::core::pdac::PDac;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The optimal breakpoint (paper: 0.7236).
+    let k = solve_optimal_breakpoint(1e-7);
+    println!("optimal breakpoint k = {k:.4} (paper 0.7236)");
+    println!(
+        "Eq. 17 objective at k = {:.5}; at 0.5 = {:.5}; at 0.9 = {:.5}\n",
+        integrated_error_objective(k),
+        integrated_error_objective(0.5),
+        integrated_error_objective(0.9)
+    );
+
+    // 2. Error statistics per variant and bit width.
+    println!("variant        bits   max rel%  @code   mean rel%   rms abs");
+    for bits in [4u8, 6, 8, 10, 12] {
+        for (name, pdac) in [
+            ("first-order", PDac::with_first_order_approx(bits)?),
+            ("optimal", PDac::with_optimal_approx(bits)?),
+        ] {
+            let report = analyze(&pdac, 0.05);
+            println!(
+                "{name:<13} {bits:>4}   {:>7.2}  {:>5}   {:>8.3}   {:.2e}",
+                100.0 * report.max_relative.0,
+                report.max_relative.1,
+                100.0 * report.mean_relative,
+                report.rms_absolute
+            );
+        }
+    }
+
+    println!(
+        "\nThe optimal variant's worst case stays ~8.5% at every width\n\
+         (it is an approximation-shape property, not a quantization one);\n\
+         the first-order variant stays ~15.9% at full scale."
+    );
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Quickstart: build a P-DAC, convert codes, and compare against the
+//! electrical-DAC baseline and the ideal values.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use pdac::core::edac::ElectricalDac;
+use pdac::core::pdac::PDac;
+use pdac::core::MzmDriver;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bits = 8;
+    let pdac = PDac::with_optimal_approx(bits)?;
+    let edac = ElectricalDac::new(bits)?;
+
+    println!("P-DAC vs electrical DAC, {bits}-bit codes");
+    println!("(the P-DAC needs no controller and no electrical DAC;");
+    println!(" its worst-case error is ~8.5% at r = ±0.7236)\n");
+    println!("  code    ideal     P-DAC    err%     e-DAC    err%");
+    for code in [-127, -92, -64, -32, -8, 8, 0x20, 0x40, 92, 127] {
+        let ideal = pdac.ideal_value(code);
+        let p = pdac.convert(code);
+        let e = edac.convert(code);
+        println!(
+            "  {code:>5}  {ideal:+.4}   {p:+.4}  {:>5.2}   {e:+.4}  {:>5.2}",
+            100.0 * ((p - ideal) / ideal).abs(),
+            100.0 * ((e - ideal) / ideal).abs(),
+        );
+    }
+
+    // The drive function behind the conversion: the paper's Eq. 18.
+    println!("\narccos approximation (paper Eq. 18):");
+    println!("  breakpoint k = {:.4}", pdac.approx().breakpoint());
+    for seg in pdac.approx().function().segments() {
+        println!(
+            "  [{:+.4}, {:+.4}]  f(r) = {:+.4}·r {:+.4}",
+            seg.lo, seg.hi, seg.slope, seg.intercept
+        );
+    }
+    let (err, at) = pdac.approx().max_reconstruction_error(20_001);
+    println!("  max reconstruction error {:.2}% at r = {at:+.4}", 100.0 * err);
+    Ok(())
+}

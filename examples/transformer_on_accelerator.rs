@@ -1,0 +1,45 @@
+//! Run an entire transformer forward pass *on* the simulated
+//! Lightening-Transformer: every matmul executes through quantization,
+//! the configured converter, the photonic DDot units and the output
+//! ADCs, while the backend accumulates cycles, conversions and traffic.
+//!
+//! Run with: `cargo run --release --example transformer_on_accelerator`
+
+use pdac::accel::backend::AccelBackend;
+use pdac::accel::config::{AccelConfig, DriverChoice};
+use pdac::math::stats::cosine_similarity;
+use pdac::nn::inference::TransformerModel;
+use pdac::nn::{ExactGemm, TransformerConfig};
+use pdac::power::model::{DriverKind, PowerModel};
+use pdac::power::{ArchConfig, TechParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arch = ArchConfig { cores: 2, rows: 4, cols: 4, wavelengths: 8, clock_hz: 5e9 };
+    let model = TransformerModel::random(TransformerConfig::tiny(), 8, 11);
+    let input = model.random_input(1);
+    let exact = model.forward(&input, &ExactGemm);
+
+    println!("tiny transformer (2 layers, d=32, 8 tokens) on the simulator\n");
+    for choice in [DriverChoice::ElectricalDac, DriverChoice::PhotonicDac] {
+        let backend = AccelBackend::new(AccelConfig::new(arch.clone(), 8, choice)?)?;
+        let out = model.forward(&input, &backend);
+        let cs = cosine_similarity(out.as_slice(), exact.as_slice()).unwrap();
+
+        let driver_kind = match choice {
+            DriverChoice::ElectricalDac => DriverKind::ElectricalDac,
+            _ => DriverKind::PhotonicDac,
+        };
+        let power = PowerModel::new(arch.clone(), TechParams::calibrated(), driver_kind);
+        println!("{choice}:");
+        println!("  GEMMs executed      {}", backend.gemms_executed());
+        println!("  total cycles        {}", backend.total_cycles());
+        println!("  operand conversions {}", backend.total_conversions());
+        println!("  useful MACs         {}", backend.total_macs());
+        println!("  output cosine vs exact {cs:.6}");
+        println!(
+            "  energy (this network)  {:.3} µJ\n",
+            backend.total_energy_j(&power, 8) * 1e6
+        );
+    }
+    Ok(())
+}
