@@ -127,7 +127,13 @@ mod tests {
 
     fn small_config(choice: DriverChoice) -> AccelConfig {
         AccelConfig::new(
-            ArchConfig { cores: 2, rows: 4, cols: 4, wavelengths: 8, clock_hz: 5e9 },
+            ArchConfig {
+                cores: 2,
+                rows: 4,
+                cols: 4,
+                wavelengths: 8,
+                clock_hz: 5e9,
+            },
             8,
             choice,
         )
@@ -174,10 +180,12 @@ mod tests {
         assert_eq!(pdac_backend.total_cycles(), base_backend.total_cycles());
 
         let arch = ArchConfig::lt_b();
-        let pdac_power =
-            PowerModel::new(arch.clone(), TechParams::calibrated(), DriverKind::PhotonicDac);
-        let base_power =
-            PowerModel::new(arch, TechParams::calibrated(), DriverKind::ElectricalDac);
+        let pdac_power = PowerModel::new(
+            arch.clone(),
+            TechParams::calibrated(),
+            DriverKind::PhotonicDac,
+        );
+        let base_power = PowerModel::new(arch, TechParams::calibrated(), DriverKind::ElectricalDac);
         let ep = pdac_backend.total_energy_j(&pdac_power, 8);
         let eb = base_backend.total_energy_j(&base_power, 8);
         assert!(ep < eb, "pdac {ep} vs baseline {eb}");

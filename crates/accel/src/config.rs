@@ -113,15 +113,15 @@ impl AccelConfig {
     /// (the bit width was validated).
     pub fn build_driver(&self) -> Box<dyn MzmDriver> {
         match self.driver {
-            DriverChoice::ElectricalDac => Box::new(
-                ElectricalDac::new(self.bits).expect("validated bit width"),
-            ),
-            DriverChoice::PhotonicDac => Box::new(
-                PDac::with_optimal_approx(self.bits).expect("validated bit width"),
-            ),
-            DriverChoice::PhotonicDacFirstOrder => Box::new(
-                PDac::with_first_order_approx(self.bits).expect("validated bit width"),
-            ),
+            DriverChoice::ElectricalDac => {
+                Box::new(ElectricalDac::new(self.bits).expect("validated bit width"))
+            }
+            DriverChoice::PhotonicDac => {
+                Box::new(PDac::with_optimal_approx(self.bits).expect("validated bit width"))
+            }
+            DriverChoice::PhotonicDacFirstOrder => {
+                Box::new(PDac::with_first_order_approx(self.bits).expect("validated bit width"))
+            }
         }
     }
 }

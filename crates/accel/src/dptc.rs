@@ -89,13 +89,11 @@ impl DptcCore {
     /// # Panics
     ///
     /// Panics if any dimension is zero.
-    pub fn new(
-        rows: usize,
-        cols: usize,
-        wavelengths: usize,
-        driver: Box<dyn MzmDriver>,
-    ) -> Self {
-        assert!(rows > 0 && cols > 0 && wavelengths > 0, "geometry must be nonzero");
+    pub fn new(rows: usize, cols: usize, wavelengths: usize, driver: Box<dyn MzmDriver>) -> Self {
+        assert!(
+            rows > 0 && cols > 0 && wavelengths > 0,
+            "geometry must be nonzero"
+        );
         Self {
             rows,
             cols,
@@ -131,6 +129,7 @@ impl DptcCore {
     ///
     /// Returns [`TileError::ShapeMismatch`] for wrong tile shapes.
     pub fn run_tile(&self, x: &Mat, y: &Mat) -> Result<TileRun, TileError> {
+        let _span = pdac_telemetry::span("accel.dptc.run_tile");
         if x.shape() != (self.rows, self.wavelengths) {
             return Err(TileError::ShapeMismatch {
                 expected: (self.rows, self.wavelengths),
@@ -172,6 +171,7 @@ impl DptcCore {
                 out[(i, j)] = detected * (self.cols as f64 * self.rows as f64).sqrt();
             }
         }
+        pdac_telemetry::counter_add("accel.dptc.conversions", self.mzm_count() as u64);
         Ok(TileRun {
             output: out,
             conversions: self.mzm_count() as u64,
@@ -185,12 +185,11 @@ mod tests {
     use super::*;
     use pdac_core::edac::ElectricalDac;
     use pdac_core::pdac::PDac;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use pdac_math::rng::SplitMix64;
 
     fn random_mat(rows: usize, cols: usize, seed: u64) -> Mat {
-        let mut rng = StdRng::seed_from_u64(seed);
-        Mat::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        Mat::from_fn(rows, cols, |_, _| rng.gen_range_f64(-1.0, 1.0))
     }
 
     fn core(bits: u8) -> DptcCore {
@@ -290,13 +289,17 @@ mod tests {
         use crate::functional::FunctionalGemm;
         use pdac_power::ArchConfig;
 
-        let arch = ArchConfig { cores: 1, rows: 4, cols: 4, wavelengths: 8, clock_hz: 5e9 };
-        let engine = FunctionalGemm::new(
-            AccelConfig::new(arch, 8, DriverChoice::PhotonicDac).unwrap(),
-        )
-        .unwrap();
-        let tile_core =
-            DptcCore::new(4, 4, 8, Box::new(PDac::with_optimal_approx(8).unwrap()));
+        let arch = ArchConfig {
+            cores: 1,
+            rows: 4,
+            cols: 4,
+            wavelengths: 8,
+            clock_hz: 5e9,
+        };
+        let engine =
+            FunctionalGemm::new(AccelConfig::new(arch, 8, DriverChoice::PhotonicDac).unwrap())
+                .unwrap();
+        let tile_core = DptcCore::new(4, 4, 8, Box::new(PDac::with_optimal_approx(8).unwrap()));
         let x = random_mat(4, 8, 14);
         let y = random_mat(8, 4, 15);
         let a = engine.execute(&x, &y).unwrap().output;

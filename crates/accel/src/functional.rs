@@ -81,7 +81,12 @@ impl FunctionalGemm {
     pub fn new(config: AccelConfig) -> Result<Self, crate::config::ConfigError> {
         let driver = config.build_driver();
         let ddot = DDotUnit::ideal(config.arch().wavelengths);
-        Ok(Self { config, driver, ddot, noise: None })
+        Ok(Self {
+            config,
+            driver,
+            ddot,
+            noise: None,
+        })
     }
 
     /// Enables Gaussian detector-current noise of the given σ on every
@@ -105,28 +110,38 @@ impl FunctionalGemm {
     /// Returns [`ExecError::DimMismatch`] when `a.cols() != b.rows()`.
     pub fn execute(&self, a: &Mat, b: &Mat) -> Result<GemmRun, ExecError> {
         if a.cols() != b.rows() {
-            return Err(ExecError::DimMismatch { left: a.shape(), right: b.shape() });
+            return Err(ExecError::DimMismatch {
+                left: a.shape(),
+                right: b.shape(),
+            });
         }
+        let _run_span = pdac_telemetry::span("accel.gemm.execute");
         let shape = GemmShape::new(a.rows(), a.cols(), b.cols());
         let arch = self.config.arch();
-        let plan = TilingPlan::plan(shape, arch);
+        let plan = {
+            let _s = pdac_telemetry::span("accel.stage.tiling");
+            TilingPlan::plan(shape, arch)
+        };
 
         // Per-tensor scales (the modulator encodes values in [-1, 1]).
         let scale_a = nonzero(a.max_abs());
         let scale_b = nonzero(b.max_abs());
 
         // Modulated operand values: scale · driver(convert(quantize(x))).
-        let am = self.modulate(a, scale_a);
-        let bm = self.modulate(b, scale_b);
+        let (am, bm) = {
+            let _s = pdac_telemetry::span("accel.stage.conversion");
+            pdac_telemetry::counter_add(
+                "accel.gemm.operand_elements",
+                (a.rows() * a.cols() + b.rows() * b.cols()) as u64,
+            );
+            (self.modulate(a, scale_a), self.modulate(b, scale_b))
+        };
 
         let lambda = arch.wavelengths;
         // Each chunk partial is ADC-sampled before digital accumulation.
         // Partial magnitude is bounded by λ·scale_a·scale_b.
-        let adc = Adc::new(
-            self.config.bits(),
-            lambda as f64 * scale_a * scale_b,
-        )
-        .expect("validated bits and positive scale");
+        let adc = Adc::new(self.config.bits(), lambda as f64 * scale_a * scale_b)
+            .expect("validated bits and positive scale");
 
         let mut out = Mat::zeros(shape.m, shape.n);
         let mut x = vec![0.0; lambda];
@@ -150,17 +165,23 @@ impl FunctionalGemm {
                             y[t] = 0.0;
                         }
                     }
-                    let partial = match noise_model.as_mut() {
-                        Some(n) => self
-                            .ddot
-                            .dot_noisy(&x, &y, n)
-                            .expect("operand length matches unit channels"),
-                        None => self
-                            .ddot
-                            .dot(&x, &y)
-                            .expect("operand length matches unit channels"),
+                    let partial = {
+                        let _s = pdac_telemetry::span("accel.stage.optical");
+                        match noise_model.as_mut() {
+                            Some(n) => self
+                                .ddot
+                                .dot_noisy(&x, &y, n)
+                                .expect("operand length matches unit channels"),
+                            None => self
+                                .ddot
+                                .dot(&x, &y)
+                                .expect("operand length matches unit channels"),
+                        }
                     };
-                    acc += adc.requantize(partial);
+                    {
+                        let _s = pdac_telemetry::span("accel.stage.adc");
+                        acc += adc.requantize(partial);
+                    }
                     k0 += chunk;
                 }
                 out[(i, j)] = acc;
@@ -170,12 +191,16 @@ impl FunctionalGemm {
         // Memory traffic for this GEMM: B is the stationary (weight-like)
         // operand, A the streaming activations.
         let mut mem = MemoryHierarchy::default();
-        let word = u64::from(self.config.bits()).div_ceil(8).max(1);
-        mem.load_weights(shape.k as u64 * shape.n as u64 * word);
-        mem.load_activations(shape.m as u64 * shape.k as u64 * word);
-        mem.store_results(shape.m as u64 * shape.n as u64 * word);
+        {
+            let _s = pdac_telemetry::span("accel.stage.memory");
+            let word = u64::from(self.config.bits()).div_ceil(8).max(1);
+            mem.load_weights(shape.k as u64 * shape.n as u64 * word);
+            mem.load_activations(shape.m as u64 * shape.k as u64 * word);
+            mem.store_results(shape.m as u64 * shape.n as u64 * word);
+        }
 
-        let stats = RunStats::from_plan(&plan, arch, mem.counters());
+        let stats = RunStats::from_plan(&plan, mem.counters());
+        stats.record_telemetry();
         Ok(GemmRun { output: out, stats })
     }
 
@@ -197,17 +222,22 @@ fn nonzero(x: f64) -> f64 {
 mod tests {
     use super::*;
     use crate::config::DriverChoice;
+    use pdac_math::rng::SplitMix64;
     use pdac_power::ArchConfig;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     fn small_arch() -> ArchConfig {
-        ArchConfig { cores: 2, rows: 4, cols: 4, wavelengths: 4, clock_hz: 1e9 }
+        ArchConfig {
+            cores: 2,
+            rows: 4,
+            cols: 4,
+            wavelengths: 4,
+            clock_hz: 1e9,
+        }
     }
 
     fn random_mat(rows: usize, cols: usize, seed: u64) -> Mat {
-        let mut rng = StdRng::seed_from_u64(seed);
-        Mat::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        Mat::from_fn(rows, cols, |_, _| rng.gen_range_f64(-1.0, 1.0))
     }
 
     fn engine(choice: DriverChoice, bits: u8) -> FunctionalGemm {
@@ -231,17 +261,18 @@ mod tests {
         let a = random_mat(6, 12, 3);
         let b = random_mat(12, 5, 4);
         let exact = a.matmul(&b).unwrap();
-        let base = engine(DriverChoice::ElectricalDac, 8).execute(&a, &b).unwrap();
-        let pdac = engine(DriverChoice::PhotonicDac, 8).execute(&a, &b).unwrap();
+        let base = engine(DriverChoice::ElectricalDac, 8)
+            .execute(&a, &b)
+            .unwrap();
+        let pdac = engine(DriverChoice::PhotonicDac, 8)
+            .execute(&a, &b)
+            .unwrap();
         let db = base.output.distance(&exact);
         let dp = pdac.output.distance(&exact);
         assert!(dp > db, "P-DAC error {dp} should exceed baseline {db}");
         // But still strongly correlated.
-        let cs = pdac_math::stats::cosine_similarity(
-            pdac.output.as_slice(),
-            exact.as_slice(),
-        )
-        .unwrap();
+        let cs =
+            pdac_math::stats::cosine_similarity(pdac.output.as_slice(), exact.as_slice()).unwrap();
         assert!(cs > 0.99, "cosine {cs}");
     }
 
@@ -250,7 +281,9 @@ mod tests {
         let a = random_mat(8, 16, 5);
         let b = random_mat(16, 8, 6);
         let exact = a.matmul(&b).unwrap();
-        let opt = engine(DriverChoice::PhotonicDac, 8).execute(&a, &b).unwrap();
+        let opt = engine(DriverChoice::PhotonicDac, 8)
+            .execute(&a, &b)
+            .unwrap();
         let first = engine(DriverChoice::PhotonicDacFirstOrder, 8)
             .execute(&a, &b)
             .unwrap();
@@ -281,8 +314,7 @@ mod tests {
         let run = e.execute(&a, &b).unwrap();
         let exact = a.matmul(&b).unwrap();
         assert_eq!(run.output.shape(), (3, 2));
-        let rel = run.output.distance(&exact)
-            / exact.distance(&Mat::zeros(3, 2)).max(1e-9);
+        let rel = run.output.distance(&exact) / exact.distance(&Mat::zeros(3, 2)).max(1e-9);
         assert!(rel < 0.05, "rel={rel}");
     }
 
@@ -328,7 +360,10 @@ mod tests {
         let r1 = noisy.execute(&a, &b).unwrap();
         let r2 = noisy.execute(&a, &b).unwrap();
         assert_eq!(r1.output, r2.output, "seeded noise must be reproducible");
-        assert!(r1.output.distance(&exact) > dq, "noise must degrade accuracy");
+        assert!(
+            r1.output.distance(&exact) > dq,
+            "noise must degrade accuracy"
+        );
     }
 
     #[test]

@@ -51,7 +51,11 @@ impl fmt::Display for TrafficCounters {
         write!(
             f,
             "DRAM {}/{} B, M2 {}/{} B, M1 {}/{} B (r/w)",
-            self.dram_read, self.dram_write, self.m2_read, self.m2_write, self.m1_read,
+            self.dram_read,
+            self.dram_write,
+            self.m2_read,
+            self.m2_write,
+            self.m1_read,
             self.m1_write
         )
     }
@@ -69,7 +73,10 @@ pub struct MemoryConfig {
 impl MemoryConfig {
     /// The LT-B-scale hierarchy: 4 MiB shared M2, 64 KiB per-core M1.
     pub fn lt_b() -> Self {
-        Self { m2_bytes: 4 << 20, m1_bytes: 64 << 10 }
+        Self {
+            m2_bytes: 4 << 20,
+            m1_bytes: 64 << 10,
+        }
     }
 }
 
@@ -90,7 +97,10 @@ pub struct MemoryHierarchy {
 impl MemoryHierarchy {
     /// Creates a hierarchy with the given capacities.
     pub fn new(config: MemoryConfig) -> Self {
-        Self { config, counters: TrafficCounters::default() }
+        Self {
+            config,
+            counters: TrafficCounters::default(),
+        }
     }
 
     /// Current counters.
@@ -116,6 +126,7 @@ impl MemoryHierarchy {
             self.counters.m2_read += bytes;
             self.counters.m1_write += bytes;
             self.counters.m1_read += bytes;
+            pdac_telemetry::counter_add("accel.memory.weight_bytes_onchip", bytes);
             true
         } else {
             self.counters.dram_read += bytes;
@@ -123,6 +134,7 @@ impl MemoryHierarchy {
             self.counters.m2_read += bytes;
             self.counters.m1_write += bytes;
             self.counters.m1_read += bytes;
+            pdac_telemetry::counter_add("accel.memory.weight_bytes_dram", bytes);
             false
         }
     }
@@ -133,12 +145,14 @@ impl MemoryHierarchy {
         self.counters.m2_read += bytes;
         self.counters.m1_write += bytes;
         self.counters.m1_read += bytes;
+        pdac_telemetry::counter_add("accel.memory.activation_bytes", bytes);
     }
 
     /// Stores a result tensor back to M2.
     pub fn store_results(&mut self, bytes: u64) {
         self.counters.m1_write += bytes;
         self.counters.m2_write += bytes;
+        pdac_telemetry::counter_add("accel.memory.result_bytes", bytes);
     }
 }
 

@@ -94,14 +94,12 @@ impl Default for StageLatencies {
 /// # Panics
 ///
 /// Panics if the architecture clock is non-positive.
-pub fn pipelined_latency_s(
-    stages: &StageLatencies,
-    arch: &ArchConfig,
-    wall_cycles: u64,
-) -> f64 {
+pub fn pipelined_latency_s(stages: &StageLatencies, arch: &ArchConfig, wall_cycles: u64) -> f64 {
     assert!(arch.clock_hz > 0.0, "clock must be positive");
     let cycle = 1.0 / arch.clock_hz;
-    (stages.depth_at(arch.clock_hz) + wall_cycles.saturating_sub(1)) as f64 * cycle
+    let latency = (stages.depth_at(arch.clock_hz) + wall_cycles.saturating_sub(1)) as f64 * cycle;
+    pdac_telemetry::observe("accel.pipeline.latency_s", latency);
+    latency
 }
 
 #[cfg(test)]

@@ -25,13 +25,19 @@ impl BandwidthModel {
     /// An HBM2e-class stack next to a wide on-chip SRAM: 400 GB/s DRAM,
     /// 4 TB/s SRAM.
     pub fn hbm_class() -> Self {
-        Self { dram_bytes_per_s: 400e9, sram_bytes_per_s: 4e12 }
+        Self {
+            dram_bytes_per_s: 400e9,
+            sram_bytes_per_s: 4e12,
+        }
     }
 
     /// A DDR4-class interface: 50 GB/s DRAM, 2 TB/s SRAM — roughly the
     /// regime in which the paper's workload numbers live.
     pub fn ddr_class() -> Self {
-        Self { dram_bytes_per_s: 50e9, sram_bytes_per_s: 2e12 }
+        Self {
+            dram_bytes_per_s: 50e9,
+            sram_bytes_per_s: 2e12,
+        }
     }
 }
 
@@ -98,7 +104,11 @@ pub fn analyze(
     RooflinePoint {
         regime,
         latency_s,
-        compute_utilization: if latency_s > 0.0 { t_compute / latency_s } else { 0.0 },
+        compute_utilization: if latency_s > 0.0 {
+            t_compute / latency_s
+        } else {
+            0.0
+        },
     }
 }
 
@@ -126,7 +136,13 @@ mod tests {
     #[test]
     fn weight_streaming_phase_is_dram_bound() {
         // Decode-like: few MACs, heavy DRAM traffic.
-        let p = analyze(&arch(), &BandwidthModel::ddr_class(), 7_000_000, 7_000_000, 0);
+        let p = analyze(
+            &arch(),
+            &BandwidthModel::ddr_class(),
+            7_000_000,
+            7_000_000,
+            0,
+        );
         assert_eq!(p.regime, Regime::DramBound);
         assert!(p.compute_utilization < 0.01, "{}", p.compute_utilization);
     }
@@ -145,7 +161,9 @@ mod tests {
         use pdac_nn::workload::op_trace;
         let trace = op_trace(&TransformerConfig::bert_base());
         // Prefill intensity (~105 MAC/B) clears the HBM ridge (~51).
-        assert!(arithmetic_intensity(&trace) > ridge_intensity(&arch(), &BandwidthModel::hbm_class()));
+        assert!(
+            arithmetic_intensity(&trace) > ridge_intensity(&arch(), &BandwidthModel::hbm_class())
+        );
         let macs = trace.total_macs();
         let bytes: u64 = trace.entries.iter().map(|e| e.bytes_at_8bit).sum();
         let p = analyze(&arch(), &BandwidthModel::hbm_class(), macs, bytes, 0);
@@ -165,7 +183,10 @@ mod tests {
 
     #[test]
     fn latency_is_max_of_resource_times() {
-        let bw = BandwidthModel { dram_bytes_per_s: 1e9, sram_bytes_per_s: 1e10 };
+        let bw = BandwidthModel {
+            dram_bytes_per_s: 1e9,
+            sram_bytes_per_s: 1e10,
+        };
         let p = analyze(&arch(), &bw, 0, 1_000_000_000, 0);
         assert!((p.latency_s - 1.0).abs() < 1e-12);
         let p2 = analyze(&arch(), &bw, 0, 0, 10_000_000_000);

@@ -76,9 +76,10 @@ impl TilingPlan {
         let cycles = core_cycles.div_ceil(arch.cores as u64);
         // Per core-cycle: the row bank modulates rows·λ elements, the
         // column bank cols·λ.
-        let conversions =
-            core_cycles * ((arch.rows + arch.cols) * arch.wavelengths) as u64;
+        let conversions = core_cycles * ((arch.rows + arch.cols) * arch.wavelengths) as u64;
         let adc_samples = core_cycles * (arch.rows * arch.cols) as u64;
+        pdac_telemetry::counter_add("accel.scheduler.plans", 1);
+        pdac_telemetry::counter_add("accel.scheduler.core_cycles", core_cycles);
         Self {
             shape,
             m_tiles,
@@ -94,8 +95,7 @@ impl TilingPlan {
     /// Fraction of peak MAC throughput this plan achieves (padding waste
     /// from partial tiles lowers it below 1).
     pub fn utilization(&self, arch: &ArchConfig) -> f64 {
-        let issued = self.core_cycles as f64 * arch.macs_per_cycle() as f64
-            / arch.cores as f64;
+        let issued = self.core_cycles as f64 * arch.macs_per_cycle() as f64 / arch.cores as f64;
         self.shape.macs() as f64 / issued
     }
 

@@ -31,6 +31,20 @@ pub enum GemmKind {
     FfnDown,
 }
 
+impl GemmKind {
+    /// Stable telemetry counter name for this kind's cycle total.
+    pub fn telemetry_key(&self) -> &'static str {
+        match self {
+            GemmKind::QkvProjection => "accel.workload.cycles.qkv_projection",
+            GemmKind::Scores => "accel.workload.cycles.scores",
+            GemmKind::AttentionValues => "accel.workload.cycles.attention_values",
+            GemmKind::OutputProjection => "accel.workload.cycles.output_projection",
+            GemmKind::FfnUp => "accel.workload.cycles.ffn_up",
+            GemmKind::FfnDown => "accel.workload.cycles.ffn_down",
+        }
+    }
+}
+
 impl fmt::Display for GemmKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -63,16 +77,36 @@ pub fn layer_gemms(config: &TransformerConfig) -> Vec<GemmGroup> {
     let dh = config.head_dim();
     let ff = config.ff_dim();
     vec![
-        GemmGroup { kind: GemmKind::QkvProjection, shape: GemmShape::new(s, d, d), count: 3 },
-        GemmGroup { kind: GemmKind::Scores, shape: GemmShape::new(s, dh, s), count: config.heads },
+        GemmGroup {
+            kind: GemmKind::QkvProjection,
+            shape: GemmShape::new(s, d, d),
+            count: 3,
+        },
+        GemmGroup {
+            kind: GemmKind::Scores,
+            shape: GemmShape::new(s, dh, s),
+            count: config.heads,
+        },
         GemmGroup {
             kind: GemmKind::AttentionValues,
             shape: GemmShape::new(s, s, dh),
             count: config.heads,
         },
-        GemmGroup { kind: GemmKind::OutputProjection, shape: GemmShape::new(s, d, d), count: 1 },
-        GemmGroup { kind: GemmKind::FfnUp, shape: GemmShape::new(s, d, ff), count: 1 },
-        GemmGroup { kind: GemmKind::FfnDown, shape: GemmShape::new(s, ff, d), count: 1 },
+        GemmGroup {
+            kind: GemmKind::OutputProjection,
+            shape: GemmShape::new(s, d, d),
+            count: 1,
+        },
+        GemmGroup {
+            kind: GemmKind::FfnUp,
+            shape: GemmShape::new(s, d, ff),
+            count: 1,
+        },
+        GemmGroup {
+            kind: GemmKind::FfnDown,
+            shape: GemmShape::new(s, ff, d),
+            count: 1,
+        },
     ]
 }
 
@@ -121,6 +155,7 @@ pub fn run_workload(
     arch: &ArchConfig,
     stages: &StageLatencies,
 ) -> WorkloadRun {
+    let _span = pdac_telemetry::span("accel.workload.run");
     config.validate().expect("config must be valid");
     let mut cycles = 0u64;
     let mut macs = 0u64;
@@ -133,8 +168,12 @@ pub fn run_workload(
         macs += group.shape.macs() * group.count as u64 * config.layers as u64;
         conversions += plan.conversions * group.count as u64 * config.layers as u64;
         per_kind.push((group.kind, group_cycles));
+        pdac_telemetry::counter_add(group.kind.telemetry_key(), group_cycles);
     }
     let latency_s = pipelined_latency_s(stages, arch, cycles);
+    pdac_telemetry::counter_add("accel.workload.cycles", cycles);
+    pdac_telemetry::counter_add("accel.workload.macs", macs);
+    pdac_telemetry::observe("accel.workload.latency_s", latency_s);
     let peak = cycles as f64 * arch.macs_per_cycle() as f64;
     WorkloadRun {
         workload: config.name.clone(),
@@ -220,8 +259,7 @@ pub fn serving_analysis_batched(
     let ffn_weights = 2 * config.hidden as u64 * config.ff_dim() as u64 * layers;
     let per_seq_bytes = (attn_bytes - attn_weights) + (ffn_bytes - ffn_weights);
     let step_bytes_8 = weights_8 + b * per_seq_bytes;
-    let step_macs =
-        b * layers * (decode_attention_macs(config, context) + decode_ffn_macs(config));
+    let step_macs = b * layers * (decode_attention_macs(config, context) + decode_ffn_macs(config));
     let step_bytes = (step_bytes_8 as f64 * bits as f64 / 8.0) as u64;
     let point = crate::roofline::analyze(arch, bandwidth, step_macs, step_bytes, 0);
     let watts = power
@@ -271,7 +309,11 @@ mod tests {
     fn bert_latency_magnitude() {
         // 11.17 G MACs at 20.48 TMAC/s (full utilization) ≈ 0.55 ms.
         let run = bert_run();
-        assert!(run.latency_s > 4e-4 && run.latency_s < 1e-3, "{}", run.latency_s);
+        assert!(
+            run.latency_s > 4e-4 && run.latency_s < 1e-3,
+            "{}",
+            run.latency_s
+        );
         assert!(run.throughput_per_s() > 1000.0);
     }
 
@@ -342,7 +384,11 @@ mod tests {
         use pdac_power::model::DriverKind;
         use pdac_power::TechParams;
         let arch = ArchConfig::lt_b();
-        let power = PowerModel::new(arch.clone(), TechParams::calibrated(), DriverKind::PhotonicDac);
+        let power = PowerModel::new(
+            arch.clone(),
+            TechParams::calibrated(),
+            DriverKind::PhotonicDac,
+        );
         let rep = serving_analysis(
             &TransformerConfig::bert_base(),
             1024,
@@ -353,7 +399,10 @@ mod tests {
         );
         // Weights (~85 MB) over 400 GB/s ≈ 0.2 ms/token; optics nearly idle.
         assert!(rep.utilization < 0.05, "{rep:?}");
-        assert!(rep.tokens_per_s > 1000.0 && rep.tokens_per_s < 20_000.0, "{rep:?}");
+        assert!(
+            rep.tokens_per_s > 1000.0 && rep.tokens_per_s < 20_000.0,
+            "{rep:?}"
+        );
         assert!(rep.energy_per_token_j > 0.0);
     }
 
@@ -363,7 +412,11 @@ mod tests {
         use pdac_power::model::DriverKind;
         use pdac_power::TechParams;
         let arch = ArchConfig::lt_b();
-        let power = PowerModel::new(arch.clone(), TechParams::calibrated(), DriverKind::PhotonicDac);
+        let power = PowerModel::new(
+            arch.clone(),
+            TechParams::calibrated(),
+            DriverKind::PhotonicDac,
+        );
         let short = serving_analysis(
             &TransformerConfig::bert_base(),
             128,
@@ -390,14 +443,21 @@ mod tests {
         use pdac_power::model::DriverKind;
         use pdac_power::TechParams;
         let arch = ArchConfig::lt_b();
-        let power = PowerModel::new(arch.clone(), TechParams::calibrated(), DriverKind::PhotonicDac);
+        let power = PowerModel::new(
+            arch.clone(),
+            TechParams::calibrated(),
+            DriverKind::PhotonicDac,
+        );
         let cfg = TransformerConfig::bert_base();
         let bw = BandwidthModel::hbm_class();
         let b1 = serving_analysis_batched(&cfg, 512, &arch, &bw, &power, 8, 1);
         let b32 = serving_analysis_batched(&cfg, 512, &arch, &bw, &power, 8, 32);
         let b256 = serving_analysis_batched(&cfg, 512, &arch, &bw, &power, 8, 256);
         // Throughput and utilization grow, energy/token falls.
-        assert!(b32.tokens_per_s > 5.0 * b1.tokens_per_s, "{b32:?} vs {b1:?}");
+        assert!(
+            b32.tokens_per_s > 5.0 * b1.tokens_per_s,
+            "{b32:?} vs {b1:?}"
+        );
         assert!(b32.utilization > 5.0 * b1.utilization);
         assert!(b32.energy_per_token_j < b1.energy_per_token_j / 4.0);
         // At long context the per-sequence KV traffic takes over once the
@@ -417,7 +477,11 @@ mod tests {
         use pdac_power::model::DriverKind;
         use pdac_power::TechParams;
         let arch = ArchConfig::lt_b();
-        let power = PowerModel::new(arch.clone(), TechParams::calibrated(), DriverKind::PhotonicDac);
+        let power = PowerModel::new(
+            arch.clone(),
+            TechParams::calibrated(),
+            DriverKind::PhotonicDac,
+        );
         let cfg = TransformerConfig::bert_base();
         let bw = BandwidthModel::hbm_class();
         let a = serving_analysis(&cfg, 256, &arch, &bw, &power, 8);
@@ -432,7 +496,11 @@ mod tests {
         use pdac_power::model::DriverKind;
         use pdac_power::TechParams;
         let arch = ArchConfig::lt_b();
-        let power = PowerModel::new(arch.clone(), TechParams::calibrated(), DriverKind::PhotonicDac);
+        let power = PowerModel::new(
+            arch.clone(),
+            TechParams::calibrated(),
+            DriverKind::PhotonicDac,
+        );
         let cfg = TransformerConfig::bert_base();
         let bw = BandwidthModel::hbm_class();
         let b4 = serving_analysis(&cfg, 512, &arch, &bw, &power, 4);

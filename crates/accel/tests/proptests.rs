@@ -1,93 +1,130 @@
-//! Property-based tests for the accelerator simulator.
+//! Randomized property tests for the accelerator simulator.
+//!
+//! Originally `proptest`-based; now driven by seeded [`SplitMix64`]
+//! streams so the workspace builds offline. Enable `slow-proptests` for
+//! deeper sweeps.
 
 use pdac_accel::config::{AccelConfig, DriverChoice};
 use pdac_accel::functional::FunctionalGemm;
 use pdac_accel::memory::{MemoryConfig, MemoryHierarchy};
 use pdac_accel::scheduler::{GemmShape, TilingPlan};
+use pdac_math::rng::SplitMix64;
 use pdac_math::Mat;
 use pdac_power::ArchConfig;
-use proptest::prelude::*;
 
-fn arch_strategy() -> impl Strategy<Value = ArchConfig> {
-    (1usize..8, 1usize..8, 1usize..8, 1usize..8).prop_map(|(cores, rows, cols, wl)| ArchConfig {
-        cores,
-        rows,
-        cols,
-        wavelengths: wl,
+const CASES: usize = if cfg!(feature = "slow-proptests") {
+    256
+} else {
+    48
+};
+
+fn random_arch(rng: &mut SplitMix64) -> ArchConfig {
+    ArchConfig {
+        cores: rng.gen_range_usize(1, 7),
+        rows: rng.gen_range_usize(1, 7),
+        cols: rng.gen_range_usize(1, 7),
+        wavelengths: rng.gen_range_usize(1, 7),
         clock_hz: 5e9,
-    })
+    }
 }
 
-proptest! {
-    #[test]
-    fn plan_covers_all_macs(
-        arch in arch_strategy(),
-        m in 1usize..64, k in 1usize..64, n in 1usize..64,
-    ) {
+#[test]
+fn plan_covers_all_macs() {
+    let mut rng = SplitMix64::seed_from_u64(0xB0);
+    for _ in 0..CASES {
+        let arch = random_arch(&mut rng);
+        let m = rng.gen_range_usize(1, 63);
+        let k = rng.gen_range_usize(1, 63);
+        let n = rng.gen_range_usize(1, 63);
         let shape = GemmShape::new(m, k, n);
         let plan = TilingPlan::plan(shape, &arch);
         // Issued MAC capacity always covers the useful MACs.
-        let issued = plan.core_cycles
-            * (arch.rows * arch.cols * arch.wavelengths) as u64;
-        prop_assert!(issued >= shape.macs());
+        let issued = plan.core_cycles * (arch.rows * arch.cols * arch.wavelengths) as u64;
+        assert!(issued >= shape.macs());
         // Utilization in (0, 1].
         let u = plan.utilization(&arch);
-        prop_assert!(u > 0.0 && u <= 1.0 + 1e-12);
+        assert!(u > 0.0 && u <= 1.0 + 1e-12);
     }
+}
 
-    #[test]
-    fn wall_clock_cycles_bounded(
-        arch in arch_strategy(),
-        m in 1usize..64, k in 1usize..64, n in 1usize..64,
-    ) {
+#[test]
+fn wall_clock_cycles_bounded() {
+    let mut rng = SplitMix64::seed_from_u64(0xB1);
+    for _ in 0..CASES {
+        let arch = random_arch(&mut rng);
+        let m = rng.gen_range_usize(1, 63);
+        let k = rng.gen_range_usize(1, 63);
+        let n = rng.gen_range_usize(1, 63);
         let plan = TilingPlan::plan(GemmShape::new(m, k, n), &arch);
-        prop_assert!(plan.cycles <= plan.core_cycles);
-        prop_assert!(plan.cycles * arch.cores as u64 >= plan.core_cycles);
+        assert!(plan.cycles <= plan.core_cycles);
+        assert!(plan.cycles * arch.cores as u64 >= plan.core_cycles);
     }
+}
 
-    #[test]
-    fn exact_fit_has_full_utilization(
-        arch in arch_strategy(),
-        mt in 1usize..4, kt in 1usize..4, nt in 1usize..4,
-    ) {
+#[test]
+fn exact_fit_has_full_utilization() {
+    let mut rng = SplitMix64::seed_from_u64(0xB2);
+    for _ in 0..CASES {
+        let arch = random_arch(&mut rng);
+        let mt = rng.gen_range_usize(1, 3);
+        let kt = rng.gen_range_usize(1, 3);
+        let nt = rng.gen_range_usize(1, 3);
         let shape = GemmShape::new(mt * arch.rows, kt * arch.wavelengths, nt * arch.cols);
         let plan = TilingPlan::plan(shape, &arch);
-        prop_assert!((plan.utilization(&arch) - 1.0).abs() < 1e-12);
+        assert!((plan.utilization(&arch) - 1.0).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn functional_output_tracks_exact(
-        vals in prop::collection::vec(-1.0f64..1.0, 24),
-    ) {
+#[test]
+fn functional_output_tracks_exact() {
+    let mut rng = SplitMix64::seed_from_u64(0xB3);
+    for _ in 0..CASES.min(24) {
+        let vals: Vec<f64> = (0..24).map(|_| rng.gen_range_f64(-1.0, 1.0)).collect();
         let a = Mat::from_rows(4, 6, vals.clone()).unwrap();
         let b = Mat::from_rows(6, 4, vals.iter().rev().cloned().collect()).unwrap();
-        let arch = ArchConfig { cores: 2, rows: 2, cols: 2, wavelengths: 4, clock_hz: 5e9 };
-        let engine = FunctionalGemm::new(
-            AccelConfig::new(arch, 8, DriverChoice::ElectricalDac).unwrap(),
-        )
-        .unwrap();
+        let arch = ArchConfig {
+            cores: 2,
+            rows: 2,
+            cols: 2,
+            wavelengths: 4,
+            clock_hz: 5e9,
+        };
+        let engine =
+            FunctionalGemm::new(AccelConfig::new(arch, 8, DriverChoice::ElectricalDac).unwrap())
+                .unwrap();
         let run = engine.execute(&a, &b).unwrap();
         let exact = a.matmul(&b).unwrap();
         let scale = exact.distance(&Mat::zeros(4, 4)).max(0.25);
-        prop_assert!(run.output.distance(&exact) / scale < 0.2);
+        assert!(run.output.distance(&exact) / scale < 0.2);
     }
+}
 
-    #[test]
-    fn memory_counters_are_additive(bytes in prop::collection::vec(1u64..1_000_000, 1..8)) {
+#[test]
+fn memory_counters_are_additive() {
+    let mut rng = SplitMix64::seed_from_u64(0xB4);
+    for _ in 0..CASES {
+        let count = rng.gen_range_usize(1, 7);
+        let bytes: Vec<u64> = (0..count)
+            .map(|_| rng.gen_range_i64(1, 999_999) as u64)
+            .collect();
         let mut one = MemoryHierarchy::new(MemoryConfig::lt_b());
         let mut total = 0u64;
         for &b in &bytes {
             one.load_activations(b);
             total += 3 * b; // m2 read + m1 write + m1 read
         }
-        prop_assert_eq!(one.counters().total(), total);
+        assert_eq!(one.counters().total(), total);
     }
+}
 
-    #[test]
-    fn weight_routing_depends_only_on_size(sz in 1u64..(32 << 20)) {
+#[test]
+fn weight_routing_depends_only_on_size() {
+    let mut rng = SplitMix64::seed_from_u64(0xB5);
+    for _ in 0..CASES {
+        let sz = rng.gen_range_i64(1, (32 << 20) - 1) as u64;
         let mut mem = MemoryHierarchy::new(MemoryConfig::lt_b());
         let on_chip = mem.load_weights(sz);
-        prop_assert_eq!(on_chip, sz <= MemoryConfig::lt_b().m2_bytes);
-        prop_assert_eq!(mem.counters().dram_read > 0, !on_chip);
+        assert_eq!(on_chip, sz <= MemoryConfig::lt_b().m2_bytes);
+        assert_eq!(mem.counters().dram_read > 0, !on_chip);
     }
 }

@@ -1,31 +1,26 @@
-//! Criterion benches of the arccos approximation pipeline.
+//! Microbenches of the arccos approximation pipeline.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pdac_bench::microbench::{bench, black_box};
 use pdac_core::approx::{integrated_error_objective, solve_optimal_breakpoint, ArccosApprox};
 
-fn bench_approx(c: &mut Criterion) {
+fn main() {
     let optimal = ArccosApprox::optimal();
-    c.bench_function("approx/drive_eval", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            let mut r = -1.0;
-            while r <= 1.0 {
-                acc += optimal.drive(black_box(r));
-                r += 1.0 / 512.0;
-            }
-            acc
-        })
+    bench("approx/drive_eval", || {
+        let mut acc = 0.0;
+        let mut r = -1.0;
+        while r <= 1.0 {
+            acc += optimal.drive(black_box(r));
+            r += 1.0 / 512.0;
+        }
+        acc
     });
-    c.bench_function("approx/objective_eval", |b| {
-        b.iter(|| integrated_error_objective(black_box(0.7236)))
+    bench("approx/objective_eval", || {
+        integrated_error_objective(black_box(0.7236))
     });
-    c.bench_function("approx/solve_optimal_k", |b| {
-        b.iter(|| solve_optimal_breakpoint(black_box(1e-5)))
+    bench("approx/solve_optimal_k", || {
+        solve_optimal_breakpoint(black_box(1e-5))
     });
-    c.bench_function("approx/max_error_scan", |b| {
-        b.iter(|| optimal.max_reconstruction_error(black_box(4001)))
+    bench("approx/max_error_scan", || {
+        optimal.max_reconstruction_error(black_box(4001))
     });
 }
-
-criterion_group!(benches, bench_approx);
-criterion_main!(benches);

@@ -1,37 +1,28 @@
-//! Criterion benches: P-DAC vs electrical-DAC conversion throughput.
+//! Microbenches: P-DAC vs electrical-DAC conversion throughput.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdac_bench::microbench::{bench, black_box};
 use pdac_core::edac::ElectricalDac;
 use pdac_core::pdac::PDac;
 use pdac_core::MzmDriver;
 
-fn bench_converters(c: &mut Criterion) {
-    let mut group = c.benchmark_group("converters");
+fn main() {
     for bits in [4u8, 8] {
         let pdac = PDac::with_optimal_approx(bits).unwrap();
         let edac = ElectricalDac::new(bits).unwrap();
         let m = pdac.max_code();
-        group.bench_with_input(BenchmarkId::new("pdac_full_sweep", bits), &bits, |b, _| {
-            b.iter(|| {
-                let mut acc = 0.0;
-                for code in -m..=m {
-                    acc += pdac.convert(black_box(code));
-                }
-                acc
-            })
+        bench(&format!("converters/pdac_full_sweep/{bits}"), || {
+            let mut acc = 0.0;
+            for code in -m..=m {
+                acc += pdac.convert(black_box(code));
+            }
+            acc
         });
-        group.bench_with_input(BenchmarkId::new("edac_full_sweep", bits), &bits, |b, _| {
-            b.iter(|| {
-                let mut acc = 0.0;
-                for code in -m..=m {
-                    acc += edac.convert(black_box(code));
-                }
-                acc
-            })
+        bench(&format!("converters/edac_full_sweep/{bits}"), || {
+            let mut acc = 0.0;
+            for code in -m..=m {
+                acc += edac.convert(black_box(code));
+            }
+            acc
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_converters);
-criterion_main!(benches);

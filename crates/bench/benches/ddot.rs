@@ -1,20 +1,19 @@
-//! Criterion benches of the photonic DDot unit across WDM sizes.
+//! Microbenches of the photonic DDot unit across WDM sizes.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdac_bench::microbench::{bench, black_box};
 use pdac_photonics::DDotUnit;
 
-fn bench_ddot(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ddot");
+fn main() {
     for lambda in [4usize, 8, 16, 64] {
         let unit = DDotUnit::ideal(lambda);
-        let x: Vec<f64> = (0..lambda).map(|i| (i as f64 / lambda as f64) - 0.5).collect();
-        let y: Vec<f64> = (0..lambda).map(|i| 0.5 - (i as f64 / lambda as f64)).collect();
-        group.bench_with_input(BenchmarkId::new("dot", lambda), &lambda, |b, _| {
-            b.iter(|| unit.dot(black_box(&x), black_box(&y)).unwrap())
+        let x: Vec<f64> = (0..lambda)
+            .map(|i| (i as f64 / lambda as f64) - 0.5)
+            .collect();
+        let y: Vec<f64> = (0..lambda)
+            .map(|i| 0.5 - (i as f64 / lambda as f64))
+            .collect();
+        bench(&format!("ddot/dot/{lambda}"), || {
+            unit.dot(black_box(&x), black_box(&y)).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_ddot);
-criterion_main!(benches);

@@ -1,18 +1,17 @@
-//! Criterion benches of accelerator GEMM execution.
+//! Microbenches of accelerator GEMM execution.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use pdac_accel::config::{AccelConfig, DriverChoice};
 use pdac_accel::functional::FunctionalGemm;
 use pdac_accel::scheduler::{GemmShape, TilingPlan};
+use pdac_bench::microbench::{bench, black_box};
 use pdac_math::Mat;
 use pdac_power::ArchConfig;
 
-fn bench_gemm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gemm");
+fn main() {
     // Analytical planning is cheap: bench at BERT-layer scale.
     let arch = ArchConfig::lt_b();
-    group.bench_function("plan_bert_projection", |b| {
-        b.iter(|| TilingPlan::plan(black_box(GemmShape::new(128, 768, 768)), &arch))
+    bench("gemm/plan_bert_projection", || {
+        TilingPlan::plan(black_box(GemmShape::new(128, 768, 768)), &arch)
     });
     // Functional simulation: smaller shapes.
     for (choice, name) in [
@@ -20,7 +19,13 @@ fn bench_gemm(c: &mut Criterion) {
         (DriverChoice::PhotonicDac, "pdac"),
     ] {
         let config = AccelConfig::new(
-            ArchConfig { cores: 2, rows: 4, cols: 4, wavelengths: 8, clock_hz: 5e9 },
+            ArchConfig {
+                cores: 2,
+                rows: 4,
+                cols: 4,
+                wavelengths: 8,
+                clock_hz: 5e9,
+            },
             8,
             choice,
         )
@@ -28,12 +33,8 @@ fn bench_gemm(c: &mut Criterion) {
         let engine = FunctionalGemm::new(config).unwrap();
         let a = Mat::from_fn(16, 32, |r, c| ((r * 7 + c) % 13) as f64 / 13.0 - 0.5);
         let b_mat = Mat::from_fn(32, 16, |r, c| ((r + c * 5) % 11) as f64 / 11.0 - 0.5);
-        group.bench_with_input(BenchmarkId::new("functional_16x32x16", name), name, |b, _| {
-            b.iter(|| engine.execute(black_box(&a), black_box(&b_mat)).unwrap())
+        bench(&format!("gemm/functional_16x32x16/{name}"), || {
+            engine.execute(black_box(&a), black_box(&b_mat)).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_gemm);
-criterion_main!(benches);

@@ -1,8 +1,8 @@
-//! Criterion benches of the MZI-mesh baseline: SVD, mesh programming and
+//! Microbenches of the MZI-mesh baseline: SVD, mesh programming and
 //! application — the offline-mapping cost the paper contrasts with
 //! dynamic operation.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdac_bench::microbench::{bench, black_box};
 use pdac_math::svd::svd;
 use pdac_math::Mat;
 use pdac_photonics::mzi_mesh::{MziMesh, MziMeshPtc};
@@ -17,25 +17,16 @@ fn seeded_matrix(n: usize, seed: u64) -> Mat {
     })
 }
 
-fn bench_mzi(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mzi");
+fn main() {
     for n in [8usize, 12, 24] {
         let w = seeded_matrix(n, n as u64);
-        group.bench_with_input(BenchmarkId::new("svd", n), &n, |b, _| {
-            b.iter(|| svd(black_box(&w)))
-        });
-        group.bench_with_input(BenchmarkId::new("program_ptc", n), &n, |b, _| {
-            b.iter(|| MziMeshPtc::program(black_box(&w)).unwrap())
+        bench(&format!("mzi/svd/{n}"), || svd(black_box(&w)));
+        bench(&format!("mzi/program_ptc/{n}"), || {
+            MziMeshPtc::program(black_box(&w)).unwrap()
         });
         let q = svd(&w).u;
         let mesh = MziMesh::from_orthogonal(&q).unwrap();
         let x: Vec<f64> = (0..n).map(|i| (i as f64) / n as f64 - 0.5).collect();
-        group.bench_with_input(BenchmarkId::new("mesh_apply", n), &n, |b, _| {
-            b.iter(|| mesh.apply(black_box(&x)))
-        });
+        bench(&format!("mzi/mesh_apply/{n}"), || mesh.apply(black_box(&x)));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_mzi);
-criterion_main!(benches);

@@ -1,24 +1,19 @@
-//! Criterion benches of the transformer forward pass per backend.
+//! Microbenches of the transformer forward pass per backend.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdac_bench::microbench::{bench, black_box};
 use pdac_core::pdac::PDac;
 use pdac_nn::config::TransformerConfig;
 use pdac_nn::inference::TransformerModel;
 use pdac_nn::{AnalogGemm, ExactGemm, GemmBackend};
 
-fn bench_nn(c: &mut Criterion) {
+fn main() {
     let model = TransformerModel::random(TransformerConfig::tiny(), 8, 1);
     let input = model.random_input(2);
     let pdac = AnalogGemm::new(PDac::with_optimal_approx(8).unwrap(), "pdac");
     let backends: [(&str, &dyn GemmBackend); 2] = [("exact", &ExactGemm), ("pdac", &pdac)];
-    let mut group = c.benchmark_group("nn_forward_tiny");
     for (name, backend) in backends {
-        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
-            b.iter(|| model.forward(black_box(&input), backend))
+        bench(&format!("nn_forward_tiny/{name}"), || {
+            model.forward(black_box(&input), backend)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_nn);
-criterion_main!(benches);

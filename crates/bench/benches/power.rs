@@ -1,25 +1,22 @@
-//! Criterion benches of the power/energy model evaluation.
+//! Microbenches of the power/energy model evaluation.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pdac_bench::lt_b_models;
+use pdac_bench::microbench::{bench, black_box};
 use pdac_nn::config::TransformerConfig;
 use pdac_nn::workload::op_trace;
 use pdac_power::EnergyModel;
 
-fn bench_power(c: &mut Criterion) {
+fn main() {
     let (baseline, pdac) = lt_b_models();
-    c.bench_function("power/breakdown", |b| {
-        b.iter(|| baseline.breakdown(black_box(8)).total_watts())
+    bench("power/breakdown", || {
+        baseline.breakdown(black_box(8)).total_watts()
     });
     let trace = op_trace(&TransformerConfig::bert_base());
     let em = EnergyModel::new(pdac);
-    c.bench_function("power/bert_energy", |b| {
-        b.iter(|| em.energy(black_box(&trace), 8).total_j())
+    bench("power/bert_energy", || {
+        em.energy(black_box(&trace), 8).total_j()
     });
-    c.bench_function("power/trace_generation", |b| {
-        b.iter(|| op_trace(black_box(&TransformerConfig::deit_base())))
+    bench("power/trace_generation", || {
+        op_trace(black_box(&TransformerConfig::deit_base()))
     });
 }
-
-criterion_group!(benches, bench_power);
-criterion_main!(benches);

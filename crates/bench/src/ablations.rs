@@ -58,7 +58,11 @@ pub fn k_sweep_report(n: usize) -> String {
          \n    k       objective   max.err%\n",
     );
     for p in &points {
-        let marker = if (p.k - best.k).abs() < 1e-12 { "  <-- minimum" } else { "" };
+        let marker = if (p.k - best.k).abs() < 1e-12 {
+            "  <-- minimum"
+        } else {
+            ""
+        };
         out.push_str(&format!(
             "  {:.3}   {:9.5}   {:7.2}{marker}\n",
             p.k,
@@ -150,7 +154,10 @@ mod tests {
     fn k_sweep_objective_is_unimodal_enough() {
         let points = k_sweep(19);
         // Ends are worse than the interior minimum.
-        let min = points.iter().map(|p| p.objective).fold(f64::INFINITY, f64::min);
+        let min = points
+            .iter()
+            .map(|p| p.objective)
+            .fold(f64::INFINITY, f64::min);
         assert!(points[0].objective > min);
         assert!(points.last().unwrap().objective > min);
     }

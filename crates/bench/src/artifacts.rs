@@ -24,7 +24,10 @@ pub fn text_reports() -> Vec<(&'static str, String)> {
         ("fig10_deit_energy.txt", crate::fig9_10::report_deit()),
         ("fig11_compute_bound.txt", crate::fig11::report()),
         ("ablation_k_sweep.txt", crate::ablations::k_sweep_report(39)),
-        ("ablation_bit_sweep.txt", crate::ablations::bit_sweep_report()),
+        (
+            "ablation_bit_sweep.txt",
+            crate::ablations::bit_sweep_report(),
+        ),
         ("mzi_baseline.txt", crate::mzi_baseline::report()),
         ("generative_decode.txt", crate::generative::report()),
         ("arch_scaling.txt", crate::scaling::report()),
@@ -47,12 +50,19 @@ pub fn csv_tables() -> Vec<(String, String)> {
             ));
         }
     }
-    for config in [TransformerConfig::bert_base(), TransformerConfig::deit_base()] {
+    for config in [
+        TransformerConfig::bert_base(),
+        TransformerConfig::deit_base(),
+    ] {
         let trace = op_trace(&config);
         for (tag, model) in [("baseline", &baseline), ("pdac", &pdac)] {
             for bits in [4u8, 8] {
                 let e = EnergyModel::new(model.clone()).energy(&trace, bits);
-                let name = if config.seq_len == 128 { "bert" } else { "deit" };
+                let name = if config.seq_len == 128 {
+                    "bert"
+                } else {
+                    "deit"
+                };
                 out.push((format!("energy_{name}_{tag}_{bits}bit.csv"), energy_csv(&e)));
             }
         }

@@ -10,6 +10,11 @@ fn main() {
     let points = accuracy_curve(TransformerConfig::tiny(), &[3, 4, 6, 8], 20, 11);
     println!("  converter            bits   accuracy%");
     for p in &points {
-        println!("  {:<19} {:>4}   {:>8.0}", p.converter, p.bits, 100.0 * p.accuracy);
+        println!(
+            "  {:<19} {:>4}   {:>8.0}",
+            p.converter,
+            p.bits,
+            100.0 * p.accuracy
+        );
     }
 }

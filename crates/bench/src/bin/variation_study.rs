@@ -24,15 +24,14 @@ fn main() {
 
     // Post-fabrication trim: probe each bit, correct its TIA weight.
     use pdac_core::variation::VariedPDac;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pdac_math::rng::SplitMix64;
     println!("\npost-fab trim (40 instances at 4x the typical corner, no noise):");
     let params = VariationParams {
         mzm_imbalance_sigma: 0.0,
         tia_weight_sigma: 0.02,
         drive_noise_sigma: 0.0,
     };
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = SplitMix64::seed_from_u64(7);
     let mut before = 0.0f64;
     let mut after = 0.0f64;
     let n = 40;

@@ -11,11 +11,10 @@
 
 use pdac_core::pdac::PDac;
 use pdac_core::MzmDriver;
+use pdac_math::rng::SplitMix64;
 use pdac_math::stats::Summary;
 use pdac_photonics::ber::SlotReceiver;
 use pdac_photonics::eo_interface::OpticalWord;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// One row of the SNR sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,10 +42,11 @@ pub fn sweep(snrs_db: &[f64], trials: usize) -> Vec<BitErrorRow> {
         .map(|&snr| {
             let sigma = 1e-3 / 10f64.powf(snr / 20.0);
             let rx = SlotReceiver::new(1e-3, sigma).expect("valid receiver");
-            let mut rng = StdRng::seed_from_u64(31_337);
+            let mut rng = SplitMix64::seed_from_u64(31_337);
             let mut errors = Summary::new();
             for _ in 0..trials {
-                let code = rng.gen_range(32..=127) * if rng.gen_bool(0.5) { 1 } else { -1 };
+                let code =
+                    rng.gen_range_i64(32, 127) as i32 * if rng.gen_bool(0.5) { 1 } else { -1 };
                 let ideal = code as f64 / 127.0;
                 let word = OpticalWord::encode(code, 8).expect("in range");
                 let received = rx.receive(&word, &mut rng);

@@ -9,12 +9,11 @@
 //! locates the quality factor the interconnect needs to stay below the
 //! P-DAC's own 8.5% error budget.
 
+use pdac_math::rng::SplitMix64;
 use pdac_math::stats::Summary;
 use pdac_photonics::wavelength::WavelengthGrid;
 use pdac_photonics::wdm::WdmLink;
 use pdac_photonics::DDotUnit;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// One row of the crosstalk sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,13 +37,13 @@ pub struct CrosstalkRow {
 pub fn sweep(linewidths_nm: &[f64], channels: usize, samples: usize) -> Vec<CrosstalkRow> {
     assert!(samples > 0, "need at least one sample");
     let unit = DDotUnit::ideal(channels);
-    let mut rng = StdRng::seed_from_u64(424_242);
+    let mut rng = SplitMix64::seed_from_u64(424_242);
     // Pre-draw operand sets so every linewidth sees identical data.
     let operand_sets: Vec<(Vec<f64>, Vec<f64>)> = (0..samples)
         .map(|_| {
-            let x: Vec<f64> = (0..channels).map(|_| rng.gen_range(0.2..1.0)).collect();
+            let x: Vec<f64> = (0..channels).map(|_| rng.gen_range_f64(0.2, 1.0)).collect();
             let y: Vec<f64> = (0..channels)
-                .map(|_| rng.gen_range(0.2..1.0) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 })
+                .map(|_| rng.gen_range_f64(0.2, 1.0) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 })
                 .collect();
             (x, y)
         })

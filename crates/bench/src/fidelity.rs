@@ -72,8 +72,14 @@ pub fn variants_report(samples: usize) -> String {
     let trimmed = minimax_three_segment(2);
     for bits in [4u8, 6, 8] {
         let variants: Vec<(&str, PDac)> = vec![
-            ("first-order", PDac::with_first_order_approx(bits).expect("valid bits")),
-            ("paper Eq.18", PDac::with_optimal_approx(bits).expect("valid bits")),
+            (
+                "first-order",
+                PDac::with_first_order_approx(bits).expect("valid bits"),
+            ),
+            (
+                "paper Eq.18",
+                PDac::with_optimal_approx(bits).expect("valid bits"),
+            ),
             (
                 "minimax-trim",
                 PDac::new(trimmed.to_approx(), bits).expect("valid bits"),
@@ -128,7 +134,10 @@ mod tests {
     #[test]
     fn pdac_fidelity_is_high_at_8_bits() {
         let reports = run(TransformerConfig::tiny(), &[8], 6);
-        let pdac = reports.iter().find(|r| r.backend.contains("P-DAC")).unwrap();
+        let pdac = reports
+            .iter()
+            .find(|r| r.backend.contains("P-DAC"))
+            .unwrap();
         assert!(pdac.mean_cosine > 0.95, "{pdac:?}");
         assert!(pdac.top1_agreement >= 0.5, "{pdac:?}");
     }
@@ -136,8 +145,14 @@ mod tests {
     #[test]
     fn edac_fidelity_exceeds_pdac() {
         let reports = run(TransformerConfig::tiny(), &[8], 6);
-        let pdac = reports.iter().find(|r| r.backend.contains("P-DAC")).unwrap();
-        let edac = reports.iter().find(|r| r.backend.contains("e-DAC")).unwrap();
+        let pdac = reports
+            .iter()
+            .find(|r| r.backend.contains("P-DAC"))
+            .unwrap();
+        let edac = reports
+            .iter()
+            .find(|r| r.backend.contains("e-DAC"))
+            .unwrap();
         assert!(edac.mean_sqnr_db > pdac.mean_sqnr_db);
     }
 

@@ -41,7 +41,11 @@ pub fn report() -> String {
                 100.0 * w / p.total_watts()
             ));
         }
-        let paper_saving = PAPER_SAVINGS.iter().find(|(bb, _)| *bb == bits).expect("table covers both").1;
+        let paper_saving = PAPER_SAVINGS
+            .iter()
+            .find(|(bb, _)| *bb == bits)
+            .expect("table covers both")
+            .1;
         out.push_str(&pct_row(
             &format!("power reduction @ {bits}-bit"),
             power_saving(&baseline, &pdac, bits),

@@ -18,8 +18,12 @@ pub fn report() -> String {
     );
     for (bits, paper_share) in PAPER_DAC_SHARES {
         let b = baseline.breakdown(bits);
-        out.push_str(&format!("\n({}) {}-bit precision — total {:.2} W\n",
-            if bits == 4 { 'a' } else { 'b' }, bits, b.total_watts()));
+        out.push_str(&format!(
+            "\n({}) {}-bit precision — total {:.2} W\n",
+            if bits == 4 { 'a' } else { 'b' },
+            bits,
+            b.total_watts()
+        ));
         for (component, watts) in b.entries() {
             out.push_str(&format!(
                 "  {component:<14} {watts:>7.3} W  ({:>5.1}%)\n",

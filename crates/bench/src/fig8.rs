@@ -22,9 +22,7 @@ pub fn report(samples: usize) -> String {
     let (max_err, at) = optimal.max_reconstruction_error(40_001);
     let (fo_err, fo_at) = first.max_reconstruction_error(40_001);
 
-    let mut out = String::from(
-        "Fig. 8 — f(r) vs arccos(r)\n==========================\n",
-    );
+    let mut out = String::from("Fig. 8 — f(r) vs arccos(r)\n==========================\n");
     out.push_str(&format!(
         "optimal breakpoint k:      measured {k:.4}   paper {PAPER_K}\n"
     ));

@@ -30,14 +30,34 @@ pub struct PaperSavings {
 
 /// Fig. 9 paper datapoints (BERT-base, seq 128).
 pub const PAPER_BERT: [PaperSavings; 2] = [
-    PaperSavings { bits: 4, total: 0.112, attention: 0.183, ffn: 0.110 },
-    PaperSavings { bits: 8, total: 0.323, attention: 0.421, ffn: 0.321 },
+    PaperSavings {
+        bits: 4,
+        total: 0.112,
+        attention: 0.183,
+        ffn: 0.110,
+    },
+    PaperSavings {
+        bits: 8,
+        total: 0.323,
+        attention: 0.421,
+        ffn: 0.321,
+    },
 ];
 
 /// Fig. 10 paper datapoints (DeiT, 197 tokens).
 pub const PAPER_DEIT: [PaperSavings; 2] = [
-    PaperSavings { bits: 4, total: 0.112, attention: 0.190, ffn: 0.126 },
-    PaperSavings { bits: 8, total: 0.323, attention: 0.423, ffn: 0.351 },
+    PaperSavings {
+        bits: 4,
+        total: 0.112,
+        attention: 0.190,
+        ffn: 0.126,
+    },
+    PaperSavings {
+        bits: 8,
+        total: 0.323,
+        attention: 0.423,
+        ffn: 0.351,
+    },
 ];
 
 /// Computes the savings report for a config at one precision.
@@ -96,7 +116,11 @@ fn report_for(config: &TransformerConfig, paper: &[PaperSavings; 2], figure: &st
             p.attention,
         ));
         out.push('\n');
-        out.push_str(&pct_row("FFN reduction", class_saving(&rep, OpClass::Ffn), p.ffn));
+        out.push_str(&pct_row(
+            "FFN reduction",
+            class_saving(&rep, OpClass::Ffn),
+            p.ffn,
+        ));
         out.push('\n');
     }
     out
@@ -151,7 +175,12 @@ mod tests {
     fn deit_savings_match_paper_within_tolerance() {
         for p in PAPER_DEIT {
             let rep = measure(&TransformerConfig::deit_base(), p.bits);
-            assert!((rep.total - p.total).abs() < TOL, "{}-bit total {}", p.bits, rep.total);
+            assert!(
+                (rep.total - p.total).abs() < TOL,
+                "{}-bit total {}",
+                p.bits,
+                rep.total
+            );
             assert!(
                 (class_saving(&rep, OpClass::Attention) - p.attention).abs() < TOL,
                 "{}-bit attention {}",
@@ -171,14 +200,18 @@ mod tests {
     fn qualitative_shape_holds() {
         // The paper's two headline orderings, asserted tightly: attention
         // saves more than FFN; 8-bit saves more than 4-bit.
-        for config in [TransformerConfig::bert_base(), TransformerConfig::deit_base()] {
+        for config in [
+            TransformerConfig::bert_base(),
+            TransformerConfig::deit_base(),
+        ] {
             let r4 = measure(&config, 4);
             let r8 = measure(&config, 8);
             assert!(r8.total > r4.total);
             for r in [&r4, &r8] {
                 assert!(
                     class_saving(r, OpClass::Attention) > class_saving(r, OpClass::Ffn),
-                    "{}", config.name
+                    "{}",
+                    config.name
                 );
             }
         }

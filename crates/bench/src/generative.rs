@@ -142,8 +142,7 @@ mod tests {
         let be = EnergyModel::new(baseline);
         let pe = EnergyModel::new(pdac);
         let prefill = op_trace(&config);
-        let prefill_saving =
-            savings(&be.energy(&prefill, 8), &pe.energy(&prefill, 8)).total;
+        let prefill_saving = savings(&be.energy(&prefill, 8), &pe.energy(&prefill, 8)).total;
         let rows = decode_sweep(&config, &[128], 8);
         assert!(
             rows[0].saving < prefill_saving / 2.0,

@@ -56,12 +56,15 @@ pub fn pareto(samples: usize) -> Vec<DesignPoint> {
                 fidelity_study(&model, &ExactGemm, &backend, samples).mean_sqnr_db
             }
             DriverKind::PhotonicDac => {
-                let backend =
-                    AnalogGemm::new(PDac::with_optimal_approx(8).expect("valid"), name);
+                let backend = AnalogGemm::new(PDac::with_optimal_approx(8).expect("valid"), name);
                 fidelity_study(&model, &ExactGemm, &backend, samples).mean_sqnr_db
             }
         };
-        points.push(DesignPoint { name: name.to_string(), power_saving: saving, sqnr_db: sqnr });
+        points.push(DesignPoint {
+            name: name.to_string(),
+            power_saving: saving,
+            sqnr_db: sqnr,
+        });
     }
     points
 }

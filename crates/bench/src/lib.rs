@@ -29,6 +29,7 @@ pub mod fig8;
 pub mod fig9_10;
 pub mod generative;
 pub mod hybrid;
+pub mod microbench;
 pub mod mzi_baseline;
 pub mod scaling;
 

@@ -43,8 +43,7 @@ pub fn scale_points() -> Vec<ScalePoint> {
     ]
     .into_iter()
     .map(|(name, arch)| {
-        let baseline =
-            PowerModel::new(arch.clone(), tech.clone(), DriverKind::ElectricalDac);
+        let baseline = PowerModel::new(arch.clone(), tech.clone(), DriverKind::ElectricalDac);
         let pdac = PowerModel::new(arch.clone(), tech.clone(), DriverKind::PhotonicDac);
         let bert = EnergyModel::new(pdac.clone()).energy(&trace, 8);
         ScalePoint {
@@ -83,7 +82,11 @@ pub fn report() -> String {
     let tech = TechParams::calibrated();
     let trace = op_trace(&TransformerConfig::bert_base());
     out.push_str("\nBERT total saving per scale:\n");
-    for (name, arch) in [("LT-S", ArchConfig::lt_s()), ("LT-B", ArchConfig::lt_b()), ("LT-L", ArchConfig::lt_l())] {
+    for (name, arch) in [
+        ("LT-S", ArchConfig::lt_s()),
+        ("LT-B", ArchConfig::lt_b()),
+        ("LT-L", ArchConfig::lt_l()),
+    ] {
         let be = EnergyModel::new(PowerModel::new(
             arch.clone(),
             tech.clone(),

@@ -56,7 +56,10 @@ impl ArccosApprox {
     pub fn first_order() -> Self {
         let f = PiecewiseLinear::new(vec![Segment::new(-1.0, 1.0, -1.0, FRAC_PI_2)])
             .expect("single valid segment");
-        Self { function: f, breakpoint: 1.0 }
+        Self {
+            function: f,
+            breakpoint: 1.0,
+        }
     }
 
     /// The three-segment approximation of paper Eq. 18 with an explicit
@@ -74,13 +77,16 @@ impl ArccosApprox {
         // End chord on [k, 1]: passes (k, π/2 − k) and (1, 0).
         let slope_end = (0.0 - (FRAC_PI_2 - k)) / (1.0 - k); // = (k − π/2)/(1 − k)
         let pos_end = Segment::new(k, 1.0, slope_end, -slope_end); // a(r−1)
-        // Negative side by arccos(−r) = π − arccos(r):
-        // f(r) = π − (slope_end·(−r − 1)·…) = slope_end·r + (π + slope_end).
+                                                                   // Negative side by arccos(−r) = π − arccos(r):
+                                                                   // f(r) = π − (slope_end·(−r − 1)·…) = slope_end·r + (π + slope_end).
         let neg_end = Segment::new(-1.0, -k, slope_end, std::f64::consts::PI + slope_end);
         let middle = Segment::new(-k, k, -1.0, FRAC_PI_2);
         let f = PiecewiseLinear::new(vec![neg_end, middle, pos_end])
             .expect("segments are contiguous by construction");
-        Self { function: f, breakpoint: k }
+        Self {
+            function: f,
+            breakpoint: k,
+        }
     }
 
     /// The paper's final approximation: three segments with the optimal
@@ -109,7 +115,10 @@ impl ArccosApprox {
             breakpoint > 0.0 && breakpoint <= 1.0,
             "breakpoint must lie in (0, 1]"
         );
-        Self { function, breakpoint }
+        Self {
+            function,
+            breakpoint,
+        }
     }
 
     /// The positive-domain breakpoint `k` (1.0 for the first-order form).
@@ -191,12 +200,7 @@ pub fn integrated_error_objective(k: f64) -> f64 {
         1e-10,
     );
     let a = (FRAC_PI_2 - k) / (1.0 - k);
-    let second = adaptive_simpson(
-        |r| ((a * (1.0 - r)).cos() - r).abs() / r,
-        k,
-        1.0,
-        1e-10,
-    );
+    let second = adaptive_simpson(|r| ((a * (1.0 - r)).cos() - r).abs() / r, k, 1.0, 1e-10);
     first + second
 }
 
@@ -249,12 +253,20 @@ mod tests {
         assert!((segs[1].slope + 1.0).abs() < 1e-12);
         assert!((segs[1].intercept - FRAC_PI_2).abs() < 1e-12);
         // End segments: slope ≈ −3.0651 (paper's printed coefficient).
-        assert!((segs[2].slope + 3.0651).abs() < 2e-3, "slope={}", segs[2].slope);
+        assert!(
+            (segs[2].slope + 3.0651).abs() < 2e-3,
+            "slope={}",
+            segs[2].slope
+        );
         assert!((segs[0].slope + 3.0651).abs() < 2e-3);
         // Positive end segment passes through (1, 0).
         assert!(segs[2].eval(1.0).abs() < 1e-12);
         // Negative end segment intercept ≈ 0.0765 (paper prints 0.07648).
-        assert!((segs[0].intercept - 0.0765).abs() < 2e-3, "b={}", segs[0].intercept);
+        assert!(
+            (segs[0].intercept - 0.0765).abs() < 2e-3,
+            "b={}",
+            segs[0].intercept
+        );
     }
 
     #[test]
@@ -300,15 +312,9 @@ mod tests {
     fn optimal_beats_first_order_everywhere_that_matters() {
         let opt = ArccosApprox::optimal();
         let first = ArccosApprox::first_order();
-        assert!(
-            opt.max_reconstruction_error(10_001).0
-                < first.max_reconstruction_error(10_001).0
-        );
+        assert!(opt.max_reconstruction_error(10_001).0 < first.max_reconstruction_error(10_001).0);
         // And the integrated objective is smaller than at k→1 (first-order-ish).
-        assert!(
-            integrated_error_objective(opt.breakpoint())
-                < integrated_error_objective(0.99)
-        );
+        assert!(integrated_error_objective(opt.breakpoint()) < integrated_error_objective(0.99));
     }
 
     #[test]

@@ -75,7 +75,11 @@ impl ElectricalDac {
                 return Err(EdacError::UnsupportedBits(b));
             }
         }
-        Ok(Self { bits, dac_bits, mzm: Mzm::ideal() })
+        Ok(Self {
+            bits,
+            dac_bits,
+            mzm: Mzm::ideal(),
+        })
     }
 
     /// DAC output resolution in bits.

@@ -33,7 +33,10 @@ pub struct ErrorReport {
 ///
 /// Panics if `min_magnitude` is negative.
 pub fn analyze(driver: &dyn MzmDriver, min_magnitude: f64) -> ErrorReport {
-    assert!(min_magnitude >= 0.0, "minimum magnitude must be nonnegative");
+    assert!(
+        min_magnitude >= 0.0,
+        "minimum magnitude must be nonnegative"
+    );
     let m = driver.max_code();
     let mut max_rel = (0.0f64, 0i32);
     let mut rel_sum = Summary::new();
@@ -151,10 +154,7 @@ mod tests {
         assert!(pts[0].relative_error < 1e-9);
         assert!(pts[100].relative_error < 1e-9);
         // Worst sampled error near the breakpoint.
-        let worst = pts
-            .iter()
-            .map(|p| p.relative_error)
-            .fold(0.0f64, f64::max);
+        let worst = pts.iter().map(|p| p.relative_error).fold(0.0f64, f64::max);
         assert!((worst - 0.085).abs() < 3e-3);
     }
 

@@ -54,7 +54,10 @@ impl ThreeSegmentParams {
     ///
     /// Panics if `k` is outside `(0, 1)`.
     pub fn to_approx(self) -> ArccosApprox {
-        assert!(self.k > 0.0 && self.k < 1.0, "breakpoint must lie in (0, 1)");
+        assert!(
+            self.k > 0.0 && self.k < 1.0,
+            "breakpoint must lie in (0, 1)"
+        );
         let f_at_k = Self::B_MID + self.a_mid * self.k;
         let mid_pos = Segment::new(0.0, self.k, self.a_mid, Self::B_MID);
         let end_pos = Segment::new(self.k, 1.0, self.a_end, f_at_k - self.a_end * self.k);
@@ -90,7 +93,11 @@ pub fn minimax_three_segment(rounds: usize) -> ThreeSegmentParams {
     let n = 8_001;
     let start = ThreeSegmentParams::paper();
     let objective = |x: &[f64]| {
-        let p = ThreeSegmentParams { k: x[0], a_mid: x[1], a_end: x[2] };
+        let p = ThreeSegmentParams {
+            k: x[0],
+            a_mid: x[1],
+            a_end: x[2],
+        };
         if !(0.05..=0.98).contains(&p.k) {
             return 1e3;
         }
@@ -102,7 +109,11 @@ pub fn minimax_three_segment(rounds: usize) -> ThreeSegmentParams {
         0.05,
         rounds * 200,
     );
-    ThreeSegmentParams { k: m.x[0], a_mid: m.x[1], a_end: m.x[2] }
+    ThreeSegmentParams {
+        k: m.x[0],
+        a_mid: m.x[1],
+        a_end: m.x[2],
+    }
 }
 
 #[cfg(test)]

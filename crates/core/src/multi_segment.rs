@@ -63,9 +63,7 @@ pub fn chord_interpolant(positive_nodes: &[f64]) -> ArccosApprox {
 /// Panics if `segments == 0`.
 pub fn uniform_chords(segments: usize) -> ArccosApprox {
     assert!(segments > 0, "need at least one segment");
-    let nodes: Vec<f64> = (0..=segments)
-        .map(|i| i as f64 / segments as f64)
-        .collect();
+    let nodes: Vec<f64> = (0..=segments).map(|i| i as f64 / segments as f64).collect();
     chord_interpolant(&nodes)
 }
 

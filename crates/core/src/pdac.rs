@@ -132,7 +132,12 @@ impl PDac {
                 )
             })
             .collect();
-        Ok(Self { approx, plan, banks, mzm: Mzm::ideal() })
+        Ok(Self {
+            approx,
+            plan,
+            banks,
+            mzm: Mzm::ideal(),
+        })
     }
 
     /// The arccos approximation in use.
@@ -150,13 +155,13 @@ impl PDac {
     pub fn drive_voltage(&self, code: i32) -> f64 {
         let m = self.plan.max_code();
         let code = code.clamp(-m, m);
-        let word = OpticalWord::encode(code, self.plan.bits())
-            .expect("clamped code is representable");
+        let word =
+            OpticalWord::encode(code, self.plan.bits()).expect("clamped code is representable");
         let currents = word.slot_currents(SLOT_ON_CURRENT);
         let magnitude_currents = &currents[1..];
         let region = self.plan.region_index(code.abs());
-        let v = self.plan.regions()[region].bias
-            + self.banks[region].sum_voltage(magnitude_currents);
+        let v =
+            self.plan.regions()[region].bias + self.banks[region].sum_voltage(magnitude_currents);
         // Sign slot selects the inverting stage with fixed π bias.
         if word.is_negative() {
             PI - v
@@ -274,10 +279,7 @@ mod tests {
         while x <= 1.0 {
             let out = pdac.convert_value(x);
             if x.abs() > 0.05 {
-                assert!(
-                    ((out - x) / x).abs() < 0.1,
-                    "x={x} out={out}"
-                );
+                assert!(((out - x) / x).abs() < 0.1, "x={x} out={out}");
             }
             x += 0.013;
         }
@@ -290,10 +292,7 @@ mod tests {
         let pdac = PDac::with_optimal_approx(8).unwrap();
         for code in -127..=127 {
             let v = pdac.drive_voltage(code);
-            assert!(
-                (-0.01..=PI + 0.01).contains(&v),
-                "code={code} voltage={v}"
-            );
+            assert!((-0.01..=PI + 0.01).contains(&v), "code={code} voltage={v}");
         }
     }
 

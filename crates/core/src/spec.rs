@@ -105,13 +105,21 @@ impl PDacSpec {
 
 impl fmt::Display for PDacSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "P-DAC datasheet — {}-bit, slot current {:.2e} A", self.bits, self.slot_current_a)?;
+        writeln!(
+            f,
+            "P-DAC datasheet — {}-bit, slot current {:.2e} A",
+            self.bits, self.slot_current_a
+        )?;
         writeln!(
             f,
             "  drive range: {:.4} .. {:.4} rad (MZM V1', push-pull)",
             self.drive_range.0, self.drive_range.1
         )?;
-        writeln!(f, "  comparator thresholds (leq): {:?}", self.comparator_thresholds)?;
+        writeln!(
+            f,
+            "  comparator thresholds (leq): {:?}",
+            self.comparator_thresholds
+        )?;
         let (pds, tias, cmps, sums) = self.component_counts;
         writeln!(
             f,

@@ -198,10 +198,11 @@ mod tests {
             Err(WeightError::UnsupportedBits(1))
         );
         // A function over [0, 1] only is rejected.
-        let half = pdac_math::piecewise::PiecewiseLinear::new(vec![
-            pdac_math::piecewise::Segment::new(0.0, 1.0, -1.0, 1.0),
-        ])
-        .unwrap();
+        let half =
+            pdac_math::piecewise::PiecewiseLinear::new(vec![pdac_math::piecewise::Segment::new(
+                0.0, 1.0, -1.0, 1.0,
+            )])
+            .unwrap();
         assert_eq!(
             TiaWeightPlan::synthesize(&half, 8),
             Err(WeightError::BadDomain)

@@ -11,11 +11,10 @@
 
 use crate::approx::ArccosApprox;
 use crate::tia_weights::TiaWeightPlan;
+use pdac_math::rng::SplitMix64;
 use pdac_math::stats::Summary;
 use pdac_math::{Complex64, Mat};
 use pdac_photonics::Mzm;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::f64::consts::PI;
 
 /// Per-device variation magnitudes (1σ, Gaussian).
@@ -76,7 +75,7 @@ impl VariedPDac {
     /// # Panics
     ///
     /// Panics if `bits` is outside `2..=16`.
-    pub fn sample(bits: u8, params: &VariationParams, rng: &mut StdRng) -> Self {
+    pub fn sample(bits: u8, params: &VariationParams, rng: &mut SplitMix64) -> Self {
         let plan = TiaWeightPlan::synthesize(ArccosApprox::optimal().function(), bits)
             .expect("validated bit width");
         let weight_scale = plan
@@ -95,15 +94,14 @@ impl VariedPDac {
             .iter()
             .map(|_| params.tia_weight_sigma * standard_normal(rng) * 0.1)
             .collect();
-        let imbalance =
-            (params.mzm_imbalance_sigma * standard_normal(rng)).clamp(-0.5, 0.5);
+        let imbalance = (params.mzm_imbalance_sigma * standard_normal(rng)).clamp(-0.5, 0.5);
         Self {
             plan,
             weight_scale,
             bias_offset,
             mzm: Mzm::new(1.0, imbalance, 0.0),
             drive_noise_sigma: params.drive_noise_sigma,
-            rng_seed: rng.gen(),
+            rng_seed: rng.next_u64(),
         }
     }
 
@@ -132,7 +130,7 @@ impl VariedPDac {
         }
         if self.drive_noise_sigma > 0.0 {
             let mut rng =
-                StdRng::seed_from_u64(self.rng_seed ^ (code as u64).wrapping_mul(0x9E37));
+                SplitMix64::seed_from_u64(self.rng_seed ^ (code as u64).wrapping_mul(0x9E37));
             v += self.drive_noise_sigma * standard_normal(&mut rng);
         }
         self.mzm.modulate_push_pull(Complex64::ONE, v).re
@@ -168,7 +166,9 @@ impl VariedPDac {
             let toggling: Vec<usize> = (0..mag_bits)
                 .filter(|&i| {
                     let first = (codes[0] >> (mag_bits - 1 - i)) & 1;
-                    codes.iter().any(|&c| (c >> (mag_bits - 1 - i)) & 1 != first)
+                    codes
+                        .iter()
+                        .any(|&c| (c >> (mag_bits - 1 - i)) & 1 != first)
                 })
                 .collect();
             if codes.len() < toggling.len() + 1 {
@@ -178,9 +178,12 @@ impl VariedPDac {
             let a = Mat::from_fn(codes.len(), cols, |r, c| {
                 // Last column is the constant term; the rest indicate
                 // whether the toggling bit is lit in this code.
-                let lit = c == cols - 1
-                    || (codes[r] >> (mag_bits - 1 - toggling[c])) & 1 != 0;
-                if lit { 1.0 } else { 0.0 }
+                let lit = c == cols - 1 || (codes[r] >> (mag_bits - 1 - toggling[c])) & 1 != 0;
+                if lit {
+                    1.0
+                } else {
+                    0.0
+                }
             });
             let y: Vec<f64> = codes
                 .iter()
@@ -203,8 +206,7 @@ impl VariedPDac {
                 .filter(|&i| (codes[0] >> (mag_bits - 1 - i)) & 1 != 0)
                 .map(|i| region.bit_weights[i])
                 .sum();
-            self.bias_offset[region_idx] +=
-                region.bias + stuck_high_nominal - solved[cols - 1];
+            self.bias_offset[region_idx] += region.bias + stuck_high_nominal - solved[cols - 1];
         }
     }
 
@@ -279,9 +281,9 @@ impl VariedPDac {
     }
 }
 
-fn standard_normal(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
+fn standard_normal(rng: &mut SplitMix64) -> f64 {
+    let u1: f64 = rng.open01();
+    let u2: f64 = rng.gen_f64();
     (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos()
 }
 
@@ -312,7 +314,7 @@ pub fn monte_carlo(
     seed: u64,
 ) -> VariationReport {
     assert!(samples > 0, "need at least one sample");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut summary = Summary::new();
     for _ in 0..samples {
         let device = VariedPDac::sample(bits, params, &mut rng);
@@ -335,7 +337,7 @@ mod tests {
 
     #[test]
     fn zero_variation_reproduces_nominal() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::seed_from_u64(1);
         let varied = VariedPDac::sample(8, &VariationParams::none(), &mut rng);
         let nominal = PDac::with_optimal_approx(8).unwrap();
         for code in [-127, -92, -40, 0, 40, 92, 127] {
@@ -371,14 +373,14 @@ mod tests {
 
     #[test]
     fn conversion_is_repeatable_per_instance() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = SplitMix64::seed_from_u64(5);
         let device = VariedPDac::sample(8, &VariationParams::typical(), &mut rng);
         assert_eq!(device.convert(55), device.convert(55));
     }
 
     #[test]
     fn different_instances_differ() {
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = SplitMix64::seed_from_u64(6);
         let a = VariedPDac::sample(8, &VariationParams::typical(), &mut rng);
         let b = VariedPDac::sample(8, &VariationParams::typical(), &mut rng);
         let same = (1..=127).all(|c| (a.convert(c) - b.convert(c)).abs() < 1e-15);
@@ -387,7 +389,7 @@ mod tests {
 
     #[test]
     fn trim_recovers_nominal_error_without_noise() {
-        let mut rng = StdRng::seed_from_u64(21);
+        let mut rng = SplitMix64::seed_from_u64(21);
         let params = VariationParams {
             mzm_imbalance_sigma: 0.0,
             tia_weight_sigma: 0.02, // 4× the typical corner
@@ -402,7 +404,9 @@ mod tests {
         // nominal design up to the near-full-scale sign ambiguity
         // (see trim docs): within a fraction of a point of nominal.
         let nominal = PDac::with_optimal_approx(8).unwrap();
-        let nominal_worst = crate::error_analysis::analyze(&nominal, 0.05).max_relative.0;
+        let nominal_worst = crate::error_analysis::analyze(&nominal, 0.05)
+            .max_relative
+            .0;
         assert!(
             (after - nominal_worst).abs() < 5e-3,
             "after trim: {after} vs {nominal_worst}"
@@ -411,7 +415,7 @@ mod tests {
 
     #[test]
     fn trim_cannot_remove_drive_noise() {
-        let mut rng = StdRng::seed_from_u64(22);
+        let mut rng = SplitMix64::seed_from_u64(22);
         let params = VariationParams {
             mzm_imbalance_sigma: 0.0,
             tia_weight_sigma: 0.0,
@@ -427,7 +431,7 @@ mod tests {
 
     #[test]
     fn quadrature_leakage_tracks_imbalance() {
-        let mut rng = StdRng::seed_from_u64(23);
+        let mut rng = SplitMix64::seed_from_u64(23);
         let quiet = VariedPDac::sample(8, &VariationParams::none(), &mut rng);
         let skewed = VariedPDac::sample(
             8,

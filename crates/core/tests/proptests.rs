@@ -1,69 +1,108 @@
-//! Property-based tests for the converter stack.
+//! Randomized property tests for the converter stack.
+//!
+//! Originally `proptest`-based; now driven by seeded [`SplitMix64`]
+//! streams so the workspace builds offline. Enable `slow-proptests` for
+//! deeper sweeps.
 
 use pdac_core::approx::{integrated_error_objective, ArccosApprox};
 use pdac_core::converter::MzmDriver;
 use pdac_core::edac::ElectricalDac;
 use pdac_core::pdac::PDac;
 use pdac_core::Adc;
-use proptest::prelude::*;
+use pdac_math::rng::SplitMix64;
 
-proptest! {
-    #[test]
-    fn pdac_error_bound_random_codes(bits in 4u8..=10, raw in prop::num::i32::ANY) {
+const CASES: usize = if cfg!(feature = "slow-proptests") {
+    512
+} else {
+    64
+};
+
+#[test]
+fn pdac_error_bound_random_codes() {
+    let mut rng = SplitMix64::seed_from_u64(0xD0);
+    for _ in 0..CASES {
+        let bits = rng.gen_range_i64(4, 10) as u8;
+        let raw = rng.next_u64() as i32;
         let pdac = PDac::with_optimal_approx(bits).unwrap();
         let m = pdac.max_code();
         let code = raw.rem_euclid(2 * m + 1) - m;
         let ideal = pdac.ideal_value(code);
         let got = pdac.convert(code);
         if ideal != 0.0 {
-            prop_assert!(((got - ideal) / ideal).abs() < 0.09);
+            assert!(((got - ideal) / ideal).abs() < 0.09);
         } else {
-            prop_assert!(got.abs() < 1e-9);
+            assert!(got.abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn pdac_is_odd_for_random_codes(bits in 4u8..=10, raw in 1i32..1000) {
+#[test]
+fn pdac_is_odd_for_random_codes() {
+    let mut rng = SplitMix64::seed_from_u64(0xD1);
+    for _ in 0..CASES {
+        let bits = rng.gen_range_i64(4, 10) as u8;
+        let raw = rng.gen_range_i64(1, 999) as i32;
         let pdac = PDac::with_optimal_approx(bits).unwrap();
         let code = raw % (pdac.max_code() + 1);
-        prop_assert!((pdac.convert(code) + pdac.convert(-code)).abs() < 1e-9);
+        assert!((pdac.convert(code) + pdac.convert(-code)).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn pdac_monotone_in_code(bits in 4u8..=8, raw in prop::num::i32::ANY) {
+#[test]
+fn pdac_monotone_in_code() {
+    let mut rng = SplitMix64::seed_from_u64(0xD2);
+    for _ in 0..CASES {
+        let bits = rng.gen_range_i64(4, 8) as u8;
+        let raw = rng.next_u64() as i32;
         let pdac = PDac::with_optimal_approx(bits).unwrap();
         let m = pdac.max_code();
         let code = raw.rem_euclid(2 * m) - m; // in [-m, m-1]
-        prop_assert!(pdac.convert(code + 1) >= pdac.convert(code) - 1e-12);
+        assert!(pdac.convert(code + 1) >= pdac.convert(code) - 1e-12);
     }
+}
 
-    #[test]
-    fn three_segment_reconstruction_bounded(k in 0.3f64..0.95, r in -1.0f64..=1.0) {
+#[test]
+fn three_segment_reconstruction_bounded() {
+    let mut rng = SplitMix64::seed_from_u64(0xD3);
+    for _ in 0..CASES {
+        let k = rng.gen_range_f64(0.3, 0.95);
+        let r = rng.gen_range_f64(-1.0, 1.0);
         let f = ArccosApprox::three_segment(k);
         let out = f.reconstruct(r);
-        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&out));
+        assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&out));
     }
+}
 
-    #[test]
-    fn three_segment_continuous_at_breakpoints(k in 0.2f64..0.9) {
+#[test]
+fn three_segment_continuous_at_breakpoints() {
+    let mut rng = SplitMix64::seed_from_u64(0xD4);
+    for _ in 0..CASES {
+        let k = rng.gen_range_f64(0.2, 0.9);
         let f = ArccosApprox::three_segment(k);
         for bp in [k, -k] {
             let gap = (f.drive(bp - 1e-9) - f.drive(bp + 1e-9)).abs();
-            prop_assert!(gap < 1e-6);
+            assert!(gap < 1e-6);
         }
     }
+}
 
-    #[test]
-    fn objective_no_better_than_solver_minimum(k in 0.1f64..0.9) {
-        // The solver's k is at least as good as any random probe.
-        let best = pdac_core::approx::solve_optimal_breakpoint(1e-6);
-        prop_assert!(
-            integrated_error_objective(best) <= integrated_error_objective(k) + 1e-6
-        );
+#[test]
+fn objective_no_better_than_solver_minimum() {
+    let mut rng = SplitMix64::seed_from_u64(0xD5);
+    // The solver's k is at least as good as any random probe.
+    let best = pdac_core::approx::solve_optimal_breakpoint(1e-6);
+    for _ in 0..CASES {
+        let k = rng.gen_range_f64(0.1, 0.9);
+        assert!(integrated_error_objective(best) <= integrated_error_objective(k) + 1e-6);
     }
+}
 
-    #[test]
-    fn edac_always_beats_pdac_absolutely(bits in 4u8..=10, raw in prop::num::i32::ANY) {
+#[test]
+fn edac_always_beats_pdac_absolutely() {
+    let mut rng = SplitMix64::seed_from_u64(0xD6);
+    for _ in 0..CASES {
+        let bits = rng.gen_range_i64(4, 10) as u8;
+        let raw = rng.next_u64() as i32;
         let pdac = PDac::with_optimal_approx(bits).unwrap();
         let edac = ElectricalDac::new(bits).unwrap();
         let m = pdac.max_code();
@@ -72,76 +111,97 @@ proptest! {
         let pe = (pdac.convert(code) - ideal).abs();
         let ee = (edac.convert(code) - ideal).abs();
         // The baseline is never *worse* by more than its own LSB.
-        prop_assert!(ee <= pe + std::f64::consts::PI / ((1 << bits) as f64));
+        assert!(ee <= pe + std::f64::consts::PI / ((1 << bits) as f64));
     }
+}
 
-    #[test]
-    fn adc_round_trip_error_bounded(bits in 4u8..=12, x in -1.0f64..1.0) {
+#[test]
+fn adc_round_trip_error_bounded() {
+    let mut rng = SplitMix64::seed_from_u64(0xD7);
+    for _ in 0..CASES {
+        let bits = rng.gen_range_i64(4, 12) as u8;
+        let x = rng.gen_range_f64(-1.0, 1.0);
         let adc = Adc::new(bits, 1.0).unwrap();
-        prop_assert!((adc.requantize(x) - x).abs() <= adc.lsb() / 2.0 + 1e-12);
+        assert!((adc.requantize(x) - x).abs() <= adc.lsb() / 2.0 + 1e-12);
     }
+}
 
-    #[test]
-    fn adc_is_monotone(bits in 4u8..=10, x in -0.9f64..0.9, dx in 0.0f64..0.1) {
+#[test]
+fn adc_is_monotone() {
+    let mut rng = SplitMix64::seed_from_u64(0xD8);
+    for _ in 0..CASES {
+        let bits = rng.gen_range_i64(4, 10) as u8;
+        let x = rng.gen_range_f64(-0.9, 0.9);
+        let dx = rng.gen_range_f64(0.0, 0.1);
         let adc = Adc::new(bits, 1.0).unwrap();
-        prop_assert!(adc.sample(x + dx) >= adc.sample(x));
+        assert!(adc.sample(x + dx) >= adc.sample(x));
     }
 }
 
 // --- multi-segment, minimax and variation properties ---------------------
 
 use pdac_core::multi_segment::{chord_interpolant, sine_spaced_chords};
-use pdac_core::variation::{VariedPDac, VariationParams};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pdac_core::variation::{VariationParams, VariedPDac};
 
-proptest! {
-    #[test]
-    fn chord_interpolants_exact_at_interior_node(node in 0.05f64..0.95) {
+#[test]
+fn chord_interpolants_exact_at_interior_node() {
+    let mut rng = SplitMix64::seed_from_u64(0xD9);
+    for _ in 0..CASES {
+        let node = rng.gen_range_f64(0.05, 0.95);
         let f = chord_interpolant(&[0.0, node, 1.0]);
-        prop_assert!((f.drive(node) - node.acos()).abs() < 1e-9);
-        prop_assert!((f.drive(-node) - (-node).acos()).abs() < 1e-9);
+        assert!((f.drive(node) - node.acos()).abs() < 1e-9);
+        assert!((f.drive(-node) - (-node).acos()).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn more_sine_segments_never_increase_error(s in 1usize..8) {
+#[test]
+fn more_sine_segments_never_increase_error() {
+    for s in 1usize..8 {
         let coarse = sine_spaced_chords(s).max_reconstruction_error(2001).0;
         let fine = sine_spaced_chords(s + 1).max_reconstruction_error(2001).0;
-        prop_assert!(fine <= coarse + 1e-9);
+        assert!(fine <= coarse + 1e-9);
     }
+}
 
-    #[test]
-    fn varied_device_conversion_bounded(seed in 0u64..200) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let device = VariedPDac::sample(
-            8,
-            &VariationParams::typical(),
-            &mut rng,
-        );
+#[test]
+fn varied_device_conversion_bounded() {
+    for seed in 0u64..(CASES as u64).min(200) {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let device = VariedPDac::sample(8, &VariationParams::typical(), &mut rng);
         for code in [-127, -64, -1, 0, 1, 64, 127] {
             let out = device.convert(code);
-            prop_assert!((-1.02..=1.02).contains(&out), "code {code}: {out}");
+            assert!((-1.02..=1.02).contains(&out), "code {code}: {out}");
         }
     }
+}
 
-    #[test]
-    fn varied_device_stays_odd_without_noise(seed in 0u64..200, code in 1i32..=127) {
-        let mut rng = StdRng::seed_from_u64(seed);
+#[test]
+fn varied_device_stays_odd_without_noise() {
+    let mut meta = SplitMix64::seed_from_u64(0xDA);
+    for _ in 0..CASES {
+        let seed = meta.gen_range_i64(0, 199) as u64;
+        let code = meta.gen_range_i64(1, 127) as i32;
+        let mut rng = SplitMix64::seed_from_u64(seed);
         let params = VariationParams {
             mzm_imbalance_sigma: 0.02,
             tia_weight_sigma: 0.01,
             drive_noise_sigma: 0.0,
         };
         let device = VariedPDac::sample(8, &params, &mut rng);
-        prop_assert!((device.convert(code) + device.convert(-code)).abs() < 1e-9);
+        assert!((device.convert(code) + device.convert(-code)).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn trim_restores_nominal_behaviour(seed in 0u64..60) {
-        // Trim recovers the *nominal* design (a lucky mismatch can beat
-        // nominal, so "never hurts" would be the wrong property). The
-        // residual is the near-full-scale sign-ambiguity floor.
-        let mut rng = StdRng::seed_from_u64(seed);
+#[test]
+fn trim_restores_nominal_behaviour() {
+    // Trim recovers the *nominal* design (a lucky mismatch can beat
+    // nominal, so "never hurts" would be the wrong property). The
+    // residual is the near-full-scale sign-ambiguity floor.
+    let nominal = pdac_core::error_analysis::analyze(&PDac::with_optimal_approx(8).unwrap(), 0.05)
+        .max_relative
+        .0;
+    for seed in 0u64..(CASES as u64).min(60) {
+        let mut rng = SplitMix64::seed_from_u64(seed);
         let params = VariationParams {
             mzm_imbalance_sigma: 0.0,
             tia_weight_sigma: 0.015,
@@ -150,12 +210,9 @@ proptest! {
         let mut device = VariedPDac::sample(8, &params, &mut rng);
         device.trim();
         let after = device.worst_relative_error(0.05);
-        let nominal = pdac_core::error_analysis::analyze(
-            &PDac::with_optimal_approx(8).unwrap(),
-            0.05,
-        )
-        .max_relative
-        .0;
-        prop_assert!((after - nominal).abs() < 6e-3, "after {after} vs nominal {nominal}");
+        assert!(
+            (after - nominal).abs() < 6e-3,
+            "after {after} vs nominal {nominal}"
+        );
     }
 }

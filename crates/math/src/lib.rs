@@ -35,6 +35,7 @@ pub mod matrix;
 pub mod optimize;
 pub mod piecewise;
 pub mod quant;
+pub mod rng;
 pub mod series;
 pub mod stats;
 pub mod svd;
@@ -43,3 +44,4 @@ pub use complex::Complex64;
 pub use matrix::{CMat, Mat};
 pub use piecewise::{PiecewiseLinear, Segment};
 pub use quant::Quantizer;
+pub use rng::SplitMix64;

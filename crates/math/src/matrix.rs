@@ -36,7 +36,10 @@ impl fmt::Display for MatError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MatError::ShapeMismatch { expected, actual } => {
-                write!(f, "data length {actual} does not match shape ({expected} expected)")
+                write!(
+                    f,
+                    "data length {actual} does not match shape ({expected} expected)"
+                )
             }
             MatError::DimMismatch { left, right } => {
                 write!(
@@ -90,11 +93,7 @@ macro_rules! impl_matrix {
             /// # Errors
             ///
             /// Returns [`MatError::ShapeMismatch`] when `data.len() != rows * cols`.
-            pub fn from_rows(
-                rows: usize,
-                cols: usize,
-                data: Vec<$elem>,
-            ) -> Result<Self, MatError> {
+            pub fn from_rows(rows: usize, cols: usize, data: Vec<$elem>) -> Result<Self, MatError> {
                 if data.len() != rows * cols {
                     return Err(MatError::ShapeMismatch {
                         expected: rows * cols,
@@ -105,7 +104,11 @@ macro_rules! impl_matrix {
             }
 
             /// Creates a matrix by evaluating `f(row, col)` for every element.
-            pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> $elem) -> Self {
+            pub fn from_fn(
+                rows: usize,
+                cols: usize,
+                mut f: impl FnMut(usize, usize) -> $elem,
+            ) -> Self {
                 let mut m = Self::zeros(rows, cols);
                 for r in 0..rows {
                     for c in 0..cols {
@@ -282,7 +285,8 @@ macro_rules! impl_matrix {
             type Output = $name;
             /// Panicking convenience wrapper around the `matmul` method.
             fn mul(self, rhs: &$name) -> $name {
-                self.matmul(rhs).expect("dimension mismatch in matrix product")
+                self.matmul(rhs)
+                    .expect("dimension mismatch in matrix product")
             }
         }
     };
@@ -363,7 +367,10 @@ impl Mat {
                 })
                 .expect("nonempty range");
             if a[(pivot_row, col)].abs() < 1e-12 {
-                return Err(MatError::ShapeMismatch { expected: 0, actual: 0 });
+                return Err(MatError::ShapeMismatch {
+                    expected: 0,
+                    actual: 0,
+                });
             }
             if pivot_row != col {
                 for c in 0..n {
@@ -452,7 +459,11 @@ impl CMat {
         let n = self.rows();
         for r in 0..n {
             for c in 0..n {
-                let expected = if r == c { Complex64::ONE } else { Complex64::ZERO };
+                let expected = if r == c {
+                    Complex64::ONE
+                } else {
+                    Complex64::ZERO
+                };
                 if !prod[(r, c)].approx_eq(expected, tol) {
                     return false;
                 }
@@ -480,7 +491,13 @@ mod tests {
     #[test]
     fn from_rows_validates_length() {
         let err = Mat::from_rows(2, 2, vec![1.0; 3]).unwrap_err();
-        assert_eq!(err, MatError::ShapeMismatch { expected: 4, actual: 3 });
+        assert_eq!(
+            err,
+            MatError::ShapeMismatch {
+                expected: 4,
+                actual: 3
+            }
+        );
         assert!(err.to_string().contains("does not match"));
     }
 
@@ -546,8 +563,7 @@ mod tests {
 
     #[test]
     fn solve_known_system() {
-        let a = Mat::from_rows(3, 3, vec![1.0, 2.0, 0.0, 0.0, 1.0, 1.0, 2.0, 0.0, 3.0])
-            .unwrap();
+        let a = Mat::from_rows(3, 3, vec![1.0, 2.0, 0.0, 0.0, 1.0, 1.0, 2.0, 0.0, 3.0]).unwrap();
         let x_true = [1.5, -2.0, 0.5];
         let b = a.matvec(&x_true).unwrap();
         let x = a.solve(&b).unwrap();
@@ -573,7 +589,10 @@ mod tests {
     #[test]
     fn solve_rejects_nonsquare() {
         let a = Mat::zeros(2, 3);
-        assert!(matches!(a.solve(&[1.0, 2.0]), Err(MatError::DimMismatch { .. })));
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(MatError::DimMismatch { .. })
+        ));
     }
 
     #[test]

@@ -78,13 +78,7 @@ pub fn golden_section(f: impl Fn(f64) -> f64, a: f64, b: f64, tol: f64) -> Minim
 /// let m = grid_then_golden(f, -2.0, 2.0, 101, 1e-10);
 /// assert!((m.x + 1.0).abs() < 0.1);
 /// ```
-pub fn grid_then_golden(
-    f: impl Fn(f64) -> f64,
-    a: f64,
-    b: f64,
-    n: usize,
-    tol: f64,
-) -> Minimum {
+pub fn grid_then_golden(f: impl Fn(f64) -> f64, a: f64, b: f64, n: usize, tol: f64) -> Minimum {
     assert!(n >= 3, "grid scan needs at least 3 points");
     assert!(a < b, "bracket must satisfy a < b");
     assert!(tol > 0.0, "tolerance must be positive");
@@ -102,7 +96,10 @@ pub fn grid_then_golden(
     let lo = a + h * best_i.saturating_sub(1) as f64;
     let hi = (a + h * (best_i + 1) as f64).min(b);
     if lo >= hi {
-        return Minimum { x: lo, value: f(lo) };
+        return Minimum {
+            x: lo,
+            value: f(lo),
+        };
     }
     golden_section(f, lo, hi, tol)
 }
@@ -203,7 +200,10 @@ pub fn nelder_mead(
         }
     }
     simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite objective"));
-    MultiMinimum { x: simplex[0].0.clone(), value: simplex[0].1 }
+    MultiMinimum {
+        x: simplex[0].0.clone(),
+        value: simplex[0].1,
+    }
 }
 
 /// Result of a multi-dimensional minimization.
@@ -234,12 +234,7 @@ pub struct MultiMinimum {
 /// assert!((root - 2f64.sqrt()).abs() < 1e-10);
 /// # Ok::<(), pdac_math::optimize::BracketError>(())
 /// ```
-pub fn bisect(
-    f: impl Fn(f64) -> f64,
-    a: f64,
-    b: f64,
-    tol: f64,
-) -> Result<f64, BracketError> {
+pub fn bisect(f: impl Fn(f64) -> f64, a: f64, b: f64, tol: f64) -> Result<f64, BracketError> {
     let (mut a, mut b) = (a, b);
     let mut fa = f(a);
     let fb = f(b);

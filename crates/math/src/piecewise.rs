@@ -35,7 +35,12 @@ impl Segment {
             lo.is_finite() && hi.is_finite() && slope.is_finite() && intercept.is_finite(),
             "segment parameters must be finite"
         );
-        Self { lo, hi, slope, intercept }
+        Self {
+            lo,
+            hi,
+            slope,
+            intercept,
+        }
     }
 
     /// Creates the segment through two points `(x0, y0)` and `(x1, y1)`.
@@ -83,7 +88,11 @@ impl fmt::Display for PiecewiseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PiecewiseError::Empty => write!(f, "piecewise function needs at least one segment"),
-            PiecewiseError::Discontiguous { index, left_hi, right_lo } => write!(
+            PiecewiseError::Discontiguous {
+                index,
+                left_hi,
+                right_lo,
+            } => write!(
                 f,
                 "segments {index} and {} are discontiguous: {left_hi} vs {right_lo}",
                 index + 1
@@ -251,7 +260,10 @@ mod tests {
             Segment::new(0.5, 1.0, 1.0, 0.0),
         ])
         .unwrap_err();
-        assert!(matches!(err, PiecewiseError::Discontiguous { index: 0, .. }));
+        assert!(matches!(
+            err,
+            PiecewiseError::Discontiguous { index: 0, .. }
+        ));
         assert!(err.to_string().contains("discontiguous"));
     }
 

@@ -36,7 +36,8 @@ impl Svd {
                 us[(r, c)] *= self.s[c];
             }
         }
-        us.matmul(&self.v.transpose()).expect("shapes agree by construction")
+        us.matmul(&self.v.transpose())
+            .expect("shapes agree by construction")
     }
 
     /// Largest singular value (0 for the all-zero matrix).
@@ -74,7 +75,10 @@ impl Svd {
 pub fn svd(a: &Mat) -> Svd {
     let m = a.rows();
     let n = a.cols();
-    assert!(m >= n, "one-sided Jacobi SVD requires rows >= cols; transpose first");
+    assert!(
+        m >= n,
+        "one-sided Jacobi SVD requires rows >= cols; transpose first"
+    );
     let mut w = a.clone(); // becomes U·Σ
     let mut v = Mat::identity(n);
 
@@ -148,7 +152,11 @@ pub fn svd(a: &Mat) -> Svd {
     // orthonormal basis (Gram-Schmidt against the filled columns) so U
     // always has orthonormal columns.
     complete_orthonormal_columns(&mut u, &s_sorted, rank_tol);
-    Svd { u, s: s_sorted, v: v_sorted }
+    Svd {
+        u,
+        s: s_sorted,
+        v: v_sorted,
+    }
 }
 
 /// Replaces the columns of `u` whose singular value is below `tol` with
@@ -218,8 +226,7 @@ mod tests {
 
     #[test]
     fn diagonal_matrix_svd() {
-        let a = Mat::from_rows(3, 3, vec![2.0, 0.0, 0.0, 0.0, 5.0, 0.0, 0.0, 0.0, 1.0])
-            .unwrap();
+        let a = Mat::from_rows(3, 3, vec![2.0, 0.0, 0.0, 0.0, 5.0, 0.0, 0.0, 0.0, 1.0]).unwrap();
         let f = svd(&a);
         assert!((f.s[0] - 5.0).abs() < 1e-12);
         assert!((f.s[1] - 2.0).abs() < 1e-12);

@@ -7,10 +7,8 @@
 //! dimensions (12 layers, d = 768, 12 heads, 4× FFN) — which is why the
 //! paper reports identical total savings for both.
 
-use serde::{Deserialize, Serialize};
-
 /// The shape of a transformer encoder stack.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TransformerConfig {
     /// Workload name used in reports.
     pub name: String,

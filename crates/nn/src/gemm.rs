@@ -67,7 +67,10 @@ pub struct AnalogGemm<D> {
 impl<D: MzmDriver> AnalogGemm<D> {
     /// Wraps a driver.
     pub fn new(driver: D, name: impl Into<String>) -> Self {
-        Self { driver, name: name.into() }
+        Self {
+            driver,
+            name: name.into(),
+        }
     }
 
     /// The wrapped driver.
@@ -78,6 +81,8 @@ impl<D: MzmDriver> AnalogGemm<D> {
 
 impl<D: MzmDriver> GemmBackend for AnalogGemm<D> {
     fn matmul(&self, a: &Mat, b: &Mat) -> Mat {
+        let _span = pdac_telemetry::span("nn.gemm.analog");
+        pdac_telemetry::counter_add("nn.gemm.macs", (a.rows() * a.cols() * b.cols()) as u64);
         let bits = self.driver.bits();
         let aq = QuantizedMat::quantize(a, bits).dequantize_with(&self.driver);
         let bq = QuantizedMat::quantize(b, bits).dequantize_with(&self.driver);
@@ -111,7 +116,11 @@ impl<Da: MzmDriver, Db: MzmDriver> AsymmetricGemm<Da, Db> {
             driver_b.bits(),
             "both operand paths must share a bit width"
         );
-        Self { driver_a, driver_b, name: name.into() }
+        Self {
+            driver_a,
+            driver_b,
+            name: name.into(),
+        }
     }
 }
 
@@ -133,13 +142,12 @@ mod tests {
     use super::*;
     use pdac_core::edac::ElectricalDac;
     use pdac_core::pdac::PDac;
+    use pdac_math::rng::SplitMix64;
     use pdac_math::stats::cosine_similarity;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     fn random_mat(rows: usize, cols: usize, seed: u64) -> Mat {
-        let mut rng = StdRng::seed_from_u64(seed);
-        Mat::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        Mat::from_fn(rows, cols, |_, _| rng.gen_range_f64(-1.0, 1.0))
     }
 
     #[test]

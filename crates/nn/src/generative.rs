@@ -73,6 +73,8 @@ pub fn decode_elementwise_ops(config: &TransformerConfig, context: usize) -> u64
 /// assert!(trace.total_macs() > 0);
 /// ```
 pub fn decode_trace(config: &TransformerConfig, prompt_len: usize, tokens: usize) -> OpTrace {
+    let _span = pdac_telemetry::span("nn.generative.decode_trace");
+    pdac_telemetry::counter_add("nn.generative.trace_tokens", tokens as u64);
     config.validate().expect("config must be valid");
     assert!(tokens > 0, "must decode at least one token");
     let layers = config.layers as u64;
@@ -90,10 +92,7 @@ pub fn decode_trace(config: &TransformerConfig, prompt_len: usize, tokens: usize
         elem += decode_elementwise_ops(config, context);
     }
     OpTrace {
-        name: format!(
-            "{} decode {tokens} tokens @ ctx {prompt_len}",
-            config.name
-        ),
+        name: format!("{} decode {tokens} tokens @ ctx {prompt_len}", config.name),
         entries: vec![
             TraceEntry {
                 class: OpClass::Attention,

@@ -16,10 +16,9 @@
 use crate::config::TransformerConfig;
 use crate::gemm::GemmBackend;
 use crate::ops::{gelu_mat, layer_norm_rows, mean_pool_rows, residual, softmax_rows};
+use pdac_math::rng::SplitMix64;
 use pdac_math::stats::{cosine_similarity, sqnr_db};
 use pdac_math::Mat;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// One encoder layer's weights.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,13 +35,15 @@ struct EncoderLayer {
     ln2_beta: Vec<f64>,
 }
 
-fn random_weight(rng: &mut StdRng, rows: usize, cols: usize) -> Mat {
+fn random_weight(rng: &mut SplitMix64, rows: usize, cols: usize) -> Mat {
     let std = 1.0 / (rows as f64).sqrt();
-    Mat::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0) * std * 1.732)
+    Mat::from_fn(rows, cols, |_, _| {
+        rng.gen_range_f64(-1.0, 1.0) * std * 1.732
+    })
 }
 
 impl EncoderLayer {
-    fn random(config: &TransformerConfig, rng: &mut StdRng) -> Self {
+    fn random(config: &TransformerConfig, rng: &mut SplitMix64) -> Self {
         let d = config.hidden;
         let ff = config.ff_dim();
         Self {
@@ -220,12 +221,16 @@ impl TransformerModel {
     pub fn random(config: TransformerConfig, classes: usize, seed: u64) -> Self {
         config.validate().expect("config must be valid");
         assert!(classes > 0, "need at least one output class");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::seed_from_u64(seed);
         let layers = (0..config.layers)
             .map(|_| EncoderLayer::random(&config, &mut rng))
             .collect();
         let classifier = random_weight(&mut rng, config.hidden, classes);
-        Self { config, layers, classifier }
+        Self {
+            config,
+            layers,
+            classifier,
+        }
     }
 
     /// The model's shape.
@@ -236,15 +241,16 @@ impl TransformerModel {
     /// A seeded random input of shape `seq_len × hidden` (token
     /// embeddings standing in for real data).
     pub fn random_input(&self, seed: u64) -> Mat {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::seed_from_u64(seed);
         Mat::from_fn(self.config.seq_len, self.config.hidden, |_, _| {
-            rng.gen_range(-1.0..1.0)
+            rng.gen_range_f64(-1.0, 1.0)
         })
     }
 
     /// Runs the encoder stack (bidirectional attention), returning the
     /// final hidden states.
     pub fn forward(&self, input: &Mat, backend: &dyn GemmBackend) -> Mat {
+        let _span = pdac_telemetry::span("nn.inference.forward");
         assert_eq!(
             input.shape(),
             (self.config.seq_len, self.config.hidden),
@@ -295,8 +301,14 @@ impl TransformerModel {
         cache: &mut KvCache,
         backend: &dyn GemmBackend,
     ) -> Vec<f64> {
+        let _span = pdac_telemetry::span("nn.inference.decode_step");
+        pdac_telemetry::counter_add("nn.inference.decoded_tokens", 1);
         assert_eq!(token.len(), self.config.hidden, "hidden dim mismatch");
-        assert_eq!(cache.layers.len(), self.layers.len(), "cache layer mismatch");
+        assert_eq!(
+            cache.layers.len(),
+            self.layers.len(),
+            "cache layer mismatch"
+        );
         let mut x = Mat::from_rows(1, token.len(), token.to_vec()).expect("row vector");
         for (layer, layer_cache) in self.layers.iter().zip(&mut cache.layers) {
             x = layer.decode(&x, &self.config, backend, layer_cache);
@@ -447,7 +459,10 @@ mod tests {
         let edac = AnalogGemm::new(ElectricalDac::new(8).unwrap(), "edac-8b");
         let rp = fidelity_study(&m, &ExactGemm, &pdac, 6);
         let re = fidelity_study(&m, &ExactGemm, &edac, 6);
-        assert!(re.mean_sqnr_db > rp.mean_sqnr_db, "edac {re:?} vs pdac {rp:?}");
+        assert!(
+            re.mean_sqnr_db > rp.mean_sqnr_db,
+            "edac {re:?} vs pdac {rp:?}"
+        );
     }
 
     #[test]

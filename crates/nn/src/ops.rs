@@ -27,7 +27,9 @@ pub fn softmax_rows(x: &Mat) -> Mat {
     let mut out = x.clone();
     let cols = x.cols();
     for r in 0..x.rows() {
-        let row_max = (0..cols).map(|c| x[(r, c)]).fold(f64::NEG_INFINITY, f64::max);
+        let row_max = (0..cols)
+            .map(|c| x[(r, c)])
+            .fold(f64::NEG_INFINITY, f64::max);
         let mut sum = 0.0;
         for c in 0..cols {
             let e = (x[(r, c)] - row_max).exp();
@@ -53,8 +55,10 @@ pub fn layer_norm_rows(x: &Mat, gamma: &[f64], beta: &[f64], eps: f64) -> Mat {
     let mut out = x.clone();
     for r in 0..x.rows() {
         let mean: f64 = (0..x.cols()).map(|c| x[(r, c)]).sum::<f64>() / cols;
-        let var: f64 =
-            (0..x.cols()).map(|c| (x[(r, c)] - mean).powi(2)).sum::<f64>() / cols;
+        let var: f64 = (0..x.cols())
+            .map(|c| (x[(r, c)] - mean).powi(2))
+            .sum::<f64>()
+            / cols;
         let denom = (var + eps).sqrt();
         for c in 0..x.cols() {
             out[(r, c)] = (x[(r, c)] - mean) / denom * gamma[c] + beta[c];

@@ -57,9 +57,7 @@ impl QuantizedMat {
         );
         let mut mags: Vec<f64> = x.as_slice().iter().map(|v| v.abs()).collect();
         mags.sort_by(|a, b| a.partial_cmp(b).expect("finite magnitudes"));
-        let idx = ((mags.len() as f64 * percentile).ceil() as usize)
-            .clamp(1, mags.len())
-            - 1;
+        let idx = ((mags.len() as f64 * percentile).ceil() as usize).clamp(1, mags.len()) - 1;
         let scale = if mags[idx] == 0.0 { 1.0 } else { mags[idx] };
         Self::quantize_with_scale(x, bits, scale)
     }

@@ -135,7 +135,10 @@ mod tests {
 
     #[test]
     fn ffn_moves_more_bytes_than_attention() {
-        for c in [TransformerConfig::bert_base(), TransformerConfig::deit_base()] {
+        for c in [
+            TransformerConfig::bert_base(),
+            TransformerConfig::deit_base(),
+        ] {
             assert!(ffn_bytes_per_layer(&c) > attention_bytes_per_layer(&c));
         }
     }

@@ -9,8 +9,7 @@
 //! approximation and one the paper does not budget.
 
 use crate::eo_interface::OpticalWord;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pdac_math::rng::SplitMix64;
 
 /// Gaussian upper-tail probability `Q(x) = P(N(0,1) > x)`, via the
 /// complementary error function (Abramowitz–Stegun 7.1.26 rational
@@ -83,7 +82,10 @@ impl SlotReceiver {
         if !(noise_sigma.is_finite() && noise_sigma >= 0.0) {
             return Err(BerError::BadNoise);
         }
-        Ok(Self { on_current, noise_sigma })
+        Ok(Self {
+            on_current,
+            noise_sigma,
+        })
     }
 
     /// Analytic slot error probability, `Q(I_on / 2σ)` (0 when
@@ -102,13 +104,16 @@ impl SlotReceiver {
     ///
     /// Panics for a noiseless receiver (SNR is unbounded).
     pub fn snr_db(&self) -> f64 {
-        assert!(self.noise_sigma > 0.0, "noiseless receiver has unbounded SNR");
+        assert!(
+            self.noise_sigma > 0.0,
+            "noiseless receiver has unbounded SNR"
+        );
         20.0 * (self.on_current / self.noise_sigma).log10()
     }
 
     /// Receives a word, flipping each slot independently with the slot
     /// error probability (seeded).
-    pub fn receive(&self, word: &OpticalWord, rng: &mut StdRng) -> OpticalWord {
+    pub fn receive(&self, word: &OpticalWord, rng: &mut SplitMix64) -> OpticalWord {
         let p = self.slot_error_rate();
         let bits = word.bits();
         let mut value = word.decode();
@@ -118,7 +123,7 @@ impl SlotReceiver {
         // Flip slots on the decoded representation: rebuild via slots.
         let mut slots: Vec<bool> = word.slots().to_vec();
         for s in &mut slots {
-            if rng.gen_range(0.0..1.0) < p {
+            if rng.gen_f64() < p {
                 *s = !*s;
             }
         }
@@ -139,10 +144,10 @@ impl SlotReceiver {
     pub fn word_error_rate(&self, bits: u8, n: usize, seed: u64) -> f64 {
         assert!(n > 0, "need at least one trial");
         let limit = (1i32 << (bits - 1)) - 1;
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::seed_from_u64(seed);
         let mut errors = 0usize;
         for _ in 0..n {
-            let code = rng.gen_range(-limit..=limit);
+            let code = rng.gen_range_i64(-limit as i64, limit as i64) as i32;
             let word = OpticalWord::encode(code, bits).expect("in range");
             let received = self.receive(&word, &mut rng);
             if received.decode() != code {
@@ -191,13 +196,16 @@ mod tests {
         let wer = rx.word_error_rate(8, 20_000, 7);
         let p = rx.slot_error_rate();
         let analytic = 1.0 - (1.0 - p).powi(8);
-        assert!((wer - analytic).abs() < 0.02, "wer {wer} vs analytic {analytic}");
+        assert!(
+            (wer - analytic).abs() < 0.02,
+            "wer {wer} vs analytic {analytic}"
+        );
     }
 
     #[test]
     fn received_word_stays_representable() {
         let rx = SlotReceiver::new(1e-3, 1e-3).unwrap(); // very noisy
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::seed_from_u64(3);
         for code in [-127, -1, 0, 64, 127] {
             let w = OpticalWord::encode(code, 8).unwrap();
             let r = rx.receive(&w, &mut rng);

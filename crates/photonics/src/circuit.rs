@@ -32,7 +32,10 @@ pub struct TwoPortChain {
 impl TwoPortChain {
     /// An empty chain (identity transfer).
     pub fn new() -> Self {
-        Self { combined: CMat::identity(2), stages: 0 }
+        Self {
+            combined: CMat::identity(2),
+            stages: 0,
+        }
     }
 
     /// Appends a stage at the output end of the chain.
@@ -41,7 +44,11 @@ impl TwoPortChain {
     ///
     /// Panics if `stage` is not 2×2.
     pub fn then(self, stage: CMat) -> Self {
-        assert_eq!(stage.shape(), (2, 2), "stages must be 2x2 transfer matrices");
+        assert_eq!(
+            stage.shape(),
+            (2, 2),
+            "stages must be 2x2 transfer matrices"
+        );
         Self {
             // Output = stage · (previous chain) · input.
             combined: stage.matmul(&self.combined).expect("2x2 shapes"),

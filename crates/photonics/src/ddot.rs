@@ -102,7 +102,13 @@ impl DDotUnit {
         pd_diff: Photodetector,
     ) -> Self {
         assert!(channels > 0, "DDot needs at least one channel");
-        Self { channels, shifter, coupler, pd_sum, pd_diff }
+        Self {
+            channels,
+            shifter,
+            coupler,
+            pd_sum,
+            pd_diff,
+        }
     }
 
     /// Number of WDM channels (vector length handled per cycle).
@@ -180,6 +186,9 @@ impl DDotUnit {
                 supplied: x.len().max(y.len()),
             });
         }
+        // Counter only — this is the innermost hot path; a span here
+        // would dominate the cost of the dot product itself.
+        pdac_telemetry::counter_add("photonics.ddot.ops", 1);
         let xf = OpticalField::from_real(x);
         let yf = OpticalField::from_real(y);
         let (sum_arm, diff_arm) = self.propagate(&xf, &yf)?;
@@ -245,7 +254,13 @@ mod tests {
     fn length_mismatch_reported() {
         let unit = DDotUnit::ideal(3);
         let err = unit.dot(&[1.0, 2.0], &[1.0, 2.0]).unwrap_err();
-        assert_eq!(err, DDotError::LengthMismatch { channels: 3, supplied: 2 });
+        assert_eq!(
+            err,
+            DDotError::LengthMismatch {
+                channels: 3,
+                supplied: 2
+            }
+        );
         assert!(err.to_string().contains("WDM channels"));
     }
 
@@ -306,8 +321,12 @@ mod tests {
     #[test]
     fn large_vector_accuracy() {
         let unit = DDotUnit::ideal(64);
-        let x: Vec<f64> = (0..64).map(|i| ((i * 7 % 13) as f64 / 13.0) - 0.5).collect();
-        let y: Vec<f64> = (0..64).map(|i| ((i * 5 % 11) as f64 / 11.0) - 0.5).collect();
+        let x: Vec<f64> = (0..64)
+            .map(|i| ((i * 7 % 13) as f64 / 13.0) - 0.5)
+            .collect();
+        let y: Vec<f64> = (0..64)
+            .map(|i| ((i * 5 % 11) as f64 / 11.0) - 0.5)
+            .collect();
         let got = unit.dot(&x, &y).unwrap();
         assert!((got - exact_dot(&x, &y)).abs() < 1e-10);
     }

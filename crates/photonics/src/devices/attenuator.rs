@@ -61,7 +61,10 @@ impl Attenuator {
         if !(0.0..=1.0).contains(&t) {
             return Err(AttenuatorError::Gain { coefficient: t });
         }
-        Ok(Self { transmission: t, flip_phase: false })
+        Ok(Self {
+            transmission: t,
+            flip_phase: false,
+        })
     }
 
     /// A signed coefficient in `[−1, 1]`: magnitude as transmission, sign
@@ -74,7 +77,10 @@ impl Attenuator {
         if coefficient.abs() > 1.0 {
             return Err(AttenuatorError::Gain { coefficient });
         }
-        Ok(Self { transmission: coefficient.abs(), flip_phase: coefficient < 0.0 })
+        Ok(Self {
+            transmission: coefficient.abs(),
+            flip_phase: coefficient < 0.0,
+        })
     }
 
     /// Field transmission magnitude.

@@ -39,7 +39,10 @@ impl DirectionalCoupler {
     ///
     /// Panics if `t` is outside `[0, 1]`.
     pub fn new(t: f64) -> Self {
-        assert!((0.0..=1.0).contains(&t), "transmission coefficient must lie in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&t),
+            "transmission coefficient must lie in [0, 1]"
+        );
         Self { t }
     }
 
@@ -64,7 +67,12 @@ impl DirectionalCoupler {
         CMat::from_rows(
             2,
             2,
-            vec![Complex64::from_re(self.t), jk, jk, Complex64::from_re(self.t)],
+            vec![
+                Complex64::from_re(self.t),
+                jk,
+                jk,
+                Complex64::from_re(self.t),
+            ],
         )
         .expect("2x2 literal")
     }

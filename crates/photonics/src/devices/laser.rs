@@ -75,7 +75,11 @@ impl Laser {
         if !(wall_plug_efficiency > 0.0 && wall_plug_efficiency <= 1.0) {
             return Err(LaserError::BadEfficiency);
         }
-        Ok(Self { channels, power_per_channel_watts, wall_plug_efficiency })
+        Ok(Self {
+            channels,
+            power_per_channel_watts,
+            wall_plug_efficiency,
+        })
     }
 
     /// Number of comb lines.

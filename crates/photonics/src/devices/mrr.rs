@@ -39,7 +39,10 @@ impl MicroRing {
     pub fn new(resonance_nm: f64, linewidth_nm: f64) -> Self {
         assert!(resonance_nm > 0.0, "resonance wavelength must be positive");
         assert!(linewidth_nm > 0.0, "linewidth must be positive");
-        Self { resonance_nm, linewidth_nm }
+        Self {
+            resonance_nm,
+            linewidth_nm,
+        }
     }
 
     /// Resonance wavelength in nm.

@@ -45,7 +45,11 @@ impl Mzm {
     /// An ideal MZM: `V_π = 1 V` (so normalized and physical voltages
     /// coincide up to the π/2 factor), perfectly balanced, lossless.
     pub fn ideal() -> Self {
-        Self { v_pi: 1.0, imbalance: 0.0, insertion_loss_db: 0.0 }
+        Self {
+            v_pi: 1.0,
+            imbalance: 0.0,
+            insertion_loss_db: 0.0,
+        }
     }
 
     /// Creates an MZM with explicit parameters.
@@ -57,8 +61,15 @@ impl Mzm {
     pub fn new(v_pi: f64, imbalance: f64, insertion_loss_db: f64) -> Self {
         assert!(v_pi > 0.0, "V_pi must be positive");
         assert!(imbalance.abs() < 1.0, "splitting imbalance |k| must be < 1");
-        assert!(insertion_loss_db >= 0.0, "insertion loss must be nonnegative");
-        Self { v_pi, imbalance, insertion_loss_db }
+        assert!(
+            insertion_loss_db >= 0.0,
+            "insertion loss must be nonnegative"
+        );
+        Self {
+            v_pi,
+            imbalance,
+            insertion_loss_db,
+        }
     }
 
     /// Half-wave voltage `V_π`.

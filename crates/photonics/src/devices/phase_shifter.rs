@@ -92,7 +92,9 @@ mod tests {
     fn minus_90_rotates_to_minus_j() {
         let ps = PhaseShifter::minus_90();
         assert!((ps.phase() + FRAC_PI_2).abs() < 1e-15);
-        assert!(ps.shift(Complex64::ONE).approx_eq(Complex64::new(0.0, -1.0), 1e-12));
+        assert!(ps
+            .shift(Complex64::ONE)
+            .approx_eq(Complex64::new(0.0, -1.0), 1e-12));
     }
 
     #[test]

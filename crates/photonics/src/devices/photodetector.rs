@@ -30,7 +30,10 @@ pub struct Photodetector {
 impl Photodetector {
     /// An ideal detector: unit responsivity, no dark current.
     pub fn ideal() -> Self {
-        Self { responsivity: 1.0, dark_current: 0.0 }
+        Self {
+            responsivity: 1.0,
+            dark_current: 0.0,
+        }
     }
 
     /// Creates a detector with explicit parameters.
@@ -41,7 +44,10 @@ impl Photodetector {
     pub fn new(responsivity: f64, dark_current: f64) -> Self {
         assert!(responsivity > 0.0, "responsivity must be positive");
         assert!(dark_current >= 0.0, "dark current must be nonnegative");
-        Self { responsivity, dark_current }
+        Self {
+            responsivity,
+            dark_current,
+        }
     }
 
     /// Responsivity in A/W.
@@ -115,7 +121,9 @@ mod tests {
         let pd = Photodetector::ideal();
         let mut noise = NoiseModel::gaussian_current(1e-2, 42);
         let field = OpticalField::from_real(&[1.0]);
-        let samples: Vec<f64> = (0..100).map(|_| pd.detect_noisy(&field, &mut noise)).collect();
+        let samples: Vec<f64> = (0..100)
+            .map(|_| pd.detect_noisy(&field, &mut noise))
+            .collect();
         let distinct = samples.windows(2).any(|w| w[0] != w[1]);
         assert!(distinct);
         // Mean should remain near the clean value.

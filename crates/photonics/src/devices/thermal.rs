@@ -54,10 +54,19 @@ impl std::fmt::Display for TuneError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TuneError::BlueShift { shift_nm } => {
-                write!(f, "thermal tuning cannot blue-shift ({shift_nm} nm requested)")
+                write!(
+                    f,
+                    "thermal tuning cannot blue-shift ({shift_nm} nm requested)"
+                )
             }
-            TuneError::OutOfRange { required_mw, limit_mw } => {
-                write!(f, "shift needs {required_mw} mW, heater limit {limit_mw} mW")
+            TuneError::OutOfRange {
+                required_mw,
+                limit_mw,
+            } => {
+                write!(
+                    f,
+                    "shift needs {required_mw} mW, heater limit {limit_mw} mW"
+                )
             }
         }
     }
@@ -144,7 +153,10 @@ impl ThermalCrosstalk {
     /// Typical dense-bank values: 5% nearest-neighbour leak, 3× decay
     /// per ring.
     pub fn typical() -> Self {
-        Self { nearest_coupling: 0.05, decay_per_ring: 3.0 }
+        Self {
+            nearest_coupling: 0.05,
+            decay_per_ring: 3.0,
+        }
     }
 
     /// Coupling coefficient between rings `i` and `j`.

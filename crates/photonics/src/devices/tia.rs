@@ -33,8 +33,14 @@ impl Tia {
     /// resistance is permitted: an inverting TIA stage realizes negative
     /// bit weights (needed for the P-DAC's negative-slope segments).
     pub fn new(feedback_ohms: f64) -> Self {
-        assert!(feedback_ohms.is_finite(), "feedback resistance must be finite");
-        Self { feedback_ohms, saturation_volts: None }
+        assert!(
+            feedback_ohms.is_finite(),
+            "feedback resistance must be finite"
+        );
+        Self {
+            feedback_ohms,
+            saturation_volts: None,
+        }
     }
 
     /// Creates a TIA whose output clips at `±saturation_volts`.
@@ -43,9 +49,18 @@ impl Tia {
     ///
     /// Panics if `saturation_volts <= 0` or `feedback_ohms` is not finite.
     pub fn with_saturation(feedback_ohms: f64, saturation_volts: f64) -> Self {
-        assert!(feedback_ohms.is_finite(), "feedback resistance must be finite");
-        assert!(saturation_volts > 0.0, "saturation voltage must be positive");
-        Self { feedback_ohms, saturation_volts: Some(saturation_volts) }
+        assert!(
+            feedback_ohms.is_finite(),
+            "feedback resistance must be finite"
+        );
+        assert!(
+            saturation_volts > 0.0,
+            "saturation voltage must be positive"
+        );
+        Self {
+            feedback_ohms,
+            saturation_volts: Some(saturation_volts),
+        }
     }
 
     /// Feedback resistance `R_f` in ohms.
@@ -96,7 +111,9 @@ impl TiaBank {
     /// Panics if `weights` is empty.
     pub fn new(weights: Vec<f64>) -> Self {
         assert!(!weights.is_empty(), "TIA bank needs at least one stage");
-        Self { stages: weights.into_iter().map(Tia::new).collect() }
+        Self {
+            stages: weights.into_iter().map(Tia::new).collect(),
+        }
     }
 
     /// Number of stages.

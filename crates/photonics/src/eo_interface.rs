@@ -158,7 +158,11 @@ impl EoInterface {
         if !(2..=16).contains(&bits) {
             return Err(EoError::UnsupportedBits(bits));
         }
-        Ok(Self { bits, words_sent: 0, modulation_events: 0 })
+        Ok(Self {
+            bits,
+            words_sent: 0,
+            modulation_events: 0,
+        })
     }
 
     /// Bit width.
@@ -244,7 +248,13 @@ mod tests {
     #[test]
     fn out_of_range_rejected() {
         let err = OpticalWord::encode(128, 8).unwrap_err();
-        assert_eq!(err, EoError::OutOfRange { value: 128, limit: 127 });
+        assert_eq!(
+            err,
+            EoError::OutOfRange {
+                value: 128,
+                limit: 127
+            }
+        );
         assert!(OpticalWord::encode(-128, 8).is_err());
         assert!(OpticalWord::encode(127, 8).is_ok());
     }
@@ -252,7 +262,10 @@ mod tests {
     #[test]
     fn unsupported_bits_rejected() {
         assert_eq!(OpticalWord::encode(0, 1), Err(EoError::UnsupportedBits(1)));
-        assert_eq!(OpticalWord::encode(0, 17), Err(EoError::UnsupportedBits(17)));
+        assert_eq!(
+            OpticalWord::encode(0, 17),
+            Err(EoError::UnsupportedBits(17))
+        );
     }
 
     #[test]
@@ -293,7 +306,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = EoError::OutOfRange { value: 300, limit: 127 };
+        let e = EoError::OutOfRange {
+            value: 300,
+            limit: 127,
+        };
         assert!(e.to_string().contains("300"));
     }
 }

@@ -34,7 +34,9 @@ impl OpticalField {
     /// Panics if `channels == 0`.
     pub fn dark(channels: usize) -> Self {
         assert!(channels > 0, "field needs at least one channel");
-        Self { amplitudes: vec![Complex64::ZERO; channels] }
+        Self {
+            amplitudes: vec![Complex64::ZERO; channels],
+        }
     }
 
     /// Builds a field from per-channel real amplitudes (zero phase).
@@ -176,7 +178,10 @@ mod tests {
         let a = OpticalField::from_real(&[1.0]);
         let mut b = OpticalField::dark(1);
         // π phase: destructive interference.
-        b.set(ChannelId(0), Complex64::from_polar(1.0, std::f64::consts::PI));
+        b.set(
+            ChannelId(0),
+            Complex64::from_polar(1.0, std::f64::consts::PI),
+        );
         let sum = a.superpose(&b);
         assert!(sum.total_intensity() < 1e-12);
     }

@@ -121,7 +121,10 @@ impl MziMesh {
                 }
                 let theta = b.atan2(a);
                 // Left-multiply by G(row-1, row, -theta): zeroes (row, col).
-                let rot = PlaneRotation { channel: row - 1, theta: -theta };
+                let rot = PlaneRotation {
+                    channel: row - 1,
+                    theta: -theta,
+                };
                 for c in 0..n {
                     let x0 = work[(row - 1, c)];
                     let x1 = work[(row, c)];
@@ -136,9 +139,16 @@ impl MziMesh {
         let rotations = eliminations
             .into_iter()
             .rev()
-            .map(|g| PlaneRotation { channel: g.channel, theta: -g.theta })
+            .map(|g| PlaneRotation {
+                channel: g.channel,
+                theta: -g.theta,
+            })
             .collect();
-        Ok(Self { n, rotations, signs })
+        Ok(Self {
+            n,
+            rotations,
+            signs,
+        })
     }
 
     /// Waveguide count.
@@ -209,8 +219,7 @@ impl MappingCostModel {
     /// Total reprogramming latency for an `n × n` operand.
     pub fn mapping_seconds(&self, n: usize) -> f64 {
         let mzis = n * (n - 1); // two meshes of n(n−1)/2
-        self.decompose_seconds_per_n3 * (n as f64).powi(3)
-            + self.phase_update_seconds * mzis as f64
+        self.decompose_seconds_per_n3 * (n as f64).powi(3) + self.phase_update_seconds * mzis as f64
     }
 }
 
@@ -239,6 +248,7 @@ impl MziMeshPtc {
     ///
     /// Returns [`MeshError::NotSquare`] for non-square input.
     pub fn program(w: &Mat) -> Result<Self, MeshError> {
+        let _span = pdac_telemetry::span("photonics.mzi_mesh.program");
         let n = w.rows();
         if w.cols() != n {
             return Err(MeshError::NotSquare);
@@ -272,6 +282,7 @@ impl MziMeshPtc {
     ///
     /// Panics if `x.len() != self.dim()`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        pdac_telemetry::counter_add("photonics.mzi_mesh.matvecs", 1);
         let mut y = self.v_t_mesh.apply(x);
         for (v, a) in y.iter_mut().zip(&self.attenuations) {
             *v *= a;
@@ -390,7 +401,10 @@ mod tests {
 
     #[test]
     fn rotation_coupler_equivalent() {
-        let rot = PlaneRotation { channel: 0, theta: 0.0 };
+        let rot = PlaneRotation {
+            channel: 0,
+            theta: 0.0,
+        };
         assert!((rot.equivalent_coupler().t() - 1.0).abs() < 1e-12);
     }
 }

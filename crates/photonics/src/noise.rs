@@ -7,8 +7,7 @@
 //! seeded Gaussian model: a signal-proportional term standing in for shot
 //! noise and relative intensity noise, plus a constant-σ thermal term.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pdac_math::rng::SplitMix64;
 
 /// A seeded Gaussian noise model for photocurrents.
 ///
@@ -28,13 +27,17 @@ use rand::{Rng, SeedableRng};
 pub struct NoiseModel {
     thermal_sigma: f64,
     relative_sigma: f64,
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl NoiseModel {
     /// A model that adds no noise (deterministic pass-through).
     pub fn disabled(seed: u64) -> Self {
-        Self { thermal_sigma: 0.0, relative_sigma: 0.0, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            thermal_sigma: 0.0,
+            relative_sigma: 0.0,
+            rng: SplitMix64::seed_from_u64(seed),
+        }
     }
 
     /// Constant-σ additive Gaussian noise on the current (thermal/TIA
@@ -45,7 +48,11 @@ impl NoiseModel {
     /// Panics if `sigma < 0`.
     pub fn gaussian_current(sigma: f64, seed: u64) -> Self {
         assert!(sigma >= 0.0, "noise sigma must be nonnegative");
-        Self { thermal_sigma: sigma, relative_sigma: 0.0, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            thermal_sigma: sigma,
+            relative_sigma: 0.0,
+            rng: SplitMix64::seed_from_u64(seed),
+        }
     }
 
     /// Full model: constant thermal σ plus a signal-proportional term
@@ -58,7 +65,11 @@ impl NoiseModel {
     pub fn new(thermal_sigma: f64, relative_sigma: f64, seed: u64) -> Self {
         assert!(thermal_sigma >= 0.0, "thermal sigma must be nonnegative");
         assert!(relative_sigma >= 0.0, "relative sigma must be nonnegative");
-        Self { thermal_sigma, relative_sigma, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            thermal_sigma,
+            relative_sigma,
+            rng: SplitMix64::seed_from_u64(seed),
+        }
     }
 
     /// Whether the model actually perturbs values.
@@ -79,8 +90,8 @@ impl NoiseModel {
 
     /// Box-Muller standard normal draw.
     fn standard_normal(&mut self) -> f64 {
-        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let u1: f64 = self.rng.open01();
+        let u2: f64 = self.rng.gen_f64();
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
     }
 }

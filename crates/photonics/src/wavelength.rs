@@ -46,7 +46,11 @@ impl WavelengthGrid {
         assert!(count > 0, "grid needs at least one channel");
         assert!(start_nm > 0.0, "start wavelength must be positive");
         assert!(spacing_nm > 0.0, "channel spacing must be positive");
-        Self { start_nm, spacing_nm, count }
+        Self {
+            start_nm,
+            spacing_nm,
+            count,
+        }
     }
 
     /// Standard dense C-band grid: 1550.0 nm start, 0.8 nm (100 GHz)
@@ -82,7 +86,11 @@ impl WavelengthGrid {
     ///
     /// Panics if `ch` is outside this grid.
     pub fn wavelength_nm(&self, ch: ChannelId) -> f64 {
-        assert!(ch.0 < self.count, "channel {ch} outside grid of {}", self.count);
+        assert!(
+            ch.0 < self.count,
+            "channel {ch} outside grid of {}",
+            self.count
+        );
         self.start_nm + ch.0 as f64 * self.spacing_nm
     }
 

@@ -112,9 +112,8 @@ impl WdmLink {
         for rx in self.grid.channels() {
             for tx in self.grid.channels() {
                 if tx != rx {
-                    worst = worst.max(
-                        self.demux[rx.0].drop_power_fraction(self.grid.wavelength_nm(tx)),
-                    );
+                    worst = worst
+                        .max(self.demux[rx.0].drop_power_fraction(self.grid.wavelength_nm(tx)));
                 }
             }
         }

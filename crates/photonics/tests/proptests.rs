@@ -1,9 +1,15 @@
-//! Property-based tests for the photonic substrate.
+//! Randomized property tests for the photonic substrate.
 //!
 //! The central invariants: passive devices conserve energy, the DDot unit
 //! computes exact dot products for arbitrary bounded operands, and the
 //! EO interface round-trips every representable code.
+//!
+//! Originally `proptest`-based; now driven by seeded [`SplitMix64`]
+//! streams so the workspace builds offline. Enable `slow-proptests` for
+//! deeper sweeps.
 
+use pdac_math::rng::SplitMix64;
+use pdac_math::Complex64;
 use pdac_photonics::circuit::TwoPortChain;
 use pdac_photonics::ddot::DDotUnit;
 use pdac_photonics::devices::coupler::DirectionalCoupler;
@@ -11,79 +17,99 @@ use pdac_photonics::devices::mzm::Mzm;
 use pdac_photonics::devices::phase_shifter::PhaseShifter;
 use pdac_photonics::eo_interface::OpticalWord;
 use pdac_photonics::field::OpticalField;
-use pdac_math::Complex64;
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn coupler_conserves_energy(
-        t in 0.0f64..=1.0,
-        ar in -2.0f64..2.0, ai in -2.0f64..2.0,
-        br in -2.0f64..2.0, bi in -2.0f64..2.0,
-    ) {
-        let dc = DirectionalCoupler::new(t);
-        let a = Complex64::new(ar, ai);
-        let b = Complex64::new(br, bi);
+const CASES: usize = if cfg!(feature = "slow-proptests") {
+    512
+} else {
+    64
+};
+
+#[test]
+fn coupler_conserves_energy() {
+    let mut rng = SplitMix64::seed_from_u64(0xF0);
+    for _ in 0..CASES {
+        let dc = DirectionalCoupler::new(rng.gen_f64());
+        let a = Complex64::new(rng.gen_range_f64(-2.0, 2.0), rng.gen_range_f64(-2.0, 2.0));
+        let b = Complex64::new(rng.gen_range_f64(-2.0, 2.0), rng.gen_range_f64(-2.0, 2.0));
         let (o1, o2) = dc.couple(a, b);
         let pin = a.norm_sqr() + b.norm_sqr();
         let pout = o1.norm_sqr() + o2.norm_sqr();
-        prop_assert!((pin - pout).abs() < 1e-9 * (1.0 + pin));
+        assert!((pin - pout).abs() < 1e-9 * (1.0 + pin));
     }
+}
 
-    #[test]
-    fn mzm_push_pull_matches_cosine(v in -6.28f64..6.28, e in 0.1f64..3.0) {
+#[test]
+fn mzm_push_pull_matches_cosine() {
+    let mut rng = SplitMix64::seed_from_u64(0xF1);
+    for _ in 0..CASES {
+        let v = rng.gen_range_f64(-std::f64::consts::TAU, std::f64::consts::TAU);
+        let e = rng.gen_range_f64(0.1, 3.0);
         let mzm = Mzm::ideal();
         let out = mzm.modulate_push_pull(Complex64::from_re(e), v);
-        prop_assert!((out.re - e * v.cos()).abs() < 1e-9);
-        prop_assert!(out.im.abs() < 1e-9);
+        assert!((out.re - e * v.cos()).abs() < 1e-9);
+        assert!(out.im.abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn mzm_encode_exact_is_exact(r in -1.0f64..=1.0) {
+#[test]
+fn mzm_encode_exact_is_exact() {
+    let mut rng = SplitMix64::seed_from_u64(0xF2);
+    for _ in 0..CASES {
+        let r = rng.gen_range_f64(-1.0, 1.0);
         let mzm = Mzm::ideal();
         let out = mzm.encode_exact(Complex64::ONE, r);
-        prop_assert!((out.re - r).abs() < 1e-10);
+        assert!((out.re - r).abs() < 1e-10);
     }
+}
 
-    #[test]
-    fn mzm_transfer_never_exceeds_input(
-        v1 in -10.0f64..10.0,
-        v2 in -10.0f64..10.0,
-        k in -0.9f64..0.9,
-    ) {
+#[test]
+fn mzm_transfer_never_exceeds_input() {
+    let mut rng = SplitMix64::seed_from_u64(0xF3);
+    for _ in 0..CASES {
+        let v1 = rng.gen_range_f64(-10.0, 10.0);
+        let v2 = rng.gen_range_f64(-10.0, 10.0);
+        let k = rng.gen_range_f64(-0.9, 0.9);
         let mzm = Mzm::new(1.0, k, 0.0);
         let out = mzm.modulate(Complex64::ONE, v1, v2);
-        prop_assert!(out.norm() <= 1.0 + 1e-9);
+        assert!(out.norm() <= 1.0 + 1e-9);
     }
+}
 
-    #[test]
-    fn ddot_computes_exact_dot(
-        x in prop::collection::vec(-1.0f64..1.0, 1..32),
-    ) {
-        let n = x.len();
+#[test]
+fn ddot_computes_exact_dot() {
+    let mut rng = SplitMix64::seed_from_u64(0xF4);
+    for _ in 0..CASES {
+        let n = rng.gen_range_usize(1, 31);
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range_f64(-1.0, 1.0)).collect();
         let y: Vec<f64> = x.iter().rev().map(|v| 0.7 - v).collect();
         let unit = DDotUnit::ideal(n);
         let got = unit.dot(&x, &y).unwrap();
         let exact: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
-        prop_assert!((got - exact).abs() < 1e-9 * (1.0 + exact.abs()));
+        assert!((got - exact).abs() < 1e-9 * (1.0 + exact.abs()));
     }
+}
 
-    #[test]
-    fn ddot_is_bilinear_in_scale(s in -2.0f64..2.0) {
+#[test]
+fn ddot_is_bilinear_in_scale() {
+    let mut rng = SplitMix64::seed_from_u64(0xF5);
+    for _ in 0..CASES {
+        let s = rng.gen_range_f64(-2.0, 2.0);
         let unit = DDotUnit::ideal(3);
         let x = [0.5, -0.25, 0.75];
         let xs: Vec<f64> = x.iter().map(|v| v * s).collect();
         let y = [0.3, 0.6, -0.9];
         let base = unit.dot(&x, &y).unwrap();
         let scaled = unit.dot(&xs, &y).unwrap();
-        prop_assert!((scaled - s * base).abs() < 1e-9);
+        assert!((scaled - s * base).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn ddot_propagation_conserves_energy(
-        x in prop::collection::vec(-1.0f64..1.0, 1..16),
-    ) {
-        let n = x.len();
+#[test]
+fn ddot_propagation_conserves_energy() {
+    let mut rng = SplitMix64::seed_from_u64(0xF6);
+    for _ in 0..CASES {
+        let n = rng.gen_range_usize(1, 15);
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range_f64(-1.0, 1.0)).collect();
         let y: Vec<f64> = x.iter().map(|v| 1.0 - v.abs()).collect();
         let unit = DDotUnit::ideal(n);
         let xf = OpticalField::from_real(&x);
@@ -91,38 +117,51 @@ proptest! {
         let (s, d) = unit.propagate(&xf, &yf).unwrap();
         let pin = xf.total_intensity() + yf.total_intensity();
         let pout = s.total_intensity() + d.total_intensity();
-        prop_assert!((pin - pout).abs() < 1e-9 * (1.0 + pin));
+        assert!((pin - pout).abs() < 1e-9 * (1.0 + pin));
     }
+}
 
-    #[test]
-    fn optical_word_round_trips(bits in 2u8..=12, raw in prop::num::i32::ANY) {
+#[test]
+fn optical_word_round_trips() {
+    let mut rng = SplitMix64::seed_from_u64(0xF7);
+    for _ in 0..CASES {
+        let bits = rng.gen_range_i64(2, 12) as u8;
+        let raw = rng.next_u64() as i32;
         let limit = (1i32 << (bits - 1)) - 1;
         let value = raw.rem_euclid(2 * limit + 1) - limit;
         let w = OpticalWord::encode(value, bits).unwrap();
-        prop_assert_eq!(w.decode(), value);
-        prop_assert_eq!(w.bits(), bits);
+        assert_eq!(w.decode(), value);
+        assert_eq!(w.bits(), bits);
     }
+}
 
-    #[test]
-    fn chains_of_unitaries_stay_unitary(
-        phases in prop::collection::vec(-3.0f64..3.0, 1..6),
-        ts in prop::collection::vec(0.0f64..=1.0, 1..6),
-    ) {
+#[test]
+fn chains_of_unitaries_stay_unitary() {
+    let mut rng = SplitMix64::seed_from_u64(0xF8);
+    for _ in 0..CASES {
+        let stages = rng.gen_range_usize(1, 5);
         let mut chain = TwoPortChain::new();
-        for (p, t) in phases.iter().zip(&ts) {
+        for _ in 0..stages {
+            let p = rng.gen_range_f64(-3.0, 3.0);
+            let t = rng.gen_f64();
             chain = chain
-                .then(PhaseShifter::new(*p).transfer_bottom())
-                .then(DirectionalCoupler::new(*t).transfer());
+                .then(PhaseShifter::new(p).transfer_bottom())
+                .then(DirectionalCoupler::new(t).transfer());
         }
-        prop_assert!(chain.is_lossless(1e-9));
+        assert!(chain.is_lossless(1e-9));
     }
+}
 
-    #[test]
-    fn attenuation_is_monotone(db1 in 0.0f64..20.0, extra in 0.0f64..20.0) {
+#[test]
+fn attenuation_is_monotone() {
+    let mut rng = SplitMix64::seed_from_u64(0xF9);
+    for _ in 0..CASES {
+        let db1 = rng.gen_range_f64(0.0, 20.0);
+        let extra = rng.gen_range_f64(0.0, 20.0);
         let f = OpticalField::from_real(&[1.0]);
         let p1 = f.attenuate_db(db1).total_intensity();
         let p2 = f.attenuate_db(db1 + extra).total_intensity();
-        prop_assert!(p2 <= p1 + 1e-12);
+        assert!(p2 <= p1 + 1e-12);
     }
 }
 
@@ -142,38 +181,51 @@ fn seeded_matrix(n: usize, seed: u64) -> Mat {
     })
 }
 
-proptest! {
-    #[test]
-    fn mesh_matches_orthogonal_matvec(n in 2usize..10, seed in 1u64..500) {
+#[test]
+fn mesh_matches_orthogonal_matvec() {
+    let mut rng = SplitMix64::seed_from_u64(0xFA);
+    for _ in 0..CASES.min(32) {
+        let n = rng.gen_range_usize(2, 9);
+        let seed = rng.gen_range_i64(1, 499) as u64;
         let q = svd(&seeded_matrix(n, seed)).u;
         let mesh = MziMesh::from_orthogonal(&q).unwrap();
         let x: Vec<f64> = (0..n).map(|i| ((i * 3 % 7) as f64 / 7.0) - 0.4).collect();
         let want = q.matvec(&x).unwrap();
         let got = mesh.apply(&x);
         for (w, g) in want.iter().zip(&got) {
-            prop_assert!((w - g).abs() < 1e-8);
+            assert!((w - g).abs() < 1e-8);
         }
     }
+}
 
-    #[test]
-    fn mesh_preserves_vector_norm(n in 2usize..10, seed in 1u64..500) {
+#[test]
+fn mesh_preserves_vector_norm() {
+    let mut rng = SplitMix64::seed_from_u64(0xFB);
+    for _ in 0..CASES.min(32) {
+        let n = rng.gen_range_usize(2, 9);
+        let seed = rng.gen_range_i64(1, 499) as u64;
         let q = svd(&seeded_matrix(n, seed)).u;
         let mesh = MziMesh::from_orthogonal(&q).unwrap();
         let x: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0) / n as f64).collect();
         let nin: f64 = x.iter().map(|v| v * v).sum();
         let nout: f64 = mesh.apply(&x).iter().map(|v| v * v).sum();
-        prop_assert!((nin - nout).abs() < 1e-8 * (1.0 + nin));
+        assert!((nin - nout).abs() < 1e-8 * (1.0 + nin));
     }
+}
 
-    #[test]
-    fn programmed_ptc_reproduces_matvec(n in 2usize..9, seed in 1u64..300) {
+#[test]
+fn programmed_ptc_reproduces_matvec() {
+    let mut rng = SplitMix64::seed_from_u64(0xFC);
+    for _ in 0..CASES.min(32) {
+        let n = rng.gen_range_usize(2, 8);
+        let seed = rng.gen_range_i64(1, 299) as u64;
         let w = seeded_matrix(n, seed);
         let ptc = MziMeshPtc::program(&w).unwrap();
         let x: Vec<f64> = (0..n).map(|i| 0.8 - (i as f64) / (n as f64)).collect();
         let want = w.matvec(&x).unwrap();
         let got = ptc.matvec(&x);
         for (a, b) in want.iter().zip(&got) {
-            prop_assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+            assert!((a - b).abs() < 1e-7, "{a} vs {b}");
         }
     }
 }
@@ -182,35 +234,49 @@ proptest! {
 
 use pdac_photonics::ber::{q_function, SlotReceiver};
 
-proptest! {
-    #[test]
-    fn q_function_is_decreasing(x in -5.0f64..5.0, dx in 0.001f64..2.0) {
-        prop_assert!(q_function(x + dx) <= q_function(x) + 1e-12);
+#[test]
+fn q_function_is_decreasing() {
+    let mut rng = SplitMix64::seed_from_u64(0xFD);
+    for _ in 0..CASES {
+        let x = rng.gen_range_f64(-5.0, 5.0);
+        let dx = rng.gen_range_f64(0.001, 2.0);
+        assert!(q_function(x + dx) <= q_function(x) + 1e-12);
     }
+}
 
-    #[test]
-    fn q_function_complement(x in -5.0f64..5.0) {
-        prop_assert!((q_function(x) + q_function(-x) - 1.0).abs() < 1e-6);
+#[test]
+fn q_function_complement() {
+    let mut rng = SplitMix64::seed_from_u64(0xFE);
+    for _ in 0..CASES {
+        let x = rng.gen_range_f64(-5.0, 5.0);
+        assert!((q_function(x) + q_function(-x) - 1.0).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn slot_error_rate_in_unit_interval(on in 1e-6f64..1e-2, sigma in 0.0f64..1e-2) {
+#[test]
+fn slot_error_rate_in_unit_interval() {
+    let mut rng = SplitMix64::seed_from_u64(0xFF);
+    for _ in 0..CASES {
+        let on = rng.gen_range_f64(1e-6, 1e-2);
+        let sigma = rng.gen_range_f64(0.0, 1e-2);
         let rx = SlotReceiver::new(on, sigma).unwrap();
         let p = rx.slot_error_rate();
-        prop_assert!((0.0..=0.5).contains(&p), "p = {p}");
+        assert!((0.0..=0.5).contains(&p), "p = {p}");
     }
+}
 
-    #[test]
-    fn received_words_decode_in_range(bits in 3u8..=10, seed in 0u64..100) {
-        use pdac_photonics::eo_interface::OpticalWord;
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+#[test]
+fn received_words_decode_in_range() {
+    let mut meta = SplitMix64::seed_from_u64(0x100);
+    for _ in 0..CASES {
+        let bits = meta.gen_range_i64(3, 10) as u8;
+        let seed = meta.gen_range_i64(0, 99) as u64;
         let limit = (1i32 << (bits - 1)) - 1;
         let rx = SlotReceiver::new(1e-3, 4e-4).unwrap();
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::seed_from_u64(seed);
         let word = OpticalWord::encode(limit / 2, bits).unwrap();
         let r = rx.receive(&word, &mut rng);
-        prop_assert!(r.decode().abs() <= limit);
-        prop_assert_eq!(r.bits(), bits);
+        assert!(r.decode().abs() <= limit);
+        assert_eq!(r.bits(), bits);
     }
 }

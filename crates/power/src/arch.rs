@@ -7,8 +7,6 @@
 //! `rows × wavelengths` MZMs, the column bank `cols × wavelengths`, and
 //! each DDot output feeds one ADC.
 
-use serde::{Deserialize, Serialize};
-
 /// An accelerator configuration with derived device counts.
 ///
 /// # Examples
@@ -22,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(lt_b.adc_count(), 512);
 /// assert_eq!(lt_b.macs_per_cycle(), 4096);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ArchConfig {
     /// Number of DPTC cores.
     pub cores: usize,
@@ -40,18 +38,30 @@ impl ArchConfig {
     /// The LT-B configuration used throughout the paper's evaluation:
     /// 8 cores, 8×8 DDot arrays, 8 wavelengths, 5 GHz modulation.
     pub fn lt_b() -> Self {
-        Self { cores: 8, rows: 8, cols: 8, wavelengths: 8, clock_hz: 5e9 }
+        Self {
+            cores: 8,
+            rows: 8,
+            cols: 8,
+            wavelengths: 8,
+            clock_hz: 5e9,
+        }
     }
 
     /// A small variant (extension): half the cores of LT-B. Used by the
     /// architecture-scaling ablation.
     pub fn lt_s() -> Self {
-        Self { cores: 4, ..Self::lt_b() }
+        Self {
+            cores: 4,
+            ..Self::lt_b()
+        }
     }
 
     /// A large variant (extension): double the cores of LT-B.
     pub fn lt_l() -> Self {
-        Self { cores: 16, ..Self::lt_b() }
+        Self {
+            cores: 16,
+            ..Self::lt_b()
+        }
     }
 
     /// Validates the configuration.
@@ -146,7 +156,13 @@ mod tests {
 
     #[test]
     fn asymmetric_arrays() {
-        let a = ArchConfig { cores: 1, rows: 4, cols: 16, wavelengths: 8, clock_hz: 1e9 };
+        let a = ArchConfig {
+            cores: 1,
+            rows: 4,
+            cols: 16,
+            wavelengths: 8,
+            clock_hz: 1e9,
+        };
         assert_eq!(a.mzm_count(), 160);
         assert_eq!(a.adc_count(), 64);
         assert_eq!(a.macs_per_cycle(), 512);

@@ -19,11 +19,10 @@
 //! * **MZM driver, controller, SRAM + digital** — the baseline's
 //!   remaining electrical support, linear or constant in `b`.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A component of the accelerator power breakdown.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Component {
     /// Comb laser wall-plug power.
     Laser,
@@ -71,7 +70,7 @@ impl fmt::Display for Component {
 
 /// Per-conversion energy of the baseline electrical DAC:
 /// `E(b) = linear_pj_per_bit·b + exp_pj·2^b` picojoules.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DacEnergyLaw {
     /// Digital switching term coefficient (pJ per bit).
     pub linear_pj_per_bit: f64,
@@ -92,7 +91,7 @@ impl DacEnergyLaw {
 }
 
 /// Laser wall-plug power law: `P(b) = base_watts · growth^(b − 4)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LaserPowerLaw {
     /// Wall-plug power at the 4-bit reference point, in watts.
     pub base_watts_at_4bit: f64,
@@ -118,7 +117,10 @@ mod tests {
 
     #[test]
     fn dac_law_is_superlinear() {
-        let law = DacEnergyLaw { linear_pj_per_bit: 0.05, exp_pj: 0.01 };
+        let law = DacEnergyLaw {
+            linear_pj_per_bit: 0.05,
+            exp_pj: 0.01,
+        };
         let e4 = law.energy_pj(4);
         let e8 = law.energy_pj(8);
         assert!(e8 > 2.0 * e4, "doubling bits must more than double energy");
@@ -126,15 +128,24 @@ mod tests {
 
     #[test]
     fn dac_law_components() {
-        let law = DacEnergyLaw { linear_pj_per_bit: 1.0, exp_pj: 0.0 };
+        let law = DacEnergyLaw {
+            linear_pj_per_bit: 1.0,
+            exp_pj: 0.0,
+        };
         assert_eq!(law.energy_pj(8), 8.0);
-        let law = DacEnergyLaw { linear_pj_per_bit: 0.0, exp_pj: 1.0 };
+        let law = DacEnergyLaw {
+            linear_pj_per_bit: 0.0,
+            exp_pj: 1.0,
+        };
         assert_eq!(law.energy_pj(4), 16.0);
     }
 
     #[test]
     fn laser_law_reference_point() {
-        let law = LaserPowerLaw { base_watts_at_4bit: 5.0, growth_per_bit: 1.3 };
+        let law = LaserPowerLaw {
+            base_watts_at_4bit: 5.0,
+            growth_per_bit: 1.3,
+        };
         assert_eq!(law.watts(4), 5.0);
         assert!((law.watts(6) - 5.0 * 1.69).abs() < 1e-9);
         assert!(law.watts(3) < 5.0);
@@ -150,6 +161,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "bits outside")]
     fn dac_law_rejects_bad_bits() {
-        DacEnergyLaw { linear_pj_per_bit: 1.0, exp_pj: 1.0 }.energy_pj(1);
+        DacEnergyLaw {
+            linear_pj_per_bit: 1.0,
+            exp_pj: 1.0,
+        }
+        .energy_pj(1);
     }
 }

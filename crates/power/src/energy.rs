@@ -8,11 +8,10 @@
 //! smaller data-movement share — saves a larger fraction than the FFN.
 
 use crate::model::PowerModel;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Operation classes of a transformer layer, as in Figs. 9/10.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpClass {
     /// Self-attention: QKV/output projections and score/value matmuls.
     Attention,
@@ -33,7 +32,7 @@ impl fmt::Display for OpClass {
 }
 
 /// One class's activity within a workload.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceEntry {
     /// Operation class.
     pub class: OpClass,
@@ -48,7 +47,7 @@ pub struct TraceEntry {
 }
 
 /// A named workload trace (e.g. one BERT-base inference).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OpTrace {
     /// Workload name for reports.
     pub name: String,
@@ -69,7 +68,7 @@ impl OpTrace {
 }
 
 /// Energy attributed to one class.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClassEnergy {
     /// Operation class.
     pub class: OpClass,
@@ -89,7 +88,7 @@ impl ClassEnergy {
 }
 
 /// A full per-class energy breakdown for one workload at one precision.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnergyBreakdown {
     /// Workload name.
     pub workload: String,
@@ -200,7 +199,11 @@ impl EnergyModel {
                 }
             })
             .collect();
-        EnergyBreakdown { workload: trace.name.clone(), bits, classes }
+        EnergyBreakdown {
+            workload: trace.name.clone(),
+            bits,
+            classes,
+        }
     }
 }
 
@@ -331,7 +334,12 @@ mod tests {
                 .find(|(c, _)| *c == OpClass::Attention)
                 .unwrap()
                 .1;
-            let ffn = rep.per_class.iter().find(|(c, _)| *c == OpClass::Ffn).unwrap().1;
+            let ffn = rep
+                .per_class
+                .iter()
+                .find(|(c, _)| *c == OpClass::Ffn)
+                .unwrap()
+                .1;
             assert!(attn > ffn, "bits={bits}: attention {attn} vs ffn {ffn}");
         }
     }
@@ -352,11 +360,7 @@ mod tests {
         // saving (movement and elementwise are unchanged).
         let base = model(DriverKind::ElectricalDac);
         let pdac = model(DriverKind::PhotonicDac);
-        let compute_saving = crate::model::power_saving(
-            base.power_model(),
-            pdac.power_model(),
-            8,
-        );
+        let compute_saving = crate::model::power_saving(base.power_model(), pdac.power_model(), 8);
         let t = toy_trace();
         let rep = savings(&base.energy(&t, 8), &pdac.energy(&t, 8));
         for (class, s) in &rep.per_class {

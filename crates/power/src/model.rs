@@ -9,11 +9,10 @@
 use crate::arch::ArchConfig;
 use crate::components::Component;
 use crate::presets::TechParams;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which MZM drive path the accelerator uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DriverKind {
     /// Controller + electrical DAC + MZM driver (Lightening-Transformer
     /// baseline).
@@ -38,7 +37,7 @@ impl fmt::Display for DriverKind {
 }
 
 /// A per-component power breakdown at one precision point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerBreakdown {
     /// Bit precision of the operating point.
     pub bits: u8,
@@ -82,7 +81,11 @@ impl fmt::Display for PowerBreakdown {
             self.total_watts()
         )?;
         for (c, w) in &self.entries {
-            writeln!(f, "  {c:<12} {w:>8.3} W  ({:>5.1}%)", 100.0 * w / self.total_watts())?;
+            writeln!(
+                f,
+                "  {c:<12} {w:>8.3} W  ({:>5.1}%)",
+                100.0 * w / self.total_watts()
+            )?;
         }
         Ok(())
     }
@@ -151,10 +154,8 @@ impl PowerModel {
         entries.push((Component::Laser, self.tech.laser.watts(bits) * scale));
         match self.driver {
             DriverKind::ElectricalDac => {
-                let dac_w = self.arch.dac_count() as f64
-                    * self.tech.dac.energy_pj(bits)
-                    * 1e-12
-                    * f;
+                let dac_w =
+                    self.arch.dac_count() as f64 * self.tech.dac.energy_pj(bits) * 1e-12 * f;
                 entries.push((Component::Dac, dac_w));
                 entries.push((Component::Controller, self.tech.controller_watts * scale));
                 entries.push((
@@ -171,10 +172,8 @@ impl PowerModel {
             DriverKind::Hybrid => {
                 // Electrical path on half the modulators (column banks),
                 // P-DAC units on the other half.
-                let dac_w = self.arch.dac_count() as f64 / 2.0
-                    * self.tech.dac.energy_pj(bits)
-                    * 1e-12
-                    * f;
+                let dac_w =
+                    self.arch.dac_count() as f64 / 2.0 * self.tech.dac.energy_pj(bits) * 1e-12 * f;
                 entries.push((Component::Dac, dac_w));
                 entries.push((
                     Component::Controller,
@@ -182,15 +181,11 @@ impl PowerModel {
                 ));
                 entries.push((
                     Component::MzmDriver,
-                    self.arch.mzm_count() as f64 / 2.0
-                        * self.tech.mzm_driver_watts_per_bit
-                        * b,
+                    self.arch.mzm_count() as f64 / 2.0 * self.tech.mzm_driver_watts_per_bit * b,
                 ));
                 entries.push((
                     Component::PDac,
-                    self.arch.pdac_count() as f64 / 2.0
-                        * self.tech.pdac_unit_watts_per_bit
-                        * b,
+                    self.arch.pdac_count() as f64 / 2.0 * self.tech.pdac_unit_watts_per_bit * b,
                 ));
             }
         }
@@ -202,7 +197,11 @@ impl PowerModel {
             Component::SramDigital,
             self.tech.sram_digital_watts_per_bit * b * scale,
         ));
-        PowerBreakdown { bits, driver: self.driver, entries }
+        PowerBreakdown {
+            bits,
+            driver: self.driver,
+            entries,
+        }
     }
 
     /// Energy per MAC at `bits` precision, in joules — total power over
@@ -233,16 +232,19 @@ impl PowerModel {
             .iter()
             .map(|&(c, w)| {
                 let scaled = match c {
-                    Component::Dac
-                    | Component::Adc
-                    | Component::PDac
-                    | Component::MzmDriver => w * utilization,
+                    Component::Dac | Component::Adc | Component::PDac | Component::MzmDriver => {
+                        w * utilization
+                    }
                     Component::Laser | Component::Controller | Component::SramDigital => w,
                 };
                 (c, scaled)
             })
             .collect();
-        PowerBreakdown { bits, driver: self.driver, entries }
+        PowerBreakdown {
+            bits,
+            driver: self.driver,
+            entries,
+        }
     }
 }
 
@@ -269,8 +271,16 @@ mod tests {
         let (base, _) = models();
         let b4 = base.breakdown(4);
         let b8 = base.breakdown(8);
-        assert!((b4.share(Component::Dac) - 0.218).abs() < 0.005, "4-bit {}", b4.share(Component::Dac));
-        assert!((b8.share(Component::Dac) - 0.505).abs() < 0.005, "8-bit {}", b8.share(Component::Dac));
+        assert!(
+            (b4.share(Component::Dac) - 0.218).abs() < 0.005,
+            "4-bit {}",
+            b4.share(Component::Dac)
+        );
+        assert!(
+            (b8.share(Component::Dac) - 0.505).abs() < 0.005,
+            "8-bit {}",
+            b8.share(Component::Dac)
+        );
     }
 
     #[test]
@@ -290,7 +300,11 @@ mod tests {
         let p4 = pdac.breakdown(4);
         let p8 = pdac.breakdown(8);
         // 4-bit P-DAC: laser ≈ 46.5%, ADC ≈ 18%.
-        assert!((p4.share(Component::Laser) - 0.465).abs() < 0.01, "{}", p4.share(Component::Laser));
+        assert!(
+            (p4.share(Component::Laser) - 0.465).abs() < 0.01,
+            "{}",
+            p4.share(Component::Laser)
+        );
         assert!((p4.share(Component::Adc) - 0.18).abs() < 0.01);
         // 8-bit P-DAC: ADC 16.0%, P-DAC 20.1%, laser majority share.
         assert!((p8.share(Component::Adc) - 0.16).abs() < 0.01);
@@ -401,9 +415,7 @@ mod tests {
         }
         let full = base.breakdown(8);
         let half = base.breakdown_at_utilization(8, 0.5);
-        assert!(
-            (half.watts(Component::Dac) - full.watts(Component::Dac) / 2.0).abs() < 1e-12
-        );
+        assert!((half.watts(Component::Dac) - full.watts(Component::Dac) / 2.0).abs() < 1e-12);
     }
 
     #[test]

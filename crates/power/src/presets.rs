@@ -14,10 +14,9 @@
 //! technology point.
 
 use crate::components::{DacEnergyLaw, LaserPowerLaw};
-use serde::{Deserialize, Serialize};
 
 /// All unit-level technology constants of the power/energy model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TechParams {
     /// Electrical DAC per-conversion energy law.
     pub dac: DacEnergyLaw,
@@ -50,9 +49,15 @@ impl TechParams {
     /// The calibrated LT-B technology point (see module docs).
     pub fn calibrated() -> Self {
         Self {
-            dac: DacEnergyLaw { linear_pj_per_bit: 0.044_919, exp_pj: 0.008_411_5 },
+            dac: DacEnergyLaw {
+                linear_pj_per_bit: 0.044_919,
+                exp_pj: 0.008_411_5,
+            },
             adc_pj_per_bit: 0.208_01,
-            laser: LaserPowerLaw { base_watts_at_4bit: 5.51, growth_per_bit: 1.262 },
+            laser: LaserPowerLaw {
+                base_watts_at_4bit: 5.51,
+                growth_per_bit: 1.262,
+            },
             pdac_unit_watts_per_bit: 6.52e-4,
             mzm_driver_watts_per_bit: 3.906_25e-4,
             controller_watts: 0.79,

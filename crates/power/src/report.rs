@@ -32,6 +32,8 @@ fn csv_field(s: &str) -> String {
 /// assert!(csv.contains("Laser"));
 /// ```
 pub fn power_csv(breakdown: &PowerBreakdown) -> String {
+    let _span = pdac_telemetry::span("power.report.power_csv");
+    pdac_telemetry::counter_add("power.report.renders", 1);
     let mut out = String::from("driver,bits,component,watts,share\n");
     let total = breakdown.total_watts();
     for (component, watts) in breakdown.entries() {
@@ -49,6 +51,8 @@ pub fn power_csv(breakdown: &PowerBreakdown) -> String {
 
 /// Renders a power breakdown as a Markdown table.
 pub fn power_markdown(breakdown: &PowerBreakdown) -> String {
+    let _span = pdac_telemetry::span("power.report.power_markdown");
+    pdac_telemetry::counter_add("power.report.renders", 1);
     let total = breakdown.total_watts();
     let mut out = "| component | watts | share |\n|---|---|---|\n".to_string();
     for (component, watts) in breakdown.entries() {
@@ -63,8 +67,9 @@ pub fn power_markdown(breakdown: &PowerBreakdown) -> String {
 
 /// Renders an energy breakdown as CSV with a header row.
 pub fn energy_csv(breakdown: &EnergyBreakdown) -> String {
-    let mut out =
-        String::from("workload,bits,class,compute_j,movement_j,elementwise_j,total_j\n");
+    let _span = pdac_telemetry::span("power.report.energy_csv");
+    pdac_telemetry::counter_add("power.report.renders", 1);
+    let mut out = String::from("workload,bits,class,compute_j,movement_j,elementwise_j,total_j\n");
     for c in &breakdown.classes {
         out.push_str(&format!(
             "{},{},{},{:.9e},{:.9e},{:.9e},{:.9e}\n",

@@ -1,0 +1,198 @@
+//! `pdac-telemetry`: zero-dependency tracing and metrics for the P-DAC
+//! simulation stack.
+//!
+//! The crate provides atomic [`Counter`]s and [`Gauge`]s, fixed-bucket
+//! log-scale [`Histogram`]s, RAII [`Span`] timers with nesting, an
+//! injectable [`Clock`] (monotonic or deterministic), and snapshot sinks
+//! (in-memory, stderr table, JSONL with a hand-rolled serializer).
+//!
+//! # Two levels of "off"
+//!
+//! * **Compile time** — building with `default-features = false` (no
+//!   `enabled` feature) replaces the whole hot-path API with inlineable
+//!   zero-sized no-ops, so instrumented library code costs literally
+//!   nothing.
+//! * **Run time** — with the feature on, the global collector starts
+//!   *disabled*; every entry point is a single relaxed atomic load until
+//!   [`enable`] is called.
+//!
+//! # Quickstart
+//!
+//! ```
+//! pdac_telemetry::enable();
+//! {
+//!     let _span = pdac_telemetry::span("demo.work");
+//!     pdac_telemetry::counter_add("demo.items", 3);
+//! }
+//! let snap = pdac_telemetry::snapshot();
+//! assert_eq!(snap.counters[0], ("demo.items".to_string(), 3));
+//! println!("{}", snap.to_json());
+//! # pdac_telemetry::disable();
+//! # pdac_telemetry::reset();
+//! ```
+
+#[cfg(feature = "enabled")]
+pub mod clock;
+#[cfg(feature = "enabled")]
+pub mod json;
+#[cfg(feature = "enabled")]
+pub mod metrics;
+#[cfg(feature = "enabled")]
+pub mod registry;
+#[cfg(feature = "enabled")]
+pub mod sink;
+#[cfg(feature = "enabled")]
+pub mod span;
+
+#[cfg(feature = "enabled")]
+pub use clock::{Clock, ManualClock, MonotonicClock};
+#[cfg(feature = "enabled")]
+pub use json::Json;
+#[cfg(feature = "enabled")]
+pub use metrics::{Counter, Gauge, Histogram};
+#[cfg(feature = "enabled")]
+pub use registry::{Collector, HistogramSummary, Snapshot, SpanEvent};
+#[cfg(feature = "enabled")]
+pub use sink::{JsonlSink, MemorySink, Sink, StderrTableSink};
+#[cfg(feature = "enabled")]
+pub use span::Span;
+
+#[cfg(feature = "enabled")]
+mod global {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::OnceLock;
+
+    use crate::registry::{Collector, Snapshot};
+    use crate::span::Span;
+
+    static GLOBAL: OnceLock<Collector> = OnceLock::new();
+    static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+    /// The process-wide collector (created on first use, starts disabled).
+    pub fn global() -> &'static Collector {
+        GLOBAL.get_or_init(Collector::new)
+    }
+
+    /// Turn global collection on.
+    pub fn enable() {
+        global().set_enabled(true);
+        ACTIVE.store(true, Ordering::SeqCst);
+    }
+
+    /// Turn global collection off; instrumentation returns to ~1 atomic
+    /// load per call site.
+    pub fn disable() {
+        ACTIVE.store(false, Ordering::SeqCst);
+        if let Some(c) = GLOBAL.get() {
+            c.set_enabled(false);
+        }
+    }
+
+    /// Whether the global collector is currently recording.
+    #[inline]
+    pub fn is_enabled() -> bool {
+        ACTIVE.load(Ordering::Relaxed)
+    }
+
+    /// Open a span against the global collector (inert when disabled).
+    #[inline]
+    pub fn span(name: &'static str) -> Span<'static> {
+        if is_enabled() {
+            global().span(name)
+        } else {
+            Span::noop()
+        }
+    }
+
+    /// Bump a global counter (no-op when disabled).
+    #[inline]
+    pub fn counter_add(name: &'static str, delta: u64) {
+        if is_enabled() {
+            global().counter(name).add(delta);
+        }
+    }
+
+    /// Set a global gauge (no-op when disabled).
+    #[inline]
+    pub fn gauge_set(name: &'static str, value: f64) {
+        if is_enabled() {
+            global().gauge(name).set(value);
+        }
+    }
+
+    /// Record a histogram sample globally (no-op when disabled).
+    #[inline]
+    pub fn observe(name: &'static str, value: f64) {
+        if is_enabled() {
+            global().histogram(name).record(value);
+        }
+    }
+
+    /// Snapshot the global collector.
+    pub fn snapshot() -> Snapshot {
+        global().snapshot()
+    }
+
+    /// Clear every global metric and span event.
+    pub fn reset() {
+        global().reset();
+    }
+}
+
+#[cfg(feature = "enabled")]
+pub use global::{
+    counter_add, disable, enable, gauge_set, global, is_enabled, observe, reset, snapshot, span,
+};
+
+// ---------------------------------------------------------------------------
+// Compile-time no-op surface (feature `enabled` off). Mirrors the hot-path
+// API exactly so instrumented crates build unchanged; everything inlines to
+// nothing.
+// ---------------------------------------------------------------------------
+
+#[cfg(not(feature = "enabled"))]
+mod noop {
+    /// Inert span guard (compile-time disabled build).
+    #[must_use]
+    pub struct Span;
+
+    impl Span {
+        #[inline(always)]
+        pub fn noop() -> Self {
+            Span
+        }
+
+        #[inline(always)]
+        pub fn is_recording(&self) -> bool {
+            false
+        }
+    }
+
+    #[inline(always)]
+    pub fn enable() {}
+
+    #[inline(always)]
+    pub fn disable() {}
+
+    #[inline(always)]
+    pub fn is_enabled() -> bool {
+        false
+    }
+
+    #[inline(always)]
+    pub fn span(_name: &'static str) -> Span {
+        Span
+    }
+
+    #[inline(always)]
+    pub fn counter_add(_name: &'static str, _delta: u64) {}
+
+    #[inline(always)]
+    pub fn gauge_set(_name: &'static str, _value: f64) {}
+
+    #[inline(always)]
+    pub fn observe(_name: &'static str, _value: f64) {}
+}
+
+#[cfg(not(feature = "enabled"))]
+pub use noop::{counter_add, disable, enable, gauge_set, is_enabled, observe, span, Span};

@@ -1,0 +1,240 @@
+//! Lock-free metric primitives: counters, gauges and log-scale histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins instantaneous value (stored as `f64` bits).
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self {
+            bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of power-of-two buckets spanning `[2^-64, 2^64)`.
+pub const BUCKETS: usize = 128;
+/// Base-2 exponent of the lowest bucket boundary.
+pub const MIN_EXP: i32 = -64;
+
+/// Fixed-bucket base-2 log-scale histogram of non-negative `f64` samples.
+///
+/// Bucket `i` covers `[2^(i-64), 2^(i-63))`. Values below `2^-64`
+/// (including `0` and all subnormals) land in the underflow bin; values at
+/// or above `2^64` (including `+inf`) land in the overflow bin. Negative
+/// and NaN samples are counted separately and excluded from `sum`/extrema.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: Vec<AtomicU64>,
+    underflow: AtomicU64,
+    overflow: AtomicU64,
+    negative: AtomicU64,
+    nan: AtomicU64,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            underflow: AtomicU64::new(0),
+            overflow: AtomicU64::new(0),
+            negative: AtomicU64::new(0),
+            nan: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+}
+
+/// Where a sample landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bin {
+    Under,
+    Bucket(usize),
+    Over,
+    Negative,
+    Nan,
+}
+
+/// Classify a sample into its bin. Pure, so tests can probe boundaries.
+pub fn bin_for(value: f64) -> Bin {
+    if value.is_nan() {
+        return Bin::Nan;
+    }
+    if value < 0.0 {
+        return Bin::Negative;
+    }
+    // -0.0 compares equal to 0.0 above and has zero exponent bits, so it
+    // falls into the underflow bin alongside +0.0 and the subnormals.
+    let exp = ((value.to_bits() >> 52) & 0x7FF) as i32 - 1023;
+    // Subnormals and zero have biased exponent 0 => exp == -1023.
+    if exp < MIN_EXP {
+        Bin::Under
+    } else if exp >= MIN_EXP + BUCKETS as i32 {
+        Bin::Over
+    } else {
+        Bin::Bucket((exp - MIN_EXP) as usize)
+    }
+}
+
+/// Inclusive-exclusive boundaries `[lo, hi)` of bucket `i`.
+pub fn bucket_bounds(i: usize) -> (f64, f64) {
+    let lo = 2.0f64.powi(MIN_EXP + i as i32);
+    (lo, lo * 2.0)
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&self, value: f64) {
+        match bin_for(value) {
+            Bin::Nan => {
+                self.nan.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Bin::Negative => {
+                self.negative.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Bin::Under => self.underflow.fetch_add(1, Ordering::Relaxed),
+            Bin::Over => self.overflow.fetch_add(1, Ordering::Relaxed),
+            Bin::Bucket(i) => self.counts[i].fetch_add(1, Ordering::Relaxed),
+        };
+        self.count.fetch_add(1, Ordering::Relaxed);
+        fetch_update_f64(&self.sum_bits, |s| s + value);
+        fetch_update_f64(&self.min_bits, |m| m.min(value));
+        fetch_update_f64(&self.max_bits, |m| m.max(value));
+    }
+
+    /// Number of accepted (non-negative, non-NaN) samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    pub fn min(&self) -> Option<f64> {
+        let m = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        (self.count() > 0).then_some(m)
+    }
+
+    pub fn max(&self) -> Option<f64> {
+        let m = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        (self.count() > 0).then_some(m)
+    }
+
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.counts[i].load(Ordering::Relaxed)
+    }
+
+    pub fn underflow_count(&self) -> u64 {
+        self.underflow.load(Ordering::Relaxed)
+    }
+
+    pub fn overflow_count(&self) -> u64 {
+        self.overflow.load(Ordering::Relaxed)
+    }
+
+    pub fn negative_count(&self) -> u64 {
+        self.negative.load(Ordering::Relaxed)
+    }
+
+    pub fn nan_count(&self) -> u64 {
+        self.nan.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile from bucket geometric midpoints; `q` in [0, 1].
+    ///
+    /// Underflow samples report the lowest boundary, overflow the highest.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = self.underflow_count();
+        if seen >= rank {
+            return Some(bucket_bounds(0).0);
+        }
+        for i in 0..BUCKETS {
+            seen += self.bucket_count(i);
+            if seen >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                return Some((lo * hi).sqrt());
+            }
+        }
+        Some(bucket_bounds(BUCKETS - 1).1)
+    }
+}
+
+fn fetch_update_f64(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(cur)).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(now) => cur = now,
+        }
+    }
+}

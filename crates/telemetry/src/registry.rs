@@ -1,0 +1,314 @@
+//! The metric registry: named counters, gauges, histograms and the span
+//! event ring buffer, all behind one [`Collector`].
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::json::Json;
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::span::Span;
+
+/// One completed span occurrence, stored in the in-memory ring buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    pub name: &'static str,
+    pub start_ns: u64,
+    pub end_ns: u64,
+    /// Nesting depth at the time the span was opened (0 = root).
+    pub depth: u32,
+}
+
+impl SpanEvent {
+    pub fn elapsed_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Default capacity of the span-event ring buffer.
+pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
+
+/// A metrics collector: owns the registries, the clock and the event ring.
+///
+/// Cheap to create; tests build their own with a [`ManualClock`]
+/// (`crate::clock::ManualClock`) while production code uses the process
+/// global (see [`crate::global`]).
+pub struct Collector {
+    clock: Arc<dyn Clock>,
+    enabled: AtomicBool,
+    counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+    events: Mutex<VecDeque<SpanEvent>>,
+    event_capacity: usize,
+}
+
+impl std::fmt::Debug for Collector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collector")
+            .field("enabled", &self.is_enabled())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Collector {
+    /// Collector on the real monotonic clock, enabled.
+    pub fn new() -> Self {
+        Self::with_clock(Arc::new(MonotonicClock::new()))
+    }
+
+    /// Collector on an injected clock, enabled.
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        Self {
+            clock,
+            enabled: AtomicBool::new(true),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            events: Mutex::new(VecDeque::new()),
+            event_capacity: DEFAULT_EVENT_CAPACITY,
+        }
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::SeqCst);
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Get or create the named counter.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        Arc::clone(
+            self.counters
+                .lock()
+                .unwrap()
+                .entry(name)
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// Get or create the named gauge.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        Arc::clone(
+            self.gauges
+                .lock()
+                .unwrap()
+                .entry(name)
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// Get or create the named histogram.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        Arc::clone(
+            self.histograms
+                .lock()
+                .unwrap()
+                .entry(name)
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Convenience: bump a counter if the collector is enabled.
+    pub fn add(&self, name: &'static str, delta: u64) {
+        if self.is_enabled() {
+            self.counter(name).add(delta);
+        }
+    }
+
+    /// Convenience: set a gauge if the collector is enabled.
+    pub fn set(&self, name: &'static str, value: f64) {
+        if self.is_enabled() {
+            self.gauge(name).set(value);
+        }
+    }
+
+    /// Convenience: record a histogram sample if the collector is enabled.
+    pub fn observe(&self, name: &'static str, value: f64) {
+        if self.is_enabled() {
+            self.histogram(name).record(value);
+        }
+    }
+
+    /// Open an RAII span timer; its wall time lands in the histogram
+    /// named `name` (in seconds) when the guard drops.
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        Span::enter(self, name)
+    }
+
+    pub(crate) fn push_event(&self, event: SpanEvent) {
+        let mut events = self.events.lock().unwrap();
+        if events.len() == self.event_capacity {
+            events.pop_front();
+        }
+        events.push_back(event);
+    }
+
+    /// Completed span events, oldest first (bounded ring buffer).
+    pub fn events(&self) -> Vec<SpanEvent> {
+        self.events.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Clear all metrics and events (names are forgotten too).
+    pub fn reset(&self) {
+        self.counters.lock().unwrap().clear();
+        self.gauges.lock().unwrap().clear();
+        self.histograms.lock().unwrap().clear();
+        self.events.lock().unwrap().clear();
+    }
+
+    /// Point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, c)| (name.to_string(), c.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, g)| (name.to_string(), g.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, h)| HistogramSummary {
+                name: name.to_string(),
+                count: h.count(),
+                sum: h.sum(),
+                min: h.min().unwrap_or(0.0),
+                max: h.max().unwrap_or(0.0),
+                mean: h.mean(),
+                p50: h.quantile(0.5).unwrap_or(0.0),
+                p99: h.quantile(0.99).unwrap_or(0.0),
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// Summary statistics of one histogram at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    pub name: String,
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+    pub mean: f64,
+    pub p50: f64,
+    pub p99: f64,
+}
+
+/// Point-in-time copy of a collector's metrics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<HistogramSummary>,
+}
+
+impl Snapshot {
+    /// Serialize with the hand-rolled JSON writer (single line).
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+
+    /// The snapshot as a [`Json`] value tree.
+    pub fn to_json_value(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|(name, v)| (name.clone(), Json::Int(*v)))
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            self.gauges
+                .iter()
+                .map(|(name, v)| (name.clone(), Json::Num(*v)))
+                .collect(),
+        );
+        let histograms = Json::Arr(
+            self.histograms
+                .iter()
+                .map(|h| {
+                    Json::Obj(vec![
+                        ("name".into(), Json::Str(h.name.clone())),
+                        ("count".into(), Json::Int(h.count)),
+                        ("sum".into(), Json::Num(h.sum)),
+                        ("min".into(), Json::Num(h.min)),
+                        ("max".into(), Json::Num(h.max)),
+                        ("mean".into(), Json::Num(h.mean)),
+                        ("p50".into(), Json::Num(h.p50)),
+                        ("p99".into(), Json::Num(h.p99)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("counters".into(), counters),
+            ("gauges".into(), gauges),
+            ("histograms".into(), histograms),
+        ])
+    }
+
+    /// Render a fixed-width text table (for stderr or stdout reports).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str(&format!("{:<44} {:>16}\n", "counter", "value"));
+            out.push_str(&format!("{:-<44} {:-<16}\n", "", ""));
+            for (name, v) in &self.counters {
+                out.push_str(&format!("{name:<44} {v:>16}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str(&format!("\n{:<44} {:>16}\n", "gauge", "value"));
+            out.push_str(&format!("{:-<44} {:-<16}\n", "", ""));
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("{name:<44} {v:>16.6e}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str(&format!(
+                "\n{:<34} {:>9} {:>12} {:>12} {:>12} {:>12}\n",
+                "histogram", "count", "sum", "mean", "p50", "p99"
+            ));
+            out.push_str(&format!(
+                "{:-<34} {:-<9} {:-<12} {:-<12} {:-<12} {:-<12}\n",
+                "", "", "", "", "", ""
+            ));
+            for h in &self.histograms {
+                out.push_str(&format!(
+                    "{:<34} {:>9} {:>12.4e} {:>12.4e} {:>12.4e} {:>12.4e}\n",
+                    h.name, h.count, h.sum, h.mean, h.p50, h.p99
+                ));
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,77 @@
+//! Snapshot sinks: JSONL writer, stderr table and in-memory capture.
+//!
+//! (The span-event ring buffer lives inside the [`Collector`] itself; these
+//! sinks consume point-in-time [`Snapshot`]s.)
+
+use std::io::{self, Write};
+
+use crate::registry::Snapshot;
+
+/// Anything that can consume a metrics snapshot.
+pub trait Sink {
+    fn emit(&mut self, snapshot: &Snapshot) -> io::Result<()>;
+}
+
+/// Writes one JSON document per snapshot, newline-delimited.
+pub struct JsonlSink<W: Write> {
+    out: W,
+}
+
+impl<W: Write> JsonlSink<W> {
+    pub fn new(out: W) -> Self {
+        Self { out }
+    }
+
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> Sink for JsonlSink<W> {
+    fn emit(&mut self, snapshot: &Snapshot) -> io::Result<()> {
+        self.out.write_all(snapshot.to_json().as_bytes())?;
+        self.out.write_all(b"\n")
+    }
+}
+
+/// Pretty-prints a fixed-width table to stderr.
+#[derive(Debug, Default)]
+pub struct StderrTableSink;
+
+impl Sink for StderrTableSink {
+    fn emit(&mut self, snapshot: &Snapshot) -> io::Result<()> {
+        let mut err = io::stderr().lock();
+        err.write_all(snapshot.render_table().as_bytes())
+    }
+}
+
+/// Keeps the last `capacity` snapshots in memory (useful in tests and for
+/// periodic flushing without I/O).
+#[derive(Debug)]
+pub struct MemorySink {
+    capacity: usize,
+    snapshots: Vec<Snapshot>,
+}
+
+impl MemorySink {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            snapshots: Vec::new(),
+        }
+    }
+
+    pub fn snapshots(&self) -> &[Snapshot] {
+        &self.snapshots
+    }
+}
+
+impl Sink for MemorySink {
+    fn emit(&mut self, snapshot: &Snapshot) -> io::Result<()> {
+        if self.snapshots.len() == self.capacity {
+            self.snapshots.remove(0);
+        }
+        self.snapshots.push(snapshot.clone());
+        Ok(())
+    }
+}

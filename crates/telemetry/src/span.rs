@@ -1,0 +1,80 @@
+//! RAII span timers with thread-local nesting.
+
+use std::cell::Cell;
+
+use crate::registry::{Collector, SpanEvent};
+
+thread_local! {
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// An open span. Dropping it records the elapsed wall time (seconds) into
+/// the histogram named after the span and appends a [`SpanEvent`] to the
+/// collector's ring buffer. Spans nest: a span opened while another is
+/// open on the same thread records `depth + 1`.
+///
+/// A span taken from a disabled collector is inert and costs nothing on
+/// drop.
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records ~0"]
+pub struct Span<'a> {
+    inner: Option<SpanInner<'a>>,
+}
+
+struct SpanInner<'a> {
+    collector: &'a Collector,
+    name: &'static str,
+    start_ns: u64,
+    depth: u32,
+}
+
+impl<'a> Span<'a> {
+    pub(crate) fn enter(collector: &'a Collector, name: &'static str) -> Self {
+        if !collector.is_enabled() {
+            return Self { inner: None };
+        }
+        let depth = DEPTH.with(|d| {
+            let depth = d.get();
+            d.set(depth + 1);
+            depth
+        });
+        Self {
+            inner: Some(SpanInner {
+                collector,
+                name,
+                start_ns: collector.clock().now_ns(),
+                depth,
+            }),
+        }
+    }
+
+    /// An inert span (used by the global entry points when disabled).
+    pub fn noop() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether this span is actually recording.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let end_ns = inner.collector.clock().now_ns();
+        let event = SpanEvent {
+            name: inner.name,
+            start_ns: inner.start_ns,
+            end_ns,
+            depth: inner.depth,
+        };
+        inner
+            .collector
+            .histogram(inner.name)
+            .record(event.elapsed_ns() as f64 * 1e-9);
+        inner.collector.push_event(event);
+    }
+}

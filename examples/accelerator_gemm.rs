@@ -33,7 +33,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Functional: push real numbers through the photonic path on a
     //    small instance and compare both converters.
-    let small = ArchConfig { cores: 2, rows: 4, cols: 4, wavelengths: 8, clock_hz: 5e9 };
+    let small = ArchConfig {
+        cores: 2,
+        rows: 4,
+        cols: 4,
+        wavelengths: 8,
+        clock_hz: 5e9,
+    };
     let a = Mat::from_fn(16, 24, |r, c| (((r * 13 + c * 7) % 29) as f64 / 29.0) - 0.5);
     let b = Mat::from_fn(24, 12, |r, c| (((r * 5 + c * 11) % 23) as f64 / 23.0) - 0.5);
     let exact = a.matmul(&b)?;

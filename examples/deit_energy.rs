@@ -29,7 +29,11 @@ fn main() {
     // The paper's configuration: 224×224 image → 196 patches + CLS.
     let deit = TransformerConfig::deit_base();
     let trace = op_trace(&deit);
-    println!("{} — {:.2} G MACs", deit.name, trace.total_macs() as f64 / 1e9);
+    println!(
+        "{} — {:.2} G MACs",
+        deit.name,
+        trace.total_macs() as f64 / 1e9
+    );
     for bits in [4u8, 8] {
         let rep = savings(&baseline.energy(&trace, bits), &pdac.energy(&trace, bits));
         println!("  {bits}-bit total saving {:.1}%", 100.0 * rep.total);

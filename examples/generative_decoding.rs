@@ -41,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = TransformerConfig::bert_base();
     let arch = ArchConfig::lt_b();
     let tech = TechParams::calibrated();
-    let be = EnergyModel::new(PowerModel::new(arch.clone(), tech.clone(), DriverKind::ElectricalDac));
+    let be = EnergyModel::new(PowerModel::new(
+        arch.clone(),
+        tech.clone(),
+        DriverKind::ElectricalDac,
+    ));
     let pe = EnergyModel::new(PowerModel::new(arch, tech, DriverKind::PhotonicDac));
 
     let prefill = op_trace(&config);

@@ -37,6 +37,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     let (err, at) = pdac.approx().max_reconstruction_error(20_001);
-    println!("  max reconstruction error {:.2}% at r = {at:+.4}", 100.0 * err);
+    println!(
+        "  max reconstruction error {:.2}% at r = {at:+.4}",
+        100.0 * err
+    );
     Ok(())
 }

@@ -14,7 +14,13 @@ use pdac::power::model::{DriverKind, PowerModel};
 use pdac::power::{ArchConfig, TechParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let arch = ArchConfig { cores: 2, rows: 4, cols: 4, wavelengths: 8, clock_hz: 5e9 };
+    let arch = ArchConfig {
+        cores: 2,
+        rows: 4,
+        cols: 4,
+        wavelengths: 8,
+        clock_hz: 5e9,
+    };
     let model = TransformerModel::random(TransformerConfig::tiny(), 8, 11);
     let input = model.random_input(1);
     let exact = model.forward(&input, &ExactGemm);

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Offline CI for the pdac workspace: format, lint, build, test.
+# Everything here runs without network access (no registry dependencies).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (telemetry on)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo clippy (telemetry off)"
+cargo clippy --workspace --all-targets --no-default-features -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo build --release --no-default-features (compile-time no-op telemetry)"
+cargo build --release -p pdac --no-default-features
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "CI OK"

@@ -22,7 +22,10 @@
 //! * [`power`] — calibrated component power and workload energy models;
 //! * [`nn`] — BERT/DeiT workload descriptions, op traces and a functional
 //!   transformer with pluggable analog GEMM backends;
-//! * [`accel`] — the Lightening-Transformer accelerator simulator.
+//! * [`accel`] — the Lightening-Transformer accelerator simulator;
+//! * [`telemetry`] — zero-dependency counters, histograms, span timers
+//!   and sinks instrumenting all of the above (no-op unless the
+//!   `telemetry` feature is on and the collector is enabled).
 //!
 //! # Quickstart
 //!
@@ -44,3 +47,4 @@ pub use pdac_math as math;
 pub use pdac_nn as nn;
 pub use pdac_photonics as photonics;
 pub use pdac_power as power;
+pub use pdac_telemetry as telemetry;

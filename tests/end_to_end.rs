@@ -64,11 +64,15 @@ fn converter_error_flows_through_accelerator_to_transformer() {
     let b = Mat::from_fn(16, 8, |r, c| (((3 * r + c) % 7) as f64 / 7.0) - 0.4);
     let exact = a.matmul(&b).unwrap();
 
-    let arch = ArchConfig { cores: 2, rows: 4, cols: 4, wavelengths: 8, clock_hz: 5e9 };
-    let engine = FunctionalGemm::new(
-        AccelConfig::new(arch, 8, DriverChoice::PhotonicDac).unwrap(),
-    )
-    .unwrap();
+    let arch = ArchConfig {
+        cores: 2,
+        rows: 4,
+        cols: 4,
+        wavelengths: 8,
+        clock_hz: 5e9,
+    };
+    let engine =
+        FunctionalGemm::new(AccelConfig::new(arch, 8, DriverChoice::PhotonicDac).unwrap()).unwrap();
     let run = engine.execute(&a, &b).unwrap();
     let cs = cosine_similarity(run.output.as_slice(), exact.as_slice()).unwrap();
     assert!(cs > 0.995, "accelerator GEMM cosine {cs}");
@@ -84,7 +88,10 @@ fn bert_and_deit_energy_reductions_match_paper_shape() {
     let (baseline, pdac) = lt_b();
     let be = EnergyModel::new(baseline);
     let pe = EnergyModel::new(pdac);
-    for config in [TransformerConfig::bert_base(), TransformerConfig::deit_base()] {
+    for config in [
+        TransformerConfig::bert_base(),
+        TransformerConfig::deit_base(),
+    ] {
         let trace = op_trace(&config);
         let s4 = savings(&be.energy(&trace, 4), &pe.energy(&trace, 4)).total;
         let s8 = savings(&be.energy(&trace, 8), &pe.energy(&trace, 8)).total;
@@ -103,12 +110,13 @@ fn functional_and_analytical_energy_agree() {
         pdac::accel::scheduler::GemmShape::new(64, 64, 64),
         &arch,
     );
-    let pm = PowerModel::new(arch.clone(), TechParams::calibrated(), DriverKind::PhotonicDac);
-    let stats = pdac::accel::RunStats::from_plan(
-        &plan,
-        &arch,
-        pdac::accel::memory::TrafficCounters::default(),
+    let pm = PowerModel::new(
+        arch.clone(),
+        TechParams::calibrated(),
+        DriverKind::PhotonicDac,
     );
+    let stats =
+        pdac::accel::RunStats::from_plan(&plan, pdac::accel::memory::TrafficCounters::default());
     let e = stats.energy_j(&pm, 8);
     let expected = pm.breakdown(8).total_watts() * plan.runtime_s(&arch);
     assert!((e - expected).abs() < 1e-15);
@@ -126,7 +134,10 @@ fn edac_and_pdac_disagree_most_near_breakpoint() {
         })
         .unwrap();
     // 0.7236 · 127 ≈ 92.
-    assert!((worst - 92).abs() <= 3, "largest disagreement at code {worst}");
+    assert!(
+        (worst - 92).abs() <= 3,
+        "largest disagreement at code {worst}"
+    );
 }
 
 #[test]

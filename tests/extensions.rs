@@ -104,8 +104,7 @@ fn kv_cache_decode_runs_under_analog_backend() {
     let mut exact_cache = model.new_cache();
     let mut exact_last = Vec::new();
     for t in 0..4 {
-        exact_last =
-            model.decode_step(&model.random_input(t).row(0), &mut exact_cache, &ExactGemm);
+        exact_last = model.decode_step(&model.random_input(t).row(0), &mut exact_cache, &ExactGemm);
     }
     let cs = pdac::math::stats::cosine_similarity(&last, &exact_last).unwrap();
     assert!(cs > 0.9, "cosine {cs}");
@@ -139,7 +138,13 @@ fn datasheet_round_trips_through_tia_bank() {
     let bank = pdac::photonics::devices::tia::TiaBank::new(region.tia_feedback_ohms.clone());
     let code = 100; // in region 1 (codes 92..=127)
     let currents: Vec<f64> = (0..7)
-        .map(|i| if (code >> (6 - i)) & 1 != 0 { 2e-3 } else { 0.0 })
+        .map(|i| {
+            if (code >> (6 - i)) & 1 != 0 {
+                2e-3
+            } else {
+                0.0
+            }
+        })
         .collect();
     let v = region.bias_volts + bank.sum_voltage(&currents);
     assert!((v.cos() - pdac.convert(code)).abs() < 1e-12);

@@ -52,8 +52,16 @@ fn claim_eq18_coefficients() {
     // Eq. 18's printed numbers: slope −3.0651, intercept 0.07648.
     let segs = ArccosApprox::three_segment(0.7236);
     let neg_end = segs.function().segments()[0];
-    assert!((neg_end.slope + 3.0651).abs() < 2e-3, "slope {}", neg_end.slope);
-    assert!((neg_end.intercept - 0.07648).abs() < 2e-3, "b {}", neg_end.intercept);
+    assert!(
+        (neg_end.slope + 3.0651).abs() < 2e-3,
+        "slope {}",
+        neg_end.slope
+    );
+    assert!(
+        (neg_end.intercept - 0.07648).abs() < 2e-3,
+        "b {}",
+        neg_end.intercept
+    );
 }
 
 #[test]
@@ -93,7 +101,10 @@ fn claim_bert_energy_reductions() {
     let pe = EnergyModel::new(pdac);
     let trace = op_trace(&TransformerConfig::bert_base());
     let class = |rep: &pdac::power::energy::SavingsReport, c: OpClass| {
-        rep.per_class.iter().find(|(k, _)| *k == c).map_or(0.0, |(_, s)| *s)
+        rep.per_class
+            .iter()
+            .find(|(k, _)| *k == c)
+            .map_or(0.0, |(_, s)| *s)
     };
     let r4 = savings(&be.energy(&trace, 4), &pe.energy(&trace, 4));
     let r8 = savings(&be.energy(&trace, 8), &pe.energy(&trace, 8));
@@ -113,7 +124,10 @@ fn claim_abstract_35_4_percent_band() {
     let (baseline, pdac) = models();
     let be = EnergyModel::new(baseline);
     let pe = EnergyModel::new(pdac);
-    for config in [TransformerConfig::bert_base(), TransformerConfig::deit_base()] {
+    for config in [
+        TransformerConfig::bert_base(),
+        TransformerConfig::deit_base(),
+    ] {
         let trace = op_trace(&config);
         let rep = savings(&be.energy(&trace, 8), &pe.energy(&trace, 8));
         let attn = rep
