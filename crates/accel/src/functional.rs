@@ -13,7 +13,7 @@ use crate::config::AccelConfig;
 use crate::memory::MemoryHierarchy;
 use crate::scheduler::{GemmShape, TilingPlan};
 use crate::stats::RunStats;
-use pdac_core::{Adc, MzmDriver};
+use pdac_core::{Adc, ConverterLut, MzmDriver};
 use pdac_math::Mat;
 use pdac_photonics::DDotUnit;
 use std::fmt;
@@ -57,6 +57,7 @@ pub struct GemmRun {
 pub struct FunctionalGemm {
     config: AccelConfig,
     driver: Box<dyn MzmDriver>,
+    lut: ConverterLut,
     ddot: DDotUnit,
     noise: Option<(f64, u64)>,
 }
@@ -80,10 +81,12 @@ impl FunctionalGemm {
     /// room for converter-construction failures.
     pub fn new(config: AccelConfig) -> Result<Self, crate::config::ConfigError> {
         let driver = config.build_driver();
+        let lut = ConverterLut::new(driver.as_ref());
         let ddot = DDotUnit::ideal(config.arch().wavelengths);
         Ok(Self {
             config,
             driver,
+            lut,
             ddot,
             noise: None,
         })
@@ -204,9 +207,13 @@ impl FunctionalGemm {
         Ok(GemmRun { output: out, stats })
     }
 
-    /// Applies quantization + converter transfer to every element.
+    /// Applies quantization + converter transfer to every element. The
+    /// transfer is answered from the dense code table built at
+    /// construction — bit-identical to `self.driver.convert_value` (the
+    /// table stores the driver's exact per-code outputs) at a fraction
+    /// of the cost for physics-heavy drivers like the P-DAC.
     fn modulate(&self, x: &Mat, scale: f64) -> Mat {
-        x.map(|v| scale * self.driver.convert_value(v / scale))
+        x.map(|v| scale * self.lut.convert_value(v / scale))
     }
 }
 
@@ -364,6 +371,18 @@ mod tests {
             r1.output.distance(&exact) > dq,
             "noise must degrade accuracy"
         );
+    }
+
+    #[test]
+    fn lut_modulation_is_bit_identical_to_driver() {
+        for choice in [DriverChoice::PhotonicDac, DriverChoice::ElectricalDac] {
+            let e = engine(choice, 8);
+            let x = random_mat(7, 9, 17);
+            let scale = x.max_abs();
+            let via_lut = e.modulate(&x, scale);
+            let via_driver = x.map(|v| scale * e.driver.convert_value(v / scale));
+            assert_eq!(via_lut, via_driver, "{choice:?}");
+        }
     }
 
     #[test]

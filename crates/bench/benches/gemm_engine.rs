@@ -1,0 +1,142 @@
+//! Microbenches of the fast GEMM engine: tuned kernels vs the reference
+//! triple loop, and the analog pipeline with/without the converter LUT
+//! and the weight-conversion cache.
+//!
+//! Emits `BENCH_gemm.json` (override the path with `PDAC_BENCH_OUT`)
+//! with per-variant throughput and the speedup of the full fast path
+//! over the seed scalar path. Knobs: `PDAC_BENCH_MS` (wall-clock budget
+//! per bench), `PDAC_BENCH_MAX_DIM` (largest cube; default 512).
+
+use pdac_bench::microbench::{bench, black_box, BenchResult};
+use pdac_core::converter::MzmDriver;
+use pdac_core::lut::ConverterLut;
+use pdac_core::pdac::PDac;
+use pdac_math::gemm::default_threads;
+use pdac_math::rng::SplitMix64;
+use pdac_math::Mat;
+use pdac_nn::gemm::{AnalogGemm, GemmBackend};
+use pdac_nn::quant::QuantizedMat;
+use pdac_telemetry::Json;
+
+fn random_mat(rows: usize, cols: usize, seed: u64) -> Mat {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    Mat::from_fn(rows, cols, |_, _| rng.gen_range_f64(-1.0, 1.0))
+}
+
+/// One measured variant at one size, with derived throughput.
+fn record(size: usize, result: &BenchResult) -> Json {
+    let macs = (size * size * size) as f64;
+    Json::Obj(vec![
+        ("name".into(), Json::Str(result.name.clone())),
+        ("size".into(), Json::Int(size as u64)),
+        ("iters".into(), Json::Int(result.iters)),
+        ("mean_ns".into(), Json::Num(result.mean_ns)),
+        ("min_ns".into(), Json::Num(result.min_ns)),
+        (
+            "gmacs_per_s".into(),
+            Json::Num(macs / result.mean_ns.max(1.0)),
+        ),
+    ])
+}
+
+fn main() {
+    let max_dim = std::env::var("PDAC_BENCH_MAX_DIM")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(512);
+    let bits = 8;
+    let driver = PDac::with_optimal_approx(bits).unwrap();
+    let lut = ConverterLut::new(&driver);
+
+    let mut records = Vec::new();
+    let mut speedups = Vec::new();
+    for size in [64usize, 256, 512] {
+        if size > max_dim {
+            println!("gemm_engine: skipping {size}^3 (PDAC_BENCH_MAX_DIM={max_dim})");
+            continue;
+        }
+        let a = random_mat(size, size, 2 * size as u64);
+        let b = random_mat(size, size, 2 * size as u64 + 1);
+
+        let exact_naive = bench(&format!("gemm_engine/{size}/exact_naive"), || {
+            black_box(&a).matmul_reference(black_box(&b)).unwrap()
+        });
+        let exact_fast = bench(&format!("gemm_engine/{size}/exact_fast"), || {
+            black_box(&a).matmul(black_box(&b)).unwrap()
+        });
+
+        // The seed analog path, spelled out: per-element scalar driver
+        // conversion of both operands on every call, reference matmul.
+        // (Today's `dequantize_with` tabulates large slices, so the
+        // pre-LUT behaviour has to be reproduced explicitly here.)
+        let seed_dequantize = |x: &Mat| {
+            let q = QuantizedMat::quantize(x, bits);
+            let data: Vec<f64> = q
+                .codes()
+                .iter()
+                .map(|&c| q.scale() * driver.convert(c))
+                .collect();
+            Mat::from_rows(x.rows(), x.cols(), data).unwrap()
+        };
+        let analog_seed = bench(&format!("gemm_engine/{size}/analog_seed"), || {
+            let aq = seed_dequantize(black_box(&a));
+            let bq = seed_dequantize(black_box(&b));
+            aq.matmul_reference(&bq).unwrap()
+        });
+        // LUT conversion, no weight reuse.
+        let analog_lut = bench(&format!("gemm_engine/{size}/analog_lut"), || {
+            let aq = QuantizedMat::quantize(black_box(&a), bits).dequantize_with(&lut);
+            let bq = QuantizedMat::quantize(black_box(&b), bits).dequantize_with(&lut);
+            aq.matmul(&bq).unwrap()
+        });
+        // The full fast path: LUT + cached weight conversion.
+        let backend = AnalogGemm::new(driver.clone(), "pdac8");
+        let analog_cached = bench(&format!("gemm_engine/{size}/analog_lut_cache"), || {
+            backend.matmul(black_box(&a), black_box(&b))
+        });
+
+        let fast_over_naive = exact_naive.mean_ns / exact_fast.mean_ns.max(1.0);
+        let analog_over_seed = analog_seed.mean_ns / analog_cached.mean_ns.max(1.0);
+        println!(
+            "gemm_engine/{size}: exact fast/naive {fast_over_naive:.2}x, \
+             analog lut+cache/seed {analog_over_seed:.2}x \
+             (cache hits {}, misses {})",
+            backend.cache().hits(),
+            backend.cache().misses(),
+        );
+        for r in [
+            &exact_naive,
+            &exact_fast,
+            &analog_seed,
+            &analog_lut,
+            &analog_cached,
+        ] {
+            records.push(record(size, r));
+        }
+        speedups.push(Json::Obj(vec![
+            ("size".into(), Json::Int(size as u64)),
+            ("exact_fast_over_naive".into(), Json::Num(fast_over_naive)),
+            (
+                "analog_lut_cache_over_seed".into(),
+                Json::Num(analog_over_seed),
+            ),
+            (
+                "analog_lut_over_seed".into(),
+                Json::Num(analog_seed.mean_ns / analog_lut.mean_ns.max(1.0)),
+            ),
+        ]));
+    }
+
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::Str("gemm_engine".into())),
+        ("driver".into(), Json::Str("pdac".into())),
+        ("bits".into(), Json::Int(u64::from(bits))),
+        ("threads".into(), Json::Int(default_threads() as u64)),
+        ("results".into(), Json::Arr(records)),
+        ("speedups".into(), Json::Arr(speedups)),
+    ]);
+    let out_path = std::env::var("PDAC_BENCH_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json").into());
+    std::fs::write(&out_path, doc.render() + "\n").expect("write bench json");
+    println!("gemm_engine: wrote {out_path}");
+}

@@ -37,7 +37,18 @@ pub trait MzmDriver {
     }
 
     /// Converts a whole slice of codes.
+    ///
+    /// For slices larger than the code space, the default tabulates the
+    /// driver once (see [`crate::lut::ConverterLut`]) and answers from
+    /// the table, so the full conversion pipeline runs at most once per
+    /// distinct code. Output is bit-identical to per-element `convert`.
     fn convert_all(&self, codes: &[i32]) -> Vec<f64> {
+        let m = self.max_code();
+        let table_len = (2 * m + 1) as usize;
+        if codes.len() > table_len {
+            let lut = crate::lut::ConverterLut::new(self);
+            return lut.convert_all(codes);
+        }
         codes.iter().map(|&c| self.convert(c)).collect()
     }
 }
@@ -84,5 +95,17 @@ mod tests {
         let d = Passthrough;
         let out = d.convert_all(&[-7, 0, 7]);
         assert_eq!(out, vec![-1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn convert_all_table_path_matches_direct() {
+        // More codes than the 4-bit code space: the default goes through
+        // the dense table; output must be bit-identical to per-element
+        // conversion.
+        let d = Passthrough;
+        let codes: Vec<i32> = (-8..=8).cycle().take(200).collect();
+        let got = d.convert_all(&codes);
+        let want: Vec<f64> = codes.iter().map(|&c| d.convert(c)).collect();
+        assert_eq!(got, want);
     }
 }

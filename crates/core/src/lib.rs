@@ -23,6 +23,9 @@
 //! * [`adc`] — the output analog-to-digital converter model;
 //! * [`converter`] — the [`converter::MzmDriver`] trait unifying both
 //!   drive paths;
+//! * [`lut`] — dense code → amplitude lookup tables ([`lut::ConverterLut`])
+//!   that evaluate any driver once per code and make bulk conversion an
+//!   O(1)-per-element array read;
 //! * [`error_analysis`] — code sweeps producing the error statistics the
 //!   paper reports.
 //!
@@ -46,6 +49,7 @@ pub mod approx;
 pub mod converter;
 pub mod edac;
 pub mod error_analysis;
+pub mod lut;
 pub mod minimax;
 pub mod multi_segment;
 pub mod pdac;
@@ -57,5 +61,6 @@ pub use adc::Adc;
 pub use approx::ArccosApprox;
 pub use converter::MzmDriver;
 pub use edac::ElectricalDac;
+pub use lut::ConverterLut;
 pub use pdac::PDac;
 pub use tia_weights::TiaWeightPlan;

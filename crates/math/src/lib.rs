@@ -7,8 +7,11 @@
 //! models need is implemented here:
 //!
 //! * [`Complex64`] — complex arithmetic for optical field amplitudes,
-//! * [`Mat`] — small dense real/complex matrices (device transfer matrices,
+//! * [`Mat`] — dense real/complex matrices (device transfer matrices,
 //!   GEMM reference results),
+//! * [`gemm`] — the tuned f64 GEMM engine behind [`Mat::matmul`]: packed
+//!   B-transposed panels, 4×4 register tiling, row-panel threading
+//!   (`PDAC_THREADS`), bit-identical to the reference loop,
 //! * [`integrate`] — adaptive Simpson quadrature (used to evaluate the
 //!   paper's Eq. 17 error integral),
 //! * [`optimize`] — golden-section search and grid refinement (used to find
@@ -30,6 +33,7 @@
 //! ```
 
 pub mod complex;
+pub mod gemm;
 pub mod integrate;
 pub mod matrix;
 pub mod optimize;

@@ -173,12 +173,14 @@ macro_rules! impl_matrix {
                 Self::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
             }
 
-            /// Matrix-matrix product.
+            /// Matrix-matrix product via the correctness-grade triple
+            /// loop — the reference every tuned kernel must match bit for
+            /// bit.
             ///
             /// # Errors
             ///
             /// Returns [`MatError::DimMismatch`] when `self.cols() != rhs.rows()`.
-            pub fn matmul(&self, rhs: &Self) -> Result<Self, MatError> {
+            pub fn matmul_reference(&self, rhs: &Self) -> Result<Self, MatError> {
                 if self.cols != rhs.rows {
                     return Err(MatError::DimMismatch {
                         left: self.shape(),
@@ -197,12 +199,12 @@ macro_rules! impl_matrix {
                 Ok(out)
             }
 
-            /// Matrix-vector product.
+            /// Matrix-vector product via the reference row-dot loop.
             ///
             /// # Errors
             ///
             /// Returns [`MatError::DimMismatch`] when `self.cols() != v.len()`.
-            pub fn matvec(&self, v: &[$elem]) -> Result<Vec<$elem>, MatError> {
+            pub fn matvec_reference(&self, v: &[$elem]) -> Result<Vec<$elem>, MatError> {
                 if self.cols != v.len() {
                     return Err(MatError::DimMismatch {
                         left: self.shape(),
@@ -327,6 +329,108 @@ impl_matrix!(
 );
 
 impl Mat {
+    /// Matrix-matrix product through the tuned GEMM engine
+    /// ([`crate::gemm`]): packed B-transposed panels, 4×4 register
+    /// tiling, and row-panel threading (`PDAC_THREADS` override,
+    /// [`crate::gemm::default_threads`] otherwise).
+    ///
+    /// Bit-identical to [`Self::matmul_reference`] for every thread
+    /// count: each output cell accumulates its products in the same
+    /// ascending-`k` order as the reference loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatError::DimMismatch`] when `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Self) -> Result<Self, MatError> {
+        self.matmul_with_threads(rhs, crate::gemm::default_threads())
+    }
+
+    /// [`Self::matmul`] with an explicit worker-thread cap (used by the
+    /// determinism tests; results do not depend on `threads`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatError::DimMismatch`] when `self.cols() != rhs.rows()`.
+    pub fn matmul_with_threads(&self, rhs: &Self, threads: usize) -> Result<Self, MatError> {
+        if self.cols != rhs.rows {
+            return Err(MatError::DimMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let mut out = Self::zeros(self.rows, rhs.cols);
+        pdac_telemetry::counter_add("math.gemm.macs", (self.rows * self.cols * rhs.cols) as u64);
+        crate::gemm::gemm(
+            &self.data,
+            &rhs.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+            &mut out.data,
+            threads,
+        );
+        Ok(out)
+    }
+
+    /// Matrix-matrix product into a caller-owned output matrix, reusing
+    /// its allocation (the hot-loop form of [`Self::matmul`]: repeated
+    /// GEMMs of the same shape never reallocate).
+    ///
+    /// `out` is reshaped to `self.rows() × rhs.cols()` and fully
+    /// overwritten.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatError::DimMismatch`] when `self.cols() != rhs.rows()`.
+    pub fn matmul_into(&self, rhs: &Self, out: &mut Self) -> Result<(), MatError> {
+        if self.cols != rhs.rows {
+            return Err(MatError::DimMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        out.rows = self.rows;
+        out.cols = rhs.cols;
+        out.data.clear();
+        out.data.resize(self.rows * rhs.cols, 0.0);
+        pdac_telemetry::counter_add("math.gemm.macs", (self.rows * self.cols * rhs.cols) as u64);
+        crate::gemm::gemm(
+            &self.data,
+            &rhs.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+            &mut out.data,
+            crate::gemm::default_threads(),
+        );
+        Ok(())
+    }
+
+    /// Matrix-vector product on the same kernel/thread pool as
+    /// [`Self::matmul`]; bit-identical to [`Self::matvec_reference`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatError::DimMismatch`] when `self.cols() != v.len()`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, MatError> {
+        if self.cols != v.len() {
+            return Err(MatError::DimMismatch {
+                left: self.shape(),
+                right: (v.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        crate::gemm::gemv(
+            &self.data,
+            v,
+            self.rows,
+            self.cols,
+            &mut out,
+            crate::gemm::default_threads(),
+        );
+        Ok(out)
+    }
+
     /// Solves the square linear system `self · x = b` by Gaussian
     /// elimination with partial pivoting.
     ///
@@ -442,6 +546,25 @@ impl Mat {
 }
 
 impl CMat {
+    /// Matrix-matrix product (complex matrices are small device transfer
+    /// matrices; the reference loop is the right tool).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatError::DimMismatch`] when `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Self) -> Result<Self, MatError> {
+        self.matmul_reference(rhs)
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatError::DimMismatch`] when `self.cols() != v.len()`.
+    pub fn matvec(&self, v: &[Complex64]) -> Result<Vec<Complex64>, MatError> {
+        self.matvec_reference(v)
+    }
+
     /// Conjugate transpose (Hermitian adjoint).
     pub fn adjoint(&self) -> CMat {
         CMat::from_fn(self.cols(), self.rows(), |r, c| self[(c, r)].conj())
@@ -657,6 +780,69 @@ mod tests {
         let m = CMat::from_fn(3, 3, |r, c| Complex64::new(r as f64, c as f64));
         let i = CMat::identity(3);
         assert_eq!(m.matmul(&i).unwrap(), m);
+    }
+
+    #[test]
+    fn fast_matmul_is_bit_identical_to_reference() {
+        let mut rng = crate::rng::SplitMix64::seed_from_u64(99);
+        for (m, k, n) in [
+            (2, 2, 2),
+            (5, 7, 3),
+            (16, 16, 16),
+            (33, 65, 17),
+            (1, 64, 48),
+        ] {
+            let a = Mat::from_fn(m, k, |_, _| rng.gen_range_f64(-2.0, 2.0));
+            let b = Mat::from_fn(k, n, |_, _| rng.gen_range_f64(-2.0, 2.0));
+            let want = a.matmul_reference(&b).unwrap();
+            assert_eq!(a.matmul(&b).unwrap(), want, "{m}x{k}x{n}");
+            for threads in [1, 2, 8] {
+                assert_eq!(
+                    a.matmul_with_threads(&b, threads).unwrap(),
+                    want,
+                    "{m}x{k}x{n} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer_and_matches() {
+        let mut rng = crate::rng::SplitMix64::seed_from_u64(17);
+        let a = Mat::from_fn(9, 12, |_, _| rng.gen_range_f64(-1.0, 1.0));
+        let b = Mat::from_fn(12, 5, |_, _| rng.gen_range_f64(-1.0, 1.0));
+        let mut out = Mat::zeros(1, 1);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul_reference(&b).unwrap());
+        // Second call with different contents reuses the same buffer.
+        let c = Mat::from_fn(12, 5, |_, _| rng.gen_range_f64(-1.0, 1.0));
+        a.matmul_into(&c, &mut out).unwrap();
+        assert_eq!(out, a.matmul_reference(&c).unwrap());
+    }
+
+    #[test]
+    fn matmul_into_rejects_mismatched_dims() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(2, 3);
+        let mut out = Mat::zeros(1, 1);
+        assert!(matches!(
+            a.matmul_into(&b, &mut out),
+            Err(MatError::DimMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fast_matvec_is_bit_identical_to_reference() {
+        let mut rng = crate::rng::SplitMix64::seed_from_u64(23);
+        for (m, k) in [(1, 1), (3, 8), (65, 33), (128, 96)] {
+            let a = Mat::from_fn(m, k, |_, _| rng.gen_range_f64(-1.0, 1.0));
+            let v: Vec<f64> = (0..k).map(|_| rng.gen_range_f64(-1.0, 1.0)).collect();
+            assert_eq!(
+                a.matvec(&v).unwrap(),
+                a.matvec_reference(&v).unwrap(),
+                "{m}x{k}"
+            );
+        }
     }
 
     #[test]

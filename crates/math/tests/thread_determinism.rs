@@ -1,0 +1,53 @@
+//! Thread-count determinism of the GEMM engine.
+//!
+//! `scripts/ci.sh` runs this suite twice — under `PDAC_THREADS=1` and
+//! `PDAC_THREADS=8` — so the env-driven default path is exercised at both
+//! extremes in separate processes (the thread count is cached per
+//! process). Within one process the explicit-thread-count API must agree
+//! with the reference loop bit for bit at every count.
+
+use pdac_math::rng::SplitMix64;
+use pdac_math::Mat;
+
+fn random_mat(rows: usize, cols: usize, seed: u64) -> Mat {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    Mat::from_fn(rows, cols, |_, _| rng.gen_range_f64(-3.0, 3.0))
+}
+
+#[test]
+fn gemm_outputs_bit_identical_across_thread_counts() {
+    for (m, k, n, seed) in [
+        (64, 64, 64, 1u64),
+        (100, 37, 51, 2),
+        (7, 129, 30, 3),
+        (1, 256, 192, 4),
+        (130, 130, 130, 5),
+    ] {
+        let a = random_mat(m, k, seed);
+        let b = random_mat(k, n, seed + 100);
+        let reference = a.matmul_reference(&b).unwrap();
+        // The env-driven default (PDAC_THREADS when set).
+        assert_eq!(a.matmul(&b).unwrap(), reference, "{m}x{k}x{n} default");
+        // Every explicit thread count, including oversubscription.
+        for threads in [1, 2, 3, 8, 16] {
+            assert_eq!(
+                a.matmul_with_threads(&b, threads).unwrap(),
+                reference,
+                "{m}x{k}x{n} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn matvec_outputs_bit_identical_across_thread_counts() {
+    for (m, k, seed) in [(64, 64, 11u64), (300, 257, 12), (1, 500, 13)] {
+        let a = random_mat(m, k, seed);
+        let v: Vec<f64> = random_mat(1, k, seed + 50).row(0);
+        assert_eq!(
+            a.matvec(&v).unwrap(),
+            a.matvec_reference(&v).unwrap(),
+            "{m}x{k}"
+        );
+    }
+}

@@ -12,8 +12,10 @@
 //! The [`GemmBackend`] trait lets the same transformer forward pass run in
 //! any regime; the fidelity study diffs their outputs.
 
+use crate::prepared::WeightCache;
 use crate::quant::QuantizedMat;
 use pdac_core::converter::MzmDriver;
+use pdac_core::lut::ConverterLut;
 use pdac_math::Mat;
 
 /// A matrix-multiply backend.
@@ -58,17 +60,29 @@ impl GemmBackend for ExactGemm {
 /// Analog GEMM through a converter drive path: quantize both operands
 /// per-tensor, dequantize through the driver (injecting its conversion
 /// error), then multiply exactly (the DDot identity).
+///
+/// The driver is tabulated once into a [`ConverterLut`] at construction,
+/// so per-call conversion is an array read rather than a full drive-path
+/// evaluation, and the right-hand (weight-like) operand is memoized in a
+/// [`WeightCache`] so repeated multiplies against the same weights —
+/// every decode step of generative inference — skip quantize+convert
+/// entirely. Both shortcuts are bit-identical to the direct path.
 #[derive(Debug, Clone)]
 pub struct AnalogGemm<D> {
     driver: D,
+    lut: ConverterLut,
+    cache: WeightCache,
     name: String,
 }
 
 impl<D: MzmDriver> AnalogGemm<D> {
     /// Wraps a driver.
     pub fn new(driver: D, name: impl Into<String>) -> Self {
+        let lut = ConverterLut::new(&driver);
         Self {
             driver,
+            lut,
+            cache: WeightCache::default(),
             name: name.into(),
         }
     }
@@ -77,16 +91,27 @@ impl<D: MzmDriver> AnalogGemm<D> {
     pub fn driver(&self) -> &D {
         &self.driver
     }
+
+    /// The driver's dense code → amplitude table.
+    pub fn lut(&self) -> &ConverterLut {
+        &self.lut
+    }
+
+    /// The weight-conversion cache (for hit/miss inspection).
+    pub fn cache(&self) -> &WeightCache {
+        &self.cache
+    }
 }
 
 impl<D: MzmDriver> GemmBackend for AnalogGemm<D> {
     fn matmul(&self, a: &Mat, b: &Mat) -> Mat {
         let _span = pdac_telemetry::span("nn.gemm.analog");
         pdac_telemetry::counter_add("nn.gemm.macs", (a.rows() * a.cols() * b.cols()) as u64);
-        let bits = self.driver.bits();
-        let aq = QuantizedMat::quantize(a, bits).dequantize_with(&self.driver);
-        let bq = QuantizedMat::quantize(b, bits).dequantize_with(&self.driver);
-        aq.matmul(&bq).expect("inner dimensions must agree")
+        let bits = self.lut.bits();
+        let aq = QuantizedMat::quantize(a, bits).dequantize_with(&self.lut);
+        let bq = self.cache.get_or_prepare(b, &self.lut);
+        aq.matmul(bq.converted())
+            .expect("inner dimensions must agree")
     }
 
     fn name(&self) -> &str {
@@ -101,6 +126,9 @@ impl<D: MzmDriver> GemmBackend for AnalogGemm<D> {
 pub struct AsymmetricGemm<Da, Db> {
     driver_a: Da,
     driver_b: Db,
+    lut_a: ConverterLut,
+    lut_b: ConverterLut,
+    cache: WeightCache,
     name: String,
 }
 
@@ -116,20 +144,43 @@ impl<Da: MzmDriver, Db: MzmDriver> AsymmetricGemm<Da, Db> {
             driver_b.bits(),
             "both operand paths must share a bit width"
         );
+        let lut_a = ConverterLut::new(&driver_a);
+        let lut_b = ConverterLut::new(&driver_b);
         Self {
             driver_a,
             driver_b,
+            lut_a,
+            lut_b,
+            cache: WeightCache::default(),
             name: name.into(),
         }
+    }
+
+    /// The activation-path driver.
+    pub fn driver_a(&self) -> &Da {
+        &self.driver_a
+    }
+
+    /// The weight-path driver.
+    pub fn driver_b(&self) -> &Db {
+        &self.driver_b
+    }
+
+    /// The weight-conversion cache (for hit/miss inspection).
+    pub fn cache(&self) -> &WeightCache {
+        &self.cache
     }
 }
 
 impl<Da: MzmDriver, Db: MzmDriver> GemmBackend for AsymmetricGemm<Da, Db> {
     fn matmul(&self, a: &Mat, b: &Mat) -> Mat {
-        let bits = self.driver_a.bits();
-        let aq = QuantizedMat::quantize(a, bits).dequantize_with(&self.driver_a);
-        let bq = QuantizedMat::quantize(b, bits).dequantize_with(&self.driver_b);
-        aq.matmul(&bq).expect("inner dimensions must agree")
+        let _span = pdac_telemetry::span("nn.gemm.asymmetric");
+        pdac_telemetry::counter_add("nn.gemm.macs", (a.rows() * a.cols() * b.cols()) as u64);
+        let bits = self.lut_a.bits();
+        let aq = QuantizedMat::quantize(a, bits).dequantize_with(&self.lut_a);
+        let bq = self.cache.get_or_prepare(b, &self.lut_b);
+        aq.matmul(bq.converted())
+            .expect("inner dimensions must agree")
     }
 
     fn name(&self) -> &str {
@@ -223,6 +274,49 @@ mod tests {
             ElectricalDac::new(4).unwrap(),
             "bad",
         );
+    }
+
+    #[test]
+    fn analog_lut_cache_path_is_bit_identical_to_direct() {
+        // The LUT + weight-cache fast path must reproduce the naive
+        // quantize→scalar-convert→reference-matmul pipeline exactly.
+        let a = random_mat(9, 13, 31);
+        let b = random_mat(13, 6, 32);
+        let driver = PDac::with_optimal_approx(8).unwrap();
+        let analog = AnalogGemm::new(driver.clone(), "p8");
+        let direct_a = QuantizedMat::quantize(&a, 8).dequantize_with(&driver);
+        let direct_b = QuantizedMat::quantize(&b, 8).dequantize_with(&driver);
+        let direct = direct_a.matmul_reference(&direct_b).unwrap();
+        assert_eq!(analog.matmul(&a, &b), direct);
+        assert_eq!(analog.matmul(&a, &b), direct);
+    }
+
+    #[test]
+    fn analog_weight_cache_hits_across_calls() {
+        let w = random_mat(12, 4, 33);
+        let analog = AnalogGemm::new(ElectricalDac::new(8).unwrap(), "e8");
+        for step in 0..5 {
+            let x = random_mat(1, 12, 40 + step);
+            let _ = analog.matmul(&x, &w);
+        }
+        assert_eq!(analog.cache().misses(), 1);
+        assert_eq!(analog.cache().hits(), 4);
+    }
+
+    #[test]
+    fn asymmetric_cache_path_is_bit_identical_to_direct() {
+        let a = random_mat(5, 11, 34);
+        let b = random_mat(11, 7, 35);
+        let pdac = PDac::with_optimal_approx(8).unwrap();
+        let edac = ElectricalDac::new(8).unwrap();
+        let hybrid = AsymmetricGemm::new(pdac.clone(), edac, "hy");
+        let direct_a = QuantizedMat::quantize(&a, 8).dequantize_with(&pdac);
+        let direct_b = QuantizedMat::quantize(&b, 8).dequantize_with(&edac);
+        let direct = direct_a.matmul_reference(&direct_b).unwrap();
+        assert_eq!(hybrid.matmul(&a, &b), direct);
+        assert_eq!(hybrid.cache().misses(), 1);
+        let _ = hybrid.matmul(&a, &b);
+        assert_eq!(hybrid.cache().hits(), 1);
     }
 
     #[test]

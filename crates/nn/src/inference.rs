@@ -536,6 +536,26 @@ mod tests {
     }
 
     #[test]
+    fn decode_steps_reuse_cached_weight_conversions() {
+        // Across decode steps the six stable weight matrices per layer
+        // hit the analog backend's weight cache (the per-step kh/vh
+        // cache views are fresh allocations and legitimately miss);
+        // each weight converts exactly once.
+        let m = tiny_model();
+        let pdac = AnalogGemm::new(PDac::with_optimal_approx(8).unwrap(), "pdac");
+        let mut cache = m.new_cache();
+        let input = m.random_input(6);
+        let steps = 4;
+        for t in 0..steps {
+            let _ = m.decode_step(&input.row(t), &mut cache, &pdac);
+        }
+        // 2 layers × 6 weights miss on step 0, then hit on every later step.
+        let weight_matmuls = 2 * 6;
+        assert_eq!(pdac.cache().hits(), (steps as u64 - 1) * weight_matmuls);
+        assert!(pdac.cache().misses() >= weight_matmuls);
+    }
+
+    #[test]
     #[should_panic(expected = "hidden dim mismatch")]
     fn decode_rejects_wrong_token_width() {
         let m = tiny_model();

@@ -10,6 +10,9 @@
 //!   [`pdac_math::Mat`] activations;
 //! * [`quant`] — per-tensor symmetric quantization of activations and
 //!   weights onto the converter code grid;
+//! * [`prepared`] — pre-converted operands and the [`prepared::WeightCache`]
+//!   memo that lets a GEMM backend quantize+convert a weight matrix once
+//!   and reuse it across every decode step;
 //! * [`gemm`] — pluggable GEMM backends: exact `f64`, and an analog
 //!   backend that pushes every operand through an
 //!   [`pdac_core::MzmDriver`] (P-DAC or electrical DAC) before the —
@@ -39,9 +42,11 @@ pub mod gemm;
 pub mod generative;
 pub mod inference;
 pub mod ops;
+pub mod prepared;
 pub mod quant;
 pub mod workload;
 
 pub use config::TransformerConfig;
 pub use gemm::{AnalogGemm, AsymmetricGemm, ExactGemm, GemmBackend};
 pub use inference::{KvCache, TransformerModel};
+pub use prepared::{PreparedOperand, WeightCache};

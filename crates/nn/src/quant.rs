@@ -103,16 +103,20 @@ impl QuantizedMat {
     /// Physical dequantization through an MZM drive path: every element
     /// becomes `scale · driver.convert(code)`.
     ///
+    /// Converts the whole code slice with one [`MzmDriver::convert_all`]
+    /// call — a single virtual dispatch instead of one per element, so
+    /// table-backed drivers ([`pdac_core::ConverterLut`]) run their tight
+    /// lookup loop. Bit-identical to per-element `convert`.
+    ///
     /// # Panics
     ///
     /// Panics if the driver's bit width differs from the tensor's.
     pub fn dequantize_with(&self, driver: &dyn MzmDriver) -> Mat {
         assert_eq!(driver.bits(), self.bits, "driver/tensor bit width mismatch");
-        let data = self
-            .codes
-            .iter()
-            .map(|&c| self.scale * driver.convert(c))
-            .collect();
+        let mut data = driver.convert_all(&self.codes);
+        for v in &mut data {
+            *v *= self.scale;
+        }
         Mat::from_rows(self.rows, self.cols, data).expect("shape preserved")
     }
 }

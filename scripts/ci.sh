@@ -22,4 +22,12 @@ cargo build --release -p pdac --no-default-features
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> GEMM thread determinism (PDAC_THREADS=1 vs 8)"
+PDAC_THREADS=1 cargo test -q -p pdac-math --test thread_determinism
+PDAC_THREADS=8 cargo test -q -p pdac-math --test thread_determinism
+
+echo "==> gemm_engine microbench smoke"
+PDAC_BENCH_MS=5 PDAC_BENCH_MAX_DIM=64 PDAC_BENCH_OUT="$(pwd)/target/BENCH_gemm.smoke.json" \
+    cargo bench --features microbench -p pdac-bench --bench gemm_engine
+
 echo "CI OK"
