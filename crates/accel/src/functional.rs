@@ -106,6 +106,12 @@ impl FunctionalGemm {
         &self.config
     }
 
+    /// The converter drive path the engine modulates operands through
+    /// (used by conformance tooling to derive per-element error budgets).
+    pub fn driver(&self) -> &dyn MzmDriver {
+        self.driver.as_ref()
+    }
+
     /// Executes `a · b` through the full analog path.
     ///
     /// # Errors

@@ -1,0 +1,78 @@
+//! Property-style sweep of the Eq. 18 reconstruction error.
+//!
+//! Walks `r ∈ [−1, 1]` at 1e-4 steps (20001 points) and checks the
+//! paper's two headline claims about the three-segment arccos
+//! approximation: the relative reconstruction error never exceeds 8.5%
+//! (plus solver epsilon), and the worst case sits at the breakpoint
+//! `r = ±k ≈ ±0.7236` — the error is *not* at the domain edges.
+
+use pdac_core::approx::{ArccosApprox, PAPER_MAX_ERROR, PAPER_OPTIMAL_K};
+
+const STEP: f64 = 1e-4;
+const POINTS: i64 = 20_000;
+
+/// Sweeps the full domain and returns `(worst_error, argmax_r)`.
+fn sweep(approx: &ArccosApprox) -> (f64, f64) {
+    let mut worst = 0.0f64;
+    let mut at = 0.0f64;
+    for i in -POINTS / 2..=POINTS / 2 {
+        let r = (i as f64 * STEP).clamp(-1.0, 1.0);
+        let err = approx.reconstruction_error(r);
+        assert!(err.is_finite(), "non-finite error at r={r}");
+        if err > worst {
+            worst = err;
+            at = r;
+        }
+    }
+    (worst, at)
+}
+
+#[test]
+fn optimal_error_bounded_and_peaks_at_breakpoint() {
+    let approx = ArccosApprox::optimal();
+    let (worst, at) = sweep(&approx);
+    // The numerically solved breakpoint can land a hair past the paper's
+    // rounded 0.7236, so give the 8.5% budget matching headroom.
+    assert!(
+        worst <= PAPER_MAX_ERROR + 2e-3,
+        "worst error {worst:.5} at r={at:.5} exceeds Eq. 18 budget"
+    );
+    assert!(
+        (at.abs() - approx.breakpoint()).abs() < 2.0 * STEP,
+        "error peak at r={at:.5}, expected ±k={:.5}",
+        approx.breakpoint()
+    );
+    assert!(
+        (approx.breakpoint() - PAPER_OPTIMAL_K).abs() < 5e-3,
+        "solved breakpoint {:.5} drifted from the paper's 0.7236",
+        approx.breakpoint()
+    );
+}
+
+#[test]
+fn paper_breakpoint_error_bounded() {
+    let approx = ArccosApprox::three_segment(PAPER_OPTIMAL_K);
+    let (worst, at) = sweep(&approx);
+    assert!(
+        worst <= PAPER_MAX_ERROR + 2e-3,
+        "worst error {worst:.5} at r={at:.5} exceeds Eq. 18 budget"
+    );
+    assert!(
+        (at.abs() - PAPER_OPTIMAL_K).abs() < 2.0 * STEP,
+        "error peak at r={at:.5}, expected ±{PAPER_OPTIMAL_K}"
+    );
+}
+
+#[test]
+fn error_is_even_in_r() {
+    let approx = ArccosApprox::optimal();
+    for i in 0..=POINTS / 2 {
+        let r = (i as f64 * STEP).min(1.0);
+        let pos = approx.reconstruction_error(r);
+        let neg = approx.reconstruction_error(-r);
+        assert!(
+            (pos - neg).abs() < 1e-9,
+            "error asymmetry at r={r}: {pos} vs {neg}"
+        );
+    }
+}

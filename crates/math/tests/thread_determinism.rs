@@ -51,3 +51,77 @@ fn matvec_outputs_bit_identical_across_thread_counts() {
         );
     }
 }
+
+#[test]
+fn matmul_into_bit_identical_and_reuses_allocation() {
+    // The in-place form shares the kernel with matmul, so it inherits the
+    // same determinism obligation — including when the output buffer is
+    // recycled across differently shaped products.
+    let mut out = Mat::zeros(1, 1);
+    for (m, k, n, seed) in [
+        (64, 64, 64, 21u64),
+        (100, 37, 51, 22),
+        (7, 129, 30, 23),
+        (1, 256, 192, 24),
+    ] {
+        let a = random_mat(m, k, seed);
+        let b = random_mat(k, n, seed + 100);
+        let reference = a.matmul_reference(&b).unwrap();
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, reference, "{m}x{k}x{n} into");
+        assert_eq!(out.shape(), (m, n), "{m}x{k}x{n} reshaped");
+    }
+}
+
+#[test]
+fn rectangular_and_degenerate_shapes_bit_identical() {
+    // Extreme aspect ratios and prime dimensions defeat every blocking
+    // assumption in the tuned kernel: single cells, single rows/columns,
+    // deep inner products, and block-unaligned prime sizes must all still
+    // agree with the reference loop bit for bit at every thread count.
+    let mut out = Mat::zeros(1, 1);
+    for (m, k, n, seed) in [
+        (1, 1, 1, 31u64),  // single cell
+        (1, 1, 64, 32),    // outer-product row
+        (64, 1, 1, 33),    // outer-product column
+        (1, 512, 1, 34),   // deep dot product
+        (2, 3, 2, 35),     // smaller than any block
+        (7, 13, 31, 36),   // prime everywhere
+        (31, 7, 13, 37),   // prime, permuted
+        (129, 2, 127, 38), // thin inner dimension, prime edges
+    ] {
+        let a = random_mat(m, k, seed);
+        let b = random_mat(k, n, seed + 100);
+        let reference = a.matmul_reference(&b).unwrap();
+        assert_eq!(a.matmul(&b).unwrap(), reference, "{m}x{k}x{n} default");
+        for threads in [1, 2, 8, 16] {
+            assert_eq!(
+                a.matmul_with_threads(&b, threads).unwrap(),
+                reference,
+                "{m}x{k}x{n} threads={threads}"
+            );
+        }
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, reference, "{m}x{k}x{n} into");
+        if n == 1 {
+            // Column matrices double as matvec inputs; the two kernels
+            // must agree on the same data.
+            let v = b.col(0);
+            assert_eq!(
+                a.matvec(&v).unwrap(),
+                reference.col(0),
+                "{m}x{k} matvec-vs-gemm"
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_dimension_matrices_are_rejected_at_construction() {
+    // Degenerate 0×N shapes are unrepresentable by design: Mat::zeros
+    // refuses them, so no kernel ever sees an empty operand.
+    let err = std::panic::catch_unwind(|| Mat::zeros(0, 4));
+    assert!(err.is_err(), "0-row matrix must be rejected");
+    let err = std::panic::catch_unwind(|| Mat::zeros(4, 0));
+    assert!(err.is_err(), "0-col matrix must be rejected");
+}

@@ -125,6 +125,32 @@ impl OpticalWord {
             .map(|&s| if s { on_current } else { 0.0 })
             .collect()
     }
+
+    /// Returns a copy with slot `index` forced to `lit` — a stuck-on /
+    /// stuck-off device fault on one time slot (slot 0 is the sign slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.bits()`.
+    pub fn with_slot_forced(&self, index: usize, lit: bool) -> Self {
+        assert!(index < self.slots.len(), "slot index out of bounds");
+        let mut slots = self.slots.clone();
+        slots[index] = lit;
+        Self { slots }
+    }
+
+    /// Returns a copy with slot `index` inverted — a transient bit flip
+    /// in the optical digital word (slot 0 is the sign slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.bits()`.
+    pub fn with_slot_flipped(&self, index: usize) -> Self {
+        assert!(index < self.slots.len(), "slot index out of bounds");
+        let mut slots = self.slots.clone();
+        slots[index] = !slots[index];
+        Self { slots }
+    }
 }
 
 /// The transmitting EO interface: encodes electrical words onto one
@@ -272,6 +298,32 @@ mod tests {
     fn slot_currents_map_lit_slots() {
         let w = OpticalWord::encode(-3, 4).unwrap(); // sign=1, mag=011
         assert_eq!(w.slot_currents(2.0), vec![2.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn forced_slot_overrides_and_preserves_rest() {
+        let w = OpticalWord::encode(5, 4).unwrap(); // 0 101
+        let stuck = w.with_slot_forced(2, true); // 0 111 = 7
+        assert_eq!(stuck.decode(), 7);
+        // Forcing an already-matching slot is the identity.
+        assert_eq!(w.with_slot_forced(1, true), w);
+        // Forcing the sign slot negates.
+        assert_eq!(w.with_slot_forced(0, true).decode(), -5);
+    }
+
+    #[test]
+    fn flipped_slot_inverts_one_bit() {
+        let w = OpticalWord::encode(5, 4).unwrap(); // 0 101
+        assert_eq!(w.with_slot_flipped(3).decode(), 4);
+        assert_eq!(w.with_slot_flipped(0).decode(), -5);
+        // Double flip round-trips.
+        assert_eq!(w.with_slot_flipped(1).with_slot_flipped(1), w);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot index out of bounds")]
+    fn forced_slot_bounds_checked() {
+        OpticalWord::encode(1, 4).unwrap().with_slot_forced(4, true);
     }
 
     #[test]

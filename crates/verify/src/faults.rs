@@ -1,0 +1,442 @@
+//! Deterministic device-fault injection for analog drive paths.
+//!
+//! Analog accelerators rarely die from the error their designers budget
+//! for; they die from the faults nobody modelled — comparator/TIA drift,
+//! detector dark current, stuck bits on the optical interface, laser
+//! droop (cf. arXiv:2109.08025 on comparator/TIA noise limits). This
+//! module wraps the P-DAC conversion pipeline in a [`FaultSpec`] that
+//! injects exactly those faults, re-deriving the pipeline from the
+//! *public* [`TiaWeightPlan`] so a clean spec reproduces the production
+//! [`PDac`] path bit for bit — the fault layer itself is covered by the
+//! differential conformance engine.
+//!
+//! Faults are pure values (no hidden RNG state): the same spec always
+//! produces the same outputs. Randomized sweeps seed their own
+//! [`pdac_math::rng::SplitMix64`] and *generate* specs, keeping every
+//! failure reproducible from a single `u64`.
+
+use pdac_core::converter::MzmDriver;
+use pdac_core::pdac::PDac;
+use pdac_core::tia_weights::TiaWeightPlan;
+use pdac_math::Complex64;
+use pdac_photonics::eo_interface::OpticalWord;
+use pdac_photonics::Mzm;
+use std::f64::consts::PI;
+
+/// Nominal photocurrent (A) of a lit optical slot at the receive
+/// photodetectors. The TIA weights are normalized against this value, so
+/// it cancels exactly on the clean path; faults are expressed relative
+/// to it.
+pub const NOMINAL_ON_CURRENT: f64 = 1e-3;
+
+/// A single-slot fault on the optical digital word (slot 0 is the sign
+/// slot, slots `1..bits` the magnitude MSB→LSB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotFault {
+    /// The slot always reads lit (e.g. a modulator stuck at full
+    /// transmission).
+    StuckOn(usize),
+    /// The slot always reads dark (e.g. a dead modulator or detector).
+    StuckOff(usize),
+    /// The slot reads inverted (e.g. a polarity error in the receiver).
+    Flipped(usize),
+}
+
+impl SlotFault {
+    /// The slot index the fault targets.
+    pub fn slot(&self) -> usize {
+        match *self {
+            SlotFault::StuckOn(i) | SlotFault::StuckOff(i) | SlotFault::Flipped(i) => i,
+        }
+    }
+
+    fn apply(&self, word: &OpticalWord) -> OpticalWord {
+        match *self {
+            SlotFault::StuckOn(i) => word.with_slot_forced(i, true),
+            SlotFault::StuckOff(i) => word.with_slot_forced(i, false),
+            SlotFault::Flipped(i) => word.with_slot_flipped(i),
+        }
+    }
+}
+
+/// A deterministic bundle of device faults applied to one conversion
+/// pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_verify::faults::FaultSpec;
+///
+/// let clean = FaultSpec::none();
+/// assert!(clean.is_clean());
+/// let drifted = FaultSpec::none().with_tia_gain_drift(0.05);
+/// assert!(!drifted.is_clean());
+/// assert!(drifted.severity() > clean.severity());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Relative TIA feedback-gain error: every bit weight is scaled by
+    /// `1 + drift` (resistor process/thermal drift).
+    pub tia_gain_drift: f64,
+    /// Photodetector dark current as a fraction of [`NOMINAL_ON_CURRENT`],
+    /// added to every slot's photocurrent.
+    pub dark_current_ratio: f64,
+    /// Relative laser power droop: a lit slot delivers
+    /// `(1 − droop) · NOMINAL_ON_CURRENT`.
+    pub laser_droop: f64,
+    /// Stuck / flipped time slots on the optical word.
+    pub slot_faults: Vec<SlotFault>,
+}
+
+impl FaultSpec {
+    /// The fault-free spec: wrapping a driver with it must reproduce the
+    /// clean pipeline exactly.
+    pub fn none() -> Self {
+        Self {
+            tia_gain_drift: 0.0,
+            dark_current_ratio: 0.0,
+            laser_droop: 0.0,
+            slot_faults: Vec::new(),
+        }
+    }
+
+    /// Sets the relative TIA gain drift (may be negative).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drift` is not finite or `<= −1` (non-physical gain).
+    pub fn with_tia_gain_drift(mut self, drift: f64) -> Self {
+        assert!(
+            drift.is_finite() && drift > -1.0,
+            "gain drift must be finite and > -1"
+        );
+        self.tia_gain_drift = drift;
+        self
+    }
+
+    /// Sets the dark-current ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is negative or not finite.
+    pub fn with_dark_current_ratio(mut self, ratio: f64) -> Self {
+        assert!(
+            ratio.is_finite() && ratio >= 0.0,
+            "dark-current ratio must be finite and >= 0"
+        );
+        self.dark_current_ratio = ratio;
+        self
+    }
+
+    /// Sets the laser power droop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `droop` is outside `[0, 1]`.
+    pub fn with_laser_droop(mut self, droop: f64) -> Self {
+        assert!((0.0..=1.0).contains(&droop), "droop must lie in [0, 1]");
+        self.laser_droop = droop;
+        self
+    }
+
+    /// Adds a slot fault.
+    pub fn with_slot_fault(mut self, fault: SlotFault) -> Self {
+        self.slot_faults.push(fault);
+        self
+    }
+
+    /// Whether the spec injects nothing.
+    pub fn is_clean(&self) -> bool {
+        self.tia_gain_drift == 0.0
+            && self.dark_current_ratio == 0.0
+            && self.laser_droop == 0.0
+            && self.slot_faults.is_empty()
+    }
+
+    /// A scalar fault magnitude for ordering sweeps: the sum of the
+    /// analog fault magnitudes plus one per slot fault.
+    pub fn severity(&self) -> f64 {
+        self.tia_gain_drift.abs()
+            + self.dark_current_ratio
+            + self.laser_droop
+            + self.slot_faults.len() as f64
+    }
+}
+
+/// A [`PDac`] whose physical pipeline — optical word, photodetection,
+/// TIA weighting, MZM — runs with the faults of a [`FaultSpec`] injected
+/// at the stage where each fault physically occurs.
+///
+/// With [`FaultSpec::none`] the synthesized drive voltage is
+/// bit-identical to `TiaWeightPlan::drive_voltage`, and the emitted
+/// amplitude agrees with the clean [`PDac`] to ≤ 1e-12 (the physical
+/// paths differ only in rounding: the PDac's TIA bank normalizes
+/// resistances through a divide/multiply pair, and the MZM's
+/// voltage-normalization round trip costs a few ulps); the conformance
+/// engine asserts both.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_core::pdac::PDac;
+/// use pdac_core::converter::MzmDriver;
+/// use pdac_verify::faults::{FaultSpec, FaultyPDac};
+///
+/// let pdac = PDac::with_optimal_approx(8)?;
+/// let clean = FaultyPDac::new(pdac.clone(), FaultSpec::none());
+/// assert!((clean.convert(64) - pdac.convert(64)).abs() < 1e-12);
+/// # Ok::<(), pdac_core::pdac::PDacError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultyPDac {
+    pdac: PDac,
+    spec: FaultSpec,
+    mzm: Mzm,
+}
+
+impl FaultyPDac {
+    /// Wraps a P-DAC with a fault spec.
+    pub fn new(pdac: PDac, spec: FaultSpec) -> Self {
+        Self {
+            pdac,
+            spec,
+            mzm: Mzm::ideal(),
+        }
+    }
+
+    /// The injected faults.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// The wrapped converter.
+    pub fn inner(&self) -> &PDac {
+        &self.pdac
+    }
+
+    fn plan(&self) -> &TiaWeightPlan {
+        self.pdac.plan()
+    }
+
+    /// The faulted MZM drive voltage for a code.
+    pub fn drive_voltage(&self, code: i32) -> f64 {
+        let plan = self.plan();
+        let m = plan.max_code();
+        let code = code.clamp(-m, m);
+        let word = OpticalWord::encode(code, plan.bits()).expect("clamped code is representable");
+        let word = self.spec.slot_faults.iter().fold(word, |w, f| f.apply(&w));
+
+        // Physical photocurrents: droop scales lit slots, dark current
+        // offsets every slot.
+        let on = NOMINAL_ON_CURRENT * (1.0 - self.spec.laser_droop);
+        let dark = self.spec.dark_current_ratio * NOMINAL_ON_CURRENT;
+        let currents: Vec<f64> = word
+            .slots()
+            .iter()
+            .map(|&lit| if lit { on + dark } else { dark })
+            .collect();
+
+        // The digital side (sign select, region-select comparators)
+        // re-thresholds each slot at half the nominal on-current.
+        let threshold = 0.5 * NOMINAL_ON_CURRENT;
+        let negative = currents[0] > threshold;
+        let mut magnitude = 0i32;
+        for &c in &currents[1..] {
+            magnitude = (magnitude << 1) | i32::from(c > threshold);
+        }
+        let region = &plan.regions()[plan.region_index(magnitude)];
+
+        // The analog side: TIA superposition of the *analog* slot
+        // currents, with the drifted gain.
+        let gain = 1.0 + self.spec.tia_gain_drift;
+        let mut v = region.bias;
+        for (w, &c) in region.bit_weights.iter().zip(&currents[1..]) {
+            let contribution = gain * w * (c / NOMINAL_ON_CURRENT);
+            if contribution != 0.0 {
+                v += contribution;
+            }
+        }
+        if negative {
+            PI - v
+        } else {
+            v
+        }
+    }
+}
+
+impl MzmDriver for FaultyPDac {
+    fn bits(&self) -> u8 {
+        self.pdac.bits()
+    }
+
+    fn convert(&self, code: i32) -> f64 {
+        let v = self.drive_voltage(code);
+        self.mzm.modulate_push_pull(Complex64::ONE, v).re
+    }
+}
+
+/// A post-conversion analog perturbation applicable to *any* drive path
+/// (including the electrical baseline): the emitted amplitude is
+/// `scale · x + offset`. Models aggregate gain/offset error past the
+/// MZM — the fault shape the electrical DAC path shares with the P-DAC.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_core::edac::ElectricalDac;
+/// use pdac_core::converter::MzmDriver;
+/// use pdac_verify::faults::AmplitudeFault;
+///
+/// let edac = ElectricalDac::new(8)?;
+/// let faulty = AmplitudeFault::new(edac, 0.9, 0.01);
+/// let clean = ElectricalDac::new(8)?;
+/// assert!((faulty.convert(64) - (0.9 * clean.convert(64) + 0.01)).abs() < 1e-15);
+/// # Ok::<(), pdac_core::edac::EdacError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AmplitudeFault<D> {
+    inner: D,
+    scale: f64,
+    offset: f64,
+}
+
+impl<D: MzmDriver> AmplitudeFault<D> {
+    /// Wraps a driver with a gain/offset perturbation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not finite.
+    pub fn new(inner: D, scale: f64, offset: f64) -> Self {
+        assert!(
+            scale.is_finite() && offset.is_finite(),
+            "fault parameters must be finite"
+        );
+        Self {
+            inner,
+            scale,
+            offset,
+        }
+    }
+
+    /// The wrapped driver.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<D: MzmDriver> MzmDriver for AmplitudeFault<D> {
+    fn bits(&self) -> u8 {
+        self.inner.bits()
+    }
+
+    fn convert(&self, code: i32) -> f64 {
+        self.scale * self.inner.convert(code) + self.offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pdac() -> PDac {
+        PDac::with_optimal_approx(8).unwrap()
+    }
+
+    #[test]
+    fn clean_spec_drive_voltage_is_bit_identical_to_plan() {
+        let p = pdac();
+        let faulty = FaultyPDac::new(p.clone(), FaultSpec::none());
+        for code in -127..=127 {
+            let got = faulty.drive_voltage(code);
+            let want = p.plan().drive_voltage(code);
+            assert_eq!(got.to_bits(), want.to_bits(), "code={code}");
+        }
+    }
+
+    #[test]
+    fn clean_spec_matches_pdac_within_rounding() {
+        let p = pdac();
+        let faulty = FaultyPDac::new(p.clone(), FaultSpec::none());
+        for code in -127..=127 {
+            assert!(
+                (faulty.convert(code) - p.convert(code)).abs() < 1e-12,
+                "code={code}"
+            );
+        }
+    }
+
+    #[test]
+    fn gain_drift_perturbs_output() {
+        let drifted = FaultyPDac::new(pdac(), FaultSpec::none().with_tia_gain_drift(0.1));
+        let clean = FaultyPDac::new(pdac(), FaultSpec::none());
+        let moved = (-127..=127).filter(|&c| drifted.convert(c) != clean.convert(c));
+        assert!(moved.count() > 200, "10% gain drift must move most codes");
+    }
+
+    #[test]
+    fn stuck_sign_slot_negates_positive_codes() {
+        let spec = FaultSpec::none().with_slot_fault(SlotFault::StuckOn(0));
+        let faulty = FaultyPDac::new(pdac(), spec);
+        let clean = FaultyPDac::new(pdac(), FaultSpec::none());
+        for code in [5, 64, 127] {
+            assert!(
+                (faulty.convert(code) - clean.convert(-code)).abs() < 1e-12,
+                "code={code}"
+            );
+        }
+    }
+
+    #[test]
+    fn stuck_msb_saturates_small_codes_upward() {
+        // Slot 1 is the magnitude MSB: stuck-on adds 64 to small codes.
+        let spec = FaultSpec::none().with_slot_fault(SlotFault::StuckOn(1));
+        let faulty = FaultyPDac::new(pdac(), spec);
+        let clean = FaultyPDac::new(pdac(), FaultSpec::none());
+        assert!((faulty.convert(3) - clean.convert(67)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_faults_remain_finite_and_bounded() {
+        let specs = [
+            FaultSpec::none().with_tia_gain_drift(0.5),
+            FaultSpec::none().with_dark_current_ratio(1.0),
+            FaultSpec::none().with_laser_droop(1.0),
+            FaultSpec::none()
+                .with_slot_fault(SlotFault::Flipped(0))
+                .with_slot_fault(SlotFault::StuckOn(7))
+                .with_tia_gain_drift(-0.5)
+                .with_dark_current_ratio(0.7),
+        ];
+        for spec in specs {
+            let faulty = FaultyPDac::new(pdac(), spec.clone());
+            for code in -127..=127 {
+                let out = faulty.convert(code);
+                assert!(out.is_finite(), "spec={spec:?} code={code}");
+                assert!(out.abs() <= 1.0 + 1e-9, "MZM output must stay physical");
+            }
+        }
+    }
+
+    #[test]
+    fn severity_orders_specs() {
+        let a = FaultSpec::none().with_laser_droop(0.1);
+        let b = FaultSpec::none().with_laser_droop(0.2);
+        assert!(b.severity() > a.severity());
+        assert_eq!(FaultSpec::none().severity(), 0.0);
+    }
+
+    #[test]
+    fn amplitude_fault_identity_when_unit() {
+        let p = pdac();
+        let f = AmplitudeFault::new(p.clone(), 1.0, 0.0);
+        for code in -127..=127 {
+            assert_eq!(f.convert(code).to_bits(), p.convert(code).to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "droop must lie in [0, 1]")]
+    fn droop_validated() {
+        let _ = FaultSpec::none().with_laser_droop(1.5);
+    }
+}

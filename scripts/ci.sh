@@ -22,12 +22,24 @@ cargo build --release -p pdac --no-default-features
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> feature matrix (workspace without default features; gated tests compile)"
+cargo build --release --workspace --no-default-features
+cargo test -q --workspace --all-features --no-run
+
 echo "==> GEMM thread determinism (PDAC_THREADS=1 vs 8)"
 PDAC_THREADS=1 cargo test -q -p pdac-math --test thread_determinism
 PDAC_THREADS=8 cargo test -q -p pdac-math --test thread_determinism
 
+echo "==> conformance + fault-injection matrix (pdac-verify)"
+PDAC_VERIFY_OUT="$(pwd)/target/verify_report.jsonl" \
+    cargo run --release -q -p pdac-verify
+
 echo "==> gemm_engine microbench smoke"
 PDAC_BENCH_MS=5 PDAC_BENCH_MAX_DIM=64 PDAC_BENCH_OUT="$(pwd)/target/BENCH_gemm.smoke.json" \
     cargo bench --features microbench -p pdac-bench --bench gemm_engine
+
+echo "==> verify microbench smoke"
+PDAC_BENCH_MS=5 PDAC_BENCH_OUT="$(pwd)/target/BENCH_verify.smoke.json" \
+    cargo bench --features microbench -p pdac-bench --bench verify
 
 echo "CI OK"
