@@ -192,6 +192,32 @@ mod tests {
     }
 
     #[test]
+    fn decode_batch_on_accelerator_matches_sequential() {
+        // AccelBackend only implements `matmul`; the batched decode path
+        // must fall back to the trait's default per-row forms and stay
+        // bit-identical to sequential `decode_step` calls even when every
+        // product runs through the functional accelerator simulator.
+        use pdac_nn::BatchedKvCache;
+
+        let backend = AccelBackend::new(small_config(DriverChoice::PhotonicDac)).unwrap();
+        let model = TransformerModel::random(TransformerConfig::tiny(), 4, 11);
+        let hidden = model.config().hidden;
+        let s = 3;
+        let mut batch = BatchedKvCache::new(&model, s);
+        let mut singles: Vec<_> = (0..s).map(|_| model.new_cache()).collect();
+        let mut rng = pdac_math::rng::SplitMix64::seed_from_u64(77);
+        for _step in 0..3 {
+            let tokens = Mat::from_fn(s, hidden, |_, _| rng.gen_range_f64(-1.0, 1.0));
+            let batched = model.decode_batch(&tokens, &mut batch, &backend);
+            for (seq, cache) in singles.iter_mut().enumerate() {
+                let single = model.decode_step(&tokens.row(seq), cache, &backend);
+                assert_eq!(batched.row_slice(seq), &single[..], "seq {seq}");
+            }
+        }
+        assert!(backend.gemms_executed() > 0);
+    }
+
+    #[test]
     fn backend_name() {
         let backend = AccelBackend::new(small_config(DriverChoice::PhotonicDac)).unwrap();
         assert_eq!(backend.name(), "accelerator");

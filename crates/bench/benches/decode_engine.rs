@@ -1,0 +1,181 @@
+//! Throughput of the batched decode engine: aggregate tokens/s at batch
+//! sizes {1, 4, 8, 16} for the exact and the P-DAC analog backend,
+//! against the sequential baseline (the same sequences decoded one at a
+//! time through `decode_step`).
+//!
+//! Emits `BENCH_decode.json` (override with `PDAC_BENCH_OUT`). Knobs
+//! for CI smoke runs: `PDAC_BENCH_DECODE_HIDDEN` / `_LAYERS` / `_HEADS`
+//! (default 256/4/4), `_PROMPT` / `_TOKENS` (default 8/24), `_BATCHES`
+//! (default `1,4,8,16`). The batch-8 P-DAC speedup floor (≥3× over
+//! sequential) is asserted only at the default configuration.
+
+use std::time::Instant;
+
+use pdac_core::pdac::PDac;
+use pdac_math::Mat;
+use pdac_nn::{
+    AnalogGemm, BatchedKvCache, ExactGemm, GemmBackend, TransformerConfig, TransformerModel,
+};
+use pdac_serve::feedback_embedding;
+use pdac_telemetry::Json;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn prompt_tokens(model: &TransformerModel, s: usize, len: usize, seed: u64) -> Vec<Mat> {
+    let mut rng = pdac_math::rng::SplitMix64::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            Mat::from_fn(s, model.config().hidden, |_, _| {
+                rng.gen_range_f64(-1.0, 1.0)
+            })
+        })
+        .collect()
+}
+
+/// Decodes `s` sequences for `prompt.len() + gen` steps through the
+/// batched engine; returns elapsed seconds.
+fn run_batched(
+    model: &TransformerModel,
+    backend: &dyn GemmBackend,
+    prompt: &[Mat],
+    gen: usize,
+) -> f64 {
+    let s = prompt[0].rows();
+    let mut batch = BatchedKvCache::new(model, s);
+    let start = Instant::now();
+    let mut last = model.decode_batch(&prompt[0], &mut batch, backend);
+    for tok in &prompt[1..] {
+        last = model.decode_batch(tok, &mut batch, backend);
+    }
+    for _ in 0..gen {
+        let hidden = model.config().hidden;
+        let mut data = Vec::with_capacity(s * hidden);
+        for r in 0..s {
+            data.extend(feedback_embedding(last.row_slice(r)));
+        }
+        let next = Mat::from_rows(s, hidden, data).expect("feedback batch");
+        last = model.decode_batch(&next, &mut batch, backend);
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// The same workload, one sequence at a time through `decode_step` (the
+/// pre-batching serving strategy); returns elapsed seconds.
+fn run_sequential(
+    model: &TransformerModel,
+    backend: &dyn GemmBackend,
+    prompt: &[Mat],
+    gen: usize,
+) -> f64 {
+    let s = prompt[0].rows();
+    let start = Instant::now();
+    for seq in 0..s {
+        let mut cache = model.new_cache();
+        let mut last = model.decode_step(&prompt[0].row(seq), &mut cache, backend);
+        for tok in &prompt[1..] {
+            last = model.decode_step(&tok.row(seq), &mut cache, backend);
+        }
+        for _ in 0..gen {
+            let next = feedback_embedding(&last);
+            last = model.decode_step(&next, &mut cache, backend);
+        }
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let hidden = env_usize("PDAC_BENCH_DECODE_HIDDEN", 256);
+    let layers = env_usize("PDAC_BENCH_DECODE_LAYERS", 4);
+    let heads = env_usize("PDAC_BENCH_DECODE_HEADS", 4);
+    let prompt_len = env_usize("PDAC_BENCH_DECODE_PROMPT", 8);
+    let gen = env_usize("PDAC_BENCH_DECODE_TOKENS", 24);
+    let batches: Vec<usize> = std::env::var("PDAC_BENCH_DECODE_BATCHES")
+        .unwrap_or_else(|_| "1,4,8,16".to_string())
+        .split(',')
+        .filter_map(|v| v.trim().parse().ok())
+        .collect();
+    let default_run = hidden == 256 && layers == 4 && prompt_len == 8 && gen == 24;
+
+    let config = TransformerConfig {
+        name: "decode-bench".to_string(),
+        layers,
+        hidden,
+        heads,
+        ff_mult: 4,
+        seq_len: prompt_len + gen,
+    };
+    config.validate().expect("valid bench config");
+    let model = TransformerModel::random(config, 4, 42);
+
+    let backends: Vec<(&str, Box<dyn GemmBackend>)> = vec![
+        ("exact", Box::new(ExactGemm)),
+        (
+            "pdac",
+            Box::new(AnalogGemm::new(
+                PDac::with_optimal_approx(8).expect("8-bit pdac"),
+                "pdac-8b",
+            )),
+        ),
+    ];
+
+    let mut records = Vec::new();
+    let mut pdac_batch8_speedup = None;
+    for (label, backend) in &backends {
+        for &s in &batches {
+            let prompt = prompt_tokens(&model, s, prompt_len, 7 * s as u64 + 1);
+            let total_tokens = (s * (prompt_len + gen)) as f64;
+            // One warm pass primes weight caches out of the timed region.
+            let _ = run_batched(&model, backend.as_ref(), &prompt, 1.min(gen));
+            let batched_s = run_batched(&model, backend.as_ref(), &prompt, gen);
+            let sequential_s = run_sequential(&model, backend.as_ref(), &prompt, gen);
+            let batched_tps = total_tokens / batched_s.max(1e-12);
+            let sequential_tps = total_tokens / sequential_s.max(1e-12);
+            let speedup = batched_tps / sequential_tps.max(1e-12);
+            println!(
+                "decode_engine/{label}/batch{s}: batched {batched_tps:>9.1} tok/s, \
+                 sequential {sequential_tps:>9.1} tok/s, speedup {speedup:.2}x"
+            );
+            if *label == "pdac" && s == 8 {
+                pdac_batch8_speedup = Some(speedup);
+            }
+            records.push(Json::Obj(vec![
+                ("backend".into(), Json::Str((*label).into())),
+                ("batch".into(), Json::Int(s as u64)),
+                ("tokens".into(), Json::Int(total_tokens as u64)),
+                ("batched_s".into(), Json::Num(batched_s)),
+                ("sequential_s".into(), Json::Num(sequential_s)),
+                ("batched_tokens_per_s".into(), Json::Num(batched_tps)),
+                ("sequential_tokens_per_s".into(), Json::Num(sequential_tps)),
+                ("speedup".into(), Json::Num(speedup)),
+            ]));
+        }
+    }
+
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::Str("decode_engine".into())),
+        ("hidden".into(), Json::Int(hidden as u64)),
+        ("layers".into(), Json::Int(layers as u64)),
+        ("heads".into(), Json::Int(heads as u64)),
+        ("prompt".into(), Json::Int(prompt_len as u64)),
+        ("generated".into(), Json::Int(gen as u64)),
+        ("results".into(), Json::Arr(records)),
+    ]);
+    let out_path = std::env::var("PDAC_BENCH_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_decode.json").into());
+    std::fs::write(&out_path, doc.render() + "\n").expect("write bench json");
+    println!("decode_engine: wrote {out_path}");
+
+    if default_run {
+        let speedup = pdac_batch8_speedup.expect("batch 8 measured at default config");
+        assert!(
+            speedup >= 3.0,
+            "P-DAC batch-8 speedup {speedup:.2}x below the 3x floor"
+        );
+        println!("decode_engine: P-DAC batch-8 speedup {speedup:.2}x (floor 3x) OK");
+    }
+}

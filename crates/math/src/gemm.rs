@@ -11,15 +11,24 @@
 //! register-tiling `MR × NR` output blocks of independent accumulators
 //! that the compiler keeps in SIMD registers (the inner loop is a
 //! broadcast-multiply-add across lanes, with no cross-lane reduction to
-//! block vectorization), and splitting row panels across
-//! `std::thread::scope` threads — reorders *between* cells, never
-//! *within* one, so the result is identical for any thread count.
+//! block vectorization), and splitting row/column panels across worker
+//! threads — reorders *between* cells, never *within* one, so the result
+//! is identical for any thread count.
+//!
+//! Parallel dispatch goes through the persistent [`crate::pool`] worker
+//! pool instead of spawning threads per call; [`gemm_scoped`] keeps the
+//! original `std::thread::scope` dispatch as a differential baseline
+//! (same panel split, same kernels) for the verify matrix and the
+//! `pool_vs_scope` microbench.
 //!
 //! Thread count comes from [`default_threads`]: the `PDAC_THREADS`
 //! environment variable when set, else [`std::thread::available_parallelism`].
-//! Small products stay on the calling thread (spawning costs more than it
-//! saves below [`PAR_MIN_MACS`] multiply-adds).
+//! Small products stay on the calling thread (dispatch costs more than it
+//! saves below [`PAR_MIN_MACS`] multiply-adds). Weight matrices that are
+//! multiplied repeatedly can be packed once into a [`PackedB`] and fed to
+//! [`gemm_prepacked`], skipping the per-call packing pass entirely.
 
+use crate::pool::WorkerPool;
 use std::sync::OnceLock;
 
 /// Register-tile rows: the micro-kernel produces `MR × NR` output cells
@@ -166,36 +175,59 @@ fn gemm_panel_axpy(a_panel: &[f64], b: &[f64], k: usize, n: usize, out_panel: &m
     }
 }
 
-/// Row-vector × matrix with the output columns split across threads
+/// A `*mut f64` that may cross thread boundaries.
+///
+/// Safety contract: every user hands disjoint index ranges to each pool
+/// task, so no two tasks alias the same elements.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f64);
+
+impl SendPtr {
+    /// Accessor (rather than field access) so closures capture the
+    /// whole `Send + Sync` wrapper, not the raw pointer field.
+    #[inline]
+    fn get(self) -> *mut f64 {
+        self.0
+    }
+}
+
+// SAFETY: see the struct docs — all uses partition the output buffer
+// into disjoint per-task regions.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// One column chunk of the row-vector × matrix product, ascending-`k`
+/// per cell (shared by the pooled and scoped vecmat dispatches).
+#[inline]
+fn vecmat_chunk(a_row: &[f64], b: &[f64], k: usize, n: usize, c0: usize, out_chunk: &mut [f64]) {
+    out_chunk.fill(0.0);
+    for kk in 0..k {
+        let a_k = a_row[kk];
+        let b_seg = &b[kk * n + c0..kk * n + c0 + out_chunk.len()];
+        for (o, &bv) in out_chunk.iter_mut().zip(b_seg) {
+            *o += a_k * bv;
+        }
+    }
+}
+
+/// Row-vector × matrix with the output columns split across pool workers
 /// (the decode-step shape `1 × k · k × n`, where row-panel splitting has
 /// nothing to distribute).
 fn vecmat(a_row: &[f64], b: &[f64], k: usize, n: usize, out: &mut [f64], threads: usize) {
     let threads = threads.clamp(1, n);
     if threads == 1 {
-        out.fill(0.0);
-        for (&a_k, b_row) in a_row.iter().zip(b.chunks_exact(n)) {
-            for (o, &bv) in out.iter_mut().zip(b_row) {
-                *o += a_k * bv;
-            }
-        }
+        vecmat_chunk(a_row, b, k, n, 0, out);
         return;
     }
     let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (t, out_chunk) in out.chunks_mut(chunk).enumerate() {
-            let c0 = t * chunk;
-            let width = out_chunk.len();
-            scope.spawn(move || {
-                out_chunk.fill(0.0);
-                for kk in 0..k {
-                    let a_k = a_row[kk];
-                    let b_seg = &b[kk * n + c0..kk * n + c0 + width];
-                    for (o, &bv) in out_chunk.iter_mut().zip(b_seg) {
-                        *o += a_k * bv;
-                    }
-                }
-            });
-        }
+    let tasks = n.div_ceil(chunk);
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    WorkerPool::global().run(tasks, &move |t| {
+        let c0 = t * chunk;
+        let width = chunk.min(n - c0);
+        // SAFETY: column chunks are disjoint per task index.
+        let out_chunk = unsafe { std::slice::from_raw_parts_mut(out_ptr.get().add(c0), width) };
+        vecmat_chunk(a_row, b, k, n, c0, out_chunk);
     });
 }
 
@@ -231,6 +263,80 @@ pub fn gemm(a: &[f64], b: &[f64], m: usize, k: usize, n: usize, out: &mut [f64],
         gemm_panel_packed(a, &bp, k, n, out);
         return;
     }
+    gemm_packed_pooled(a, &bp, m, k, n, out, threads);
+}
+
+/// Row-panel dispatch of the packed kernel over the persistent pool.
+/// The panel split matches the scoped path (`m.div_ceil(threads)` rows
+/// per task), and the per-cell reduction is independent of the split, so
+/// results are bit-identical for every `threads` value.
+fn gemm_packed_pooled(
+    a: &[f64],
+    bp: &[f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f64],
+    threads: usize,
+) {
+    let rows_per = m.div_ceil(threads);
+    let tasks = m.div_ceil(rows_per);
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    WorkerPool::global().run(tasks, &move |t| {
+        let r0 = t * rows_per;
+        let rows = rows_per.min(m - r0);
+        // SAFETY: row panels are disjoint per task index.
+        let out_panel =
+            unsafe { std::slice::from_raw_parts_mut(out_ptr.get().add(r0 * n), rows * n) };
+        gemm_panel_packed(&a[r0 * k..(r0 + rows) * k], bp, k, n, out_panel);
+    });
+}
+
+/// The pre-pool GEMM dispatch: identical panel split and kernels to
+/// [`gemm`], but parallel work spawns fresh `std::thread::scope` threads
+/// per call. Kept as the differential baseline the verify matrix checks
+/// the pooled path against, and as the "before" side of the
+/// `pool_vs_scope` microbench.
+pub fn gemm_scoped(
+    a: &[f64],
+    b: &[f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f64],
+    threads: usize,
+) {
+    assert_eq!(a.len(), m * k, "lhs length");
+    assert_eq!(b.len(), k * n, "rhs length");
+    assert_eq!(out.len(), m * n, "output length");
+    let macs = m * k * n;
+    if m == 1 {
+        let threads = if macs >= PAR_MIN_MACS { threads } else { 1 };
+        let threads = threads.clamp(1, n);
+        if threads == 1 {
+            vecmat_chunk(a, b, k, n, 0, out);
+            return;
+        }
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, out_chunk) in out.chunks_mut(chunk).enumerate() {
+                scope.spawn(move || vecmat_chunk(a, b, k, n, t * chunk, out_chunk));
+            }
+        });
+        return;
+    }
+    if macs < PACK_MIN_MACS || m < MR {
+        out.fill(0.0);
+        gemm_panel_axpy(a, b, k, n, out);
+        return;
+    }
+    let mut bp = Vec::new();
+    pack_b_panels(b, k, n, &mut bp);
+    let threads = threads.clamp(1, m);
+    if threads == 1 || macs < PAR_MIN_MACS {
+        gemm_panel_packed(a, &bp, k, n, out);
+        return;
+    }
     let rows_per = m.div_ceil(threads);
     let bp = &bp;
     std::thread::scope(|scope| {
@@ -238,6 +344,72 @@ pub fn gemm(a: &[f64], b: &[f64], m: usize, k: usize, n: usize, out: &mut [f64],
             scope.spawn(move || gemm_panel_packed(a_panel, bp, k, n, out_panel));
         }
     });
+}
+
+/// `B` packed once into [`NR`]-column panels for repeated products
+/// against changing left operands (the decode hot path multiplies every
+/// activation batch by the same weight matrices step after step).
+///
+/// [`gemm_prepacked`] over a `PackedB` is bit-identical to [`gemm`] over
+/// the original row-major `B`: packing only changes memory layout, and
+/// the per-cell reduction order is fixed (see module docs).
+#[derive(Debug, Clone)]
+pub struct PackedB {
+    bp: Vec<f64>,
+    k: usize,
+    n: usize,
+}
+
+impl PackedB {
+    /// Packs row-major `b` (`k × n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != k * n`.
+    pub fn pack(b: &[f64], k: usize, n: usize) -> Self {
+        assert_eq!(b.len(), k * n, "rhs length");
+        let mut bp = Vec::new();
+        pack_b_panels(b, k, n, &mut bp);
+        Self { bp, k, n }
+    }
+
+    /// Inner (contraction) dimension of the packed matrix.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Column count of the packed matrix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+/// Computes the `m × n` product of row-major `a` (`m × k`) and a
+/// prepacked `B`, bit-identical to [`gemm`] with the unpacked `B` (the
+/// packing pass is skipped, not changed). `m == 1` runs the packed
+/// micro-kernel directly — still one ascending-`k` reduction per cell.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the given dimensions.
+pub fn gemm_prepacked(a: &[f64], b: &PackedB, m: usize, out: &mut [f64], threads: usize) {
+    let (k, n) = (b.k, b.n);
+    assert_eq!(a.len(), m * k, "lhs length");
+    assert_eq!(out.len(), m * n, "output length");
+    let macs = m * k * n;
+    if m == 1 {
+        // The axpy column order and the panel micro-kernel compute the
+        // same ascending-k reduction per cell; reuse the packed panels
+        // so the prepack pays off even for single rows.
+        gemm_panel_packed(a, &b.bp, k, n, out);
+        return;
+    }
+    let threads = threads.clamp(1, m);
+    if threads == 1 || macs < PAR_MIN_MACS {
+        gemm_panel_packed(a, &b.bp, k, n, out);
+        return;
+    }
+    gemm_packed_pooled(a, &b.bp, m, k, n, out, threads);
 }
 
 /// Matrix-vector product `out = a · v` (`a` is `m × k`, row-major) on the
@@ -263,13 +435,16 @@ pub fn gemv(a: &[f64], v: &[f64], m: usize, k: usize, out: &mut [f64], threads: 
         return;
     }
     let rows_per = m.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (a_panel, out_panel) in a.chunks(rows_per * k).zip(out.chunks_mut(rows_per)) {
-            scope.spawn(move || {
-                for (o, a_row) in out_panel.iter_mut().zip(a_panel.chunks_exact(k)) {
-                    *o = dot(a_row, v);
-                }
-            });
+    let tasks = m.div_ceil(rows_per);
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    WorkerPool::global().run(tasks, &move |t| {
+        let r0 = t * rows_per;
+        let rows = rows_per.min(m - r0);
+        // SAFETY: row panels are disjoint per task index.
+        let out_panel = unsafe { std::slice::from_raw_parts_mut(out_ptr.get().add(r0), rows) };
+        let a_panel = &a[r0 * k..(r0 + rows) * k];
+        for (o, a_row) in out_panel.iter_mut().zip(a_panel.chunks_exact(k)) {
+            *o = dot(a_row, v);
         }
     });
 }
@@ -359,5 +534,37 @@ mod tests {
         let t = default_threads();
         assert!(t >= 1);
         assert_eq!(t, default_threads());
+    }
+
+    #[test]
+    fn pooled_matches_scoped_bitwise() {
+        for (m, k, n) in [(1, 80, 90), (5, 7, 3), (33, 17, 29), (96, 80, 72)] {
+            let a = random(m * k, 41 + m as u64);
+            let b = random(k * n, 42 + n as u64);
+            for threads in [1, 2, 7] {
+                let mut pooled = vec![f64::NAN; m * n];
+                let mut scoped = vec![f64::NAN; m * n];
+                gemm(&a, &b, m, k, n, &mut pooled, threads);
+                gemm_scoped(&a, &b, m, k, n, &mut scoped, threads);
+                assert_eq!(pooled, scoped, "m={m} k={k} n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn prepacked_matches_gemm_bitwise() {
+        for (m, k, n) in [(1, 64, 64), (2, 100, 3), (16, 16, 16), (96, 80, 72)] {
+            let a = random(m * k, 51);
+            let b = random(k * n, 52);
+            let packed = PackedB::pack(&b, k, n);
+            assert_eq!((packed.k(), packed.n()), (k, n));
+            for threads in [1, 2, 8] {
+                let mut plain = vec![f64::NAN; m * n];
+                let mut pre = vec![f64::NAN; m * n];
+                gemm(&a, &b, m, k, n, &mut plain, threads);
+                gemm_prepacked(&a, &packed, m, &mut pre, threads);
+                assert_eq!(pre, plain, "m={m} k={k} n={n} threads={threads}");
+            }
+        }
     }
 }

@@ -12,6 +12,8 @@
 //! * [`gemm`] — the tuned f64 GEMM engine behind [`Mat::matmul`]: packed
 //!   B-transposed panels, 4×4 register tiling, row-panel threading
 //!   (`PDAC_THREADS`), bit-identical to the reference loop,
+//! * [`pool`] — the persistent worker-thread pool the GEMM engine
+//!   dispatches onto (parked workers, no per-call spawn cost),
 //! * [`integrate`] — adaptive Simpson quadrature (used to evaluate the
 //!   paper's Eq. 17 error integral),
 //! * [`optimize`] — golden-section search and grid refinement (used to find
@@ -38,6 +40,7 @@ pub mod integrate;
 pub mod matrix;
 pub mod optimize;
 pub mod piecewise;
+pub mod pool;
 pub mod quant;
 pub mod rng;
 pub mod series;

@@ -406,6 +406,84 @@ impl Mat {
         Ok(())
     }
 
+    /// Matrix-matrix product against a prepacked right operand (see
+    /// [`crate::gemm::PackedB`]), into a caller-owned output matrix.
+    /// Bit-identical to [`Self::matmul_into`] with the unpacked matrix;
+    /// the per-call packing pass is skipped, which is the point — decode
+    /// loops multiply the same weights thousands of times.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatError::DimMismatch`] when `self.cols() != packed.k()`.
+    pub fn matmul_prepacked_into(
+        &self,
+        packed: &crate::gemm::PackedB,
+        out: &mut Self,
+    ) -> Result<(), MatError> {
+        if self.cols != packed.k() {
+            return Err(MatError::DimMismatch {
+                left: self.shape(),
+                right: (packed.k(), packed.n()),
+            });
+        }
+        out.resize(self.rows, packed.n());
+        pdac_telemetry::counter_add(
+            "math.gemm.macs",
+            (self.rows * self.cols * packed.n()) as u64,
+        );
+        crate::gemm::gemm_prepacked(
+            &self.data,
+            packed,
+            self.rows,
+            &mut out.data,
+            crate::gemm::default_threads(),
+        );
+        Ok(())
+    }
+
+    /// Reshapes to `rows × cols`, reusing the existing allocation when it
+    /// is large enough. Element contents are unspecified afterwards —
+    /// this is the scratch-buffer primitive behind the `*_into` ops,
+    /// which overwrite every element anyway.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0` or `cols == 0`.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Element capacity of the backing allocation (for allocation-reuse
+    /// assertions in tests and benches).
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Borrows row `r` without copying.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    #[inline]
+    pub fn row_slice(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r` without copying.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    #[inline]
+    pub fn row_slice_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row index out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
     /// Matrix-vector product on the same kernel/thread pool as
     /// [`Self::matmul`]; bit-identical to [`Self::matvec_reference`].
     ///
@@ -843,6 +921,42 @@ mod tests {
                 "{m}x{k}"
             );
         }
+    }
+
+    #[test]
+    fn matmul_prepacked_into_matches_matmul() {
+        let mut rng = crate::rng::SplitMix64::seed_from_u64(61);
+        let a = Mat::from_fn(7, 24, |_, _| rng.gen_range_f64(-1.0, 1.0));
+        let b = Mat::from_fn(24, 9, |_, _| rng.gen_range_f64(-1.0, 1.0));
+        let packed = crate::gemm::PackedB::pack(b.as_slice(), 24, 9);
+        let mut out = Mat::zeros(1, 1);
+        a.matmul_prepacked_into(&packed, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b).unwrap());
+        let bad = Mat::zeros(3, 5);
+        assert!(matches!(
+            bad.matmul_prepacked_into(&packed, &mut out),
+            Err(MatError::DimMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn resize_reuses_allocation() {
+        let mut m = Mat::zeros(8, 8);
+        let cap = m.capacity();
+        m.resize(4, 4);
+        assert_eq!(m.shape(), (4, 4));
+        assert_eq!(m.capacity(), cap);
+        m.resize(2, 32);
+        assert_eq!(m.shape(), (2, 32));
+        assert_eq!(m.capacity(), cap);
+    }
+
+    #[test]
+    fn row_slices_borrow_rows() {
+        let mut m = Mat::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(m.row_slice(1), &[4.0, 5.0, 6.0]);
+        m.row_slice_mut(0)[2] = 9.0;
+        assert_eq!(m[(0, 2)], 9.0);
     }
 
     #[test]

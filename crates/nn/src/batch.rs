@@ -1,0 +1,471 @@
+//! Batched auto-regressive decode engine.
+//!
+//! Continuous-batching serving (paper Sec. II-A1: decode is the
+//! memory-bound phase that dominates LLM inference) wants the S "current"
+//! tokens of S independent sequences pushed through the stack together:
+//! every weight matrix is then streamed through the converters **once
+//! per step** instead of once per sequence, which is exactly the
+//! weight-traffic amortization a photonic GEMM engine needs to stay busy.
+//!
+//! The engine stacks the S token embeddings into one `S × hidden`
+//! activation matrix per layer and runs the six stable weight matmuls
+//! batched ([`crate::gemm::GemmBackend::matmul_batch_into`], per-row
+//! activation quantization), while attention stays per-sequence against
+//! each sequence's [`KvCache`]. Every per-step buffer lives in a
+//! caller-owned [`DecodeScratch`], so the hot path performs no
+//! per-token matrix allocations once the scratch is primed.
+//!
+//! **Bit-identity contract:** row `s` of [`TransformerModel::decode_batch`]
+//! is bit-identical to feeding that sequence's token through
+//! [`TransformerModel::decode_step`] alone. This holds because the GEMM
+//! kernels reduce each output cell in ascending-k order regardless of
+//! batching (see `pdac_math::gemm`), activation quantization is per-row
+//! ([`crate::quant::RowQuantizedMat`]), and softmax/layer-norm/GELU are
+//! row-local. The `pdac-verify` conformance matrix asserts this.
+
+use crate::gemm::GemmBackend;
+use crate::inference::{KvCache, TransformerModel};
+use crate::ops::{gelu_mat_inplace, layer_norm_rows_inplace, residual_into, softmax_rows_inplace};
+use pdac_math::Mat;
+
+/// Reusable per-step buffers for the decode hot path.
+///
+/// Create once (per serving thread) and pass to
+/// [`TransformerModel::decode_batch`] /
+/// [`TransformerModel::decode_step_with`] on every step; all matrices
+/// are resized in place, so after the first step at a given batch shape
+/// the engine allocates nothing per token. The number of steps that
+/// reused a warm scratch is available as [`DecodeScratch::reuses`] and
+/// on the `nn.decode.scratch_reuse` telemetry counter.
+#[derive(Debug)]
+pub struct DecodeScratch {
+    // Batched S × · activations (ping-ponged through the layer stack).
+    x: Mat,
+    q: Mat,
+    k_new: Mat,
+    v_new: Mat,
+    context: Mat,
+    attn_out: Mat,
+    x1: Mat,
+    h: Mat,
+    ffn: Mat,
+    // Per-sequence, per-head attention views.
+    qh: Mat,
+    kht: Mat,
+    vh: Mat,
+    scores: Mat,
+    ctx: Mat,
+    primed: bool,
+    reuses: u64,
+}
+
+impl Default for DecodeScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DecodeScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        let mat = || Mat::zeros(1, 1);
+        Self {
+            x: mat(),
+            q: mat(),
+            k_new: mat(),
+            v_new: mat(),
+            context: mat(),
+            attn_out: mat(),
+            x1: mat(),
+            h: mat(),
+            ffn: mat(),
+            qh: mat(),
+            kht: mat(),
+            vh: mat(),
+            scores: mat(),
+            ctx: mat(),
+            primed: false,
+            reuses: 0,
+        }
+    }
+
+    /// How many decode calls reused this scratch's warm buffers (i.e.
+    /// ran without growing any batched activation allocation).
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+}
+
+/// The shared batched decode core: advances each sequence in `caches`
+/// by its row of `tokens`, writing the `S × hidden` final hidden states
+/// into `out`.
+pub(crate) fn decode_rows(
+    model: &TransformerModel,
+    tokens: &Mat,
+    caches: &mut [&mut KvCache],
+    backend: &dyn GemmBackend,
+    scratch: &mut DecodeScratch,
+    out: &mut Mat,
+) {
+    let config = model.config();
+    let s = tokens.rows();
+    let d = config.hidden;
+    let ff = config.ff_dim();
+    assert_eq!(tokens.cols(), d, "hidden dim mismatch");
+    assert_eq!(caches.len(), s, "batch size mismatch");
+    for cache in caches.iter() {
+        assert_eq!(
+            cache.layers.len(),
+            model.layers.len(),
+            "cache layer mismatch"
+        );
+    }
+
+    if scratch.primed && scratch.x.capacity() >= s * d && scratch.h.capacity() >= s * ff {
+        scratch.reuses += 1;
+        pdac_telemetry::counter_add("nn.decode.scratch_reuse", 1);
+    }
+    scratch.primed = true;
+
+    scratch.x.resize(s, d);
+    scratch.x.as_mut_slice().copy_from_slice(tokens.as_slice());
+
+    let dh = config.head_dim();
+    let scale = 1.0 / (dh as f64).sqrt();
+
+    for (li, layer) in model.layers.iter().enumerate() {
+        // Q/K/V projections: one batched GEMM each — the weight operand
+        // is prepared (quantized + converted + panel-packed) once per
+        // step for all S sequences.
+        backend.matmul_batch_into(&scratch.x, &layer.wq, &mut scratch.q);
+        backend.matmul_batch_into(&scratch.x, &layer.wk, &mut scratch.k_new);
+        backend.matmul_batch_into(&scratch.x, &layer.wv, &mut scratch.v_new);
+
+        scratch.context.resize(s, d);
+        for (sq, cache) in caches.iter_mut().enumerate() {
+            let lc = &mut cache.layers[li];
+            lc.push_row(scratch.k_new.row_slice(sq), scratch.v_new.row_slice(sq));
+            let l = lc.len();
+            for head in 0..config.heads {
+                let c0 = head * dh;
+                scratch.qh.resize(1, dh);
+                scratch
+                    .qh
+                    .as_mut_slice()
+                    .copy_from_slice(&scratch.q.row_slice(sq)[c0..c0 + dh]);
+                // Kᵀ gathered directly in transposed layout, matching
+                // the historical `kh.transpose()` element-for-element.
+                scratch.kht.resize(dh, l);
+                for r in 0..dh {
+                    for (t, key) in lc.k.iter().enumerate() {
+                        scratch.kht[(r, t)] = key[c0 + r];
+                    }
+                }
+                // Transient matmuls: kht/vh are rebuilt every step, so
+                // caching their conversions can never hit — and at
+                // batch size S the S×heads×2 dead entries per layer
+                // would evict the actual weights from the backend's
+                // cache, forcing a full re-convert+re-pack each step.
+                backend.matmul_transient_into(&scratch.qh, &scratch.kht, &mut scratch.scores);
+                for v in scratch.scores.as_mut_slice() {
+                    *v *= scale;
+                }
+                softmax_rows_inplace(&mut scratch.scores);
+                scratch.vh.resize(l, dh);
+                for (t, val) in lc.v.iter().enumerate() {
+                    scratch
+                        .vh
+                        .row_slice_mut(t)
+                        .copy_from_slice(&val[c0..c0 + dh]);
+                }
+                backend.matmul_transient_into(&scratch.scores, &scratch.vh, &mut scratch.ctx);
+                scratch.context.row_slice_mut(sq)[c0..c0 + dh]
+                    .copy_from_slice(scratch.ctx.row_slice(0));
+            }
+        }
+
+        // Output projection + residual/LN + FFN, batched.
+        backend.matmul_batch_into(&scratch.context, &layer.wo, &mut scratch.attn_out);
+        residual_into(&scratch.x, &scratch.attn_out, &mut scratch.x1);
+        layer_norm_rows_inplace(&mut scratch.x1, &layer.ln1_gamma, &layer.ln1_beta, 1e-9);
+        backend.matmul_batch_into(&scratch.x1, &layer.w1, &mut scratch.h);
+        gelu_mat_inplace(&mut scratch.h);
+        backend.matmul_batch_into(&scratch.h, &layer.w2, &mut scratch.ffn);
+        residual_into(&scratch.x1, &scratch.ffn, &mut scratch.x);
+        layer_norm_rows_inplace(&mut scratch.x, &layer.ln2_gamma, &layer.ln2_beta, 1e-9);
+    }
+
+    out.resize(s, d);
+    out.as_mut_slice().copy_from_slice(scratch.x.as_slice());
+}
+
+/// Per-sequence KV caches plus the shared scratch for a fixed-capacity
+/// decode batch.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_math::Mat;
+/// use pdac_nn::{BatchedKvCache, ExactGemm, TransformerConfig, TransformerModel};
+///
+/// let model = TransformerModel::random(TransformerConfig::tiny(), 4, 42);
+/// let mut batch = BatchedKvCache::new(&model, 3);
+/// let tokens = Mat::from_fn(3, model.config().hidden, |r, c| {
+///     ((r * 31 + c) as f64).sin() * 0.1
+/// });
+/// let hidden = model.decode_batch(&tokens, &mut batch, &ExactGemm);
+/// assert_eq!(hidden.shape(), (3, model.config().hidden));
+/// assert_eq!(batch.seq(0).len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct BatchedKvCache {
+    caches: Vec<KvCache>,
+    scratch: DecodeScratch,
+}
+
+impl BatchedKvCache {
+    /// `batch` empty per-sequence caches for `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn new(model: &TransformerModel, batch: usize) -> Self {
+        assert!(batch > 0, "batch must be nonzero");
+        Self {
+            caches: (0..batch).map(|_| model.new_cache()).collect(),
+            scratch: DecodeScratch::new(),
+        }
+    }
+
+    /// Number of sequence slots.
+    pub fn batch(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// Sequence `i`'s cache.
+    pub fn seq(&self, i: usize) -> &KvCache {
+        &self.caches[i]
+    }
+
+    /// Sequence `i`'s cache, mutably (e.g. to reset a retired slot).
+    pub fn seq_mut(&mut self, i: usize) -> &mut KvCache {
+        &mut self.caches[i]
+    }
+
+    /// Replaces sequence `i`'s cache with a fresh empty one.
+    pub fn reset_seq(&mut self, i: usize, model: &TransformerModel) {
+        self.caches[i] = model.new_cache();
+    }
+
+    /// The shared decode scratch (for reuse diagnostics).
+    pub fn scratch(&self) -> &DecodeScratch {
+        &self.scratch
+    }
+}
+
+impl TransformerModel {
+    /// Advances `cache.batch()` sequences by one token each: row `s` of
+    /// `tokens` is the current token embedding of sequence `s`.
+    ///
+    /// Returns the `S × hidden` final hidden states; row `s` is
+    /// **bit-identical** to calling [`Self::decode_step`] with that row
+    /// against sequence `s`'s cache alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens.cols() != hidden`, `tokens.rows()` differs
+    /// from the batch size, or any cache has the wrong layer count.
+    pub fn decode_batch(
+        &self,
+        tokens: &Mat,
+        cache: &mut BatchedKvCache,
+        backend: &dyn GemmBackend,
+    ) -> Mat {
+        let mut out = Mat::zeros(1, 1);
+        let BatchedKvCache { caches, scratch } = cache;
+        let mut refs: Vec<&mut KvCache> = caches.iter_mut().collect();
+        let _span = pdac_telemetry::span("nn.inference.decode_batch");
+        pdac_telemetry::counter_add("nn.inference.decoded_tokens", tokens.rows() as u64);
+        decode_rows(self, tokens, &mut refs, backend, scratch, &mut out);
+        out
+    }
+
+    /// [`Self::decode_batch`] over an arbitrary (possibly ragged)
+    /// set of per-sequence caches, writing into a caller-owned output —
+    /// the form the continuous-batching scheduler uses after retiring
+    /// sequences mid-run.
+    pub fn decode_batch_with(
+        &self,
+        tokens: &Mat,
+        caches: &mut [&mut KvCache],
+        backend: &dyn GemmBackend,
+        scratch: &mut DecodeScratch,
+        out: &mut Mat,
+    ) {
+        let _span = pdac_telemetry::span("nn.inference.decode_batch");
+        pdac_telemetry::counter_add("nn.inference.decoded_tokens", tokens.rows() as u64);
+        decode_rows(self, tokens, caches, backend, scratch, out);
+    }
+
+    /// [`Self::decode_step`] with a caller-owned scratch, so repeated
+    /// single-sequence decoding also runs allocation-lean.
+    pub fn decode_step_with(
+        &self,
+        token: &[f64],
+        cache: &mut KvCache,
+        backend: &dyn GemmBackend,
+        scratch: &mut DecodeScratch,
+    ) -> Vec<f64> {
+        let _span = pdac_telemetry::span("nn.inference.decode_step");
+        pdac_telemetry::counter_add("nn.inference.decoded_tokens", 1);
+        assert_eq!(token.len(), self.config().hidden, "hidden dim mismatch");
+        let tokens = Mat::from_rows(1, token.len(), token.to_vec()).expect("row vector");
+        let mut out = Mat::zeros(1, 1);
+        decode_rows(self, &tokens, &mut [cache], backend, scratch, &mut out);
+        out.row(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TransformerConfig;
+    use crate::gemm::{AnalogGemm, AsymmetricGemm, ExactGemm};
+    use pdac_core::edac::ElectricalDac;
+    use pdac_core::pdac::PDac;
+
+    fn tiny_model() -> TransformerModel {
+        TransformerModel::random(TransformerConfig::tiny(), 4, 7)
+    }
+
+    fn token_rows(model: &TransformerModel, s: usize, seed: u64) -> Mat {
+        let input = model.random_input(seed);
+        Mat::from_fn(s, model.config().hidden, |r, c| {
+            input[(r % input.rows(), c)]
+        })
+    }
+
+    fn assert_batch_matches_sequential(backend: &dyn GemmBackend, steps: usize, s: usize) {
+        let m = tiny_model();
+        let mut batch = BatchedKvCache::new(&m, s);
+        let mut solo: Vec<KvCache> = (0..s).map(|_| m.new_cache()).collect();
+        for t in 0..steps {
+            let tokens = token_rows(&m, s, 40 + t as u64);
+            let got = m.decode_batch(&tokens, &mut batch, backend);
+            for (sq, cache) in solo.iter_mut().enumerate() {
+                let want = m.decode_step(&tokens.row(sq), cache, backend);
+                assert_eq!(
+                    got.row(sq),
+                    want,
+                    "step {t} seq {sq} diverged from sequential decode"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_batch_rows_bit_identical_to_decode_step() {
+        assert_batch_matches_sequential(&ExactGemm, 3, 4);
+    }
+
+    #[test]
+    fn analog_batch_rows_bit_identical_to_decode_step() {
+        let pdac = AnalogGemm::new(PDac::with_optimal_approx(8).unwrap(), "pdac");
+        assert_batch_matches_sequential(&pdac, 3, 3);
+    }
+
+    #[test]
+    fn asymmetric_batch_rows_bit_identical_to_decode_step() {
+        let b = AsymmetricGemm::new(
+            ElectricalDac::new(8).unwrap(),
+            PDac::with_optimal_approx(8).unwrap(),
+            "edac-act/pdac-wt",
+        );
+        assert_batch_matches_sequential(&b, 2, 3);
+    }
+
+    #[test]
+    fn batch_of_one_matches_decode_step() {
+        assert_batch_matches_sequential(&ExactGemm, 4, 1);
+    }
+
+    #[test]
+    fn decode_step_with_reuses_scratch() {
+        let m = tiny_model();
+        let mut cache = m.new_cache();
+        let mut scratch = DecodeScratch::new();
+        let input = m.random_input(6);
+        for t in 0..4 {
+            let _ = m.decode_step_with(&input.row(t), &mut cache, &ExactGemm, &mut scratch);
+        }
+        // First call primes the buffers; the other three reuse them.
+        assert_eq!(scratch.reuses(), 3);
+    }
+
+    #[test]
+    fn batched_cache_tracks_per_sequence_lengths() {
+        let m = tiny_model();
+        let mut batch = BatchedKvCache::new(&m, 2);
+        let tokens = token_rows(&m, 2, 9);
+        let _ = m.decode_batch(&tokens, &mut batch, &ExactGemm);
+        let _ = m.decode_batch(&tokens, &mut batch, &ExactGemm);
+        assert_eq!(batch.seq(0).len(), 2);
+        assert_eq!(batch.seq(1).len(), 2);
+        batch.reset_seq(1, &m);
+        assert!(batch.seq(1).is_empty());
+        assert_eq!(batch.seq(0).len(), 2);
+        assert!(batch.scratch().reuses() >= 1);
+    }
+
+    #[test]
+    fn ragged_caches_decode_via_decode_batch_with() {
+        // Sequences at different positions (continuous batching after a
+        // retirement) still match their sequential counterparts.
+        let m = tiny_model();
+        let backend = ExactGemm;
+        let mut a = m.new_cache();
+        let mut b = m.new_cache();
+        let mut a_ref = m.new_cache();
+        let mut b_ref = m.new_cache();
+        let warm = token_rows(&m, 1, 3);
+        // Advance `a` two tokens ahead before batching the pair.
+        let _ = m.decode_step(&warm.row(0), &mut a, &backend);
+        let _ = m.decode_step(&warm.row(0), &mut a, &backend);
+        let _ = m.decode_step(&warm.row(0), &mut a_ref, &backend);
+        let _ = m.decode_step(&warm.row(0), &mut a_ref, &backend);
+        let tokens = token_rows(&m, 2, 5);
+        let mut scratch = DecodeScratch::new();
+        let mut out = Mat::zeros(1, 1);
+        m.decode_batch_with(
+            &tokens,
+            &mut [&mut a, &mut b],
+            &backend,
+            &mut scratch,
+            &mut out,
+        );
+        let wa = m.decode_step(&tokens.row(0), &mut a_ref, &backend);
+        let wb = m.decode_step(&tokens.row(1), &mut b_ref, &backend);
+        assert_eq!(out.row(0), wa);
+        assert_eq!(out.row(1), wb);
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size mismatch")]
+    fn wrong_batch_size_rejected() {
+        let m = tiny_model();
+        let mut batch = BatchedKvCache::new(&m, 2);
+        let tokens = token_rows(&m, 3, 1);
+        m.decode_batch(&tokens, &mut batch, &ExactGemm);
+    }
+
+    #[test]
+    #[should_panic(expected = "hidden dim mismatch")]
+    fn wrong_hidden_dim_rejected() {
+        let m = tiny_model();
+        let mut batch = BatchedKvCache::new(&m, 2);
+        let tokens = Mat::zeros(2, 7);
+        m.decode_batch(&tokens, &mut batch, &ExactGemm);
+    }
+}

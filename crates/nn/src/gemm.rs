@@ -13,7 +13,7 @@
 //! any regime; the fidelity study diffs their outputs.
 
 use crate::prepared::WeightCache;
-use crate::quant::QuantizedMat;
+use crate::quant::{QuantizedMat, RowQuantizedMat};
 use pdac_core::converter::MzmDriver;
 use pdac_core::lut::ConverterLut;
 use pdac_math::Mat;
@@ -26,6 +26,63 @@ pub trait GemmBackend {
     ///
     /// Panics if inner dimensions disagree.
     fn matmul(&self, a: &Mat, b: &Mat) -> Mat;
+
+    /// Computes `a · b` into a caller-owned output matrix (reshaped and
+    /// fully overwritten), so hot loops can reuse one allocation across
+    /// calls. Must produce exactly [`Self::matmul`]'s result; the
+    /// default literally delegates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    fn matmul_into(&self, a: &Mat, b: &Mat, out: &mut Mat) {
+        *out = self.matmul(a, b);
+    }
+
+    /// Batched decode matmul: the rows of `a` belong to **independent
+    /// sequences**, and row `r` of the result must be bit-identical to
+    /// `self.matmul(a_row_r, b)` of the 1×k matrix holding row `r`
+    /// alone. The default guarantees that by construction (it performs
+    /// the per-row products and stacks them); backends override it with
+    /// faster paths that preserve the row identity — see
+    /// [`AnalogGemm`]'s per-row quantization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    fn matmul_batch_into(&self, a: &Mat, b: &Mat, out: &mut Mat) {
+        out.resize(a.rows(), b.cols());
+        let mut row = Mat::zeros(1, a.cols());
+        for r in 0..a.rows() {
+            row.as_mut_slice().copy_from_slice(a.row_slice(r));
+            let prod = self.matmul(&row, b);
+            out.row_slice_mut(r).copy_from_slice(prod.row_slice(0));
+        }
+    }
+
+    /// Allocating convenience form of [`Self::matmul_batch_into`].
+    fn matmul_batch(&self, a: &Mat, b: &Mat) -> Mat {
+        let mut out = Mat::zeros(1, 1);
+        self.matmul_batch_into(a, b, &mut out);
+        out
+    }
+
+    /// Computes `a · b` where `b` is **ephemeral** — a matrix built for
+    /// this call (attention keys/values gathered from a KV cache) that
+    /// will never be seen again. Must produce exactly
+    /// [`Self::matmul_into`]'s result; the default literally delegates.
+    /// Caching backends override it to skip their weight-conversion
+    /// cache: memoizing a once-per-step operand cannot hit, and at
+    /// decode batch sizes the flood of dead entries evicts the *actual*
+    /// weights, forcing a full re-convert + re-pack of every layer each
+    /// step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    fn matmul_transient_into(&self, a: &Mat, b: &Mat, out: &mut Mat) {
+        self.matmul_into(a, b, out);
+    }
 
     /// Human-readable backend name for reports.
     fn name(&self) -> &str;
@@ -50,6 +107,18 @@ pub struct ExactGemm;
 impl GemmBackend for ExactGemm {
     fn matmul(&self, a: &Mat, b: &Mat) -> Mat {
         a.matmul(b).expect("inner dimensions must agree")
+    }
+
+    fn matmul_into(&self, a: &Mat, b: &Mat, out: &mut Mat) {
+        a.matmul_into(b, out).expect("inner dimensions must agree");
+    }
+
+    /// Exact batched form: one GEMM over the whole stack. Row-identical
+    /// to per-row products because every tuned kernel computes each
+    /// output cell as the same ascending-`k` reduction regardless of the
+    /// operand's row count (see `pdac_math::gemm`).
+    fn matmul_batch_into(&self, a: &Mat, b: &Mat, out: &mut Mat) {
+        a.matmul_into(b, out).expect("inner dimensions must agree");
     }
 
     fn name(&self) -> &str {
@@ -112,6 +181,49 @@ impl<D: MzmDriver> GemmBackend for AnalogGemm<D> {
         let bq = self.cache.get_or_prepare(b, &self.lut);
         aq.matmul(bq.converted())
             .expect("inner dimensions must agree")
+    }
+
+    fn matmul_into(&self, a: &Mat, b: &Mat, out: &mut Mat) {
+        let _span = pdac_telemetry::span("nn.gemm.analog");
+        pdac_telemetry::counter_add("nn.gemm.macs", (a.rows() * a.cols() * b.cols()) as u64);
+        let bits = self.lut.bits();
+        let aq = QuantizedMat::quantize(a, bits).dequantize_with(&self.lut);
+        let bq = self.cache.get_or_prepare(b, &self.lut);
+        aq.matmul_into(bq.converted(), out)
+            .expect("inner dimensions must agree");
+    }
+
+    /// Transient analog form: both operands quantize and convert fresh,
+    /// bypassing the weight cache entirely. `WeightCache::get_or_prepare`
+    /// applies exactly this quantize→LUT-dequantize transform before
+    /// memoizing, so skipping the cache cannot change a single bit — it
+    /// only avoids fingerprinting + inserting an operand that is dead
+    /// after this call.
+    fn matmul_transient_into(&self, a: &Mat, b: &Mat, out: &mut Mat) {
+        let _span = pdac_telemetry::span("nn.gemm.analog");
+        pdac_telemetry::counter_add("nn.gemm.macs", (a.rows() * a.cols() * b.cols()) as u64);
+        let bits = self.lut.bits();
+        let aq = QuantizedMat::quantize(a, bits).dequantize_with(&self.lut);
+        let bq = QuantizedMat::quantize(b, bits).dequantize_with(&self.lut);
+        aq.matmul_into(&bq, out)
+            .expect("inner dimensions must agree");
+    }
+
+    /// Batched analog form: each sequence row gets its own quantization
+    /// scale ([`RowQuantizedMat`]) — exactly the per-tensor rule the
+    /// single-sequence path applies to its 1×k activation — and the
+    /// whole converted stack multiplies the cached weight conversion in
+    /// one prepacked GEMM. Row-identical to per-row [`Self::matmul`]
+    /// calls; the weight converts (and packs) once per distinct matrix
+    /// instead of once per sequence.
+    fn matmul_batch_into(&self, a: &Mat, b: &Mat, out: &mut Mat) {
+        let _span = pdac_telemetry::span("nn.gemm.analog_batch");
+        pdac_telemetry::counter_add("nn.gemm.macs", (a.rows() * a.cols() * b.cols()) as u64);
+        let bits = self.lut.bits();
+        let aq = RowQuantizedMat::quantize(a, bits).dequantize_with(&self.lut);
+        let bq = self.cache.get_or_prepare(b, &self.lut);
+        aq.matmul_prepacked_into(bq.packed(), out)
+            .expect("inner dimensions must agree");
     }
 
     fn name(&self) -> &str {
@@ -181,6 +293,33 @@ impl<Da: MzmDriver, Db: MzmDriver> GemmBackend for AsymmetricGemm<Da, Db> {
         let bq = self.cache.get_or_prepare(b, &self.lut_b);
         aq.matmul(bq.converted())
             .expect("inner dimensions must agree")
+    }
+
+    /// Transient hybrid form: cache-free twin of the cached path —
+    /// activations through the `a` drive path, the ephemeral right-hand
+    /// operand through the `b` (weight) drive path, exactly as
+    /// `get_or_prepare` would have converted it.
+    fn matmul_transient_into(&self, a: &Mat, b: &Mat, out: &mut Mat) {
+        let _span = pdac_telemetry::span("nn.gemm.asymmetric");
+        pdac_telemetry::counter_add("nn.gemm.macs", (a.rows() * a.cols() * b.cols()) as u64);
+        let bits = self.lut_a.bits();
+        let aq = QuantizedMat::quantize(a, bits).dequantize_with(&self.lut_a);
+        let bq = QuantizedMat::quantize(b, bits).dequantize_with(&self.lut_b);
+        aq.matmul_into(&bq, out)
+            .expect("inner dimensions must agree");
+    }
+
+    /// Batched hybrid form: per-row activation quantization on the
+    /// P-DAC path, cached+prepacked weight conversion on the electrical
+    /// path — same row identity as [`AnalogGemm::matmul_batch_into`].
+    fn matmul_batch_into(&self, a: &Mat, b: &Mat, out: &mut Mat) {
+        let _span = pdac_telemetry::span("nn.gemm.asymmetric_batch");
+        pdac_telemetry::counter_add("nn.gemm.macs", (a.rows() * a.cols() * b.cols()) as u64);
+        let bits = self.lut_a.bits();
+        let aq = RowQuantizedMat::quantize(a, bits).dequantize_with(&self.lut_a);
+        let bq = self.cache.get_or_prepare(b, &self.lut_b);
+        aq.matmul_prepacked_into(bq.packed(), out)
+            .expect("inner dimensions must agree");
     }
 
     fn name(&self) -> &str {
@@ -326,5 +465,96 @@ mod tests {
         let analog = AnalogGemm::new(PDac::with_optimal_approx(8).unwrap(), "p8");
         let got = analog.matmul(&a, &b);
         assert!(got.max_abs() < 1e-12);
+    }
+
+    /// Every output row of the batched form must match the 1×k matmul of
+    /// that row alone — the invariant `decode_batch` is built on.
+    fn assert_batch_rows_match(backend: &dyn GemmBackend, a: &Mat, b: &Mat) {
+        let batched = backend.matmul_batch(a, b);
+        assert_eq!(batched.shape(), (a.rows(), b.cols()));
+        for r in 0..a.rows() {
+            let row = Mat::from_rows(1, a.cols(), a.row_slice(r).to_vec()).unwrap();
+            let single = backend.matmul(&row, b);
+            assert_eq!(
+                batched.row_slice(r),
+                single.row_slice(0),
+                "{} row {r}",
+                backend.name()
+            );
+        }
+    }
+
+    #[test]
+    fn exact_batch_rows_match_single_rows() {
+        let a = random_mat(6, 16, 61);
+        let b = random_mat(16, 8, 62);
+        assert_batch_rows_match(&ExactGemm, &a, &b);
+    }
+
+    #[test]
+    fn analog_batch_rows_match_single_rows() {
+        // Rows with very different magnitudes: per-tensor batching would
+        // change every row's quantization scale and fail this test.
+        let mut a = random_mat(5, 16, 63);
+        for (r, f) in [(0usize, 10.0), (1, 0.01)] {
+            for v in a.row_slice_mut(r) {
+                *v *= f;
+            }
+        }
+        let b = random_mat(16, 8, 64);
+        let pdac = AnalogGemm::new(PDac::with_optimal_approx(8).unwrap(), "p8");
+        assert_batch_rows_match(&pdac, &a, &b);
+        let hybrid = AsymmetricGemm::new(
+            PDac::with_optimal_approx(8).unwrap(),
+            ElectricalDac::new(8).unwrap(),
+            "hy",
+        );
+        assert_batch_rows_match(&hybrid, &a, &b);
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul() {
+        let a = random_mat(4, 12, 65);
+        let b = random_mat(12, 6, 66);
+        let pdac = AnalogGemm::new(PDac::with_optimal_approx(8).unwrap(), "p8");
+        let mut out = Mat::zeros(1, 1);
+        for backend in [&ExactGemm as &dyn GemmBackend, &pdac] {
+            backend.matmul_into(&a, &b, &mut out);
+            assert_eq!(out, backend.matmul(&a, &b), "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn matmul_transient_matches_cached_and_skips_cache() {
+        let a = random_mat(3, 14, 81);
+        let b = random_mat(14, 9, 82);
+        let pdac = AnalogGemm::new(PDac::with_optimal_approx(8).unwrap(), "p8");
+        let hybrid = AsymmetricGemm::new(
+            PDac::with_optimal_approx(8).unwrap(),
+            ElectricalDac::new(8).unwrap(),
+            "hy",
+        );
+        let mut out = Mat::zeros(1, 1);
+        for backend in [&ExactGemm as &dyn GemmBackend, &pdac, &hybrid] {
+            backend.matmul_transient_into(&a, &b, &mut out);
+            assert_eq!(out, backend.matmul(&a, &b), "{}", backend.name());
+        }
+        // The transient call itself must leave the weight cache alone:
+        // the only traffic above came from the `matmul` comparisons.
+        assert_eq!(pdac.cache().misses() + pdac.cache().hits(), 1);
+        assert_eq!(hybrid.cache().misses() + hybrid.cache().hits(), 1);
+    }
+
+    #[test]
+    fn analog_batch_hits_weight_cache_once_per_call() {
+        let w = random_mat(12, 4, 67);
+        let analog = AnalogGemm::new(ElectricalDac::new(8).unwrap(), "e8");
+        let mut out = Mat::zeros(1, 1);
+        for step in 0..5 {
+            let x = random_mat(8, 12, 70 + step);
+            analog.matmul_batch_into(&x, &w, &mut out);
+        }
+        assert_eq!(analog.cache().misses(), 1);
+        assert_eq!(analog.cache().hits(), 4);
     }
 }

@@ -20,19 +20,20 @@ use pdac_math::rng::SplitMix64;
 use pdac_math::stats::{cosine_similarity, sqnr_db};
 use pdac_math::Mat;
 
-/// One encoder layer's weights.
+/// One encoder layer's weights (fields crate-visible for the batched
+/// decode engine in [`crate::batch`]).
 #[derive(Debug, Clone, PartialEq)]
-struct EncoderLayer {
-    wq: Mat,
-    wk: Mat,
-    wv: Mat,
-    wo: Mat,
-    w1: Mat,
-    w2: Mat,
-    ln1_gamma: Vec<f64>,
-    ln1_beta: Vec<f64>,
-    ln2_gamma: Vec<f64>,
-    ln2_beta: Vec<f64>,
+pub(crate) struct EncoderLayer {
+    pub(crate) wq: Mat,
+    pub(crate) wk: Mat,
+    pub(crate) wv: Mat,
+    pub(crate) wo: Mat,
+    pub(crate) w1: Mat,
+    pub(crate) w2: Mat,
+    pub(crate) ln1_gamma: Vec<f64>,
+    pub(crate) ln1_beta: Vec<f64>,
+    pub(crate) ln2_gamma: Vec<f64>,
+    pub(crate) ln2_beta: Vec<f64>,
 }
 
 fn random_weight(rng: &mut SplitMix64, rows: usize, cols: usize) -> Mat {
@@ -100,37 +101,6 @@ impl EncoderLayer {
         self.finish_block(x, &context, backend)
     }
 
-    /// One-token incremental forward against a per-layer KV cache.
-    fn decode(
-        &self,
-        x: &Mat, // 1 × d
-        config: &TransformerConfig,
-        backend: &dyn GemmBackend,
-        cache: &mut LayerCache,
-    ) -> Mat {
-        let q = backend.matmul(x, &self.wq);
-        let k_new = backend.matmul(x, &self.wk);
-        let v_new = backend.matmul(x, &self.wv);
-        cache.push(&k_new, &v_new);
-        let l = cache.len();
-        let dh = config.head_dim();
-        let scale = 1.0 / (dh as f64).sqrt();
-        let mut context = Mat::zeros(1, config.hidden);
-        for head in 0..config.heads {
-            let cols = head * dh..(head + 1) * dh;
-            let qh = Mat::from_fn(1, dh, |_, c| q[(0, cols.start + c)]);
-            let kh = Mat::from_fn(l, dh, |r, c| cache.k[r][cols.start + c]);
-            let vh = Mat::from_fn(l, dh, |r, c| cache.v[r][cols.start + c]);
-            let scores = backend.matmul(&qh, &kh.transpose()).map(|x| x * scale);
-            let probs = softmax_rows(&scores);
-            let ctx = backend.matmul(&probs, &vh);
-            for c in 0..dh {
-                context[(0, cols.start + c)] = ctx[(0, c)];
-            }
-        }
-        self.finish_block(x, &context, backend)
-    }
-
     /// Output projection + residual/LN + FFN, shared by both paths.
     fn finish_block(&self, x: &Mat, context: &Mat, backend: &dyn GemmBackend) -> Mat {
         let attn_out = backend.matmul(context, &self.wo);
@@ -155,18 +125,18 @@ impl EncoderLayer {
 /// ("the KV cache stores precomputed K and V vectors, allowing the model
 /// to reuse them for subsequent tokens" — paper Sec. II-A1).
 #[derive(Debug, Clone, Default, PartialEq)]
-struct LayerCache {
-    k: Vec<Vec<f64>>,
-    v: Vec<Vec<f64>>,
+pub(crate) struct LayerCache {
+    pub(crate) k: Vec<Vec<f64>>,
+    pub(crate) v: Vec<Vec<f64>>,
 }
 
 impl LayerCache {
-    fn push(&mut self, k_new: &Mat, v_new: &Mat) {
-        self.k.push(k_new.row(0));
-        self.v.push(v_new.row(0));
+    pub(crate) fn push_row(&mut self, k_new: &[f64], v_new: &[f64]) {
+        self.k.push(k_new.to_vec());
+        self.v.push(v_new.to_vec());
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.k.len()
     }
 }
@@ -177,7 +147,7 @@ impl LayerCache {
 /// [`TransformerModel::decode_step`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct KvCache {
-    layers: Vec<LayerCache>,
+    pub(crate) layers: Vec<LayerCache>,
 }
 
 impl KvCache {
@@ -207,7 +177,7 @@ impl KvCache {
 #[derive(Debug, Clone, PartialEq)]
 pub struct TransformerModel {
     config: TransformerConfig,
-    layers: Vec<EncoderLayer>,
+    pub(crate) layers: Vec<EncoderLayer>,
     classifier: Mat,
 }
 
@@ -301,19 +271,8 @@ impl TransformerModel {
         cache: &mut KvCache,
         backend: &dyn GemmBackend,
     ) -> Vec<f64> {
-        let _span = pdac_telemetry::span("nn.inference.decode_step");
-        pdac_telemetry::counter_add("nn.inference.decoded_tokens", 1);
-        assert_eq!(token.len(), self.config.hidden, "hidden dim mismatch");
-        assert_eq!(
-            cache.layers.len(),
-            self.layers.len(),
-            "cache layer mismatch"
-        );
-        let mut x = Mat::from_rows(1, token.len(), token.to_vec()).expect("row vector");
-        for (layer, layer_cache) in self.layers.iter().zip(&mut cache.layers) {
-            x = layer.decode(&x, &self.config, backend, layer_cache);
-        }
-        x.row(0)
+        let mut scratch = crate::batch::DecodeScratch::new();
+        self.decode_step_with(token, cache, backend, &mut scratch)
     }
 
     /// Mean-pooled classification logits.

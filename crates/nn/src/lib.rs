@@ -24,7 +24,12 @@
 //!   energy model to regenerate Figs. 9/10;
 //! * [`inference`] — a functional encoder forward pass with seeded random
 //!   weights, used to validate the paper's claim that LLM inference
-//!   tolerates the P-DAC's bounded analog error.
+//!   tolerates the P-DAC's bounded analog error;
+//! * [`batch`] — the batched decode engine: [`batch::BatchedKvCache`] +
+//!   [`TransformerModel::decode_batch`] advance S sequences per step
+//!   through one stacked activation matrix (weights stream through the
+//!   converters once per step, attention stays per-sequence), row-for-row
+//!   bit-identical to S independent `decode_step` calls.
 //!
 //! # Examples
 //!
@@ -37,6 +42,7 @@
 //! ```
 
 pub mod accuracy;
+pub mod batch;
 pub mod config;
 pub mod gemm;
 pub mod generative;
@@ -46,6 +52,7 @@ pub mod prepared;
 pub mod quant;
 pub mod workload;
 
+pub use batch::{BatchedKvCache, DecodeScratch};
 pub use config::TransformerConfig;
 pub use gemm::{AnalogGemm, AsymmetricGemm, ExactGemm, GemmBackend};
 pub use inference::{KvCache, TransformerModel};

@@ -25,22 +25,26 @@ use pdac_math::Mat;
 /// ```
 pub fn softmax_rows(x: &Mat) -> Mat {
     let mut out = x.clone();
-    let cols = x.cols();
+    softmax_rows_inplace(&mut out);
+    out
+}
+
+/// In-place [`softmax_rows`] — the decode hot path's allocation-free
+/// form (bit-identical: the allocating version delegates here).
+pub fn softmax_rows_inplace(x: &mut Mat) {
     for r in 0..x.rows() {
-        let row_max = (0..cols)
-            .map(|c| x[(r, c)])
-            .fold(f64::NEG_INFINITY, f64::max);
+        let row = x.row_slice_mut(r);
+        let row_max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let mut sum = 0.0;
-        for c in 0..cols {
-            let e = (x[(r, c)] - row_max).exp();
-            out[(r, c)] = e;
+        for v in row.iter_mut() {
+            let e = (*v - row_max).exp();
+            *v = e;
             sum += e;
         }
-        for c in 0..cols {
-            out[(r, c)] /= sum;
+        for v in row.iter_mut() {
+            *v /= sum;
         }
     }
-    out
 }
 
 /// Row-wise layer normalization with per-feature affine parameters.
@@ -49,22 +53,30 @@ pub fn softmax_rows(x: &Mat) -> Mat {
 ///
 /// Panics if `gamma`/`beta` lengths differ from `x.cols()`.
 pub fn layer_norm_rows(x: &Mat, gamma: &[f64], beta: &[f64], eps: f64) -> Mat {
+    let mut out = x.clone();
+    layer_norm_rows_inplace(&mut out, gamma, beta, eps);
+    out
+}
+
+/// In-place [`layer_norm_rows`] — the decode hot path's allocation-free
+/// form (bit-identical: the allocating version delegates here).
+///
+/// # Panics
+///
+/// Panics if `gamma`/`beta` lengths differ from `x.cols()`.
+pub fn layer_norm_rows_inplace(x: &mut Mat, gamma: &[f64], beta: &[f64], eps: f64) {
     assert_eq!(gamma.len(), x.cols(), "gamma length mismatch");
     assert_eq!(beta.len(), x.cols(), "beta length mismatch");
     let cols = x.cols() as f64;
-    let mut out = x.clone();
     for r in 0..x.rows() {
-        let mean: f64 = (0..x.cols()).map(|c| x[(r, c)]).sum::<f64>() / cols;
-        let var: f64 = (0..x.cols())
-            .map(|c| (x[(r, c)] - mean).powi(2))
-            .sum::<f64>()
-            / cols;
+        let row = x.row_slice_mut(r);
+        let mean: f64 = row.iter().sum::<f64>() / cols;
+        let var: f64 = row.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / cols;
         let denom = (var + eps).sqrt();
-        for c in 0..x.cols() {
-            out[(r, c)] = (x[(r, c)] - mean) / denom * gamma[c] + beta[c];
+        for (v, (&g, &b)) in row.iter_mut().zip(gamma.iter().zip(beta)) {
+            *v = (*v - mean) / denom * g + b;
         }
     }
-    out
 }
 
 /// GELU activation (tanh approximation, as used by BERT).
@@ -78,6 +90,14 @@ pub fn gelu_mat(x: &Mat) -> Mat {
     x.map(gelu)
 }
 
+/// In-place [`gelu_mat`] (bit-identical; same scalar [`gelu`] per
+/// element).
+pub fn gelu_mat_inplace(x: &mut Mat) {
+    for v in x.as_mut_slice() {
+        *v = gelu(*v);
+    }
+}
+
 /// Element-wise sum (residual connection).
 ///
 /// # Panics
@@ -85,6 +105,25 @@ pub fn gelu_mat(x: &Mat) -> Mat {
 /// Panics if shapes differ.
 pub fn residual(x: &Mat, y: &Mat) -> Mat {
     x + y
+}
+
+/// [`residual`] into a caller-owned output matrix (reshaped to match,
+/// allocation reused; bit-identical element-wise sum).
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn residual_into(x: &Mat, y: &Mat, out: &mut Mat) {
+    assert_eq!(x.shape(), y.shape(), "shape mismatch in add");
+    out.resize(x.rows(), x.cols());
+    for ((o, &a), &b) in out
+        .as_mut_slice()
+        .iter_mut()
+        .zip(x.as_slice())
+        .zip(y.as_slice())
+    {
+        *o = a + b;
+    }
 }
 
 /// Mean-pools rows into a single row vector (classification head input).
@@ -174,5 +213,29 @@ mod tests {
     fn mean_pool_averages_rows() {
         let x = Mat::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         assert_eq!(mean_pool_rows(&x), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn inplace_ops_match_allocating_ops() {
+        let x = Mat::from_fn(3, 5, |r, c| (r as f64 - 1.0) * 0.7 + c as f64 * 0.3);
+        let y = Mat::from_fn(3, 5, |r, c| (c as f64 - r as f64) * 0.2);
+        let gamma = vec![1.1; 5];
+        let beta = vec![-0.2; 5];
+
+        let mut sm = x.clone();
+        softmax_rows_inplace(&mut sm);
+        assert_eq!(sm, softmax_rows(&x));
+
+        let mut ln = x.clone();
+        layer_norm_rows_inplace(&mut ln, &gamma, &beta, 1e-9);
+        assert_eq!(ln, layer_norm_rows(&x, &gamma, &beta, 1e-9));
+
+        let mut ge = x.clone();
+        gelu_mat_inplace(&mut ge);
+        assert_eq!(ge, gelu_mat(&x));
+
+        let mut res = Mat::zeros(1, 1);
+        residual_into(&x, &y, &mut res);
+        assert_eq!(res, residual(&x, &y));
     }
 }

@@ -21,8 +21,9 @@
 
 use crate::quant::QuantizedMat;
 use pdac_core::converter::MzmDriver;
+use pdac_math::gemm::PackedB;
 use pdac_math::Mat;
-use std::cell::{Cell, RefCell};
+use std::cell::{Cell, OnceCell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -94,10 +95,19 @@ fn fingerprint(data: &[f64]) -> u64 {
 /// assert_eq!(prepared.converted().shape(), (2, 2));
 /// # Ok::<(), pdac_math::matrix::MatError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct PreparedOperand {
     converted: Mat,
     bits: u8,
+    packed: OnceCell<PackedB>,
+}
+
+impl PartialEq for PreparedOperand {
+    /// Equality on the converted contents; the lazily-packed panels are
+    /// derived data and excluded.
+    fn eq(&self, other: &Self) -> bool {
+        self.converted == other.converted && self.bits == other.bits
+    }
 }
 
 impl PreparedOperand {
@@ -110,12 +120,30 @@ impl PreparedOperand {
         Self {
             converted: QuantizedMat::quantize(mat, bits).dequantize_with(driver),
             bits,
+            packed: OnceCell::new(),
         }
     }
 
     /// The converted matrix (scale · driver(code) per element).
     pub fn converted(&self) -> &Mat {
         &self.converted
+    }
+
+    /// The converted matrix packed into GEMM column panels, built on
+    /// first use and cached for the operand's lifetime — so the batched
+    /// decode hot path skips the per-call packing pass on every weight
+    /// multiply after the first. [`Mat::matmul_prepacked_into`] over
+    /// these panels is bit-identical to a plain matmul against
+    /// [`Self::converted`].
+    pub fn packed(&self) -> &PackedB {
+        self.packed.get_or_init(|| {
+            pdac_telemetry::counter_add("nn.gemm.weight_cache.packed", 1);
+            PackedB::pack(
+                self.converted.as_slice(),
+                self.converted.rows(),
+                self.converted.cols(),
+            )
+        })
     }
 
     /// The drive bit width the operand was prepared for.
@@ -314,5 +342,20 @@ mod tests {
     #[should_panic(expected = "capacity must be nonzero")]
     fn zero_capacity_rejected() {
         WeightCache::new(0);
+    }
+
+    #[test]
+    fn packed_panels_match_plain_matmul() {
+        let w = random_mat(12, 9, 55);
+        let x = random_mat(3, 12, 56);
+        let pdac = PDac::with_optimal_approx(8).unwrap();
+        let prepared = PreparedOperand::prepare(&w, &pdac);
+        let mut via_packed = Mat::zeros(1, 1);
+        x.matmul_prepacked_into(prepared.packed(), &mut via_packed)
+            .unwrap();
+        assert_eq!(via_packed, x.matmul(prepared.converted()).unwrap());
+        // Second call reuses the cached panels (same address).
+        let again = prepared.packed() as *const _;
+        assert!(std::ptr::eq(prepared.packed(), again));
     }
 }

@@ -121,6 +121,94 @@ impl QuantizedMat {
     }
 }
 
+/// A tensor quantized to signed codes with one symmetric scale **per
+/// row**.
+///
+/// The batched decode engine stacks the current-token activations of S
+/// independent sequences into one S×hidden matrix. Quantizing that stack
+/// per-tensor would couple the sequences (one outlier row rescales all
+/// of them) and break the bit-identity between `decode_batch` and S
+/// separate `decode_step` calls. Per-row scales restore independence:
+/// row `r` of [`Self::quantize`] + [`Self::dequantize_with`] is
+/// bit-identical to [`QuantizedMat::quantize`] of the 1×cols matrix
+/// holding row `r` alone (same scale rule, same codes, same conversion).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowQuantizedMat {
+    codes: Vec<i32>,
+    rows: usize,
+    cols: usize,
+    scales: Vec<f64>,
+    bits: u8,
+}
+
+impl RowQuantizedMat {
+    /// Quantizes each row of `x` at `bits` precision with that row's
+    /// symmetric scale `max|row|` (scale 1 for an all-zero row) — the
+    /// exact per-tensor rule of [`QuantizedMat::quantize`] applied row
+    /// by row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `2..=16`.
+    pub fn quantize(x: &Mat, bits: u8) -> Self {
+        let mut codes = Vec::with_capacity(x.rows() * x.cols());
+        let mut scales = Vec::with_capacity(x.rows());
+        for r in 0..x.rows() {
+            let row = x.row_slice(r);
+            let m = row.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            let scale = if m == 0.0 { 1.0 } else { m };
+            let q = Quantizer::new(bits, scale).expect("validated bit width and positive scale");
+            codes.extend(row.iter().map(|&v| q.quantize(v)));
+            scales.push(scale);
+        }
+        Self {
+            codes,
+            rows: x.rows(),
+            cols: x.cols(),
+            scales,
+            bits,
+        }
+    }
+
+    /// Per-row scales.
+    pub fn scales(&self) -> &[f64] {
+        &self.scales
+    }
+
+    /// Bit precision.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Raw codes, row-major.
+    pub fn codes(&self) -> &[i32] {
+        &self.codes
+    }
+
+    /// Physical dequantization through an MZM drive path: element
+    /// `(r, c)` becomes `scales[r] · driver.convert(code)`, matching
+    /// [`QuantizedMat::dequantize_with`] row for row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the driver's bit width differs from the tensor's.
+    pub fn dequantize_with(&self, driver: &dyn MzmDriver) -> Mat {
+        assert_eq!(driver.bits(), self.bits, "driver/tensor bit width mismatch");
+        let mut data = driver.convert_all(&self.codes);
+        for (row, &scale) in data.chunks_exact_mut(self.cols).zip(&self.scales) {
+            for v in row {
+                *v *= scale;
+            }
+        }
+        Mat::from_rows(self.rows, self.cols, data).expect("shape preserved")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,5 +329,50 @@ mod tests {
     #[should_panic(expected = "percentile")]
     fn zero_percentile_rejected() {
         QuantizedMat::quantize_clipped(&ramp(), 8, 0.0);
+    }
+
+    #[test]
+    fn row_quantize_rows_match_per_tensor_single_rows() {
+        // The batching invariant: each row of the row-quantized stack is
+        // bit-identical to per-tensor quantization of that row alone.
+        let mut rng = pdac_math::rng::SplitMix64::seed_from_u64(77);
+        let x = Mat::from_fn(5, 12, |_, _| rng.gen_range_f64(-3.0, 3.0));
+        let pdac = PDac::with_optimal_approx(8).unwrap();
+        let batched = RowQuantizedMat::quantize(&x, 8);
+        assert_eq!(batched.shape(), (5, 12));
+        let deq = batched.dequantize_with(&pdac);
+        for r in 0..x.rows() {
+            let row = Mat::from_rows(1, 12, x.row_slice(r).to_vec()).unwrap();
+            let single = QuantizedMat::quantize(&row, 8);
+            assert_eq!(batched.scales()[r], single.scale(), "row {r}");
+            let single_deq = single.dequantize_with(&pdac);
+            assert_eq!(deq.row_slice(r), single_deq.row_slice(0), "row {r}");
+        }
+    }
+
+    #[test]
+    fn row_quantize_zero_row_uses_unit_scale() {
+        let mut x = Mat::from_fn(2, 4, |_, c| c as f64 + 1.0);
+        x.row_slice_mut(1).fill(0.0);
+        let q = RowQuantizedMat::quantize(&x, 8);
+        assert_eq!(q.scales()[1], 1.0);
+        assert_eq!(q.bits(), 8);
+        assert!(q.codes()[4..].iter().all(|&c| c == 0));
+        // The zero row dequantizes exactly as a per-tensor zero row would
+        // (the driver's code-0 level, whatever it is, times unit scale).
+        let edac = ElectricalDac::new(8).unwrap();
+        let zero_row = Mat::zeros(1, 4);
+        let single = QuantizedMat::quantize(&zero_row, 8);
+        assert_eq!(
+            q.dequantize_with(&edac).row_slice(1),
+            single.dequantize_with(&edac).row_slice(0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bit width mismatch")]
+    fn row_quantize_rejects_mismatched_driver_bits() {
+        let q = RowQuantizedMat::quantize(&ramp(), 8);
+        q.dequantize_with(&PDac::with_optimal_approx(4).unwrap());
     }
 }

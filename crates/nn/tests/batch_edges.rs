@@ -1,0 +1,154 @@
+//! Edge-case coverage for the KV caches and the batched decode engine.
+
+use pdac_math::Mat;
+use pdac_nn::{BatchedKvCache, DecodeScratch, ExactGemm, TransformerConfig, TransformerModel};
+
+fn tiny() -> TransformerModel {
+    TransformerModel::random(TransformerConfig::tiny(), 4, 11)
+}
+
+fn tokens_for(model: &TransformerModel, rows: usize, seed: u64) -> Mat {
+    let mut rng = pdac_math::rng::SplitMix64::seed_from_u64(seed);
+    Mat::from_fn(rows, model.config().hidden, |_, _| {
+        rng.gen_range_f64(-1.0, 1.0)
+    })
+}
+
+#[test]
+fn decode_runs_past_configured_seq_len() {
+    // The KV cache is unbounded: decoding beyond `config.seq_len` keeps
+    // appending rows (serving traces routinely outrun the training
+    // context in this synthetic setup).
+    let m = tiny();
+    let seq_len = m.config().seq_len;
+    let mut cache = m.new_cache();
+    let mut scratch = DecodeScratch::new();
+    for t in 0..seq_len + 3 {
+        let tok = tokens_for(&m, 1, 100 + t as u64);
+        let h = m.decode_step_with(&tok.row(0), &mut cache, &ExactGemm, &mut scratch);
+        assert!(h.iter().all(|v| v.is_finite()), "step {t} non-finite");
+    }
+    assert_eq!(cache.len(), seq_len + 3);
+}
+
+#[test]
+fn empty_prompt_first_token_attends_to_itself() {
+    // Step 0 against an empty cache: the token attends only to itself,
+    // so the result equals the one-row causal forward.
+    let m = tiny();
+    let tok = tokens_for(&m, 1, 5);
+    let mut cache = m.new_cache();
+    assert!(cache.is_empty());
+    let h = m.decode_step(&tok.row(0), &mut cache, &ExactGemm);
+    let full = m.forward_causal(&tok, &ExactGemm);
+    for (c, v) in h.iter().enumerate() {
+        assert!((v - full[(0, c)]).abs() < 1e-9, "dim {c}");
+    }
+    assert_eq!(cache.len(), 1);
+}
+
+#[test]
+fn batched_empty_start_matches_sequential() {
+    let m = tiny();
+    let mut batch = BatchedKvCache::new(&m, 4);
+    let toks = tokens_for(&m, 4, 9);
+    let got = m.decode_batch(&toks, &mut batch, &ExactGemm);
+    for s in 0..4 {
+        let mut cache = m.new_cache();
+        let want = m.decode_step(&toks.row(s), &mut cache, &ExactGemm);
+        assert_eq!(got.row(s), want, "seq {s}");
+    }
+}
+
+#[test]
+fn ragged_batch_positions_stay_independent() {
+    // Three sequences at positions 0, 2 and 5 advanced together match
+    // their isolated counterparts bit-for-bit, and only their own
+    // caches grow.
+    let m = tiny();
+    let backend = ExactGemm;
+    let depths = [0usize, 2, 5];
+    let mut caches: Vec<_> = depths.iter().map(|_| m.new_cache()).collect();
+    let mut refs_caches: Vec<_> = depths.iter().map(|_| m.new_cache()).collect();
+    for (i, &depth) in depths.iter().enumerate() {
+        for t in 0..depth {
+            let tok = tokens_for(&m, 1, (i * 37 + t) as u64);
+            let _ = m.decode_step(&tok.row(0), &mut caches[i], &backend);
+            let _ = m.decode_step(&tok.row(0), &mut refs_caches[i], &backend);
+        }
+    }
+    let toks = tokens_for(&m, 3, 77);
+    let mut scratch = DecodeScratch::new();
+    let mut out = Mat::zeros(1, 1);
+    {
+        let mut refs: Vec<&mut _> = caches.iter_mut().collect();
+        m.decode_batch_with(&toks, &mut refs, &backend, &mut scratch, &mut out);
+    }
+    for (i, &depth) in depths.iter().enumerate() {
+        let want = m.decode_step(&toks.row(i), &mut refs_caches[i], &backend);
+        assert_eq!(out.row(i), want, "seq {i}");
+        assert_eq!(caches[i].len(), depth + 1);
+    }
+}
+
+#[test]
+fn scratch_survives_batch_size_changes() {
+    // Shrinking then regrowing the live batch (continuous batching
+    // admission/retirement) keeps results correct with one scratch.
+    let m = tiny();
+    let backend = ExactGemm;
+    let mut scratch = DecodeScratch::new();
+    let mut out = Mat::zeros(1, 1);
+    let mut a = m.new_cache();
+    let mut b = m.new_cache();
+    let mut c = m.new_cache();
+    let t3 = tokens_for(&m, 3, 1);
+    m.decode_batch_with(
+        &t3,
+        &mut [&mut a, &mut b, &mut c],
+        &backend,
+        &mut scratch,
+        &mut out,
+    );
+    let t1 = tokens_for(&m, 1, 2);
+    m.decode_batch_with(&t1, &mut [&mut b], &backend, &mut scratch, &mut out);
+    let t2 = tokens_for(&m, 2, 3);
+    m.decode_batch_with(&t2, &mut [&mut a, &mut c], &backend, &mut scratch, &mut out);
+    assert_eq!(out.shape(), (2, m.config().hidden));
+    assert_eq!((a.len(), b.len(), c.len()), (2, 2, 2));
+    // Steps 2 and 3 fit inside step 1's buffers.
+    assert_eq!(scratch.reuses(), 2);
+}
+
+#[test]
+#[should_panic(expected = "cache layer mismatch")]
+fn mismatched_cache_layer_count_rejected() {
+    let m = tiny();
+    let other = TransformerModel::random(
+        TransformerConfig {
+            layers: m.config().layers + 1,
+            ..m.config().clone()
+        },
+        4,
+        3,
+    );
+    let mut wrong = other.new_cache();
+    let tok = tokens_for(&m, 1, 1);
+    m.decode_step(&tok.row(0), &mut wrong, &ExactGemm);
+}
+
+#[test]
+#[should_panic(expected = "batch size mismatch")]
+fn batch_width_mismatch_rejected() {
+    let m = tiny();
+    let mut batch = BatchedKvCache::new(&m, 3);
+    let toks = tokens_for(&m, 2, 4);
+    m.decode_batch(&toks, &mut batch, &ExactGemm);
+}
+
+#[test]
+#[should_panic(expected = "batch must be nonzero")]
+fn zero_batch_rejected() {
+    let m = tiny();
+    let _ = BatchedKvCache::new(&m, 0);
+}

@@ -1,0 +1,133 @@
+//! Continuous-batching serving simulation: drives a multi-request trace
+//! through the [`pdac_serve::TokenServer`] and reports throughput.
+//!
+//! ```text
+//! cargo run --release -p pdac-serve --bin serve
+//! ```
+//!
+//! Environment knobs (all optional):
+//!
+//! * `PDAC_SERVE_REQUESTS` — number of requests in the trace (default 8)
+//! * `PDAC_SERVE_PROMPT` — prompt length per request (default 4)
+//! * `PDAC_SERVE_MAX_NEW` — tokens generated per request (default 8)
+//! * `PDAC_SERVE_BATCH` — batch capacity (default 4)
+//! * `PDAC_SERVE_BACKEND` — `exact` | `pdac` | `edac` (default `pdac`)
+//! * `PDAC_SERVE_HIDDEN` / `PDAC_SERVE_LAYERS` / `PDAC_SERVE_HEADS` —
+//!   model shape (default 64 / 2 / 4)
+//!
+//! Exits nonzero if no request retires (the CI smoke gate).
+
+use std::time::Instant;
+
+use pdac_core::edac::ElectricalDac;
+use pdac_core::pdac::PDac;
+use pdac_nn::{AnalogGemm, ExactGemm, GemmBackend, TransformerConfig, TransformerModel};
+use pdac_serve::{Request, TokenServer};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let requests = env_usize("PDAC_SERVE_REQUESTS", 8);
+    let prompt_len = env_usize("PDAC_SERVE_PROMPT", 4);
+    let max_new = env_usize("PDAC_SERVE_MAX_NEW", 8);
+    let batch = env_usize("PDAC_SERVE_BATCH", 4);
+    let hidden = env_usize("PDAC_SERVE_HIDDEN", 64);
+    let layers = env_usize("PDAC_SERVE_LAYERS", 2);
+    let heads = env_usize("PDAC_SERVE_HEADS", 4);
+    let backend_name = std::env::var("PDAC_SERVE_BACKEND").unwrap_or_else(|_| "pdac".to_string());
+
+    let config = TransformerConfig {
+        name: "serve-sim".to_string(),
+        layers,
+        hidden,
+        heads,
+        ff_mult: 4,
+        seq_len: (prompt_len + max_new).max(1),
+    };
+    config.validate().expect("valid serving config");
+    let model = TransformerModel::random(config, 4, 42);
+
+    let backend: Box<dyn GemmBackend> = match backend_name.as_str() {
+        "exact" => Box::new(ExactGemm),
+        "edac" => Box::new(AnalogGemm::new(
+            ElectricalDac::new(8).expect("8-bit edac"),
+            "edac-8b",
+        )),
+        "pdac" => Box::new(AnalogGemm::new(
+            PDac::with_optimal_approx(8).expect("8-bit pdac"),
+            "pdac-8b",
+        )),
+        other => {
+            eprintln!("unknown PDAC_SERVE_BACKEND {other:?} (use exact|pdac|edac)");
+            std::process::exit(2);
+        }
+    };
+
+    pdac_telemetry::enable();
+    let mut server = TokenServer::new(&model, batch);
+    for id in 0..requests {
+        let mut rng = pdac_math::rng::SplitMix64::seed_from_u64(1000 + id as u64);
+        let prompt = (0..prompt_len)
+            .map(|_| {
+                (0..model.config().hidden)
+                    .map(|_| rng.gen_range_f64(-1.0, 1.0))
+                    .collect()
+            })
+            .collect();
+        server.admit(Request {
+            id: id as u64,
+            prompt,
+            max_new_tokens: max_new,
+        });
+    }
+
+    let start = Instant::now();
+    let steps = server.run(&*backend);
+    let elapsed = start.elapsed().as_secs_f64();
+    let completions = server.take_completions();
+
+    let generated = server.generated_tokens();
+    let fed = server.fed_tokens();
+    let tok_per_s = generated as f64 / elapsed.max(1e-12);
+    println!(
+        "serve: backend={} requests={requests} prompt={prompt_len} max_new={max_new} \
+         batch_capacity={batch}",
+        backend.name()
+    );
+    println!(
+        "serve: steps={steps} fed_tokens={fed} generated_tokens={generated} \
+         mean_occupancy={:.2} elapsed_s={elapsed:.4} tokens_per_s={tok_per_s:.1}",
+        server.mean_occupancy()
+    );
+
+    let snap = pdac_telemetry::snapshot();
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    };
+    println!(
+        "serve: telemetry admitted={} retired={}",
+        counter("serve.admitted"),
+        counter("serve.retired")
+    );
+
+    if completions.len() != requests || counter("serve.retired") != requests as u64 {
+        eprintln!(
+            "serve: FAIL — {} of {requests} requests retired",
+            completions.len()
+        );
+        std::process::exit(1);
+    }
+    assert!(
+        completions.iter().all(|c| c.hidden.len() == max_new),
+        "every completion carries max_new hidden states"
+    );
+    println!("serve: OK — all {requests} requests retired");
+}

@@ -1,0 +1,489 @@
+#![warn(missing_docs)]
+
+//! `pdac-serve`: a continuous-batching token server over the batched
+//! decode engine.
+//!
+//! The paper motivates the P-DAC with LLM *serving*: auto-regressive
+//! decode where weight traffic dominates. A serving scheduler keeps the
+//! photonic GEMM engine fed by batching the current tokens of many
+//! in-flight requests into one `S × hidden` activation matrix per step
+//! (continuous batching: sequences join and leave the batch at token
+//! granularity, never blocking on each other).
+//!
+//! [`TokenServer`] implements the scheduler: requests wait in an
+//! admission queue, free slots are filled at the start of every step,
+//! each step advances all active sequences by one token through
+//! [`TransformerModel::decode_batch_with`], and sequences retire as soon
+//! as they reach their token budget. Because the batched engine is
+//! row-for-row **bit-identical** to sequential
+//! [`TransformerModel::decode_step`] calls, a served request produces
+//! exactly the hidden states it would have produced alone — scheduling
+//! changes throughput, never results.
+//!
+//! Telemetry: `serve.admitted` / `serve.retired` counters and a
+//! `serve.batch_occupancy` gauge (last step's active-batch size).
+//!
+//! # Examples
+//!
+//! ```
+//! use pdac_nn::{ExactGemm, TransformerConfig, TransformerModel};
+//! use pdac_serve::{Request, TokenServer};
+//!
+//! let model = TransformerModel::random(TransformerConfig::tiny(), 4, 42);
+//! let mut server = TokenServer::new(&model, 2);
+//! let prompt = model.random_input(1);
+//! for id in 0..3 {
+//!     server.admit(Request {
+//!         id,
+//!         prompt: vec![prompt.row(0), prompt.row(1)],
+//!         max_new_tokens: 3,
+//!     });
+//! }
+//! server.run(&ExactGemm);
+//! let done = server.take_completions();
+//! assert_eq!(done.len(), 3);
+//! assert!(done.iter().all(|c| c.hidden.len() == 3));
+//! ```
+
+use std::collections::VecDeque;
+
+use pdac_math::Mat;
+use pdac_nn::{DecodeScratch, GemmBackend, KvCache, TransformerModel};
+
+/// The embedding fed back as the next input token once a sequence runs
+/// past its prompt: a bounded (`tanh`) squash of the last hidden state.
+///
+/// With random weights there is no vocabulary to sample from; this keeps
+/// the auto-regressive loop closed and the activations in the range the
+/// quantizers expect. Reference implementations must use the same rule
+/// to reproduce served sequences bit-for-bit.
+pub fn feedback_embedding(hidden: &[f64]) -> Vec<f64> {
+    hidden.iter().map(|v| v.tanh()).collect()
+}
+
+/// One inference request: a prompt of token embeddings plus a budget of
+/// tokens to generate.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Caller-chosen identifier, echoed on the [`Completion`].
+    pub id: u64,
+    /// Prompt token embeddings (each of length `hidden`). May be empty:
+    /// the sequence then starts from a zero embedding.
+    pub prompt: Vec<Vec<f64>>,
+    /// Number of tokens to generate. `0` completes immediately.
+    pub max_new_tokens: usize,
+}
+
+/// A finished request: the generated hidden states in order.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// The request's identifier.
+    pub id: u64,
+    /// Prompt length that was consumed.
+    pub prompt_tokens: usize,
+    /// Generated final hidden states, one per new token (the first is
+    /// the output of the last prompt token).
+    pub hidden: Vec<Vec<f64>>,
+    /// Server step index (0-based) at which the request retired, or the
+    /// admission step for zero-budget requests.
+    pub finished_step: u64,
+}
+
+struct Active {
+    id: u64,
+    cache: KvCache,
+    prompt: Vec<Vec<f64>>,
+    pos: usize,
+    generated: Vec<Vec<f64>>,
+    max_new_tokens: usize,
+}
+
+impl Active {
+    fn next_token(&self, hidden: usize) -> Vec<f64> {
+        if self.pos < self.prompt.len() {
+            self.prompt[self.pos].clone()
+        } else if let Some(last) = self.generated.last() {
+            feedback_embedding(last)
+        } else {
+            vec![0.0; hidden]
+        }
+    }
+}
+
+/// Continuous-batching scheduler over a model and a fixed batch
+/// capacity.
+pub struct TokenServer<'m> {
+    model: &'m TransformerModel,
+    max_batch: usize,
+    queue: VecDeque<Request>,
+    active: Vec<Active>,
+    scratch: DecodeScratch,
+    out: Mat,
+    completions: Vec<Completion>,
+    steps: u64,
+    fed_tokens: u64,
+    generated_tokens: u64,
+    occupancy_sum: u64,
+}
+
+impl<'m> TokenServer<'m> {
+    /// A server decoding at most `max_batch` sequences per step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch == 0`.
+    pub fn new(model: &'m TransformerModel, max_batch: usize) -> Self {
+        assert!(max_batch > 0, "max_batch must be nonzero");
+        Self {
+            model,
+            max_batch,
+            queue: VecDeque::new(),
+            active: Vec::new(),
+            scratch: DecodeScratch::new(),
+            out: Mat::zeros(1, 1),
+            completions: Vec::new(),
+            steps: 0,
+            fed_tokens: 0,
+            generated_tokens: 0,
+            occupancy_sum: 0,
+        }
+    }
+
+    /// Enqueues a request. Zero-budget requests complete immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any prompt embedding's length differs from `hidden`.
+    pub fn admit(&mut self, request: Request) {
+        let hidden = self.model.config().hidden;
+        for (i, tok) in request.prompt.iter().enumerate() {
+            assert_eq!(tok.len(), hidden, "prompt token {i} hidden dim mismatch");
+        }
+        pdac_telemetry::counter_add("serve.admitted", 1);
+        if request.max_new_tokens == 0 {
+            pdac_telemetry::counter_add("serve.retired", 1);
+            self.completions.push(Completion {
+                id: request.id,
+                prompt_tokens: request.prompt.len(),
+                hidden: Vec::new(),
+                finished_step: self.steps,
+            });
+            return;
+        }
+        self.queue.push_back(request);
+    }
+
+    /// Requests waiting for a slot.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Sequences currently being decoded.
+    pub fn active(&self) -> usize {
+        self.active.len()
+    }
+
+    /// True when nothing is queued or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.active.is_empty()
+    }
+
+    /// Steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Tokens fed through the model (prompt + generated).
+    pub fn fed_tokens(&self) -> u64 {
+        self.fed_tokens
+    }
+
+    /// Tokens generated (post-prompt outputs) so far.
+    pub fn generated_tokens(&self) -> u64 {
+        self.generated_tokens
+    }
+
+    /// Mean active-batch size over all executed steps.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.steps as f64
+        }
+    }
+
+    /// Drains the accumulated completions (in retirement order).
+    pub fn take_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Admits as many queued requests as fit, advances every active
+    /// sequence by one token, and retires finished ones, returning the
+    /// requests that finished on this step.
+    ///
+    /// A no-op (returns empty) when the server is idle.
+    pub fn step(&mut self, backend: &dyn GemmBackend) -> Vec<Completion> {
+        while self.active.len() < self.max_batch {
+            match self.queue.pop_front() {
+                Some(req) => self.active.push(Active {
+                    id: req.id,
+                    cache: self.model.new_cache(),
+                    prompt: req.prompt,
+                    pos: 0,
+                    generated: Vec::new(),
+                    max_new_tokens: req.max_new_tokens,
+                }),
+                None => break,
+            }
+        }
+        if self.active.is_empty() {
+            return Vec::new();
+        }
+        let _span = pdac_telemetry::span("serve.step");
+        let s = self.active.len();
+        let hidden = self.model.config().hidden;
+        pdac_telemetry::gauge_set("serve.batch_occupancy", s as f64);
+        self.occupancy_sum += s as u64;
+
+        let mut data = Vec::with_capacity(s * hidden);
+        for a in &self.active {
+            data.extend_from_slice(&a.next_token(hidden));
+        }
+        let tokens = Mat::from_rows(s, hidden, data).expect("batch assembly");
+        {
+            let mut caches: Vec<&mut KvCache> =
+                self.active.iter_mut().map(|a| &mut a.cache).collect();
+            self.model.decode_batch_with(
+                &tokens,
+                &mut caches,
+                backend,
+                &mut self.scratch,
+                &mut self.out,
+            );
+        }
+        self.fed_tokens += s as u64;
+        for (i, a) in self.active.iter_mut().enumerate() {
+            if a.pos < a.prompt.len() {
+                a.pos += 1;
+            }
+            if a.pos >= a.prompt.len() {
+                a.generated.push(self.out.row(i));
+                self.generated_tokens += 1;
+            }
+        }
+
+        let step = self.steps;
+        let mut retired = Vec::new();
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.active[i].generated.len() >= self.active[i].max_new_tokens {
+                let a = self.active.remove(i);
+                pdac_telemetry::counter_add("serve.retired", 1);
+                retired.push(Completion {
+                    id: a.id,
+                    prompt_tokens: a.prompt.len(),
+                    hidden: a.generated,
+                    finished_step: step,
+                });
+            } else {
+                i += 1;
+            }
+        }
+        self.steps += 1;
+        self.completions.extend(retired.iter().cloned());
+        retired
+    }
+
+    /// Steps until idle; returns the number of steps executed.
+    pub fn run(&mut self, backend: &dyn GemmBackend) -> u64 {
+        let start = self.steps;
+        while !self.is_idle() {
+            let _ = self.step(backend);
+        }
+        self.steps - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdac_core::edac::ElectricalDac;
+    use pdac_core::pdac::PDac;
+    use pdac_nn::{AnalogGemm, ExactGemm, TransformerConfig};
+
+    fn tiny_model() -> TransformerModel {
+        TransformerModel::random(TransformerConfig::tiny(), 4, 7)
+    }
+
+    fn prompt_rows(model: &TransformerModel, len: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = pdac_math::rng::SplitMix64::seed_from_u64(seed);
+        (0..len)
+            .map(|_| {
+                (0..model.config().hidden)
+                    .map(|_| rng.gen_range_f64(-1.0, 1.0))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The sequential ground truth: one request decoded alone through
+    /// `decode_step`, using the same feedback rule as the server.
+    fn reference_generate(
+        model: &TransformerModel,
+        backend: &dyn GemmBackend,
+        prompt: &[Vec<f64>],
+        max_new: usize,
+    ) -> Vec<Vec<f64>> {
+        let hidden = model.config().hidden;
+        let mut cache = model.new_cache();
+        let mut generated: Vec<Vec<f64>> = Vec::new();
+        if prompt.is_empty() {
+            let h = model.decode_step(&vec![0.0; hidden], &mut cache, backend);
+            generated.push(h);
+        } else {
+            for (i, tok) in prompt.iter().enumerate() {
+                let h = model.decode_step(tok, &mut cache, backend);
+                if i == prompt.len() - 1 {
+                    generated.push(h);
+                }
+            }
+        }
+        while generated.len() < max_new {
+            let tok = feedback_embedding(generated.last().expect("nonempty"));
+            generated.push(model.decode_step(&tok, &mut cache, backend));
+        }
+        generated
+    }
+
+    fn assert_server_matches_reference(backend: &dyn GemmBackend, max_batch: usize) {
+        let model = tiny_model();
+        let specs = [(0usize, 3usize), (2, 4), (5, 1), (1, 2)];
+        let mut server = TokenServer::new(&model, max_batch);
+        for (id, &(p, n)) in specs.iter().enumerate() {
+            server.admit(Request {
+                id: id as u64,
+                prompt: prompt_rows(&model, p, 100 + id as u64),
+                max_new_tokens: n,
+            });
+        }
+        server.run(backend);
+        let mut done = server.take_completions();
+        assert_eq!(done.len(), specs.len());
+        done.sort_by_key(|c| c.id);
+        for (id, &(p, n)) in specs.iter().enumerate() {
+            let want =
+                reference_generate(&model, backend, &prompt_rows(&model, p, 100 + id as u64), n);
+            let got = &done[id];
+            assert_eq!(got.prompt_tokens, p, "request {id}");
+            assert_eq!(got.hidden.len(), n, "request {id}");
+            assert_eq!(got.hidden, want, "request {id} diverged from solo decode");
+        }
+    }
+
+    #[test]
+    fn served_results_bit_identical_to_solo_decode_exact() {
+        assert_server_matches_reference(&ExactGemm, 2);
+        assert_server_matches_reference(&ExactGemm, 4);
+    }
+
+    #[test]
+    fn served_results_bit_identical_to_solo_decode_analog() {
+        let pdac = AnalogGemm::new(PDac::with_optimal_approx(8).unwrap(), "pdac");
+        assert_server_matches_reference(&pdac, 3);
+        let edac = AnalogGemm::new(ElectricalDac::new(8).unwrap(), "edac");
+        assert_server_matches_reference(&edac, 2);
+    }
+
+    #[test]
+    fn mid_run_admission_matches_solo_decode() {
+        let model = tiny_model();
+        let backend = ExactGemm;
+        let mut server = TokenServer::new(&model, 4);
+        server.admit(Request {
+            id: 0,
+            prompt: prompt_rows(&model, 3, 1),
+            max_new_tokens: 6,
+        });
+        let _ = server.step(&backend);
+        let _ = server.step(&backend);
+        // A late arrival joins the running batch at token granularity.
+        server.admit(Request {
+            id: 1,
+            prompt: prompt_rows(&model, 1, 2),
+            max_new_tokens: 2,
+        });
+        server.run(&backend);
+        let mut done = server.take_completions();
+        done.sort_by_key(|c| c.id);
+        for (id, (p, n)) in [(3usize, 6usize), (1, 2)].into_iter().enumerate() {
+            let want =
+                reference_generate(&model, &backend, &prompt_rows(&model, p, 1 + id as u64), n);
+            assert_eq!(done[id].hidden, want, "request {id}");
+        }
+        // Request 1 (2 tokens incl. prompt output) retires before 0.
+        assert!(done[1].finished_step < done[0].finished_step);
+    }
+
+    #[test]
+    fn oversubscribed_queue_drains_in_fifo_order() {
+        let model = tiny_model();
+        let mut server = TokenServer::new(&model, 2);
+        for id in 0..5 {
+            server.admit(Request {
+                id,
+                prompt: prompt_rows(&model, 1, id),
+                max_new_tokens: 2,
+            });
+        }
+        assert_eq!(server.pending(), 5);
+        let retired_now = server.step(&ExactGemm);
+        assert!(retired_now.is_empty());
+        assert_eq!(server.active(), 2);
+        assert_eq!(server.pending(), 3);
+        server.run(&ExactGemm);
+        assert!(server.is_idle());
+        let done = server.take_completions();
+        assert_eq!(done.len(), 5);
+        // FIFO admission + uniform budgets → FIFO retirement.
+        let ids: Vec<u64> = done.iter().map(|c| c.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert!(server.mean_occupancy() > 1.0);
+        assert_eq!(server.generated_tokens(), 10);
+        assert_eq!(server.fed_tokens(), 10); // 1-token prompts: all outputs count
+    }
+
+    #[test]
+    fn zero_budget_request_completes_without_decoding() {
+        let model = tiny_model();
+        let mut server = TokenServer::new(&model, 2);
+        server.admit(Request {
+            id: 9,
+            prompt: prompt_rows(&model, 2, 3),
+            max_new_tokens: 0,
+        });
+        assert!(server.is_idle());
+        let done = server.take_completions();
+        assert_eq!(done.len(), 1);
+        assert!(done[0].hidden.is_empty());
+        assert_eq!(server.fed_tokens(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hidden dim mismatch")]
+    fn bad_prompt_width_rejected_at_admission() {
+        let model = tiny_model();
+        let mut server = TokenServer::new(&model, 1);
+        server.admit(Request {
+            id: 0,
+            prompt: vec![vec![0.0; 3]],
+            max_new_tokens: 1,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch must be nonzero")]
+    fn zero_batch_capacity_rejected() {
+        let model = tiny_model();
+        let _ = TokenServer::new(&model, 0);
+    }
+}

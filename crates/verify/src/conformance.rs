@@ -26,10 +26,12 @@ use pdac_core::converter::MzmDriver;
 use pdac_core::edac::ElectricalDac;
 use pdac_core::lut::ConverterLut;
 use pdac_core::pdac::PDac;
+use pdac_math::gemm::{gemm, gemm_prepacked, gemm_scoped, PackedB};
 use pdac_math::rng::SplitMix64;
 use pdac_math::Mat;
 use pdac_nn::gemm::{AnalogGemm, AsymmetricGemm, ExactGemm, GemmBackend};
 use pdac_nn::quant::QuantizedMat;
+use pdac_nn::{BatchedKvCache, TransformerConfig, TransformerModel};
 use pdac_power::ArchConfig;
 
 /// Configuration of one conformance run.
@@ -192,6 +194,96 @@ fn kernel_checks(cfg: &ConformanceConfig) -> Vec<CheckResult> {
         ),
         bit_identity_check("kernel.matvec_vs_reference", diffs_matvec, shapes),
     ]
+}
+
+/// Persistent worker-pool GEMM vs the scoped-spawn baseline and the
+/// reference triple loop — bit identity across shapes and explicit
+/// thread counts (including odd panel splits).
+fn pool_kernel_checks(cfg: &ConformanceConfig) -> Vec<CheckResult> {
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed ^ 0x900C);
+    let bit_diffs = |x: &[f64], y: &[f64]| {
+        x.iter()
+            .zip(y)
+            .filter(|(p, q)| p.to_bits() != q.to_bits())
+            .count()
+    };
+    let mut diffs_scoped = 0usize;
+    let mut diffs_reference = 0usize;
+    let mut diffs_prepacked = 0usize;
+    for &(m, k, n) in &cfg.gemm_shapes {
+        let a = random_mat(m, k, &mut rng);
+        let b = random_mat(k, n, &mut rng);
+        let reference = a.matmul_reference(&b).expect("shapes chain");
+        let packed = PackedB::pack(b.as_slice(), k, n);
+        for threads in [1usize, 2, 7] {
+            let mut pooled = vec![0.0; m * n];
+            let mut scoped = vec![0.0; m * n];
+            let mut pre = vec![0.0; m * n];
+            gemm(a.as_slice(), b.as_slice(), m, k, n, &mut pooled, threads);
+            gemm_scoped(a.as_slice(), b.as_slice(), m, k, n, &mut scoped, threads);
+            gemm_prepacked(a.as_slice(), &packed, m, &mut pre, threads);
+            diffs_scoped += bit_diffs(&pooled, &scoped);
+            diffs_prepacked += bit_diffs(&pooled, &pre);
+            diffs_reference += bit_diffs(&pooled, reference.as_slice());
+        }
+    }
+    let detail = format!("shapes={:?} threads=[1,2,7]", cfg.gemm_shapes);
+    vec![
+        bit_identity_check("kernel.pool.gemm_vs_scoped", diffs_scoped, detail.clone()),
+        bit_identity_check(
+            "kernel.pool.gemm_vs_reference",
+            diffs_reference,
+            detail.clone(),
+        ),
+        bit_identity_check("kernel.pool.prepacked_vs_gemm", diffs_prepacked, detail),
+    ]
+}
+
+/// Batched decode vs sequential decode: every row of every
+/// `decode_batch` step must be bit-identical to feeding that sequence
+/// through `decode_step` alone — for the exact and the cached analog
+/// backend (per-row activation quantization + prepacked weights).
+fn batched_decode_checks(cfg: &ConformanceConfig) -> Vec<CheckResult> {
+    let model = TransformerModel::random(TransformerConfig::tiny(), 4, cfg.seed);
+    let hidden = model.config().hidden;
+    let s = 3usize;
+    let steps = cfg.decode_steps.clamp(2, 4);
+    let backends: Vec<(&str, Box<dyn GemmBackend>)> = vec![
+        ("exact", Box::new(ExactGemm)),
+        (
+            "pdac",
+            Box::new(AnalogGemm::new(
+                PDac::with_optimal_approx(8).expect("valid bits"),
+                "pdac8",
+            )),
+        ),
+    ];
+    let mut checks = Vec::new();
+    for (label, backend) in backends {
+        let mut rng = SplitMix64::seed_from_u64(cfg.seed ^ 0xBA7C4);
+        let mut batch = BatchedKvCache::new(&model, s);
+        let mut solo: Vec<_> = (0..s).map(|_| model.new_cache()).collect();
+        let mut diffs = 0usize;
+        for _ in 0..steps {
+            let tokens = random_mat(s, hidden, &mut rng);
+            let got = model.decode_batch(&tokens, &mut batch, backend.as_ref());
+            for (sq, cache) in solo.iter_mut().enumerate() {
+                let want = model.decode_step(&tokens.row(sq), cache, backend.as_ref());
+                diffs += got
+                    .row_slice(sq)
+                    .iter()
+                    .zip(&want)
+                    .filter(|(x, y)| x.to_bits() != y.to_bits())
+                    .count();
+            }
+        }
+        checks.push(bit_identity_check(
+            &format!("decode.batch.{label}.rows_vs_decode_step"),
+            diffs,
+            format!("{steps} steps x batch {s}: decode_batch rows vs independent decode_step"),
+        ));
+    }
+    checks
 }
 
 /// [`ConverterLut`] vs the scalar drive path for both converters at every
@@ -600,12 +692,14 @@ pub fn run_conformance(cfg: &ConformanceConfig) -> ConformanceReport {
     let _span = pdac_telemetry::span("verify.conformance");
     let mut report = ConformanceReport::default();
     report.extend(kernel_checks(cfg));
+    report.extend(pool_kernel_checks(cfg));
     report.extend(lut_checks(cfg));
     report.extend(per_element_budget_checks(cfg));
     report.extend(fault_layer_conformance(cfg));
     report.extend(cached_gemm_checks(cfg));
     report.extend(end_to_end_budget_checks(cfg));
     report.extend(decode_workload_checks(cfg));
+    report.extend(batched_decode_checks(cfg));
     report
 }
 

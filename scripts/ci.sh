@@ -42,4 +42,20 @@ echo "==> verify microbench smoke"
 PDAC_BENCH_MS=5 PDAC_BENCH_OUT="$(pwd)/target/BENCH_verify.smoke.json" \
     cargo bench --features microbench -p pdac-bench --bench verify
 
+echo "==> serve smoke (continuous-batching token server retires every request)"
+PDAC_SERVE_REQUESTS=6 PDAC_SERVE_PROMPT=3 PDAC_SERVE_MAX_NEW=4 PDAC_SERVE_BATCH=4 \
+    PDAC_SERVE_HIDDEN=32 PDAC_SERVE_LAYERS=2 PDAC_SERVE_HEADS=4 \
+    cargo run --release -q -p pdac-serve --bin serve
+
+echo "==> decode_engine microbench smoke"
+PDAC_BENCH_DECODE_HIDDEN=64 PDAC_BENCH_DECODE_LAYERS=2 PDAC_BENCH_DECODE_HEADS=4 \
+    PDAC_BENCH_DECODE_PROMPT=2 PDAC_BENCH_DECODE_TOKENS=3 PDAC_BENCH_DECODE_BATCHES=1,4 \
+    PDAC_BENCH_OUT="$(pwd)/target/BENCH_decode.smoke.json" \
+    cargo bench --features microbench -p pdac-bench --bench decode_engine
+if command -v python3 >/dev/null 2>&1; then
+    python3 -c "import json; json.load(open('target/BENCH_decode.smoke.json'))"
+else
+    echo "note: python3 unavailable, skipping JSON parse check"
+fi
+
 echo "CI OK"
