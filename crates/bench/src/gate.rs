@@ -1,0 +1,261 @@
+//! Benchmark regression gate: compares a fresh `BENCH_*.json` document
+//! against a checked-in baseline and fails on regressions.
+//!
+//! Absolute timings are machine-specific, so the gate only inspects
+//! **machine-relative** metrics inside each `results` record:
+//!
+//! * higher-is-better ratios — fields named `speedup` or containing
+//!   `_over_` — must not fall below `baseline × (1 − tol)`;
+//! * lower-is-better fractions — fields containing `overhead` — must
+//!   not exceed `baseline + slack` (absolute slack, since overheads
+//!   hover near zero and a relative band would be meaningless there).
+//!
+//! Records are matched across documents by their identity fields (every
+//! string or integer field: backend, batch, shape, threads, mode, …);
+//! a baseline record with no fresh counterpart is itself a failure —
+//! silently dropping a configuration is how regressions hide.
+
+use pdac_telemetry::Json;
+
+/// Outcome of one gated metric comparison.
+#[derive(Debug, Clone)]
+pub struct GateCheck {
+    /// Identity of the record (e.g. `backend=pdac batch=8`).
+    pub record: String,
+    /// The gated metric's field name.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub fresh: f64,
+    /// The bound the fresh value was held to.
+    pub bound: f64,
+    /// Whether the fresh value is within the bound.
+    pub pass: bool,
+}
+
+impl GateCheck {
+    /// One fixed-width report line.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<6} {:<40} {:<24} base {:>10.4} fresh {:>10.4} bound {:>10.4}",
+            if self.pass { "ok" } else { "FAIL" },
+            self.record,
+            self.metric,
+            self.baseline,
+            self.fresh,
+            self.bound,
+        )
+    }
+}
+
+/// A full gate run over one baseline/fresh document pair.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Per-metric comparisons, in baseline order.
+    pub checks: Vec<GateCheck>,
+    /// Baseline records that have no identity match in the fresh doc.
+    pub missing: Vec<String>,
+}
+
+impl GateReport {
+    /// True when every check passed and no record went missing.
+    pub fn pass(&self) -> bool {
+        self.missing.is_empty() && self.checks.iter().all(|c| c.pass)
+    }
+}
+
+/// Is this field a gated higher-is-better ratio?
+fn is_ratio(key: &str) -> bool {
+    key == "speedup" || key.contains("_over_")
+}
+
+/// Is this field a gated lower-is-better fraction?
+fn is_overhead(key: &str) -> bool {
+    key.contains("overhead")
+}
+
+/// Is this field a measured value rather than part of the record's
+/// identity? Gated metrics plus anything in seconds / per-second. This
+/// matters because the hand-rolled parser reads an integral float
+/// (`"elapsed_s": 3`) back as an integer, which would otherwise land in
+/// the identity and break cross-document matching.
+fn is_measurement(key: &str) -> bool {
+    is_ratio(key) || is_overhead(key) || key.ends_with("_s") || key.ends_with("_per_s")
+}
+
+/// The identity of a `results` record: every string field plus every
+/// non-measurement integer field, rendered `key=value` in document
+/// order.
+fn identity(record: &Json) -> String {
+    let Json::Obj(fields) = record else {
+        return String::from("<non-object>");
+    };
+    let mut parts = Vec::new();
+    for (key, value) in fields {
+        match value {
+            Json::Str(s) => parts.push(format!("{key}={s}")),
+            Json::Int(i) if !is_measurement(key) => parts.push(format!("{key}={i}")),
+            _ => {}
+        }
+    }
+    parts.join(" ")
+}
+
+fn results(doc: &Json) -> &[Json] {
+    doc.get("results")
+        .and_then(Json::as_arr)
+        .unwrap_or_default()
+}
+
+/// Compare `fresh` against `baseline`.
+///
+/// `tol` is the relative drop allowed on ratio metrics (0.35 ⇒ fresh may
+/// be 35% below baseline); `slack` the absolute rise allowed on overhead
+/// fractions.
+pub fn gate(baseline: &Json, fresh: &Json, tol: f64, slack: f64) -> GateReport {
+    let mut checks = Vec::new();
+    let mut missing = Vec::new();
+    let fresh_records = results(fresh);
+    for base_record in results(baseline) {
+        let id = identity(base_record);
+        let Some(fresh_record) = fresh_records.iter().find(|r| identity(r) == id) else {
+            missing.push(id);
+            continue;
+        };
+        let Json::Obj(fields) = base_record else {
+            continue;
+        };
+        for (key, value) in fields {
+            let Some(base) = value.as_f64() else {
+                continue;
+            };
+            let Some(fresh_value) = fresh_record.get(key).and_then(Json::as_f64) else {
+                // A gated metric vanished from the fresh record.
+                if is_ratio(key) || is_overhead(key) {
+                    checks.push(GateCheck {
+                        record: id.clone(),
+                        metric: key.clone(),
+                        baseline: base,
+                        fresh: f64::NAN,
+                        bound: f64::NAN,
+                        pass: false,
+                    });
+                }
+                continue;
+            };
+            if is_ratio(key) {
+                let bound = base * (1.0 - tol);
+                checks.push(GateCheck {
+                    record: id.clone(),
+                    metric: key.clone(),
+                    baseline: base,
+                    fresh: fresh_value,
+                    bound,
+                    pass: fresh_value >= bound,
+                });
+            } else if is_overhead(key) {
+                let bound = base + slack;
+                checks.push(GateCheck {
+                    record: id.clone(),
+                    metric: key.clone(),
+                    baseline: base,
+                    fresh: fresh_value,
+                    bound,
+                    pass: fresh_value <= bound,
+                });
+            }
+        }
+    }
+    GateReport { checks, missing }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(speedup: f64, overhead: f64) -> Json {
+        pdac_telemetry::json::parse(&format!(
+            r#"{{"bench":"t","results":[
+                {{"backend":"pdac","batch":8,"elapsed_s":1.0,
+                  "speedup":{speedup},"trace_overhead":{overhead}}}
+            ]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_docs_pass() {
+        let base = doc(5.0, 0.02);
+        let report = gate(&base, &base, 0.25, 0.03);
+        assert!(report.pass());
+        assert_eq!(report.checks.len(), 2); // speedup + trace_overhead
+        assert!(report.missing.is_empty());
+    }
+
+    #[test]
+    fn speedup_regression_fails_but_tolerance_band_holds() {
+        let base = doc(5.0, 0.02);
+        // 10% drop within a 25% band: fine.
+        assert!(gate(&base, &doc(4.5, 0.02), 0.25, 0.03).pass());
+        // 50% drop: regression.
+        let report = gate(&base, &doc(2.5, 0.02), 0.25, 0.03);
+        assert!(!report.pass());
+        let failed: Vec<_> = report.checks.iter().filter(|c| !c.pass).collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].metric, "speedup");
+    }
+
+    #[test]
+    fn overhead_uses_absolute_slack() {
+        let base = doc(5.0, 0.02);
+        assert!(gate(&base, &doc(5.0, 0.04), 0.25, 0.03).pass());
+        assert!(!gate(&base, &doc(5.0, 0.08), 0.25, 0.03).pass());
+    }
+
+    #[test]
+    fn absolute_timings_are_not_gated() {
+        let base = doc(5.0, 0.02);
+        // elapsed_s differs wildly — irrelevant, machine-specific.
+        let fresh = pdac_telemetry::json::parse(
+            r#"{"bench":"t","results":[
+                {"backend":"pdac","batch":8,"elapsed_s":99.0,
+                 "speedup":5.0,"trace_overhead":0.02}
+            ]}"#,
+        )
+        .unwrap();
+        assert!(gate(&base, &fresh, 0.25, 0.03).pass());
+    }
+
+    #[test]
+    fn missing_record_fails() {
+        let base = doc(5.0, 0.02);
+        let fresh = pdac_telemetry::json::parse(
+            r#"{"bench":"t","results":[
+                {"backend":"exact","batch":8,"speedup":5.0,"trace_overhead":0.02}
+            ]}"#,
+        )
+        .unwrap();
+        let report = gate(&base, &fresh, 0.25, 0.03);
+        assert!(!report.pass());
+        assert_eq!(report.missing.len(), 1);
+        assert!(report.missing[0].contains("backend=pdac"));
+    }
+
+    #[test]
+    fn missing_gated_metric_fails() {
+        let base = doc(5.0, 0.02);
+        let fresh = pdac_telemetry::json::parse(
+            r#"{"bench":"t","results":[
+                {"backend":"pdac","batch":8,"elapsed_s":1.0,"speedup":5.0}
+            ]}"#,
+        )
+        .unwrap();
+        let report = gate(&base, &fresh, 0.25, 0.03);
+        assert!(!report.pass());
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| c.metric == "trace_overhead" && !c.pass));
+    }
+}

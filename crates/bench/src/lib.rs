@@ -27,6 +27,7 @@ pub mod fig11;
 pub mod fig5;
 pub mod fig8;
 pub mod fig9_10;
+pub mod gate;
 pub mod generative;
 pub mod hybrid;
 pub mod microbench;

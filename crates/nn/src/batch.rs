@@ -137,10 +137,13 @@ pub(crate) fn decode_rows(
         // Q/K/V projections: one batched GEMM each — the weight operand
         // is prepared (quantized + converted + panel-packed) once per
         // step for all S sequences.
+        let qkv_span = pdac_telemetry::span("nn.decode.qkv");
         backend.matmul_batch_into(&scratch.x, &layer.wq, &mut scratch.q);
         backend.matmul_batch_into(&scratch.x, &layer.wk, &mut scratch.k_new);
         backend.matmul_batch_into(&scratch.x, &layer.wv, &mut scratch.v_new);
+        drop(qkv_span);
 
+        let attn_span = pdac_telemetry::span("nn.decode.attention");
         scratch.context.resize(s, d);
         for (sq, cache) in caches.iter_mut().enumerate() {
             let lc = &mut cache.layers[li];
@@ -184,10 +187,14 @@ pub(crate) fn decode_rows(
             }
         }
 
-        // Output projection + residual/LN + FFN, batched.
+        // Output projection + residual/LN (still the attention stage),
+        // then the FFN, batched.
         backend.matmul_batch_into(&scratch.context, &layer.wo, &mut scratch.attn_out);
         residual_into(&scratch.x, &scratch.attn_out, &mut scratch.x1);
         layer_norm_rows_inplace(&mut scratch.x1, &layer.ln1_gamma, &layer.ln1_beta, 1e-9);
+        drop(attn_span);
+
+        let _ffn_span = pdac_telemetry::span("nn.decode.ffn");
         backend.matmul_batch_into(&scratch.x1, &layer.w1, &mut scratch.h);
         gelu_mat_inplace(&mut scratch.h);
         backend.matmul_batch_into(&scratch.h, &layer.w2, &mut scratch.ffn);

@@ -14,10 +14,20 @@
 //! * `PDAC_SERVE_BACKEND` — `exact` | `pdac` | `edac` (default `pdac`)
 //! * `PDAC_SERVE_HIDDEN` / `PDAC_SERVE_LAYERS` / `PDAC_SERVE_HEADS` —
 //!   model shape (default 64 / 2 / 4)
+//! * `PDAC_SERVE_TRACE_OUT` (or `--trace-out <path>`) — write a
+//!   Chrome-trace JSON (load in `chrome://tracing` or Perfetto) and
+//!   validate it through the in-tree parser before exiting
+//! * `PDAC_SERVE_HTTP` (or `--http <addr>`, `http` feature only) —
+//!   serve `/metrics` + `/trace` on the given address while running
 //!
-//! Exits nonzero if no request retires (the CI smoke gate).
+//! After the run it prints a p50/p95/p99 latency table for the SLO
+//! histograms (queue-wait, TTFT, ITL, e2e). Exits nonzero if any
+//! request fails to retire or the trace file fails validation (the CI
+//! smoke gates).
 
 use std::time::Instant;
+
+use pdac_telemetry::HistogramSummary;
 
 use pdac_core::edac::ElectricalDac;
 use pdac_core::pdac::PDac;
@@ -29,6 +39,74 @@ fn env_usize(name: &str, default: usize) -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// `--flag value` from argv, falling back to the environment variable.
+fn arg_or_env(flag: &str, env: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| std::env::var(env).ok())
+}
+
+/// Structural sanity checks on an emitted Chrome-trace document: the
+/// round-trip gate the CI obs smoke relies on. `strict_parents` is off
+/// when the ring dropped events (a parent may then be truncated away).
+fn validate_trace(text: &str, strict_parents: bool) -> Result<usize, String> {
+    let doc = pdac_telemetry::json::parse(text).map_err(|e| format!("parse error: {e:?}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(pdac_telemetry::Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    let mut seen_ids = std::collections::HashSet::new();
+    for (i, e) in events.iter().enumerate() {
+        let id = e
+            .get("args")
+            .and_then(|a| a.get("id"))
+            .and_then(pdac_telemetry::Json::as_u64)
+            .ok_or_else(|| format!("event {i}: missing args.id"))?;
+        let parent = e
+            .get("args")
+            .and_then(|a| a.get("parent"))
+            .and_then(pdac_telemetry::Json::as_u64)
+            .ok_or_else(|| format!("event {i}: missing args.parent"))?;
+        let ts = e
+            .get("ts")
+            .and_then(pdac_telemetry::Json::as_f64)
+            .ok_or_else(|| format!("event {i}: missing ts"))?;
+        let dur = e
+            .get("dur")
+            .and_then(pdac_telemetry::Json::as_f64)
+            .ok_or_else(|| format!("event {i}: missing dur"))?;
+        if ts < 0.0 || dur < 0.0 {
+            return Err(format!("event {i}: negative ts/dur"));
+        }
+        if strict_parents && parent != 0 && !seen_ids.contains(&parent) {
+            return Err(format!("event {i}: parent {parent} after child {id}"));
+        }
+        seen_ids.insert(id);
+    }
+    Ok(events.len())
+}
+
+fn print_slo_table(histograms: &[HistogramSummary]) {
+    println!(
+        "serve: SLO {:<18} {:>7} {:>12} {:>12} {:>12}",
+        "histogram", "count", "p50_ms", "p95_ms", "p99_ms"
+    );
+    for name in ["serve.queue_wait", "serve.ttft", "serve.itl", "serve.e2e"] {
+        if let Some(h) = histograms.iter().find(|h| h.name == name) {
+            println!(
+                "serve: SLO {:<18} {:>7} {:>12.4} {:>12.4} {:>12.4}",
+                h.name,
+                h.count,
+                h.p50 * 1e3,
+                h.p95 * 1e3,
+                h.p99 * 1e3
+            );
+        }
+    }
 }
 
 fn main() {
@@ -68,7 +146,22 @@ fn main() {
         }
     };
 
+    let trace_out = arg_or_env("--trace-out", "PDAC_SERVE_TRACE_OUT");
+    if trace_out.is_some() && std::env::var("PDAC_TRACE_CAPACITY").is_err() {
+        // Size the ring for the whole run before the global collector's
+        // first use, so smoke traces don't wrap.
+        std::env::set_var("PDAC_TRACE_CAPACITY", "262144");
+    }
     pdac_telemetry::enable();
+
+    #[cfg(feature = "http")]
+    let _http = arg_or_env("--http", "PDAC_SERVE_HTTP").map(|addr| {
+        let server = pdac_telemetry::http::serve_metrics(pdac_telemetry::global(), &addr)
+            .expect("bind metrics endpoint");
+        println!("serve: metrics http on {}", server.addr());
+        server
+    });
+
     let mut server = TokenServer::new(&model, batch);
     for id in 0..requests {
         let mut rng = pdac_math::rng::SplitMix64::seed_from_u64(1000 + id as u64);
@@ -117,6 +210,24 @@ fn main() {
         counter("serve.admitted"),
         counter("serve.retired")
     );
+    print_slo_table(&snap.histograms);
+
+    if let Some(path) = trace_out {
+        let events = pdac_telemetry::global().events();
+        let dropped = pdac_telemetry::global().trace_buffer().dropped();
+        if dropped > 0 {
+            eprintln!("serve: WARNING trace truncated, {dropped} events dropped by the ring");
+        }
+        let text = pdac_telemetry::export::chrome_trace_string(&events);
+        std::fs::write(&path, &text).expect("write trace file");
+        match validate_trace(&text, dropped == 0) {
+            Ok(n) => println!("serve: trace OK — {n} events written to {path}"),
+            Err(e) => {
+                eprintln!("serve: FAIL — invalid trace: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     if completions.len() != requests || counter("serve.retired") != requests as u64 {
         eprintln!(

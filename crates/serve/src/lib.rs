@@ -20,8 +20,22 @@
 //! exactly the hidden states it would have produced alone — scheduling
 //! changes throughput, never results.
 //!
-//! Telemetry: `serve.admitted` / `serve.retired` counters and a
-//! `serve.batch_occupancy` gauge (last step's active-batch size).
+//! # Telemetry
+//!
+//! Counters `serve.admitted` / `serve.retired`; the last step's
+//! active-batch size on the `serve.batch_occupancy` gauge **and** the
+//! `serve.occupancy` histogram (so mean/percentile occupancy survives a
+//! run); per-request SLO histograms `serve.queue_wait`, `serve.ttft`
+//! (time to first token), `serve.itl` (inter-token latency) and
+//! `serve.e2e`, all in seconds.
+//!
+//! With tracing enabled, every admitted request also produces one span
+//! tree rooted at `serve.request` (its `arg` is the request id):
+//! `serve.queue_wait` and `serve.request.generate` are recorded under it,
+//! while each scheduler step contributes an independent `serve.step` →
+//! `nn.inference.decode_batch` → `nn.decode.{qkv,attention,ffn}` →
+//! `nn.gemm.*` tree shared by the whole batch. Export either view with
+//! [`pdac_telemetry::export`].
 //!
 //! # Examples
 //!
@@ -89,6 +103,16 @@ pub struct Completion {
     pub finished_step: u64,
 }
 
+/// A request waiting for a batch slot, carrying its open trace root.
+struct Queued {
+    request: Request,
+    /// Global-clock time at admission (0 with telemetry disabled).
+    admitted_ns: u64,
+    /// The request's root span (`serve.request`), open from admission to
+    /// retirement; children attach through its context.
+    span: pdac_telemetry::OwnedSpan<'static>,
+}
+
 struct Active {
     id: u64,
     cache: KvCache,
@@ -96,6 +120,12 @@ struct Active {
     pos: usize,
     generated: Vec<Vec<f64>>,
     max_new_tokens: usize,
+    admitted_ns: u64,
+    /// Time the last generated token was emitted (drives `serve.itl`).
+    last_token_ns: Option<u64>,
+    span: pdac_telemetry::OwnedSpan<'static>,
+    /// Time this request left the queue (starts `serve.request.generate`).
+    entered_ns: u64,
 }
 
 impl Active {
@@ -115,7 +145,7 @@ impl Active {
 pub struct TokenServer<'m> {
     model: &'m TransformerModel,
     max_batch: usize,
-    queue: VecDeque<Request>,
+    queue: VecDeque<Queued>,
     active: Vec<Active>,
     scratch: DecodeScratch,
     out: Mat,
@@ -160,8 +190,18 @@ impl<'m> TokenServer<'m> {
             assert_eq!(tok.len(), hidden, "prompt token {i} hidden dim mismatch");
         }
         pdac_telemetry::counter_add("serve.admitted", 1);
+        // Root first, then the queue-wait start stamp: children recorded
+        // against `admitted_ns` must not start before their parent.
+        let span = pdac_telemetry::open_span(
+            "serve.request",
+            pdac_telemetry::TraceCtx::NONE,
+            Some(request.id),
+        );
+        let admitted_ns = pdac_telemetry::now_ns();
         if request.max_new_tokens == 0 {
             pdac_telemetry::counter_add("serve.retired", 1);
+            pdac_telemetry::observe("serve.e2e", 0.0);
+            span.end();
             self.completions.push(Completion {
                 id: request.id,
                 prompt_tokens: request.prompt.len(),
@@ -170,7 +210,11 @@ impl<'m> TokenServer<'m> {
             });
             return;
         }
-        self.queue.push_back(request);
+        self.queue.push_back(Queued {
+            request,
+            admitted_ns,
+            span,
+        });
     }
 
     /// Requests waiting for a slot.
@@ -225,14 +269,30 @@ impl<'m> TokenServer<'m> {
     pub fn step(&mut self, backend: &dyn GemmBackend) -> Vec<Completion> {
         while self.active.len() < self.max_batch {
             match self.queue.pop_front() {
-                Some(req) => self.active.push(Active {
-                    id: req.id,
-                    cache: self.model.new_cache(),
-                    prompt: req.prompt,
-                    pos: 0,
-                    generated: Vec::new(),
-                    max_new_tokens: req.max_new_tokens,
-                }),
+                Some(q) => {
+                    let entered_ns = pdac_telemetry::now_ns();
+                    // The queue wait becomes a retroactive child span of
+                    // the request (and the `serve.queue_wait` histogram).
+                    pdac_telemetry::record_span(
+                        "serve.queue_wait",
+                        q.admitted_ns,
+                        entered_ns,
+                        q.span.ctx(),
+                        None,
+                    );
+                    self.active.push(Active {
+                        id: q.request.id,
+                        cache: self.model.new_cache(),
+                        prompt: q.request.prompt,
+                        pos: 0,
+                        generated: Vec::new(),
+                        max_new_tokens: q.request.max_new_tokens,
+                        admitted_ns: q.admitted_ns,
+                        last_token_ns: None,
+                        span: q.span,
+                        entered_ns,
+                    });
+                }
                 None => break,
             }
         }
@@ -243,6 +303,7 @@ impl<'m> TokenServer<'m> {
         let s = self.active.len();
         let hidden = self.model.config().hidden;
         pdac_telemetry::gauge_set("serve.batch_occupancy", s as f64);
+        pdac_telemetry::observe("serve.occupancy", s as f64);
         self.occupancy_sum += s as u64;
 
         let mut data = Vec::with_capacity(s * hidden);
@@ -262,6 +323,7 @@ impl<'m> TokenServer<'m> {
             );
         }
         self.fed_tokens += s as u64;
+        let token_ns = pdac_telemetry::now_ns();
         for (i, a) in self.active.iter_mut().enumerate() {
             if a.pos < a.prompt.len() {
                 a.pos += 1;
@@ -269,6 +331,17 @@ impl<'m> TokenServer<'m> {
             if a.pos >= a.prompt.len() {
                 a.generated.push(self.out.row(i));
                 self.generated_tokens += 1;
+                match a.last_token_ns {
+                    None => pdac_telemetry::observe(
+                        "serve.ttft",
+                        token_ns.saturating_sub(a.admitted_ns) as f64 * 1e-9,
+                    ),
+                    Some(prev) => pdac_telemetry::observe(
+                        "serve.itl",
+                        token_ns.saturating_sub(prev) as f64 * 1e-9,
+                    ),
+                }
+                a.last_token_ns = Some(token_ns);
             }
         }
 
@@ -279,6 +352,19 @@ impl<'m> TokenServer<'m> {
             if self.active[i].generated.len() >= self.active[i].max_new_tokens {
                 let a = self.active.remove(i);
                 pdac_telemetry::counter_add("serve.retired", 1);
+                let end_ns = pdac_telemetry::now_ns();
+                pdac_telemetry::record_span(
+                    "serve.request.generate",
+                    a.entered_ns,
+                    end_ns,
+                    a.span.ctx(),
+                    None,
+                );
+                pdac_telemetry::observe(
+                    "serve.e2e",
+                    end_ns.saturating_sub(a.admitted_ns) as f64 * 1e-9,
+                );
+                a.span.end();
                 retired.push(Completion {
                     id: a.id,
                     prompt_tokens: a.prompt.len(),

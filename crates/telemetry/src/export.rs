@@ -1,0 +1,178 @@
+//! Trace and metrics exporters on the in-tree serializers — zero deps.
+//!
+//! * [`chrome_trace`] — Chrome-trace-format JSON (`chrome://tracing`,
+//!   Perfetto's legacy JSON importer) from a slice of [`SpanEvent`]s.
+//! * [`prometheus_text`] — Prometheus text exposition format from a
+//!   metrics [`Snapshot`].
+
+use crate::json::Json;
+use crate::registry::{Snapshot, SpanEvent};
+
+/// Build a Chrome-trace-format document (the `{"traceEvents": [...]}`
+/// object form) from completed span events.
+///
+/// Events are emitted as complete (`"ph": "X"`) slices with microsecond
+/// `ts`/`dur`, sorted so that every parent precedes its children:
+/// ascending start time, then *descending* end time (an enclosing span
+/// starts no later and ends no earlier than anything it contains), then
+/// ascending span id as the tie-break for zero-width spans.
+///
+/// Span identity travels in `args`: `id`, `parent` (0 = root) and the
+/// optional user payload as `arg`, so tooling can rebuild the exact tree
+/// without relying on timestamp nesting.
+pub fn chrome_trace(events: &[SpanEvent]) -> Json {
+    let mut sorted: Vec<&SpanEvent> = events.iter().collect();
+    sorted.sort_by(|a, b| {
+        a.start_ns
+            .cmp(&b.start_ns)
+            .then(b.end_ns.cmp(&a.end_ns))
+            .then(a.id.cmp(&b.id))
+    });
+    let trace_events = sorted
+        .iter()
+        .map(|e| {
+            let mut args = vec![
+                ("id".into(), Json::Int(e.id)),
+                ("parent".into(), Json::Int(e.parent)),
+            ];
+            if let Some(arg) = e.arg {
+                args.push(("arg".into(), Json::Int(arg)));
+            }
+            Json::Obj(vec![
+                ("name".into(), Json::Str(e.name.to_string())),
+                ("cat".into(), Json::Str(category(e.name).to_string())),
+                ("ph".into(), Json::Str("X".to_string())),
+                ("ts".into(), Json::Num(e.start_ns as f64 / 1e3)),
+                ("dur".into(), Json::Num(e.elapsed_ns() as f64 / 1e3)),
+                ("pid".into(), Json::Int(1)),
+                ("tid".into(), Json::Int(e.thread)),
+                ("args".into(), Json::Obj(args)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("traceEvents".into(), Json::Arr(trace_events)),
+        ("displayTimeUnit".into(), Json::Str("ns".to_string())),
+    ])
+}
+
+/// Serialize [`chrome_trace`] output to a JSON string.
+pub fn chrome_trace_string(events: &[SpanEvent]) -> String {
+    chrome_trace(events).render()
+}
+
+/// The trace category for a span name: its first dot-separated segment
+/// (`serve.step` → `serve`), which maps onto the stack's layers
+/// (serve / nn / math / accel).
+fn category(name: &str) -> &str {
+    name.split('.').next().unwrap_or(name)
+}
+
+/// Render a metrics snapshot in the Prometheus text exposition format
+/// (version 0.0.4): counters and gauges as-is, histograms as summaries
+/// with `quantile` labels for p50/p95/p99 plus `_sum`/`_count` series.
+///
+/// Metric names are sanitized to `[a-zA-Z0-9_]` and prefixed `pdac_`
+/// (`serve.ttft` → `pdac_serve_ttft`).
+pub fn prometheus_text(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snapshot.counters {
+        let name = sanitize(name);
+        out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+    }
+    for (name, v) in &snapshot.gauges {
+        let name = sanitize(name);
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+    }
+    for h in &snapshot.histograms {
+        let name = sanitize(&h.name);
+        out.push_str(&format!("# TYPE {name} summary\n"));
+        for (q, v) in [(0.5, h.p50), (0.95, h.p95), (0.99, h.p99)] {
+            out.push_str(&format!("{name}{{quantile=\"{q}\"}} {v}\n"));
+        }
+        out.push_str(&format!("{name}_sum {}\n", h.sum));
+        out.push_str(&format!("{name}_count {}\n", h.count));
+    }
+    out
+}
+
+/// Prometheus-legal metric name: `pdac_` prefix, every run of
+/// non-alphanumeric characters collapsed to `_`.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("pdac_");
+    let mut last_us = false;
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+            last_us = false;
+        } else if !last_us {
+            out.push('_');
+            last_us = true;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::HistogramSummary;
+
+    fn event(id: u64, parent: u64, start: u64, end: u64) -> SpanEvent {
+        SpanEvent {
+            name: "serve.step",
+            id,
+            parent,
+            thread: 1,
+            start_ns: start,
+            end_ns: end,
+            depth: 0,
+            arg: None,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_orders_parents_before_children() {
+        // Child (id 2) dropped before parent (id 1) — ring order is
+        // child-first; the export must invert that.
+        let events = vec![event(2, 1, 500, 900), event(1, 0, 0, 1000)];
+        let doc = chrome_trace(&events);
+        let arr = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let ids: Vec<u64> = arr
+            .iter()
+            .map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("id"))
+                    .and_then(Json::as_u64)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn prometheus_text_sanitizes_and_renders_quantiles() {
+        let snap = Snapshot {
+            counters: vec![("serve.admitted".into(), 7)],
+            gauges: vec![("serve.batch_occupancy".into(), 0.5)],
+            histograms: vec![HistogramSummary {
+                name: "serve.ttft".into(),
+                count: 3,
+                sum: 6.0,
+                min: 1.0,
+                max: 3.0,
+                mean: 2.0,
+                p50: 2.0,
+                p95: 3.0,
+                p99: 3.0,
+            }],
+        };
+        let text = prometheus_text(&snap);
+        assert!(text.contains("# TYPE pdac_serve_admitted counter\npdac_serve_admitted 7\n"));
+        assert!(text.contains("# TYPE pdac_serve_batch_occupancy gauge\n"));
+        assert!(text.contains("pdac_serve_ttft{quantile=\"0.5\"} 2\n"));
+        assert!(text.contains("pdac_serve_ttft_sum 6\n"));
+        assert!(text.contains("pdac_serve_ttft_count 3\n"));
+    }
+}

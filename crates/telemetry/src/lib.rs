@@ -34,6 +34,10 @@
 #[cfg(feature = "enabled")]
 pub mod clock;
 #[cfg(feature = "enabled")]
+pub mod export;
+#[cfg(all(feature = "enabled", feature = "serve-http"))]
+pub mod http;
+#[cfg(feature = "enabled")]
 pub mod json;
 #[cfg(feature = "enabled")]
 pub mod metrics;
@@ -43,9 +47,13 @@ pub mod registry;
 pub mod sink;
 #[cfg(feature = "enabled")]
 pub mod span;
+#[cfg(feature = "enabled")]
+pub mod trace;
 
 #[cfg(feature = "enabled")]
 pub use clock::{Clock, ManualClock, MonotonicClock};
+#[cfg(feature = "enabled")]
+pub use export::{chrome_trace, prometheus_text};
 #[cfg(feature = "enabled")]
 pub use json::Json;
 #[cfg(feature = "enabled")]
@@ -55,22 +63,35 @@ pub use registry::{Collector, HistogramSummary, Snapshot, SpanEvent};
 #[cfg(feature = "enabled")]
 pub use sink::{JsonlSink, MemorySink, Sink, StderrTableSink};
 #[cfg(feature = "enabled")]
-pub use span::Span;
+pub use span::{OwnedSpan, Span, TraceCtx};
+#[cfg(feature = "enabled")]
+pub use trace::TraceBuffer;
 
 #[cfg(feature = "enabled")]
 mod global {
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::OnceLock;
 
-    use crate::registry::{Collector, Snapshot};
-    use crate::span::Span;
+    use crate::registry::{Collector, Snapshot, DEFAULT_EVENT_CAPACITY};
+    use crate::span::{OwnedSpan, Span, TraceCtx};
 
     static GLOBAL: OnceLock<Collector> = OnceLock::new();
     static ACTIVE: AtomicBool = AtomicBool::new(false);
 
     /// The process-wide collector (created on first use, starts disabled).
+    /// The span-event ring capacity honours `PDAC_TRACE_CAPACITY` at first
+    /// use (default [`DEFAULT_EVENT_CAPACITY`]).
     pub fn global() -> &'static Collector {
-        GLOBAL.get_or_init(Collector::new)
+        GLOBAL.get_or_init(|| {
+            let capacity = std::env::var("PDAC_TRACE_CAPACITY")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(DEFAULT_EVENT_CAPACITY);
+            Collector::with_clock_and_capacity(
+                std::sync::Arc::new(crate::clock::MonotonicClock::new()),
+                capacity,
+            )
+        })
     }
 
     /// Turn global collection on.
@@ -102,6 +123,71 @@ mod global {
         } else {
             Span::noop()
         }
+    }
+
+    /// Open a span whose parent is `ctx` instead of the thread's current
+    /// span (inert when disabled).
+    #[inline]
+    pub fn span_under(name: &'static str, ctx: TraceCtx) -> Span<'static> {
+        if is_enabled() {
+            global().span_under(name, ctx)
+        } else {
+            Span::noop()
+        }
+    }
+
+    /// Open a long-lived detached span (see [`OwnedSpan`]); inert when
+    /// disabled.
+    #[inline]
+    pub fn open_span(name: &'static str, parent: TraceCtx, arg: Option<u64>) -> OwnedSpan<'static> {
+        if is_enabled() {
+            global().open_span(name, parent, arg)
+        } else {
+            OwnedSpan::noop()
+        }
+    }
+
+    /// Record a span retroactively with explicit timestamps (no-op when
+    /// disabled).
+    #[inline]
+    pub fn record_span(
+        name: &'static str,
+        start_ns: u64,
+        end_ns: u64,
+        parent: TraceCtx,
+        arg: Option<u64>,
+    ) {
+        if is_enabled() {
+            global().record_span(name, start_ns, end_ns, parent, arg);
+        }
+    }
+
+    /// The global clock's current time, for bracketing retroactive spans
+    /// (0 when disabled so disabled timestamps are harmless).
+    #[inline]
+    pub fn now_ns() -> u64 {
+        if is_enabled() {
+            global().clock().now_ns()
+        } else {
+            0
+        }
+    }
+
+    /// The innermost open scoped span on this thread, as a context.
+    #[inline]
+    pub fn current_ctx() -> TraceCtx {
+        crate::span::current_ctx()
+    }
+
+    /// Toggle span-*event* recording on the global collector: with
+    /// tracing off metrics still record ("metrics-only" level).
+    pub fn set_tracing(on: bool) {
+        global().set_tracing(on);
+    }
+
+    /// Whether the global collector records span events.
+    pub fn is_tracing() -> bool {
+        global().is_tracing()
     }
 
     /// Bump a global counter (no-op when disabled).
@@ -141,7 +227,8 @@ mod global {
 
 #[cfg(feature = "enabled")]
 pub use global::{
-    counter_add, disable, enable, gauge_set, global, is_enabled, observe, reset, snapshot, span,
+    counter_add, current_ctx, disable, enable, gauge_set, global, is_enabled, is_tracing, now_ns,
+    observe, open_span, record_span, reset, set_tracing, snapshot, span, span_under,
 };
 
 // ---------------------------------------------------------------------------
@@ -166,6 +253,55 @@ mod noop {
         pub fn is_recording(&self) -> bool {
             false
         }
+
+        #[inline(always)]
+        pub fn ctx(&self) -> TraceCtx {
+            TraceCtx::NONE
+        }
+    }
+
+    /// Inert span context (compile-time disabled build).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    pub struct TraceCtx;
+
+    impl TraceCtx {
+        pub const NONE: TraceCtx = TraceCtx;
+
+        #[inline(always)]
+        pub fn id(&self) -> u64 {
+            0
+        }
+
+        #[inline(always)]
+        pub fn is_none(&self) -> bool {
+            true
+        }
+    }
+
+    /// Inert long-lived span (compile-time disabled build). Carries a
+    /// phantom lifetime so `OwnedSpan<'static>` struct fields type-check
+    /// identically in both builds.
+    #[must_use]
+    pub struct OwnedSpan<'a>(core::marker::PhantomData<&'a ()>);
+
+    impl OwnedSpan<'_> {
+        #[inline(always)]
+        pub fn noop() -> Self {
+            OwnedSpan(core::marker::PhantomData)
+        }
+
+        #[inline(always)]
+        pub fn is_recording(&self) -> bool {
+            false
+        }
+
+        #[inline(always)]
+        pub fn ctx(&self) -> TraceCtx {
+            TraceCtx::NONE
+        }
+
+        #[inline(always)]
+        pub fn end(self) {}
     }
 
     #[inline(always)]
@@ -185,6 +321,48 @@ mod noop {
     }
 
     #[inline(always)]
+    pub fn span_under(_name: &'static str, _ctx: TraceCtx) -> Span {
+        Span
+    }
+
+    #[inline(always)]
+    pub fn open_span(
+        _name: &'static str,
+        _parent: TraceCtx,
+        _arg: Option<u64>,
+    ) -> OwnedSpan<'static> {
+        OwnedSpan::noop()
+    }
+
+    #[inline(always)]
+    pub fn record_span(
+        _name: &'static str,
+        _start_ns: u64,
+        _end_ns: u64,
+        _parent: TraceCtx,
+        _arg: Option<u64>,
+    ) {
+    }
+
+    #[inline(always)]
+    pub fn now_ns() -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub fn current_ctx() -> TraceCtx {
+        TraceCtx
+    }
+
+    #[inline(always)]
+    pub fn set_tracing(_on: bool) {}
+
+    #[inline(always)]
+    pub fn is_tracing() -> bool {
+        false
+    }
+
+    #[inline(always)]
     pub fn counter_add(_name: &'static str, _delta: u64) {}
 
     #[inline(always)]
@@ -195,4 +373,7 @@ mod noop {
 }
 
 #[cfg(not(feature = "enabled"))]
-pub use noop::{counter_add, disable, enable, gauge_set, is_enabled, observe, span, Span};
+pub use noop::{
+    counter_add, current_ctx, disable, enable, gauge_set, is_enabled, is_tracing, now_ns, observe,
+    open_span, record_span, set_tracing, span, span_under, OwnedSpan, Span, TraceCtx,
+};

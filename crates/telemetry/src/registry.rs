@@ -2,23 +2,31 @@
 //! event ring buffer, all behind one [`Collector`].
 
 use std::collections::BTreeMap;
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::clock::{Clock, MonotonicClock};
 use crate::json::Json;
 use crate::metrics::{Counter, Gauge, Histogram};
-use crate::span::Span;
+use crate::span::{OwnedSpan, Span, TraceCtx};
+use crate::trace::TraceBuffer;
 
 /// One completed span occurrence, stored in the in-memory ring buffer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanEvent {
     pub name: &'static str,
+    /// Unique id within the collector (allocated at open, ≥ 1).
+    pub id: u64,
+    /// Id of the causal parent span (0 = root).
+    pub parent: u64,
+    /// Dense id of the recording thread (see [`crate::span::thread_id`]).
+    pub thread: u64,
     pub start_ns: u64,
     pub end_ns: u64,
     /// Nesting depth at the time the span was opened (0 = root).
     pub depth: u32,
+    /// Optional user payload (e.g. a request id), surfaced in exports.
+    pub arg: Option<u64>,
 }
 
 impl SpanEvent {
@@ -38,11 +46,14 @@ pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
 pub struct Collector {
     clock: Arc<dyn Clock>,
     enabled: AtomicBool,
+    /// Span-event recording (metrics stay on when this is off — the
+    /// "metrics-only" runtime level).
+    tracing: AtomicBool,
+    next_span_id: AtomicU64,
     counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
-    events: Mutex<VecDeque<SpanEvent>>,
-    event_capacity: usize,
+    events: TraceBuffer,
 }
 
 impl std::fmt::Debug for Collector {
@@ -67,14 +78,21 @@ impl Collector {
 
     /// Collector on an injected clock, enabled.
     pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        Self::with_clock_and_capacity(clock, DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// Collector on an injected clock with a custom span-event ring
+    /// capacity, enabled.
+    pub fn with_clock_and_capacity(clock: Arc<dyn Clock>, event_capacity: usize) -> Self {
         Self {
             clock,
             enabled: AtomicBool::new(true),
+            tracing: AtomicBool::new(true),
+            next_span_id: AtomicU64::new(1),
             counters: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
-            events: Mutex::new(VecDeque::new()),
-            event_capacity: DEFAULT_EVENT_CAPACITY,
+            events: TraceBuffer::new(event_capacity),
         }
     }
 
@@ -84,6 +102,23 @@ impl Collector {
 
     pub fn is_enabled(&self) -> bool {
         self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Toggles span-*event* recording ("full tracing" vs "metrics-only"):
+    /// with tracing off, spans still time into their histograms but no
+    /// [`SpanEvent`] is pushed to the ring.
+    pub fn set_tracing(&self, on: bool) {
+        self.tracing.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether span events are being recorded.
+    pub fn is_tracing(&self) -> bool {
+        self.tracing.load(Ordering::Relaxed)
+    }
+
+    /// Allocates a fresh span id (≥ 1, unique within this collector).
+    pub(crate) fn alloc_span_id(&self) -> u64 {
+        self.next_span_id.fetch_add(1, Ordering::Relaxed)
     }
 
     pub fn clock(&self) -> &Arc<dyn Clock> {
@@ -145,22 +180,72 @@ impl Collector {
     }
 
     /// Open an RAII span timer; its wall time lands in the histogram
-    /// named `name` (in seconds) when the guard drops.
+    /// named `name` (in seconds) when the guard drops. The span's parent
+    /// is the thread's innermost open scoped span.
     pub fn span(&self, name: &'static str) -> Span<'_> {
         Span::enter(self, name)
     }
 
-    pub(crate) fn push_event(&self, event: SpanEvent) {
-        let mut events = self.events.lock().unwrap();
-        if events.len() == self.event_capacity {
-            events.pop_front();
+    /// Open an RAII span whose parent is `ctx` instead of the thread's
+    /// current span (it still becomes the current span until dropped).
+    pub fn span_under(&self, name: &'static str, ctx: TraceCtx) -> Span<'_> {
+        Span::enter_under(self, name, ctx)
+    }
+
+    /// Open a long-lived [`OwnedSpan`] detached from the nesting stack;
+    /// `arg` (e.g. a request id) is surfaced in trace exports.
+    pub fn open_span(
+        &self,
+        name: &'static str,
+        parent: TraceCtx,
+        arg: Option<u64>,
+    ) -> OwnedSpan<'_> {
+        OwnedSpan::open(self, name, parent, arg)
+    }
+
+    /// Record a span retroactively with explicit timestamps (for
+    /// intervals only known after the fact, like queue wait). The event
+    /// lands in the ring and the duration in the `name` histogram.
+    pub fn record_span(
+        &self,
+        name: &'static str,
+        start_ns: u64,
+        end_ns: u64,
+        parent: TraceCtx,
+        arg: Option<u64>,
+    ) {
+        if !self.is_enabled() {
+            return;
         }
-        events.push_back(event);
+        let event = SpanEvent {
+            name,
+            id: self.alloc_span_id(),
+            parent: parent.0,
+            thread: crate::span::thread_id(),
+            start_ns,
+            end_ns: end_ns.max(start_ns),
+            depth: u32::from(parent.0 != 0),
+            arg,
+        };
+        self.histogram(name)
+            .record(event.elapsed_ns() as f64 * 1e-9);
+        self.push_event(event);
+    }
+
+    pub(crate) fn push_event(&self, event: SpanEvent) {
+        if self.is_tracing() {
+            self.events.push(event);
+        }
+    }
+
+    /// The span-event ring buffer (for drop accounting).
+    pub fn trace_buffer(&self) -> &TraceBuffer {
+        &self.events
     }
 
     /// Completed span events, oldest first (bounded ring buffer).
     pub fn events(&self) -> Vec<SpanEvent> {
-        self.events.lock().unwrap().iter().cloned().collect()
+        self.events.snapshot()
     }
 
     /// Clear all metrics and events (names are forgotten too).
@@ -168,7 +253,7 @@ impl Collector {
         self.counters.lock().unwrap().clear();
         self.gauges.lock().unwrap().clear();
         self.histograms.lock().unwrap().clear();
-        self.events.lock().unwrap().clear();
+        self.events.clear();
     }
 
     /// Point-in-time copy of every metric.
@@ -200,6 +285,7 @@ impl Collector {
                 max: h.max().unwrap_or(0.0),
                 mean: h.mean(),
                 p50: h.quantile(0.5).unwrap_or(0.0),
+                p95: h.quantile(0.95).unwrap_or(0.0),
                 p99: h.quantile(0.99).unwrap_or(0.0),
             })
             .collect();
@@ -221,6 +307,7 @@ pub struct HistogramSummary {
     pub max: f64,
     pub mean: f64,
     pub p50: f64,
+    pub p95: f64,
     pub p99: f64,
 }
 
@@ -264,6 +351,7 @@ impl Snapshot {
                         ("max".into(), Json::Num(h.max)),
                         ("mean".into(), Json::Num(h.mean)),
                         ("p50".into(), Json::Num(h.p50)),
+                        ("p95".into(), Json::Num(h.p95)),
                         ("p99".into(), Json::Num(h.p99)),
                     ])
                 })
@@ -295,17 +383,17 @@ impl Snapshot {
         }
         if !self.histograms.is_empty() {
             out.push_str(&format!(
-                "\n{:<34} {:>9} {:>12} {:>12} {:>12} {:>12}\n",
-                "histogram", "count", "sum", "mean", "p50", "p99"
+                "\n{:<34} {:>9} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+                "histogram", "count", "sum", "mean", "p50", "p95", "p99"
             ));
             out.push_str(&format!(
-                "{:-<34} {:-<9} {:-<12} {:-<12} {:-<12} {:-<12}\n",
-                "", "", "", "", "", ""
+                "{:-<34} {:-<9} {:-<12} {:-<12} {:-<12} {:-<12} {:-<12}\n",
+                "", "", "", "", "", "", ""
             ));
             for h in &self.histograms {
                 out.push_str(&format!(
-                    "{:<34} {:>9} {:>12.4e} {:>12.4e} {:>12.4e} {:>12.4e}\n",
-                    h.name, h.count, h.sum, h.mean, h.p50, h.p99
+                    "{:<34} {:>9} {:>12.4e} {:>12.4e} {:>12.4e} {:>12.4e} {:>12.4e}\n",
+                    h.name, h.count, h.sum, h.mean, h.p50, h.p95, h.p99
                 ));
             }
         }

@@ -1,17 +1,78 @@
-//! RAII span timers with thread-local nesting.
+//! RAII span timers with ids, causal parents and thread-local nesting.
+//!
+//! Three kinds of span cover the stack's needs:
+//!
+//! * [`Span`] — scoped RAII guard. Its parent is whatever span is
+//!   current on the thread when it opens (spans form a tree for free
+//!   across synchronous call chains), and it becomes the thread's
+//!   current span until it drops. Must drop in LIFO order per thread —
+//!   the natural shape of `let _span = span(..)` guards.
+//! * [`OwnedSpan`] — a span that outlives any single scope (a serving
+//!   request that spans many scheduler steps). It never touches the
+//!   thread-local stack; children attach to it explicitly via its
+//!   [`TraceCtx`].
+//! * retroactive events — [`crate::registry::Collector::record_span`]
+//!   writes a span with explicit timestamps after the fact (e.g. queue
+//!   wait, known only once the request leaves the queue).
 
 use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::registry::{Collector, SpanEvent};
 
 thread_local! {
     static DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// Span id of the innermost open scoped span on this thread (0 = none).
+    static CURRENT: Cell<u64> = const { Cell::new(0) };
+    static THREAD_ID: Cell<u64> = const { Cell::new(0) };
 }
 
-/// An open span. Dropping it records the elapsed wall time (seconds) into
-/// the histogram named after the span and appends a [`SpanEvent`] to the
-/// collector's ring buffer. Spans nest: a span opened while another is
-/// open on the same thread records `depth + 1`.
+/// Process-wide dense thread-id allocator (std's `ThreadId::as_u64` is
+/// unstable; trace viewers want small stable integers anyway).
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Small dense id of the calling thread (assigned on first use, ≥ 1).
+pub fn thread_id() -> u64 {
+    THREAD_ID.with(|t| {
+        if t.get() == 0 {
+            t.set(NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed));
+        }
+        t.get()
+    })
+}
+
+/// A handle to a recorded span's identity, used to attach children to it
+/// from outside its lexical scope (other scheduler steps, retroactive
+/// events). Copyable and inert: holding one keeps nothing alive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceCtx(pub(crate) u64);
+
+impl TraceCtx {
+    /// The empty context: spans opened under it are roots.
+    pub const NONE: TraceCtx = TraceCtx(0);
+
+    /// The span id this context points at (0 for [`TraceCtx::NONE`]).
+    pub fn id(&self) -> u64 {
+        self.0
+    }
+
+    /// True for [`TraceCtx::NONE`].
+    pub fn is_none(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// The span id + parent the current thread would assign to a new scoped
+/// span — i.e. the innermost open [`Span`], as a context.
+pub fn current_ctx() -> TraceCtx {
+    CURRENT.with(|c| TraceCtx(c.get()))
+}
+
+/// An open scoped span. Dropping it records the elapsed wall time
+/// (seconds) into the histogram named after the span and appends a
+/// [`SpanEvent`] to the collector's [`crate::trace::TraceBuffer`]. Spans
+/// nest: a span opened while another is open on the same thread records
+/// that span as its parent and `depth + 1`.
 ///
 /// A span taken from a disabled collector is inert and costs nothing on
 /// drop.
@@ -23,15 +84,39 @@ pub struct Span<'a> {
 struct SpanInner<'a> {
     collector: &'a Collector,
     name: &'static str,
+    id: u64,
+    parent: u64,
+    /// Thread-current span id to restore on drop (≠ `parent` when the
+    /// span was opened under an explicit context).
+    prev_current: u64,
     start_ns: u64,
     depth: u32,
 }
 
 impl<'a> Span<'a> {
     pub(crate) fn enter(collector: &'a Collector, name: &'static str) -> Self {
+        let parent = CURRENT.with(Cell::get);
+        Self::enter_impl(collector, name, parent, parent)
+    }
+
+    /// A scoped span whose parent is `ctx` rather than the thread's
+    /// current span (it still becomes the current span until dropped).
+    pub(crate) fn enter_under(collector: &'a Collector, name: &'static str, ctx: TraceCtx) -> Self {
+        let prev = CURRENT.with(Cell::get);
+        Self::enter_impl(collector, name, ctx.0, prev)
+    }
+
+    fn enter_impl(
+        collector: &'a Collector,
+        name: &'static str,
+        parent: u64,
+        prev_current: u64,
+    ) -> Self {
         if !collector.is_enabled() {
             return Self { inner: None };
         }
+        let id = collector.alloc_span_id();
+        CURRENT.with(|c| c.set(id));
         let depth = DEPTH.with(|d| {
             let depth = d.get();
             d.set(depth + 1);
@@ -41,6 +126,9 @@ impl<'a> Span<'a> {
             inner: Some(SpanInner {
                 collector,
                 name,
+                id,
+                parent,
+                prev_current,
                 start_ns: collector.clock().now_ns(),
                 depth,
             }),
@@ -56,6 +144,12 @@ impl<'a> Span<'a> {
     pub fn is_recording(&self) -> bool {
         self.inner.is_some()
     }
+
+    /// This span's identity, for attaching children from other scopes.
+    /// [`TraceCtx::NONE`] when the span is inert.
+    pub fn ctx(&self) -> TraceCtx {
+        TraceCtx(self.inner.as_ref().map_or(0, |i| i.id))
+    }
 }
 
 impl Drop for Span<'_> {
@@ -64,12 +158,105 @@ impl Drop for Span<'_> {
             return;
         };
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        CURRENT.with(|c| c.set(inner.prev_current));
         let end_ns = inner.collector.clock().now_ns();
         let event = SpanEvent {
             name: inner.name,
+            id: inner.id,
+            parent: inner.parent,
+            thread: thread_id(),
             start_ns: inner.start_ns,
             end_ns,
             depth: inner.depth,
+            arg: None,
+        };
+        inner
+            .collector
+            .histogram(inner.name)
+            .record(event.elapsed_ns() as f64 * 1e-9);
+        inner.collector.push_event(event);
+    }
+}
+
+/// A long-lived span detached from the thread-local nesting stack: it
+/// may be stored, moved across scopes and dropped in any order relative
+/// to other spans. Children attach to it explicitly through
+/// [`OwnedSpan::ctx`]; an optional `arg` (e.g. a request id) rides along
+/// into the trace export.
+///
+/// Dropping records the event exactly like [`Span`].
+#[must_use = "an owned span measures until it is dropped; dropping it immediately records ~0"]
+pub struct OwnedSpan<'a> {
+    inner: Option<OwnedInner<'a>>,
+}
+
+struct OwnedInner<'a> {
+    collector: &'a Collector,
+    name: &'static str,
+    id: u64,
+    parent: u64,
+    thread: u64,
+    start_ns: u64,
+    arg: Option<u64>,
+}
+
+impl<'a> OwnedSpan<'a> {
+    pub(crate) fn open(
+        collector: &'a Collector,
+        name: &'static str,
+        parent: TraceCtx,
+        arg: Option<u64>,
+    ) -> Self {
+        if !collector.is_enabled() {
+            return Self { inner: None };
+        }
+        Self {
+            inner: Some(OwnedInner {
+                collector,
+                name,
+                id: collector.alloc_span_id(),
+                parent: parent.0,
+                thread: thread_id(),
+                start_ns: collector.clock().now_ns(),
+                arg,
+            }),
+        }
+    }
+
+    /// An inert owned span (used by the global entry points when disabled).
+    pub fn noop() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether this span is actually recording.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// This span's identity, for attaching children to it.
+    pub fn ctx(&self) -> TraceCtx {
+        TraceCtx(self.inner.as_ref().map_or(0, |i| i.id))
+    }
+
+    /// Closes the span now (sugar for dropping it).
+    pub fn end(self) {}
+}
+
+impl Drop for OwnedSpan<'_> {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let end_ns = inner.collector.clock().now_ns();
+        let event = SpanEvent {
+            name: inner.name,
+            id: inner.id,
+            parent: inner.parent,
+            thread: inner.thread,
+            start_ns: inner.start_ns,
+            end_ns,
+            depth: u32::from(inner.parent != 0),
+            arg: inner.arg,
         };
         inner
             .collector

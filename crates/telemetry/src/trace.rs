@@ -1,0 +1,159 @@
+//! Bounded, lock-free-ish span-event ring buffer.
+//!
+//! Writers claim a slot with one atomic `fetch_add` and then lock only
+//! that slot's own tiny mutex, so concurrent recorders never contend on
+//! a shared lock (the pre-PR-5 design funneled every span drop through
+//! one `Mutex<VecDeque>`). When the ring wraps, the oldest events are
+//! overwritten; [`TraceBuffer::dropped`] counts how many were lost so
+//! exporters can say "trace truncated" instead of silently lying.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::registry::SpanEvent;
+
+/// A bounded ring of completed [`SpanEvent`]s.
+///
+/// `push` is wait-free except for the per-slot mutex (held only for the
+/// slot write); `snapshot` walks the live window oldest-first. A snapshot
+/// taken while writers are active is a best-effort cut — slots being
+/// overwritten concurrently may surface in either generation — which is
+/// exactly the fidelity a trace viewer needs and no more.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    slots: Box<[Mutex<Option<SpanEvent>>]>,
+    /// Total events ever pushed (monotone; slot index = `head % capacity`).
+    head: AtomicU64,
+}
+
+impl TraceBuffer {
+    /// A ring holding at most `capacity` events (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events pushed over the buffer's lifetime.
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Events lost to ring wrap-around.
+    pub fn dropped(&self) -> u64 {
+        self.pushed().saturating_sub(self.capacity() as u64)
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        (self.pushed() as usize).min(self.capacity())
+    }
+
+    /// True when nothing has been recorded (or everything was cleared).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends an event, overwriting the oldest once full.
+    pub fn push(&self, event: SpanEvent) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = (seq % self.capacity() as u64) as usize;
+        *self.slots[slot].lock().unwrap() = Some(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<SpanEvent> {
+        let head = self.pushed();
+        let cap = self.capacity() as u64;
+        let start = head.saturating_sub(cap);
+        let mut out = Vec::with_capacity((head - start) as usize);
+        for seq in start..head {
+            let slot = (seq % cap) as usize;
+            if let Some(event) = self.slots[slot].lock().unwrap().clone() {
+                out.push(event);
+            }
+        }
+        out
+    }
+
+    /// Empties the ring and resets the push counter.
+    pub fn clear(&self) {
+        for slot in self.slots.iter() {
+            *slot.lock().unwrap() = None;
+        }
+        self.head.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(id: u64) -> SpanEvent {
+        SpanEvent {
+            name: "t",
+            id,
+            parent: 0,
+            thread: 1,
+            start_ns: id,
+            end_ns: id + 1,
+            depth: 0,
+            arg: None,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let ring = TraceBuffer::new(3);
+        assert!(ring.is_empty());
+        for i in 1..=5 {
+            ring.push(event(i));
+        }
+        assert_eq!(ring.capacity(), 3);
+        assert_eq!(ring.pushed(), 5);
+        assert_eq!(ring.dropped(), 2);
+        let ids: Vec<u64> = ring.snapshot().iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![3, 4, 5]);
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.pushed(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let ring = TraceBuffer::new(0);
+        ring.push(event(1));
+        ring.push(event(2));
+        assert_eq!(ring.capacity(), 1);
+        assert_eq!(ring.snapshot().len(), 1);
+        assert_eq!(ring.snapshot()[0].id, 2);
+    }
+
+    #[test]
+    fn concurrent_pushes_never_lose_more_than_wrap() {
+        use std::sync::Arc;
+        let ring = Arc::new(TraceBuffer::new(64));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let r = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        r.push(event(t * 1000 + i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ring.pushed(), 4000);
+        assert_eq!(ring.snapshot().len(), 64);
+    }
+}

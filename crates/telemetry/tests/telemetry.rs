@@ -103,6 +103,70 @@ fn quantiles_track_bucket_midpoints() {
     assert!(Histogram::new().quantile(0.5).is_none());
 }
 
+#[test]
+fn quantile_empty_histogram_is_none() {
+    let h = Histogram::new();
+    assert!(h.quantile(0.0).is_none());
+    assert!(h.quantile(0.5).is_none());
+    assert!(h.quantile(1.0).is_none());
+}
+
+#[test]
+fn quantile_single_sample_reports_its_bucket_at_every_q() {
+    let h = Histogram::new();
+    h.record(3.0); // bucket 65: [2, 4)
+    for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+        let v = h.quantile(q).unwrap();
+        assert!((2.0..4.0).contains(&v), "q={q} gave {v}");
+    }
+}
+
+#[test]
+fn quantile_exact_bucket_boundary_values() {
+    // Samples sitting exactly on inclusive lower bounds of adjacent
+    // buckets: 1.0 opens bucket 64 ([1,2)), 2.0 opens bucket 65 ([2,4)).
+    let h = Histogram::new();
+    for _ in 0..50 {
+        h.record(1.0);
+    }
+    for _ in 0..50 {
+        h.record(2.0);
+    }
+    // Rank 50 of 100 is the last sample of the lower bucket.
+    let p50 = h.quantile(0.5).unwrap();
+    assert!((1.0..2.0).contains(&p50), "p50 {p50}");
+    // Rank 95/99 land in the upper bucket.
+    let p95 = h.quantile(0.95).unwrap();
+    assert!((2.0..4.0).contains(&p95), "p95 {p95}");
+    let p99 = h.quantile(0.99).unwrap();
+    assert!((2.0..4.0).contains(&p99), "p99 {p99}");
+}
+
+#[test]
+fn quantile_underflow_reports_lowest_boundary() {
+    let h = Histogram::new();
+    h.record(0.0);
+    h.record(0.0);
+    assert_eq!(h.quantile(0.5), Some(bucket_bounds(0).0));
+}
+
+#[test]
+fn snapshot_carries_p50_p95_p99() {
+    let collector = Collector::new();
+    for i in 1..=100 {
+        collector.histogram("lat").record(i as f64);
+    }
+    let snap = collector.snapshot();
+    let h = &snap.histograms[0];
+    assert_eq!(h.name, "lat");
+    assert!(h.p50 <= h.p95 && h.p95 <= h.p99, "{h:?}");
+    assert!(h.p50 >= 1.0 && h.p99 <= 128.0, "{h:?}");
+    let doc = json::parse(&snap.to_json()).unwrap();
+    let hist = doc.get("histograms").and_then(Json::as_arr).unwrap();
+    assert!(hist[0].get("p95").and_then(Json::as_f64).is_some());
+    assert!(snap.render_table().contains("p95"));
+}
+
 // ---------------------------------------------------------------------------
 // Spans: nesting order and deterministic timing
 // ---------------------------------------------------------------------------
@@ -291,4 +355,134 @@ fn concurrent_histogram_records_are_lossless() {
     assert_eq!(h.sum(), expected);
     assert_eq!(h.min(), Some(1.0));
     assert_eq!(h.max(), Some(n as f64));
+}
+
+// ---------------------------------------------------------------------------
+// Chrome-trace export round trip
+// ---------------------------------------------------------------------------
+
+/// Builds a collector with a deterministic clock carrying a small span
+/// forest: two request trees plus a retroactive child, dropped out of
+/// birth order so the exporter has to re-sort.
+fn traced_collector() -> Collector {
+    let clock = Arc::new(ManualClock::new());
+    let collector = Collector::with_clock(clock.clone());
+
+    // Request 1: root (OwnedSpan, arg=1) with a nested stack child.
+    let root1 = collector.open_span("serve.request", pdac_telemetry::TraceCtx::NONE, Some(1));
+    clock.advance_ns(1_000);
+    {
+        let step = collector.span_under("serve.step", root1.ctx());
+        clock.advance_ns(2_000);
+        {
+            let _gemm = collector.span("nn.gemm.exact");
+            clock.advance_ns(3_000);
+        }
+        clock.advance_ns(500);
+        drop(step);
+    }
+    // Retroactive child recorded after the fact (queue-wait style).
+    collector.record_span("serve.queue_wait", 200, 900, root1.ctx(), None);
+
+    // Request 2 opens before request 1 closes, closes after it.
+    let root2 = collector.open_span("serve.request", pdac_telemetry::TraceCtx::NONE, Some(2));
+    clock.advance_ns(250);
+    root1.end();
+    clock.advance_ns(250);
+    root2.end();
+    collector
+}
+
+#[test]
+fn chrome_trace_round_trips_through_parser() {
+    let collector = traced_collector();
+    let text = pdac_telemetry::export::chrome_trace_string(&collector.events());
+    let doc = json::parse(&text).expect("exporter emits parseable JSON");
+
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert_eq!(events.len(), 5);
+
+    for (i, ev) in events.iter().enumerate() {
+        // Well-formedness: every event is a complete "X" phase record.
+        assert_eq!(ev.get("ph").and_then(Json::as_str), Some("X"), "event {i}");
+        assert!(ev.get("name").and_then(Json::as_str).is_some(), "event {i}");
+        assert!(ev.get("cat").and_then(Json::as_str).is_some(), "event {i}");
+        let ts = ev.get("ts").and_then(Json::as_f64).expect("ts");
+        let dur = ev.get("dur").and_then(Json::as_f64).expect("dur");
+        assert!(ts >= 0.0 && dur >= 0.0, "event {i}: ts {ts} dur {dur}");
+        let args = ev.get("args").expect("args");
+        assert!(args.get("id").and_then(Json::as_f64).is_some(), "event {i}");
+        assert!(
+            args.get("parent").and_then(Json::as_f64).is_some(),
+            "event {i}"
+        );
+    }
+
+    // Timestamps are monotone non-decreasing in document order.
+    let ts: Vec<f64> = events
+        .iter()
+        .map(|e| e.get("ts").and_then(Json::as_f64).unwrap())
+        .collect();
+    assert!(
+        ts.windows(2).all(|w| w[0] <= w[1]),
+        "ts not monotone: {ts:?}"
+    );
+
+    // Every parent id appears before any of its children.
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(0u64); // TraceCtx::NONE — roots have parent 0
+    for (i, ev) in events.iter().enumerate() {
+        let args = ev.get("args").unwrap();
+        let id = args.get("id").and_then(Json::as_f64).unwrap() as u64;
+        let parent = args.get("parent").and_then(Json::as_f64).unwrap() as u64;
+        assert!(seen.contains(&parent), "event {i}: parent {parent} unseen");
+        seen.insert(id);
+    }
+
+    // The request roots carry their request id as the arg payload.
+    let roots: Vec<u64> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(Json::as_str) == Some("serve.request"))
+        .map(|e| {
+            e.get("args")
+                .unwrap()
+                .get("arg")
+                .and_then(Json::as_f64)
+                .unwrap() as u64
+        })
+        .collect();
+    assert_eq!(roots, vec![1, 2]);
+}
+
+#[test]
+fn chrome_trace_categories_and_durations_are_exact() {
+    let collector = traced_collector();
+    let text = pdac_telemetry::export::chrome_trace_string(&collector.events());
+    let doc = json::parse(&text).unwrap();
+    let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+
+    let find = |name: &str| {
+        events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some(name))
+            .unwrap_or_else(|| panic!("no event named {name}"))
+    };
+    // Category is the first dot segment of the span name.
+    assert_eq!(
+        find("serve.step").get("cat").and_then(Json::as_str),
+        Some("serve")
+    );
+    assert_eq!(
+        find("nn.gemm.exact").get("cat").and_then(Json::as_str),
+        Some("nn")
+    );
+    // ManualClock ticks are nanoseconds; Chrome wants microseconds.
+    let gemm = find("nn.gemm.exact");
+    assert!((gemm.get("dur").and_then(Json::as_f64).unwrap() - 3.0).abs() < 1e-9);
+    let wait = find("serve.queue_wait");
+    assert!((wait.get("ts").and_then(Json::as_f64).unwrap() - 0.2).abs() < 1e-9);
+    assert!((wait.get("dur").and_then(Json::as_f64).unwrap() - 0.7).abs() < 1e-9);
 }

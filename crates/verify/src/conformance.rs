@@ -286,6 +286,57 @@ fn batched_decode_checks(cfg: &ConformanceConfig) -> Vec<CheckResult> {
     checks
 }
 
+/// Observability must never touch results: the same batched-decode
+/// workload run with global telemetry fully enabled (spans + events)
+/// and fully disabled must produce bit-identical hidden states.
+fn tracing_invariance_checks(cfg: &ConformanceConfig) -> Vec<CheckResult> {
+    let model = TransformerModel::random(TransformerConfig::tiny(), 4, cfg.seed);
+    let hidden = model.config().hidden;
+    let s = 3usize;
+    let steps = cfg.decode_steps.clamp(2, 4);
+    let backend = AnalogGemm::new(PDac::with_optimal_approx(8).expect("valid bits"), "pdac8");
+
+    let run = |tracing_on: bool| -> Vec<Mat> {
+        if tracing_on {
+            pdac_telemetry::enable();
+            pdac_telemetry::set_tracing(true);
+        } else {
+            pdac_telemetry::disable();
+        }
+        let mut rng = SplitMix64::seed_from_u64(cfg.seed ^ 0x7AACE);
+        let mut batch = BatchedKvCache::new(&model, s);
+        (0..steps)
+            .map(|_| {
+                let tokens = random_mat(s, hidden, &mut rng);
+                model.decode_batch(&tokens, &mut batch, &backend)
+            })
+            .collect()
+    };
+
+    let was_enabled = pdac_telemetry::is_enabled();
+    let was_tracing = pdac_telemetry::is_tracing();
+    let with_tracing = run(true);
+    let without = run(false);
+    // Restore whatever observability level the harness was running at.
+    if was_enabled {
+        pdac_telemetry::enable();
+    } else {
+        pdac_telemetry::disable();
+    }
+    pdac_telemetry::set_tracing(was_tracing);
+
+    let diffs: usize = with_tracing
+        .iter()
+        .zip(&without)
+        .map(|(a, b)| differing_bits(a, b))
+        .sum();
+    vec![bit_identity_check(
+        "decode.tracing.on_off_bit_identity",
+        diffs,
+        format!("{steps} steps x batch {s}: full tracing vs telemetry disabled"),
+    )]
+}
+
 /// [`ConverterLut`] vs the scalar drive path for both converters at every
 /// representable (and saturating out-of-range) code — bit identity.
 fn lut_checks(cfg: &ConformanceConfig) -> Vec<CheckResult> {
@@ -700,6 +751,7 @@ pub fn run_conformance(cfg: &ConformanceConfig) -> ConformanceReport {
     report.extend(end_to_end_budget_checks(cfg));
     report.extend(decode_workload_checks(cfg));
     report.extend(batched_decode_checks(cfg));
+    report.extend(tracing_invariance_checks(cfg));
     report
 }
 

@@ -47,6 +47,26 @@ PDAC_SERVE_REQUESTS=6 PDAC_SERVE_PROMPT=3 PDAC_SERVE_MAX_NEW=4 PDAC_SERVE_BATCH=
     PDAC_SERVE_HIDDEN=32 PDAC_SERVE_LAYERS=2 PDAC_SERVE_HEADS=4 \
     cargo run --release -q -p pdac-serve --bin serve
 
+echo "==> observability smoke (serve with tracing; bin validates the trace itself)"
+PDAC_SERVE_REQUESTS=6 PDAC_SERVE_PROMPT=3 PDAC_SERVE_MAX_NEW=4 PDAC_SERVE_BATCH=4 \
+    PDAC_SERVE_HIDDEN=32 PDAC_SERVE_LAYERS=2 PDAC_SERVE_HEADS=4 \
+    PDAC_SERVE_TRACE_OUT="$(pwd)/target/trace.smoke.json" \
+    cargo run --release -q -p pdac-serve --bin serve
+if command -v python3 >/dev/null 2>&1; then
+    python3 -c "
+import json
+doc = json.load(open('target/trace.smoke.json'))
+assert doc['traceEvents'], 'empty trace'
+"
+fi
+
+echo "==> telemetry-off feature check (serve/nn compile with the no-op mirror)"
+cargo check --release -q -p pdac-serve -p pdac-nn --no-default-features
+
+echo "==> serve http feature check (/metrics + /trace endpoint compiles and tests)"
+cargo test -q -p pdac-telemetry --features serve-http --lib
+cargo check --release -q -p pdac-serve --features http
+
 echo "==> decode_engine microbench smoke"
 PDAC_BENCH_DECODE_HIDDEN=64 PDAC_BENCH_DECODE_LAYERS=2 PDAC_BENCH_DECODE_HEADS=4 \
     PDAC_BENCH_DECODE_PROMPT=2 PDAC_BENCH_DECODE_TOKENS=3 PDAC_BENCH_DECODE_BATCHES=1,4 \
@@ -57,5 +77,16 @@ if command -v python3 >/dev/null 2>&1; then
 else
     echo "note: python3 unavailable, skipping JSON parse check"
 fi
+
+echo "==> bench regression gate (fresh runs vs checked-in baselines)"
+PDAC_BENCH_DECODE_HIDDEN=128 PDAC_BENCH_DECODE_LAYERS=2 PDAC_BENCH_DECODE_HEADS=4 \
+    PDAC_BENCH_DECODE_PROMPT=4 PDAC_BENCH_DECODE_TOKENS=8 PDAC_BENCH_DECODE_BATCHES=8 \
+    PDAC_BENCH_OUT="$(pwd)/target/BENCH_decode.fresh.json" \
+    cargo bench --features microbench -p pdac-bench --bench decode_engine
+PDAC_BENCH_OUT="$(pwd)/target/BENCH_trace.fresh.json" \
+    cargo bench --features microbench -p pdac-bench --bench trace_overhead
+cargo run --release -q -p pdac-bench --bin bench_gate -- \
+    crates/bench/baselines/BENCH_decode.gate.json target/BENCH_decode.fresh.json \
+    crates/bench/baselines/BENCH_trace.gate.json target/BENCH_trace.fresh.json
 
 echo "CI OK"
