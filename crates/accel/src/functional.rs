@@ -210,6 +210,16 @@ impl FunctionalGemm {
 
         let stats = RunStats::from_plan(&plan, mem.counters());
         stats.record_telemetry();
+        // Feed the live energy ledger: a standalone functional GEMM has
+        // no transformer phase, so it lands on the generic class. Both
+        // operands stream through the converters here (no weight cache),
+        // so all three operand surfaces count as movement.
+        pdac_power::meter::record(
+            pdac_power::OpClass::Other,
+            stats.macs,
+            (shape.k * shape.n + shape.m * shape.k + shape.m * shape.n) as u64,
+            0,
+        );
         Ok(GemmRun { output: out, stats })
     }
 

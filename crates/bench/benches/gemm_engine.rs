@@ -113,7 +113,7 @@ fn main() {
         ] {
             records.push(record(size, r));
         }
-        speedups.push(Json::Obj(vec![
+        let speedup = Json::Obj(vec![
             ("size".into(), Json::Int(size as u64)),
             ("exact_fast_over_naive".into(), Json::Num(fast_over_naive)),
             (
@@ -124,7 +124,13 @@ fn main() {
                 "analog_lut_over_seed".into(),
                 Json::Num(analog_seed.mean_ns / analog_lut.mean_ns.max(1.0)),
             ),
-        ]));
+        ]);
+        // Also into `results`, where the bench-gate step looks for the
+        // machine-relative `_over_` ratios (the raw timing records carry
+        // run-varying identity fields like `iters`, so only these
+        // per-size ratio records are cross-run comparable).
+        records.push(speedup.clone());
+        speedups.push(speedup);
     }
 
     let doc = Json::Obj(vec![

@@ -74,13 +74,18 @@ fn main() {
                  scoped/pooled {ratio:.2}x",
                 pooled.mean_ns, scoped.mean_ns
             );
-            comparisons.push(Json::Obj(vec![
+            let comparison = Json::Obj(vec![
                 ("shape".into(), Json::Str(format!("{m}x{k}x{n}"))),
                 ("threads".into(), Json::Int(threads as u64)),
                 ("pooled_ns".into(), Json::Num(pooled.mean_ns)),
                 ("scoped_ns".into(), Json::Num(scoped.mean_ns)),
                 ("scoped_over_pooled".into(), Json::Num(ratio)),
-            ]));
+            ]);
+            // Also into `results` for the bench-gate step: the raw
+            // timing records carry run-varying identity fields (iters),
+            // so only these per-shape ratio records gate cross-run.
+            records.push(comparison.clone());
+            comparisons.push(comparison);
             records.push(record(&pooled, m * k * n));
             records.push(record(&scoped, m * k * n));
         }

@@ -27,6 +27,7 @@ use crate::gemm::GemmBackend;
 use crate::inference::{KvCache, TransformerModel};
 use crate::ops::{gelu_mat_inplace, layer_norm_rows_inplace, residual_into, softmax_rows_inplace};
 use pdac_math::Mat;
+use pdac_power::OpClass;
 
 /// Reusable per-step buffers for the decode hot path.
 ///
@@ -204,6 +205,54 @@ pub(crate) fn decode_rows(
 
     out.resize(s, d);
     out.as_mut_slice().copy_from_slice(scratch.x.as_slice());
+
+    record_step_energy(model, caches, s, d, ff);
+}
+
+/// Reports the step's executed activity to the live energy meter
+/// ([`pdac_power::meter`]), attributed to the decode phases: the
+/// `nn.decode.qkv` + `nn.decode.attention` GEMMs land on
+/// [`OpClass::Attention`], `nn.decode.ffn` on [`OpClass::Ffn`], and the
+/// row-local element-wise work (softmax/LN/GELU/residual) on
+/// [`OpClass::Other`] — the same convention as
+/// [`crate::workload::op_trace`]. One call per decode step: three
+/// atomic records, nothing on the per-head hot path.
+///
+/// Movement counts only per-step *streamed* bytes (activations in/out of
+/// each GEMM, KV gathers, scores): weight operands are backend-resident
+/// (converted once into the weight cache), so their one-time streaming
+/// is model-load cost, not serving cost. See DESIGN.md §13.
+fn record_step_energy(
+    model: &TransformerModel,
+    caches: &[&mut KvCache],
+    s: usize,
+    d: usize,
+    ff: usize,
+) {
+    if !pdac_power::meter::is_active() || model.layers.is_empty() {
+        return;
+    }
+    let config = model.config();
+    let layers = model.layers.len() as u64;
+    let (s, d, ff, h) = (s as u64, d as u64, ff as u64, config.heads as u64);
+    // Per-sequence context length for this step (caches were pushed
+    // above; identical across layers).
+    let sum_l: u64 = caches.iter().map(|c| c.len() as u64).sum();
+    // QKV + output projections (4·s·d²) plus per-head score/context
+    // matmuls (2·d·l per sequence).
+    let attn_macs = layers * (4 * s * d * d + 2 * d * sum_l);
+    // Streamed bytes at 8-bit: GEMM activations in/out for the four
+    // projections (8·s·d), per-head q/context rows (2·d per seq), score
+    // rows in+out (2·h·l), and the K/V cache gathers (2·d·l).
+    let attn_bytes = layers * (8 * s * d + 2 * d * s + 2 * h * sum_l + 2 * d * sum_l);
+    let ffn_macs = layers * 2 * s * d * ff;
+    let ffn_bytes = layers * (2 * s * d + 2 * s * ff);
+    // Softmax (h·l per seq), two layer-norms + two residuals (4·s·d),
+    // GELU (s·ff).
+    let elementwise = layers * (h * sum_l + 4 * s * d + s * ff);
+    pdac_power::meter::record(OpClass::Attention, attn_macs, attn_bytes, 0);
+    pdac_power::meter::record(OpClass::Ffn, ffn_macs, ffn_bytes, 0);
+    pdac_power::meter::record(OpClass::Other, 0, 0, elementwise);
 }
 
 /// Per-sequence KV caches plus the shared scratch for a fixed-capacity

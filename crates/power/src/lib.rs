@@ -15,6 +15,9 @@
 //!   breakdowns for either MZM drive path;
 //! * [`energy`] — workload energy: compute (power × GEMM time), data
 //!   movement (per-class pJ/byte), and non-GEMM element-wise operations;
+//! * [`meter`] — a live [`EnergyMeter`]: the decode/serve path reports
+//!   the activity it executes and the meter converts it to joules (and
+//!   a power-budget signal) through the same [`energy`] machinery;
 //! * [`presets`] — the calibrated technology parameters. The paper does
 //!   not publish its raw component table, so the constants were solved
 //!   from its reported percentages; DESIGN.md §5 documents the closure.
@@ -37,6 +40,7 @@
 pub mod arch;
 pub mod components;
 pub mod energy;
+pub mod meter;
 pub mod model;
 pub mod presets;
 pub mod report;
@@ -44,5 +48,6 @@ pub mod report;
 pub use arch::ArchConfig;
 pub use components::Component;
 pub use energy::{EnergyBreakdown, EnergyModel, OpClass, OpTrace, TraceEntry};
+pub use meter::{EnergyMeter, EnergySnapshot};
 pub use model::{DriverKind, PowerBreakdown, PowerModel};
 pub use presets::TechParams;

@@ -1,0 +1,136 @@
+//! Aggregation properties of the offline energy model that the live
+//! meter (and every report built on it) relies on: per-class additivity,
+//! zero-activity neutrality, and the class ordering of P-DAC savings.
+
+use pdac_math::rng::SplitMix64;
+use pdac_power::model::{DriverKind, PowerModel};
+use pdac_power::{ArchConfig, EnergyModel, OpClass, OpTrace, TechParams, TraceEntry};
+
+fn model(driver: DriverKind) -> EnergyModel {
+    EnergyModel::new(PowerModel::new(
+        ArchConfig::lt_b(),
+        TechParams::calibrated(),
+        driver,
+    ))
+}
+
+fn entry(class: OpClass, macs: u64, bytes: u64, ew: u64) -> TraceEntry {
+    TraceEntry {
+        class,
+        macs,
+        bytes_at_8bit: bytes,
+        elementwise_ops: ew,
+    }
+}
+
+fn trace(entries: Vec<TraceEntry>) -> OpTrace {
+    OpTrace {
+        name: "prop".into(),
+        entries,
+    }
+}
+
+const CLASSES: [OpClass; 3] = [OpClass::Attention, OpClass::Ffn, OpClass::Other];
+
+/// Deterministic random sweep: the energy of a multi-class trace is the
+/// sum of the energies of its single-entry traces, class by class and
+/// in total — the property that lets the live meter bill increments
+/// independently and still agree with an offline replay.
+#[test]
+fn class_energies_sum_to_workload_total() {
+    let mut rng = SplitMix64::seed_from_u64(0x9E37);
+    for driver in [
+        DriverKind::ElectricalDac,
+        DriverKind::PhotonicDac,
+        DriverKind::Hybrid,
+    ] {
+        let m = model(driver);
+        for bits in [4u8, 8, 12] {
+            for _ in 0..25 {
+                let entries: Vec<TraceEntry> = CLASSES
+                    .iter()
+                    .map(|&c| {
+                        entry(
+                            c,
+                            rng.gen_range_f64(0.0, 1e9) as u64,
+                            rng.gen_range_f64(0.0, 1e8) as u64,
+                            rng.gen_range_f64(0.0, 1e7) as u64,
+                        )
+                    })
+                    .collect();
+                let whole = m.energy(&trace(entries.clone()), bits);
+                let mut split_total = 0.0;
+                for e in &entries {
+                    let alone = m.energy(&trace(vec![*e]), bits);
+                    let class_total = whole.class(e.class).unwrap().total_j();
+                    let alone_total = alone.class(e.class).unwrap().total_j();
+                    assert!(
+                        (class_total - alone_total).abs() <= 1e-12 * alone_total.max(1.0),
+                        "{driver:?}/{bits}b {:?}: {class_total} != {alone_total}",
+                        e.class
+                    );
+                    split_total += alone.total_j();
+                }
+                assert!(
+                    (whole.total_j() - split_total).abs() <= 1e-12 * split_total.max(1.0),
+                    "{driver:?}/{bits}b: classes do not sum to the workload total"
+                );
+            }
+        }
+    }
+}
+
+/// Entries with no activity contribute exactly nothing: appending them
+/// never changes any total, and their own energy is exactly zero (the
+/// live meter's stable three-class trace shape depends on this).
+#[test]
+fn zero_activity_entries_are_no_ops() {
+    let m = model(DriverKind::PhotonicDac);
+    let busy = trace(vec![entry(OpClass::Ffn, 1_000_000, 50_000, 300)]);
+    let base = m.energy(&busy, 8);
+    let mut padded_entries = busy.entries.clone();
+    for &c in &CLASSES {
+        padded_entries.push(entry(c, 0, 0, 0));
+    }
+    let padded = m.energy(&trace(padded_entries), 8);
+    assert_eq!(base.total_j(), padded.total_j());
+    for &c in &CLASSES {
+        assert_eq!(
+            base.class(c).map(|e| e.total_j()).unwrap_or(0.0),
+            padded.class(c).map(|e| e.total_j()).unwrap_or(0.0),
+        );
+        let alone = m.energy(&trace(vec![entry(c, 0, 0, 0)]), 8);
+        assert_eq!(alone.total_j(), 0.0);
+    }
+}
+
+/// The P-DAC only touches the compute term, and the architecture moves
+/// FFN bytes at a higher per-byte cost than attention bytes — so on
+/// identical per-class activity, attention keeps a larger relative
+/// P-DAC saving than the FFN (its compute fraction is bigger).
+#[test]
+fn attention_savings_exceed_ffn_savings_on_equal_activity() {
+    let edac = model(DriverKind::ElectricalDac);
+    let pdac = model(DriverKind::PhotonicDac);
+    let mut rng = SplitMix64::seed_from_u64(0x51D);
+    for _ in 0..25 {
+        let macs = rng.gen_range_f64(1e6, 1e10) as u64;
+        let bytes = rng.gen_range_f64(1e5, 1e9) as u64;
+        let t = trace(vec![
+            entry(OpClass::Attention, macs, bytes, 0),
+            entry(OpClass::Ffn, macs, bytes, 0),
+        ]);
+        let (b, p) = (edac.energy(&t, 8), pdac.energy(&t, 8));
+        let saving = |class: OpClass| {
+            let (b, p) = (b.class(class).unwrap(), p.class(class).unwrap());
+            1.0 - p.total_j() / b.total_j()
+        };
+        let (attn, ffn) = (saving(OpClass::Attention), saving(OpClass::Ffn));
+        assert!(attn > 0.0 && ffn > 0.0, "P-DAC must save on both classes");
+        assert!(
+            attn > ffn,
+            "attention saving {attn:.4} must exceed FFN saving {ffn:.4} \
+             (macs {macs}, bytes {bytes})"
+        );
+    }
+}

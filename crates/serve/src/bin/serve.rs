@@ -11,9 +11,18 @@
 //! * `PDAC_SERVE_PROMPT` — prompt length per request (default 4)
 //! * `PDAC_SERVE_MAX_NEW` — tokens generated per request (default 8)
 //! * `PDAC_SERVE_BATCH` — batch capacity (default 4)
-//! * `PDAC_SERVE_BACKEND` — `exact` | `pdac` | `edac` (default `pdac`)
+//! * `PDAC_SERVE_BACKEND` — `exact` | `pdac` | `edac` | `hybrid`
+//!   (default `pdac`; `hybrid` runs activations on the P-DAC and
+//!   weights on the e-DAC path)
 //! * `PDAC_SERVE_HIDDEN` / `PDAC_SERVE_LAYERS` / `PDAC_SERVE_HEADS` —
 //!   model shape (default 64 / 2 / 4)
+//! * `PDAC_SERVE_METER` — `auto` | `pdac` | `edac` | `hybrid` | `off`:
+//!   the [`pdac_power::meter`] driver pricing the live energy ledger
+//!   (default `auto`: matched to the backend, P-DAC for `exact`)
+//! * `PDAC_POWER_BUDGET_W` — arms the meter's modeled power budget;
+//!   over-budget steps shed admissions (`serve.load_shed`)
+//! * `PDAC_SERVE_METRICS_OUT` (or `--metrics-out <path>`) — write the
+//!   Prometheus exposition (the same text `/metrics` serves) to a file
 //! * `PDAC_SERVE_TRACE_OUT` (or `--trace-out <path>`) — write a
 //!   Chrome-trace JSON (load in `chrome://tracing` or Perfetto) and
 //!   validate it through the in-tree parser before exiting
@@ -21,9 +30,11 @@
 //!   serve `/metrics` + `/trace` on the given address while running
 //!
 //! After the run it prints a p50/p95/p99 latency table for the SLO
-//! histograms (queue-wait, TTFT, ITL, e2e). Exits nonzero if any
-//! request fails to retire or the trace file fails validation (the CI
-//! smoke gates).
+//! histograms (queue-wait, TTFT, ITL, e2e) and — when a meter is
+//! installed — a per-class energy table with joules/token and
+//! tokens/joule. Exits nonzero if any request fails to retire, the
+//! trace file fails validation, or the meter ran but the `power.*`
+//! gauges are missing from telemetry (the CI smoke gates).
 
 use std::time::Instant;
 
@@ -31,7 +42,12 @@ use pdac_telemetry::HistogramSummary;
 
 use pdac_core::edac::ElectricalDac;
 use pdac_core::pdac::PDac;
-use pdac_nn::{AnalogGemm, ExactGemm, GemmBackend, TransformerConfig, TransformerModel};
+use pdac_nn::{
+    AnalogGemm, AsymmetricGemm, ExactGemm, GemmBackend, TransformerConfig, TransformerModel,
+};
+use pdac_power::meter::EnergyMeter;
+use pdac_power::model::{DriverKind, PowerModel};
+use pdac_power::{ArchConfig, EnergyModel, OpClass, TechParams};
 use pdac_serve::{Request, TokenServer};
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -109,6 +125,54 @@ fn print_slo_table(histograms: &[HistogramSummary]) {
     }
 }
 
+fn print_energy_table(
+    meter: &EnergyMeter,
+    esnap: &pdac_power::meter::EnergySnapshot,
+    server: &TokenServer,
+    generated: u64,
+) {
+    println!(
+        "serve: energy driver={} bits={} budget_w={}",
+        meter.model().power_model().driver(),
+        meter.bits(),
+        meter
+            .budget_w()
+            .map_or("none".to_string(), |w| format!("{w}")),
+    );
+    println!(
+        "serve: energy {:<10} {:>12} {:>12} {:>14} {:>12}",
+        "class", "compute_uj", "movement_uj", "elementwise_uj", "total_uj"
+    );
+    for class in [OpClass::Attention, OpClass::Ffn, OpClass::Other] {
+        if let Some(c) = esnap.breakdown.class(class) {
+            println!(
+                "serve: energy {:<10} {:>12.3} {:>12.3} {:>14.3} {:>12.3}",
+                class.to_string(),
+                c.compute_j * 1e6,
+                c.movement_j * 1e6,
+                c.elementwise_j * 1e6,
+                c.total_j() * 1e6,
+            );
+        }
+    }
+    let attributed = server.total_energy_j();
+    let jpt = server.joules_per_token();
+    let tokens_per_j = if attributed > 0.0 {
+        generated as f64 / attributed
+    } else {
+        0.0
+    };
+    println!(
+        "serve: energy total_j={:.6e} attributed_j={:.6e} joules_per_token={:.6e} \
+         tokens_per_joule={:.1} shed_steps={}",
+        esnap.total_j(),
+        attributed,
+        jpt,
+        tokens_per_j,
+        server.shed_steps(),
+    );
+}
+
 fn main() {
     let requests = env_usize("PDAC_SERVE_REQUESTS", 8);
     let prompt_len = env_usize("PDAC_SERVE_PROMPT", 4);
@@ -140,11 +204,41 @@ fn main() {
             PDac::with_optimal_approx(8).expect("8-bit pdac"),
             "pdac-8b",
         )),
+        "hybrid" => Box::new(AsymmetricGemm::new(
+            PDac::with_optimal_approx(8).expect("8-bit pdac"),
+            ElectricalDac::new(8).expect("8-bit edac"),
+            "hybrid-8b",
+        )),
         other => {
-            eprintln!("unknown PDAC_SERVE_BACKEND {other:?} (use exact|pdac|edac)");
+            eprintln!("unknown PDAC_SERVE_BACKEND {other:?} (use exact|pdac|edac|hybrid)");
             std::process::exit(2);
         }
     };
+
+    // The live energy ledger: price executed activity under the driver
+    // matching the serving backend (overridable to compare drive paths
+    // on identical activity).
+    let meter_name = std::env::var("PDAC_SERVE_METER").unwrap_or_else(|_| "auto".to_string());
+    let meter_driver = match meter_name.as_str() {
+        "off" => None,
+        "pdac" => Some(DriverKind::PhotonicDac),
+        "edac" => Some(DriverKind::ElectricalDac),
+        "hybrid" => Some(DriverKind::Hybrid),
+        "auto" => Some(match backend_name.as_str() {
+            "edac" => DriverKind::ElectricalDac,
+            "hybrid" => DriverKind::Hybrid,
+            // `pdac`, and `exact` standing in for the modeled target.
+            _ => DriverKind::PhotonicDac,
+        }),
+        other => {
+            eprintln!("unknown PDAC_SERVE_METER {other:?} (use auto|pdac|edac|hybrid|off)");
+            std::process::exit(2);
+        }
+    };
+    let meter = meter_driver.map(|driver| {
+        let pm = PowerModel::new(ArchConfig::lt_b(), TechParams::calibrated(), driver);
+        pdac_power::meter::install(EnergyMeter::new(EnergyModel::new(pm), 8).with_budget_env())
+    });
 
     let trace_out = arg_or_env("--trace-out", "PDAC_SERVE_TRACE_OUT");
     if trace_out.is_some() && std::env::var("PDAC_TRACE_CAPACITY").is_err() {
@@ -198,6 +292,10 @@ fn main() {
         server.mean_occupancy()
     );
 
+    // Final flush so the `power.*` gauges reflect the whole run before
+    // the snapshot is taken (and exported below).
+    let energy = meter.as_ref().map(|m| m.flush());
+
     let snap = pdac_telemetry::snapshot();
     let counter = |name: &str| {
         snap.counters
@@ -211,6 +309,24 @@ fn main() {
         counter("serve.retired")
     );
     print_slo_table(&snap.histograms);
+
+    if let (Some(meter), Some(esnap)) = (&meter, &energy) {
+        print_energy_table(meter, esnap, &server, generated);
+        // The observability smoke: a run with the meter on must leave
+        // the energy gauges in telemetry (and thus in every exporter).
+        for gauge in ["power.energy.total_j", "power.compute_w"] {
+            if !snap.gauges.iter().any(|(n, _)| n == gauge) {
+                eprintln!("serve: FAIL — meter active but gauge {gauge} missing");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(path) = arg_or_env("--metrics-out", "PDAC_SERVE_METRICS_OUT") {
+        let text = pdac_telemetry::export::prometheus_text(&snap);
+        std::fs::write(&path, &text).expect("write metrics file");
+        println!("serve: metrics written to {path}");
+    }
 
     if let Some(path) = trace_out {
         let events = pdac_telemetry::global().events();

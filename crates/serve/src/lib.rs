@@ -37,6 +37,20 @@
 //! `nn.gemm.*` tree shared by the whole batch. Export either view with
 //! [`pdac_telemetry::export`].
 //!
+//! # Energy ledger
+//!
+//! With a live energy meter installed ([`pdac_power::meter`]), every
+//! step's metered energy delta is split across the active batch in
+//! proportion to per-sequence modeled MACs and accumulated per request:
+//! histograms `serve.request.energy_j` and `serve.energy_per_token_j`
+//! at retirement, plus a `serve.request.energy` child span on the
+//! request's tree whose `arg` is the attributed nanojoules. The meter is
+//! flushed once per step, keeping the `power.*` gauges live; when its
+//! power budget latches over budget, the scheduler defers new
+//! admissions until the in-flight batch drains (counter
+//! `serve.load_shed`). Server-wide totals are available as
+//! [`TokenServer::total_energy_j`] and [`TokenServer::joules_per_token`].
+//!
 //! # Examples
 //!
 //! ```
@@ -101,6 +115,11 @@ pub struct Completion {
     /// Server step index (0-based) at which the request retired, or the
     /// admission step for zero-budget requests.
     pub finished_step: u64,
+    /// Modeled joules attributed to this request by the live energy
+    /// meter ([`pdac_power::meter`]): each step's metered energy delta is
+    /// split across the active batch in proportion to per-sequence
+    /// modeled MACs. `0.0` when no meter is installed.
+    pub energy_j: f64,
 }
 
 /// A request waiting for a batch slot, carrying its open trace root.
@@ -126,6 +145,8 @@ struct Active {
     span: pdac_telemetry::OwnedSpan<'static>,
     /// Time this request left the queue (starts `serve.request.generate`).
     entered_ns: u64,
+    /// Modeled joules attributed so far (see [`Completion::energy_j`]).
+    energy_j: f64,
 }
 
 impl Active {
@@ -154,6 +175,8 @@ pub struct TokenServer<'m> {
     fed_tokens: u64,
     generated_tokens: u64,
     occupancy_sum: u64,
+    energy_j: f64,
+    shed_steps: u64,
 }
 
 impl<'m> TokenServer<'m> {
@@ -176,6 +199,8 @@ impl<'m> TokenServer<'m> {
             fed_tokens: 0,
             generated_tokens: 0,
             occupancy_sum: 0,
+            energy_j: 0.0,
+            shed_steps: 0,
         }
     }
 
@@ -207,6 +232,7 @@ impl<'m> TokenServer<'m> {
                 prompt_tokens: request.prompt.len(),
                 hidden: Vec::new(),
                 finished_step: self.steps,
+                energy_j: 0.0,
             });
             return;
         }
@@ -247,6 +273,28 @@ impl<'m> TokenServer<'m> {
         self.generated_tokens
     }
 
+    /// Modeled joules attributed across all served steps by the live
+    /// energy meter (`0.0` when none is installed).
+    pub fn total_energy_j(&self) -> f64 {
+        self.energy_j
+    }
+
+    /// Modeled joules per generated token so far (`0.0` before the first
+    /// token or without a meter).
+    pub fn joules_per_token(&self) -> f64 {
+        if self.generated_tokens == 0 {
+            0.0
+        } else {
+            self.energy_j / self.generated_tokens as f64
+        }
+    }
+
+    /// Steps that deferred admissions because the power budget was
+    /// latched over budget (the `serve.load_shed` counter).
+    pub fn shed_steps(&self) -> u64 {
+        self.shed_steps
+    }
+
     /// Mean active-batch size over all executed steps.
     pub fn mean_occupancy(&self) -> f64 {
         if self.steps == 0 {
@@ -267,7 +315,17 @@ impl<'m> TokenServer<'m> {
     ///
     /// A no-op (returns empty) when the server is idle.
     pub fn step(&mut self, backend: &dyn GemmBackend) -> Vec<Completion> {
-        while self.active.len() < self.max_batch {
+        // Load-shed hook: while the energy meter's power budget is
+        // latched over budget, defer new admissions and let the
+        // in-flight batch drain. Only sheds with work in flight — an
+        // idle server must keep admitting, or no step would ever run to
+        // re-evaluate the budget and clear the latch.
+        let shed = !self.active.is_empty() && pdac_power::meter::over_budget();
+        if shed && !self.queue.is_empty() {
+            self.shed_steps += 1;
+            pdac_telemetry::counter_add("serve.load_shed", 1);
+        }
+        while !shed && self.active.len() < self.max_batch {
             match self.queue.pop_front() {
                 Some(q) => {
                     let entered_ns = pdac_telemetry::now_ns();
@@ -291,6 +349,7 @@ impl<'m> TokenServer<'m> {
                         last_token_ns: None,
                         span: q.span,
                         entered_ns,
+                        energy_j: 0.0,
                     });
                 }
                 None => break,
@@ -311,6 +370,7 @@ impl<'m> TokenServer<'m> {
             data.extend_from_slice(&a.next_token(hidden));
         }
         let tokens = Mat::from_rows(s, hidden, data).expect("batch assembly");
+        let energy_before = pdac_power::meter::snapshot().map(|snap| snap.total_j());
         {
             let mut caches: Vec<&mut KvCache> =
                 self.active.iter_mut().map(|a| &mut a.cache).collect();
@@ -321,6 +381,29 @@ impl<'m> TokenServer<'m> {
                 &mut self.scratch,
                 &mut self.out,
             );
+        }
+        // Split the step's metered energy delta across the batch in
+        // proportion to per-sequence modeled MACs (projections + FFN are
+        // shape-uniform; the KV terms scale with each context length),
+        // then flush so the `power.*` gauges and budget track live.
+        if let Some(before) = energy_before {
+            if let Some(snap) = pdac_power::meter::flush() {
+                let delta = (snap.total_j() - before).max(0.0);
+                if delta > 0.0 {
+                    let d = hidden as f64;
+                    let ff = self.model.config().ff_dim() as f64;
+                    let weights: Vec<f64> = self
+                        .active
+                        .iter()
+                        .map(|a| 4.0 * d * d + 2.0 * d * ff + 2.0 * d * a.cache.len() as f64)
+                        .collect();
+                    let total_w: f64 = weights.iter().sum();
+                    for (a, w) in self.active.iter_mut().zip(&weights) {
+                        a.energy_j += delta * w / total_w;
+                    }
+                    self.energy_j += delta;
+                }
+            }
         }
         self.fed_tokens += s as u64;
         let token_ns = pdac_telemetry::now_ns();
@@ -364,12 +447,31 @@ impl<'m> TokenServer<'m> {
                     "serve.e2e",
                     end_ns.saturating_sub(a.admitted_ns) as f64 * 1e-9,
                 );
+                if a.energy_j > 0.0 {
+                    pdac_telemetry::observe("serve.request.energy_j", a.energy_j);
+                    if !a.generated.is_empty() {
+                        pdac_telemetry::observe(
+                            "serve.energy_per_token_j",
+                            a.energy_j / a.generated.len() as f64,
+                        );
+                    }
+                    // The request's energy ledger rides its span tree:
+                    // arg carries the attributed nanojoules.
+                    pdac_telemetry::record_span(
+                        "serve.request.energy",
+                        a.entered_ns,
+                        end_ns,
+                        a.span.ctx(),
+                        Some((a.energy_j * 1e9) as u64),
+                    );
+                }
                 a.span.end();
                 retired.push(Completion {
                     id: a.id,
                     prompt_tokens: a.prompt.len(),
                     hidden: a.generated,
                     finished_step: step,
+                    energy_j: a.energy_j,
                 });
             } else {
                 i += 1;

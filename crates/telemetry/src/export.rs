@@ -73,27 +73,102 @@ fn category(name: &str) -> &str {
 /// with `quantile` labels for p50/p95/p99 plus `_sum`/`_count` series.
 ///
 /// Metric names are sanitized to `[a-zA-Z0-9_]` and prefixed `pdac_`
-/// (`serve.ttft` → `pdac_serve_ttft`).
+/// (`serve.ttft` → `pdac_serve_ttft`); each family carries `# HELP`
+/// (holding the original dotted registry name) and `# TYPE` comments.
 pub fn prometheus_text(snapshot: &Snapshot) -> String {
+    prometheus_text_with_labels(snapshot, &[])
+}
+
+/// [`prometheus_text`] with constant labels attached to every sample —
+/// the hook for tagging an exposition with e.g. a backend or run id.
+/// Label values are escaped per the exposition rules
+/// ([`escape_label_value`]); label *names* are sanitized like metric
+/// names (minus the prefix).
+pub fn prometheus_text_with_labels(snapshot: &Snapshot, labels: &[(&str, &str)]) -> String {
+    let constant: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (sanitize_label(k), escape_label_value(v)))
+        .collect();
+    let render_labels = |extra: Option<(&str, f64)>| -> String {
+        let mut parts: Vec<String> = constant
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .collect();
+        if let Some((k, v)) = extra {
+            parts.push(format!("{k}=\"{v}\""));
+        }
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!("{{{}}}", parts.join(","))
+        }
+    };
+    let plain = render_labels(None);
+
     let mut out = String::new();
-    for (name, v) in &snapshot.counters {
-        let name = sanitize(name);
-        out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+    let header = |out: &mut String, name: &str, raw: &str, kind: &str| {
+        out.push_str(&format!(
+            "# HELP {name} pdac metric {} ({kind})\n# TYPE {name} {kind}\n",
+            escape_help(raw)
+        ));
+    };
+    for (raw, v) in &snapshot.counters {
+        let name = sanitize(raw);
+        header(&mut out, &name, raw, "counter");
+        out.push_str(&format!("{name}{plain} {v}\n"));
     }
-    for (name, v) in &snapshot.gauges {
-        let name = sanitize(name);
-        out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+    for (raw, v) in &snapshot.gauges {
+        let name = sanitize(raw);
+        header(&mut out, &name, raw, "gauge");
+        out.push_str(&format!("{name}{plain} {v}\n"));
     }
     for h in &snapshot.histograms {
         let name = sanitize(&h.name);
-        out.push_str(&format!("# TYPE {name} summary\n"));
+        header(&mut out, &name, &h.name, "summary");
         for (q, v) in [(0.5, h.p50), (0.95, h.p95), (0.99, h.p99)] {
-            out.push_str(&format!("{name}{{quantile=\"{q}\"}} {v}\n"));
+            out.push_str(&format!(
+                "{name}{} {v}\n",
+                render_labels(Some(("quantile", q)))
+            ));
         }
-        out.push_str(&format!("{name}_sum {}\n", h.sum));
-        out.push_str(&format!("{name}_count {}\n", h.count));
+        out.push_str(&format!("{name}_sum{plain} {}\n", h.sum));
+        out.push_str(&format!("{name}_count{plain} {}\n", h.count));
     }
     out
+}
+
+/// Escape a label value for the exposition format: backslash, double
+/// quote and newline must be written `\\`, `\"` and `\n`.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape `# HELP` text: backslash and newline only (quotes are legal).
+fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Prometheus-legal label name: like [`sanitize`] without the prefix.
+fn sanitize_label(name: &str) -> String {
+    let s = sanitize(name);
+    s.strip_prefix("pdac_").unwrap_or(&s).to_string()
 }
 
 /// Prometheus-legal metric name: `pdac_` prefix, every run of
@@ -149,6 +224,122 @@ mod tests {
             })
             .collect();
         assert_eq!(ids, vec![1, 2]);
+    }
+
+    /// Minimal exposition parser for the round-trip test: returns
+    /// `(types, samples)` where samples are `(name, labels, value)`.
+    #[allow(clippy::type_complexity)]
+    fn parse_exposition(
+        text: &str,
+    ) -> (
+        Vec<(String, String)>,
+        Vec<(String, Vec<(String, String)>, f64)>,
+    ) {
+        let mut types = Vec::new();
+        let mut samples = Vec::new();
+        let mut help: Vec<String> = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (name, kind) = rest.split_once(' ').expect("TYPE name kind");
+                // Every TYPE must be preceded by its HELP line.
+                assert!(help.iter().any(|h| h == name), "missing # HELP for {name}");
+                types.push((name.to_string(), kind.to_string()));
+            } else if let Some(rest) = line.strip_prefix("# HELP ") {
+                help.push(rest.split_once(' ').expect("HELP name text").0.to_string());
+            } else if !line.is_empty() {
+                let (series, value) = line.rsplit_once(' ').expect("sample line");
+                let (name, labels) = match series.split_once('{') {
+                    None => (series.to_string(), Vec::new()),
+                    Some((name, rest)) => {
+                        let body = rest.strip_suffix('}').expect("closing brace");
+                        let mut labels = Vec::new();
+                        // Split on `",` boundaries (values are quoted and
+                        // internal quotes escaped, so this is unambiguous).
+                        for pair in body.split("\",") {
+                            let pair = pair.strip_suffix('"').unwrap_or(pair);
+                            let (k, v) = pair.split_once("=\"").expect("k=\"v\"");
+                            let mut unescaped = String::new();
+                            let mut chars = v.chars();
+                            while let Some(c) = chars.next() {
+                                if c == '\\' {
+                                    match chars.next() {
+                                        Some('n') => unescaped.push('\n'),
+                                        Some(other) => unescaped.push(other),
+                                        None => panic!("dangling escape"),
+                                    }
+                                } else {
+                                    unescaped.push(c);
+                                }
+                            }
+                            labels.push((k.to_string(), unescaped));
+                        }
+                        (name.to_string(), labels)
+                    }
+                };
+                samples.push((name, labels, value.parse().expect("numeric value")));
+            }
+        }
+        (types, samples)
+    }
+
+    #[test]
+    fn exposition_round_trips_through_a_parser() {
+        let snap = Snapshot {
+            counters: vec![("power.budget.exceeded".into(), 3)],
+            gauges: vec![("power.compute_w".into(), 12.5)],
+            histograms: vec![HistogramSummary {
+                name: "serve.energy_per_token_j".into(),
+                count: 4,
+                sum: 8.0,
+                min: 1.0,
+                max: 3.0,
+                mean: 2.0,
+                p50: 2.0,
+                p95: 3.0,
+                p99: 3.0,
+            }],
+        };
+        // A hostile label value: quotes, backslash, newline.
+        let text = prometheus_text_with_labels(
+            &snap,
+            &[("backend", "pdac \"8b\" \\ hybrid\nrow"), ("run.id", "r1")],
+        );
+        let (types, samples) = parse_exposition(&text);
+        assert_eq!(
+            types,
+            vec![
+                ("pdac_power_budget_exceeded".into(), "counter".into()),
+                ("pdac_power_compute_w".into(), "gauge".into()),
+                ("pdac_serve_energy_per_token_j".into(), "summary".into()),
+            ]
+        );
+        // Values and labels survive the round trip exactly.
+        let find = |name: &str| samples.iter().find(|(n, ..)| n == name).unwrap();
+        assert_eq!(find("pdac_power_budget_exceeded").2, 3.0);
+        assert_eq!(find("pdac_power_compute_w").2, 12.5);
+        assert_eq!(find("pdac_serve_energy_per_token_j_sum").2, 8.0);
+        assert_eq!(find("pdac_serve_energy_per_token_j_count").2, 4.0);
+        for (_, labels, _) in &samples {
+            assert_eq!(labels[0].0, "backend");
+            assert_eq!(labels[0].1, "pdac \"8b\" \\ hybrid\nrow");
+            assert_eq!(labels[1], ("run_id".into(), "r1".into()));
+        }
+        // The summary's quantile label rides alongside the constants.
+        let quantiles = samples
+            .iter()
+            .filter(|(n, labels, _)| {
+                n == "pdac_serve_energy_per_token_j" && labels.iter().any(|(k, _)| k == "quantile")
+            })
+            .count();
+        assert_eq!(quantiles, 3);
+    }
+
+    #[test]
+    fn escape_label_value_covers_the_exposition_specials() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape_label_value(r"a\b"), r"a\\b");
+        assert_eq!(escape_label_value("a\nb"), r"a\nb");
     }
 
     #[test]

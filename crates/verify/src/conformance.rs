@@ -337,6 +337,67 @@ fn tracing_invariance_checks(cfg: &ConformanceConfig) -> Vec<CheckResult> {
     )]
 }
 
+/// The live energy meter observes decode activity but must never touch
+/// results: the same batched-decode workload run with a P-DAC
+/// [`pdac_power::meter::EnergyMeter`] installed and with no meter must
+/// produce bit-identical hidden states — and the metered run must have
+/// counted real activity (or the check proved nothing).
+fn energy_meter_invariance_checks(cfg: &ConformanceConfig) -> Vec<CheckResult> {
+    use pdac_power::meter::EnergyMeter;
+    use pdac_power::model::{DriverKind, PowerModel};
+    use pdac_power::{ArchConfig, EnergyModel, TechParams};
+
+    let model = TransformerModel::random(TransformerConfig::tiny(), 4, cfg.seed);
+    let hidden = model.config().hidden;
+    let s = 3usize;
+    let steps = cfg.decode_steps.clamp(2, 4);
+    let backend = AnalogGemm::new(PDac::with_optimal_approx(8).expect("valid bits"), "pdac8");
+
+    let run = || -> Vec<Mat> {
+        let mut rng = SplitMix64::seed_from_u64(cfg.seed ^ 0xE4E26);
+        let mut batch = BatchedKvCache::new(&model, s);
+        (0..steps)
+            .map(|_| {
+                let tokens = random_mat(s, hidden, &mut rng);
+                model.decode_batch(&tokens, &mut batch, &backend)
+            })
+            .collect()
+    };
+
+    // Preserve and restore whatever meter the harness had installed.
+    let prior = pdac_power::meter::installed();
+    let pm = PowerModel::new(
+        ArchConfig::lt_b(),
+        TechParams::calibrated(),
+        DriverKind::PhotonicDac,
+    );
+    let handle = pdac_power::meter::install(EnergyMeter::new(EnergyModel::new(pm), 8));
+    let metered = run();
+    let counted = handle.snapshot();
+    pdac_power::meter::uninstall();
+    let without = run();
+    if let Some(prev) = prior {
+        let _ = pdac_power::meter::install_shared(prev);
+    }
+
+    let diffs: usize = metered
+        .iter()
+        .zip(&without)
+        .map(|(a, b)| differing_bits(a, b))
+        .sum();
+    // A meter that recorded nothing would make the identity vacuous.
+    let vacuous = usize::from(counted.trace.total_macs() == 0 || counted.total_j() <= 0.0);
+    vec![bit_identity_check(
+        "decode.energy_meter.on_off_bit_identity",
+        diffs + vacuous,
+        format!(
+            "{steps} steps x batch {s}: P-DAC energy meter installed vs none \
+             ({} MACs metered)",
+            counted.trace.total_macs()
+        ),
+    )]
+}
+
 /// [`ConverterLut`] vs the scalar drive path for both converters at every
 /// representable (and saturating out-of-range) code — bit identity.
 fn lut_checks(cfg: &ConformanceConfig) -> Vec<CheckResult> {
@@ -752,6 +813,7 @@ pub fn run_conformance(cfg: &ConformanceConfig) -> ConformanceReport {
     report.extend(decode_workload_checks(cfg));
     report.extend(batched_decode_checks(cfg));
     report.extend(tracing_invariance_checks(cfg));
+    report.extend(energy_meter_invariance_checks(cfg));
     report
 }
 

@@ -60,8 +60,20 @@ assert doc['traceEvents'], 'empty trace'
 "
 fi
 
-echo "==> telemetry-off feature check (serve/nn compile with the no-op mirror)"
-cargo check --release -q -p pdac-serve -p pdac-nn --no-default-features
+echo "==> energy observability smoke (metered serve leaves power.* in /metrics)"
+PDAC_SERVE_REQUESTS=6 PDAC_SERVE_PROMPT=3 PDAC_SERVE_MAX_NEW=4 PDAC_SERVE_BATCH=4 \
+    PDAC_SERVE_HIDDEN=32 PDAC_SERVE_LAYERS=2 PDAC_SERVE_HEADS=4 \
+    PDAC_POWER_BUDGET_W=1000 \
+    PDAC_SERVE_METRICS_OUT="$(pwd)/target/metrics.smoke.txt" \
+    cargo run --release -q -p pdac-serve --bin serve
+for series in pdac_power_energy_attention_j pdac_power_energy_total_j \
+    pdac_power_compute_w pdac_power_budget_headroom_w pdac_serve_energy_per_token_j; do
+    grep -q "^${series}" target/metrics.smoke.txt \
+        || { echo "FAIL: ${series} missing from /metrics exposition"; exit 1; }
+done
+
+echo "==> telemetry-off feature check (serve/nn/power compile with the no-op mirror)"
+cargo check --release -q -p pdac-serve -p pdac-nn -p pdac-power --no-default-features
 
 echo "==> serve http feature check (/metrics + /trace endpoint compiles and tests)"
 cargo test -q -p pdac-telemetry --features serve-http --lib
@@ -85,8 +97,17 @@ PDAC_BENCH_DECODE_HIDDEN=128 PDAC_BENCH_DECODE_LAYERS=2 PDAC_BENCH_DECODE_HEADS=
     cargo bench --features microbench -p pdac-bench --bench decode_engine
 PDAC_BENCH_OUT="$(pwd)/target/BENCH_trace.fresh.json" \
     cargo bench --features microbench -p pdac-bench --bench trace_overhead
+PDAC_BENCH_MS=40 PDAC_BENCH_MAX_DIM=256 PDAC_BENCH_OUT="$(pwd)/target/BENCH_gemm.fresh.json" \
+    cargo bench --features microbench -p pdac-bench --bench gemm_engine
+PDAC_BENCH_MS=40 PDAC_BENCH_OUT="$(pwd)/target/BENCH_pool.fresh.json" \
+    cargo bench --features microbench -p pdac-bench --bench pool_vs_scope
+PDAC_BENCH_OUT="$(pwd)/target/BENCH_energy.fresh.json" \
+    cargo bench --features microbench -p pdac-bench --bench energy_ledger
 cargo run --release -q -p pdac-bench --bin bench_gate -- \
     crates/bench/baselines/BENCH_decode.gate.json target/BENCH_decode.fresh.json \
-    crates/bench/baselines/BENCH_trace.gate.json target/BENCH_trace.fresh.json
+    crates/bench/baselines/BENCH_trace.gate.json target/BENCH_trace.fresh.json \
+    crates/bench/baselines/BENCH_gemm.gate.json target/BENCH_gemm.fresh.json \
+    crates/bench/baselines/BENCH_pool.gate.json target/BENCH_pool.fresh.json \
+    crates/bench/baselines/BENCH_energy.gate.json target/BENCH_energy.fresh.json
 
 echo "CI OK"
