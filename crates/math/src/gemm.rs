@@ -412,6 +412,84 @@ pub fn gemm_prepacked(a: &[f64], b: &PackedB, m: usize, out: &mut [f64], threads
     gemm_packed_pooled(a, &b.bp, m, k, n, out, threads);
 }
 
+/// Grouped row-vector products: row `g` of `a` (`groups × k`, row-major)
+/// times block `g` of `b` (`groups` stacked contiguous `k × n` row-major
+/// blocks, so `b` is `(groups·k) × n`) into row `g` of `out`
+/// (`groups × n`, fully overwritten).
+///
+/// This is the batched-decode attention shape: each grouped sequence has
+/// its *own* transient right operand (gathered Kᵀ or V), so a single
+/// dense GEMM cannot fuse them — but the `groups` independent row
+/// products can still share one pool dispatch and one cache-warm pass
+/// over the stacked operand. Each output row is bit-identical to
+/// `gemm(&a[g*k..], &b[g*k*n..], 1, k, n, ..)` because every cell is the
+/// same ascending-`k` reduction; splitting rows/columns across workers
+/// reorders between cells, never within one.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the given dimensions.
+pub fn gemm_grouped(
+    a: &[f64],
+    b: &[f64],
+    groups: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f64],
+    threads: usize,
+) {
+    assert_eq!(a.len(), groups * k, "lhs length");
+    assert_eq!(b.len(), groups * k * n, "rhs length");
+    assert_eq!(out.len(), groups * n, "output length");
+    if groups == 0 {
+        return;
+    }
+    let macs = groups * k * n;
+    let threads = if macs >= PAR_MIN_MACS { threads } else { 1 };
+    if threads <= 1 {
+        for g in 0..groups {
+            vecmat_chunk(
+                &a[g * k..(g + 1) * k],
+                &b[g * k * n..(g + 1) * k * n],
+                k,
+                n,
+                0,
+                &mut out[g * n..(g + 1) * n],
+            );
+        }
+        return;
+    }
+    // 2-D task grid: split rows first, then columns when workers remain
+    // (groups is often smaller than the pool).
+    let row_tasks = threads.clamp(1, groups);
+    let rows_per = groups.div_ceil(row_tasks);
+    let row_tasks = groups.div_ceil(rows_per);
+    let col_tasks = (threads / row_tasks).clamp(1, n);
+    let col_per = n.div_ceil(col_tasks);
+    let col_tasks = n.div_ceil(col_per);
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    WorkerPool::global().run(row_tasks * col_tasks, &move |t| {
+        let r0 = (t / col_tasks) * rows_per;
+        let rows = rows_per.min(groups - r0);
+        let c0 = (t % col_tasks) * col_per;
+        let width = col_per.min(n - c0);
+        for g in r0..r0 + rows {
+            // SAFETY: (row, column-chunk) regions are disjoint per task
+            // index.
+            let out_chunk =
+                unsafe { std::slice::from_raw_parts_mut(out_ptr.get().add(g * n + c0), width) };
+            vecmat_chunk(
+                &a[g * k..(g + 1) * k],
+                &b[g * k * n..(g + 1) * k * n],
+                k,
+                n,
+                c0,
+                out_chunk,
+            );
+        }
+    });
+}
+
 /// Matrix-vector product `out = a · v` (`a` is `m × k`, row-major) on the
 /// same thread pool: each output element is one ascending-`k` dot, so the
 /// result is bit-identical to the reference loop for every thread count.
@@ -549,6 +627,46 @@ mod tests {
                 assert_eq!(pooled, scoped, "m={m} k={k} n={n} threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn grouped_matches_per_row_gemm_bitwise() {
+        // Includes shapes past PAR_MIN_MACS so the pooled 2-D split runs.
+        for (g, k, n) in [
+            (1, 16, 16),
+            (3, 7, 5),
+            (4, 64, 64),
+            (8, 32, 96),
+            (16, 64, 512),
+            (5, 1, 9),
+        ] {
+            let a = random(g * k, 71 + (g * k) as u64);
+            let b = random(g * k * n, 72 + (k * n) as u64);
+            let mut want = vec![f64::NAN; g * n];
+            for r in 0..g {
+                gemm(
+                    &a[r * k..(r + 1) * k],
+                    &b[r * k * n..(r + 1) * k * n],
+                    1,
+                    k,
+                    n,
+                    &mut want[r * n..(r + 1) * n],
+                    1,
+                );
+            }
+            for threads in [1, 2, 7, 32] {
+                let mut got = vec![f64::NAN; g * n];
+                gemm_grouped(&a, &b, g, k, n, &mut got, threads);
+                assert_eq!(got, want, "g={g} k={k} n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_zero_groups_is_noop() {
+        let mut out: Vec<f64> = vec![];
+        gemm_grouped(&[], &[], 0, 4, 4, &mut out, 4);
+        assert!(out.is_empty());
     }
 
     #[test]

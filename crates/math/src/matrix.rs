@@ -441,6 +441,37 @@ impl Mat {
         Ok(())
     }
 
+    /// Grouped row products against a stacked right operand (see
+    /// [`crate::gemm::gemm_grouped`]): row `g` of `self` (`G × k`) times
+    /// block `g` of `rhs` (`G` stacked `k × n` blocks, i.e. `rhs` is
+    /// `(G·k) × n`) into row `g` of `out` (`G × n`, reshaped and fully
+    /// overwritten). Row `g` is bit-identical to `matmul_into` of that
+    /// row against block `g` alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatError::DimMismatch`] when `rhs.rows() != G·k`.
+    pub fn matmul_grouped_into(&self, rhs: &Self, out: &mut Self) -> Result<(), MatError> {
+        if rhs.rows != self.rows * self.cols {
+            return Err(MatError::DimMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        out.resize(self.rows, rhs.cols);
+        pdac_telemetry::counter_add("math.gemm.macs", (self.rows * self.cols * rhs.cols) as u64);
+        crate::gemm::gemm_grouped(
+            &self.data,
+            &rhs.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+            &mut out.data,
+            crate::gemm::default_threads(),
+        );
+        Ok(())
+    }
+
     /// Reshapes to `rows × cols`, reusing the existing allocation when it
     /// is large enough. Element contents are unspecified afterwards —
     /// this is the scratch-buffer primitive behind the `*_into` ops,

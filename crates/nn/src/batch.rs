@@ -9,19 +9,30 @@
 //!
 //! The engine stacks the S token embeddings into one `S × hidden`
 //! activation matrix per layer and runs the six stable weight matmuls
-//! batched ([`crate::gemm::GemmBackend::matmul_batch_into`], per-row
-//! activation quantization), while attention stays per-sequence against
-//! each sequence's [`KvCache`]. Every per-step buffer lives in a
-//! caller-owned [`DecodeScratch`], so the hot path performs no
-//! per-token matrix allocations once the scratch is primed.
+//! batched ([`crate::gemm::GemmBackend::matmul_batch_packed_into`]:
+//! per-row activation quantization on analog backends, lazily
+//! panel-packed weights on the exact backend). Attention runs
+//! **slot-grouped**: sequences are grouped by KV-cache length once per
+//! step, and for every (layer, head, group) the grouped queries
+//! (`G × dh`), the stacked transposed key gathers (`G·dh × L`) and the
+//! stacked value gathers (`G·L × dh`) feed two grouped kernel dispatches
+//! ([`crate::gemm::GemmBackend::matmul_grouped_transient_into`]) instead
+//! of `2·S` tiny per-sequence matmuls, with the scale + softmax pass
+//! vectorized over the grouped `G × L` score matrix. Every per-step
+//! buffer lives in a caller-owned [`DecodeScratch`], so the hot path
+//! performs no per-token matrix allocations once the scratch is primed.
+//! The `nn.decode.attention.group_size` histogram records one sample per
+//! slot-group per step. See DESIGN.md §14.
 //!
 //! **Bit-identity contract:** row `s` of [`TransformerModel::decode_batch`]
 //! is bit-identical to feeding that sequence's token through
 //! [`TransformerModel::decode_step`] alone. This holds because the GEMM
 //! kernels reduce each output cell in ascending-k order regardless of
-//! batching (see `pdac_math::gemm`), activation quantization is per-row
-//! ([`crate::quant::RowQuantizedMat`]), and softmax/layer-norm/GELU are
-//! row-local. The `pdac-verify` conformance matrix asserts this.
+//! batching or grouping (see `pdac_math::gemm`), activation quantization
+//! is per-row ([`crate::quant::RowQuantizedMat`]) and stacked-operand
+//! quantization per-block ([`crate::quant::GroupQuantizedMat`]), and
+//! softmax/layer-norm/GELU are row-local. The `pdac-verify` conformance
+//! matrix asserts this, including ragged multi-group batches.
 
 use crate::gemm::GemmBackend;
 use crate::inference::{KvCache, TransformerModel};
@@ -50,11 +61,19 @@ pub struct DecodeScratch {
     x1: Mat,
     h: Mat,
     ffn: Mat,
-    // Per-sequence, per-head attention views.
-    qh: Mat,
-    kht: Mat,
-    vh: Mat,
+    // Slot-group bookkeeping: sequence indices ordered by (cache length,
+    // index), and one (start, count, post-push length) triple per run of
+    // equal-length sequences. Computed once per step.
+    group_order: Vec<usize>,
+    group_bounds: Vec<(usize, usize, usize)>,
+    // Grouped per-head attention operands: G query rows (G × dh), the
+    // stacked transposed key gathers (G·dh × L), the grouped score
+    // matrix (G × L), the stacked value gathers (G·L × dh) and the
+    // grouped context rows (G × dh).
+    qg: Mat,
+    kgt: Mat,
     scores: Mat,
+    vg: Mat,
     ctx: Mat,
     primed: bool,
     reuses: u64,
@@ -80,10 +99,12 @@ impl DecodeScratch {
             x1: mat(),
             h: mat(),
             ffn: mat(),
-            qh: mat(),
-            kht: mat(),
-            vh: mat(),
+            group_order: Vec::new(),
+            group_bounds: Vec::new(),
+            qg: mat(),
+            kgt: mat(),
             scores: mat(),
+            vg: mat(),
             ctx: mat(),
             primed: false,
             reuses: 0,
@@ -128,83 +149,141 @@ pub(crate) fn decode_rows(
     }
     scratch.primed = true;
 
-    scratch.x.resize(s, d);
-    scratch.x.as_mut_slice().copy_from_slice(tokens.as_slice());
+    // Borrow every buffer individually so the grouped loops below can
+    // hold the bookkeeping vectors and the operand matrices at once.
+    let DecodeScratch {
+        x,
+        q,
+        k_new,
+        v_new,
+        context,
+        attn_out,
+        x1,
+        h,
+        ffn,
+        group_order,
+        group_bounds,
+        qg,
+        kgt,
+        scores,
+        vg,
+        ctx,
+        ..
+    } = scratch;
+
+    x.resize(s, d);
+    x.as_mut_slice().copy_from_slice(tokens.as_slice());
 
     let dh = config.head_dim();
     let scale = 1.0 / (dh as f64).sqrt();
 
+    // Slot-groups: runs of sequences whose caches hold the same number
+    // of rows, ordered by (length, slot index). Every layer pushes one
+    // K/V row per sequence before attending, so the grouping — computed
+    // from pre-push lengths once per step — is identical in every layer.
+    // Unstable sort is fine: the (length, index) keys are unique, so the
+    // order is deterministic, and nothing allocates on the warm path.
+    group_order.clear();
+    group_order.extend(0..s);
+    group_order.sort_unstable_by_key(|&sq| (caches[sq].len(), sq));
+    group_bounds.clear();
+    let mut at = 0;
+    while at < s {
+        let len = caches[group_order[at]].len();
+        let mut end = at + 1;
+        while end < s && caches[group_order[end]].len() == len {
+            end += 1;
+        }
+        // Post-push context length: this step's K/V row is appended
+        // before scoring.
+        group_bounds.push((at, end - at, len + 1));
+        pdac_telemetry::observe("nn.decode.attention.group_size", (end - at) as f64);
+        at = end;
+    }
+
     for (li, layer) in model.layers.iter().enumerate() {
         // Q/K/V projections: one batched GEMM each — the weight operand
-        // is prepared (quantized + converted + panel-packed) once per
-        // step for all S sequences.
+        // is prepared (quantized + converted + panel-packed once per
+        // matrix by analog backends; panel-packed lazily by the exact
+        // backend via `layer.packs()`) for all S sequences.
         let qkv_span = pdac_telemetry::span("nn.decode.qkv");
-        backend.matmul_batch_into(&scratch.x, &layer.wq, &mut scratch.q);
-        backend.matmul_batch_into(&scratch.x, &layer.wk, &mut scratch.k_new);
-        backend.matmul_batch_into(&scratch.x, &layer.wv, &mut scratch.v_new);
+        backend.matmul_batch_packed_into(x, &layer.wq, &|| &layer.packs().wq, q);
+        backend.matmul_batch_packed_into(x, &layer.wk, &|| &layer.packs().wk, k_new);
+        backend.matmul_batch_packed_into(x, &layer.wv, &|| &layer.packs().wv, v_new);
         drop(qkv_span);
 
         let attn_span = pdac_telemetry::span("nn.decode.attention");
-        scratch.context.resize(s, d);
+        context.resize(s, d);
         for (sq, cache) in caches.iter_mut().enumerate() {
-            let lc = &mut cache.layers[li];
-            lc.push_row(scratch.k_new.row_slice(sq), scratch.v_new.row_slice(sq));
-            let l = lc.len();
+            cache.layers[li].push_row(k_new.row_slice(sq), v_new.row_slice(sq));
+        }
+        for &(start, g, l) in group_bounds.iter() {
+            let seqs = &group_order[start..start + g];
             for head in 0..config.heads {
                 let c0 = head * dh;
-                scratch.qh.resize(1, dh);
-                scratch
-                    .qh
-                    .as_mut_slice()
-                    .copy_from_slice(&scratch.q.row_slice(sq)[c0..c0 + dh]);
-                // Kᵀ gathered directly in transposed layout, matching
-                // the historical `kh.transpose()` element-for-element.
-                scratch.kht.resize(dh, l);
-                for r in 0..dh {
-                    for (t, key) in lc.k.iter().enumerate() {
-                        scratch.kht[(r, t)] = key[c0 + r];
+                qg.resize(g, dh);
+                for (gi, &sq) in seqs.iter().enumerate() {
+                    qg.row_slice_mut(gi)
+                        .copy_from_slice(&q.row_slice(sq)[c0..c0 + dh]);
+                }
+                // Each sequence's Kᵀ gathered directly in transposed
+                // layout — matching the historical `kh.transpose()`
+                // element-for-element — and stacked into one G·dh × L
+                // operand for the grouped kernel.
+                kgt.resize(g * dh, l);
+                let kdata = kgt.as_mut_slice();
+                for (gi, &sq) in seqs.iter().enumerate() {
+                    let base = gi * dh * l;
+                    for (t, key) in caches[sq].layers[li].k.iter().enumerate() {
+                        for (r, &kv) in key[c0..c0 + dh].iter().enumerate() {
+                            kdata[base + r * l + t] = kv;
+                        }
                     }
                 }
-                // Transient matmuls: kht/vh are rebuilt every step, so
-                // caching their conversions can never hit — and at
-                // batch size S the S×heads×2 dead entries per layer
-                // would evict the actual weights from the backend's
-                // cache, forcing a full re-convert+re-pack each step.
-                backend.matmul_transient_into(&scratch.qh, &scratch.kht, &mut scratch.scores);
-                for v in scratch.scores.as_mut_slice() {
+                // Grouped transient matmuls: per-step gathers can never
+                // hit a weight cache (see `matmul_transient_into`), and
+                // grouping runs all G products in one kernel dispatch /
+                // conversion pass. Row g stays bit-identical to the solo
+                // 1×dh · dh×L product.
+                backend.matmul_grouped_transient_into(qg, kgt, scores);
+                // Scale + softmax vectorized over the grouped G × L
+                // score matrix — both are row-local, so each row matches
+                // the solo path's 1 × L pass exactly.
+                for v in scores.as_mut_slice() {
                     *v *= scale;
                 }
-                softmax_rows_inplace(&mut scratch.scores);
-                scratch.vh.resize(l, dh);
-                for (t, val) in lc.v.iter().enumerate() {
-                    scratch
-                        .vh
-                        .row_slice_mut(t)
-                        .copy_from_slice(&val[c0..c0 + dh]);
+                softmax_rows_inplace(scores);
+                vg.resize(g * l, dh);
+                for (gi, &sq) in seqs.iter().enumerate() {
+                    for (t, val) in caches[sq].layers[li].v.iter().enumerate() {
+                        vg.row_slice_mut(gi * l + t)
+                            .copy_from_slice(&val[c0..c0 + dh]);
+                    }
                 }
-                backend.matmul_transient_into(&scratch.scores, &scratch.vh, &mut scratch.ctx);
-                scratch.context.row_slice_mut(sq)[c0..c0 + dh]
-                    .copy_from_slice(scratch.ctx.row_slice(0));
+                backend.matmul_grouped_transient_into(scores, vg, ctx);
+                for (gi, &sq) in seqs.iter().enumerate() {
+                    context.row_slice_mut(sq)[c0..c0 + dh].copy_from_slice(ctx.row_slice(gi));
+                }
             }
         }
 
         // Output projection + residual/LN (still the attention stage),
         // then the FFN, batched.
-        backend.matmul_batch_into(&scratch.context, &layer.wo, &mut scratch.attn_out);
-        residual_into(&scratch.x, &scratch.attn_out, &mut scratch.x1);
-        layer_norm_rows_inplace(&mut scratch.x1, &layer.ln1_gamma, &layer.ln1_beta, 1e-9);
+        backend.matmul_batch_packed_into(context, &layer.wo, &|| &layer.packs().wo, attn_out);
+        residual_into(x, attn_out, x1);
+        layer_norm_rows_inplace(x1, &layer.ln1_gamma, &layer.ln1_beta, 1e-9);
         drop(attn_span);
 
         let _ffn_span = pdac_telemetry::span("nn.decode.ffn");
-        backend.matmul_batch_into(&scratch.x1, &layer.w1, &mut scratch.h);
-        gelu_mat_inplace(&mut scratch.h);
-        backend.matmul_batch_into(&scratch.h, &layer.w2, &mut scratch.ffn);
-        residual_into(&scratch.x1, &scratch.ffn, &mut scratch.x);
-        layer_norm_rows_inplace(&mut scratch.x, &layer.ln2_gamma, &layer.ln2_beta, 1e-9);
+        backend.matmul_batch_packed_into(x1, &layer.w1, &|| &layer.packs().w1, h);
+        gelu_mat_inplace(h);
+        backend.matmul_batch_packed_into(h, &layer.w2, &|| &layer.packs().w2, ffn);
+        residual_into(x1, ffn, x);
+        layer_norm_rows_inplace(x, &layer.ln2_gamma, &layer.ln2_beta, 1e-9);
     }
 
     out.resize(s, d);
-    out.as_mut_slice().copy_from_slice(scratch.x.as_slice());
+    out.as_mut_slice().copy_from_slice(x.as_slice());
 
     record_step_energy(model, caches, s, d, ff);
 }

@@ -13,9 +13,10 @@
 //! any regime; the fidelity study diffs their outputs.
 
 use crate::prepared::WeightCache;
-use crate::quant::{QuantizedMat, RowQuantizedMat};
+use crate::quant::{GroupQuantizedMat, QuantizedMat, RowQuantizedMat};
 use pdac_core::converter::MzmDriver;
 use pdac_core::lut::ConverterLut;
+use pdac_math::gemm::PackedB;
 use pdac_math::Mat;
 
 /// A matrix-multiply backend.
@@ -65,6 +66,66 @@ pub trait GemmBackend {
         let mut out = Mat::zeros(1, 1);
         self.matmul_batch_into(a, b, &mut out);
         out
+    }
+
+    /// [`Self::matmul_batch_into`] with a caller-supplied prepacked form
+    /// of `b` on offer. `packed` must pack exactly `b` (same values,
+    /// `PackedB::pack(b)`); callers with long-lived weights memoize the
+    /// pack (see `EncoderLayer::packs`) and hand it in as a lazy closure
+    /// so backends that cannot use it never force the packing.
+    ///
+    /// The default ignores the offer and delegates (analog backends
+    /// already keep packed *converted* weights in their [`WeightCache`];
+    /// a pack of the unconverted values is useless to them).
+    /// [`ExactGemm`] overrides it: the pack skips the per-call
+    /// `B`-panel-packing pass that otherwise dominates small batched
+    /// GEMMs. Same row-identity contract as [`Self::matmul_batch_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    fn matmul_batch_packed_into<'p>(
+        &self,
+        a: &Mat,
+        b: &Mat,
+        packed: &dyn Fn() -> &'p PackedB,
+        out: &mut Mat,
+    ) {
+        let _ = packed;
+        self.matmul_batch_into(a, b, out);
+    }
+
+    /// Grouped transient matmul for batched attention: `a` holds one
+    /// query-like row per grouped sequence (`G × k`), `b` stacks each
+    /// sequence's **own** ephemeral right operand (`G` contiguous
+    /// `k × n` blocks, so `b` is `(G·k) × n`), and row `g` of `out`
+    /// (`G × n`) must be bit-identical to
+    /// [`Self::matmul_transient_into`] of `a`'s row `g` against block
+    /// `g` alone. The default guarantees that by construction (per-row
+    /// delegation); backends override it to run all `G` products in one
+    /// kernel dispatch / conversion pass — see
+    /// [`crate::quant::GroupQuantizedMat`] for how analog backends keep
+    /// per-block quantization scales identical to the solo path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.rows() != a.rows() · a.cols()`.
+    fn matmul_grouped_transient_into(&self, a: &Mat, b: &Mat, out: &mut Mat) {
+        let (g, k) = a.shape();
+        assert_eq!(b.rows(), g * k, "stacked operand row count");
+        out.resize(g, b.cols());
+        let mut row = Mat::zeros(1, k);
+        let mut block = Mat::zeros(k, b.cols());
+        let mut prod = Mat::zeros(1, b.cols());
+        let block_len = k * b.cols();
+        for r in 0..g {
+            row.as_mut_slice().copy_from_slice(a.row_slice(r));
+            block
+                .as_mut_slice()
+                .copy_from_slice(&b.as_slice()[r * block_len..(r + 1) * block_len]);
+            self.matmul_transient_into(&row, &block, &mut prod);
+            out.row_slice_mut(r).copy_from_slice(prod.row_slice(0));
+        }
     }
 
     /// Computes `a · b` where `b` is **ephemeral** — a matrix built for
@@ -119,6 +180,34 @@ impl GemmBackend for ExactGemm {
     /// operand's row count (see `pdac_math::gemm`).
     fn matmul_batch_into(&self, a: &Mat, b: &Mat, out: &mut Mat) {
         a.matmul_into(b, out).expect("inner dimensions must agree");
+    }
+
+    /// Exact packed batched form: with more than one row the prepacked
+    /// kernel skips the per-call `B`-packing pass (bit-identical — the
+    /// pack only changes memory layout). Single rows keep the plain
+    /// vecmat path so solo-decode callers never pay for building packs
+    /// whose memory roughly doubles the weights.
+    fn matmul_batch_packed_into<'p>(
+        &self,
+        a: &Mat,
+        b: &Mat,
+        packed: &dyn Fn() -> &'p PackedB,
+        out: &mut Mat,
+    ) {
+        if a.rows() > 1 {
+            a.matmul_prepacked_into(packed(), out)
+                .expect("inner dimensions must agree");
+        } else {
+            self.matmul_into(a, b, out);
+        }
+    }
+
+    /// Exact grouped form: all `G` row products in one pooled kernel
+    /// dispatch (`pdac_math::gemm::gemm_grouped`); per cell it is the
+    /// same ascending-`k` reduction as `G` separate vecmats.
+    fn matmul_grouped_transient_into(&self, a: &Mat, b: &Mat, out: &mut Mat) {
+        a.matmul_grouped_into(b, out)
+            .expect("stacked operand rows must equal G·k");
     }
 
     fn name(&self) -> &str {
@@ -226,6 +315,23 @@ impl<D: MzmDriver> GemmBackend for AnalogGemm<D> {
             .expect("inner dimensions must agree");
     }
 
+    /// Grouped analog form: per-row activation scales
+    /// ([`RowQuantizedMat`]) and per-block operand scales
+    /// ([`GroupQuantizedMat`], one block per sequence) reproduce exactly
+    /// the per-tensor quantization the solo transient path applies to
+    /// each 1×k query and k×n gathered operand — then all `G` products
+    /// run in one exact grouped kernel. Cache-free like
+    /// [`Self::matmul_transient_into`].
+    fn matmul_grouped_transient_into(&self, a: &Mat, b: &Mat, out: &mut Mat) {
+        let _span = pdac_telemetry::span("nn.gemm.analog_grouped");
+        pdac_telemetry::counter_add("nn.gemm.macs", (a.rows() * a.cols() * b.cols()) as u64);
+        let bits = self.lut.bits();
+        let aq = RowQuantizedMat::quantize(a, bits).dequantize_with(&self.lut);
+        let bq = GroupQuantizedMat::quantize(b, a.cols(), bits).dequantize_with(&self.lut);
+        aq.matmul_grouped_into(&bq, out)
+            .expect("stacked operand rows must equal G·k");
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
@@ -320,6 +426,20 @@ impl<Da: MzmDriver, Db: MzmDriver> GemmBackend for AsymmetricGemm<Da, Db> {
         let bq = self.cache.get_or_prepare(b, &self.lut_b);
         aq.matmul_prepacked_into(bq.packed(), out)
             .expect("inner dimensions must agree");
+    }
+
+    /// Grouped hybrid form: per-row activations through the `a` drive
+    /// path, per-block stacked operands through the `b` (weight) drive
+    /// path — block scales match the solo transient path exactly (see
+    /// [`AnalogGemm::matmul_grouped_transient_into`]).
+    fn matmul_grouped_transient_into(&self, a: &Mat, b: &Mat, out: &mut Mat) {
+        let _span = pdac_telemetry::span("nn.gemm.asymmetric_grouped");
+        pdac_telemetry::counter_add("nn.gemm.macs", (a.rows() * a.cols() * b.cols()) as u64);
+        let bits = self.lut_a.bits();
+        let aq = RowQuantizedMat::quantize(a, bits).dequantize_with(&self.lut_a);
+        let bq = GroupQuantizedMat::quantize(b, a.cols(), bits).dequantize_with(&self.lut_b);
+        aq.matmul_grouped_into(&bq, out)
+            .expect("stacked operand rows must equal G·k");
     }
 
     fn name(&self) -> &str {
@@ -543,6 +663,115 @@ mod tests {
         // the only traffic above came from the `matmul` comparisons.
         assert_eq!(pdac.cache().misses() + pdac.cache().hits(), 1);
         assert_eq!(hybrid.cache().misses() + hybrid.cache().hits(), 1);
+    }
+
+    /// Every output row of the grouped transient form must match the
+    /// solo transient matmul of that row against its own stacked block —
+    /// the invariant the grouped attention path is built on.
+    fn assert_grouped_rows_match(backend: &dyn GemmBackend, a: &Mat, b: &Mat) {
+        let (g, k) = a.shape();
+        let n = b.cols();
+        let mut grouped = Mat::zeros(1, 1);
+        backend.matmul_grouped_transient_into(a, b, &mut grouped);
+        assert_eq!(grouped.shape(), (g, n));
+        let mut solo = Mat::zeros(1, 1);
+        for r in 0..g {
+            let row = Mat::from_rows(1, k, a.row_slice(r).to_vec()).unwrap();
+            let block =
+                Mat::from_rows(k, n, b.as_slice()[r * k * n..(r + 1) * k * n].to_vec()).unwrap();
+            backend.matmul_transient_into(&row, &block, &mut solo);
+            assert_eq!(
+                grouped.row_slice(r),
+                solo.row_slice(0),
+                "{} group {r}",
+                backend.name()
+            );
+        }
+    }
+
+    #[test]
+    fn grouped_transient_rows_match_solo_transient() {
+        // Per-group operands with wildly different magnitudes so any
+        // shared quantization scale across blocks would fail.
+        let (g, k, n) = (5, 8, 6);
+        let a = random_mat(g, k, 101);
+        let mut b = random_mat(g * k, n, 102);
+        for (blk, f) in [(0usize, 12.0), (3, 0.02)] {
+            for r in 0..k {
+                for v in b.row_slice_mut(blk * k + r) {
+                    *v *= f;
+                }
+            }
+        }
+        let pdac = AnalogGemm::new(PDac::with_optimal_approx(8).unwrap(), "p8");
+        let hybrid = AsymmetricGemm::new(
+            PDac::with_optimal_approx(8).unwrap(),
+            ElectricalDac::new(8).unwrap(),
+            "hy",
+        );
+        for backend in [&ExactGemm as &dyn GemmBackend, &pdac, &hybrid] {
+            assert_grouped_rows_match(backend, &a, &b);
+        }
+        // Grouped transients must leave the weight cache untouched.
+        assert_eq!(pdac.cache().misses() + pdac.cache().hits(), 0);
+        assert_eq!(hybrid.cache().misses() + hybrid.cache().hits(), 0);
+    }
+
+    #[test]
+    fn grouped_transient_single_group_matches_transient() {
+        let a = random_mat(1, 10, 103);
+        let b = random_mat(10, 7, 104);
+        let pdac = AnalogGemm::new(PDac::with_optimal_approx(8).unwrap(), "p8");
+        let mut grouped = Mat::zeros(1, 1);
+        let mut solo = Mat::zeros(1, 1);
+        for backend in [&ExactGemm as &dyn GemmBackend, &pdac] {
+            backend.matmul_grouped_transient_into(&a, &b, &mut grouped);
+            backend.matmul_transient_into(&a, &b, &mut solo);
+            assert_eq!(grouped, solo, "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn batch_packed_matches_batch_for_exact() {
+        let b = random_mat(16, 8, 105);
+        let packed = pdac_math::gemm::PackedB::pack(b.as_slice(), 16, 8);
+        let mut plain = Mat::zeros(1, 1);
+        let mut via_pack = Mat::zeros(1, 1);
+        for rows in [1, 2, 6] {
+            let a = random_mat(rows, 16, 106 + rows as u64);
+            ExactGemm.matmul_batch_into(&a, &b, &mut plain);
+            ExactGemm.matmul_batch_packed_into(&a, &b, &|| &packed, &mut via_pack);
+            assert_eq!(via_pack, plain, "rows={rows}");
+        }
+    }
+
+    #[test]
+    fn batch_packed_single_row_never_forces_the_pack() {
+        let a = random_mat(1, 12, 107);
+        let b = random_mat(12, 5, 108);
+        let mut out = Mat::zeros(1, 1);
+        ExactGemm.matmul_batch_packed_into(
+            &a,
+            &b,
+            &|| -> &'static pdac_math::gemm::PackedB { unreachable!("m == 1 must not pack") },
+            &mut out,
+        );
+        assert_eq!(out, ExactGemm.matmul(&a, &b));
+    }
+
+    #[test]
+    fn batch_packed_default_ignores_the_pack() {
+        // Analog backends keep packed *converted* weights in their own
+        // cache; the raw-value pack must be ignored, not misused.
+        let a = random_mat(4, 12, 109);
+        let b = random_mat(12, 5, 110);
+        let packed = pdac_math::gemm::PackedB::pack(b.as_slice(), 12, 5);
+        let pdac = AnalogGemm::new(PDac::with_optimal_approx(8).unwrap(), "p8");
+        let mut plain = Mat::zeros(1, 1);
+        let mut via_pack = Mat::zeros(1, 1);
+        pdac.matmul_batch_into(&a, &b, &mut plain);
+        pdac.matmul_batch_packed_into(&a, &b, &|| &packed, &mut via_pack);
+        assert_eq!(via_pack, plain);
     }
 
     #[test]

@@ -16,13 +16,15 @@
 use crate::config::TransformerConfig;
 use crate::gemm::GemmBackend;
 use crate::ops::{gelu_mat, layer_norm_rows, mean_pool_rows, residual, softmax_rows};
+use pdac_math::gemm::PackedB;
 use pdac_math::rng::SplitMix64;
 use pdac_math::stats::{cosine_similarity, sqnr_db};
 use pdac_math::Mat;
+use std::sync::OnceLock;
 
 /// One encoder layer's weights (fields crate-visible for the batched
 /// decode engine in [`crate::batch`]).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub(crate) struct EncoderLayer {
     pub(crate) wq: Mat,
     pub(crate) wk: Mat,
@@ -34,6 +36,42 @@ pub(crate) struct EncoderLayer {
     pub(crate) ln1_beta: Vec<f64>,
     pub(crate) ln2_gamma: Vec<f64>,
     pub(crate) ln2_beta: Vec<f64>,
+    /// Lazily panel-packed weights for the exact batched decode path
+    /// (built on first use by [`Self::packs`]; derived data, so excluded
+    /// from equality). Solo decode never touches them — the pack memory
+    /// roughly doubles the weights, so only batched callers pay for it.
+    pub(crate) packs: OnceLock<LayerPacks>,
+}
+
+/// Panel-packed forms ([`PackedB`]) of one layer's six weight matrices,
+/// bit-identical inputs to `pdac_math::gemm::gemm_prepacked` (packing
+/// only changes memory layout — see the math-crate module docs).
+#[derive(Debug, Clone)]
+pub(crate) struct LayerPacks {
+    pub(crate) wq: PackedB,
+    pub(crate) wk: PackedB,
+    pub(crate) wv: PackedB,
+    pub(crate) wo: PackedB,
+    pub(crate) w1: PackedB,
+    pub(crate) w2: PackedB,
+}
+
+impl PartialEq for EncoderLayer {
+    /// Weight equality only: `packs` is a deterministic function of the
+    /// weights, so two layers with equal weights are equal whether or
+    /// not either has packed yet.
+    fn eq(&self, other: &Self) -> bool {
+        self.wq == other.wq
+            && self.wk == other.wk
+            && self.wv == other.wv
+            && self.wo == other.wo
+            && self.w1 == other.w1
+            && self.w2 == other.w2
+            && self.ln1_gamma == other.ln1_gamma
+            && self.ln1_beta == other.ln1_beta
+            && self.ln2_gamma == other.ln2_gamma
+            && self.ln2_beta == other.ln2_beta
+    }
 }
 
 fn random_weight(rng: &mut SplitMix64, rows: usize, cols: usize) -> Mat {
@@ -58,7 +96,25 @@ impl EncoderLayer {
             ln1_beta: vec![0.0; d],
             ln2_gamma: vec![1.0; d],
             ln2_beta: vec![0.0; d],
+            packs: OnceLock::new(),
         }
+    }
+
+    /// The layer's panel-packed weights, built once on first call (the
+    /// exact backend's batched projections skip their per-call packing
+    /// pass with these — see `GemmBackend::matmul_batch_packed_into`).
+    pub(crate) fn packs(&self) -> &LayerPacks {
+        self.packs.get_or_init(|| {
+            let pack = |w: &Mat| PackedB::pack(w.as_slice(), w.rows(), w.cols());
+            LayerPacks {
+                wq: pack(&self.wq),
+                wk: pack(&self.wk),
+                wv: pack(&self.wv),
+                wo: pack(&self.wo),
+                w1: pack(&self.w1),
+                w2: pack(&self.w2),
+            }
+        })
     }
 
     fn forward(

@@ -209,6 +209,110 @@ impl RowQuantizedMat {
     }
 }
 
+/// A tensor quantized to signed codes with one symmetric scale **per
+/// block of rows**.
+///
+/// The grouped attention path stacks the transient right operands of G
+/// independent sequences (each `block_rows × cols`: a gathered Kᵀ or V
+/// matrix) into one `(G·block_rows) × cols` matrix. The solo decode path
+/// quantizes each of those operands per-tensor
+/// ([`QuantizedMat::quantize`]); per-block scales reproduce that exactly:
+/// block `g` of [`Self::quantize`] + [`Self::dequantize_with`] is
+/// bit-identical to [`QuantizedMat::quantize`] of block `g` alone (same
+/// scale rule, same codes, same conversion).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupQuantizedMat {
+    codes: Vec<i32>,
+    rows: usize,
+    cols: usize,
+    block_rows: usize,
+    scales: Vec<f64>,
+    bits: u8,
+}
+
+impl GroupQuantizedMat {
+    /// Quantizes each `block_rows`-row block of `x` at `bits` precision
+    /// with that block's symmetric scale `max|block|` (scale 1 for an
+    /// all-zero block) — the per-tensor rule of
+    /// [`QuantizedMat::quantize`] applied block by block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `2..=16`, `block_rows` is zero, or
+    /// `x.rows()` is not a multiple of `block_rows`.
+    pub fn quantize(x: &Mat, block_rows: usize, bits: u8) -> Self {
+        assert!(block_rows > 0, "block_rows must be nonzero");
+        assert_eq!(
+            x.rows() % block_rows,
+            0,
+            "row count must be a whole number of blocks"
+        );
+        let cols = x.cols();
+        let block_len = block_rows * cols;
+        let mut codes = Vec::with_capacity(x.rows() * cols);
+        let mut scales = Vec::with_capacity(x.rows() / block_rows);
+        for block in x.as_slice().chunks_exact(block_len) {
+            let m = block.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            let scale = if m == 0.0 { 1.0 } else { m };
+            let q = Quantizer::new(bits, scale).expect("validated bit width and positive scale");
+            codes.extend(block.iter().map(|&v| q.quantize(v)));
+            scales.push(scale);
+        }
+        Self {
+            codes,
+            rows: x.rows(),
+            cols,
+            block_rows,
+            scales,
+            bits,
+        }
+    }
+
+    /// Per-block scales.
+    pub fn scales(&self) -> &[f64] {
+        &self.scales
+    }
+
+    /// Bit precision.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Rows per quantization block.
+    pub fn block_rows(&self) -> usize {
+        self.block_rows
+    }
+
+    /// Raw codes, row-major.
+    pub fn codes(&self) -> &[i32] {
+        &self.codes
+    }
+
+    /// Physical dequantization through an MZM drive path: every element
+    /// of block `g` becomes `scales[g] · driver.convert(code)`, matching
+    /// [`QuantizedMat::dequantize_with`] block for block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the driver's bit width differs from the tensor's.
+    pub fn dequantize_with(&self, driver: &dyn MzmDriver) -> Mat {
+        assert_eq!(driver.bits(), self.bits, "driver/tensor bit width mismatch");
+        let mut data = driver.convert_all(&self.codes);
+        let block_len = self.block_rows * self.cols;
+        for (block, &scale) in data.chunks_exact_mut(block_len).zip(&self.scales) {
+            for v in block {
+                *v *= scale;
+            }
+        }
+        Mat::from_rows(self.rows, self.cols, data).expect("shape preserved")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,5 +478,64 @@ mod tests {
     fn row_quantize_rejects_mismatched_driver_bits() {
         let q = RowQuantizedMat::quantize(&ramp(), 8);
         q.dequantize_with(&PDac::with_optimal_approx(4).unwrap());
+    }
+
+    #[test]
+    fn group_quantize_blocks_match_per_tensor_single_blocks() {
+        // The grouped-attention invariant: each block of the stacked
+        // quantization is bit-identical to per-tensor quantization of
+        // that block alone.
+        let mut rng = pdac_math::rng::SplitMix64::seed_from_u64(91);
+        let (groups, block_rows, cols) = (4, 3, 6);
+        let mut x = Mat::from_fn(groups * block_rows, cols, |_, _| {
+            rng.gen_range_f64(-2.0, 2.0)
+        });
+        // Give blocks very different magnitudes so a shared per-tensor
+        // scale would fail the comparison.
+        for (g, f) in [(0usize, 8.0), (2, 0.05)] {
+            for r in 0..block_rows {
+                for v in x.row_slice_mut(g * block_rows + r) {
+                    *v *= f;
+                }
+            }
+        }
+        let pdac = PDac::with_optimal_approx(8).unwrap();
+        let stacked = GroupQuantizedMat::quantize(&x, block_rows, 8);
+        assert_eq!(stacked.shape(), (groups * block_rows, cols));
+        assert_eq!(stacked.block_rows(), block_rows);
+        let deq = stacked.dequantize_with(&pdac);
+        for g in 0..groups {
+            let mut data = Vec::new();
+            for r in 0..block_rows {
+                data.extend_from_slice(x.row_slice(g * block_rows + r));
+            }
+            let block = Mat::from_rows(block_rows, cols, data).unwrap();
+            let single = QuantizedMat::quantize(&block, 8);
+            assert_eq!(stacked.scales()[g], single.scale(), "block {g}");
+            let single_deq = single.dequantize_with(&pdac);
+            for r in 0..block_rows {
+                assert_eq!(
+                    deq.row_slice(g * block_rows + r),
+                    single_deq.row_slice(r),
+                    "block {g} row {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn group_quantize_zero_block_uses_unit_scale() {
+        let mut x = Mat::from_fn(4, 3, |_, c| c as f64 + 1.0);
+        x.row_slice_mut(2).fill(0.0);
+        x.row_slice_mut(3).fill(0.0);
+        let q = GroupQuantizedMat::quantize(&x, 2, 8);
+        assert_eq!(q.scales()[1], 1.0);
+        assert!(q.codes()[6..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of blocks")]
+    fn group_quantize_rejects_ragged_blocks() {
+        GroupQuantizedMat::quantize(&ramp(), 3, 8);
     }
 }

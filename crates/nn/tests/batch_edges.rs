@@ -120,6 +120,129 @@ fn scratch_survives_batch_size_changes() {
     assert_eq!(scratch.reuses(), 2);
 }
 
+/// Warms `caches[i]` (and a mirror in `solos[i]`) by `depths[i]` solo
+/// steps so a subsequent batch starts at exactly those cache lengths.
+fn warm_ragged(
+    m: &TransformerModel,
+    depths: &[usize],
+    caches: &mut [pdac_nn::KvCache],
+    solos: &mut [pdac_nn::KvCache],
+) {
+    for (i, &depth) in depths.iter().enumerate() {
+        for t in 0..depth {
+            let tok = tokens_for(m, 1, (i * 53 + t) as u64);
+            let _ = m.decode_step(&tok.row(0), &mut caches[i], &ExactGemm);
+            let _ = m.decode_step(&tok.row(0), &mut solos[i], &ExactGemm);
+        }
+    }
+}
+
+/// One batched step from `depths`, asserted row-by-row against solo
+/// `decode_step`.
+fn step_and_compare(
+    m: &TransformerModel,
+    caches: &mut [pdac_nn::KvCache],
+    solos: &mut [pdac_nn::KvCache],
+    scratch: &mut DecodeScratch,
+    seed: u64,
+) {
+    let s = caches.len();
+    let toks = tokens_for(m, s, seed);
+    let mut out = Mat::zeros(1, 1);
+    {
+        let mut refs: Vec<&mut _> = caches.iter_mut().collect();
+        m.decode_batch_with(&toks, &mut refs, &ExactGemm, scratch, &mut out);
+    }
+    for (i, solo) in solos.iter_mut().enumerate() {
+        let want = m.decode_step(&toks.row(i), solo, &ExactGemm);
+        assert_eq!(out.row(i), want, "seq {i}");
+    }
+}
+
+#[test]
+fn all_equal_lengths_decode_as_one_slot_group() {
+    // Every cache at the same depth: the attention phase collapses to a
+    // single slot-group spanning the whole batch.
+    let m = tiny();
+    let depths = [3usize; 4];
+    let mut caches: Vec<_> = depths.iter().map(|_| m.new_cache()).collect();
+    let mut solos: Vec<_> = depths.iter().map(|_| m.new_cache()).collect();
+    warm_ragged(&m, &depths, &mut caches, &mut solos);
+    let mut scratch = DecodeScratch::new();
+    step_and_compare(&m, &mut caches, &mut solos, &mut scratch, 21);
+    assert!(caches.iter().all(|c| c.len() == 4));
+}
+
+#[test]
+fn all_distinct_lengths_decode_as_s_slot_groups() {
+    // Every cache at a different depth: S sequences, S slot-groups of
+    // one — the degenerate grouping where nothing is shared.
+    let m = tiny();
+    let depths = [0usize, 1, 2, 3];
+    let mut caches: Vec<_> = depths.iter().map(|_| m.new_cache()).collect();
+    let mut solos: Vec<_> = depths.iter().map(|_| m.new_cache()).collect();
+    warm_ragged(&m, &depths, &mut caches, &mut solos);
+    let mut scratch = DecodeScratch::new();
+    // Two steps: depths stay pairwise distinct, so the grouping stays
+    // fully fragmented both times.
+    step_and_compare(&m, &mut caches, &mut solos, &mut scratch, 22);
+    step_and_compare(&m, &mut caches, &mut solos, &mut scratch, 23);
+    for (i, &depth) in depths.iter().enumerate() {
+        assert_eq!(caches[i].len(), depth + 2);
+    }
+}
+
+#[test]
+fn group_membership_tracks_retiring_sequences() {
+    // Continuous batching: sequences leave the batch mid-run, so the
+    // same cache lands in differently shaped slot-groups step to step.
+    let m = tiny();
+    let depths = [2usize, 2, 1, 2];
+    let mut caches: Vec<_> = depths.iter().map(|_| m.new_cache()).collect();
+    let mut solos: Vec<_> = depths.iter().map(|_| m.new_cache()).collect();
+    warm_ragged(&m, &depths, &mut caches, &mut solos);
+    let mut scratch = DecodeScratch::new();
+    // Step 1, full batch: groups {2} and {0, 1, 3}.
+    step_and_compare(&m, &mut caches, &mut solos, &mut scratch, 31);
+    // Sequences 1 and 3 retire. Step 2: groups {2} and {0} — the
+    // survivor of the big group now shares with nobody.
+    let mut live_caches: Vec<_> = vec![caches.remove(2), caches.remove(0)];
+    let mut live_solos: Vec<_> = vec![solos.remove(2), solos.remove(0)];
+    step_and_compare(&m, &mut live_caches, &mut live_solos, &mut scratch, 32);
+    // Sequence 2 catches up to sequence 0's depth. Step 3: one group.
+    let tok = tokens_for(&m, 1, 33);
+    let _ = m.decode_step(&tok.row(0), &mut live_caches[0], &ExactGemm);
+    let _ = m.decode_step(&tok.row(0), &mut live_solos[0], &ExactGemm);
+    assert_eq!(live_caches[0].len(), live_caches[1].len());
+    step_and_compare(&m, &mut live_caches, &mut live_solos, &mut scratch, 34);
+}
+
+#[test]
+fn prime_head_dim_grouped_attention_matches_sequential() {
+    // hidden 28 / 4 heads gives head dim 7 — a prime that defeats any
+    // accidental power-of-two assumptions in the gather strides or the
+    // grouped-GEMM chunking.
+    let m = TransformerModel::random(
+        TransformerConfig {
+            name: "prime-dh".into(),
+            layers: 2,
+            hidden: 28,
+            heads: 4,
+            ff_mult: 4,
+            seq_len: 8,
+        },
+        4,
+        19,
+    );
+    let depths = [0usize, 2, 2, 5];
+    let mut caches: Vec<_> = depths.iter().map(|_| m.new_cache()).collect();
+    let mut solos: Vec<_> = depths.iter().map(|_| m.new_cache()).collect();
+    warm_ragged(&m, &depths, &mut caches, &mut solos);
+    let mut scratch = DecodeScratch::new();
+    step_and_compare(&m, &mut caches, &mut solos, &mut scratch, 41);
+    step_and_compare(&m, &mut caches, &mut solos, &mut scratch, 42);
+}
+
 #[test]
 #[should_panic(expected = "cache layer mismatch")]
 fn mismatched_cache_layer_count_rejected() {

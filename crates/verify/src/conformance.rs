@@ -31,7 +31,7 @@ use pdac_math::rng::SplitMix64;
 use pdac_math::Mat;
 use pdac_nn::gemm::{AnalogGemm, AsymmetricGemm, ExactGemm, GemmBackend};
 use pdac_nn::quant::QuantizedMat;
-use pdac_nn::{BatchedKvCache, TransformerConfig, TransformerModel};
+use pdac_nn::{BatchedKvCache, DecodeScratch, KvCache, TransformerConfig, TransformerModel};
 use pdac_power::ArchConfig;
 
 /// Configuration of one conformance run.
@@ -281,6 +281,83 @@ fn batched_decode_checks(cfg: &ConformanceConfig) -> Vec<CheckResult> {
             &format!("decode.batch.{label}.rows_vs_decode_step"),
             diffs,
             format!("{steps} steps x batch {s}: decode_batch rows vs independent decode_step"),
+        ));
+    }
+    checks
+}
+
+/// The slot-grouped attention path under *ragged* cache lengths:
+/// caches are pre-warmed to distinct depths (2/0/1/2) so every
+/// subsequent step decodes against three slot-groups at once — one of
+/// them holding two sequences — and each `decode_batch_with` row must
+/// still be bit-identical to feeding that sequence through
+/// `decode_step` alone, for the exact and the analog backend.
+///
+/// [`batched_decode_checks`] starts every cache empty, so all
+/// sequences share one slot-group; this check pins the gather /
+/// grouped-GEMM / scatter bookkeeping that only multiple groups
+/// exercise.
+fn grouped_attention_checks(cfg: &ConformanceConfig) -> Vec<CheckResult> {
+    let model = TransformerModel::random(TransformerConfig::tiny(), 4, cfg.seed);
+    let hidden = model.config().hidden;
+    let warm = [2usize, 0, 1, 2];
+    let s = warm.len();
+    let steps = cfg.decode_steps.clamp(2, 4);
+    let backends: Vec<(&str, Box<dyn GemmBackend>)> = vec![
+        ("exact", Box::new(ExactGemm)),
+        (
+            "pdac",
+            Box::new(AnalogGemm::new(
+                PDac::with_optimal_approx(8).expect("valid bits"),
+                "pdac8",
+            )),
+        ),
+    ];
+    let mut checks = Vec::new();
+    for (label, backend) in backends {
+        let mut rng = SplitMix64::seed_from_u64(cfg.seed ^ 0x6A0B5);
+        let mut batched: Vec<KvCache> = (0..s).map(|_| model.new_cache()).collect();
+        let mut solo: Vec<KvCache> = (0..s).map(|_| model.new_cache()).collect();
+        // Warm both sides identically so the batch starts ragged.
+        for (sq, &depth) in warm.iter().enumerate() {
+            for _ in 0..depth {
+                let tok = random_mat(1, hidden, &mut rng);
+                let _ = model.decode_step(&tok.row(0), &mut batched[sq], backend.as_ref());
+                let _ = model.decode_step(&tok.row(0), &mut solo[sq], backend.as_ref());
+            }
+        }
+        let mut scratch = DecodeScratch::new();
+        let mut got = Mat::zeros(1, 1);
+        let mut diffs = 0usize;
+        for _ in 0..steps {
+            let tokens = random_mat(s, hidden, &mut rng);
+            {
+                let mut refs: Vec<&mut KvCache> = batched.iter_mut().collect();
+                model.decode_batch_with(
+                    &tokens,
+                    &mut refs,
+                    backend.as_ref(),
+                    &mut scratch,
+                    &mut got,
+                );
+            }
+            for (sq, cache) in solo.iter_mut().enumerate() {
+                let want = model.decode_step(&tokens.row(sq), cache, backend.as_ref());
+                diffs += got
+                    .row_slice(sq)
+                    .iter()
+                    .zip(&want)
+                    .filter(|(x, y)| x.to_bits() != y.to_bits())
+                    .count();
+            }
+        }
+        checks.push(bit_identity_check(
+            &format!("decode.batch.grouped_attention.{label}.rows_vs_decode_step"),
+            diffs,
+            format!(
+                "{steps} steps x batch {s}, pre-warmed cache depths {warm:?} (three \
+                 slot-groups per step): decode_batch_with rows vs independent decode_step"
+            ),
         ));
     }
     checks
@@ -812,6 +889,7 @@ pub fn run_conformance(cfg: &ConformanceConfig) -> ConformanceReport {
     report.extend(end_to_end_budget_checks(cfg));
     report.extend(decode_workload_checks(cfg));
     report.extend(batched_decode_checks(cfg));
+    report.extend(grouped_attention_checks(cfg));
     report.extend(tracing_invariance_checks(cfg));
     report.extend(energy_meter_invariance_checks(cfg));
     report

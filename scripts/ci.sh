@@ -90,6 +90,14 @@ else
     echo "note: python3 unavailable, skipping JSON parse check"
 fi
 
+echo "==> decode bench batch sweep (exact backend: no batch size slower than sequential)"
+PDAC_BENCH_DECODE_HIDDEN=64 PDAC_BENCH_DECODE_LAYERS=2 PDAC_BENCH_DECODE_HEADS=4 \
+    PDAC_BENCH_DECODE_PROMPT=2 PDAC_BENCH_DECODE_TOKENS=16 \
+    PDAC_BENCH_DECODE_BATCHES=1,4,8,16 PDAC_BENCH_DECODE_BACKENDS=exact \
+    PDAC_BENCH_DECODE_REPS=5 PDAC_BENCH_DECODE_FLOOR=1.0 \
+    PDAC_BENCH_OUT="$(pwd)/target/BENCH_decode.sweep.json" \
+    cargo bench --features microbench -p pdac-bench --bench decode_engine
+
 echo "==> bench regression gate (fresh runs vs checked-in baselines)"
 PDAC_BENCH_DECODE_HIDDEN=128 PDAC_BENCH_DECODE_LAYERS=2 PDAC_BENCH_DECODE_HEADS=4 \
     PDAC_BENCH_DECODE_PROMPT=4 PDAC_BENCH_DECODE_TOKENS=8 PDAC_BENCH_DECODE_BATCHES=8 \
