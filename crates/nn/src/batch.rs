@@ -37,6 +37,7 @@
 use crate::gemm::GemmBackend;
 use crate::inference::{KvCache, TransformerModel};
 use crate::ops::{gelu_mat_inplace, layer_norm_rows_inplace, residual_into, softmax_rows_inplace};
+use crate::paged::PagedKvCache;
 use pdac_math::Mat;
 use pdac_power::OpClass;
 
@@ -118,13 +119,113 @@ impl DecodeScratch {
     }
 }
 
-/// The shared batched decode core: advances each sequence in `caches`
+/// The K/V rows a decode step reads and appends, behind one indirection:
+/// either the flat per-sequence [`KvCache`] vectors or a
+/// [`PagedKvCache`]'s page tables. The decode core is written against
+/// this enum only, so both layouts run the *same* arithmetic in the same
+/// order — the gathers below are pure data movement, which is what keeps
+/// the paged path inside the bit-identity contract.
+pub(crate) enum KvRows<'a, 'c> {
+    /// Disjoint per-sequence caches (the original layout).
+    Flat(&'a mut [&'c mut KvCache]),
+    /// Page-table indirection: batch row `i` decodes slot `slots[i]` of
+    /// the paged cache.
+    Paged {
+        cache: &'a mut PagedKvCache,
+        slots: &'a [usize],
+    },
+}
+
+impl KvRows<'_, '_> {
+    /// Number of sequences in this batch.
+    fn seqs(&self) -> usize {
+        match self {
+            KvRows::Flat(caches) => caches.len(),
+            KvRows::Paged { slots, .. } => slots.len(),
+        }
+    }
+
+    /// Validates every sequence against the model's layer count (and,
+    /// in debug builds, flat caches against per-layer length skew —
+    /// the guard behind the documented [`BatchedKvCache::seq_mut`]
+    /// contract).
+    fn assert_layers(&self, model_layers: usize) {
+        match self {
+            KvRows::Flat(caches) => {
+                for cache in caches.iter() {
+                    assert_eq!(cache.layers.len(), model_layers, "cache layer mismatch");
+                    debug_assert!(
+                        cache.layers.iter().all(|l| l.len() == cache.len()),
+                        "ragged per-layer KV lengths: caches mutated via seq_mut \
+                         must keep every layer at the same length"
+                    );
+                }
+            }
+            KvRows::Paged { cache, .. } => {
+                assert_eq!(cache.layer_count(), model_layers, "cache layer mismatch");
+            }
+        }
+    }
+
+    /// Cached tokens for batch row `i`.
+    fn len(&self, i: usize) -> usize {
+        match self {
+            KvRows::Flat(caches) => caches[i].len(),
+            KvRows::Paged { cache, slots } => cache.seq_len(slots[i]),
+        }
+    }
+
+    /// Sum of cached tokens across the batch (post-push, for the energy
+    /// meter).
+    fn total_len(&self) -> u64 {
+        (0..self.seqs()).map(|i| self.len(i) as u64).sum()
+    }
+
+    /// Appends this step's K/V row for batch row `i` at layer `li`.
+    fn push_row(&mut self, li: usize, i: usize, k: &[f64], v: &[f64]) {
+        match self {
+            KvRows::Flat(caches) => caches[i].layers[li].push_row(k, v),
+            KvRows::Paged { cache, slots } => cache.push_row(slots[i], li, k, v),
+        }
+    }
+
+    /// Transposed key gather for batch row `i`, head columns
+    /// `c0..c0 + dh`: writes `out[r * l + t] = K[t][c0 + r]` — identical
+    /// element order for both layouts.
+    fn gather_kt(&self, li: usize, i: usize, c0: usize, dh: usize, l: usize, out: &mut [f64]) {
+        match self {
+            KvRows::Flat(caches) => {
+                for (t, key) in caches[i].layers[li].k.iter().enumerate() {
+                    for (r, &kv) in key[c0..c0 + dh].iter().enumerate() {
+                        out[r * l + t] = kv;
+                    }
+                }
+            }
+            KvRows::Paged { cache, slots } => cache.gather_kt(slots[i], li, c0, dh, l, out),
+        }
+    }
+
+    /// Value gather for batch row `i`: writes
+    /// `out[t * dh..(t + 1) * dh] = V[t][c0..c0 + dh]`.
+    fn gather_v(&self, li: usize, i: usize, c0: usize, dh: usize, out: &mut [f64]) {
+        match self {
+            KvRows::Flat(caches) => {
+                for (t, val) in caches[i].layers[li].v.iter().enumerate() {
+                    out[t * dh..(t + 1) * dh].copy_from_slice(&val[c0..c0 + dh]);
+                }
+            }
+            KvRows::Paged { cache, slots } => cache.gather_v(slots[i], li, c0, dh, out),
+        }
+    }
+}
+
+/// The shared batched decode core: advances each sequence in `kv`
 /// by its row of `tokens`, writing the `S × hidden` final hidden states
 /// into `out`.
 pub(crate) fn decode_rows(
     model: &TransformerModel,
     tokens: &Mat,
-    caches: &mut [&mut KvCache],
+    kv: &mut KvRows<'_, '_>,
     backend: &dyn GemmBackend,
     scratch: &mut DecodeScratch,
     out: &mut Mat,
@@ -134,14 +235,8 @@ pub(crate) fn decode_rows(
     let d = config.hidden;
     let ff = config.ff_dim();
     assert_eq!(tokens.cols(), d, "hidden dim mismatch");
-    assert_eq!(caches.len(), s, "batch size mismatch");
-    for cache in caches.iter() {
-        assert_eq!(
-            cache.layers.len(),
-            model.layers.len(),
-            "cache layer mismatch"
-        );
-    }
+    assert_eq!(kv.seqs(), s, "batch size mismatch");
+    kv.assert_layers(model.layers.len());
 
     if scratch.primed && scratch.x.capacity() >= s * d && scratch.h.capacity() >= s * ff {
         scratch.reuses += 1;
@@ -185,13 +280,13 @@ pub(crate) fn decode_rows(
     // order is deterministic, and nothing allocates on the warm path.
     group_order.clear();
     group_order.extend(0..s);
-    group_order.sort_unstable_by_key(|&sq| (caches[sq].len(), sq));
+    group_order.sort_unstable_by_key(|&sq| (kv.len(sq), sq));
     group_bounds.clear();
     let mut at = 0;
     while at < s {
-        let len = caches[group_order[at]].len();
+        let len = kv.len(group_order[at]);
         let mut end = at + 1;
-        while end < s && caches[group_order[end]].len() == len {
+        while end < s && kv.len(group_order[end]) == len {
             end += 1;
         }
         // Post-push context length: this step's K/V row is appended
@@ -214,8 +309,8 @@ pub(crate) fn decode_rows(
 
         let attn_span = pdac_telemetry::span("nn.decode.attention");
         context.resize(s, d);
-        for (sq, cache) in caches.iter_mut().enumerate() {
-            cache.layers[li].push_row(k_new.row_slice(sq), v_new.row_slice(sq));
+        for sq in 0..s {
+            kv.push_row(li, sq, k_new.row_slice(sq), v_new.row_slice(sq));
         }
         for &(start, g, l) in group_bounds.iter() {
             let seqs = &group_order[start..start + g];
@@ -233,12 +328,14 @@ pub(crate) fn decode_rows(
                 kgt.resize(g * dh, l);
                 let kdata = kgt.as_mut_slice();
                 for (gi, &sq) in seqs.iter().enumerate() {
-                    let base = gi * dh * l;
-                    for (t, key) in caches[sq].layers[li].k.iter().enumerate() {
-                        for (r, &kv) in key[c0..c0 + dh].iter().enumerate() {
-                            kdata[base + r * l + t] = kv;
-                        }
-                    }
+                    kv.gather_kt(
+                        li,
+                        sq,
+                        c0,
+                        dh,
+                        l,
+                        &mut kdata[gi * dh * l..(gi + 1) * dh * l],
+                    );
                 }
                 // Grouped transient matmuls: per-step gathers can never
                 // hit a weight cache (see `matmul_transient_into`), and
@@ -254,11 +351,9 @@ pub(crate) fn decode_rows(
                 }
                 softmax_rows_inplace(scores);
                 vg.resize(g * l, dh);
+                let vdata = vg.as_mut_slice();
                 for (gi, &sq) in seqs.iter().enumerate() {
-                    for (t, val) in caches[sq].layers[li].v.iter().enumerate() {
-                        vg.row_slice_mut(gi * l + t)
-                            .copy_from_slice(&val[c0..c0 + dh]);
-                    }
+                    kv.gather_v(li, sq, c0, dh, &mut vdata[gi * l * dh..(gi + 1) * l * dh]);
                 }
                 backend.matmul_grouped_transient_into(scores, vg, ctx);
                 for (gi, &sq) in seqs.iter().enumerate() {
@@ -285,7 +380,7 @@ pub(crate) fn decode_rows(
     out.resize(s, d);
     out.as_mut_slice().copy_from_slice(x.as_slice());
 
-    record_step_energy(model, caches, s, d, ff);
+    record_step_energy(model, kv, s, d, ff);
 }
 
 /// Reports the step's executed activity to the live energy meter
@@ -300,10 +395,13 @@ pub(crate) fn decode_rows(
 /// Movement counts only per-step *streamed* bytes (activations in/out of
 /// each GEMM, KV gathers, scores): weight operands are backend-resident
 /// (converted once into the weight cache), so their one-time streaming
-/// is model-load cost, not serving cost. See DESIGN.md §13.
+/// is model-load cost, not serving cost. KV paging changes where the
+/// gathered rows *live* (and how many fit), not how many stream through
+/// the converters per step — so both layouts record identical activity.
+/// See DESIGN.md §13 and §15.
 fn record_step_energy(
     model: &TransformerModel,
-    caches: &[&mut KvCache],
+    kv: &KvRows<'_, '_>,
     s: usize,
     d: usize,
     ff: usize,
@@ -316,7 +414,7 @@ fn record_step_energy(
     let (s, d, ff, h) = (s as u64, d as u64, ff as u64, config.heads as u64);
     // Per-sequence context length for this step (caches were pushed
     // above; identical across layers).
-    let sum_l: u64 = caches.iter().map(|c| c.len() as u64).sum();
+    let sum_l: u64 = kv.total_len();
     // QKV + output projections (4·s·d²) plus per-head score/context
     // matmuls (2·d·l per sequence).
     let attn_macs = layers * (4 * s * d * d + 2 * d * sum_l);
@@ -383,6 +481,19 @@ impl BatchedKvCache {
     }
 
     /// Sequence `i`'s cache, mutably (e.g. to reset a retired slot).
+    ///
+    /// Mutating a cache between steps is safe with respect to the
+    /// shared [`DecodeScratch`]: the scratch holds no per-sequence
+    /// state — slot grouping is recomputed from the cache lengths at
+    /// the start of every step — so replacing the cache with a fresh
+    /// one ([`Self::reset_seq`] does exactly this) or swapping two
+    /// slots' caches decodes correctly on the next
+    /// [`TransformerModel::decode_batch`]. Two misuses are checked
+    /// there instead of silently corrupting attention: substituting a
+    /// cache built for a different model panics ("cache layer
+    /// mismatch"), and leaving the per-layer K/V vectors at *unequal*
+    /// lengths (manual surgery on `KvCache` internals) trips a debug
+    /// assertion.
     pub fn seq_mut(&mut self, i: usize) -> &mut KvCache {
         &mut self.caches[i]
     }
@@ -421,8 +532,72 @@ impl TransformerModel {
         let mut refs: Vec<&mut KvCache> = caches.iter_mut().collect();
         let _span = pdac_telemetry::span("nn.inference.decode_batch");
         pdac_telemetry::counter_add("nn.inference.decoded_tokens", tokens.rows() as u64);
-        decode_rows(self, tokens, &mut refs, backend, scratch, &mut out);
+        decode_rows(
+            self,
+            tokens,
+            &mut KvRows::Flat(&mut refs),
+            backend,
+            scratch,
+            &mut out,
+        );
         out
+    }
+
+    /// [`Self::decode_batch`] against a [`PagedKvCache`]: row `s` of
+    /// `tokens` advances slot `s`. Row `s` of the result is
+    /// **bit-identical** to decoding that slot's token history through
+    /// [`Self::decode_step`] solo — page-table indirection (including
+    /// prefix-shared and copy-on-write pages) is pure data movement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens.rows()` differs from the cache's slot count,
+    /// `tokens.cols() != hidden`, or the cache's layer count differs
+    /// from the model's.
+    pub fn decode_batch_paged(
+        &self,
+        tokens: &Mat,
+        cache: &mut PagedKvCache,
+        backend: &dyn GemmBackend,
+    ) -> Mat {
+        assert_eq!(tokens.rows(), cache.slots(), "batch size mismatch");
+        let slots: Vec<usize> = (0..cache.slots()).collect();
+        let mut scratch = cache.take_scratch();
+        let mut out = Mat::zeros(1, 1);
+        self.decode_paged_with(tokens, cache, &slots, backend, &mut scratch, &mut out);
+        cache.put_scratch(scratch);
+        out
+    }
+
+    /// [`Self::decode_batch_paged`] over an arbitrary subset of slots
+    /// (row `i` of `tokens` advances `slots[i]`), writing into a
+    /// caller-owned output — the form the continuous-batching scheduler
+    /// uses when some slots are empty or retired.
+    pub fn decode_paged_with(
+        &self,
+        tokens: &Mat,
+        cache: &mut PagedKvCache,
+        slots: &[usize],
+        backend: &dyn GemmBackend,
+        scratch: &mut DecodeScratch,
+        out: &mut Mat,
+    ) {
+        debug_assert!(
+            slots
+                .iter()
+                .all(|&a| slots.iter().filter(|&&b| b == a).count() == 1),
+            "duplicate slot in paged decode batch"
+        );
+        let _span = pdac_telemetry::span("nn.inference.decode_batch");
+        pdac_telemetry::counter_add("nn.inference.decoded_tokens", tokens.rows() as u64);
+        decode_rows(
+            self,
+            tokens,
+            &mut KvRows::Paged { cache, slots },
+            backend,
+            scratch,
+            out,
+        );
     }
 
     /// [`Self::decode_batch`] over an arbitrary (possibly ragged)
@@ -439,7 +614,14 @@ impl TransformerModel {
     ) {
         let _span = pdac_telemetry::span("nn.inference.decode_batch");
         pdac_telemetry::counter_add("nn.inference.decoded_tokens", tokens.rows() as u64);
-        decode_rows(self, tokens, caches, backend, scratch, out);
+        decode_rows(
+            self,
+            tokens,
+            &mut KvRows::Flat(caches),
+            backend,
+            scratch,
+            out,
+        );
     }
 
     /// [`Self::decode_step`] with a caller-owned scratch, so repeated
@@ -456,7 +638,14 @@ impl TransformerModel {
         assert_eq!(token.len(), self.config().hidden, "hidden dim mismatch");
         let tokens = Mat::from_rows(1, token.len(), token.to_vec()).expect("row vector");
         let mut out = Mat::zeros(1, 1);
-        decode_rows(self, &tokens, &mut [cache], backend, scratch, &mut out);
+        decode_rows(
+            self,
+            &tokens,
+            &mut KvRows::Flat(&mut [cache]),
+            backend,
+            scratch,
+            &mut out,
+        );
         out.row(0)
     }
 }

@@ -29,7 +29,13 @@
 //!   [`TransformerModel::decode_batch`] advance S sequences per step
 //!   through one stacked activation matrix (weights stream through the
 //!   converters once per step, attention stays per-sequence), row-for-row
-//!   bit-identical to S independent `decode_step` calls.
+//!   bit-identical to S independent `decode_step` calls;
+//! * [`paged`] — the paged KV cache: fixed-size token blocks behind
+//!   per-slot page tables with refcounts + copy-on-write, hash-consed
+//!   prefix sharing, and an LRU-evicting byte budget
+//!   (`PDAC_KV_BUDGET_BYTES`) — a drop-in for [`batch::BatchedKvCache`]
+//!   via [`TransformerModel::decode_batch_paged`], preserving the same
+//!   bit-identity contract.
 //!
 //! # Examples
 //!
@@ -48,6 +54,7 @@ pub mod gemm;
 pub mod generative;
 pub mod inference;
 pub mod ops;
+pub mod paged;
 pub mod prepared;
 pub mod quant;
 pub mod workload;
@@ -56,4 +63,5 @@ pub use batch::{BatchedKvCache, DecodeScratch};
 pub use config::TransformerConfig;
 pub use gemm::{AnalogGemm, AsymmetricGemm, ExactGemm, GemmBackend};
 pub use inference::{KvCache, TransformerModel};
+pub use paged::{prefix_block_hashes, KvStats, PageAllocator, PageId, PagedConfig, PagedKvCache};
 pub use prepared::{PreparedOperand, WeightCache};

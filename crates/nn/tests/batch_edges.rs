@@ -275,3 +275,269 @@ fn zero_batch_rejected() {
     let m = tiny();
     let _ = BatchedKvCache::new(&m, 0);
 }
+
+// ---- paged KV cache edges ------------------------------------------------
+
+use pdac_nn::{prefix_block_hashes, KvCache, PagedConfig, PagedKvCache};
+
+fn prompt_list(model: &TransformerModel, len: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = pdac_math::rng::SplitMix64::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            (0..model.config().hidden)
+                .map(|_| rng.gen_range_f64(-1.0, 1.0))
+                .collect()
+        })
+        .collect()
+}
+
+/// Feeds `prompt[cache.seq_len(slot)..]` one token at a time through the
+/// paged engine; returns the last hidden row.
+fn decode_prompt_paged(
+    model: &TransformerModel,
+    cache: &mut PagedKvCache,
+    slot: usize,
+    prompt: &[Vec<f64>],
+    scratch: &mut DecodeScratch,
+) -> Vec<f64> {
+    let mut out = Mat::zeros(1, 1);
+    for tok in &prompt[cache.seq_len(slot)..] {
+        let tokens = Mat::from_rows(1, tok.len(), tok.clone()).expect("token row");
+        model.decode_paged_with(&tokens, cache, &[slot], &ExactGemm, scratch, &mut out);
+    }
+    out.row(0)
+}
+
+/// The same prompt through a solo flat cache (the bit-identity oracle).
+fn decode_prompt_solo(
+    model: &TransformerModel,
+    cache: &mut KvCache,
+    prompt: &[Vec<f64>],
+) -> Vec<f64> {
+    let mut last = Vec::new();
+    for tok in &prompt[cache.len()..] {
+        last = model.decode_step(tok, cache, &ExactGemm);
+    }
+    last
+}
+
+#[test]
+fn paged_prompt_shorter_than_one_block() {
+    // Block 8, prompt 3: no block boundary is ever reached, so nothing
+    // publishes and nothing shares — and decode still matches solo.
+    let m = tiny();
+    let mut cache = PagedKvCache::new(&m, 1, PagedConfig::new(8));
+    let mut scratch = DecodeScratch::new();
+    let prompt = prompt_list(&m, 3, 61);
+    let got = decode_prompt_paged(&m, &mut cache, 0, &prompt, &mut scratch);
+    let mut solo = m.new_cache();
+    let want = decode_prompt_solo(&m, &mut solo, &prompt);
+    assert_eq!(got, want);
+    let hashes = prefix_block_hashes(prompt.iter().map(Vec::as_slice), 8);
+    assert!(hashes.is_empty(), "no full block to hash");
+    cache.publish_prefix(0, &hashes);
+    assert_eq!(cache.stats().prefix_entries, 0);
+    // One (partial) page per layer.
+    assert_eq!(cache.stats().live_pages, m.config().layers);
+}
+
+#[test]
+fn paged_prompt_exactly_block_aligned_shares_fully() {
+    // Block 2, prompt 4: the whole prompt is shareable; a second slot
+    // maps it and continues bit-identically to a solo decode.
+    let m = tiny();
+    let mut cache = PagedKvCache::new(&m, 2, PagedConfig::new(2));
+    let mut scratch = DecodeScratch::new();
+    let prompt = prompt_list(&m, 4, 62);
+    let hashes = prefix_block_hashes(prompt.iter().map(Vec::as_slice), 2);
+    let _ = decode_prompt_paged(&m, &mut cache, 0, &prompt, &mut scratch);
+    cache.publish_prefix(0, &hashes);
+    let shared = cache.lookup_prefix(1, &hashes);
+    assert_eq!(shared, 4, "block-aligned prompt shares fully");
+    // Slot 1 skips the whole prompt and decodes one fresh token.
+    let next = prompt_list(&m, 1, 63);
+    let got = decode_prompt_paged(
+        &m,
+        &mut cache,
+        1,
+        &[prompt.clone(), next.clone()].concat(),
+        &mut scratch,
+    );
+    let mut solo = m.new_cache();
+    let want = decode_prompt_solo(&m, &mut solo, &[prompt, next].concat());
+    assert_eq!(got, want, "shared-prefix continuation diverged from solo");
+    assert!(cache.stats().shared_tokens >= 4);
+}
+
+#[test]
+fn paged_retirement_mid_prefix_share() {
+    // The publisher retires while another slot still shares its prefix:
+    // the sharer keeps decoding bit-identically, and only the
+    // publisher's exclusive tail page is freed.
+    let m = tiny();
+    let layers = m.config().layers;
+    let mut cache = PagedKvCache::new(&m, 2, PagedConfig::new(2));
+    let mut scratch = DecodeScratch::new();
+    // 5 tokens at block 2: boundaries at 2 and 4, partial tail page.
+    let prompt = prompt_list(&m, 5, 64);
+    let hashes = prefix_block_hashes(prompt.iter().map(Vec::as_slice), 2);
+    let _ = decode_prompt_paged(&m, &mut cache, 0, &prompt, &mut scratch);
+    cache.publish_prefix(0, &hashes);
+    let shared = cache.lookup_prefix(1, &hashes);
+    assert_eq!(shared, 4);
+    let free_before = cache.allocator().free_pages();
+    cache.reset_slot(0); // publisher retires mid-share
+                         // Shared full pages survive (prefix + slot 1 mappings); only the
+                         // partial tail page per layer returns to the free list.
+    assert_eq!(cache.allocator().free_pages(), free_before + layers);
+    assert_eq!(cache.seq_len(1), 4);
+    let tail = prompt_list(&m, 2, 65);
+    let full: Vec<Vec<f64>> = prompt[..4].iter().cloned().chain(tail).collect();
+    let got = decode_prompt_paged(&m, &mut cache, 1, &full, &mut scratch);
+    let mut solo = m.new_cache();
+    let want = decode_prompt_solo(&m, &mut solo, &full);
+    assert_eq!(got, want, "sharer diverged after publisher retirement");
+}
+
+#[test]
+fn paged_eviction_under_one_block_budget() {
+    // Block 1, budget = one token's pages (`layers`): caching a second
+    // distinct token forces the published prefix out, and decode stays
+    // bit-identical through eviction — then through the over-budget
+    // fallback once nothing evictable remains.
+    let m = tiny();
+    let layers = m.config().layers;
+    let page_bytes = 2 * m.config().hidden * 8;
+    let mut cache = PagedKvCache::new(
+        &m,
+        1,
+        PagedConfig::new(1).with_budget_bytes(layers * page_bytes),
+    );
+    let mut scratch = DecodeScratch::new();
+    let a = prompt_list(&m, 1, 66);
+    let hashes_a = prefix_block_hashes(a.iter().map(Vec::as_slice), 1);
+    let _ = decode_prompt_paged(&m, &mut cache, 0, &a, &mut scratch);
+    cache.publish_prefix(0, &hashes_a);
+    cache.reset_slot(0);
+    assert_eq!(cache.allocator().free_pages(), 0, "prefix pins the budget");
+
+    let b = prompt_list(&m, 1, 67);
+    let got = decode_prompt_paged(&m, &mut cache, 0, &b, &mut scratch);
+    let mut solo = m.new_cache();
+    let want = decode_prompt_solo(&m, &mut solo, &b);
+    assert_eq!(got, want, "decode diverged across eviction");
+    assert_eq!(cache.stats().evicted_pages, layers as u64);
+    assert_eq!(
+        cache.probe_prefix(&hashes_a),
+        0,
+        "entry gone after eviction"
+    );
+    assert_eq!(cache.stats().over_budget_pages, 0);
+
+    // Second token for the same slot: budget exhausted, nothing left to
+    // evict → counted over-budget growth, decode still bit-identical.
+    let b2: Vec<Vec<f64>> = b.iter().cloned().chain(prompt_list(&m, 1, 68)).collect();
+    let got2 = decode_prompt_paged(&m, &mut cache, 0, &b2, &mut scratch);
+    let want2 = decode_prompt_solo(&m, &mut solo, &b2);
+    assert_eq!(got2, want2, "decode diverged across over-budget growth");
+    assert_eq!(cache.stats().over_budget_pages, layers as u64);
+}
+
+#[test]
+fn paged_reset_slot_returns_pages_to_free_list() {
+    let m = tiny();
+    let mut cache = PagedKvCache::new(&m, 1, PagedConfig::new(2));
+    let mut scratch = DecodeScratch::new();
+    let prompt = prompt_list(&m, 5, 69);
+    let _ = decode_prompt_paged(&m, &mut cache, 0, &prompt, &mut scratch);
+    let total = cache.allocator().total_pages();
+    assert!(total > 0);
+    assert_eq!(cache.stats().live_pages, total);
+    cache.reset_slot(0);
+    assert_eq!(cache.stats().live_pages, 0);
+    assert_eq!(cache.allocator().free_pages(), total, "all pages recycled");
+    // The recycled pages are reused, not re-grown.
+    let _ = decode_prompt_paged(&m, &mut cache, 0, &prompt, &mut scratch);
+    assert_eq!(cache.allocator().total_pages(), total);
+}
+
+// ---- BatchedKvCache::seq_mut contract (the documented reset path) --------
+
+#[test]
+fn seq_mut_fresh_cache_reset_is_supported() {
+    // Replacing a slot's cache with a fresh one mid-run (what
+    // `reset_seq` does) keeps every row bit-identical to solo decode:
+    // the scratch holds no per-sequence state.
+    let m = tiny();
+    let mut batch = BatchedKvCache::new(&m, 2);
+    let mut solos: Vec<KvCache> = (0..2).map(|_| m.new_cache()).collect();
+    for t in 0..2 {
+        let toks = tokens_for(&m, 2, 80 + t);
+        let got = m.decode_batch(&toks, &mut batch, &ExactGemm);
+        for (i, solo) in solos.iter_mut().enumerate() {
+            let want = m.decode_step(&toks.row(i), solo, &ExactGemm);
+            assert_eq!(got.row(i), want);
+        }
+    }
+    *batch.seq_mut(1) = m.new_cache();
+    solos[1] = m.new_cache();
+    let toks = tokens_for(&m, 2, 90);
+    let got = m.decode_batch(&toks, &mut batch, &ExactGemm);
+    for (i, solo) in solos.iter_mut().enumerate() {
+        let want = m.decode_step(&toks.row(i), solo, &ExactGemm);
+        assert_eq!(got.row(i), want, "seq {i} after seq_mut reset");
+    }
+    assert_eq!(batch.seq(0).len(), 3);
+    assert_eq!(batch.seq(1).len(), 1);
+}
+
+#[test]
+fn seq_mut_warmed_cache_swap_is_supported() {
+    // Installing an independently warmed cache (same model) into a slot
+    // is the other documented mutation: the next step regroups by the
+    // new length and stays bit-identical.
+    let m = tiny();
+    let mut batch = BatchedKvCache::new(&m, 2);
+    let toks0 = tokens_for(&m, 2, 91);
+    let _ = m.decode_batch(&toks0, &mut batch, &ExactGemm);
+    // Warm a 3-token cache off to the side (plus its solo mirror).
+    let mut warmed = m.new_cache();
+    let mut warmed_solo = m.new_cache();
+    for t in 0..3 {
+        let tok = tokens_for(&m, 1, 92 + t);
+        let _ = m.decode_step(&tok.row(0), &mut warmed, &ExactGemm);
+        let _ = m.decode_step(&tok.row(0), &mut warmed_solo, &ExactGemm);
+    }
+    *batch.seq_mut(0) = warmed;
+    // Solo mirror of slot 1's original history.
+    let mut solo1 = m.new_cache();
+    let _ = m.decode_step(&toks0.row(1), &mut solo1, &ExactGemm);
+    let toks = tokens_for(&m, 2, 95);
+    let got = m.decode_batch(&toks, &mut batch, &ExactGemm);
+    let want0 = m.decode_step(&toks.row(0), &mut warmed_solo, &ExactGemm);
+    let want1 = m.decode_step(&toks.row(1), &mut solo1, &ExactGemm);
+    assert_eq!(got.row(0), want0, "swapped-in cache diverged");
+    assert_eq!(got.row(1), want1, "untouched slot diverged");
+    assert_eq!((batch.seq(0).len(), batch.seq(1).len()), (4, 2));
+}
+
+#[test]
+#[should_panic(expected = "cache layer mismatch")]
+fn seq_mut_foreign_model_cache_rejected() {
+    // The unsupported mutation: a cache built for a different model is
+    // rejected on the next decode instead of corrupting attention.
+    let m = tiny();
+    let other = TransformerModel::random(
+        TransformerConfig {
+            layers: m.config().layers + 1,
+            ..m.config().clone()
+        },
+        4,
+        5,
+    );
+    let mut batch = BatchedKvCache::new(&m, 2);
+    let toks = tokens_for(&m, 2, 96);
+    let _ = m.decode_batch(&toks, &mut batch, &ExactGemm);
+    *batch.seq_mut(0) = other.new_cache();
+    let _ = m.decode_batch(&toks, &mut batch, &ExactGemm);
+}

@@ -14,6 +14,14 @@
 //! * `PDAC_SERVE_BACKEND` — `exact` | `pdac` | `edac` | `hybrid`
 //!   (default `pdac`; `hybrid` runs activations on the P-DAC and
 //!   weights on the e-DAC path)
+//! * `PDAC_SERVE_KV` — `flat` | `paged` (default `flat`): `paged` backs
+//!   the KV cache with the block allocator + prefix sharing, honouring
+//!   `PDAC_KV_BLOCK_TOKENS` / `PDAC_KV_BUDGET_BYTES`; the run is
+//!   re-played on a flat server afterwards and both completions must be
+//!   bit-identical (the paging CI smoke)
+//! * `PDAC_SERVE_SHARED_PROMPT` — first N prompt tokens identical
+//!   across all requests (default 0), so a paged run exercises
+//!   hash-consed prefix sharing
 //! * `PDAC_SERVE_HIDDEN` / `PDAC_SERVE_LAYERS` / `PDAC_SERVE_HEADS` —
 //!   model shape (default 64 / 2 / 4)
 //! * `PDAC_SERVE_METER` — `auto` | `pdac` | `edac` | `hybrid` | `off`:
@@ -43,7 +51,8 @@ use pdac_telemetry::HistogramSummary;
 use pdac_core::edac::ElectricalDac;
 use pdac_core::pdac::PDac;
 use pdac_nn::{
-    AnalogGemm, AsymmetricGemm, ExactGemm, GemmBackend, TransformerConfig, TransformerModel,
+    AnalogGemm, AsymmetricGemm, ExactGemm, GemmBackend, PagedConfig, TransformerConfig,
+    TransformerModel,
 };
 use pdac_power::meter::EnergyMeter;
 use pdac_power::model::{DriverKind, PowerModel};
@@ -182,6 +191,16 @@ fn main() {
     let layers = env_usize("PDAC_SERVE_LAYERS", 2);
     let heads = env_usize("PDAC_SERVE_HEADS", 4);
     let backend_name = std::env::var("PDAC_SERVE_BACKEND").unwrap_or_else(|_| "pdac".to_string());
+    let kv_mode = std::env::var("PDAC_SERVE_KV").unwrap_or_else(|_| "flat".to_string());
+    let paged = match kv_mode.as_str() {
+        "flat" => false,
+        "paged" => true,
+        other => {
+            eprintln!("unknown PDAC_SERVE_KV {other:?} (use flat|paged)");
+            std::process::exit(2);
+        }
+    };
+    let shared_prompt = env_usize("PDAC_SERVE_SHARED_PROMPT", 0).min(prompt_len);
 
     let config = TransformerConfig {
         name: "serve-sim".to_string(),
@@ -256,21 +275,44 @@ fn main() {
         server
     });
 
-    let mut server = TokenServer::new(&model, batch);
-    for id in 0..requests {
-        let mut rng = pdac_math::rng::SplitMix64::seed_from_u64(1000 + id as u64);
-        let prompt = (0..prompt_len)
-            .map(|_| {
-                (0..model.config().hidden)
-                    .map(|_| rng.gen_range_f64(-1.0, 1.0))
-                    .collect()
-            })
-            .collect();
-        server.admit(Request {
-            id: id as u64,
-            prompt,
-            max_new_tokens: max_new,
-        });
+    let mut server = if paged {
+        TokenServer::new_paged(&model, batch, PagedConfig::from_env())
+    } else {
+        TokenServer::new(&model, batch)
+    };
+    // Shared prefix drawn once so every request opens with the same
+    // tokens (system-prompt shape); tails stay per-request.
+    let mut shared_rng = pdac_math::rng::SplitMix64::seed_from_u64(999);
+    let shared_tokens: Vec<Vec<f64>> = (0..shared_prompt)
+        .map(|_| {
+            (0..model.config().hidden)
+                .map(|_| shared_rng.gen_range_f64(-1.0, 1.0))
+                .collect()
+        })
+        .collect();
+    let trace: Vec<Request> = (0..requests)
+        .map(|id| {
+            let mut rng = pdac_math::rng::SplitMix64::seed_from_u64(1000 + id as u64);
+            let prompt = (0..prompt_len)
+                .map(|t| {
+                    if t < shared_prompt {
+                        shared_tokens[t].clone()
+                    } else {
+                        (0..model.config().hidden)
+                            .map(|_| rng.gen_range_f64(-1.0, 1.0))
+                            .collect()
+                    }
+                })
+                .collect();
+            Request {
+                id: id as u64,
+                prompt,
+                max_new_tokens: max_new,
+            }
+        })
+        .collect();
+    for req in &trace {
+        server.admit(req.clone());
     }
 
     let start = Instant::now();
@@ -308,6 +350,31 @@ fn main() {
         counter("serve.admitted"),
         counter("serve.retired")
     );
+    if let Some(stats) = server.kv_stats() {
+        println!(
+            "serve: kv paged block={} pages={} bytes={} shared_tokens={} shared_hits={} \
+             evicted={} cow={} over_budget={} deferred={}",
+            env_usize("PDAC_KV_BLOCK_TOKENS", 16),
+            stats.live_pages,
+            stats.live_bytes,
+            stats.shared_tokens,
+            stats.shared_hits,
+            stats.evicted_pages,
+            stats.cow_copies,
+            stats.over_budget_pages,
+            server.kv_deferred(),
+        );
+        // The paging smoke: a paged run must leave the kv gauges in
+        // telemetry, and a shared-prompt trace must actually share.
+        if !snap.gauges.iter().any(|(n, _)| n == "serve.kv.pages") {
+            eprintln!("serve: FAIL — paged run but gauge serve.kv.pages missing");
+            std::process::exit(1);
+        }
+        if shared_prompt > 0 && requests > 1 && counter("serve.kv.shared") == 0 {
+            eprintln!("serve: FAIL — shared prompts but serve.kv.shared stayed 0");
+            std::process::exit(1);
+        }
+    }
     print_slo_table(&snap.histograms);
 
     if let (Some(meter), Some(esnap)) = (&meter, &energy) {
@@ -356,5 +423,33 @@ fn main() {
         completions.iter().all(|c| c.hidden.len() == max_new),
         "every completion carries max_new hidden states"
     );
+
+    if paged {
+        // Paging must never change results: replay the identical trace
+        // on a flat server and demand bit-identical completions.
+        let mut flat = TokenServer::new(&model, batch);
+        for req in &trace {
+            flat.admit(req.clone());
+        }
+        flat.run(&*backend);
+        let mut flat_done = flat.take_completions();
+        let mut paged_done = completions.clone();
+        flat_done.sort_by_key(|c| c.id);
+        paged_done.sort_by_key(|c| c.id);
+        let identical = flat_done.len() == paged_done.len()
+            && flat_done.iter().zip(&paged_done).all(|(f, p)| {
+                f.id == p.id
+                    && f.hidden.len() == p.hidden.len()
+                    && f.hidden.iter().zip(&p.hidden).all(|(a, b)| {
+                        a.len() == b.len()
+                            && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+                    })
+            });
+        if !identical {
+            eprintln!("serve: FAIL — paged completions diverged from the flat replay");
+            std::process::exit(1);
+        }
+        println!("serve: kv paged completions bit-identical to flat replay");
+    }
     println!("serve: OK — all {requests} requests retired");
 }

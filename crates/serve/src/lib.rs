@@ -51,6 +51,24 @@
 //! `serve.load_shed`). Server-wide totals are available as
 //! [`TokenServer::total_energy_j`] and [`TokenServer::joules_per_token`].
 //!
+//! # KV paging
+//!
+//! [`TokenServer::new_paged`] serves through a [`PagedKvCache`] instead
+//! of per-request flat caches: sequences share physical K/V pages for
+//! equal prompt prefixes (each request's prompt is hashed at block
+//! boundaries on admission; a retiring-past-its-prompt request
+//! *publishes* its full-block prefix pages, and later admissions with a
+//! matching prefix map them instead of recomputing), and total KV memory
+//! respects `PDAC_KV_BUDGET_BYTES`: admission defers a queued request —
+//! counter `serve.kv.defer` — while its worst-case page demand can't be
+//! met from free pages, budget headroom and evictable prefix entries.
+//! Decode results stay bit-identical to the flat server and to solo
+//! `decode_step` (the page table is pure indirection). Gauges
+//! `serve.kv.{pages,bytes}` and counters
+//! `serve.kv.{shared,evicted,cow,over_budget}` track the cache;
+//! `serve.kv.request_pages` records each retiring request's mapped page
+//! count (also on [`Completion::kv_pages`]). See DESIGN.md §15.
+//!
 //! # Examples
 //!
 //! ```
@@ -76,7 +94,10 @@
 use std::collections::VecDeque;
 
 use pdac_math::Mat;
-use pdac_nn::{DecodeScratch, GemmBackend, KvCache, TransformerModel};
+use pdac_nn::{
+    prefix_block_hashes, DecodeScratch, GemmBackend, KvCache, KvStats, PagedConfig, PagedKvCache,
+    TransformerModel,
+};
 
 /// The embedding fed back as the next input token once a sequence runs
 /// past its prompt: a bounded (`tanh`) squash of the last hidden state.
@@ -120,6 +141,12 @@ pub struct Completion {
     /// split across the active batch in proportion to per-sequence
     /// modeled MACs. `0.0` when no meter is installed.
     pub energy_j: f64,
+    /// KV pages the request's slot mapped at retirement (paged servers
+    /// only; `0` on flat servers and zero-budget requests). Shared
+    /// prefix pages count once per mapping, so two requests sharing a
+    /// prefix each report the full page count while the cache holds one
+    /// physical copy.
+    pub kv_pages: usize,
 }
 
 /// A request waiting for a batch slot, carrying its open trace root.
@@ -130,11 +157,22 @@ struct Queued {
     /// The request's root span (`serve.request`), open from admission to
     /// retirement; children attach through its context.
     span: pdac_telemetry::OwnedSpan<'static>,
+    /// Block-boundary prompt hashes (paged servers only), capped so the
+    /// last prompt token is always computed — its hidden output is the
+    /// request's first generated entry.
+    hashes: Vec<u64>,
+}
+
+/// Where an active sequence's K/V rows live: its own flat cache, or a
+/// slot of the server's shared [`PagedKvCache`].
+enum SeqKv {
+    Flat(KvCache),
+    Paged(usize),
 }
 
 struct Active {
     id: u64,
-    cache: KvCache,
+    kv: SeqKv,
     prompt: Vec<Vec<f64>>,
     pos: usize,
     generated: Vec<Vec<f64>>,
@@ -147,6 +185,11 @@ struct Active {
     entered_ns: u64,
     /// Modeled joules attributed so far (see [`Completion::energy_j`]).
     energy_j: f64,
+    /// Prompt hashes carried from admission (paged servers only).
+    hashes: Vec<u64>,
+    /// Whether this sequence's prompt prefix has been published to the
+    /// paged cache's prefix index (once, when `pos` passes the prompt).
+    published: bool,
 }
 
 impl Active {
@@ -177,6 +220,12 @@ pub struct TokenServer<'m> {
     occupancy_sum: u64,
     energy_j: f64,
     shed_steps: u64,
+    /// The shared paged KV cache (`None` on flat servers).
+    paged: Option<PagedKvCache>,
+    /// Idle slot indices of the paged cache.
+    free_slots: Vec<usize>,
+    /// Admissions deferred for KV budget headroom (`serve.kv.defer`).
+    kv_deferred: u64,
 }
 
 impl<'m> TokenServer<'m> {
@@ -201,7 +250,26 @@ impl<'m> TokenServer<'m> {
             occupancy_sum: 0,
             energy_j: 0.0,
             shed_steps: 0,
+            paged: None,
+            free_slots: Vec::new(),
+            kv_deferred: 0,
         }
+    }
+
+    /// A server decoding through a shared [`PagedKvCache`] (prefix
+    /// sharing + byte budget) instead of per-request flat caches.
+    /// Results are bit-identical to [`Self::new`]; only memory behavior
+    /// and the `serve.kv.*` telemetry differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch == 0` or `config.block_tokens == 0`.
+    pub fn new_paged(model: &'m TransformerModel, max_batch: usize, config: PagedConfig) -> Self {
+        let mut server = Self::new(model, max_batch);
+        server.paged = Some(PagedKvCache::new(model, max_batch, config));
+        // Pop order is cosmetic; reversed so slot 0 is used first.
+        server.free_slots = (0..max_batch).rev().collect();
+        server
     }
 
     /// Enqueues a request. Zero-budget requests complete immediately.
@@ -233,13 +301,29 @@ impl<'m> TokenServer<'m> {
                 hidden: Vec::new(),
                 finished_step: self.steps,
                 energy_j: 0.0,
+                kv_pages: 0,
             });
             return;
         }
+        // Paged servers hash the prompt at block boundaries once, at
+        // admission. Capped at `prompt_len - 1`: the last prompt token's
+        // hidden state is the request's first output, so it must be
+        // computed even when the whole prompt's pages are shareable.
+        let hashes = match &self.paged {
+            Some(paged) if !request.prompt.is_empty() => {
+                let block = paged.block_tokens();
+                let mut hashes =
+                    prefix_block_hashes(request.prompt.iter().map(Vec::as_slice), block);
+                hashes.truncate((request.prompt.len() - 1) / block);
+                hashes
+            }
+            _ => Vec::new(),
+        };
         self.queue.push_back(Queued {
             request,
             admitted_ns,
             span,
+            hashes,
         });
     }
 
@@ -295,6 +379,18 @@ impl<'m> TokenServer<'m> {
         self.shed_steps
     }
 
+    /// Paging statistics of the shared KV cache (`None` on flat
+    /// servers).
+    pub fn kv_stats(&self) -> Option<KvStats> {
+        self.paged.as_ref().map(PagedKvCache::stats)
+    }
+
+    /// Admissions deferred for KV budget headroom so far (the
+    /// `serve.kv.defer` counter; always `0` on flat servers).
+    pub fn kv_deferred(&self) -> u64 {
+        self.kv_deferred
+    }
+
     /// Mean active-batch size over all executed steps.
     pub fn mean_occupancy(&self) -> f64 {
         if self.steps == 0 {
@@ -326,34 +422,61 @@ impl<'m> TokenServer<'m> {
             pdac_telemetry::counter_add("serve.load_shed", 1);
         }
         while !shed && self.active.len() < self.max_batch {
-            match self.queue.pop_front() {
-                Some(q) => {
-                    let entered_ns = pdac_telemetry::now_ns();
-                    // The queue wait becomes a retroactive child span of
-                    // the request (and the `serve.queue_wait` histogram).
-                    pdac_telemetry::record_span(
-                        "serve.queue_wait",
-                        q.admitted_ns,
-                        entered_ns,
-                        q.span.ctx(),
-                        None,
-                    );
-                    self.active.push(Active {
-                        id: q.request.id,
-                        cache: self.model.new_cache(),
-                        prompt: q.request.prompt,
-                        pos: 0,
-                        generated: Vec::new(),
-                        max_new_tokens: q.request.max_new_tokens,
-                        admitted_ns: q.admitted_ns,
-                        last_token_ns: None,
-                        span: q.span,
-                        entered_ns,
-                        energy_j: 0.0,
-                    });
+            let Some(front) = self.queue.front() else {
+                break;
+            };
+            // Budget-aware admission (paged servers): defer the request
+            // while its worst-case page demand — prompt + generation,
+            // minus what the prefix cache already holds — cannot be met
+            // from free pages, budget headroom and evictable prefixes.
+            // With nothing in flight it admits anyway (over-budget
+            // growth is counted, never fatal): deferring would deadlock.
+            if let Some(paged) = &self.paged {
+                let shared = paged.probe_prefix(&front.hashes);
+                let worst = (front.request.prompt.len().max(1) + front.request.max_new_tokens - 1)
+                    .saturating_sub(shared);
+                if !self.active.is_empty() && !paged.can_fit(worst) {
+                    self.kv_deferred += 1;
+                    pdac_telemetry::counter_add("serve.kv.defer", 1);
+                    break;
                 }
-                None => break,
             }
+            let q = self.queue.pop_front().expect("front exists");
+            let entered_ns = pdac_telemetry::now_ns();
+            // The queue wait becomes a retroactive child span of
+            // the request (and the `serve.queue_wait` histogram).
+            pdac_telemetry::record_span(
+                "serve.queue_wait",
+                q.admitted_ns,
+                entered_ns,
+                q.span.ctx(),
+                None,
+            );
+            // Paged: claim a slot and map any published prefix; the
+            // sequence then resumes at the first unshared prompt token.
+            let (kv, pos) = match &mut self.paged {
+                Some(paged) => {
+                    let slot = self.free_slots.pop().expect("active < max_batch");
+                    let shared = paged.lookup_prefix(slot, &q.hashes);
+                    (SeqKv::Paged(slot), shared)
+                }
+                None => (SeqKv::Flat(self.model.new_cache()), 0),
+            };
+            self.active.push(Active {
+                id: q.request.id,
+                kv,
+                prompt: q.request.prompt,
+                pos,
+                generated: Vec::new(),
+                max_new_tokens: q.request.max_new_tokens,
+                admitted_ns: q.admitted_ns,
+                last_token_ns: None,
+                span: q.span,
+                entered_ns,
+                energy_j: 0.0,
+                hashes: q.hashes,
+                published: false,
+            });
         }
         if self.active.is_empty() {
             return Vec::new();
@@ -371,16 +494,42 @@ impl<'m> TokenServer<'m> {
         }
         let tokens = Mat::from_rows(s, hidden, data).expect("batch assembly");
         let energy_before = pdac_power::meter::snapshot().map(|snap| snap.total_j());
-        {
-            let mut caches: Vec<&mut KvCache> =
-                self.active.iter_mut().map(|a| &mut a.cache).collect();
-            self.model.decode_batch_with(
-                &tokens,
-                &mut caches,
-                backend,
-                &mut self.scratch,
-                &mut self.out,
-            );
+        match &mut self.paged {
+            Some(paged) => {
+                let slots: Vec<usize> = self
+                    .active
+                    .iter()
+                    .map(|a| match &a.kv {
+                        SeqKv::Paged(slot) => *slot,
+                        SeqKv::Flat(_) => unreachable!("flat sequence on a paged server"),
+                    })
+                    .collect();
+                self.model.decode_paged_with(
+                    &tokens,
+                    paged,
+                    &slots,
+                    backend,
+                    &mut self.scratch,
+                    &mut self.out,
+                );
+            }
+            None => {
+                let mut caches: Vec<&mut KvCache> = self
+                    .active
+                    .iter_mut()
+                    .map(|a| match &mut a.kv {
+                        SeqKv::Flat(cache) => cache,
+                        SeqKv::Paged(_) => unreachable!("paged sequence on a flat server"),
+                    })
+                    .collect();
+                self.model.decode_batch_with(
+                    &tokens,
+                    &mut caches,
+                    backend,
+                    &mut self.scratch,
+                    &mut self.out,
+                );
+            }
         }
         // Split the step's metered energy delta across the batch in
         // proportion to per-sequence modeled MACs (projections + FFN are
@@ -392,10 +541,17 @@ impl<'m> TokenServer<'m> {
                 if delta > 0.0 {
                     let d = hidden as f64;
                     let ff = self.model.config().ff_dim() as f64;
+                    let paged = self.paged.as_ref();
                     let weights: Vec<f64> = self
                         .active
                         .iter()
-                        .map(|a| 4.0 * d * d + 2.0 * d * ff + 2.0 * d * a.cache.len() as f64)
+                        .map(|a| {
+                            let len = match &a.kv {
+                                SeqKv::Flat(cache) => cache.len(),
+                                SeqKv::Paged(slot) => paged.expect("paged mode").seq_len(*slot),
+                            };
+                            4.0 * d * d + 2.0 * d * ff + 2.0 * d * len as f64
+                        })
                         .collect();
                     let total_w: f64 = weights.iter().sum();
                     for (a, w) in self.active.iter_mut().zip(&weights) {
@@ -412,6 +568,15 @@ impl<'m> TokenServer<'m> {
                 a.pos += 1;
             }
             if a.pos >= a.prompt.len() {
+                // The whole prompt is now cached: publish its full-block
+                // prefix pages so later requests with an equal prefix
+                // share them (paged servers, once per request).
+                if !a.published {
+                    if let (SeqKv::Paged(slot), Some(paged)) = (&a.kv, self.paged.as_mut()) {
+                        paged.publish_prefix(*slot, &a.hashes);
+                    }
+                    a.published = true;
+                }
                 a.generated.push(self.out.row(i));
                 self.generated_tokens += 1;
                 match a.last_token_ns {
@@ -435,6 +600,20 @@ impl<'m> TokenServer<'m> {
             if self.active[i].generated.len() >= self.active[i].max_new_tokens {
                 let a = self.active.remove(i);
                 pdac_telemetry::counter_add("serve.retired", 1);
+                // Paged retirement: record the slot's page footprint,
+                // then return its pages (shared prefixes survive via
+                // their prefix-index refcounts) and recycle the slot.
+                let kv_pages = match &a.kv {
+                    SeqKv::Paged(slot) => {
+                        let paged = self.paged.as_mut().expect("paged mode");
+                        let pages = paged.slot_page_ids(*slot).len();
+                        pdac_telemetry::observe("serve.kv.request_pages", pages as f64);
+                        paged.reset_slot(*slot);
+                        self.free_slots.push(*slot);
+                        pages
+                    }
+                    SeqKv::Flat(_) => 0,
+                };
                 let end_ns = pdac_telemetry::now_ns();
                 pdac_telemetry::record_span(
                     "serve.request.generate",
@@ -472,6 +651,7 @@ impl<'m> TokenServer<'m> {
                     hidden: a.generated,
                     finished_step: step,
                     energy_j: a.energy_j,
+                    kv_pages,
                 });
             } else {
                 i += 1;
@@ -673,5 +853,161 @@ mod tests {
     fn zero_batch_capacity_rejected() {
         let model = tiny_model();
         let _ = TokenServer::new(&model, 0);
+    }
+
+    // ---- paged serving ---------------------------------------------------
+
+    #[test]
+    fn paged_server_bit_identical_to_flat_and_reference() {
+        // The full flat-server battery, served through a PagedKvCache
+        // (block 2, unbounded): every completion must still match the
+        // solo-decode reference bit for bit.
+        let model = tiny_model();
+        let specs = [(0usize, 3usize), (2, 4), (5, 1), (1, 2)];
+        for max_batch in [2usize, 4] {
+            let mut server = TokenServer::new_paged(&model, max_batch, PagedConfig::new(2));
+            for (id, &(p, n)) in specs.iter().enumerate() {
+                server.admit(Request {
+                    id: id as u64,
+                    prompt: prompt_rows(&model, p, 100 + id as u64),
+                    max_new_tokens: n,
+                });
+            }
+            server.run(&ExactGemm);
+            let mut done = server.take_completions();
+            done.sort_by_key(|c| c.id);
+            for (id, &(p, n)) in specs.iter().enumerate() {
+                let want = reference_generate(
+                    &model,
+                    &ExactGemm,
+                    &prompt_rows(&model, p, 100 + id as u64),
+                    n,
+                );
+                assert_eq!(done[id].hidden, want, "request {id} (batch {max_batch})");
+            }
+            // Every slot was recycled; no pages leak past retirement
+            // except published prefixes.
+            let stats = server.kv_stats().expect("paged server");
+            assert_eq!(
+                stats.live_pages,
+                server
+                    .paged
+                    .as_ref()
+                    .unwrap()
+                    .mapped_page_ids()
+                    .len()
+                    .min(stats.live_pages)
+            );
+            assert_eq!(server.active(), 0);
+        }
+    }
+
+    #[test]
+    fn shared_system_prompt_shares_pages_and_matches_unshared_run() {
+        // Satellite: two requests with an identical system prompt must
+        // report `serve.kv.shared > 0` and produce byte-identical
+        // completions to the unshared (flat-server) run.
+        let model = tiny_model();
+        let system_prompt = prompt_rows(&model, 5, 500); // block 2 → shares 4
+        let run = |paged: bool| -> (Vec<Completion>, Option<KvStats>) {
+            let mut server = if paged {
+                TokenServer::new_paged(&model, 2, PagedConfig::new(2))
+            } else {
+                TokenServer::new(&model, 2)
+            };
+            // First request runs alone past its prompt (publishing it on
+            // paged servers), then the second arrives and can share.
+            server.admit(Request {
+                id: 0,
+                prompt: system_prompt.clone(),
+                max_new_tokens: 4,
+            });
+            for _ in 0..system_prompt.len() {
+                let _ = server.step(&ExactGemm);
+            }
+            server.admit(Request {
+                id: 1,
+                prompt: system_prompt.clone(),
+                max_new_tokens: 4,
+            });
+            server.run(&ExactGemm);
+            let mut done = server.take_completions();
+            done.sort_by_key(|c| c.id);
+            let stats = server.kv_stats();
+            (done, stats)
+        };
+        let (flat, none) = run(false);
+        assert!(none.is_none());
+        let (paged, stats) = run(true);
+        let stats = stats.expect("paged server");
+        assert!(stats.shared_tokens > 0, "identical prompts never shared");
+        assert_eq!(stats.shared_tokens, 4, "block-aligned share depth");
+        assert_eq!(flat.len(), 2);
+        for (f, p) in flat.iter().zip(&paged) {
+            assert_eq!(f.id, p.id);
+            // Byte-identical: compare the f64 bit patterns.
+            let fb: Vec<Vec<u64>> = f
+                .hidden
+                .iter()
+                .map(|row| row.iter().map(|v| v.to_bits()).collect())
+                .collect();
+            let pb: Vec<Vec<u64>> = p
+                .hidden
+                .iter()
+                .map(|row| row.iter().map(|v| v.to_bits()).collect())
+                .collect();
+            assert_eq!(fb, pb, "request {} diverged from unshared run", f.id);
+        }
+        // The sharer reports its mapped footprint.
+        assert!(paged[1].kv_pages > 0);
+    }
+
+    #[test]
+    fn kv_budget_defers_admission_until_pages_free() {
+        // Budget sized for roughly one request: the second must wait in
+        // the queue (serve.kv.defer) instead of blowing the budget, then
+        // complete correctly once the first retires.
+        let model = tiny_model();
+        let layers = model.config().layers;
+        let page_bytes = 2 * 2 * model.config().hidden * 8; // block 2
+                                                            // Each request caches 6 tokens → 3 pages per layer; the budget
+                                                            // holds 4 per layer, so two in flight cannot both fit.
+        let budget = layers * 4 * page_bytes;
+        let mut server =
+            TokenServer::new_paged(&model, 2, PagedConfig::new(2).with_budget_bytes(budget));
+        server.admit(Request {
+            id: 0,
+            prompt: prompt_rows(&model, 4, 600),
+            max_new_tokens: 3,
+        });
+        // Let request 0 build up its KV footprint, then enqueue the
+        // second: its worst-case demand no longer fits the headroom.
+        for _ in 0..3 {
+            let _ = server.step(&ExactGemm);
+        }
+        server.admit(Request {
+            id: 1,
+            prompt: prompt_rows(&model, 4, 601),
+            max_new_tokens: 3,
+        });
+        server.run(&ExactGemm);
+        assert!(server.kv_deferred() > 0, "budget never deferred admission");
+        let stats = server.kv_stats().expect("paged server");
+        assert_eq!(stats.over_budget_pages, 0, "defer should prevent overflow");
+        let mut done = server.take_completions();
+        done.sort_by_key(|c| c.id);
+        assert_eq!(done.len(), 2);
+        for (id, c) in done.iter().enumerate() {
+            let want = reference_generate(
+                &model,
+                &ExactGemm,
+                &prompt_rows(&model, 4, 600 + id as u64),
+                3,
+            );
+            assert_eq!(
+                c.hidden, want,
+                "request {id} diverged under budget pressure"
+            );
+        }
     }
 }

@@ -31,7 +31,10 @@ use pdac_math::rng::SplitMix64;
 use pdac_math::Mat;
 use pdac_nn::gemm::{AnalogGemm, AsymmetricGemm, ExactGemm, GemmBackend};
 use pdac_nn::quant::QuantizedMat;
-use pdac_nn::{BatchedKvCache, DecodeScratch, KvCache, TransformerConfig, TransformerModel};
+use pdac_nn::{
+    prefix_block_hashes, BatchedKvCache, DecodeScratch, KvCache, PagedConfig, PagedKvCache,
+    TransformerConfig, TransformerModel,
+};
 use pdac_power::ArchConfig;
 
 /// Configuration of one conformance run.
@@ -357,6 +360,171 @@ fn grouped_attention_checks(cfg: &ConformanceConfig) -> Vec<CheckResult> {
             format!(
                 "{steps} steps x batch {s}, pre-warmed cache depths {warm:?} (three \
                  slot-groups per step): decode_batch_with rows vs independent decode_step"
+            ),
+        ));
+    }
+    checks
+}
+
+/// The paged KV cache vs the flat caches: the same ragged decode
+/// workload run through `decode_paged_with` (page-table indirection,
+/// block 2 so every sequence spans multiple pages) and through solo
+/// `decode_step` must produce bit-identical rows — for the exact and
+/// the cached analog backend. Plus two paged-only properties: a
+/// prefix-shared continuation matches the unshared run bit-for-bit, and
+/// copy-on-write divergence never mutates the forked-from sequence's
+/// pages.
+fn paged_kv_checks(cfg: &ConformanceConfig) -> Vec<CheckResult> {
+    let model = TransformerModel::random(TransformerConfig::tiny(), 4, cfg.seed);
+    let hidden = model.config().hidden;
+    let warm = [2usize, 0, 1];
+    let s = warm.len();
+    let steps = cfg.decode_steps.clamp(2, 4);
+    let block = 2usize;
+    let backends: Vec<(&str, Box<dyn GemmBackend>)> = vec![
+        ("exact", Box::new(ExactGemm)),
+        (
+            "pdac",
+            Box::new(AnalogGemm::new(
+                PDac::with_optimal_approx(8).expect("valid bits"),
+                "pdac8",
+            )),
+        ),
+    ];
+    let mut checks = Vec::new();
+    for (label, backend) in backends {
+        let mut rng = SplitMix64::seed_from_u64(cfg.seed ^ 0x9A6ED);
+        let mut paged = PagedKvCache::new(&model, s, PagedConfig::new(block));
+        let mut solo: Vec<KvCache> = (0..s).map(|_| model.new_cache()).collect();
+        let mut scratch = DecodeScratch::new();
+        let mut got = Mat::zeros(1, 1);
+        // Warm both sides to ragged depths, slot by slot through the
+        // paged engine itself.
+        for (sq, &depth) in warm.iter().enumerate() {
+            for _ in 0..depth {
+                let tok = random_mat(1, hidden, &mut rng);
+                model.decode_paged_with(
+                    &tok,
+                    &mut paged,
+                    &[sq],
+                    backend.as_ref(),
+                    &mut scratch,
+                    &mut got,
+                );
+                let _ = model.decode_step(&tok.row(0), &mut solo[sq], backend.as_ref());
+            }
+        }
+        let slots: Vec<usize> = (0..s).collect();
+        let mut diffs = 0usize;
+        for _ in 0..steps {
+            let tokens = random_mat(s, hidden, &mut rng);
+            model.decode_paged_with(
+                &tokens,
+                &mut paged,
+                &slots,
+                backend.as_ref(),
+                &mut scratch,
+                &mut got,
+            );
+            for (sq, cache) in solo.iter_mut().enumerate() {
+                let want = model.decode_step(&tokens.row(sq), cache, backend.as_ref());
+                diffs += got
+                    .row_slice(sq)
+                    .iter()
+                    .zip(&want)
+                    .filter(|(x, y)| x.to_bits() != y.to_bits())
+                    .count();
+            }
+        }
+        checks.push(bit_identity_check(
+            &format!("decode.kv.paged_vs_flat.{label}"),
+            diffs,
+            format!(
+                "{steps} steps x batch {s}, block {block}, pre-warmed depths {warm:?}: \
+                 decode_paged_with rows vs independent decode_step"
+            ),
+        ));
+    }
+
+    // Shared prefix vs unshared: slot 0 decodes a block-aligned prompt
+    // and publishes it; slot 1 maps the shared pages and continues with
+    // the same tokens — its outputs must be bit-identical to the
+    // recomputed (unshared) sequence.
+    {
+        let backend = ExactGemm;
+        let mut rng = SplitMix64::seed_from_u64(cfg.seed ^ 0x54A6E);
+        let prompt_len = 2 * block;
+        let extra = steps;
+        let mut paged = PagedKvCache::new(&model, 2, PagedConfig::new(block));
+        let mut solo = model.new_cache();
+        let mut scratch = DecodeScratch::new();
+        let mut got = Mat::zeros(1, 1);
+        let tokens: Vec<Mat> = (0..prompt_len + extra)
+            .map(|_| random_mat(1, hidden, &mut rng))
+            .collect();
+        let mut unshared = Vec::new();
+        for tok in &tokens {
+            model.decode_paged_with(tok, &mut paged, &[0], &backend, &mut scratch, &mut got);
+            unshared.push(got.clone());
+            let _ = model.decode_step(&tok.row(0), &mut solo, &backend);
+        }
+        let prompt_slices: Vec<&[f64]> = tokens[..prompt_len]
+            .iter()
+            .map(|t| t.row_slice(0))
+            .collect();
+        let hashes = prefix_block_hashes(prompt_slices, block);
+        paged.publish_prefix(0, &hashes);
+        let shared = paged.lookup_prefix(1, &hashes);
+        let mut diffs = 0usize;
+        for (i, tok) in tokens.iter().enumerate().skip(shared) {
+            model.decode_paged_with(tok, &mut paged, &[1], &backend, &mut scratch, &mut got);
+            diffs += differing_bits(&got, &unshared[i]);
+        }
+        // Sharing must actually have happened, or the comparison is
+        // vacuous — count a silent non-share as a failure.
+        diffs += usize::from(shared == 0);
+        checks.push(bit_identity_check(
+            "decode.kv.shared_prefix_vs_unshared",
+            diffs,
+            format!(
+                "prompt {prompt_len} (block {block}, {shared} tokens shared) + {extra} \
+                 continuation steps: prefix-shared slot vs unshared decode"
+            ),
+        ));
+
+        // Copy-on-write isolation: fork slot 1's sequence into slot 0
+        // (retired above — reset first), push a divergent step, and the
+        // original's K/V bits must be untouched.
+        paged.reset_slot(0);
+        // CoW only fires when the forked tail page is partial; pad the
+        // source sequence off a block boundary first.
+        if paged.seq_len(1).is_multiple_of(block) {
+            let tok = random_mat(1, hidden, &mut rng);
+            model.decode_paged_with(&tok, &mut paged, &[1], &backend, &mut scratch, &mut got);
+        }
+        let snapshot = |paged: &PagedKvCache| {
+            let mut bits = Vec::new();
+            for li in 0..model.config().layers {
+                for t in 0..paged.seq_len(1) {
+                    bits.extend(paged.k_row(1, li, t).iter().map(|v| v.to_bits()));
+                    bits.extend(paged.v_row(1, li, t).iter().map(|v| v.to_bits()));
+                }
+            }
+            bits
+        };
+        let before = snapshot(&paged);
+        let cow_before = paged.stats().cow_copies;
+        paged.fork_slot(0, 1);
+        let tok = random_mat(1, hidden, &mut rng);
+        model.decode_paged_with(&tok, &mut paged, &[0], &backend, &mut scratch, &mut got);
+        let after = snapshot(&paged);
+        let cow_hit = paged.stats().cow_copies > cow_before;
+        checks.push(invariant_check(
+            "decode.kv.fork_cow_isolated",
+            before == after && cow_hit,
+            format!(
+                "fork + divergent step: original K/V bits unchanged={} cow_triggered={cow_hit}",
+                before == after
             ),
         ));
     }
@@ -890,6 +1058,7 @@ pub fn run_conformance(cfg: &ConformanceConfig) -> ConformanceReport {
     report.extend(decode_workload_checks(cfg));
     report.extend(batched_decode_checks(cfg));
     report.extend(grouped_attention_checks(cfg));
+    report.extend(paged_kv_checks(cfg));
     report.extend(tracing_invariance_checks(cfg));
     report.extend(energy_meter_invariance_checks(cfg));
     report

@@ -72,6 +72,18 @@ for series in pdac_power_energy_attention_j pdac_power_energy_total_j \
         || { echo "FAIL: ${series} missing from /metrics exposition"; exit 1; }
 done
 
+echo "==> paged KV serve smoke (prefix sharing under a byte budget, bit-identical to flat)"
+PDAC_SERVE_REQUESTS=6 PDAC_SERVE_PROMPT=5 PDAC_SERVE_MAX_NEW=4 PDAC_SERVE_BATCH=3 \
+    PDAC_SERVE_HIDDEN=32 PDAC_SERVE_LAYERS=2 PDAC_SERVE_HEADS=4 \
+    PDAC_SERVE_KV=paged PDAC_SERVE_SHARED_PROMPT=4 \
+    PDAC_KV_BLOCK_TOKENS=2 PDAC_KV_BUDGET_BYTES=16384 \
+    PDAC_SERVE_METRICS_OUT="$(pwd)/target/metrics.kv.txt" \
+    cargo run --release -q -p pdac-serve --bin serve
+for series in pdac_serve_kv_pages pdac_serve_kv_bytes pdac_serve_kv_shared; do
+    grep -q "^${series}" target/metrics.kv.txt \
+        || { echo "FAIL: ${series} missing from /metrics exposition"; exit 1; }
+done
+
 echo "==> telemetry-off feature check (serve/nn/power compile with the no-op mirror)"
 cargo check --release -q -p pdac-serve -p pdac-nn -p pdac-power --no-default-features
 
@@ -111,11 +123,18 @@ PDAC_BENCH_MS=40 PDAC_BENCH_OUT="$(pwd)/target/BENCH_pool.fresh.json" \
     cargo bench --features microbench -p pdac-bench --bench pool_vs_scope
 PDAC_BENCH_OUT="$(pwd)/target/BENCH_energy.fresh.json" \
     cargo bench --features microbench -p pdac-bench --bench energy_ledger
+PDAC_BENCH_KV_HIDDEN=64 PDAC_BENCH_KV_LAYERS=2 PDAC_BENCH_KV_HEADS=4 \
+    PDAC_BENCH_KV_BATCH=4 PDAC_BENCH_KV_PROMPT=8 PDAC_BENCH_KV_SHARED=4 \
+    PDAC_BENCH_KV_TOKENS=2 PDAC_BENCH_KV_BLOCK=2 PDAC_BENCH_KV_REPS=3 \
+    PDAC_BENCH_KV_BACKENDS=exact \
+    PDAC_BENCH_OUT="$(pwd)/target/BENCH_kv.fresh.json" \
+    cargo bench --features microbench -p pdac-bench --bench kv_paged
 cargo run --release -q -p pdac-bench --bin bench_gate -- \
     crates/bench/baselines/BENCH_decode.gate.json target/BENCH_decode.fresh.json \
     crates/bench/baselines/BENCH_trace.gate.json target/BENCH_trace.fresh.json \
     crates/bench/baselines/BENCH_gemm.gate.json target/BENCH_gemm.fresh.json \
     crates/bench/baselines/BENCH_pool.gate.json target/BENCH_pool.fresh.json \
-    crates/bench/baselines/BENCH_energy.gate.json target/BENCH_energy.fresh.json
+    crates/bench/baselines/BENCH_energy.gate.json target/BENCH_energy.fresh.json \
+    crates/bench/baselines/BENCH_kv.gate.json target/BENCH_kv.fresh.json
 
 echo "CI OK"
