@@ -1,0 +1,108 @@
+//! The ideal (error-free) drive path: exact linear code → amplitude.
+//!
+//! Both physical drive paths carry modeled conversion error — the P-DAC's
+//! approximated arccos, the e-DAC's voltage-grid snap — so neither is
+//! *exactly* linear in the code. [`IdealDac`] is the disembodied digital
+//! reference the paper measures them against: `convert(code)` returns the
+//! ideal value `code / max_code` with no conversion error at all. It is
+//! the one driver whose dequantize map is exactly linear in the code
+//! (`ConverterLut::is_code_linear` holds), which makes it the byte-size
+//! integer-GEMM baseline: products of its dequantized amplitudes collapse
+//! into exact `i32` code arithmetic (see `pdac_math::gemm_i8` and
+//! DESIGN.md §16).
+
+use crate::converter::MzmDriver;
+
+/// An error-free linear drive path: `convert(code) = code / max_code`.
+///
+/// # Examples
+///
+/// ```
+/// use pdac_core::ideal::IdealDac;
+/// use pdac_core::converter::MzmDriver;
+///
+/// let dac = IdealDac::new(8)?;
+/// assert_eq!(dac.convert(64), 64.0 / 127.0);
+/// assert_eq!(dac.convert(64), dac.ideal_value(64));
+/// # Ok::<(), pdac_core::ideal::IdealDacError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdealDac {
+    bits: u8,
+}
+
+/// Errors from [`IdealDac`] construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdealDacError {
+    /// Bit width outside `2..=16`.
+    UnsupportedBits(u8),
+}
+
+impl std::fmt::Display for IdealDacError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IdealDacError::UnsupportedBits(b) => write!(f, "bit width {b} outside 2..=16"),
+        }
+    }
+}
+
+impl std::error::Error for IdealDacError {}
+
+impl IdealDac {
+    /// Creates an ideal drive path for `bits`-bit codes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IdealDacError::UnsupportedBits`] outside `2..=16`.
+    pub fn new(bits: u8) -> Result<Self, IdealDacError> {
+        if !(2..=16).contains(&bits) {
+            return Err(IdealDacError::UnsupportedBits(bits));
+        }
+        Ok(Self { bits })
+    }
+}
+
+impl MzmDriver for IdealDac {
+    fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// The exact ideal value — no conversion error by definition.
+    fn convert(&self, code: i32) -> f64 {
+        self.ideal_value(code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lut::ConverterLut;
+
+    #[test]
+    fn construction_validation() {
+        assert!(IdealDac::new(1).is_err());
+        assert!(IdealDac::new(17).is_err());
+        assert!(IdealDac::new(2).is_ok());
+        assert!(IdealDac::new(16).is_ok());
+        assert!(IdealDacError::UnsupportedBits(1).to_string().contains("1"));
+    }
+
+    #[test]
+    fn convert_is_exactly_linear_and_saturating() {
+        let dac = IdealDac::new(8).unwrap();
+        assert_eq!(dac.max_code(), 127);
+        for code in -127..=127 {
+            assert_eq!(dac.convert(code).to_bits(), (code as f64 / 127.0).to_bits());
+        }
+        assert_eq!(dac.convert(1000), 1.0);
+        assert_eq!(dac.convert(-1000), -1.0);
+    }
+
+    #[test]
+    fn lut_of_ideal_is_code_linear() {
+        for bits in [2u8, 4, 8] {
+            let lut = ConverterLut::new(&IdealDac::new(bits).unwrap());
+            assert!(lut.is_code_linear(), "bits={bits}");
+        }
+    }
+}

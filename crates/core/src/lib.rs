@@ -49,6 +49,7 @@ pub mod approx;
 pub mod converter;
 pub mod edac;
 pub mod error_analysis;
+pub mod ideal;
 pub mod lut;
 pub mod minimax;
 pub mod multi_segment;
@@ -61,6 +62,7 @@ pub use adc::Adc;
 pub use approx::ArccosApprox;
 pub use converter::MzmDriver;
 pub use edac::ElectricalDac;
+pub use ideal::IdealDac;
 pub use lut::ConverterLut;
 pub use pdac::PDac;
 pub use tia_weights::TiaWeightPlan;

@@ -118,6 +118,63 @@ impl Quantizer {
         let m = self.max_code();
         -m..=m
     }
+
+    /// Quantizes a whole slice in one tight pass, appending to `out`.
+    ///
+    /// Per element this is exactly [`Quantizer::quantize`] (same divide,
+    /// multiply, round, clamp — bit-identical codes); the slice form
+    /// exists so the divide/round/clamp/convert chain vectorizes instead
+    /// of round-tripping through a per-element call.
+    pub fn quantize_slice(&self, xs: &[f64], out: &mut Vec<i32>) {
+        let m = self.max_code() as f64;
+        let scale = self.scale;
+        out.reserve(xs.len());
+        out.extend(xs.iter().map(|&x| {
+            let code = (x / scale * m).round();
+            code.clamp(-m, m) as i32
+        }));
+    }
+
+    /// [`Quantizer::quantize_slice`] emitting `i16` codes (every
+    /// representable code fits: `|code| ≤ 2^15 − 1` for `bits ≤ 16`) into
+    /// a caller-provided buffer — the integer-GEMM operand form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != xs.len()`.
+    pub fn quantize_slice_i16(&self, xs: &[f64], out: &mut [i16]) {
+        assert_eq!(out.len(), xs.len(), "output length");
+        let m = self.max_code() as f64;
+        let scale = self.scale;
+        for (o, &x) in out.iter_mut().zip(xs) {
+            let code = (x / scale * m).round();
+            *o = code.clamp(-m, m) as i16;
+        }
+    }
+}
+
+/// Largest absolute value in `xs` (`0.0` for an empty slice), computed
+/// with lane-striped partial maxima so the scan vectorizes. `max` and
+/// `abs` are exact and order-independent over non-NaN data, so the
+/// result is bit-identical to the sequential fold
+/// `xs.iter().fold(0.0, |m, v| m.max(v.abs()))`.
+pub fn abs_max(xs: &[f64]) -> f64 {
+    const LANES: usize = 8;
+    let mut lanes = [0.0f64; LANES];
+    let mut chunks = xs.chunks_exact(LANES);
+    for chunk in chunks.by_ref() {
+        for (l, &v) in lanes.iter_mut().zip(chunk) {
+            *l = l.max(v.abs());
+        }
+    }
+    let mut m = 0.0f64;
+    for &v in chunks.remainder() {
+        m = m.max(v.abs());
+    }
+    for &l in &lanes {
+        m = m.max(l);
+    }
+    m
 }
 
 #[cfg(test)]
@@ -189,6 +246,35 @@ mod tests {
         let q1 = Quantizer::new(8, 1.0).unwrap();
         let q2 = Quantizer::new(8, 2.0).unwrap();
         assert!((q2.step() - 2.0 * q1.step()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn slice_forms_match_per_element_quantize_bitwise() {
+        let q = Quantizer::new(8, 0.73).unwrap();
+        let xs: Vec<f64> = (0..1003)
+            .map(|i| (i as f64 * 0.0317 - 16.0) * if i % 5 == 0 { 10.0 } else { 0.1 })
+            .collect();
+        let want: Vec<i32> = xs.iter().map(|&x| q.quantize(x)).collect();
+        let mut got = Vec::new();
+        q.quantize_slice(&xs, &mut got);
+        assert_eq!(got, want);
+        let mut got16 = vec![0i16; xs.len()];
+        q.quantize_slice_i16(&xs, &mut got16);
+        let as32: Vec<i32> = got16.iter().map(|&c| c as i32).collect();
+        assert_eq!(as32, want);
+    }
+
+    #[test]
+    fn abs_max_matches_sequential_fold() {
+        for len in [0, 1, 7, 8, 9, 64, 1001] {
+            let xs: Vec<f64> = (0..len)
+                .map(|i| ((i as f64) * 0.917 - 31.0) * if i % 3 == 0 { -1.0 } else { 1.0 })
+                .collect();
+            let want = xs.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            assert_eq!(abs_max(&xs), want, "len={len}");
+        }
+        assert_eq!(abs_max(&[]), 0.0);
+        assert_eq!(abs_max(&[-3.5]), 3.5);
     }
 
     #[test]

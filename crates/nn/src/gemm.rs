@@ -12,12 +12,200 @@
 //! The [`GemmBackend`] trait lets the same transformer forward pass run in
 //! any regime; the fidelity study diffs their outputs.
 
-use crate::prepared::WeightCache;
-use crate::quant::{GroupQuantizedMat, QuantizedMat, RowQuantizedMat};
+use crate::prepared::{PreparedOperand, WeightCache};
+use crate::quant::{self, GroupQuantizedMat, QuantizedMat, RowQuantizedMat};
 use pdac_core::converter::MzmDriver;
-use pdac_core::lut::ConverterLut;
-use pdac_math::gemm::PackedB;
+use pdac_core::lut::{fill_product_table, ConverterLut};
+use pdac_math::gemm::{default_threads, PackedB};
+use pdac_math::gemm_i8::{self, PackedBi8};
 use pdac_math::Mat;
+use std::cell::RefCell;
+
+/// Reusable scratch for the integer and product-LUT routes (activation
+/// codes, integer accumulators, the per-call product table), so the
+/// decode hot path allocates nothing after warm-up.
+#[derive(Debug, Default)]
+struct IntScratch {
+    a_codes: Vec<i16>,
+    a_scales: Vec<f64>,
+    b_codes: Vec<i16>,
+    b_scales: Vec<f64>,
+    acc: Vec<i32>,
+    a_idx: Vec<u16>,
+    table: Vec<f64>,
+}
+
+/// The dequantize-at-the-end contract shared by every integer-route
+/// variant: with `acc = Σ ca·cb` exact in `i32`, row `r` of the output is
+/// `fl(f_r · acc)` where `f_r = fl(fl(s_a_r / m) · fl(s_b / m))` and `m`
+/// is the max code — two scale roundings and one final multiply per
+/// element, applied **once**, after the exact integer contraction
+/// (DESIGN.md §16).
+#[inline]
+fn dequantize_acc(acc: &[i32], n: usize, factor: impl Fn(usize) -> f64, out: &mut [f64]) {
+    for (r, (out_row, acc_row)) in out.chunks_exact_mut(n).zip(acc.chunks_exact(n)).enumerate() {
+        let f = factor(r);
+        for (o, &v) in out_row.iter_mut().zip(acc_row) {
+            *o = f * v as f64;
+        }
+    }
+}
+
+/// Integer route, cached-weight form: quantize activations to codes
+/// (per-tensor or per-row scales), run the exact `i32` kernel against
+/// the weight's memoized code panels, dequantize once at the end.
+fn int8_matmul_cached(
+    a: &Mat,
+    bq: &PreparedOperand,
+    bits: u8,
+    per_row: bool,
+    sc: &mut IntScratch,
+    out: &mut Mat,
+) {
+    let (m, k) = a.shape();
+    let n = bq.converted().cols();
+    assert_eq!(k, bq.converted().rows(), "inner dimensions must agree");
+    if per_row {
+        quant::quantize_blocks_i16(a, 1, bits, &mut sc.a_codes, &mut sc.a_scales);
+    } else {
+        let s = quant::quantize_tensor_i16(a.as_slice(), bits, &mut sc.a_codes);
+        sc.a_scales.clear();
+        sc.a_scales.push(s);
+    }
+    sc.acc.clear();
+    sc.acc.resize(m * n, 0);
+    gemm_i8::gemm_i8_prepacked(
+        &sc.a_codes,
+        bq.packed_codes(),
+        m,
+        &mut sc.acc,
+        default_threads(),
+    );
+    let mc = ((1i32 << (bits - 1)) - 1) as f64;
+    let db = bq.code_scale() / mc;
+    out.resize(m, n);
+    let scales = &sc.a_scales;
+    dequantize_acc(
+        &sc.acc,
+        n,
+        |r| (scales[if per_row { r } else { 0 }] / mc) * db,
+        out.as_mut_slice(),
+    );
+}
+
+/// Integer route, transient form: both operands quantize fresh
+/// (per-tensor scales, exactly what the cache would have produced), the
+/// right side packs per call — a `k·n` i16 write pass, cheaper than the
+/// `k·n` f64 convert pass it replaces.
+fn int8_matmul_transient(a: &Mat, b: &Mat, bits: u8, sc: &mut IntScratch, out: &mut Mat) {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    assert_eq!(k, b.rows(), "inner dimensions must agree");
+    let s_a = quant::quantize_tensor_i16(a.as_slice(), bits, &mut sc.a_codes);
+    let s_b = quant::quantize_tensor_i16(b.as_slice(), bits, &mut sc.b_codes);
+    let packed = PackedBi8::pack(&sc.b_codes, k, n);
+    sc.acc.clear();
+    sc.acc.resize(m * n, 0);
+    gemm_i8::gemm_i8_prepacked(&sc.a_codes, &packed, m, &mut sc.acc, default_threads());
+    let mc = ((1i32 << (bits - 1)) - 1) as f64;
+    let f = (s_a / mc) * (s_b / mc);
+    out.resize(m, n);
+    dequantize_acc(&sc.acc, n, |_| f, out.as_mut_slice());
+}
+
+/// Integer route, grouped form: per-row activation scales, per-block
+/// stacked-operand scales (the solo transient rule applied block by
+/// block), one grouped integer kernel dispatch.
+fn int8_matmul_grouped(a: &Mat, b: &Mat, bits: u8, sc: &mut IntScratch, out: &mut Mat) {
+    let (g, k) = a.shape();
+    let n = b.cols();
+    assert_eq!(b.rows(), g * k, "stacked operand row count");
+    quant::quantize_blocks_i16(a, 1, bits, &mut sc.a_codes, &mut sc.a_scales);
+    quant::quantize_blocks_i16(b, k, bits, &mut sc.b_codes, &mut sc.b_scales);
+    sc.acc.clear();
+    sc.acc.resize(g * n, 0);
+    gemm_i8::gemm_i8_grouped(
+        &sc.a_codes,
+        &sc.b_codes,
+        g,
+        k,
+        n,
+        &mut sc.acc,
+        default_threads(),
+    );
+    let mc = ((1i32 << (bits - 1)) - 1) as f64;
+    out.resize(g, n);
+    let (a_scales, b_scales) = (&sc.a_scales, &sc.b_scales);
+    dequantize_acc(
+        &sc.acc,
+        n,
+        |r| (a_scales[r] / mc) * (b_scales[r] / mc),
+        out.as_mut_slice(),
+    );
+}
+
+/// Product-LUT route, cached-weight form: gather precomputed code-pair
+/// products (per-call scales folded into the table) in the f64 path's
+/// exact per-cell reduction order — bit-identical to
+/// quantize→LUT-dequantize→matmul for **any** driver, while streaming
+/// byte codes instead of f64 amplitudes. Per-row scales rebuild the
+/// table per row (the table is scale-dependent); the route is gated on
+/// operand size precisely because of that rebuild cost.
+fn lut_matmul_cached(
+    a: &Mat,
+    bq: &PreparedOperand,
+    lut_a: &ConverterLut,
+    lut_b: &ConverterLut,
+    per_row: bool,
+    sc: &mut IntScratch,
+    out: &mut Mat,
+) {
+    let (m, k) = a.shape();
+    let n = bq.converted().cols();
+    assert_eq!(k, bq.converted().rows(), "inner dimensions must agree");
+    let bits = lut_a.bits();
+    if per_row {
+        quant::quantize_blocks_i16(a, 1, bits, &mut sc.a_codes, &mut sc.a_scales);
+    } else {
+        let s = quant::quantize_tensor_i16(a.as_slice(), bits, &mut sc.a_codes);
+        sc.a_scales.clear();
+        sc.a_scales.push(s);
+    }
+    let mc = lut_a.max_code() as i16;
+    sc.a_idx.clear();
+    sc.a_idx
+        .extend(sc.a_codes.iter().map(|&c| ((c + mc) as u16) << 8));
+    let b_idx = bq.biased_codes();
+    let threads = default_threads();
+    out.resize(m, n);
+    if per_row {
+        for r in 0..m {
+            fill_product_table(lut_a, sc.a_scales[r], lut_b, bq.code_scale(), &mut sc.table);
+            gemm_i8::gemm_product_lut(
+                &sc.a_idx[r * k..(r + 1) * k],
+                b_idx,
+                1,
+                k,
+                n,
+                &sc.table,
+                out.row_slice_mut(r),
+                threads,
+            );
+        }
+    } else {
+        fill_product_table(lut_a, sc.a_scales[0], lut_b, bq.code_scale(), &mut sc.table);
+        gemm_i8::gemm_product_lut(
+            &sc.a_idx,
+            b_idx,
+            m,
+            k,
+            n,
+            &sc.table,
+            out.as_mut_slice(),
+            threads,
+        );
+    }
+}
 
 /// A matrix-multiply backend.
 pub trait GemmBackend {
@@ -225,24 +413,78 @@ impl GemmBackend for ExactGemm {
 /// [`WeightCache`] so repeated multiplies against the same weights —
 /// every decode step of generative inference — skip quantize+convert
 /// entirely. Both shortcuts are bit-identical to the direct path.
-#[derive(Debug, Clone)]
+///
+/// Two further routes exist below the f64 pipeline (DESIGN.md §16):
+///
+/// * **Integer route** — when the drive path is exactly code-linear
+///   ([`ConverterLut::is_code_linear`], i.e. the ideal digital
+///   reference, `pdac_core::IdealDac`) at ≤ 8 bits, the dequantized
+///   product factors into `scale_a·scale_b/m² · Σ ca·cb` and every
+///   multiply runs in the exact byte-size integer engine
+///   (`pdac_math::gemm_i8`) with one dequantize at the end. Taken
+///   automatically; physical drivers never qualify, so their modeled
+///   conversion error is untouched.
+/// * **Product-LUT route** — for *any* ≤ 8-bit driver, the per-term
+///   product `fl(fl(s_a·A[ca])·fl(s_b·B[cb]))` is a function of the two
+///   codes alone, so a 64 Ki-entry table gathered in ascending-`k`
+///   order reproduces the f64 pipeline bit for bit while streaming byte
+///   codes instead of f64 amplitudes. Opt-in via
+///   [`Self::with_product_lut_floor`] because it only wins on
+///   memory-bound shapes.
+#[derive(Debug)]
 pub struct AnalogGemm<D> {
     driver: D,
     lut: ConverterLut,
     cache: WeightCache,
     name: String,
+    code_linear: bool,
+    product_lut_floor: usize,
+    scratch: RefCell<IntScratch>,
+}
+
+impl<D: Clone> Clone for AnalogGemm<D> {
+    /// Clones share the cache contents but start with fresh (empty,
+    /// re-growable) integer-route scratch.
+    fn clone(&self) -> Self {
+        Self {
+            driver: self.driver.clone(),
+            lut: self.lut.clone(),
+            cache: self.cache.clone(),
+            name: self.name.clone(),
+            code_linear: self.code_linear,
+            product_lut_floor: self.product_lut_floor,
+            scratch: RefCell::new(IntScratch::default()),
+        }
+    }
 }
 
 impl<D: MzmDriver> AnalogGemm<D> {
     /// Wraps a driver.
     pub fn new(driver: D, name: impl Into<String>) -> Self {
         let lut = ConverterLut::new(&driver);
+        let code_linear = lut.is_code_linear();
         Self {
             driver,
             lut,
             cache: WeightCache::default(),
             name: name.into(),
+            code_linear,
+            product_lut_floor: usize::MAX,
+            scratch: RefCell::new(IntScratch::default()),
         }
+    }
+
+    /// Opts cached-weight multiplies into the product-LUT gather route
+    /// whenever the right operand holds at least `floor_bytes` of `f64`
+    /// data (`k·n·8`). The route is bit-identical to the default f64
+    /// pipeline for every driver (see `pdac_core::lut::fill_product_table`),
+    /// so the floor trades nothing but speed: below it the tuned f64
+    /// kernels win on compute-bound shapes, above it streaming byte codes
+    /// wins on memory-bound ones. `0` forces the route everywhere (the
+    /// conformance suite does this); the default `usize::MAX` disables it.
+    pub fn with_product_lut_floor(mut self, floor_bytes: usize) -> Self {
+        self.product_lut_floor = floor_bytes;
+        self
     }
 
     /// The wrapped driver.
@@ -259,22 +501,60 @@ impl<D: MzmDriver> AnalogGemm<D> {
     pub fn cache(&self) -> &WeightCache {
         &self.cache
     }
+
+    /// Whether the exact integer route serves a `k`-deep contraction.
+    /// Deliberately a function of shape only (never of operand values),
+    /// so batched/grouped calls route identically to their solo twins.
+    fn use_int8(&self, k: usize) -> bool {
+        self.code_linear && self.lut.bits() <= 8 && k <= gemm_i8::MAX_K_I8
+    }
+
+    /// Whether the product-LUT route serves a `k×n` right operand.
+    fn use_product_lut(&self, k: usize, n: usize) -> bool {
+        self.lut.bits() <= 8
+            && k.checked_mul(n)
+                .and_then(|cells| cells.checked_mul(std::mem::size_of::<f64>()))
+                .is_some_and(|bytes| bytes >= self.product_lut_floor)
+    }
 }
 
 impl<D: MzmDriver> GemmBackend for AnalogGemm<D> {
     fn matmul(&self, a: &Mat, b: &Mat) -> Mat {
-        let _span = pdac_telemetry::span("nn.gemm.analog");
-        pdac_telemetry::counter_add("nn.gemm.macs", (a.rows() * a.cols() * b.cols()) as u64);
-        let bits = self.lut.bits();
-        let aq = QuantizedMat::quantize(a, bits).dequantize_with(&self.lut);
-        let bq = self.cache.get_or_prepare(b, &self.lut);
-        aq.matmul(bq.converted())
-            .expect("inner dimensions must agree")
+        let mut out = Mat::zeros(1, 1);
+        self.matmul_into(a, b, &mut out);
+        out
     }
 
     fn matmul_into(&self, a: &Mat, b: &Mat, out: &mut Mat) {
         let _span = pdac_telemetry::span("nn.gemm.analog");
         pdac_telemetry::counter_add("nn.gemm.macs", (a.rows() * a.cols() * b.cols()) as u64);
+        if self.use_int8(a.cols()) {
+            pdac_telemetry::counter_add("nn.gemm.int8", 1);
+            let bq = self.cache.get_or_prepare(b, &self.lut);
+            int8_matmul_cached(
+                a,
+                &bq,
+                self.lut.bits(),
+                false,
+                &mut self.scratch.borrow_mut(),
+                out,
+            );
+            return;
+        }
+        if self.use_product_lut(a.cols(), b.cols()) {
+            pdac_telemetry::counter_add("nn.gemm.product_lut", 1);
+            let bq = self.cache.get_or_prepare(b, &self.lut);
+            lut_matmul_cached(
+                a,
+                &bq,
+                &self.lut,
+                &self.lut,
+                false,
+                &mut self.scratch.borrow_mut(),
+                out,
+            );
+            return;
+        }
         let bits = self.lut.bits();
         let aq = QuantizedMat::quantize(a, bits).dequantize_with(&self.lut);
         let bq = self.cache.get_or_prepare(b, &self.lut);
@@ -287,10 +567,18 @@ impl<D: MzmDriver> GemmBackend for AnalogGemm<D> {
     /// applies exactly this quantize→LUT-dequantize transform before
     /// memoizing, so skipping the cache cannot change a single bit — it
     /// only avoids fingerprinting + inserting an operand that is dead
-    /// after this call.
+    /// after this call. Code-linear drivers take the integer route
+    /// (per-call `B` code packing, same dequantize-at-end contract as the
+    /// cached path); transients never use the product LUT — rebuilding a
+    /// 64 Ki-entry table for a dead-after-this-call operand loses.
     fn matmul_transient_into(&self, a: &Mat, b: &Mat, out: &mut Mat) {
         let _span = pdac_telemetry::span("nn.gemm.analog");
         pdac_telemetry::counter_add("nn.gemm.macs", (a.rows() * a.cols() * b.cols()) as u64);
+        if self.use_int8(a.cols()) {
+            pdac_telemetry::counter_add("nn.gemm.int8", 1);
+            int8_matmul_transient(a, b, self.lut.bits(), &mut self.scratch.borrow_mut(), out);
+            return;
+        }
         let bits = self.lut.bits();
         let aq = QuantizedMat::quantize(a, bits).dequantize_with(&self.lut);
         let bq = QuantizedMat::quantize(b, bits).dequantize_with(&self.lut);
@@ -304,10 +592,40 @@ impl<D: MzmDriver> GemmBackend for AnalogGemm<D> {
     /// whole converted stack multiplies the cached weight conversion in
     /// one prepacked GEMM. Row-identical to per-row [`Self::matmul`]
     /// calls; the weight converts (and packs) once per distinct matrix
-    /// instead of once per sequence.
+    /// instead of once per sequence. The integer and product-LUT routes
+    /// apply per-row scales to the same kernels as the solo path, so the
+    /// row identity survives routing (the route predicate depends on
+    /// shape alone).
     fn matmul_batch_into(&self, a: &Mat, b: &Mat, out: &mut Mat) {
         let _span = pdac_telemetry::span("nn.gemm.analog_batch");
         pdac_telemetry::counter_add("nn.gemm.macs", (a.rows() * a.cols() * b.cols()) as u64);
+        if self.use_int8(a.cols()) {
+            pdac_telemetry::counter_add("nn.gemm.int8", 1);
+            let bq = self.cache.get_or_prepare(b, &self.lut);
+            int8_matmul_cached(
+                a,
+                &bq,
+                self.lut.bits(),
+                true,
+                &mut self.scratch.borrow_mut(),
+                out,
+            );
+            return;
+        }
+        if self.use_product_lut(a.cols(), b.cols()) {
+            pdac_telemetry::counter_add("nn.gemm.product_lut", 1);
+            let bq = self.cache.get_or_prepare(b, &self.lut);
+            lut_matmul_cached(
+                a,
+                &bq,
+                &self.lut,
+                &self.lut,
+                true,
+                &mut self.scratch.borrow_mut(),
+                out,
+            );
+            return;
+        }
         let bits = self.lut.bits();
         let aq = RowQuantizedMat::quantize(a, bits).dequantize_with(&self.lut);
         let bq = self.cache.get_or_prepare(b, &self.lut);
@@ -321,10 +639,16 @@ impl<D: MzmDriver> GemmBackend for AnalogGemm<D> {
     /// the per-tensor quantization the solo transient path applies to
     /// each 1×k query and k×n gathered operand — then all `G` products
     /// run in one exact grouped kernel. Cache-free like
-    /// [`Self::matmul_transient_into`].
+    /// [`Self::matmul_transient_into`], and like it, code-linear drivers
+    /// run the grouped integer kernel instead.
     fn matmul_grouped_transient_into(&self, a: &Mat, b: &Mat, out: &mut Mat) {
         let _span = pdac_telemetry::span("nn.gemm.analog_grouped");
         pdac_telemetry::counter_add("nn.gemm.macs", (a.rows() * a.cols() * b.cols()) as u64);
+        if self.use_int8(a.cols()) {
+            pdac_telemetry::counter_add("nn.gemm.int8", 1);
+            int8_matmul_grouped(a, b, self.lut.bits(), &mut self.scratch.borrow_mut(), out);
+            return;
+        }
         let bits = self.lut.bits();
         let aq = RowQuantizedMat::quantize(a, bits).dequantize_with(&self.lut);
         let bq = GroupQuantizedMat::quantize(b, a.cols(), bits).dequantize_with(&self.lut);
@@ -340,7 +664,13 @@ impl<D: MzmDriver> GemmBackend for AnalogGemm<D> {
 /// Asymmetric analog GEMM: different drive paths for the two operands —
 /// the hybrid design where dynamic activations (`a`) ride the P-DAC and
 /// weight-like operands (`b`) keep the exact electrical path.
-#[derive(Debug, Clone)]
+///
+/// Carries the same sub-f64 routes as [`AnalogGemm`]: the integer route
+/// engages only when **both** drive paths are exactly code-linear, the
+/// product-LUT route ([`Self::with_product_lut_floor`]) works for any
+/// ≤ 8-bit driver pair because the table holds per-pair products of the
+/// two scaled tables.
+#[derive(Debug)]
 pub struct AsymmetricGemm<Da, Db> {
     driver_a: Da,
     driver_b: Db,
@@ -348,6 +678,27 @@ pub struct AsymmetricGemm<Da, Db> {
     lut_b: ConverterLut,
     cache: WeightCache,
     name: String,
+    code_linear: bool,
+    product_lut_floor: usize,
+    scratch: RefCell<IntScratch>,
+}
+
+impl<Da: Clone, Db: Clone> Clone for AsymmetricGemm<Da, Db> {
+    /// Clones share the cache contents but start with fresh (empty,
+    /// re-growable) integer-route scratch.
+    fn clone(&self) -> Self {
+        Self {
+            driver_a: self.driver_a.clone(),
+            driver_b: self.driver_b.clone(),
+            lut_a: self.lut_a.clone(),
+            lut_b: self.lut_b.clone(),
+            cache: self.cache.clone(),
+            name: self.name.clone(),
+            code_linear: self.code_linear,
+            product_lut_floor: self.product_lut_floor,
+            scratch: RefCell::new(IntScratch::default()),
+        }
+    }
 }
 
 impl<Da: MzmDriver, Db: MzmDriver> AsymmetricGemm<Da, Db> {
@@ -364,6 +715,7 @@ impl<Da: MzmDriver, Db: MzmDriver> AsymmetricGemm<Da, Db> {
         );
         let lut_a = ConverterLut::new(&driver_a);
         let lut_b = ConverterLut::new(&driver_b);
+        let code_linear = lut_a.is_code_linear() && lut_b.is_code_linear();
         Self {
             driver_a,
             driver_b,
@@ -371,7 +723,17 @@ impl<Da: MzmDriver, Db: MzmDriver> AsymmetricGemm<Da, Db> {
             lut_b,
             cache: WeightCache::default(),
             name: name.into(),
+            code_linear,
+            product_lut_floor: usize::MAX,
+            scratch: RefCell::new(IntScratch::default()),
         }
+    }
+
+    /// Opts cached-weight multiplies into the product-LUT gather route;
+    /// same contract as [`AnalogGemm::with_product_lut_floor`].
+    pub fn with_product_lut_floor(mut self, floor_bytes: usize) -> Self {
+        self.product_lut_floor = floor_bytes;
+        self
     }
 
     /// The activation-path driver.
@@ -388,17 +750,65 @@ impl<Da: MzmDriver, Db: MzmDriver> AsymmetricGemm<Da, Db> {
     pub fn cache(&self) -> &WeightCache {
         &self.cache
     }
+
+    /// Shape-only integer-route predicate; requires both drive paths
+    /// code-linear (see [`AnalogGemm::use_int8`]).
+    fn use_int8(&self, k: usize) -> bool {
+        self.code_linear && self.lut_a.bits() <= 8 && k <= gemm_i8::MAX_K_I8
+    }
+
+    /// Shape-only product-LUT predicate (see
+    /// [`AnalogGemm::use_product_lut`]).
+    fn use_product_lut(&self, k: usize, n: usize) -> bool {
+        self.lut_a.bits() <= 8
+            && k.checked_mul(n)
+                .and_then(|cells| cells.checked_mul(std::mem::size_of::<f64>()))
+                .is_some_and(|bytes| bytes >= self.product_lut_floor)
+    }
 }
 
 impl<Da: MzmDriver, Db: MzmDriver> GemmBackend for AsymmetricGemm<Da, Db> {
     fn matmul(&self, a: &Mat, b: &Mat) -> Mat {
+        let mut out = Mat::zeros(1, 1);
+        self.matmul_into(a, b, &mut out);
+        out
+    }
+
+    fn matmul_into(&self, a: &Mat, b: &Mat, out: &mut Mat) {
         let _span = pdac_telemetry::span("nn.gemm.asymmetric");
         pdac_telemetry::counter_add("nn.gemm.macs", (a.rows() * a.cols() * b.cols()) as u64);
+        if self.use_int8(a.cols()) {
+            pdac_telemetry::counter_add("nn.gemm.int8", 1);
+            let bq = self.cache.get_or_prepare(b, &self.lut_b);
+            int8_matmul_cached(
+                a,
+                &bq,
+                self.lut_a.bits(),
+                false,
+                &mut self.scratch.borrow_mut(),
+                out,
+            );
+            return;
+        }
+        if self.use_product_lut(a.cols(), b.cols()) {
+            pdac_telemetry::counter_add("nn.gemm.product_lut", 1);
+            let bq = self.cache.get_or_prepare(b, &self.lut_b);
+            lut_matmul_cached(
+                a,
+                &bq,
+                &self.lut_a,
+                &self.lut_b,
+                false,
+                &mut self.scratch.borrow_mut(),
+                out,
+            );
+            return;
+        }
         let bits = self.lut_a.bits();
         let aq = QuantizedMat::quantize(a, bits).dequantize_with(&self.lut_a);
         let bq = self.cache.get_or_prepare(b, &self.lut_b);
-        aq.matmul(bq.converted())
-            .expect("inner dimensions must agree")
+        aq.matmul_into(bq.converted(), out)
+            .expect("inner dimensions must agree");
     }
 
     /// Transient hybrid form: cache-free twin of the cached path —
@@ -408,6 +818,11 @@ impl<Da: MzmDriver, Db: MzmDriver> GemmBackend for AsymmetricGemm<Da, Db> {
     fn matmul_transient_into(&self, a: &Mat, b: &Mat, out: &mut Mat) {
         let _span = pdac_telemetry::span("nn.gemm.asymmetric");
         pdac_telemetry::counter_add("nn.gemm.macs", (a.rows() * a.cols() * b.cols()) as u64);
+        if self.use_int8(a.cols()) {
+            pdac_telemetry::counter_add("nn.gemm.int8", 1);
+            int8_matmul_transient(a, b, self.lut_a.bits(), &mut self.scratch.borrow_mut(), out);
+            return;
+        }
         let bits = self.lut_a.bits();
         let aq = QuantizedMat::quantize(a, bits).dequantize_with(&self.lut_a);
         let bq = QuantizedMat::quantize(b, bits).dequantize_with(&self.lut_b);
@@ -417,10 +832,39 @@ impl<Da: MzmDriver, Db: MzmDriver> GemmBackend for AsymmetricGemm<Da, Db> {
 
     /// Batched hybrid form: per-row activation quantization on the
     /// P-DAC path, cached+prepacked weight conversion on the electrical
-    /// path — same row identity as [`AnalogGemm::matmul_batch_into`].
+    /// path — same row identity as [`AnalogGemm::matmul_batch_into`],
+    /// including across the integer/product-LUT routes (shape-only
+    /// predicates, per-row scales into the same kernels).
     fn matmul_batch_into(&self, a: &Mat, b: &Mat, out: &mut Mat) {
         let _span = pdac_telemetry::span("nn.gemm.asymmetric_batch");
         pdac_telemetry::counter_add("nn.gemm.macs", (a.rows() * a.cols() * b.cols()) as u64);
+        if self.use_int8(a.cols()) {
+            pdac_telemetry::counter_add("nn.gemm.int8", 1);
+            let bq = self.cache.get_or_prepare(b, &self.lut_b);
+            int8_matmul_cached(
+                a,
+                &bq,
+                self.lut_a.bits(),
+                true,
+                &mut self.scratch.borrow_mut(),
+                out,
+            );
+            return;
+        }
+        if self.use_product_lut(a.cols(), b.cols()) {
+            pdac_telemetry::counter_add("nn.gemm.product_lut", 1);
+            let bq = self.cache.get_or_prepare(b, &self.lut_b);
+            lut_matmul_cached(
+                a,
+                &bq,
+                &self.lut_a,
+                &self.lut_b,
+                true,
+                &mut self.scratch.borrow_mut(),
+                out,
+            );
+            return;
+        }
         let bits = self.lut_a.bits();
         let aq = RowQuantizedMat::quantize(a, bits).dequantize_with(&self.lut_a);
         let bq = self.cache.get_or_prepare(b, &self.lut_b);
@@ -435,6 +879,11 @@ impl<Da: MzmDriver, Db: MzmDriver> GemmBackend for AsymmetricGemm<Da, Db> {
     fn matmul_grouped_transient_into(&self, a: &Mat, b: &Mat, out: &mut Mat) {
         let _span = pdac_telemetry::span("nn.gemm.asymmetric_grouped");
         pdac_telemetry::counter_add("nn.gemm.macs", (a.rows() * a.cols() * b.cols()) as u64);
+        if self.use_int8(a.cols()) {
+            pdac_telemetry::counter_add("nn.gemm.int8", 1);
+            int8_matmul_grouped(a, b, self.lut_a.bits(), &mut self.scratch.borrow_mut(), out);
+            return;
+        }
         let bits = self.lut_a.bits();
         let aq = RowQuantizedMat::quantize(a, bits).dequantize_with(&self.lut_a);
         let bq = GroupQuantizedMat::quantize(b, a.cols(), bits).dequantize_with(&self.lut_b);
@@ -785,5 +1234,154 @@ mod tests {
         }
         assert_eq!(analog.cache().misses(), 1);
         assert_eq!(analog.cache().hits(), 4);
+    }
+
+    use pdac_core::ideal::IdealDac;
+
+    /// The ideal (code-linear) driver must take the integer route, and
+    /// its output must be **exactly** `fl(f · Σ ca·cb)` with
+    /// `f = fl(fl(s_a/m)·fl(s_b/m))` — the dequantize-at-the-end
+    /// contract, checked bit for bit against hand-rolled i32 loops.
+    #[test]
+    fn ideal_integer_route_matches_integer_reference_bitwise() {
+        let a = random_mat(7, 33, 201);
+        let b = random_mat(33, 11, 202);
+        let ideal = AnalogGemm::new(IdealDac::new(8).unwrap(), "ideal8");
+        assert!(ideal.lut().is_code_linear());
+        let got = ideal.matmul(&a, &b);
+        let qa = QuantizedMat::quantize(&a, 8);
+        let qb = QuantizedMat::quantize(&b, 8);
+        let f = (qa.scale() / 127.0) * (qb.scale() / 127.0);
+        for r in 0..7 {
+            for c in 0..11 {
+                let mut acc = 0i32;
+                for kk in 0..33 {
+                    acc += qa.codes()[r * 33 + kk] * qb.codes()[kk * 11 + c];
+                }
+                let want = f * acc as f64;
+                assert!(
+                    got.row_slice(r)[c].to_bits() == want.to_bits(),
+                    "({r},{c}): {} vs {want}",
+                    got.row_slice(r)[c]
+                );
+            }
+        }
+    }
+
+    /// The integer route reorders only rounding (per-term f64 rounding
+    /// becomes exact i32 accumulation + one final multiply), so against
+    /// the f64 pipeline it must agree to ~1e-12 relative — not bitwise,
+    /// which is impossible across the two rounding orders.
+    #[test]
+    fn ideal_integer_route_tracks_f64_pipeline_tightly() {
+        let a = random_mat(6, 40, 203);
+        let b = random_mat(40, 9, 204);
+        let driver = IdealDac::new(8).unwrap();
+        let ideal = AnalogGemm::new(driver, "ideal8");
+        let got = ideal.matmul(&a, &b);
+        let direct_a = QuantizedMat::quantize(&a, 8).dequantize_with(&driver);
+        let direct_b = QuantizedMat::quantize(&b, 8).dequantize_with(&driver);
+        let direct = direct_a.matmul_reference(&direct_b).unwrap();
+        for (g, d) in got.as_slice().iter().zip(direct.as_slice()) {
+            let tol = 1e-12 * d.abs().max(1.0);
+            assert!((g - d).abs() <= tol, "{g} vs {d}");
+        }
+    }
+
+    /// All the backend invariants the f64 path guarantees must survive
+    /// the integer route: batch rows ≡ solo rows, transient ≡ cached,
+    /// grouped rows ≡ solo transients, `matmul_into` ≡ `matmul`.
+    #[test]
+    fn ideal_integer_route_preserves_backend_identities() {
+        let ideal = AnalogGemm::new(IdealDac::new(8).unwrap(), "ideal8");
+        let mut a = random_mat(5, 16, 205);
+        for (r, f) in [(0usize, 10.0), (1, 0.01)] {
+            for v in a.row_slice_mut(r) {
+                *v *= f;
+            }
+        }
+        let b = random_mat(16, 8, 206);
+        assert_batch_rows_match(&ideal, &a, &b);
+        let mut out = Mat::zeros(1, 1);
+        ideal.matmul_into(&a, &b, &mut out);
+        assert_eq!(out, ideal.matmul(&a, &b));
+        ideal.matmul_transient_into(&a, &b, &mut out);
+        assert_eq!(out, ideal.matmul(&a, &b));
+        let (g, k, n) = (4, 8, 6);
+        let ga = random_mat(g, k, 207);
+        let gb = random_mat(g * k, n, 208);
+        assert_grouped_rows_match(&ideal, &ga, &gb);
+        // Hybrid with both paths ideal routes through integers too.
+        let hybrid =
+            AsymmetricGemm::new(IdealDac::new(8).unwrap(), IdealDac::new(8).unwrap(), "ii");
+        assert_batch_rows_match(&hybrid, &a, &b);
+        assert_grouped_rows_match(&hybrid, &ga, &gb);
+    }
+
+    /// Forcing the product-LUT route (floor 0) must not change a single
+    /// bit relative to the default f64 pipeline, for physical drivers and
+    /// the hybrid pair alike — the route's whole premise.
+    #[test]
+    fn product_lut_route_is_bit_identical_to_default_path() {
+        let a = random_mat(5, 24, 211);
+        let b = random_mat(24, 10, 212);
+        let cases: Vec<(Box<dyn GemmBackend>, Box<dyn GemmBackend>)> = vec![
+            (
+                Box::new(AnalogGemm::new(PDac::with_optimal_approx(8).unwrap(), "p8")),
+                Box::new(
+                    AnalogGemm::new(PDac::with_optimal_approx(8).unwrap(), "p8lut")
+                        .with_product_lut_floor(0),
+                ),
+            ),
+            (
+                Box::new(AnalogGemm::new(ElectricalDac::new(8).unwrap(), "e8")),
+                Box::new(
+                    AnalogGemm::new(ElectricalDac::new(8).unwrap(), "e8lut")
+                        .with_product_lut_floor(0),
+                ),
+            ),
+            (
+                Box::new(AsymmetricGemm::new(
+                    PDac::with_optimal_approx(8).unwrap(),
+                    ElectricalDac::new(8).unwrap(),
+                    "hy",
+                )),
+                Box::new(
+                    AsymmetricGemm::new(
+                        PDac::with_optimal_approx(8).unwrap(),
+                        ElectricalDac::new(8).unwrap(),
+                        "hylut",
+                    )
+                    .with_product_lut_floor(0),
+                ),
+            ),
+        ];
+        let mut plain = Mat::zeros(1, 1);
+        let mut routed = Mat::zeros(1, 1);
+        for (default, forced) in &cases {
+            assert_eq!(
+                forced.matmul(&a, &b),
+                default.matmul(&a, &b),
+                "{}",
+                forced.name()
+            );
+            default.matmul_batch_into(&a, &b, &mut plain);
+            forced.matmul_batch_into(&a, &b, &mut routed);
+            assert_eq!(routed, plain, "{} batch", forced.name());
+        }
+    }
+
+    /// The forced product-LUT route must also satisfy the batch row
+    /// identity on its own terms (per-row tables vs the solo path).
+    #[test]
+    fn product_lut_route_batch_rows_match_single_rows() {
+        let mut a = random_mat(4, 16, 213);
+        for v in a.row_slice_mut(0) {
+            *v *= 7.0;
+        }
+        let b = random_mat(16, 8, 214);
+        let forced = AnalogGemm::new(PDac::with_optimal_approx(8).unwrap(), "p8lut")
+            .with_product_lut_floor(0);
+        assert_batch_rows_match(&forced, &a, &b);
     }
 }

@@ -22,6 +22,7 @@
 use crate::quant::QuantizedMat;
 use pdac_core::converter::MzmDriver;
 use pdac_math::gemm::PackedB;
+use pdac_math::gemm_i8::PackedBi8;
 use pdac_math::Mat;
 use std::cell::{Cell, OnceCell, RefCell};
 use std::collections::HashMap;
@@ -99,7 +100,13 @@ fn fingerprint(data: &[f64]) -> u64 {
 pub struct PreparedOperand {
     converted: Mat,
     bits: u8,
+    /// Quantized codes (narrow storage; every `bits ≤ 16` code fits).
+    codes: Vec<i16>,
+    /// The per-tensor quantization scale behind `converted`.
+    scale: f64,
     packed: OnceCell<PackedB>,
+    packed_codes: OnceCell<PackedBi8>,
+    biased_codes: OnceCell<Vec<u8>>,
 }
 
 impl PartialEq for PreparedOperand {
@@ -117,16 +124,60 @@ impl PreparedOperand {
     pub fn prepare(mat: &Mat, driver: &dyn MzmDriver) -> Self {
         let _span = pdac_telemetry::span("nn.gemm.prepare_operand");
         let bits = driver.bits();
+        let quantized = QuantizedMat::quantize(mat, bits);
+        let codes = quantized.codes().iter().map(|&c| c as i16).collect();
+        let scale = quantized.scale();
         Self {
-            converted: QuantizedMat::quantize(mat, bits).dequantize_with(driver),
+            converted: quantized.dequantize_with(driver),
             bits,
+            codes,
+            scale,
             packed: OnceCell::new(),
+            packed_codes: OnceCell::new(),
+            biased_codes: OnceCell::new(),
         }
     }
 
     /// The converted matrix (scale · driver(code) per element).
     pub fn converted(&self) -> &Mat {
         &self.converted
+    }
+
+    /// The raw quantized codes, row-major.
+    pub fn codes(&self) -> &[i16] {
+        &self.codes
+    }
+
+    /// The per-tensor quantization scale the codes were produced with.
+    pub fn code_scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The quantized codes packed into integer-GEMM panels, built on
+    /// first use and cached for the operand's lifetime — the weight side
+    /// of the byte-size integer fast path (`pdac_math::gemm_i8`).
+    pub fn packed_codes(&self) -> &PackedBi8 {
+        self.packed_codes.get_or_init(|| {
+            pdac_telemetry::counter_add("nn.gemm.weight_cache.packed_i8", 1);
+            PackedBi8::pack(&self.codes, self.converted.rows(), self.converted.cols())
+        })
+    }
+
+    /// The quantized codes biased to `0..=2·max_code` (`code + max_code`
+    /// per element, row-major), built on first use — the weight-side
+    /// index stream of the product-LUT route
+    /// (`pdac_math::gemm_i8::gemm_product_lut`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand was prepared at more than 8 bits (biased
+    /// codes must fit a byte).
+    pub fn biased_codes(&self) -> &[u8] {
+        self.biased_codes.get_or_init(|| {
+            assert!(self.bits <= 8, "biased codes require byte-size codes");
+            let bias = (1i16 << (self.bits - 1)) - 1;
+            self.codes.iter().map(|&c| (c + bias) as u8).collect()
+        })
     }
 
     /// The converted matrix packed into GEMM column panels, built on
@@ -342,6 +393,27 @@ mod tests {
     #[should_panic(expected = "capacity must be nonzero")]
     fn zero_capacity_rejected() {
         WeightCache::new(0);
+    }
+
+    #[test]
+    fn prepared_codes_match_quantized_mat() {
+        let w = random_mat(7, 9, 57);
+        let edac = ElectricalDac::new(8).unwrap();
+        let prepared = PreparedOperand::prepare(&w, &edac);
+        let q = crate::quant::QuantizedMat::quantize(&w, 8);
+        assert_eq!(prepared.code_scale(), q.scale());
+        let as32: Vec<i32> = prepared.codes().iter().map(|&c| c as i32).collect();
+        assert_eq!(as32, q.codes());
+        // Biased codes shift every code by max_code into 0..=254.
+        let biased = prepared.biased_codes();
+        for (&b, &c) in biased.iter().zip(prepared.codes()) {
+            assert_eq!(b as i16, c + 127);
+        }
+        // Packed code panels are memoized like the f64 panels.
+        let first = prepared.packed_codes() as *const _;
+        assert!(std::ptr::eq(prepared.packed_codes(), first));
+        assert_eq!(prepared.packed_codes().k(), 7);
+        assert_eq!(prepared.packed_codes().n(), 9);
     }
 
     #[test]

@@ -8,7 +8,20 @@
 //! every operand.
 
 use pdac_core::converter::MzmDriver;
+use pdac_math::quant::abs_max;
 use pdac_math::{Mat, Quantizer};
+
+/// The shared scale rule: symmetric `max|x|`, unit scale for all-zero
+/// data so the quantizer stays valid.
+#[inline]
+fn scale_of(xs: &[f64]) -> f64 {
+    let m = abs_max(xs);
+    if m == 0.0 {
+        1.0
+    } else {
+        m
+    }
+}
 
 /// A tensor quantized to signed codes with one per-tensor scale.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,15 +41,7 @@ impl QuantizedMat {
     ///
     /// Panics if `bits` is outside `2..=16`.
     pub fn quantize(x: &Mat, bits: u8) -> Self {
-        let scale = {
-            let m = x.max_abs();
-            if m == 0.0 {
-                1.0
-            } else {
-                m
-            }
-        };
-        Self::quantize_with_scale(x, bits, scale)
+        Self::quantize_with_scale(x, bits, scale_of(x.as_slice()))
     }
 
     /// Quantizes with a percentile-clipped scale: the scale is the
@@ -64,8 +69,10 @@ impl QuantizedMat {
 
     fn quantize_with_scale(x: &Mat, bits: u8, scale: f64) -> Self {
         let q = Quantizer::new(bits, scale).expect("validated bit width and positive scale");
+        let mut codes = Vec::new();
+        q.quantize_slice(x.as_slice(), &mut codes);
         Self {
-            codes: x.as_slice().iter().map(|&v| q.quantize(v)).collect(),
+            codes,
             rows: x.rows(),
             cols: x.cols(),
             scale,
@@ -155,10 +162,9 @@ impl RowQuantizedMat {
         let mut scales = Vec::with_capacity(x.rows());
         for r in 0..x.rows() {
             let row = x.row_slice(r);
-            let m = row.iter().fold(0.0f64, |m, v| m.max(v.abs()));
-            let scale = if m == 0.0 { 1.0 } else { m };
+            let scale = scale_of(row);
             let q = Quantizer::new(bits, scale).expect("validated bit width and positive scale");
-            codes.extend(row.iter().map(|&v| q.quantize(v)));
+            q.quantize_slice(row, &mut codes);
             scales.push(scale);
         }
         Self {
@@ -252,10 +258,9 @@ impl GroupQuantizedMat {
         let mut codes = Vec::with_capacity(x.rows() * cols);
         let mut scales = Vec::with_capacity(x.rows() / block_rows);
         for block in x.as_slice().chunks_exact(block_len) {
-            let m = block.iter().fold(0.0f64, |m, v| m.max(v.abs()));
-            let scale = if m == 0.0 { 1.0 } else { m };
+            let scale = scale_of(block);
             let q = Quantizer::new(bits, scale).expect("validated bit width and positive scale");
-            codes.extend(block.iter().map(|&v| q.quantize(v)));
+            q.quantize_slice(block, &mut codes);
             scales.push(scale);
         }
         Self {
@@ -310,6 +315,56 @@ impl GroupQuantizedMat {
             }
         }
         Mat::from_rows(self.rows, self.cols, data).expect("shape preserved")
+    }
+}
+
+/// Quantizes `x` per-tensor into `i16` codes (the integer-GEMM operand
+/// form), returning the scale. Exactly [`QuantizedMat::quantize`]'s scale
+/// rule and code arithmetic — same codes, narrower storage. `codes` is
+/// clear-and-reused scratch.
+pub(crate) fn quantize_tensor_i16(xs: &[f64], bits: u8, codes: &mut Vec<i16>) -> f64 {
+    let scale = scale_of(xs);
+    let q = Quantizer::new(bits, scale).expect("validated bit width and positive scale");
+    codes.clear();
+    codes.resize(xs.len(), 0);
+    q.quantize_slice_i16(xs, codes);
+    scale
+}
+
+/// Quantizes each `block_rows`-row block of `x` into `i16` codes with
+/// per-block scales — [`GroupQuantizedMat::quantize`]'s arithmetic
+/// (`block_rows == 1` gives [`RowQuantizedMat::quantize`]'s). `codes`
+/// and `scales` are clear-and-reused scratch.
+///
+/// # Panics
+///
+/// Panics if `x.rows()` is not a multiple of `block_rows`.
+pub(crate) fn quantize_blocks_i16(
+    x: &Mat,
+    block_rows: usize,
+    bits: u8,
+    codes: &mut Vec<i16>,
+    scales: &mut Vec<f64>,
+) {
+    assert!(block_rows > 0, "block_rows must be nonzero");
+    assert_eq!(
+        x.rows() % block_rows,
+        0,
+        "row count must be a whole number of blocks"
+    );
+    let block_len = block_rows * x.cols();
+    codes.clear();
+    codes.resize(x.rows() * x.cols(), 0);
+    scales.clear();
+    for (block, out) in x
+        .as_slice()
+        .chunks_exact(block_len)
+        .zip(codes.chunks_exact_mut(block_len))
+    {
+        let scale = scale_of(block);
+        let q = Quantizer::new(bits, scale).expect("validated bit width and positive scale");
+        q.quantize_slice_i16(block, out);
+        scales.push(scale);
     }
 }
 
@@ -537,5 +592,31 @@ mod tests {
     #[should_panic(expected = "whole number of blocks")]
     fn group_quantize_rejects_ragged_blocks() {
         GroupQuantizedMat::quantize(&ramp(), 3, 8);
+    }
+
+    #[test]
+    fn i16_helpers_emit_the_same_codes_as_the_public_types() {
+        let mut rng = pdac_math::rng::SplitMix64::seed_from_u64(123);
+        let x = Mat::from_fn(6, 10, |_, _| rng.gen_range_f64(-4.0, 4.0));
+        let mut codes = vec![7i16; 3]; // stale scratch must be overwritten
+        let mut scales = vec![0.5f64];
+
+        let scale = quantize_tensor_i16(x.as_slice(), 8, &mut codes);
+        let tensor = QuantizedMat::quantize(&x, 8);
+        assert_eq!(scale, tensor.scale());
+        let as32: Vec<i32> = codes.iter().map(|&c| c as i32).collect();
+        assert_eq!(as32, tensor.codes());
+
+        quantize_blocks_i16(&x, 1, 8, &mut codes, &mut scales);
+        let rows = RowQuantizedMat::quantize(&x, 8);
+        assert_eq!(scales, rows.scales());
+        let as32: Vec<i32> = codes.iter().map(|&c| c as i32).collect();
+        assert_eq!(as32, rows.codes());
+
+        quantize_blocks_i16(&x, 3, 8, &mut codes, &mut scales);
+        let blocks = GroupQuantizedMat::quantize(&x, 3, 8);
+        assert_eq!(scales, blocks.scales());
+        let as32: Vec<i32> = codes.iter().map(|&c| c as i32).collect();
+        assert_eq!(as32, blocks.codes());
     }
 }

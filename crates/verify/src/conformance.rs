@@ -24,6 +24,7 @@ use pdac_accel::config::{AccelConfig, DriverChoice};
 use pdac_accel::functional::FunctionalGemm;
 use pdac_core::converter::MzmDriver;
 use pdac_core::edac::ElectricalDac;
+use pdac_core::ideal::IdealDac;
 use pdac_core::lut::ConverterLut;
 use pdac_core::pdac::PDac;
 use pdac_math::gemm::{gemm, gemm_prepacked, gemm_scoped, PackedB};
@@ -1044,6 +1045,124 @@ fn fault_gemm_check(cfg: &ConformanceConfig) -> CheckResult {
     )
 }
 
+/// Integer-domain routing conformance (DESIGN.md §16).
+///
+/// Three guarantees, one row each:
+///
+/// * `gemm.int8.{pdac,edac,hybrid}.vs_f64_path` — forcing the
+///   product-LUT gather route (floor 0) must reproduce the default f64
+///   pipeline **bit for bit** for the physical drivers: the 64 Ki-entry
+///   table holds exactly the per-term products the f64 path computes,
+///   gathered in the same ascending-`k` order.
+/// * `gemm.int8.ideal.vs_integer_reference` — the code-linear ideal
+///   driver's automatic integer route must equal a hand-rolled exact
+///   `i32` triple loop with the dequantize-at-the-end factor, bitwise.
+/// * `gemm.int8.ideal.vs_f64_path` — against the f64 pipeline the
+///   integer route only reorders rounding (per-term rounding becomes
+///   exact accumulation + one final multiply), so it carries a tight
+///   documented tolerance instead of bit identity.
+fn int8_route_checks(cfg: &ConformanceConfig) -> Vec<CheckResult> {
+    /// A named (default f64 route, forced product-LUT route) backend pair.
+    type RoutedPair = (&'static str, Box<dyn GemmBackend>, Box<dyn GemmBackend>);
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed ^ 0x18_D0);
+    let mut checks = Vec::new();
+    let pairs: Vec<RoutedPair> = vec![
+        (
+            "pdac",
+            Box::new(AnalogGemm::new(PDac::with_optimal_approx(8).unwrap(), "p8")),
+            Box::new(
+                AnalogGemm::new(PDac::with_optimal_approx(8).unwrap(), "p8lut")
+                    .with_product_lut_floor(0),
+            ),
+        ),
+        (
+            "edac",
+            Box::new(AnalogGemm::new(ElectricalDac::new(8).unwrap(), "e8")),
+            Box::new(
+                AnalogGemm::new(ElectricalDac::new(8).unwrap(), "e8lut").with_product_lut_floor(0),
+            ),
+        ),
+        (
+            "hybrid",
+            Box::new(AsymmetricGemm::new(
+                PDac::with_optimal_approx(8).unwrap(),
+                ElectricalDac::new(8).unwrap(),
+                "hy",
+            )),
+            Box::new(
+                AsymmetricGemm::new(
+                    PDac::with_optimal_approx(8).unwrap(),
+                    ElectricalDac::new(8).unwrap(),
+                    "hylut",
+                )
+                .with_product_lut_floor(0),
+            ),
+        ),
+    ];
+    for (name, plain, forced) in &pairs {
+        let mut diffs = 0usize;
+        let mut cells = 0usize;
+        let mut batch = Mat::zeros(1, 1);
+        let mut batch_forced = Mat::zeros(1, 1);
+        for &(m, k, n) in &cfg.gemm_shapes {
+            let a = random_mat(m, k, &mut rng);
+            let b = random_mat(k, n, &mut rng);
+            diffs += differing_bits(&forced.matmul(&a, &b), &plain.matmul(&a, &b));
+            plain.matmul_batch_into(&a, &b, &mut batch);
+            forced.matmul_batch_into(&a, &b, &mut batch_forced);
+            diffs += differing_bits(&batch_forced, &batch);
+            cells += 2 * m * n;
+        }
+        checks.push(bit_identity_check(
+            &format!("gemm.int8.{name}.vs_f64_path"),
+            diffs,
+            format!(
+                "forced product-LUT route vs default f64 pipeline, solo + batched, {} shapes / {cells} cells",
+                cfg.gemm_shapes.len()
+            ),
+        ));
+    }
+    let ideal_driver = IdealDac::new(8).unwrap();
+    let ideal = AnalogGemm::new(ideal_driver, "ideal8");
+    let mut ref_diffs = 0usize;
+    let mut worst_rel = 0.0f64;
+    for &(m, k, n) in &cfg.gemm_shapes {
+        let a = random_mat(m, k, &mut rng);
+        let b = random_mat(k, n, &mut rng);
+        let got = ideal.matmul(&a, &b);
+        let qa = QuantizedMat::quantize(&a, 8);
+        let qb = QuantizedMat::quantize(&b, 8);
+        let f = (qa.scale() / 127.0) * (qb.scale() / 127.0);
+        let want = Mat::from_fn(m, n, |r, c| {
+            let mut acc = 0i32;
+            for kk in 0..k {
+                acc += qa.codes()[r * k + kk] * qb.codes()[kk * n + c];
+            }
+            f * acc as f64
+        });
+        ref_diffs += differing_bits(&got, &want);
+        let direct = qa
+            .dequantize_with(&ideal_driver)
+            .matmul_reference(&qb.dequantize_with(&ideal_driver))
+            .unwrap();
+        for (g, d) in got.as_slice().iter().zip(direct.as_slice()) {
+            worst_rel = worst_rel.max((g - d).abs() / d.abs().max(1.0));
+        }
+    }
+    checks.push(bit_identity_check(
+        "gemm.int8.ideal.vs_integer_reference",
+        ref_diffs,
+        "integer route vs exact i32 triple loop + dequantize-at-end factor".into(),
+    ));
+    checks.push(tolerance_check(
+        "gemm.int8.ideal.vs_f64_path",
+        worst_rel,
+        1e-12,
+        "integer route vs f64 pipeline; differs only by rounding reorder (DESIGN.md §16)".into(),
+    ));
+    checks
+}
+
 /// Runs the backend-pair conformance matrix (no fault injection).
 pub fn run_conformance(cfg: &ConformanceConfig) -> ConformanceReport {
     let _span = pdac_telemetry::span("verify.conformance");
@@ -1054,6 +1173,7 @@ pub fn run_conformance(cfg: &ConformanceConfig) -> ConformanceReport {
     report.extend(per_element_budget_checks(cfg));
     report.extend(fault_layer_conformance(cfg));
     report.extend(cached_gemm_checks(cfg));
+    report.extend(int8_route_checks(cfg));
     report.extend(end_to_end_budget_checks(cfg));
     report.extend(decode_workload_checks(cfg));
     report.extend(batched_decode_checks(cfg));
