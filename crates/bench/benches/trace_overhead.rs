@@ -8,11 +8,17 @@
 //! the bench-gate regression step bounds. Knobs:
 //! `PDAC_BENCH_TRACE_HIDDEN` / `_LAYERS` / `_HEADS` (default 128/2/4),
 //! `_PROMPT` / `_TOKENS` (default 4/24), `_BATCH` (default 8),
-//! `_TRIALS` (default 3), `PDAC_BENCH_TRACE_MAX_OVERHEAD` (default
+//! `_TRIALS` (default 5), `PDAC_BENCH_TRACE_MAX_OVERHEAD` (default
 //! 0.05 — asserted for full tracing only at the default batch of 8).
 //!
-//! Trials are interleaved off→metrics→full and the best (fastest) run
-//! per mode is kept, so ambient machine noise hits every mode equally.
+//! Trials are interleaved off→metrics→full; tokens/s is reported from
+//! the best (fastest) run per mode, while the gated overhead fraction
+//! is the *minimum per-trial paired* overhead (each trial compares a
+//! mode against the off run measured moments before it). A real
+//! hot-path regression taxes every trial, including the quietest pair,
+//! so the minimum still catches it — while a single burst of ambient
+//! load on a busy box cannot fail the gate the way a best-vs-best
+//! comparison can.
 
 use std::time::Instant;
 
@@ -95,7 +101,7 @@ fn main() {
     let prompt_len = env_usize("PDAC_BENCH_TRACE_PROMPT", 4);
     let gen = env_usize("PDAC_BENCH_TRACE_TOKENS", 24);
     let s = env_usize("PDAC_BENCH_TRACE_BATCH", 8);
-    let trials = env_usize("PDAC_BENCH_TRACE_TRIALS", 3).max(1);
+    let trials = env_usize("PDAC_BENCH_TRACE_TRIALS", 5).max(1);
     let max_overhead = env_f64("PDAC_BENCH_TRACE_MAX_OVERHEAD", 0.05);
 
     let config = TransformerConfig {
@@ -121,10 +127,12 @@ fn main() {
     let _ = run(&model, &prompt, 1.min(gen));
 
     let mut best = [f64::INFINITY; 3];
+    let mut elapsed_by_mode = [const { Vec::new() }; 3];
     for _ in 0..trials {
         for (i, mode) in modes.iter().enumerate() {
             mode.apply();
             let elapsed = run(&model, &prompt, gen);
+            elapsed_by_mode[i].push(elapsed);
             if elapsed < best[i] {
                 best[i] = elapsed;
             }
@@ -132,12 +140,22 @@ fn main() {
     }
     pdac_telemetry::disable();
 
-    let off_tps = total_tokens / best[0].max(1e-12);
+    // Paired per-trial overhead vs the off run of the *same* trial,
+    // reduced by minimum: robust to the machine speeding up or slowing
+    // down across the sweep (an intrinsic cost taxes every pair).
+    let paired_overhead = |mode_idx: usize| -> f64 {
+        elapsed_by_mode[mode_idx]
+            .iter()
+            .zip(&elapsed_by_mode[0])
+            .map(|(&m, &off)| (1.0 - off / m.max(1e-12)).max(0.0))
+            .fold(f64::INFINITY, f64::min)
+    };
+
     let mut records = Vec::new();
     let mut full_overhead = 0.0;
     for (i, mode) in modes.iter().enumerate() {
         let tps = total_tokens / best[i].max(1e-12);
-        let overhead = (1.0 - tps / off_tps).max(0.0);
+        let overhead = paired_overhead(i);
         if *mode == Mode::Full {
             full_overhead = overhead;
         }

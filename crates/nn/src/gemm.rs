@@ -539,9 +539,7 @@ impl<D: MzmDriver> GemmBackend for AnalogGemm<D> {
                 &mut self.scratch.borrow_mut(),
                 out,
             );
-            return;
-        }
-        if self.use_product_lut(a.cols(), b.cols()) {
+        } else if self.use_product_lut(a.cols(), b.cols()) {
             pdac_telemetry::counter_add("nn.gemm.product_lut", 1);
             let bq = self.cache.get_or_prepare(b, &self.lut);
             lut_matmul_cached(
@@ -553,13 +551,14 @@ impl<D: MzmDriver> GemmBackend for AnalogGemm<D> {
                 &mut self.scratch.borrow_mut(),
                 out,
             );
-            return;
+        } else {
+            let bits = self.lut.bits();
+            let aq = QuantizedMat::quantize(a, bits).dequantize_with(&self.lut);
+            let bq = self.cache.get_or_prepare(b, &self.lut);
+            aq.matmul_into(bq.converted(), out)
+                .expect("inner dimensions must agree");
         }
-        let bits = self.lut.bits();
-        let aq = QuantizedMat::quantize(a, bits).dequantize_with(&self.lut);
-        let bq = self.cache.get_or_prepare(b, &self.lut);
-        aq.matmul_into(bq.converted(), out)
-            .expect("inner dimensions must agree");
+        crate::tap::observe(&self.name, "matmul", a, b, out);
     }
 
     /// Transient analog form: both operands quantize and convert fresh,
@@ -577,13 +576,14 @@ impl<D: MzmDriver> GemmBackend for AnalogGemm<D> {
         if self.use_int8(a.cols()) {
             pdac_telemetry::counter_add("nn.gemm.int8", 1);
             int8_matmul_transient(a, b, self.lut.bits(), &mut self.scratch.borrow_mut(), out);
-            return;
+        } else {
+            let bits = self.lut.bits();
+            let aq = QuantizedMat::quantize(a, bits).dequantize_with(&self.lut);
+            let bq = QuantizedMat::quantize(b, bits).dequantize_with(&self.lut);
+            aq.matmul_into(&bq, out)
+                .expect("inner dimensions must agree");
         }
-        let bits = self.lut.bits();
-        let aq = QuantizedMat::quantize(a, bits).dequantize_with(&self.lut);
-        let bq = QuantizedMat::quantize(b, bits).dequantize_with(&self.lut);
-        aq.matmul_into(&bq, out)
-            .expect("inner dimensions must agree");
+        crate::tap::observe(&self.name, "transient", a, b, out);
     }
 
     /// Batched analog form: each sequence row gets its own quantization
@@ -610,9 +610,7 @@ impl<D: MzmDriver> GemmBackend for AnalogGemm<D> {
                 &mut self.scratch.borrow_mut(),
                 out,
             );
-            return;
-        }
-        if self.use_product_lut(a.cols(), b.cols()) {
+        } else if self.use_product_lut(a.cols(), b.cols()) {
             pdac_telemetry::counter_add("nn.gemm.product_lut", 1);
             let bq = self.cache.get_or_prepare(b, &self.lut);
             lut_matmul_cached(
@@ -624,13 +622,14 @@ impl<D: MzmDriver> GemmBackend for AnalogGemm<D> {
                 &mut self.scratch.borrow_mut(),
                 out,
             );
-            return;
+        } else {
+            let bits = self.lut.bits();
+            let aq = RowQuantizedMat::quantize(a, bits).dequantize_with(&self.lut);
+            let bq = self.cache.get_or_prepare(b, &self.lut);
+            aq.matmul_prepacked_into(bq.packed(), out)
+                .expect("inner dimensions must agree");
         }
-        let bits = self.lut.bits();
-        let aq = RowQuantizedMat::quantize(a, bits).dequantize_with(&self.lut);
-        let bq = self.cache.get_or_prepare(b, &self.lut);
-        aq.matmul_prepacked_into(bq.packed(), out)
-            .expect("inner dimensions must agree");
+        crate::tap::observe(&self.name, "batch", a, b, out);
     }
 
     /// Grouped analog form: per-row activation scales
@@ -647,13 +646,14 @@ impl<D: MzmDriver> GemmBackend for AnalogGemm<D> {
         if self.use_int8(a.cols()) {
             pdac_telemetry::counter_add("nn.gemm.int8", 1);
             int8_matmul_grouped(a, b, self.lut.bits(), &mut self.scratch.borrow_mut(), out);
-            return;
+        } else {
+            let bits = self.lut.bits();
+            let aq = RowQuantizedMat::quantize(a, bits).dequantize_with(&self.lut);
+            let bq = GroupQuantizedMat::quantize(b, a.cols(), bits).dequantize_with(&self.lut);
+            aq.matmul_grouped_into(&bq, out)
+                .expect("stacked operand rows must equal G·k");
         }
-        let bits = self.lut.bits();
-        let aq = RowQuantizedMat::quantize(a, bits).dequantize_with(&self.lut);
-        let bq = GroupQuantizedMat::quantize(b, a.cols(), bits).dequantize_with(&self.lut);
-        aq.matmul_grouped_into(&bq, out)
-            .expect("stacked operand rows must equal G·k");
+        crate::tap::observe(&self.name, "grouped", a, b, out);
     }
 
     fn name(&self) -> &str {
@@ -788,9 +788,7 @@ impl<Da: MzmDriver, Db: MzmDriver> GemmBackend for AsymmetricGemm<Da, Db> {
                 &mut self.scratch.borrow_mut(),
                 out,
             );
-            return;
-        }
-        if self.use_product_lut(a.cols(), b.cols()) {
+        } else if self.use_product_lut(a.cols(), b.cols()) {
             pdac_telemetry::counter_add("nn.gemm.product_lut", 1);
             let bq = self.cache.get_or_prepare(b, &self.lut_b);
             lut_matmul_cached(
@@ -802,13 +800,14 @@ impl<Da: MzmDriver, Db: MzmDriver> GemmBackend for AsymmetricGemm<Da, Db> {
                 &mut self.scratch.borrow_mut(),
                 out,
             );
-            return;
+        } else {
+            let bits = self.lut_a.bits();
+            let aq = QuantizedMat::quantize(a, bits).dequantize_with(&self.lut_a);
+            let bq = self.cache.get_or_prepare(b, &self.lut_b);
+            aq.matmul_into(bq.converted(), out)
+                .expect("inner dimensions must agree");
         }
-        let bits = self.lut_a.bits();
-        let aq = QuantizedMat::quantize(a, bits).dequantize_with(&self.lut_a);
-        let bq = self.cache.get_or_prepare(b, &self.lut_b);
-        aq.matmul_into(bq.converted(), out)
-            .expect("inner dimensions must agree");
+        crate::tap::observe(&self.name, "matmul", a, b, out);
     }
 
     /// Transient hybrid form: cache-free twin of the cached path —
@@ -821,13 +820,14 @@ impl<Da: MzmDriver, Db: MzmDriver> GemmBackend for AsymmetricGemm<Da, Db> {
         if self.use_int8(a.cols()) {
             pdac_telemetry::counter_add("nn.gemm.int8", 1);
             int8_matmul_transient(a, b, self.lut_a.bits(), &mut self.scratch.borrow_mut(), out);
-            return;
+        } else {
+            let bits = self.lut_a.bits();
+            let aq = QuantizedMat::quantize(a, bits).dequantize_with(&self.lut_a);
+            let bq = QuantizedMat::quantize(b, bits).dequantize_with(&self.lut_b);
+            aq.matmul_into(&bq, out)
+                .expect("inner dimensions must agree");
         }
-        let bits = self.lut_a.bits();
-        let aq = QuantizedMat::quantize(a, bits).dequantize_with(&self.lut_a);
-        let bq = QuantizedMat::quantize(b, bits).dequantize_with(&self.lut_b);
-        aq.matmul_into(&bq, out)
-            .expect("inner dimensions must agree");
+        crate::tap::observe(&self.name, "transient", a, b, out);
     }
 
     /// Batched hybrid form: per-row activation quantization on the
@@ -849,9 +849,7 @@ impl<Da: MzmDriver, Db: MzmDriver> GemmBackend for AsymmetricGemm<Da, Db> {
                 &mut self.scratch.borrow_mut(),
                 out,
             );
-            return;
-        }
-        if self.use_product_lut(a.cols(), b.cols()) {
+        } else if self.use_product_lut(a.cols(), b.cols()) {
             pdac_telemetry::counter_add("nn.gemm.product_lut", 1);
             let bq = self.cache.get_or_prepare(b, &self.lut_b);
             lut_matmul_cached(
@@ -863,13 +861,14 @@ impl<Da: MzmDriver, Db: MzmDriver> GemmBackend for AsymmetricGemm<Da, Db> {
                 &mut self.scratch.borrow_mut(),
                 out,
             );
-            return;
+        } else {
+            let bits = self.lut_a.bits();
+            let aq = RowQuantizedMat::quantize(a, bits).dequantize_with(&self.lut_a);
+            let bq = self.cache.get_or_prepare(b, &self.lut_b);
+            aq.matmul_prepacked_into(bq.packed(), out)
+                .expect("inner dimensions must agree");
         }
-        let bits = self.lut_a.bits();
-        let aq = RowQuantizedMat::quantize(a, bits).dequantize_with(&self.lut_a);
-        let bq = self.cache.get_or_prepare(b, &self.lut_b);
-        aq.matmul_prepacked_into(bq.packed(), out)
-            .expect("inner dimensions must agree");
+        crate::tap::observe(&self.name, "batch", a, b, out);
     }
 
     /// Grouped hybrid form: per-row activations through the `a` drive
@@ -882,13 +881,14 @@ impl<Da: MzmDriver, Db: MzmDriver> GemmBackend for AsymmetricGemm<Da, Db> {
         if self.use_int8(a.cols()) {
             pdac_telemetry::counter_add("nn.gemm.int8", 1);
             int8_matmul_grouped(a, b, self.lut_a.bits(), &mut self.scratch.borrow_mut(), out);
-            return;
+        } else {
+            let bits = self.lut_a.bits();
+            let aq = RowQuantizedMat::quantize(a, bits).dequantize_with(&self.lut_a);
+            let bq = GroupQuantizedMat::quantize(b, a.cols(), bits).dequantize_with(&self.lut_b);
+            aq.matmul_grouped_into(&bq, out)
+                .expect("stacked operand rows must equal G·k");
         }
-        let bits = self.lut_a.bits();
-        let aq = RowQuantizedMat::quantize(a, bits).dequantize_with(&self.lut_a);
-        let bq = GroupQuantizedMat::quantize(b, a.cols(), bits).dequantize_with(&self.lut_b);
-        aq.matmul_grouped_into(&bq, out)
-            .expect("stacked operand rows must equal G·k");
+        crate::tap::observe(&self.name, "grouped", a, b, out);
     }
 
     fn name(&self) -> &str {

@@ -57,6 +57,7 @@ pub mod ops;
 pub mod paged;
 pub mod prepared;
 pub mod quant;
+pub mod tap;
 pub mod workload;
 
 pub use batch::{BatchedKvCache, DecodeScratch};

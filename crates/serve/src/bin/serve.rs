@@ -35,7 +35,24 @@
 //!   Chrome-trace JSON (load in `chrome://tracing` or Perfetto) and
 //!   validate it through the in-tree parser before exiting
 //! * `PDAC_SERVE_HTTP` (or `--http <addr>`, `http` feature only) —
-//!   serve `/metrics` + `/trace` on the given address while running
+//!   serve `/metrics` + `/trace` + `/health` on the given address while
+//!   running
+//! * `PDAC_SENTINEL_RATE` (`sentinel` feature) — sampling probability of
+//!   the online drift sentinel (default 0.02; `0` disables it). Sampled
+//!   analog GEMMs are replayed through the exact reference off the hot
+//!   path and scored against the paper budgets; threshold crossings
+//!   raise `health.alert.*` records
+//! * `PDAC_SENTINEL_FAULT` (`sentinel` feature) — inject a deterministic
+//!   device fault into the P-DAC backend:
+//!   `tia|dark|droop|stuck|flipped[:magnitude]` (requires
+//!   `PDAC_SERVE_BACKEND=pdac`); the sentinel must then trip the
+//!   matching alert
+//! * `PDAC_SENTINEL_FAILOVER=1` — reroute decode steps to the exact
+//!   backend once a critical drift alert latches
+//!   (`serve.sentinel_failover`)
+//! * `--health` (or `PDAC_SERVE_HEALTH=1`) — print the final health
+//!   verdict and alert table; exit nonzero when a critical alert
+//!   latched during the run
 //!
 //! After the run it prints a p50/p95/p99 latency table for the SLO
 //! histograms (queue-wait, TTFT, ITL, e2e) and — when a meter is
@@ -73,6 +90,11 @@ fn arg_or_env(flag: &str, env: &str) -> Option<String> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1).cloned())
         .or_else(|| std::env::var(env).ok())
+}
+
+/// Valueless `--flag` from argv, or `env=1`.
+fn flag_or_env(flag: &str, env: &str) -> bool {
+    std::env::args().any(|a| a == flag) || std::env::var(env).is_ok_and(|v| v == "1")
 }
 
 /// Structural sanity checks on an emitted Chrome-trace document: the
@@ -234,6 +256,36 @@ fn main() {
         }
     };
 
+    // Deterministic fault injection for the sentinel smoke: wrap the
+    // P-DAC in a FaultyPDac so the drift sentinel has something real to
+    // catch. A parse error exits nonzero — a typo must not silently run
+    // the clean backend and report green.
+    #[cfg(feature = "sentinel")]
+    let backend: Box<dyn GemmBackend> = match std::env::var("PDAC_SENTINEL_FAULT") {
+        Err(_) => backend,
+        Ok(raw) => match pdac_serve::sentinel::fault_spec(&raw) {
+            Err(msg) => {
+                eprintln!("serve: {msg}");
+                std::process::exit(2);
+            }
+            Ok(None) => backend,
+            Ok(Some(spec)) => {
+                if backend_name != "pdac" {
+                    eprintln!("serve: PDAC_SENTINEL_FAULT requires PDAC_SERVE_BACKEND=pdac");
+                    std::process::exit(2);
+                }
+                println!("serve: sentinel fault injected: {raw}");
+                Box::new(AnalogGemm::new(
+                    pdac_serve::sentinel::FaultyPDac::new(
+                        PDac::with_optimal_approx(8).expect("8-bit pdac"),
+                        spec,
+                    ),
+                    "pdac-8b-faulty",
+                ))
+            }
+        },
+    };
+
     // The live energy ledger: price executed activity under the driver
     // matching the serving backend (overridable to compare drive paths
     // on identical activity).
@@ -266,6 +318,13 @@ fn main() {
         std::env::set_var("PDAC_TRACE_CAPACITY", "262144");
     }
     pdac_telemetry::enable();
+
+    // Arm the drift sentinel (default rate 0.02; PDAC_SENTINEL_RATE=0
+    // disables). It shadows the whole run and is drained before the
+    // telemetry snapshot below, so its gauges and alerts land in every
+    // exporter.
+    #[cfg(feature = "sentinel")]
+    let sentinel = pdac_serve::sentinel::install_from_env();
 
     #[cfg(feature = "http")]
     let _http = arg_or_env("--http", "PDAC_SERVE_HTTP").map(|addr| {
@@ -334,6 +393,12 @@ fn main() {
         server.mean_occupancy()
     );
 
+    // Drain the sentinel before snapshotting: every sampled GEMM is
+    // replayed, scored and (if warranted) alerted by the time the
+    // drift gauges are exported.
+    #[cfg(feature = "sentinel")]
+    let sentinel_stats = sentinel.map(pdac_serve::sentinel::SentinelHandle::finish);
+
     // Final flush so the `power.*` gauges reflect the whole run before
     // the snapshot is taken (and exported below).
     let energy = meter.as_ref().map(|m| m.flush());
@@ -386,6 +451,31 @@ fn main() {
                 eprintln!("serve: FAIL — meter active but gauge {gauge} missing");
                 std::process::exit(1);
             }
+        }
+    }
+
+    #[cfg(feature = "sentinel")]
+    if let Some(stats) = &sentinel_stats {
+        println!(
+            "serve: sentinel sampled={} scored={} dropped={} alerts={} worst_frac={:.3} \
+             failover_steps={}",
+            stats.sampled,
+            stats.scored,
+            stats.dropped,
+            stats.alerts,
+            stats.worst_frac,
+            server.failover_steps(),
+        );
+        // The sentinel smoke: a run that scored samples must leave the
+        // drift gauges in telemetry (mirrors the power gauge gate).
+        if stats.scored > 0
+            && !snap
+                .gauges
+                .iter()
+                .any(|(n, _)| n.starts_with("health.drift."))
+        {
+            eprintln!("serve: FAIL — sentinel scored samples but health.drift.* gauges missing");
+            std::process::exit(1);
         }
     }
 
@@ -450,6 +540,35 @@ fn main() {
             std::process::exit(1);
         }
         println!("serve: kv paged completions bit-identical to flat replay");
+    }
+
+    // The health verdict gate: mirror the ledger to stdout and exit
+    // nonzero when critical drift latched (the CI sentinel smoke runs
+    // this twice: clean must pass, fault-injected must fail here).
+    if flag_or_env("--health", "PDAC_SERVE_HEALTH") {
+        let ledger = pdac_telemetry::health::ledger();
+        println!(
+            "serve: health status={} alerts_raised={} warn={} critical={} dropped={}",
+            ledger.status().label(),
+            ledger.raised(),
+            ledger.warn_count(),
+            ledger.critical_count(),
+            ledger.dropped(),
+        );
+        for a in ledger.alerts() {
+            println!(
+                "serve: health alert severity={} backend={} op={} measured={:.4} budget={:.4}",
+                a.severity.label(),
+                a.backend,
+                a.op,
+                a.measured,
+                a.budget,
+            );
+        }
+        if ledger.critical_latched() {
+            eprintln!("serve: FAIL — critical drift alert latched");
+            std::process::exit(1);
+        }
     }
     println!("serve: OK — all {requests} requests retired");
 }

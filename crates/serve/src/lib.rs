@@ -51,6 +51,20 @@
 //! `serve.load_shed`). Server-wide totals are available as
 //! [`TokenServer::total_energy_j`] and [`TokenServer::joules_per_token`].
 //!
+//! # Drift sentinel
+//!
+//! With the `sentinel` feature the [`sentinel`] module re-exports
+//! `pdac-verify`'s online drift monitor: live analog GEMMs are
+//! shadow-sampled off the hot path, replayed through the exact
+//! reference and scored against the paper's error budgets, raising
+//! `health.alert.*` records into the global health ledger (surfaced by
+//! the `/health` endpoint). Independently of that feature, every
+//! server honours `PDAC_SENTINEL_FAILOVER=1`: once the health ledger
+//! latches critical, subsequent decode steps reroute to [`ExactGemm`]
+//! (counter `serve.sentinel_failover`,
+//! [`TokenServer::failover_steps`]) so served results stay trustworthy
+//! while the analog path is quarantined. See DESIGN.md §17.
+//!
 //! # KV paging
 //!
 //! [`TokenServer::new_paged`] serves through a [`PagedKvCache`] instead
@@ -93,10 +107,13 @@
 
 use std::collections::VecDeque;
 
+#[cfg(feature = "sentinel")]
+pub mod sentinel;
+
 use pdac_math::Mat;
 use pdac_nn::{
-    prefix_block_hashes, DecodeScratch, GemmBackend, KvCache, KvStats, PagedConfig, PagedKvCache,
-    TransformerModel,
+    prefix_block_hashes, DecodeScratch, ExactGemm, GemmBackend, KvCache, KvStats, PagedConfig,
+    PagedKvCache, TransformerModel,
 };
 
 /// The embedding fed back as the next input token once a sequence runs
@@ -226,6 +243,12 @@ pub struct TokenServer<'m> {
     free_slots: Vec<usize>,
     /// Admissions deferred for KV budget headroom (`serve.kv.defer`).
     kv_deferred: u64,
+    /// `PDAC_SENTINEL_FAILOVER=1` at construction: reroute decode steps
+    /// to the exact backend once the health ledger latches critical.
+    failover_armed: bool,
+    /// Decode steps rerouted by the failover hook
+    /// (`serve.sentinel_failover`).
+    failover_steps: u64,
 }
 
 impl<'m> TokenServer<'m> {
@@ -253,6 +276,8 @@ impl<'m> TokenServer<'m> {
             paged: None,
             free_slots: Vec::new(),
             kv_deferred: 0,
+            failover_armed: std::env::var("PDAC_SENTINEL_FAILOVER").is_ok_and(|v| v == "1"),
+            failover_steps: 0,
         }
     }
 
@@ -379,6 +404,13 @@ impl<'m> TokenServer<'m> {
         self.shed_steps
     }
 
+    /// Decode steps rerouted to the exact backend by the sentinel
+    /// failover hook (the `serve.sentinel_failover` counter; always `0`
+    /// unless `PDAC_SENTINEL_FAILOVER=1` was set at construction).
+    pub fn failover_steps(&self) -> u64 {
+        self.failover_steps
+    }
+
     /// Paging statistics of the shared KV cache (`None` on flat
     /// servers).
     pub fn kv_stats(&self) -> Option<KvStats> {
@@ -411,6 +443,14 @@ impl<'m> TokenServer<'m> {
     ///
     /// A no-op (returns empty) when the server is idle.
     pub fn step(&mut self, backend: &dyn GemmBackend) -> Vec<Completion> {
+        // Sentinel failover hook (opt-in via `PDAC_SENTINEL_FAILOVER=1`):
+        // once the drift sentinel has latched the health ledger critical,
+        // reroute every subsequent decode step to the exact backend —
+        // served results stay trustworthy while the analog path is
+        // quarantined. The latch only releases via an operator
+        // `health::reset`, so rerouting never flaps mid-request.
+        let failover = self.failover_armed && pdac_telemetry::health_critical();
+        let backend: &dyn GemmBackend = if failover { &ExactGemm } else { backend };
         // Load-shed hook: while the energy meter's power budget is
         // latched over budget, defer new admissions and let the
         // in-flight batch drain. Only sheds with work in flight — an
@@ -480,6 +520,10 @@ impl<'m> TokenServer<'m> {
         }
         if self.active.is_empty() {
             return Vec::new();
+        }
+        if failover {
+            self.failover_steps += 1;
+            pdac_telemetry::counter_add("serve.sentinel_failover", 1);
         }
         let _span = pdac_telemetry::span("serve.step");
         let s = self.active.len();

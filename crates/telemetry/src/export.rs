@@ -69,8 +69,11 @@ fn category(name: &str) -> &str {
 }
 
 /// Render a metrics snapshot in the Prometheus text exposition format
-/// (version 0.0.4): counters and gauges as-is, histograms as summaries
-/// with `quantile` labels for p50/p95/p99 plus `_sum`/`_count` series.
+/// (version 0.0.4): counters and gauges as-is, histograms as cumulative
+/// `_bucket` series over the occupied log2 bins (`le` upper bounds in
+/// scientific notation, closed by the mandatory `le="+Inf"` = `_count`)
+/// plus `_sum`/`_count` and p50/p95/p99 `quantile` convenience series on
+/// the bare family name.
 ///
 /// Metric names are sanitized to `[a-zA-Z0-9_]` and prefixed `pdac_`
 /// (`serve.ttft` → `pdac_serve_ttft`); each family carries `# HELP`
@@ -89,7 +92,7 @@ pub fn prometheus_text_with_labels(snapshot: &Snapshot, labels: &[(&str, &str)])
         .iter()
         .map(|(k, v)| (sanitize_label(k), escape_label_value(v)))
         .collect();
-    let render_labels = |extra: Option<(&str, f64)>| -> String {
+    let render_labels = |extra: Option<(&str, &str)>| -> String {
         let mut parts: Vec<String> = constant
             .iter()
             .map(|(k, v)| format!("{k}=\"{v}\""))
@@ -124,11 +127,22 @@ pub fn prometheus_text_with_labels(snapshot: &Snapshot, labels: &[(&str, &str)])
     }
     for h in &snapshot.histograms {
         let name = sanitize(&h.name);
-        header(&mut out, &name, &h.name, "summary");
+        header(&mut out, &name, &h.name, "histogram");
+        for (le, cumulative) in &h.buckets {
+            out.push_str(&format!(
+                "{name}_bucket{} {cumulative}\n",
+                render_labels(Some(("le", &format!("{le:e}"))))
+            ));
+        }
+        out.push_str(&format!(
+            "{name}_bucket{} {}\n",
+            render_labels(Some(("le", "+Inf"))),
+            h.count
+        ));
         for (q, v) in [(0.5, h.p50), (0.95, h.p95), (0.99, h.p99)] {
             out.push_str(&format!(
                 "{name}{} {v}\n",
-                render_labels(Some(("quantile", q)))
+                render_labels(Some(("quantile", &format!("{q}"))))
             ));
         }
         out.push_str(&format!("{name}_sum{plain} {}\n", h.sum));
@@ -297,6 +311,7 @@ mod tests {
                 p50: 2.0,
                 p95: 3.0,
                 p99: 3.0,
+                buckets: vec![(1.0, 1), (2.0, 3), (4.0, 4)],
             }],
         };
         // A hostile label value: quotes, backslash, newline.
@@ -310,7 +325,7 @@ mod tests {
             vec![
                 ("pdac_power_budget_exceeded".into(), "counter".into()),
                 ("pdac_power_compute_w".into(), "gauge".into()),
-                ("pdac_serve_energy_per_token_j".into(), "summary".into()),
+                ("pdac_serve_energy_per_token_j".into(), "histogram".into()),
             ]
         );
         // Values and labels survive the round trip exactly.
@@ -324,7 +339,7 @@ mod tests {
             assert_eq!(labels[0].1, "pdac \"8b\" \\ hybrid\nrow");
             assert_eq!(labels[1], ("run_id".into(), "r1".into()));
         }
-        // The summary's quantile label rides alongside the constants.
+        // The histogram's quantile label rides alongside the constants.
         let quantiles = samples
             .iter()
             .filter(|(n, labels, _)| {
@@ -332,6 +347,66 @@ mod tests {
             })
             .count();
         assert_eq!(quantiles, 3);
+        // Bucket series: every `le` parses (including `+Inf`), bounds
+        // ascend, cumulative counts never decrease and close at `_count`.
+        let buckets: Vec<(f64, f64)> = samples
+            .iter()
+            .filter(|(n, ..)| n == "pdac_serve_energy_per_token_j_bucket")
+            .map(|(_, labels, v)| {
+                let le = labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .expect("bucket carries le")
+                    .1
+                    .parse::<f64>()
+                    .expect("le parses as f64");
+                (le, *v)
+            })
+            .collect();
+        assert_eq!(
+            buckets,
+            vec![(1.0, 1.0), (2.0, 3.0), (4.0, 4.0), (f64::INFINITY, 4.0)]
+        );
+    }
+
+    #[test]
+    fn live_histogram_buckets_round_trip_cumulatively() {
+        // Drive a real log2 histogram through the collector so bucket
+        // construction (underflow folding, bin upper bounds) is covered
+        // end to end, not just the rendering of a hand-built summary.
+        let collector = crate::registry::Collector::new();
+        for v in [0.0, 0.75, 0.75, 3.0, f64::INFINITY] {
+            collector.observe("sentinel.drift", v);
+        }
+        let text = prometheus_text(&collector.snapshot());
+        let (types, samples) = parse_exposition(&text);
+        assert_eq!(
+            types,
+            vec![("pdac_sentinel_drift".into(), "histogram".into())]
+        );
+        let buckets: Vec<(f64, f64)> = samples
+            .iter()
+            .filter(|(n, ..)| n == "pdac_sentinel_drift_bucket")
+            .map(|(_, labels, v)| (labels[0].1.parse::<f64>().unwrap(), *v))
+            .collect();
+        // 0.0 underfolds to the lowest bound 2^-64; 0.75 twice in
+        // [2^-1, 2^0); 3.0 in [2^1, 2^2); +inf only in le="+Inf".
+        assert_eq!(
+            buckets,
+            vec![
+                ((-64f64).exp2(), 1.0),
+                (1.0, 3.0),
+                (4.0, 4.0),
+                (f64::INFINITY, 5.0),
+            ]
+        );
+        // Cumulative closure: the +Inf bucket equals _count.
+        let count = samples
+            .iter()
+            .find(|(n, ..)| n == "pdac_sentinel_drift_count")
+            .unwrap()
+            .2;
+        assert_eq!(count, 5.0);
     }
 
     #[test]
@@ -357,11 +432,15 @@ mod tests {
                 p50: 2.0,
                 p95: 3.0,
                 p99: 3.0,
+                buckets: vec![(2.0, 1), (4.0, 3)],
             }],
         };
         let text = prometheus_text(&snap);
         assert!(text.contains("# TYPE pdac_serve_admitted counter\npdac_serve_admitted 7\n"));
         assert!(text.contains("# TYPE pdac_serve_batch_occupancy gauge\n"));
+        assert!(text.contains("pdac_serve_ttft_bucket{le=\"2e0\"} 1\n"));
+        assert!(text.contains("pdac_serve_ttft_bucket{le=\"4e0\"} 3\n"));
+        assert!(text.contains("pdac_serve_ttft_bucket{le=\"+Inf\"} 3\n"));
         assert!(text.contains("pdac_serve_ttft{quantile=\"0.5\"} 2\n"));
         assert!(text.contains("pdac_serve_ttft_sum 6\n"));
         assert!(text.contains("pdac_serve_ttft_count 3\n"));

@@ -8,6 +8,9 @@
 //! Routes:
 //! * `GET /metrics` — Prometheus text exposition of the current snapshot.
 //! * `GET /trace`   — Chrome-trace-format JSON of the span-event ring.
+//! * `GET /health`  — JSON health verdict (ok/degraded/critical) with the
+//!   active drift alerts; HTTP 503 once a critical alert has latched so
+//!   load balancers can rotate the instance out without parsing the body.
 //! * anything else  — 404.
 
 use std::io::{Read, Write};
@@ -81,6 +84,15 @@ fn handle(mut stream: TcpStream, collector: &Collector) -> std::io::Result<()> {
             "application/json",
             chrome_trace_string(&collector.events()),
         ),
+        "/health" => {
+            let ledger = crate::health::ledger();
+            let status = if ledger.critical_latched() {
+                "503 Service Unavailable"
+            } else {
+                "200 OK"
+            };
+            (status, "application/json", ledger.to_json().render())
+        }
         _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
     };
     write!(
@@ -125,5 +137,31 @@ mod tests {
         assert!(trace.contains("http.test_span"));
         let missing = get(server.addr(), "/nope");
         assert!(missing.starts_with("HTTP/1.0 404"));
+    }
+
+    #[test]
+    fn health_endpoint_reports_and_degrades_to_503() {
+        use crate::health::{self, Severity};
+
+        let collector = test_collector();
+        let server = serve_metrics(collector, "127.0.0.1:0").unwrap();
+        // This test owns the global ledger for its duration; the other
+        // http test never touches health.
+        health::reset();
+        let ok = get(server.addr(), "/health");
+        assert!(ok.starts_with("HTTP/1.0 200 OK"), "{ok}");
+        assert!(ok.contains("\"status\":\"ok\""));
+
+        health::raise(Severity::Critical, "pdac-8b", "batch", 0.31, 0.15);
+        let critical = get(server.addr(), "/health");
+        assert!(
+            critical.starts_with("HTTP/1.0 503 Service Unavailable"),
+            "{critical}"
+        );
+        assert!(critical.contains("\"status\":\"critical\""));
+        assert!(critical.contains("\"backend\":\"pdac-8b\""));
+        let body = critical.split("\r\n\r\n").nth(1).unwrap();
+        crate::json::parse(body).expect("health body parses as JSON");
+        health::reset();
     }
 }

@@ -35,6 +35,8 @@
 pub mod clock;
 #[cfg(feature = "enabled")]
 pub mod export;
+#[cfg(feature = "enabled")]
+pub mod health;
 #[cfg(all(feature = "enabled", feature = "serve-http"))]
 pub mod http;
 #[cfg(feature = "enabled")]
@@ -54,6 +56,8 @@ pub mod trace;
 pub use clock::{Clock, ManualClock, MonotonicClock};
 #[cfg(feature = "enabled")]
 pub use export::{chrome_trace, prometheus_text};
+#[cfg(feature = "enabled")]
+pub use health::{AlertRecord, HealthLedger, HealthStatus, Severity};
 #[cfg(feature = "enabled")]
 pub use json::Json;
 #[cfg(feature = "enabled")]
@@ -231,6 +235,15 @@ pub use global::{
     observe, open_span, record_span, reset, set_tracing, snapshot, span, span_under,
 };
 
+/// Whether the global health ledger has latched a critical drift alert
+/// (see [`health`]). One relaxed atomic load; `false` until the sentinel
+/// raises a critical alert.
+#[cfg(feature = "enabled")]
+#[inline]
+pub fn health_critical() -> bool {
+    health::critical_latched()
+}
+
 // ---------------------------------------------------------------------------
 // Compile-time no-op surface (feature `enabled` off). Mirrors the hot-path
 // API exactly so instrumented crates build unchanged; everything inlines to
@@ -370,10 +383,16 @@ mod noop {
 
     #[inline(always)]
     pub fn observe(_name: &'static str, _value: f64) {}
+
+    #[inline(always)]
+    pub fn health_critical() -> bool {
+        false
+    }
 }
 
 #[cfg(not(feature = "enabled"))]
 pub use noop::{
-    counter_add, current_ctx, disable, enable, gauge_set, is_enabled, is_tracing, now_ns, observe,
-    open_span, record_span, set_tracing, span, span_under, OwnedSpan, Span, TraceCtx,
+    counter_add, current_ctx, disable, enable, gauge_set, health_critical, is_enabled, is_tracing,
+    now_ns, observe, open_span, record_span, set_tracing, span, span_under, OwnedSpan, Span,
+    TraceCtx,
 };

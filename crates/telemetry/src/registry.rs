@@ -277,16 +277,34 @@ impl Collector {
             .lock()
             .unwrap()
             .iter()
-            .map(|(name, h)| HistogramSummary {
-                name: name.to_string(),
-                count: h.count(),
-                sum: h.sum(),
-                min: h.min().unwrap_or(0.0),
-                max: h.max().unwrap_or(0.0),
-                mean: h.mean(),
-                p50: h.quantile(0.5).unwrap_or(0.0),
-                p95: h.quantile(0.95).unwrap_or(0.0),
-                p99: h.quantile(0.99).unwrap_or(0.0),
+            .map(|(name, h)| {
+                // Cumulative occupancy over the log2 grid, Prometheus
+                // histogram style: underflow folds into the lowest bound,
+                // overflow only appears in the implicit `+Inf` (= count).
+                let mut buckets = Vec::new();
+                let mut cumulative = h.underflow_count();
+                if cumulative > 0 {
+                    buckets.push((crate::metrics::bucket_bounds(0).0, cumulative));
+                }
+                for i in 0..crate::metrics::BUCKETS {
+                    let in_bin = h.bucket_count(i);
+                    if in_bin > 0 {
+                        cumulative += in_bin;
+                        buckets.push((crate::metrics::bucket_bounds(i).1, cumulative));
+                    }
+                }
+                HistogramSummary {
+                    name: name.to_string(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    min: h.min().unwrap_or(0.0),
+                    max: h.max().unwrap_or(0.0),
+                    mean: h.mean(),
+                    p50: h.quantile(0.5).unwrap_or(0.0),
+                    p95: h.quantile(0.95).unwrap_or(0.0),
+                    p99: h.quantile(0.99).unwrap_or(0.0),
+                    buckets,
+                }
             })
             .collect();
         Snapshot {
@@ -298,7 +316,7 @@ impl Collector {
 }
 
 /// Summary statistics of one histogram at snapshot time.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct HistogramSummary {
     pub name: String,
     pub count: u64,
@@ -309,6 +327,10 @@ pub struct HistogramSummary {
     pub p50: f64,
     pub p95: f64,
     pub p99: f64,
+    /// Occupied log2 buckets as `(upper_bound, cumulative_count)` pairs,
+    /// ascending. Underflow samples are folded into the lowest bound;
+    /// overflow only shows up in the implicit `+Inf` bucket (= `count`).
+    pub buckets: Vec<(f64, u64)>,
 }
 
 /// Point-in-time copy of a collector's metrics.
@@ -353,6 +375,17 @@ impl Snapshot {
                         ("p50".into(), Json::Num(h.p50)),
                         ("p95".into(), Json::Num(h.p95)),
                         ("p99".into(), Json::Num(h.p99)),
+                        (
+                            "buckets".into(),
+                            Json::Arr(
+                                h.buckets
+                                    .iter()
+                                    .map(|(le, cumulative)| {
+                                        Json::Arr(vec![Json::Num(*le), Json::Int(*cumulative)])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
                     ])
                 })
                 .collect(),

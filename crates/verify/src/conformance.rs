@@ -583,6 +583,64 @@ fn tracing_invariance_checks(cfg: &ConformanceConfig) -> Vec<CheckResult> {
     )]
 }
 
+/// The drift sentinel shadow-samples live analog GEMMs, but taps
+/// observe completed results only: the same batched-decode workload run
+/// with a full-rate [`crate::sentinel::Sentinel`] installed and with no
+/// tap must produce bit-identical hidden states — and the sentinel must
+/// actually have scored samples (or the identity proved nothing).
+fn sentinel_invariance_checks(cfg: &ConformanceConfig) -> Vec<CheckResult> {
+    use crate::sentinel::{Sentinel, SentinelConfig};
+
+    // The tap and the health ledger are process-global; serialize with
+    // every other sentinel user in this test process.
+    let _guard = crate::sentinel::test_guard();
+    let model = TransformerModel::random(TransformerConfig::tiny(), 4, cfg.seed);
+    let hidden = model.config().hidden;
+    let s = 3usize;
+    let steps = cfg.decode_steps.clamp(2, 4);
+    let backend = AnalogGemm::new(PDac::with_optimal_approx(8).expect("valid bits"), "pdac8");
+
+    let run = || -> Vec<Mat> {
+        let mut rng = SplitMix64::seed_from_u64(cfg.seed ^ 0x5E47);
+        let mut batch = BatchedKvCache::new(&model, s);
+        (0..steps)
+            .map(|_| {
+                let tokens = random_mat(s, hidden, &mut rng);
+                model.decode_batch(&tokens, &mut batch, &backend)
+            })
+            .collect()
+    };
+
+    let handle = Sentinel::install(SentinelConfig {
+        rate: 1.0,
+        per_element_budget: cfg.per_element_budget,
+        gemm_budget: cfg.gemm_budget,
+        ..SentinelConfig::default()
+    });
+    let with_sentinel = run();
+    let stats = handle.finish();
+    let without = run();
+    // A clean decode must not leave alerts behind for later checks.
+    pdac_telemetry::health::reset();
+
+    let diffs: usize = with_sentinel
+        .iter()
+        .zip(&without)
+        .map(|(a, b)| differing_bits(a, b))
+        .sum();
+    // A sentinel that sampled nothing would make the identity vacuous.
+    let vacuous = usize::from(stats.scored == 0);
+    vec![bit_identity_check(
+        "decode.sentinel.on_off_bit_identity",
+        diffs + vacuous,
+        format!(
+            "{steps} steps x batch {s}: full-rate sentinel vs no tap \
+({} sampled, {} scored, {} dropped, worst frac {:.3})",
+            stats.sampled, stats.scored, stats.dropped, stats.worst_frac
+        ),
+    )]
+}
+
 /// The live energy meter observes decode activity but must never touch
 /// results: the same batched-decode workload run with a P-DAC
 /// [`pdac_power::meter::EnergyMeter`] installed and with no meter must
@@ -1181,6 +1239,7 @@ pub fn run_conformance(cfg: &ConformanceConfig) -> ConformanceReport {
     report.extend(paged_kv_checks(cfg));
     report.extend(tracing_invariance_checks(cfg));
     report.extend(energy_meter_invariance_checks(cfg));
+    report.extend(sentinel_invariance_checks(cfg));
     report
 }
 

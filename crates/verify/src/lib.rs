@@ -19,6 +19,11 @@
 //! `verify.fault.*` telemetry histograms. Results render as a terminal
 //! table and as a JSONL conformance report ([`report`]).
 //!
+//! The same budgets also run *online*: the [`sentinel`] module
+//! shadow-samples live analog GEMMs off the hot path, replays them
+//! through the golden reference, and raises drift alerts into the
+//! global `pdac-telemetry` health ledger.
+//!
 //! Run the whole matrix with `cargo run --release -p pdac-verify`, or
 //! programmatically:
 //!
@@ -39,7 +44,9 @@
 pub mod conformance;
 pub mod faults;
 pub mod report;
+pub mod sentinel;
 
 pub use conformance::{run_conformance, run_fault_sweeps, run_full, ConformanceConfig};
 pub use faults::{AmplitudeFault, FaultSpec, FaultyPDac, SlotFault};
 pub use report::{CheckKind, CheckResult, ConformanceReport};
+pub use sentinel::{Sentinel, SentinelConfig, SentinelHandle, SentinelStats};

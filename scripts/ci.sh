@@ -84,6 +84,30 @@ for series in pdac_serve_kv_pages pdac_serve_kv_bytes pdac_serve_kv_shared; do
         || { echo "FAIL: ${series} missing from /metrics exposition"; exit 1; }
 done
 
+echo "==> drift sentinel smoke (clean serve green; injected fault latches critical)"
+PDAC_SERVE_REQUESTS=6 PDAC_SERVE_PROMPT=3 PDAC_SERVE_MAX_NEW=4 PDAC_SERVE_BATCH=4 \
+    PDAC_SERVE_HIDDEN=32 PDAC_SERVE_LAYERS=2 PDAC_SERVE_HEADS=4 \
+    PDAC_SENTINEL_RATE=1.0 \
+    PDAC_SERVE_METRICS_OUT="$(pwd)/target/metrics.sentinel.txt" \
+    cargo run --release -q -p pdac-serve --bin serve -- --health
+for series in pdac_health_drift_pdac_ewma pdac_health_drift_pdac_budget_frac \
+    pdac_health_drift_pdac_bucket; do
+    grep -q "^${series}" target/metrics.sentinel.txt \
+        || { echo "FAIL: ${series} missing from /metrics exposition"; exit 1; }
+done
+if PDAC_SERVE_REQUESTS=4 PDAC_SERVE_PROMPT=3 PDAC_SERVE_MAX_NEW=4 PDAC_SERVE_BATCH=4 \
+    PDAC_SERVE_HIDDEN=32 PDAC_SERVE_LAYERS=2 PDAC_SERVE_HEADS=4 \
+    PDAC_SENTINEL_RATE=1.0 PDAC_SENTINEL_FAULT=tia \
+    cargo run --release -q -p pdac-serve --bin serve -- --health \
+    > target/sentinel.fault.log 2>&1; then
+    echo "FAIL: fault-injected serve reported healthy"
+    cat target/sentinel.fault.log
+    exit 1
+fi
+grep -q "health status=critical" target/sentinel.fault.log \
+    || { echo "FAIL: fault run exited nonzero without a critical verdict"; \
+         cat target/sentinel.fault.log; exit 1; }
+
 echo "==> telemetry-off feature check (serve/nn/power compile with the no-op mirror)"
 cargo check --release -q -p pdac-serve -p pdac-nn -p pdac-power --no-default-features
 
@@ -117,6 +141,8 @@ PDAC_BENCH_DECODE_HIDDEN=128 PDAC_BENCH_DECODE_LAYERS=2 PDAC_BENCH_DECODE_HEADS=
     cargo bench --features microbench -p pdac-bench --bench decode_engine
 PDAC_BENCH_OUT="$(pwd)/target/BENCH_trace.fresh.json" \
     cargo bench --features microbench -p pdac-bench --bench trace_overhead
+PDAC_BENCH_OUT="$(pwd)/target/BENCH_sentinel.fresh.json" \
+    cargo bench --features microbench -p pdac-bench --bench sentinel_overhead
 PDAC_BENCH_MS=40 PDAC_BENCH_MAX_DIM=256 PDAC_BENCH_OUT="$(pwd)/target/BENCH_gemm.fresh.json" \
     cargo bench --features microbench -p pdac-bench --bench gemm_engine
 
@@ -151,6 +177,7 @@ cargo run --release -q -p pdac-bench --bin bench_gate -- \
     crates/bench/baselines/BENCH_gemm.gate.json target/BENCH_gemm.fresh.json \
     crates/bench/baselines/BENCH_pool.gate.json target/BENCH_pool.fresh.json \
     crates/bench/baselines/BENCH_energy.gate.json target/BENCH_energy.fresh.json \
-    crates/bench/baselines/BENCH_kv.gate.json target/BENCH_kv.fresh.json
+    crates/bench/baselines/BENCH_kv.gate.json target/BENCH_kv.fresh.json \
+    crates/bench/baselines/BENCH_sentinel.gate.json target/BENCH_sentinel.fresh.json
 
 echo "CI OK"
